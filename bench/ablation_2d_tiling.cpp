@@ -1,0 +1,47 @@
+// Ablation: 2D (row x column) tiling vs the paper's 1D row tiling — the
+// experiment §V-A defers to future work. Sweeps the column tile count at a
+// fixed row tiling (FLOP-balanced, dynamic, intermediate count) on every
+// graph. Column tiling shrinks the per-task B working set at the price of
+// re-reading A rows once per column tile; expect it to help only when the
+// B panel no longer fits in cache, and to hurt on the small analogues.
+#include "bench_util.hpp"
+
+int main() {
+  const double scale = tilq::bench::bench_scale(0.7);
+  tilq::bench::print_header("Ablation: 2D column tiling", scale);
+  tilq::bench::GraphCache cache(scale);
+  const int threads = tilq::bench::bench_threads();
+  auto timing = tilq::bench::bench_timing();
+  timing.max_iterations = 6;
+  using SR = tilq::PlusTimes<double>;
+
+  const std::int64_t col_tile_counts[] = {1, 2, 4, 8, 16, 64};
+
+  std::printf("%-16s |", "graph");
+  for (const std::int64_t ct : col_tile_counts) {
+    std::printf(" %7s%lld", "ct=", static_cast<long long>(ct));
+  }
+  std::printf("   (ms per column-tile count)\n");
+
+  for (const std::string& name : tilq::collection_names()) {
+    const tilq::GraphMatrix& a = cache.get(name);
+    std::printf("%-16s |", name.c_str());
+    std::string csv = "CSV,ablation2d," + name;
+    for (const std::int64_t ct : col_tile_counts) {
+      tilq::Config2d config;
+      config.base.strategy = tilq::MaskStrategy::kHybrid;
+      config.base.coiteration_factor = 1.0;
+      config.base.tiling = tilq::Tiling::kFlopBalanced;
+      config.base.schedule = tilq::Schedule::kDynamic;
+      config.base.num_tiles = std::min<std::int64_t>(1024, a.rows());
+      config.base.threads = threads;
+      config.num_col_tiles = ct;
+      const tilq::TimingResult result = tilq::measure(
+          [&] { (void)tilq::masked_spgemm_2d<SR>(a, a, a, config); }, timing);
+      std::printf(" %8.2f", result.median_ms);
+      csv += "," + std::to_string(result.median_ms);
+    }
+    std::printf("\n%s\n", csv.c_str());
+  }
+  return 0;
+}

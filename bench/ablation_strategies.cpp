@@ -1,0 +1,62 @@
+// Ablation (§III-B): all four iteration strategies plus the two-phase
+// (unfused SpGEMM + post-hoc masking) variant the paper argues is never
+// worth implementing. Quantifies, per graph kind:
+//   * what fusing the mask saves (two-phase vs mask-first),
+//   * what loading the mask first saves (vanilla vs mask-first),
+//   * where co-iteration wins and loses (co-iterate vs mask-first),
+//   * what the hybrid recovers (hybrid ~ min of the two).
+// The vanilla and two-phase variants are run once each (they are the slow
+// cases, and on the circuit analogue they are near-pathological).
+#include "bench_util.hpp"
+
+int main() {
+  const double scale = tilq::bench::bench_scale(0.5);
+  tilq::bench::print_header("Ablation: iteration strategies + two-phase",
+                            scale);
+  tilq::bench::GraphCache cache(scale);
+  const int threads = tilq::bench::bench_threads();
+  const auto timing = tilq::bench::bench_timing();
+  using SR = tilq::PlusTimes<double>;
+
+  std::printf("%-16s %12s %12s %12s %12s %12s\n", "graph", "two_phase",
+              "vanilla", "mask_first", "co_iterate", "hybrid");
+  for (const std::string& name : tilq::collection_names()) {
+    const tilq::GraphMatrix& a = cache.get(name);
+
+    tilq::Config base;
+    base.tiling = tilq::Tiling::kFlopBalanced;
+    base.schedule = tilq::Schedule::kDynamic;
+    base.num_tiles = std::min<std::int64_t>(2048, a.rows());
+    base.threads = threads;
+
+    // Single-shot for the known-slow variants.
+    tilq::WallTimer two_phase_timer;
+    (void)tilq::two_phase_masked_spgemm<SR>(a, a, a);
+    const double two_phase_ms = two_phase_timer.milliseconds();
+
+    tilq::Config vanilla = base;
+    vanilla.strategy = tilq::MaskStrategy::kVanilla;
+    tilq::WallTimer vanilla_timer;
+    (void)tilq::masked_spgemm<SR>(a, a, a, vanilla);
+    const double vanilla_ms = vanilla_timer.milliseconds();
+
+    double fused_ms[3];
+    int idx = 0;
+    for (const tilq::MaskStrategy strategy :
+         {tilq::MaskStrategy::kMaskFirst, tilq::MaskStrategy::kCoIterate,
+          tilq::MaskStrategy::kHybrid}) {
+      tilq::Config config = base;
+      config.strategy = strategy;
+      config.coiteration_factor = 1.0;
+      fused_ms[idx++] = tilq::bench::time_kernel(a, config, timing);
+    }
+
+    std::printf("%-16s %12.2f %12.2f %12.2f %12.2f %12.2f\n", name.c_str(),
+                two_phase_ms, vanilla_ms, fused_ms[0], fused_ms[1],
+                fused_ms[2]);
+    std::printf("CSV,ablation,%s,%.3f,%.3f,%.3f,%.3f,%.3f\n", name.c_str(),
+                two_phase_ms, vanilla_ms, fused_ms[0], fused_ms[1],
+                fused_ms[2]);
+  }
+  return 0;
+}

@@ -1,0 +1,128 @@
+// Shared benchmark infrastructure. Every figure/table bench:
+//   * runs on the synthetic collection (scaled per-bench, overridable with
+//     TILQ_BENCH_SCALE),
+//   * measures with the paper's protocol (warm-up, then budget/iteration
+//     capped repetition; the output is freed after each run because each
+//     iteration builds and drops its result),
+//   * prints both a human-readable table and machine-readable CSV lines
+//     (prefix "CSV,") so plots can be regenerated from captured stdout.
+//
+// Environment knobs:
+//   TILQ_BENCH_SCALE    multiplies every graph's node count (default 1.0)
+//   TILQ_BENCH_THREADS  thread count (default: OpenMP default)
+//   TILQ_BENCH_BUDGET   per-measurement seconds (default 0.25)
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "tilq/tilq.hpp"
+
+namespace tilq::bench {
+
+/// Reads a double environment knob with a default.
+inline double env_double(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  return value != nullptr ? std::atof(value) : fallback;
+}
+
+inline int env_int(const char* name, int fallback) {
+  const char* value = std::getenv(name);
+  return value != nullptr ? std::atoi(value) : fallback;
+}
+
+/// Global scale multiplier applied on top of a bench's own default scale.
+inline double bench_scale(double bench_default = 1.0) {
+  return bench_default * env_double("TILQ_BENCH_SCALE", 1.0);
+}
+
+inline int bench_threads() { return env_int("TILQ_BENCH_THREADS", 0); }
+
+/// Measurement options for one configuration sample.
+inline TimingOptions bench_timing() {
+  TimingOptions options;
+  options.budget_seconds = env_double("TILQ_BENCH_BUDGET", 0.25);
+  options.max_iterations = 20;
+  options.min_iterations = 2;
+  options.warmup = true;
+  return options;
+}
+
+/// Lazily generated, cached collection instances (several benches touch the
+/// same graph repeatedly).
+class GraphCache {
+ public:
+  explicit GraphCache(double scale) : scale_(scale) {}
+
+  const GraphMatrix& get(const std::string& name) {
+    auto it = cache_.find(name);
+    if (it == cache_.end()) {
+      it = cache_.emplace(name, make_collection_graph(name, scale_)).first;
+    }
+    return it->second;
+  }
+
+  [[nodiscard]] double scale() const noexcept { return scale_; }
+
+ private:
+  double scale_;
+  std::map<std::string, GraphMatrix> cache_;
+};
+
+/// Times the paper's kernel C = A ⊙ (A × A) under `config`; returns the
+/// median milliseconds.
+inline double time_kernel(const GraphMatrix& a, const Config& config,
+                          const TimingOptions& timing = bench_timing()) {
+  const TimingResult result = measure(
+      [&] { (void)masked_spgemm<PlusTimes<double>>(a, a, a, config); }, timing);
+  return result.median_ms;
+}
+
+/// Prints the standard bench header (environment + scale) so outputs are
+/// self-describing.
+inline void print_header(const char* bench_name, double scale) {
+  std::printf("== %s ==\n", bench_name);
+  std::printf("environment: %s\n", environment_summary().c_str());
+  std::printf("collection scale: %.3g (paper sizes / ~1000 at scale 1)\n\n",
+              scale);
+}
+
+/// One (configuration, matrix) measurement for the relative-performance
+/// summaries (Figs 10 and 13 express results as "% of matrices within 10%%
+/// of the best configuration").
+struct Sample {
+  std::string config_label;
+  std::string matrix;
+  double ms = 0.0;
+};
+
+/// Fig 10/13-style aggregation: for each config label, the percentage of
+/// matrices whose time is within `slack` of that matrix's best time.
+inline std::map<std::string, double> percent_within(
+    const std::vector<Sample>& samples, double slack = 0.10) {
+  std::map<std::string, double> best_per_matrix;
+  for (const Sample& s : samples) {
+    auto [it, inserted] = best_per_matrix.emplace(s.matrix, s.ms);
+    if (!inserted && s.ms < it->second) {
+      it->second = s.ms;
+    }
+  }
+  std::map<std::string, int> hits;
+  std::map<std::string, int> totals;
+  for (const Sample& s : samples) {
+    ++totals[s.config_label];
+    if (s.ms <= best_per_matrix[s.matrix] * (1.0 + slack)) {
+      ++hits[s.config_label];
+    }
+  }
+  std::map<std::string, double> result;
+  for (const auto& [label, total] : totals) {
+    result[label] = 100.0 * hits[label] / total;
+  }
+  return result;
+}
+
+}  // namespace tilq::bench

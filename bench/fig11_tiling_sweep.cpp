@@ -1,0 +1,39 @@
+// Fig 11: execution time vs number of tiles, one series per (accumulator,
+// tiling, schedule) combination, one block per graph. The paper's trends to
+// look for in the output:
+//   * road graphs (europe_osm, GAP-road): nearly flat — tiling barely
+//     matters when every row costs the same;
+//   * social/web graphs: uniform tiling is poor at low tile counts and only
+//     approaches FLOP-balanced tiling as tiles shrink;
+//   * every curve eventually rises at very high tile counts (scheduling
+//     overhead).
+#include "tiling_sweep.hpp"
+
+int main() {
+  const double scale = tilq::bench::bench_scale(0.5);
+  tilq::bench::print_header("Fig 11: time vs tile count", scale);
+  tilq::bench::GraphCache cache(scale);
+
+  auto timing = tilq::bench::bench_timing();
+  timing.max_iterations = 5;
+
+  std::string current;
+  tilq::bench::run_tiling_sweep(
+      cache, timing, [&](const tilq::bench::TilingPoint& p) {
+        if (p.matrix != current) {
+          current = p.matrix;
+          std::printf("\n-- %s (n=%lld, nnz=%lld) --\n", current.c_str(),
+                      static_cast<long long>(cache.get(current).rows()),
+                      static_cast<long long>(cache.get(current).nnz()));
+          std::printf("%-28s %8s %10s\n", "series", "tiles", "ms");
+        }
+        std::printf("%-28s %8lld %10.2f\n",
+                    tilq::bench::tiling_config_label(p, false).c_str(),
+                    static_cast<long long>(p.tiles), p.ms);
+        std::printf("CSV,fig11,%s,%s,%s,%s,%lld,%.3f\n", p.matrix.c_str(),
+                    to_string(p.accumulator), to_string(p.tiling),
+                    to_string(p.schedule), static_cast<long long>(p.tiles),
+                    p.ms);
+      });
+  return 0;
+}

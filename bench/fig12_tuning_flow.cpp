@@ -1,0 +1,54 @@
+// Fig 12: the staged performance sweep and tuning flow, run end-to-end on
+// two contrasting graphs (a road network, where nothing matters much, and
+// the circuit analogue, where stage 2 changes everything). Prints the best
+// configuration after each stage so the flow's contribution is visible.
+#include "bench_util.hpp"
+
+namespace {
+
+double best_of(const std::vector<tilq::TunerTrial>& trials, double incumbent) {
+  double best = incumbent;
+  for (const tilq::TunerTrial& trial : trials) {
+    best = std::min(best, trial.ms);
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  const double scale = tilq::bench::bench_scale(0.5);
+  tilq::bench::print_header("Fig 12: staged tuning flow", scale);
+  tilq::bench::GraphCache cache(scale);
+
+  for (const char* name : {"GAP-road", "circuit5M"}) {
+    const tilq::GraphMatrix& a = cache.get(name);
+    std::printf("\n-- %s (n=%lld, nnz=%lld) --\n", name,
+                static_cast<long long>(a.rows()),
+                static_cast<long long>(a.nnz()));
+
+    tilq::TunerOptions options;
+    options.tile_counts = {16, 64, 256, 1024};
+    options.kappas = {0.01, 0.1, 1.0, 10.0};
+    options.timing.budget_seconds = 0.15;
+    options.timing.max_iterations = 4;
+    options.threads = tilq::bench::bench_threads();
+
+    const tilq::TunerReport report =
+        tilq::tune<tilq::PlusTimes<double>>(a, a, a, options);
+
+    const double stage1 =
+        best_of(report.stage_tiling, std::numeric_limits<double>::infinity());
+    const double stage2 = best_of(report.stage_coiteration, stage1);
+    const double stage3 = best_of(report.stage_accumulator, stage2);
+    std::printf("stage 1 (tiling/scheduling): best %10.2f ms over %zu trials\n",
+                stage1, report.stage_tiling.size());
+    std::printf("stage 2 (+ co-iteration):    best %10.2f ms over %zu trials\n",
+                stage2, report.stage_coiteration.size());
+    std::printf("stage 3 (+ marker width):    best %10.2f ms over %zu trials\n",
+                stage3, report.stage_accumulator.size());
+    std::printf("winner: %s\n", report.best.describe().c_str());
+    std::printf("CSV,fig12,%s,%.3f,%.3f,%.3f\n", name, stage1, stage2, stage3);
+  }
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Fig 13: relative performance of accumulator marker bit-widths. Per the
+// paper's protocol: κ fixed to 1 (hybrid kernel), the tiling configuration
+// fixed to the safe choice from the tiling stage (FLOP-balanced, dynamic,
+// intermediate tile count), sweep the marker width 8/16/32/64 for both
+// accumulators across the collection, and report the percentage of matrices
+// within 10% of the best width. Paper shape: hash is robust until 8 bits;
+// dense suffers at both 8 (reset storms) and 64 (state-array footprint),
+// with a sweet spot at 32.
+#include <map>
+#include <vector>
+
+#include "bench_util.hpp"
+
+int main() {
+  const double scale = tilq::bench::bench_scale(0.7);
+  tilq::bench::print_header("Fig 13: accumulator marker width", scale);
+  tilq::bench::GraphCache cache(scale);
+  const int threads = tilq::bench::bench_threads();
+  auto timing = tilq::bench::bench_timing();
+  timing.max_iterations = 8;
+
+  const tilq::MarkerWidth widths[] = {tilq::MarkerWidth::k8, tilq::MarkerWidth::k16,
+                                      tilq::MarkerWidth::k32, tilq::MarkerWidth::k64};
+
+  std::vector<tilq::bench::Sample> samples;
+  std::vector<std::pair<std::string, double>> bitmap_times;
+  std::printf("%-16s %-6s | %10s %10s %10s %10s\n", "graph", "acc", "w8_ms",
+              "w16_ms", "w32_ms", "w64_ms");
+  for (const std::string& name : tilq::collection_names()) {
+    const tilq::GraphMatrix& a = cache.get(name);
+    for (const tilq::AccumulatorKind acc :
+         {tilq::AccumulatorKind::kDense, tilq::AccumulatorKind::kHash}) {
+      double ms[4];
+      int idx = 0;
+      for (const tilq::MarkerWidth width : widths) {
+        tilq::Config config;
+        config.strategy = tilq::MaskStrategy::kHybrid;
+        config.coiteration_factor = 1.0;
+        config.tiling = tilq::Tiling::kFlopBalanced;
+        config.schedule = tilq::Schedule::kDynamic;
+        config.num_tiles = std::min<std::int64_t>(2048, a.rows());
+        config.accumulator = acc;
+        config.marker_width = width;
+        config.reset = tilq::ResetPolicy::kMarker;
+        config.threads = threads;
+        ms[idx] = tilq::bench::time_kernel(a, config, timing);
+        // The matrix identity for the relative summary is (graph, acc): the
+        // figure compares widths within each accumulator.
+        std::string label = to_string(acc);
+        label += "/w";
+        label += std::to_string(bits(width));
+        samples.push_back({label, name + "/" + to_string(acc), ms[idx]});
+        ++idx;
+      }
+      std::printf("%-16s %-6s | %10.2f %10.2f %10.2f %10.2f\n", name.c_str(),
+                  to_string(acc), ms[0], ms[1], ms[2], ms[3]);
+      std::printf("CSV,fig13,%s,%s,%.3f,%.3f,%.3f,%.3f\n", name.c_str(),
+                  to_string(acc), ms[0], ms[1], ms[2], ms[3]);
+    }
+
+    // Extension beyond the paper's sweep: the 1-bit bitmap accumulator
+    // (explicit reset forced by the representation).
+    {
+      tilq::Config config;
+      config.strategy = tilq::MaskStrategy::kHybrid;
+      config.coiteration_factor = 1.0;
+      config.tiling = tilq::Tiling::kFlopBalanced;
+      config.schedule = tilq::Schedule::kDynamic;
+      config.num_tiles = std::min<std::int64_t>(2048, a.rows());
+      config.accumulator = tilq::AccumulatorKind::kBitmap;
+      config.threads = threads;
+      bitmap_times.emplace_back(name, tilq::bench::time_kernel(a, config, timing));
+    }
+  }
+
+  const auto summary = tilq::bench::percent_within(samples, 0.10);
+  std::printf("\n%% of matrices within 10%% of best width:\n");
+  std::printf("%8s %10s %10s\n", "width", "dense(%)", "hash(%)");
+  for (const tilq::MarkerWidth width : widths) {
+    const auto dense_it = summary.find(std::string("dense/w") +
+                                       std::to_string(bits(width)));
+    const auto hash_it =
+        summary.find(std::string("hash/w") + std::to_string(bits(width)));
+    std::printf("%8d %10.0f %10.0f\n", bits(width),
+                dense_it != summary.end() ? dense_it->second : 0.0,
+                hash_it != summary.end() ? hash_it->second : 0.0);
+    std::printf("CSV,fig13_summary,%d,%.1f,%.1f\n", bits(width),
+                dense_it != summary.end() ? dense_it->second : 0.0,
+                hash_it != summary.end() ? hash_it->second : 0.0);
+  }
+
+  std::printf("\nextension: 1-bit bitmap accumulator (explicit reset):\n");
+  std::printf("%-16s %10s\n", "graph", "bitmap_ms");
+  for (const auto& [name, ms] : bitmap_times) {
+    std::printf("%-16s %10.2f\n", name.c_str(), ms);
+    std::printf("CSV,fig13_bitmap,%s,%.3f\n", name.c_str(), ms);
+  }
+  return 0;
+}

@@ -1,0 +1,142 @@
+// Microbenchmarks (google-benchmark) for the accumulator primitives that
+// §III-C reasons about: mask loading, accumulate hit/miss, gather, and the
+// per-row reset — for both implementations, across marker widths and row
+// sizes. These isolate the constants behind the Fig 13 curves: the dense
+// accumulator's reset cost grows with the state array it must sweep on
+// overflow, while the hash accumulator pays probing instead.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "accum/bitmap_accumulator.hpp"
+#include "accum/dense_accumulator.hpp"
+#include "accum/hash_accumulator.hpp"
+#include "core/semiring.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using tilq::DenseAccumulator;
+using tilq::HashAccumulator;
+using tilq::ResetPolicy;
+using tilq::Xoshiro256;
+using I = std::int64_t;
+using SR = tilq::PlusTimes<double>;
+
+constexpr I kDimension = 1 << 16;  // output columns for the dense variant
+
+std::vector<I> make_mask(I entries, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<I> cols;
+  cols.reserve(static_cast<std::size_t>(entries));
+  // Sorted distinct columns, uniform over the dimension.
+  const I stride = kDimension / entries;
+  for (I j = 0; j < entries; ++j) {
+    cols.push_back(j * stride +
+                   static_cast<I>(rng.uniform_below(
+                       static_cast<std::uint64_t>(std::max<I>(1, stride)))));
+  }
+  return cols;
+}
+
+/// One full row protocol: set mask, accumulate over it twice (hits), gather,
+/// reset. `state.range(0)` = mask entries per row.
+template <class Acc>
+void row_protocol(benchmark::State& state, Acc& acc) {
+  const auto mask = make_mask(state.range(0), 7);
+  double sink = 0.0;
+  for (auto _ : state) {
+    acc.set_mask(mask);
+    for (const I j : mask) {
+      acc.accumulate(j, 1.0);
+      acc.accumulate(j, 2.0);
+    }
+    acc.gather(std::span<const I>(mask), [&](I, double v) { sink += v; });
+    acc.finish_row(mask);
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 2);
+}
+
+template <class Marker>
+void BM_DenseRow(benchmark::State& state) {
+  DenseAccumulator<SR, I, Marker> acc(kDimension);
+  row_protocol(state, acc);
+}
+
+template <class Marker>
+void BM_HashRow(benchmark::State& state) {
+  HashAccumulator<SR, I, Marker> acc(state.range(0));
+  row_protocol(state, acc);
+}
+
+void BM_BitmapRow(benchmark::State& state) {
+  tilq::BitmapAccumulator<SR, I> acc(kDimension);
+  row_protocol(state, acc);
+}
+
+void BM_DenseRowExplicitReset(benchmark::State& state) {
+  DenseAccumulator<SR, I, std::uint32_t> acc(kDimension, ResetPolicy::kExplicit);
+  row_protocol(state, acc);
+}
+
+void BM_HashRowExplicitReset(benchmark::State& state) {
+  HashAccumulator<SR, I, std::uint32_t> acc(state.range(0),
+                                            ResetPolicy::kExplicit);
+  row_protocol(state, acc);
+}
+
+/// Accumulate misses: the mask-probe rejection path of Fig 5.
+void BM_DenseMiss(benchmark::State& state) {
+  DenseAccumulator<SR, I, std::uint32_t> acc(kDimension);
+  const auto mask = make_mask(64, 3);
+  acc.set_mask(mask);
+  Xoshiro256 rng(9);
+  std::vector<I> probes(1024);
+  for (auto& p : probes) {
+    // Odd offsets beyond the mask's stride grid: guaranteed misses mostly.
+    p = static_cast<I>(rng.uniform_below(kDimension));
+  }
+  for (auto _ : state) {
+    for (const I j : probes) {
+      benchmark::DoNotOptimize(acc.accumulate(j, 1.0));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+
+void BM_HashMiss(benchmark::State& state) {
+  HashAccumulator<SR, I, std::uint32_t> acc(64);
+  const auto mask = make_mask(64, 3);
+  acc.set_mask(mask);
+  Xoshiro256 rng(9);
+  std::vector<I> probes(1024);
+  for (auto& p : probes) {
+    p = static_cast<I>(rng.uniform_below(kDimension));
+  }
+  for (auto _ : state) {
+    for (const I j : probes) {
+      benchmark::DoNotOptimize(acc.accumulate(j, 1.0));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+
+}  // namespace
+
+BENCHMARK_TEMPLATE(BM_DenseRow, std::uint8_t)->Arg(64)->Arg(1024);
+BENCHMARK_TEMPLATE(BM_DenseRow, std::uint16_t)->Arg(64)->Arg(1024);
+BENCHMARK_TEMPLATE(BM_DenseRow, std::uint32_t)->Arg(64)->Arg(1024);
+BENCHMARK_TEMPLATE(BM_DenseRow, std::uint64_t)->Arg(64)->Arg(1024);
+BENCHMARK_TEMPLATE(BM_HashRow, std::uint8_t)->Arg(64)->Arg(1024);
+BENCHMARK_TEMPLATE(BM_HashRow, std::uint16_t)->Arg(64)->Arg(1024);
+BENCHMARK_TEMPLATE(BM_HashRow, std::uint32_t)->Arg(64)->Arg(1024);
+BENCHMARK_TEMPLATE(BM_HashRow, std::uint64_t)->Arg(64)->Arg(1024);
+BENCHMARK(BM_BitmapRow)->Arg(64)->Arg(1024);
+BENCHMARK(BM_DenseRowExplicitReset)->Arg(64)->Arg(1024);
+BENCHMARK(BM_HashRowExplicitReset)->Arg(64)->Arg(1024);
+BENCHMARK(BM_DenseMiss);
+BENCHMARK(BM_HashMiss);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,51 @@
+// Validation of the model-based predictor (the paper's §VII direction:
+// tune "at execution time, rather than offline"). For every collection
+// graph: run (1) the zero-measurement predicted config, (2) the staged
+// Fig-12 tuner's best config, and (3) the worst config the tuner saw, and
+// report how close prediction gets to exhaustive tuning.
+#include "bench_util.hpp"
+
+int main() {
+  const double scale = tilq::bench::bench_scale(0.5);
+  tilq::bench::print_header("Model-predicted config vs staged tuning", scale);
+  tilq::bench::GraphCache cache(scale);
+  const int threads = tilq::bench::bench_threads();
+  const auto timing = tilq::bench::bench_timing();
+  using SR = tilq::PlusTimes<double>;
+
+  std::printf("%-16s %10s %10s %10s | %11s\n", "graph", "model_ms", "tuned_ms",
+              "worst_ms", "model/tuned");
+  double worst_ratio = 0.0;
+  for (const std::string& name : tilq::collection_names()) {
+    const tilq::GraphMatrix& a = cache.get(name);
+
+    const tilq::Config predicted = tilq::predict_config(a, a, a, threads);
+    const double model_ms = tilq::bench::time_kernel(a, predicted, timing);
+
+    tilq::TunerOptions options;
+    options.tile_counts = {64, 256, 1024};
+    options.kappas = {0.1, 1.0, 10.0};
+    options.timing.budget_seconds = 0.1;
+    options.timing.max_iterations = 3;
+    options.threads = threads;
+    const tilq::TunerReport report = tilq::tune<SR>(a, a, a, options);
+
+    double worst_ms = report.best_ms;
+    for (const auto* stage : {&report.stage_tiling, &report.stage_coiteration,
+                              &report.stage_accumulator}) {
+      for (const tilq::TunerTrial& trial : *stage) {
+        worst_ms = std::max(worst_ms, trial.ms);
+      }
+    }
+
+    const double ratio = model_ms / report.best_ms;
+    worst_ratio = std::max(worst_ratio, ratio);
+    std::printf("%-16s %10.2f %10.2f %10.2f | %11.2f\n", name.c_str(), model_ms,
+                report.best_ms, worst_ms, ratio);
+    std::printf("CSV,model,%s,%.3f,%.3f,%.3f\n", name.c_str(), model_ms,
+                report.best_ms, worst_ms);
+  }
+  std::printf("\nworst model/tuned ratio: %.2f (1.0 = prediction matches "
+              "exhaustive tuning)\n", worst_ratio);
+  return 0;
+}

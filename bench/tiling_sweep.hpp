@@ -1,0 +1,94 @@
+// Shared tiling/scheduling sweep used by the Fig 10 summary and the Fig 11
+// per-graph series: (2 accumulators x 2 tilings x 2 schedules x tile-count
+// sweep) on every graph, mask-first kernel (the paper excludes co-iteration
+// from the tiling experiments, §IV-C), and circuit5M excluded as in the
+// paper ("for the circuit5M matrix we do not report tiling results").
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+
+namespace tilq::bench {
+
+struct TilingPoint {
+  std::string matrix;
+  AccumulatorKind accumulator;
+  Tiling tiling;
+  Schedule schedule;
+  std::int64_t tiles = 0;
+  double ms = 0.0;
+};
+
+/// The tile counts swept. The paper uses 64..32768 with 64 threads; scaled
+/// to this machine we sweep a decade-spanning set clamped to the matrix
+/// row count by the driver.
+inline std::vector<std::int64_t> tiling_sweep_tile_counts() {
+  return {16, 64, 256, 1024, 4096, 16384};
+}
+
+/// Graphs included in the tiling experiments (Table I minus circuit5M).
+inline std::vector<std::string> tiling_sweep_graphs() {
+  std::vector<std::string> names;
+  for (const std::string& name : collection_names()) {
+    if (name != "circuit5M") {
+      names.push_back(name);
+    }
+  }
+  return names;
+}
+
+/// Runs the full sweep, invoking `on_point` after each measurement (for
+/// streaming output).
+inline std::vector<TilingPoint> run_tiling_sweep(
+    GraphCache& cache, const TimingOptions& timing,
+    const std::function<void(const TilingPoint&)>& on_point = {}) {
+  std::vector<TilingPoint> points;
+  const int threads = bench_threads();
+  for (const std::string& name : tiling_sweep_graphs()) {
+    const GraphMatrix& a = cache.get(name);
+    for (const AccumulatorKind acc :
+         {AccumulatorKind::kDense, AccumulatorKind::kHash}) {
+      for (const Tiling tiling : {Tiling::kFlopBalanced, Tiling::kUniform}) {
+        for (const Schedule schedule : {Schedule::kDynamic, Schedule::kStatic}) {
+          for (const std::int64_t tiles : tiling_sweep_tile_counts()) {
+            Config config;
+            config.strategy = MaskStrategy::kMaskFirst;  // no co-iteration
+            config.accumulator = acc;
+            config.marker_width = MarkerWidth::k32;
+            config.tiling = tiling;
+            config.schedule = schedule;
+            config.num_tiles = tiles;
+            config.threads = threads;
+            TilingPoint point{name, acc, tiling, schedule, tiles,
+                              time_kernel(a, config, timing)};
+            if (on_point) {
+              on_point(point);
+            }
+            points.push_back(std::move(point));
+          }
+        }
+      }
+    }
+  }
+  return points;
+}
+
+inline std::string tiling_config_label(const TilingPoint& p,
+                                       bool include_tiles) {
+  std::string label;
+  label += to_string(p.tiling);
+  label += '/';
+  label += to_string(p.schedule);
+  label += '/';
+  label += to_string(p.accumulator);
+  if (include_tiles) {
+    label += '/';
+    label += std::to_string(p.tiles);
+  }
+  return label;
+}
+
+}  // namespace tilq::bench

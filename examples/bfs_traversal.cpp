@@ -1,0 +1,36 @@
+// Direction-optimizing BFS across graph kinds. Road networks (huge
+// diameter, tiny frontiers) stay in push mode; social networks (tiny
+// diameter, enormous middle frontiers) trigger the pull switch — the
+// vertex-level push-pull analogue of the paper's co-iteration hybrid.
+//
+// Usage: bfs_traversal [scale]    (default 0.25)
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "tilq/tilq.hpp"
+
+int main(int argc, char** argv) {
+  const double scale = argc > 1 ? std::atof(argv[1]) : 0.25;
+
+  std::printf("%-16s %8s %10s %9s %6s %6s %6s\n", "graph", "n", "reached",
+              "depth", "push", "pull", "ms");
+  for (const char* name : {"GAP-road", "europe_osm", "com-Orkut",
+                           "hollywood-2009", "as-Skitter"}) {
+    const tilq::GraphMatrix graph =
+        tilq::symmetrize(tilq::make_collection_graph(name, scale));
+    // Road analogues sit near the percolation threshold and fragment;
+    // start inside the giant component so the traversal is meaningful.
+    const std::int64_t source = tilq::largest_component_member(graph);
+    tilq::WallTimer timer;
+    const tilq::BfsResult result = tilq::bfs(graph, source);
+    const double ms = timer.milliseconds();
+    const auto depth = *std::max_element(result.level.begin(), result.level.end());
+    std::printf("%-16s %8lld %10lld %9lld %6d %6d %6.1f\n", name,
+                static_cast<long long>(graph.rows()),
+                static_cast<long long>(result.reached),
+                static_cast<long long>(depth), result.push_steps,
+                result.pull_steps, ms);
+  }
+  return 0;
+}

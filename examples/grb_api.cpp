@@ -1,0 +1,48 @@
+// The GraphBLAS-shaped API from the paper's §II-B, end to end: the masked
+// matrix product through grb::mxm with descriptors, then triangle counting
+// exactly as the GraphBLAS recipe prescribes (C<M> = A*A with PLUS_PAIR,
+// reduce, divide by 6).
+#include <cstdio>
+
+#include "tilq/tilq.hpp"
+
+int main() {
+  using tilq::grb::Descriptor;
+  using tilq::grb::Matrix;
+  using tilq::grb::SemiringOp;
+
+  const Matrix a =
+      tilq::symmetrize(tilq::make_collection_graph("com-LiveJournal", 0.15));
+  std::printf("A: %lld x %lld, nnz = %lld\n", static_cast<long long>(a.rows()),
+              static_cast<long long>(a.cols()),
+              static_cast<long long>(a.nnz()));
+
+  // GrB_mxm(C, M=A, PLUS_PAIR, A, A, desc): the triangle kernel.
+  Descriptor desc;
+  desc.mask_structural = true;               // GrB_STRUCTURE
+  desc.config.strategy = tilq::MaskStrategy::kHybrid;
+  const Matrix c = tilq::grb::mxm(&a, SemiringOp::kPlusPair, a, a, desc);
+  const double triangles = tilq::grb::reduce(SemiringOp::kPlusTimes, c) / 6.0;
+  std::printf("triangles (GrB recipe): %.0f\n", triangles);
+
+  // Same, sanity-checked against the native algorithm.
+  std::printf("triangles (native):     %lld\n",
+              static_cast<long long>(tilq::count_triangles(a)));
+
+  // A descriptor tour: complemented mask = the non-edges of A reached by
+  // 2-hop paths (the "open wedge" count).
+  Descriptor complement = desc;
+  complement.mask_complement = true;
+  const Matrix wedges =
+      tilq::grb::mxm(&a, SemiringOp::kPlusPair, a, a, complement);
+  std::printf("open-wedge positions (complement mask): %lld entries\n",
+              static_cast<long long>(wedges.nnz()));
+
+  // Element-wise algebra: A .* A over min-plus keeps the pattern with
+  // doubled values (mul of min-plus is +).
+  const Matrix doubled = tilq::grb::ewise_mult(SemiringOp::kMinPlus, a, a);
+  std::printf("ewise min-plus self-product: nnz = %lld (pattern preserved: %s)\n",
+              static_cast<long long>(doubled.nnz()),
+              tilq::same_pattern(a, doubled) ? "yes" : "no");
+  return 0;
+}

@@ -1,0 +1,221 @@
+// tilq_cli — command-line driver exposing every Config dimension, for
+// ad-hoc experiments without writing code:
+//
+//   tilq_cli --graph com-Orkut --scale 0.5 --strategy hybrid --kappa 1
+//            --acc hash --marker 32 --tiling balanced --sched dynamic
+//            --tiles 1024        (one line; wrapped here for readability)
+//   tilq_cli --mtx my_matrix.mtx --predict      # model-chosen config
+//   tilq_cli --graph circuit5M --tune           # staged Fig-12 tuning
+//   tilq_cli --graph GAP-road --col-tiles 8     # 2D tiling
+//
+// Run with --help for the full flag list. With no arguments it runs a
+// small self-demo.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "tilq/tilq.hpp"
+
+namespace {
+
+struct CliOptions {
+  std::string graph = "GAP-road";
+  std::string mtx_path;
+  double scale = 0.25;
+  tilq::Config config;
+  std::int64_t col_tiles = 1;
+  bool predict = false;
+  bool tune = false;
+  int repeats = 5;
+};
+
+void print_usage() {
+  std::puts(
+      "tilq_cli: run the masked-SpGEMM kernel C = A .* (A x A)\n"
+      "\n"
+      "input:\n"
+      "  --graph NAME     synthetic collection analogue (default GAP-road)\n"
+      "  --mtx FILE       load a Matrix Market file instead\n"
+      "  --scale S        collection scale factor (default 0.25)\n"
+      "configuration (the paper's three dimensions):\n"
+      "  --tiling uniform|balanced      (default balanced)\n"
+      "  --sched static|dynamic         (default dynamic)\n"
+      "  --tiles N                      (default 2 x threads)\n"
+      "  --strategy vanilla|mask-first|co-iterate|hybrid  (default mask-first)\n"
+      "  --kappa K        co-iteration factor for hybrid (default 1)\n"
+      "  --acc dense|hash|bitmap        (default hash)\n"
+      "  --marker 8|16|32|64            (default 32)\n"
+      "  --reset marker|explicit        (default marker)\n"
+      "  --col-tiles N    2D column tiling (default 1 = 1D)\n"
+      "  --threads N\n"
+      "modes:\n"
+      "  --predict        use the model-based config predictor\n"
+      "  --tune           run the staged Fig-12 tuner first\n"
+      "  --repeats N      timing repetitions (default 5)\n");
+}
+
+std::optional<CliOptions> parse(int argc, char** argv) {
+  CliOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (flag == "--help" || flag == "-h") {
+      print_usage();
+      std::exit(0);
+    } else if (flag == "--graph") {
+      options.graph = next();
+    } else if (flag == "--mtx") {
+      options.mtx_path = next();
+    } else if (flag == "--scale") {
+      options.scale = std::atof(next());
+    } else if (flag == "--tiling") {
+      const std::string v = next();
+      options.config.tiling =
+          v == "uniform" ? tilq::Tiling::kUniform : tilq::Tiling::kFlopBalanced;
+    } else if (flag == "--sched") {
+      const std::string v = next();
+      options.config.schedule =
+          v == "static" ? tilq::Schedule::kStatic : tilq::Schedule::kDynamic;
+    } else if (flag == "--tiles") {
+      options.config.num_tiles = std::atoll(next());
+    } else if (flag == "--strategy") {
+      const std::string v = next();
+      if (v == "vanilla") {
+        options.config.strategy = tilq::MaskStrategy::kVanilla;
+      } else if (v == "co-iterate") {
+        options.config.strategy = tilq::MaskStrategy::kCoIterate;
+      } else if (v == "hybrid") {
+        options.config.strategy = tilq::MaskStrategy::kHybrid;
+      } else {
+        options.config.strategy = tilq::MaskStrategy::kMaskFirst;
+      }
+    } else if (flag == "--kappa") {
+      options.config.coiteration_factor = std::atof(next());
+    } else if (flag == "--acc") {
+      const std::string v = next();
+      options.config.accumulator = v == "dense"  ? tilq::AccumulatorKind::kDense
+                                   : v == "bitmap" ? tilq::AccumulatorKind::kBitmap
+                                                   : tilq::AccumulatorKind::kHash;
+    } else if (flag == "--marker") {
+      switch (std::atoi(next())) {
+        case 8:
+          options.config.marker_width = tilq::MarkerWidth::k8;
+          break;
+        case 16:
+          options.config.marker_width = tilq::MarkerWidth::k16;
+          break;
+        case 64:
+          options.config.marker_width = tilq::MarkerWidth::k64;
+          break;
+        default:
+          options.config.marker_width = tilq::MarkerWidth::k32;
+          break;
+      }
+    } else if (flag == "--reset") {
+      const std::string v = next();
+      options.config.reset = v == "explicit" ? tilq::ResetPolicy::kExplicit
+                                             : tilq::ResetPolicy::kMarker;
+    } else if (flag == "--col-tiles") {
+      options.col_tiles = std::atoll(next());
+    } else if (flag == "--threads") {
+      options.config.threads = std::atoi(next());
+    } else if (flag == "--predict") {
+      options.predict = true;
+    } else if (flag == "--tune") {
+      options.tune = true;
+    } else if (flag == "--repeats") {
+      options.repeats = std::atoi(next());
+    } else {
+      std::fprintf(stderr, "unknown flag: %s (try --help)\n", flag.c_str());
+      return std::nullopt;
+    }
+  }
+  return options;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto parsed = parse(argc, argv);
+  if (!parsed) {
+    return 2;
+  }
+  CliOptions options = *parsed;
+
+  // Input.
+  tilq::GraphMatrix a;
+  if (!options.mtx_path.empty()) {
+    a = tilq::read_matrix_market_file(options.mtx_path);
+    std::printf("loaded %s\n", options.mtx_path.c_str());
+  } else {
+    a = tilq::make_collection_graph(options.graph, options.scale);
+    std::printf("generated %s analogue at scale %g\n", options.graph.c_str(),
+                options.scale);
+  }
+  const auto stats = tilq::compute_stats(a);
+  std::printf("matrix: %lld x %lld, nnz=%lld, max row=%lld\n",
+              static_cast<long long>(stats.rows),
+              static_cast<long long>(stats.cols),
+              static_cast<long long>(stats.nnz),
+              static_cast<long long>(stats.max_row_nnz));
+  std::printf("environment: %s\n\n", tilq::environment_summary().c_str());
+
+  using SR = tilq::PlusTimes<double>;
+
+  // Mode resolution.
+  if (options.predict) {
+    options.config = tilq::predict_config(a, a, a, options.config.threads);
+    std::printf("predicted config: %s\n", options.config.describe().c_str());
+  }
+  if (options.tune) {
+    tilq::TunerOptions tuner_options;
+    tuner_options.threads = options.config.threads;
+    const tilq::TunerReport report = tilq::tune<SR>(a, a, a, tuner_options);
+    options.config = report.best;
+    std::printf("tuned config (%zu trials): %s\n",
+                report.stage_tiling.size() + report.stage_coiteration.size() +
+                    report.stage_accumulator.size(),
+                options.config.describe().c_str());
+  }
+
+  // Execution + timing.
+  tilq::TimingOptions timing;
+  timing.max_iterations = options.repeats;
+  timing.min_iterations = std::min(options.repeats, 2);
+  timing.budget_seconds = 60.0;
+
+  tilq::ExecutionStats exec;
+  tilq::TimingResult result;
+  if (options.col_tiles > 1) {
+    tilq::Config2d config2d{options.config, options.col_tiles};
+    result = tilq::measure(
+        [&] { (void)tilq::masked_spgemm_2d<SR>(a, a, a, config2d, &exec); },
+        timing);
+    std::printf("config: %s col_tiles=%lld\n", options.config.describe().c_str(),
+                static_cast<long long>(options.col_tiles));
+  } else {
+    result = tilq::measure(
+        [&] { (void)tilq::masked_spgemm<SR>(a, a, a, options.config, &exec); },
+        timing);
+    std::printf("config: %s\n", options.config.describe().c_str());
+  }
+
+  std::printf("\ntime: median %.2f ms (min %.2f, mean %.2f, max %.2f over %lld runs)\n",
+              result.median_ms, result.min_ms, result.mean_ms, result.max_ms,
+              static_cast<long long>(result.iterations));
+  std::printf("phases: analyze %.2f ms, compute %.2f ms, compact %.2f ms\n",
+              exec.analyze_ms, exec.compute_ms, exec.compact_ms);
+  std::printf("output: nnz=%lld, tiles=%lld, accumulator full resets=%llu\n",
+              static_cast<long long>(exec.output_nnz),
+              static_cast<long long>(exec.tiles),
+              static_cast<unsigned long long>(exec.accumulator_full_resets));
+  return 0;
+}

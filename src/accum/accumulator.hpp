@@ -1,0 +1,92 @@
+// Sparse-accumulator interface shared by the dense and hash implementations
+// (§III-C). An accumulator stores the partial sums for one output row and
+// encodes the mask row so the linear-scan kernels can test membership in
+// O(1).
+//
+// Row protocol (masked kernels, Figs 5/7/9):
+//   1. set_mask(M.row_cols(i))        — load the mask into the accumulator
+//   2. accumulate(col, product) ...   — add products that hit the mask
+//   3. gather(M.row_cols(i), emit)    — emit touched entries in mask order
+//   4. finish_row(M.row_cols(i))      — reset state for the next row
+//
+// Row protocol (vanilla kernel, Fig 3 — no mask pre-load):
+//   1. begin_unmasked_row(flop_upper_bound)
+//   2. accumulate_any(col, product) ...
+//   3. gather_unmasked(emit)          — sorted by column
+//   4. finish_row({})
+//
+// State reset (§III-C):
+//   - ResetPolicy::kMarker    — SuiteSparse:GraphBLAS style: a per-slot
+//     epoch marker is bumped per row; slots become implicitly invalid.
+//     Marker width is tunable (Fig 13); overflow triggers a full reset.
+//   - ResetPolicy::kExplicit  — GrB style: all mask slots are cleared
+//     explicitly after each row.
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <span>
+
+namespace tilq {
+
+/// How accumulator state is invalidated between output rows.
+enum class ResetPolicy {
+  kMarker,    ///< epoch marker, implicit invalidation, overflow => full reset
+  kExplicit,  ///< clear every mask slot after each row
+};
+
+[[nodiscard]] constexpr const char* to_string(ResetPolicy policy) noexcept {
+  return policy == ResetPolicy::kMarker ? "marker" : "explicit";
+}
+
+/// Which accumulator implementation to use (runtime selector).
+enum class AccumulatorKind {
+  kDense,   ///< value/state vectors of length n (matrix columns)
+  kHash,    ///< open-addressing table sized by max mask row nnz
+  kBitmap,  ///< 1-bit flags + dense values; explicit reset (tilq extension)
+};
+
+[[nodiscard]] constexpr const char* to_string(AccumulatorKind kind) noexcept {
+  switch (kind) {
+    case AccumulatorKind::kDense:
+      return "dense";
+    case AccumulatorKind::kHash:
+      return "hash";
+    case AccumulatorKind::kBitmap:
+      return "bitmap";
+  }
+  return "?";
+}
+
+/// Marker bit-width for the lazy-reset state arrays (Fig 13 sweep).
+enum class MarkerWidth : int {
+  k8 = 8,
+  k16 = 16,
+  k32 = 32,
+  k64 = 64,
+};
+
+[[nodiscard]] constexpr int bits(MarkerWidth width) noexcept {
+  return static_cast<int>(width);
+}
+
+/// Statistics an accumulator optionally reports — used by tests asserting
+/// the overflow/reset trade-off and by the microbenchmarks.
+struct AccumulatorCounters {
+  std::uint64_t full_resets = 0;   ///< marker overflows => whole-array resets
+  std::uint64_t probes = 0;        ///< hash probe steps (collision metric)
+};
+
+/// Compile-time interface check used by the kernels.
+template <class Acc, class I>
+concept MaskedAccumulator = requires(Acc acc, I col,
+                                     typename Acc::value_type value,
+                                     std::span<const I> mask_cols) {
+  typename Acc::value_type;
+  acc.set_mask(mask_cols);
+  { acc.accumulate(col, value) } -> std::same_as<bool>;
+  { acc.is_masked(col) } -> std::same_as<bool>;
+  acc.finish_row(mask_cols);
+};
+
+}  // namespace tilq

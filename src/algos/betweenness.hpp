@@ -1,0 +1,30 @@
+// Betweenness centrality (Brandes' algorithm) — the fourth workload the
+// paper's introduction lists as masked-kernel-based. Per source: a BFS
+// sweep counting shortest paths (the σ recurrence is a masked SpMV with the
+// plus-times semiring over the frontier), then a backward dependency
+// accumulation over the BFS DAG. Exact when run from every source,
+// approximate (scaled) when run from a sample.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace tilq {
+
+struct BetweennessOptions {
+  /// Number of BFS sources; 0 means all vertices (exact BC). Sampled
+  /// deterministically from `seed`, scores scaled by n/sources.
+  std::int64_t sources = 0;
+  std::uint64_t seed = 1;
+};
+
+/// Betweenness centrality of every vertex of the undirected graph `adj`
+/// (symmetric adjacency, no self-loops). Endpoint-exclusive, each
+/// undirected path counted once (the standard normalization halves the
+/// directed double count).
+std::vector<double> betweenness_centrality(const Csr<double, std::int64_t>& adj,
+                                           const BetweennessOptions& options = {});
+
+}  // namespace tilq

@@ -1,0 +1,39 @@
+// Direction-optimizing breadth-first search (Beamer et al., cited by the
+// paper as one of the masked kernel's motivating workloads). Push steps
+// expand the frontier along rows; pull steps scan unvisited vertices and
+// co-iterate their adjacency with the visited set — the vertex-level
+// analogue of the paper's mask co-iteration (§III-B explicitly frames the
+// hybrid kernel as "a form of push-pull optimization").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace tilq {
+
+struct BfsOptions {
+  /// Switch push -> pull when frontier edges exceed unexplored edges / alpha
+  /// (Beamer's alpha heuristic).
+  double alpha = 14.0;
+  /// Switch pull -> push when the frontier shrinks below nodes / beta.
+  double beta = 24.0;
+  /// Force a single strategy (for tests / ablation): 0 auto, 1 push-only,
+  /// 2 pull-only.
+  int force_mode = 0;
+};
+
+struct BfsResult {
+  /// Level of each vertex (0 for the source); -1 if unreachable.
+  std::vector<std::int64_t> level;
+  std::int64_t reached = 0;  ///< number of reachable vertices (incl. source)
+  int push_steps = 0;
+  int pull_steps = 0;
+};
+
+/// BFS from `source` over the graph with (symmetric) adjacency `adj`.
+BfsResult bfs(const Csr<double, std::int64_t>& adj, std::int64_t source,
+              const BfsOptions& options = {});
+
+}  // namespace tilq

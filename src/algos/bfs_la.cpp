@@ -1,0 +1,94 @@
+#include "algos/bfs_la.hpp"
+
+#include "core/semiring.hpp"
+#include "core/spmv.hpp"
+#include "sparse/vector.hpp"
+#include "support/common.hpp"
+
+namespace tilq {
+namespace {
+
+using Vec = SparseVector<double, std::int64_t>;
+
+/// Sorted union of two sorted index sets, values all 1 (structural).
+Vec pattern_union(const Vec& a, const Vec& b) {
+  std::vector<std::int64_t> indices;
+  indices.reserve(static_cast<std::size_t>(a.nnz() + b.nnz()));
+  const auto ai = a.indices();
+  const auto bi = b.indices();
+  std::size_t pa = 0;
+  std::size_t pb = 0;
+  while (pa < ai.size() || pb < bi.size()) {
+    if (pb == bi.size() || (pa < ai.size() && ai[pa] < bi[pb])) {
+      indices.push_back(ai[pa++]);
+    } else if (pa == ai.size() || bi[pb] < ai[pa]) {
+      indices.push_back(bi[pb++]);
+    } else {
+      indices.push_back(ai[pa]);
+      ++pa;
+      ++pb;
+    }
+  }
+  std::vector<double> values(indices.size(), 1.0);
+  return {a.dim(), std::move(indices), std::move(values)};
+}
+
+/// The unvisited set as an explicit sparse mask (for the pull step).
+Vec unvisited_mask(const Vec& visited) {
+  std::vector<std::int64_t> indices = pattern_complement(visited);
+  std::vector<double> values(indices.size(), 1.0);
+  return {visited.dim(), std::move(indices), std::move(values)};
+}
+
+}  // namespace
+
+BfsLaResult bfs_linear_algebra(const Csr<double, std::int64_t>& adj,
+                               std::int64_t source,
+                               const BfsLaOptions& options) {
+  require(adj.rows() == adj.cols(), "bfs_linear_algebra: adjacency not square");
+  require(source >= 0 && source < adj.rows(),
+          "bfs_linear_algebra: source out of range");
+
+  const std::int64_t n = adj.rows();
+  BfsLaResult result;
+  result.level.assign(static_cast<std::size_t>(n), -1);
+  result.level[static_cast<std::size_t>(source)] = 0;
+  result.reached = 1;
+
+  Vec frontier = Vec::unit(n, source);
+  Vec visited = frontier;
+  std::int64_t depth = 0;
+
+  using SR = PlusTimes<double>;  // values are structural; any semiring works
+  while (!frontier.empty()) {
+    ++depth;
+    const bool pull =
+        options.force_mode == 2 ||
+        (options.force_mode == 0 &&
+         static_cast<double>(frontier.nnz()) >
+             options.pull_threshold * static_cast<double>(n));
+
+    Vec next;
+    if (pull) {
+      ++result.pull_steps;
+      // next = unvisited ⊙ (A · frontier): a masked SpMV where the mask is
+      // the complement of the visited set, materialized sparsely.
+      next = masked_spmv<SR>(unvisited_mask(visited), adj, frontier);
+    } else {
+      ++result.push_steps;
+      // next = ¬visited ⊙ (Aᵀ · frontier); adjacency is symmetric so A
+      // doubles as its own transpose.
+      next = complement_masked_spmspv<SR>(visited, adj, frontier);
+    }
+
+    for (const std::int64_t v : next.indices()) {
+      result.level[static_cast<std::size_t>(v)] = depth;
+    }
+    result.reached += next.nnz();
+    visited = pattern_union(visited, next);
+    frontier = std::move(next);
+  }
+  return result;
+}
+
+}  // namespace tilq

@@ -1,0 +1,40 @@
+// BFS in the language of linear algebra — the GraphBLAS formulation the
+// paper's introduction cites, built on the masked SpMV kernels:
+//
+//   frontier_0 = e_source
+//   frontier_{d+1} = ¬visited ⊙ (Aᵀ · frontier_d)      (push / SpMSpV)
+//                or   unvisited-mask ⊙ (A · frontier_d) (pull / SpMV)
+//
+// over the boolean or-and semiring. Produces the same levels as the direct
+// implementation in algos/bfs.hpp; having both lets the tests
+// cross-validate them and lets the examples show the masked-kernel
+// formulation the paper motivates.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace tilq {
+
+struct BfsLaResult {
+  std::vector<std::int64_t> level;  ///< -1 where unreachable
+  std::int64_t reached = 0;
+  int push_steps = 0;
+  int pull_steps = 0;
+};
+
+struct BfsLaOptions {
+  /// Pull when the frontier holds more than this fraction of all vertices.
+  double pull_threshold = 0.05;
+  /// Force a single mode: 0 auto, 1 push (SpMSpV) only, 2 pull (SpMV) only.
+  int force_mode = 0;
+};
+
+/// Linear-algebraic BFS from `source` over the symmetric adjacency `adj`.
+BfsLaResult bfs_linear_algebra(const Csr<double, std::int64_t>& adj,
+                               std::int64_t source,
+                               const BfsLaOptions& options = {});
+
+}  // namespace tilq

@@ -1,0 +1,96 @@
+#include "algos/components.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/common.hpp"
+
+namespace tilq {
+namespace {
+
+/// Union-find with path halving and union by size.
+class UnionFind {
+ public:
+  explicit UnionFind(std::int64_t n) : parent_(static_cast<std::size_t>(n)),
+                                       size_(static_cast<std::size_t>(n), 1) {
+    std::iota(parent_.begin(), parent_.end(), std::int64_t{0});
+  }
+
+  std::int64_t find(std::int64_t x) noexcept {
+    while (parent_[static_cast<std::size_t>(x)] != x) {
+      auto& p = parent_[static_cast<std::size_t>(x)];
+      p = parent_[static_cast<std::size_t>(p)];  // path halving
+      x = p;
+    }
+    return x;
+  }
+
+  void unite(std::int64_t a, std::int64_t b) noexcept {
+    a = find(a);
+    b = find(b);
+    if (a == b) {
+      return;
+    }
+    if (size_[static_cast<std::size_t>(a)] < size_[static_cast<std::size_t>(b)]) {
+      std::swap(a, b);
+    }
+    parent_[static_cast<std::size_t>(b)] = a;
+    size_[static_cast<std::size_t>(a)] += size_[static_cast<std::size_t>(b)];
+  }
+
+ private:
+  std::vector<std::int64_t> parent_;
+  std::vector<std::int64_t> size_;
+};
+
+}  // namespace
+
+ComponentsResult connected_components(const Csr<double, std::int64_t>& adj) {
+  require(adj.rows() == adj.cols(), "connected_components: matrix must be square");
+  const std::int64_t n = adj.rows();
+  UnionFind uf(n);
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (const std::int64_t j : adj.row_cols(i)) {
+      uf.unite(i, j);
+    }
+  }
+
+  ComponentsResult result;
+  result.component.assign(static_cast<std::size_t>(n), -1);
+  std::vector<std::int64_t> root_to_id(static_cast<std::size_t>(n), -1);
+  for (std::int64_t v = 0; v < n; ++v) {
+    const std::int64_t root = uf.find(v);
+    auto& id = root_to_id[static_cast<std::size_t>(root)];
+    if (id < 0) {
+      id = result.count++;
+      result.size.push_back(0);
+    }
+    result.component[static_cast<std::size_t>(v)] = id;
+    ++result.size[static_cast<std::size_t>(id)];
+  }
+
+  for (std::int64_t id = 0; id < result.count; ++id) {
+    if (result.size[static_cast<std::size_t>(id)] > result.largest_size) {
+      result.largest_size = result.size[static_cast<std::size_t>(id)];
+      result.largest_id = id;
+    }
+  }
+  return result;
+}
+
+std::int64_t largest_component_member(const Csr<double, std::int64_t>& adj) {
+  const ComponentsResult components = connected_components(adj);
+  std::int64_t best = -1;
+  std::int64_t best_degree = -1;
+  for (std::int64_t v = 0; v < adj.rows(); ++v) {
+    if (components.component[static_cast<std::size_t>(v)] ==
+            components.largest_id &&
+        adj.row_nnz(v) > best_degree) {
+      best_degree = adj.row_nnz(v);
+      best = v;
+    }
+  }
+  return best;
+}
+
+}  // namespace tilq

@@ -1,0 +1,32 @@
+// Connected components via union-find — substrate for the workloads: the
+// synthetic road analogues sit near the percolation threshold and fragment,
+// so BFS demos and diameter-style measurements need a vertex in the giant
+// component.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace tilq {
+
+struct ComponentsResult {
+  /// Component id per vertex, in [0, count); ids are dense but arbitrary.
+  std::vector<std::int64_t> component;
+  /// Vertex count per component id.
+  std::vector<std::int64_t> size;
+  std::int64_t count = 0;          ///< number of components
+  std::int64_t largest_id = 0;     ///< id of the largest component
+  std::int64_t largest_size = 0;   ///< its vertex count
+};
+
+/// Computes the connected components of the undirected graph `adj`
+/// (symmetric adjacency; edges are treated as undirected regardless).
+ComponentsResult connected_components(const Csr<double, std::int64_t>& adj);
+
+/// A vertex of maximal degree inside the largest component — a good BFS
+/// source on fragmented graphs.
+std::int64_t largest_component_member(const Csr<double, std::int64_t>& adj);
+
+}  // namespace tilq

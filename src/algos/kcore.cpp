@@ -1,0 +1,84 @@
+#include "algos/kcore.hpp"
+
+#include <algorithm>
+
+#include "support/common.hpp"
+
+namespace tilq {
+
+KcoreResult kcore_decomposition(const Csr<double, std::int64_t>& adj) {
+  require(adj.rows() == adj.cols(), "kcore: adjacency must be square");
+  const std::int64_t n = adj.rows();
+  KcoreResult result;
+  result.core.assign(static_cast<std::size_t>(n), 0);
+  if (n == 0) {
+    return result;
+  }
+
+  // Bucket sort vertices by degree (Matula-Beck peeling).
+  std::vector<std::int64_t> degree(static_cast<std::size_t>(n));
+  std::int64_t max_degree = 0;
+  for (std::int64_t v = 0; v < n; ++v) {
+    degree[static_cast<std::size_t>(v)] = adj.row_nnz(v);
+    max_degree = std::max(max_degree, degree[static_cast<std::size_t>(v)]);
+  }
+
+  std::vector<std::int64_t> bucket_start(static_cast<std::size_t>(max_degree) + 2, 0);
+  for (std::int64_t v = 0; v < n; ++v) {
+    ++bucket_start[static_cast<std::size_t>(degree[static_cast<std::size_t>(v)]) + 1];
+  }
+  for (std::size_t d = 1; d < bucket_start.size(); ++d) {
+    bucket_start[d] += bucket_start[d - 1];
+  }
+
+  // position[v] = index of v in `ordered`; `ordered` sorted by current degree.
+  std::vector<std::int64_t> ordered(static_cast<std::size_t>(n));
+  std::vector<std::int64_t> position(static_cast<std::size_t>(n));
+  {
+    std::vector<std::int64_t> cursor(bucket_start.begin(), bucket_start.end() - 1);
+    for (std::int64_t v = 0; v < n; ++v) {
+      const auto d = static_cast<std::size_t>(degree[static_cast<std::size_t>(v)]);
+      position[static_cast<std::size_t>(v)] = cursor[d];
+      ordered[static_cast<std::size_t>(cursor[d]++)] = v;
+    }
+  }
+
+  for (std::int64_t p = 0; p < n; ++p) {
+    const std::int64_t v = ordered[static_cast<std::size_t>(p)];
+    const std::int64_t dv = degree[static_cast<std::size_t>(v)];
+    result.core[static_cast<std::size_t>(v)] = dv;
+    result.degeneracy = std::max(result.degeneracy, dv);
+
+    // Peel v: every unprocessed neighbour with higher current degree moves
+    // one bucket down, by swapping it with the first element of its bucket.
+    for (const std::int64_t u : adj.row_cols(v)) {
+      auto& du = degree[static_cast<std::size_t>(u)];
+      if (du > dv) {
+        const auto bucket_first = bucket_start[static_cast<std::size_t>(du)];
+        const std::int64_t w = ordered[static_cast<std::size_t>(bucket_first)];
+        if (w != u) {
+          std::swap(ordered[static_cast<std::size_t>(bucket_first)],
+                    ordered[static_cast<std::size_t>(
+                        position[static_cast<std::size_t>(u)])]);
+          std::swap(position[static_cast<std::size_t>(u)],
+                    position[static_cast<std::size_t>(w)]);
+        }
+        ++bucket_start[static_cast<std::size_t>(du)];
+        --du;
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<std::int64_t> kcore_members(const KcoreResult& result, std::int64_t k) {
+  std::vector<std::int64_t> members;
+  for (std::int64_t v = 0; v < static_cast<std::int64_t>(result.core.size()); ++v) {
+    if (result.core[static_cast<std::size_t>(v)] >= k) {
+      members.push_back(v);
+    }
+  }
+  return members;
+}
+
+}  // namespace tilq

@@ -1,0 +1,27 @@
+// k-core decomposition by bucketed peeling (Matula–Beck). The vertex-level
+// sibling of k-truss: the k-core is the maximal subgraph where every vertex
+// has degree >= k. Computes every vertex's core number in O(n + m).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace tilq {
+
+struct KcoreResult {
+  /// Core number per vertex.
+  std::vector<std::int64_t> core;
+  /// Largest core number in the graph (its degeneracy).
+  std::int64_t degeneracy = 0;
+};
+
+/// Core decomposition of the undirected graph `adj` (symmetric adjacency,
+/// no self-loops).
+KcoreResult kcore_decomposition(const Csr<double, std::int64_t>& adj);
+
+/// Vertices of the k-core (core number >= k).
+std::vector<std::int64_t> kcore_members(const KcoreResult& result, std::int64_t k);
+
+}  // namespace tilq

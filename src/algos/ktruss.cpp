@@ -1,0 +1,92 @@
+#include "algos/ktruss.hpp"
+
+#include <utility>
+#include <vector>
+
+#include "algos/triangle_count.hpp"
+#include "core/masked_spgemm.hpp"
+#include "sparse/ops.hpp"
+#include "support/common.hpp"
+
+namespace tilq {
+namespace {
+
+/// Keeps the entries of `adj` whose matching entry in `support` is at least
+/// `threshold`. support has a subset pattern of adj (masked product), so a
+/// two-pointer merge per row suffices.
+Csr<double, std::int64_t> filter_by_support(
+    const Csr<double, std::int64_t>& adj,
+    const Csr<std::int64_t, std::int64_t>& support, std::int64_t threshold) {
+  const std::int64_t rows = adj.rows();
+  std::vector<std::int64_t> row_ptr(static_cast<std::size_t>(rows) + 1, 0);
+  std::vector<std::int64_t> col_idx;
+  std::vector<double> values;
+  col_idx.reserve(static_cast<std::size_t>(adj.nnz()));
+  values.reserve(static_cast<std::size_t>(adj.nnz()));
+
+  for (std::int64_t i = 0; i < rows; ++i) {
+    const auto a_cols = adj.row_cols(i);
+    const auto a_vals = adj.row_vals(i);
+    const auto s_cols = support.row_cols(i);
+    const auto s_vals = support.row_vals(i);
+    std::size_t ps = 0;
+    for (std::size_t pa = 0; pa < a_cols.size(); ++pa) {
+      while (ps < s_cols.size() && s_cols[ps] < a_cols[pa]) {
+        ++ps;
+      }
+      // An edge absent from the (masked-product) support matrix is in zero
+      // triangles — it still survives when the threshold is zero (k = 2).
+      const std::int64_t edge_support_value =
+          (ps < s_cols.size() && s_cols[ps] == a_cols[pa]) ? s_vals[ps] : 0;
+      if (edge_support_value >= threshold) {
+        col_idx.push_back(a_cols[pa]);
+        values.push_back(a_vals[pa]);
+      }
+    }
+    row_ptr[static_cast<std::size_t>(i) + 1] =
+        static_cast<std::int64_t>(col_idx.size());
+  }
+  return {rows, adj.cols(), std::move(row_ptr), std::move(col_idx),
+          std::move(values)};
+}
+
+}  // namespace
+
+KtrussResult ktruss(const Csr<double, std::int64_t>& adj, int k,
+                    const Config& config) {
+  require(adj.rows() == adj.cols(), "ktruss: adjacency must be square");
+  require(k >= 2, "ktruss: k must be >= 2");
+
+  KtrussResult result;
+  result.truss = adj;
+  const std::int64_t threshold = k - 2;
+
+  while (true) {
+    ++result.iterations;
+    const auto support = edge_support(result.truss, config);
+    Csr<double, std::int64_t> next =
+        filter_by_support(result.truss, support, threshold);
+    const bool converged = next.nnz() == result.truss.nnz();
+    result.truss = std::move(next);
+    if (converged || result.truss.nnz() == 0) {
+      break;
+    }
+  }
+  result.edges = result.truss.nnz() / 2;
+  return result;
+}
+
+int max_truss(const Csr<double, std::int64_t>& adj, const Config& config) {
+  int k = 2;
+  Csr<double, std::int64_t> current = adj;
+  while (true) {
+    const KtrussResult next = ktruss(current, k + 1, config);
+    if (next.edges == 0) {
+      return k;
+    }
+    current = next.truss;  // (k+1)-truss is a subgraph of the k-truss
+    ++k;
+  }
+}
+
+}  // namespace tilq

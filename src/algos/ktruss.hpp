@@ -1,0 +1,39 @@
+// k-truss decomposition in the language of masked-SpGEMM — one of the graph
+// workloads the paper lists as depending on the kernel (§I). The k-truss of
+// a graph is the maximal subgraph in which every edge participates in at
+// least k-2 triangles. The linear-algebraic algorithm iterates:
+//
+//   S = A ⊙ (A·A)                      (per-edge triangle support)
+//   A = A restricted to entries with S >= k-2
+//
+// until no edge is removed. Each iteration is one masked-SpGEMM with the
+// PLUS_PAIR semiring, so k-truss stresses the kernel across shrinking,
+// increasingly irregular matrices.
+#pragma once
+
+#include <cstdint>
+
+#include "core/config.hpp"
+#include "sparse/csr.hpp"
+
+namespace tilq {
+
+struct KtrussResult {
+  /// Adjacency matrix of the k-truss subgraph (symmetric).
+  Csr<double, std::int64_t> truss;
+  /// Undirected edge count of the truss (nnz / 2).
+  std::int64_t edges = 0;
+  /// Number of masked-SpGEMM rounds until fixpoint.
+  int iterations = 0;
+};
+
+/// Computes the k-truss of the undirected graph `adj` (symmetric adjacency,
+/// no self-loops). k must be >= 2; the 2-truss is the graph itself minus
+/// nothing (every edge trivially has >= 0 triangles).
+KtrussResult ktruss(const Csr<double, std::int64_t>& adj, int k,
+                    const Config& config = {});
+
+/// Largest k such that the k-truss is non-empty (the graph's trussness).
+int max_truss(const Csr<double, std::int64_t>& adj, const Config& config = {});
+
+}  // namespace tilq

@@ -1,0 +1,73 @@
+#include "algos/pagerank.hpp"
+
+#include <cmath>
+
+#include "sparse/ops.hpp"
+#include "support/common.hpp"
+
+namespace tilq {
+
+PageRankResult pagerank(const Csr<double, std::int64_t>& adj,
+                        const PageRankOptions& options) {
+  require(adj.rows() == adj.cols(), "pagerank: adjacency must be square");
+  require(options.damping > 0.0 && options.damping < 1.0,
+          "pagerank: damping must be in (0, 1)");
+  const std::int64_t n = adj.rows();
+  PageRankResult result;
+  if (n == 0) {
+    return result;
+  }
+
+  // Column-stochastic iteration needs in-links per row: work on Aᵀ with
+  // rows scaled by 1/outdegree at read time.
+  const auto at = transpose(adj);
+  std::vector<double> inv_outdegree(static_cast<std::size_t>(n), 0.0);
+  for (std::int64_t v = 0; v < n; ++v) {
+    const auto d = adj.row_nnz(v);
+    inv_outdegree[static_cast<std::size_t>(v)] =
+        d > 0 ? 1.0 / static_cast<double>(d) : 0.0;
+  }
+
+  const double uniform = 1.0 / static_cast<double>(n);
+  std::vector<double> rank(static_cast<std::size_t>(n), uniform);
+  std::vector<double> next(static_cast<std::size_t>(n), 0.0);
+
+  for (result.iterations = 0; result.iterations < options.max_iterations;
+       ++result.iterations) {
+    // Mass parked on dangling vertices is spread uniformly.
+    double dangling = 0.0;
+    for (std::int64_t v = 0; v < n; ++v) {
+      if (adj.row_nnz(v) == 0) {
+        dangling += rank[static_cast<std::size_t>(v)];
+      }
+    }
+    const double base =
+        (1.0 - options.damping) * uniform + options.damping * dangling * uniform;
+
+#pragma omp parallel for schedule(static)
+    for (std::int64_t v = 0; v < n; ++v) {
+      double sum = 0.0;
+      const auto cols = at.row_cols(v);
+      for (const std::int64_t u : cols) {
+        sum += rank[static_cast<std::size_t>(u)] *
+               inv_outdegree[static_cast<std::size_t>(u)];
+      }
+      next[static_cast<std::size_t>(v)] = base + options.damping * sum;
+    }
+
+    result.residual = 0.0;
+    for (std::int64_t v = 0; v < n; ++v) {
+      result.residual += std::abs(next[static_cast<std::size_t>(v)] -
+                                  rank[static_cast<std::size_t>(v)]);
+    }
+    rank.swap(next);
+    if (result.residual < options.tolerance) {
+      ++result.iterations;
+      break;
+    }
+  }
+  result.rank = std::move(rank);
+  return result;
+}
+
+}  // namespace tilq

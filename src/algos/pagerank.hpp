@@ -1,0 +1,29 @@
+// PageRank by power iteration over the SpMV substrate — a classic
+// recommender/web workload on the same sparse kernels (spmv_dense).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace tilq {
+
+struct PageRankOptions {
+  double damping = 0.85;
+  double tolerance = 1e-9;  ///< L1 change per iteration to declare converged
+  int max_iterations = 100;
+};
+
+struct PageRankResult {
+  std::vector<double> rank;  ///< sums to 1
+  int iterations = 0;
+  double residual = 0.0;  ///< final L1 change
+};
+
+/// PageRank of the directed graph `adj` (row i lists i's out-links).
+/// Dangling vertices (empty rows) redistribute uniformly.
+PageRankResult pagerank(const Csr<double, std::int64_t>& adj,
+                        const PageRankOptions& options = {});
+
+}  // namespace tilq

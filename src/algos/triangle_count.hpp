@@ -1,0 +1,38 @@
+// Triangle counting via masked-SpGEMM — the paper's benchmark workload
+// (§IV-A: "C = A ⊙ (A x A), the main kernel used in triangle counting").
+// Three standard linear-algebraic formulations are provided; all use the
+// PLUS_PAIR semiring so only the adjacency pattern matters.
+//
+//   kBurkhardt — sum(A ⊙ (A·A)) / 6 : full adjacency both sides; counts
+//                each triangle six times. This is exactly the kernel shape
+//                every tilq benchmark runs.
+//   kCohen     — sum(L ⊙ (L·U)) / 2 : lower x upper, halves the redundancy.
+//   kSandia    — sum(L ⊙ (L·L))     : lower triangle only; each triangle
+//                counted exactly once, the cheapest variant.
+#pragma once
+
+#include <cstdint>
+
+#include "core/config.hpp"
+#include "sparse/csr.hpp"
+
+namespace tilq {
+
+enum class TriangleMethod { kBurkhardt, kCohen, kSandia };
+
+[[nodiscard]] const char* to_string(TriangleMethod method) noexcept;
+
+/// Counts triangles in the undirected graph with symmetric adjacency matrix
+/// `adj` (values ignored; self-loops must already be removed). `config`
+/// selects the masked-SpGEMM implementation.
+std::int64_t count_triangles(const Csr<double, std::int64_t>& adj,
+                             TriangleMethod method = TriangleMethod::kSandia,
+                             const Config& config = {});
+
+/// Per-edge triangle support: support[e] = number of triangles containing
+/// edge e, laid out in the same order as adj's entries. Computed as
+/// A ⊙ (A·A) with PLUS_PAIR. The building block for k-truss.
+Csr<std::int64_t, std::int64_t> edge_support(
+    const Csr<double, std::int64_t>& adj, const Config& config = {});
+
+}  // namespace tilq

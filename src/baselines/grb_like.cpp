@@ -1,0 +1,29 @@
+#include "baselines/baselines.hpp"
+
+#include "support/env.hpp"
+
+namespace tilq::baselines {
+
+Config make_grb_config(int threads, AccumulatorKind accumulator) {
+  const int p = threads > 0 ? threads : max_threads();
+
+  Config config;
+  // "Given p threads, the implementation creates p tiles ... based on the
+  // average number of operations" (§II-C): one FLOP-balanced tile per
+  // thread, statically assigned — no runtime load balancing.
+  config.tiling = Tiling::kFlopBalanced;
+  config.schedule = Schedule::kStatic;
+  config.num_tiles = static_cast<std::int64_t>(p);
+  // GrB has no co-iteration: every B row is scanned linearly against the
+  // mask loaded in the accumulator (Fig 5).
+  config.strategy = MaskStrategy::kMaskFirst;
+  config.accumulator = accumulator;
+  // "In GrB, all M[i,j] != 0 slots of the accumulator are reset explicitly
+  // after each row" (§III-C).
+  config.reset = ResetPolicy::kExplicit;
+  config.marker_width = MarkerWidth::k64;
+  config.threads = p;
+  return config;
+}
+
+}  // namespace tilq::baselines

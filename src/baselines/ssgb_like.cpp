@@ -1,0 +1,34 @@
+#include "baselines/baselines.hpp"
+
+#include "support/env.hpp"
+
+namespace tilq::baselines {
+
+Config make_ssgb_config(const MatrixStats<std::int64_t>& mask_stats,
+                        std::int64_t flops, int threads) {
+  const int p = threads > 0 ? threads : max_threads();
+
+  Config config;
+  config.tiling = Tiling::kFlopBalanced;
+  config.schedule = Schedule::kDynamic;
+  config.num_tiles = 2 * static_cast<std::int64_t>(p);
+  config.strategy = MaskStrategy::kHybrid;  // "push-pull"
+  config.coiteration_factor = 1.0;
+  config.marker_width = MarkerWidth::k64;
+  config.reset = ResetPolicy::kMarker;
+  config.threads = p;
+
+  // Accumulator heuristic in the SS:GB spirit: pick the dense vector when
+  // the product writes densely enough that one state entry per column pays
+  // off — i.e. the operation count is a significant multiple of the output
+  // dimension — and the hash table otherwise. (The real library's decision
+  // tree is more elaborate; this captures its documented intent of
+  // adapting to the input, which is what Fig 1's outliers stem from.)
+  const auto dim = static_cast<double>(mask_stats.cols);
+  const bool dense_writes = static_cast<double>(flops) > 16.0 * dim;
+  config.accumulator =
+      dense_writes ? AccumulatorKind::kDense : AccumulatorKind::kHash;
+  return config;
+}
+
+}  // namespace tilq::baselines

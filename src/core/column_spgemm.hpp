@@ -1,0 +1,31 @@
+// Column-wise saxpy masked-SpGEMM over CSC operands — the dual of the
+// row-wise CSR algorithm (§II-A). The identity
+//
+//   C = M ⊙ (A × B)   ⟺   Cᵀ = Mᵀ ⊙ (Bᵀ × Aᵀ)
+//
+// means the column-wise algorithm over CSC is exactly the row-wise
+// algorithm over each operand's dual CSR, with the roles of A and B
+// swapped. Every Config dimension (tiling — now over columns —,
+// iteration strategy, accumulator) carries over unchanged.
+#pragma once
+
+#include "core/config.hpp"
+#include "core/masked_spgemm.hpp"
+#include "sparse/csc.hpp"
+
+namespace tilq {
+
+/// C = M ⊙ (A × B) with all operands and the result in CSC. Tiles split the
+/// output's columns; the accumulator indexes output rows.
+template <Semiring SR, class T = typename SR::value_type, class I>
+Csc<T, I> masked_spgemm_csc(const Csc<T, I>& mask, const Csc<T, I>& a,
+                            const Csc<T, I>& b, const Config& config = {},
+                            ExecutionStats* stats = nullptr) {
+  // Dual problem: rows of the duals are columns of the logical matrices, so
+  // the row-wise driver computes Cᵀ = Mᵀ ⊙ (Bᵀ × Aᵀ) directly on the
+  // stored arrays — no transposes are materialized.
+  return Csc<T, I>(
+      masked_spgemm<SR>(mask.dual(), b.dual(), a.dual(), config, stats));
+}
+
+}  // namespace tilq

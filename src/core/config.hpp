@@ -1,0 +1,74 @@
+// Runtime configuration of the masked-SpGEMM — the cross product of the
+// paper's three performance dimensions plus thread count. A Config fully
+// determines the executed code path; the benchmark harness sweeps Config
+// fields to regenerate each figure.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "accum/accumulator.hpp"
+#include "core/kernels.hpp"
+#include "core/tiling.hpp"
+#include "support/env.hpp"
+
+namespace tilq {
+
+struct Config {
+  // Dimension 1: tiling & scheduling (§III-A, Figs 10/11).
+  Tiling tiling = Tiling::kFlopBalanced;
+  Schedule schedule = Schedule::kDynamic;
+  /// Number of row tiles; 0 selects the default of 2 x threads (the
+  /// SS:GB-observed policy).
+  std::int64_t num_tiles = 0;
+
+  // Dimension 2: iteration space (§III-B, Fig 14).
+  MaskStrategy strategy = MaskStrategy::kMaskFirst;
+  /// Co-iteration factor κ; only used by MaskStrategy::kHybrid.
+  double coiteration_factor = 1.0;
+
+  // Dimension 3: accumulator (§III-C, Fig 13).
+  AccumulatorKind accumulator = AccumulatorKind::kHash;
+  MarkerWidth marker_width = MarkerWidth::k32;
+  ResetPolicy reset = ResetPolicy::kMarker;
+
+  /// Threads for the parallel region; 0 uses the OpenMP default.
+  int threads = 0;
+
+  [[nodiscard]] std::string describe() const {
+    std::string out;
+    out += "strategy=";
+    out += to_string(strategy);
+    out += " acc=";
+    out += to_string(accumulator);
+    out += " marker=";
+    out += std::to_string(bits(marker_width));
+    out += " reset=";
+    out += to_string(reset);
+    out += " tiling=";
+    out += to_string(tiling);
+    out += " sched=";
+    out += to_string(schedule);
+    out += " tiles=";
+    out += std::to_string(num_tiles);
+    if (strategy == MaskStrategy::kHybrid) {
+      out += " kappa=";
+      out += std::to_string(coiteration_factor);
+    }
+    return out;
+  }
+};
+
+/// Per-call execution statistics, filled in when the caller passes a
+/// non-null pointer to masked_spgemm.
+struct ExecutionStats {
+  double analyze_ms = 0.0;  ///< work estimation + tiling
+  double compute_ms = 0.0;  ///< parallel row computation
+  double compact_ms = 0.0;  ///< output compaction
+  std::int64_t tiles = 0;
+  std::int64_t output_nnz = 0;
+  std::uint64_t accumulator_full_resets = 0;  ///< summed over threads
+  std::uint64_t hash_probes = 0;              ///< summed over threads
+};
+
+}  // namespace tilq

@@ -1,0 +1,210 @@
+// The tilq masked-SpGEMM: C = M ⊙ (A × B) over an arbitrary semiring, with
+// every performance dimension of the paper exposed through Config.
+//
+// Execution pipeline:
+//   1. analyze  — per-row work estimates (Eq 2) when FLOP-balanced tiling is
+//                 requested; tile construction.
+//   2. compute  — one OpenMP parallel region; tiles dispatched with
+//                 schedule(runtime) so STATIC/DYNAMIC is a runtime switch;
+//                 each thread owns one accumulator; every output row is
+//                 written into a slot of size nnz(M[i,:]) inside a buffer
+//                 allocated at the mask's row-pointer bound (masked output
+//                 rows can never exceed the mask row).
+//   3. compact  — parallel prefix sum over actual row sizes + parallel copy
+//                 into the final CSR arrays.
+#pragma once
+
+#include <omp.h>
+
+#include <utility>
+#include <vector>
+
+#include "accum/bitmap_accumulator.hpp"
+#include "accum/dense_accumulator.hpp"
+#include "accum/hash_accumulator.hpp"
+#include "core/config.hpp"
+#include "core/kernels.hpp"
+#include "core/tiling.hpp"
+#include "core/work_estimate.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/stats.hpp"
+#include "support/env.hpp"
+#include "support/parallel.hpp"
+#include "support/timer.hpp"
+
+namespace tilq {
+
+namespace detail {
+
+/// The strategy-independent parallel driver, templated on the concrete
+/// accumulator type. `make_acc()` constructs one accumulator per thread.
+template <Semiring SR, class T, class I, class MakeAcc>
+Csr<T, I> masked_spgemm_with(const Csr<T, I>& mask, const Csr<T, I>& a,
+                             const Csr<T, I>& b, const Config& config,
+                             MakeAcc&& make_acc, ExecutionStats* stats) {
+  require(a.cols() == b.rows(), "masked_spgemm: inner dimensions must agree");
+  require(mask.rows() == a.rows() && mask.cols() == b.cols(),
+          "masked_spgemm: mask shape must equal output shape");
+
+  WallTimer phase;
+  const I rows = a.rows();
+
+  // --- 1. analyze -------------------------------------------------------
+  const int threads = config.threads > 0 ? config.threads : max_threads();
+  const std::int64_t num_tiles =
+      config.num_tiles > 0 ? config.num_tiles : 2 * static_cast<std::int64_t>(threads);
+
+  std::vector<Tile> tiles;
+  if (config.tiling == Tiling::kFlopBalanced) {
+    const std::vector<std::int64_t> prefix = row_work_prefix(mask, a, b);
+    tiles = make_flop_balanced_tiles(prefix, num_tiles);
+  } else {
+    tiles = make_uniform_tiles(rows, num_tiles);
+  }
+  if (stats != nullptr) {
+    stats->analyze_ms = phase.milliseconds();
+    stats->tiles = static_cast<std::int64_t>(tiles.size());
+  }
+
+  // --- 2. compute -------------------------------------------------------
+  phase.reset();
+  // Row i writes into [mask.row_ptr[i], mask.row_ptr[i+1]) of the bound
+  // buffers; row_counts[i] records how many slots it actually used.
+  const auto mask_row_ptr = mask.row_ptr();
+  std::vector<I> bound_cols(static_cast<std::size_t>(mask.nnz()));
+  std::vector<T> bound_vals(static_cast<std::size_t>(mask.nnz()));
+  std::vector<I> row_counts(static_cast<std::size_t>(rows), I{0});
+
+  set_runtime_schedule(config.schedule);
+  const auto tile_count = static_cast<std::int64_t>(tiles.size());
+
+  std::uint64_t total_resets = 0;
+  std::uint64_t total_probes = 0;
+
+#pragma omp parallel num_threads(threads) reduction(+ : total_resets, total_probes)
+  {
+    auto acc = make_acc();
+
+#pragma omp for schedule(runtime) nowait
+    for (std::int64_t t = 0; t < tile_count; ++t) {
+      const Tile tile = tiles[static_cast<std::size_t>(t)];
+      for (I i = static_cast<I>(tile.row_begin); i < static_cast<I>(tile.row_end); ++i) {
+        I* out_cols = bound_cols.data() + mask_row_ptr[static_cast<std::size_t>(i)];
+        T* out_vals = bound_vals.data() + mask_row_ptr[static_cast<std::size_t>(i)];
+        I count = 0;
+        compute_row<SR>(config.strategy, config.coiteration_factor, mask, a, b,
+                        i, acc, [&](I col, T value) {
+                          out_cols[count] = col;
+                          out_vals[count] = value;
+                          ++count;
+                        });
+        row_counts[static_cast<std::size_t>(i)] = count;
+      }
+    }
+
+    total_resets += acc.counters().full_resets;
+    total_probes += acc.counters().probes;
+  }
+  if (stats != nullptr) {
+    stats->compute_ms = phase.milliseconds();
+    stats->accumulator_full_resets = total_resets;
+    stats->hash_probes = total_probes;
+  }
+
+  // --- 3. compact -------------------------------------------------------
+  phase.reset();
+  std::vector<I> out_row_ptr(static_cast<std::size_t>(rows) + 1);
+  const I out_nnz = exclusive_scan<I>(row_counts, out_row_ptr);
+  std::vector<I> out_cols(static_cast<std::size_t>(out_nnz));
+  std::vector<T> out_vals(static_cast<std::size_t>(out_nnz));
+  parallel_for(I{0}, rows, [&](I i) {
+    const auto src = static_cast<std::size_t>(mask_row_ptr[static_cast<std::size_t>(i)]);
+    const auto dst = static_cast<std::size_t>(out_row_ptr[static_cast<std::size_t>(i)]);
+    const auto len = static_cast<std::size_t>(row_counts[static_cast<std::size_t>(i)]);
+    for (std::size_t p = 0; p < len; ++p) {
+      out_cols[dst + p] = bound_cols[src + p];
+      out_vals[dst + p] = bound_vals[src + p];
+    }
+  });
+  Csr<T, I> result(rows, b.cols(), std::move(out_row_ptr), std::move(out_cols),
+                   std::move(out_vals));
+  if (stats != nullptr) {
+    stats->compact_ms = phase.milliseconds();
+    stats->output_nnz = static_cast<std::int64_t>(result.nnz());
+  }
+  return result;
+}
+
+/// Accumulator sizing (§III-C): the hash table is bounded by the maximal
+/// mask-row nnz, except the vanilla strategy which fills the accumulator
+/// before masking and therefore needs the per-row FLOP bound.
+template <class T, class I>
+I accumulator_row_bound(const Csr<T, I>& mask, const Csr<T, I>& a,
+                        const Csr<T, I>& b, MaskStrategy strategy) {
+  if (strategy != MaskStrategy::kVanilla) {
+    return max_row_nnz(mask);
+  }
+  I bound = 0;
+  for (I i = 0; i < a.rows(); ++i) {
+    bound = std::max(bound, row_flop_bound(a, b, i));
+  }
+  return std::max(bound, max_row_nnz(mask));
+}
+
+template <Semiring SR, class T, class I, class Marker>
+Csr<T, I> dispatch_accumulator(const Csr<T, I>& mask, const Csr<T, I>& a,
+                               const Csr<T, I>& b, const Config& config,
+                               ExecutionStats* stats) {
+  switch (config.accumulator) {
+    case AccumulatorKind::kDense:
+      return masked_spgemm_with<SR>(
+          mask, a, b, config,
+          [&] { return DenseAccumulator<SR, I, Marker>(b.cols(), config.reset); },
+          stats);
+    case AccumulatorKind::kBitmap:
+      // 1-bit flags: the marker width and reset policy are fixed by the
+      // representation (explicit reset only).
+      return masked_spgemm_with<SR>(
+          mask, a, b, config, [&] { return BitmapAccumulator<SR, I>(b.cols()); },
+          stats);
+    case AccumulatorKind::kHash:
+      break;
+  }
+  const I bound = accumulator_row_bound(mask, a, b, config.strategy);
+  return masked_spgemm_with<SR>(
+      mask, a, b, config,
+      [&] { return HashAccumulator<SR, I, Marker>(bound, config.reset); },
+      stats);
+}
+
+}  // namespace detail
+
+/// Masked sparse matrix-matrix product C = M ⊙ (A × B) over semiring SR.
+/// The mask is structural: its values are ignored, only its pattern filters
+/// the product (GraphBLAS boolean-mask semantics, §IV-A). Output rows are
+/// sorted; nnz(C[i,:]) <= nnz(M[i,:]).
+template <Semiring SR, class T = typename SR::value_type, class I>
+Csr<T, I> masked_spgemm(const Csr<T, I>& mask, const Csr<T, I>& a,
+                        const Csr<T, I>& b, const Config& config = {},
+                        ExecutionStats* stats = nullptr) {
+  static_assert(std::is_same_v<T, typename SR::value_type>,
+                "matrix value type must match the semiring");
+  switch (config.marker_width) {
+    case MarkerWidth::k8:
+      return detail::dispatch_accumulator<SR, T, I, std::uint8_t>(mask, a, b,
+                                                                  config, stats);
+    case MarkerWidth::k16:
+      return detail::dispatch_accumulator<SR, T, I, std::uint16_t>(mask, a, b,
+                                                                   config, stats);
+    case MarkerWidth::k32:
+      return detail::dispatch_accumulator<SR, T, I, std::uint32_t>(mask, a, b,
+                                                                   config, stats);
+    case MarkerWidth::k64:
+      return detail::dispatch_accumulator<SR, T, I, std::uint64_t>(mask, a, b,
+                                                                   config, stats);
+  }
+  require(false, "masked_spgemm: invalid marker width");
+  return Csr<T, I>{};
+}
+
+}  // namespace tilq

@@ -1,0 +1,290 @@
+// Two-dimensional tiling for the masked-SpGEMM — the extension the paper
+// names as future work ("we only focused on tiling the computation in the
+// row dimension ... possibly extend the experimentation to two dimensional
+// tiling", §V-A). The output C (and the mask M) is tiled in rows AND
+// columns: a task computes C[r0:r1, c0:c1] = M[r0:r1, c0:c1] ⊙ (A[r0:r1,:]
+// × B[:, c0:c1]). Column tiling narrows the B-column working set per task,
+// trading extra passes over A rows for cache locality — the 2D ablation
+// bench quantifies when that pays off.
+//
+// Mechanics: because output entries can only appear at mask positions, the
+// mask row's entries inside [c0, c1) define both the task's accumulator
+// contents and its private, disjoint slice of the output buffer. Column
+// tiles of one row therefore write into non-overlapping slot ranges and
+// need no synchronization, and concatenating the slices in column-tile
+// order keeps rows sorted.
+#pragma once
+
+#include <omp.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "accum/bitmap_accumulator.hpp"
+#include "accum/dense_accumulator.hpp"
+#include "accum/hash_accumulator.hpp"
+#include "core/config.hpp"
+#include "core/kernels.hpp"
+#include "core/masked_spgemm.hpp"
+#include "core/tiling.hpp"
+#include "core/work_estimate.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/stats.hpp"
+#include "support/parallel.hpp"
+
+namespace tilq {
+
+/// 2D configuration: the 1D Config plus a column tile count. The vanilla
+/// strategy is not supported in 2D (its unmasked merge phase has no
+/// column-restricted formulation that preserves its semantics).
+struct Config2d {
+  Config base;
+  std::int64_t num_col_tiles = 1;
+};
+
+namespace detail {
+
+/// Computes one (row, column-range) cell: the mask segment of row i inside
+/// [col_begin, col_end) is loaded, A[i,:] is traversed, and each B row is
+/// scanned only inside the column range. Returns the number of outputs
+/// emitted (written at out_cols/out_vals).
+template <Semiring SR, class T, class I, class Acc>
+I compute_cell(const Csr<T, I>& mask, const Csr<T, I>& a, const Csr<T, I>& b,
+               I i, I col_begin, I col_end, MaskStrategy strategy, double kappa,
+               Acc& acc, I* out_cols, T* out_vals) {
+  const auto full_mask = mask.row_cols(i);
+  const auto seg_first =
+      std::lower_bound(full_mask.begin(), full_mask.end(), col_begin);
+  const auto seg_last = std::lower_bound(seg_first, full_mask.end(), col_end);
+  const std::span<const I> mask_seg =
+      full_mask.subspan(static_cast<std::size_t>(seg_first - full_mask.begin()),
+                        static_cast<std::size_t>(seg_last - seg_first));
+  if (mask_seg.empty()) {
+    return 0;
+  }
+
+  acc.set_mask(mask_seg);
+  const auto mask_nnz = static_cast<std::int64_t>(mask_seg.size());
+  const auto a_cols = a.row_cols(i);
+  const auto a_vals = a.row_vals(i);
+  for (std::size_t p = 0; p < a_cols.size(); ++p) {
+    const I k = a_cols[p];
+    const T scale = a_vals[p];
+    const auto b_cols = b.row_cols(k);
+    const auto b_vals = b.row_vals(k);
+    // Restrict the B row to the column range.
+    const auto b_first = std::lower_bound(b_cols.begin(), b_cols.end(), col_begin);
+    const auto b_first_idx = static_cast<std::size_t>(b_first - b_cols.begin());
+    std::size_t b_count = 0;
+    for (auto it = b_first; it != b_cols.end() && *it < col_end; ++it) {
+      ++b_count;
+    }
+
+    const bool coiterate =
+        strategy == MaskStrategy::kCoIterate ||
+        (strategy == MaskStrategy::kHybrid &&
+         detail::prefer_coiteration(mask_nnz, static_cast<std::int64_t>(b_count),
+                                    kappa));
+    if (coiterate) {
+      for (const I j : mask_seg) {
+        const auto it = std::lower_bound(b_cols.begin() + static_cast<std::ptrdiff_t>(b_first_idx),
+                                         b_cols.end(), j);
+        if (it != b_cols.end() && *it == j && j < col_end) {
+          const auto q = static_cast<std::size_t>(it - b_cols.begin());
+          acc.accumulate(j, SR::mul(scale, b_vals[q]));
+        }
+      }
+    } else {
+      for (std::size_t q = b_first_idx; q < b_first_idx + b_count; ++q) {
+        acc.accumulate(b_cols[q], SR::mul(scale, b_vals[q]));
+      }
+    }
+  }
+
+  I count = 0;
+  acc.gather(mask_seg, [&](I col, T value) {
+    out_cols[count] = col;
+    out_vals[count] = value;
+    ++count;
+  });
+  acc.finish_row(mask_seg);
+  return count;
+}
+
+template <Semiring SR, class T, class I, class MakeAcc>
+Csr<T, I> masked_spgemm_2d_with(const Csr<T, I>& mask, const Csr<T, I>& a,
+                                const Csr<T, I>& b, const Config2d& config,
+                                MakeAcc&& make_acc, ExecutionStats* stats) {
+  require(a.cols() == b.rows(), "masked_spgemm_2d: inner dimensions must agree");
+  require(mask.rows() == a.rows() && mask.cols() == b.cols(),
+          "masked_spgemm_2d: mask shape must equal output shape");
+  require(config.base.strategy != MaskStrategy::kVanilla,
+          "masked_spgemm_2d: the vanilla strategy has no 2D formulation");
+
+  WallTimer phase;
+  const I rows = a.rows();
+  const int threads =
+      config.base.threads > 0 ? config.base.threads : max_threads();
+  const std::int64_t num_row_tiles =
+      config.base.num_tiles > 0 ? config.base.num_tiles
+                                : 2 * static_cast<std::int64_t>(threads);
+
+  std::vector<Tile> row_tiles;
+  if (config.base.tiling == Tiling::kFlopBalanced) {
+    row_tiles = make_flop_balanced_tiles(row_work_prefix(mask, a, b), num_row_tiles);
+  } else {
+    row_tiles = make_uniform_tiles(rows, num_row_tiles);
+  }
+  std::vector<Tile> col_tiles =
+      make_uniform_tiles(b.cols(), std::max<std::int64_t>(1, config.num_col_tiles));
+  if (col_tiles.empty()) {
+    col_tiles.push_back({0, 0});  // zero-column matrix: one empty tile
+  }
+  if (stats != nullptr) {
+    stats->analyze_ms = phase.milliseconds();
+    stats->tiles =
+        static_cast<std::int64_t>(row_tiles.size() * std::max<std::size_t>(1, col_tiles.size()));
+  }
+
+  // --- compute ----------------------------------------------------------
+  phase.reset();
+  const auto mask_row_ptr = mask.row_ptr();
+  std::vector<I> bound_cols(static_cast<std::size_t>(mask.nnz()));
+  std::vector<T> bound_vals(static_cast<std::size_t>(mask.nnz()));
+  // Per (row, column-tile) output counts, laid out row-major. Compaction
+  // stitches the column segments of each row back together.
+  const std::size_t col_tile_count = col_tiles.size();
+  std::vector<I> cell_counts(static_cast<std::size_t>(rows) * col_tile_count, I{0});
+
+  set_runtime_schedule(config.base.schedule);
+  const auto task_count =
+      static_cast<std::int64_t>(row_tiles.size() * col_tile_count);
+
+#pragma omp parallel num_threads(threads)
+  {
+    auto acc = make_acc();
+
+#pragma omp for schedule(runtime) nowait
+    for (std::int64_t task = 0; task < task_count; ++task) {
+      const Tile row_tile = row_tiles[static_cast<std::size_t>(task) / col_tile_count];
+      const std::size_t ct = static_cast<std::size_t>(task) % col_tile_count;
+      const Tile col_tile = col_tiles[ct];
+      for (I i = static_cast<I>(row_tile.row_begin);
+           i < static_cast<I>(row_tile.row_end); ++i) {
+        // The cell writes into the slice of row i's mask-bounded slot that
+        // corresponds to mask columns in [col_begin, col_end).
+        const auto row_mask = mask.row_cols(i);
+        const auto seg_first = std::lower_bound(row_mask.begin(), row_mask.end(),
+                                                static_cast<I>(col_tile.row_begin));
+        const auto seg_offset = static_cast<std::size_t>(seg_first - row_mask.begin());
+        const auto slot = static_cast<std::size_t>(
+                              mask_row_ptr[static_cast<std::size_t>(i)]) +
+                          seg_offset;
+        cell_counts[static_cast<std::size_t>(i) * col_tile_count + ct] =
+            compute_cell<SR>(mask, a, b, i, static_cast<I>(col_tile.row_begin),
+                             static_cast<I>(col_tile.row_end),
+                             config.base.strategy,
+                             config.base.coiteration_factor, acc,
+                             bound_cols.data() + slot, bound_vals.data() + slot);
+      }
+    }
+  }
+  if (stats != nullptr) {
+    stats->compute_ms = phase.milliseconds();
+  }
+
+  // --- compact ----------------------------------------------------------
+  phase.reset();
+  std::vector<I> row_counts(static_cast<std::size_t>(rows), I{0});
+  parallel_for(I{0}, rows, [&](I i) {
+    I total = 0;
+    for (std::size_t ct = 0; ct < col_tile_count; ++ct) {
+      total += cell_counts[static_cast<std::size_t>(i) * col_tile_count + ct];
+    }
+    row_counts[static_cast<std::size_t>(i)] = total;
+  });
+  std::vector<I> out_row_ptr(static_cast<std::size_t>(rows) + 1);
+  const I out_nnz = exclusive_scan<I>(row_counts, out_row_ptr);
+  std::vector<I> out_cols(static_cast<std::size_t>(out_nnz));
+  std::vector<T> out_vals(static_cast<std::size_t>(out_nnz));
+  parallel_for(I{0}, rows, [&](I i) {
+    auto dst = static_cast<std::size_t>(out_row_ptr[static_cast<std::size_t>(i)]);
+    const auto row_mask = mask.row_cols(i);
+    for (std::size_t ct = 0; ct < col_tile_count; ++ct) {
+      const Tile col_tile = col_tiles[ct];
+      const auto seg_first = std::lower_bound(row_mask.begin(), row_mask.end(),
+                                              static_cast<I>(col_tile.row_begin));
+      const auto slot = static_cast<std::size_t>(
+                            mask_row_ptr[static_cast<std::size_t>(i)]) +
+                        static_cast<std::size_t>(seg_first - row_mask.begin());
+      const auto len = static_cast<std::size_t>(
+          cell_counts[static_cast<std::size_t>(i) * col_tile_count + ct]);
+      for (std::size_t p = 0; p < len; ++p) {
+        out_cols[dst + p] = bound_cols[slot + p];
+        out_vals[dst + p] = bound_vals[slot + p];
+      }
+      dst += len;
+    }
+  });
+  Csr<T, I> result(rows, b.cols(), std::move(out_row_ptr), std::move(out_cols),
+                   std::move(out_vals));
+  if (stats != nullptr) {
+    stats->compact_ms = phase.milliseconds();
+    stats->output_nnz = static_cast<std::int64_t>(result.nnz());
+  }
+  return result;
+}
+
+template <Semiring SR, class T, class I, class Marker>
+Csr<T, I> dispatch_accumulator_2d(const Csr<T, I>& mask, const Csr<T, I>& a,
+                                  const Csr<T, I>& b, const Config2d& config,
+                                  ExecutionStats* stats) {
+  switch (config.base.accumulator) {
+    case AccumulatorKind::kDense:
+      return masked_spgemm_2d_with<SR>(
+          mask, a, b, config,
+          [&] {
+            return DenseAccumulator<SR, I, Marker>(b.cols(), config.base.reset);
+          },
+          stats);
+    case AccumulatorKind::kBitmap:
+      return masked_spgemm_2d_with<SR>(
+          mask, a, b, config, [&] { return BitmapAccumulator<SR, I>(b.cols()); },
+          stats);
+    case AccumulatorKind::kHash:
+      break;
+  }
+  const I bound = max_row_nnz(mask);
+  return masked_spgemm_2d_with<SR>(
+      mask, a, b, config,
+      [&] { return HashAccumulator<SR, I, Marker>(bound, config.base.reset); },
+      stats);
+}
+
+}  // namespace detail
+
+/// Masked SpGEMM with 2D (row x column) output tiling. num_col_tiles = 1
+/// degenerates to the 1D algorithm.
+template <Semiring SR, class T = typename SR::value_type, class I>
+Csr<T, I> masked_spgemm_2d(const Csr<T, I>& mask, const Csr<T, I>& a,
+                           const Csr<T, I>& b, const Config2d& config,
+                           ExecutionStats* stats = nullptr) {
+  switch (config.base.marker_width) {
+    case MarkerWidth::k8:
+      return detail::dispatch_accumulator_2d<SR, T, I, std::uint8_t>(
+          mask, a, b, config, stats);
+    case MarkerWidth::k16:
+      return detail::dispatch_accumulator_2d<SR, T, I, std::uint16_t>(
+          mask, a, b, config, stats);
+    case MarkerWidth::k32:
+      return detail::dispatch_accumulator_2d<SR, T, I, std::uint32_t>(
+          mask, a, b, config, stats);
+    case MarkerWidth::k64:
+      return detail::dispatch_accumulator_2d<SR, T, I, std::uint64_t>(
+          mask, a, b, config, stats);
+  }
+  require(false, "masked_spgemm_2d: invalid marker width");
+  return Csr<T, I>{};
+}
+
+}  // namespace tilq

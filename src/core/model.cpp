@@ -1,0 +1,59 @@
+#include "core/model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/env.hpp"
+
+namespace tilq {
+
+Config predict_config(const ProblemFeatures& features, int threads) {
+  const int p = threads > 0 ? threads : max_threads();
+  Config config;
+  config.threads = p;
+
+  // --- dimension 1: tiling & scheduling (§V-A) --------------------------
+  // Balanced tiling never loses; dynamic scheduling exploits residual
+  // imbalance. Tile count: enough tiles that dynamic scheduling can
+  // rebalance (more when row work is skewed), capped at an intermediate
+  // level — very high counts pay scheduling overhead (§V-A obs 3).
+  config.tiling = Tiling::kFlopBalanced;
+  config.schedule = Schedule::kDynamic;
+  const double skew_factor = std::clamp(features.row_work_cv, 1.0, 8.0);
+  const auto tiles_wanted = static_cast<std::int64_t>(
+      static_cast<double>(4 * p) * skew_factor);
+  config.num_tiles = std::clamp<std::int64_t>(
+      tiles_wanted, 2 * p, std::max<std::int64_t>(2 * p, features.rows / 8 + 1));
+  config.num_tiles = std::min<std::int64_t>(config.num_tiles, 2048);
+
+  // --- dimension 2: iteration space (§V-B) ------------------------------
+  // The hybrid per-(i,k) test with κ = 1 is the paper's recommendation; it
+  // only pays its branch cost when some B row is heavy enough that
+  // co-iteration could ever win. If even the heaviest B row scans faster
+  // than one mask binary-search pass, use the plain linear kernel.
+  const bool coiteration_can_win =
+      features.max_b_row > 1 &&
+      features.mean_mask_row * std::log2(static_cast<double>(features.max_b_row)) <
+          static_cast<double>(features.max_b_row);
+  config.strategy =
+      coiteration_can_win ? MaskStrategy::kHybrid : MaskStrategy::kMaskFirst;
+  config.coiteration_factor = 1.0;
+
+  // --- dimension 3: accumulator (§V-C) ----------------------------------
+  // Dense wins when its state+value arrays stay cache-resident or writes
+  // are dense; the hash table wins on large dimensions (space efficiency =>
+  // locality). 12 bytes/slot models double values + 32-bit markers against
+  // a mid-size (L2-ish) cache budget.
+  constexpr double kCacheBudgetBytes = 4.0 * 1024.0 * 1024.0;
+  const double dense_footprint = 12.0 * static_cast<double>(features.cols);
+  const bool dense_writes =
+      static_cast<double>(features.flops) > 16.0 * static_cast<double>(features.cols);
+  config.accumulator = (dense_footprint <= kCacheBudgetBytes || dense_writes)
+                           ? AccumulatorKind::kDense
+                           : AccumulatorKind::kHash;
+  config.marker_width = MarkerWidth::k32;  // the Fig 13 sweet spot
+  config.reset = ResetPolicy::kMarker;
+  return config;
+}
+
+}  // namespace tilq

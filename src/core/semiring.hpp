@@ -1,0 +1,76 @@
+// Semiring abstraction. GraphBLAS permits masked-SpGEMM over any semiring
+// (§II-A: "We use R here for simplicity, but GraphBLAS permits the use of
+// any semiring"); every tilq kernel is templated on one of these types so
+// graph algorithms can pick the algebra they need:
+//   - triangle counting:  PlusPair  (count path witnesses)
+//   - BFS frontiers:      BoolOrAnd
+//   - shortest paths:     MinPlus
+//   - numeric products:   PlusTimes
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <limits>
+
+namespace tilq {
+
+/// A semiring supplies the additive identity ("zero"), the additive
+/// operation `add`, and the multiplicative operation `mul`. Kernels never
+/// use `+`/`*` directly.
+template <class SR>
+concept Semiring = requires(typename SR::value_type a, typename SR::value_type b) {
+  typename SR::value_type;
+  { SR::zero() } -> std::same_as<typename SR::value_type>;
+  { SR::add(a, b) } -> std::same_as<typename SR::value_type>;
+  { SR::mul(a, b) } -> std::same_as<typename SR::value_type>;
+};
+
+/// Classic arithmetic (+, ×) semiring.
+template <class T>
+struct PlusTimes {
+  using value_type = T;
+  static constexpr T zero() noexcept { return T{0}; }
+  static constexpr T add(T a, T b) noexcept { return a + b; }
+  static constexpr T mul(T a, T b) noexcept { return a * b; }
+};
+
+/// (+, pair): mul ignores its inputs and yields 1, so the product counts
+/// structural witnesses. This is the GraphBLAS PLUS_PAIR semiring used for
+/// triangle counting (the values of A are irrelevant, only the pattern).
+template <class T>
+struct PlusPair {
+  using value_type = T;
+  static constexpr T zero() noexcept { return T{0}; }
+  static constexpr T add(T a, T b) noexcept { return a + b; }
+  static constexpr T mul(T, T) noexcept { return T{1}; }
+};
+
+/// (∨, ∧) over bool — reachability / BFS.
+struct BoolOrAnd {
+  using value_type = bool;
+  static constexpr bool zero() noexcept { return false; }
+  static constexpr bool add(bool a, bool b) noexcept { return a || b; }
+  static constexpr bool mul(bool a, bool b) noexcept { return a && b; }
+};
+
+/// (min, +) tropical semiring — shortest paths. zero() is "infinity".
+template <class T>
+struct MinPlus {
+  using value_type = T;
+  static constexpr T zero() noexcept { return std::numeric_limits<T>::max(); }
+  static constexpr T add(T a, T b) noexcept { return a < b ? a : b; }
+  static constexpr T mul(T a, T b) noexcept {
+    // Saturating add so zero() ("infinity") absorbs.
+    if (a == zero() || b == zero()) {
+      return zero();
+    }
+    return a + b;
+  }
+};
+
+static_assert(Semiring<PlusTimes<double>>);
+static_assert(Semiring<PlusPair<std::int64_t>>);
+static_assert(Semiring<BoolOrAnd>);
+static_assert(Semiring<MinPlus<std::int64_t>>);
+
+}  // namespace tilq

@@ -1,0 +1,81 @@
+#include "core/tiling.hpp"
+
+#include <algorithm>
+
+#include "support/common.hpp"
+
+namespace tilq {
+
+std::vector<Tile> make_uniform_tiles(std::int64_t rows, std::int64_t num_tiles) {
+  require(rows >= 0, "make_uniform_tiles: negative row count");
+  require(num_tiles >= 1, "make_uniform_tiles: need at least one tile");
+  std::vector<Tile> tiles;
+  if (rows == 0) {
+    return tiles;
+  }
+  const std::int64_t count = std::min(rows, num_tiles);
+  tiles.reserve(static_cast<std::size_t>(count));
+  // Distribute the remainder over the first (rows % count) tiles so sizes
+  // differ by at most one row.
+  const std::int64_t base = rows / count;
+  const std::int64_t extra = rows % count;
+  std::int64_t begin = 0;
+  for (std::int64_t t = 0; t < count; ++t) {
+    const std::int64_t size = base + (t < extra ? 1 : 0);
+    tiles.push_back({begin, begin + size});
+    begin += size;
+  }
+  assert(begin == rows);
+  return tiles;
+}
+
+std::vector<Tile> make_flop_balanced_tiles(std::span<const std::int64_t> work_prefix,
+                                           std::int64_t num_tiles) {
+  require(!work_prefix.empty(), "make_flop_balanced_tiles: empty prefix");
+  require(num_tiles >= 1, "make_flop_balanced_tiles: need at least one tile");
+  const auto rows = static_cast<std::int64_t>(work_prefix.size()) - 1;
+  std::vector<Tile> tiles;
+  if (rows == 0) {
+    return tiles;
+  }
+  const std::int64_t total = work_prefix.back();
+  if (total == 0) {
+    // No work anywhere: fall back to uniform so every row is still covered.
+    return make_uniform_tiles(rows, num_tiles);
+  }
+
+  tiles.reserve(static_cast<std::size_t>(std::min(rows, num_tiles)));
+  // Split total = quot * num_tiles + rem so the per-tile quantile
+  // ceil((t+1) * total / num_tiles) is computed without 128-bit overflow:
+  // (t+1) * rem < num_tiles^2 stays well inside int64.
+  const std::int64_t quot = total / num_tiles;
+  const std::int64_t rem = total % num_tiles;
+  std::int64_t begin = 0;
+  for (std::int64_t t = 0; t < num_tiles && begin < rows; ++t) {
+    // Target cumulative work for the end of tile t (rounded up so the last
+    // quantile lands exactly on `total`).
+    const std::int64_t target =
+        (t + 1) * quot + ((t + 1) * rem + num_tiles - 1) / num_tiles;
+    // First row boundary whose cumulative work reaches the target.
+    auto it = std::lower_bound(work_prefix.begin() + begin + 1, work_prefix.end(),
+                               target);
+    auto end = static_cast<std::int64_t>(it - work_prefix.begin());
+    end = std::min(end, rows);
+    // Guarantee progress even when one row holds more than a tile's quota.
+    end = std::max(end, begin + 1);
+    tiles.push_back({begin, end});
+    begin = end;
+  }
+  if (begin < rows) {
+    // Rounding left a remainder; extend the last tile to cover it.
+    tiles.back().row_end = rows;
+  }
+  return tiles;
+}
+
+std::int64_t tile_work(const Tile& tile, std::span<const std::int64_t> work_prefix) {
+  return work_prefix[static_cast<std::size_t>(tile.row_end)] -
+         work_prefix[static_cast<std::size_t>(tile.row_begin)];
+}
+
+}  // namespace tilq

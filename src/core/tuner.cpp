@@ -1,0 +1,78 @@
+#include "core/tuner.hpp"
+
+#include "support/common.hpp"
+
+namespace tilq {
+namespace {
+
+/// Evaluates `config`, records the trial, and tracks the incumbent.
+void consider(const Evaluate& evaluate, const Config& config,
+              std::vector<TunerTrial>& trials, Config& best, double& best_ms) {
+  const double ms = evaluate(config);
+  trials.push_back({config, ms});
+  if (ms < best_ms) {
+    best_ms = ms;
+    best = config;
+  }
+}
+
+}  // namespace
+
+TunerReport tune_with(const Evaluate& evaluate, const TunerOptions& options) {
+  require(!options.tile_counts.empty(), "tune_with: empty tile-count sweep");
+  require(!options.kappas.empty(), "tune_with: empty kappa sweep");
+  require(!options.marker_widths.empty(), "tune_with: empty marker sweep");
+  require(!options.accumulators.empty(), "tune_with: empty accumulator sweep");
+
+  TunerReport report;
+
+  // --- Stage 1: tiling & scheduling, no co-iteration (Fig 12 box 1) -----
+  Config base;
+  base.strategy = MaskStrategy::kMaskFirst;
+  base.marker_width = MarkerWidth::k64;  // neutral default until stage 3
+  base.reset = ResetPolicy::kMarker;
+  base.threads = options.threads;
+
+  Config best = base;
+  double best_ms = std::numeric_limits<double>::infinity();
+  for (const AccumulatorKind acc : options.accumulators) {
+    for (const Tiling tiling : {Tiling::kUniform, Tiling::kFlopBalanced}) {
+      for (const Schedule schedule : {Schedule::kStatic, Schedule::kDynamic}) {
+        for (const std::int64_t tiles : options.tile_counts) {
+          Config candidate = base;
+          candidate.accumulator = acc;
+          candidate.tiling = tiling;
+          candidate.schedule = schedule;
+          candidate.num_tiles = tiles;
+          consider(evaluate, candidate, report.stage_tiling, best, best_ms);
+        }
+      }
+    }
+  }
+
+  // --- Stage 2: co-iteration factor (Fig 12 box 2) ----------------------
+  // The stage-1 winner (mask-first) stays the incumbent: κ only wins if the
+  // hybrid beats plain linear scanning.
+  for (const double kappa : options.kappas) {
+    Config candidate = best;
+    candidate.strategy = MaskStrategy::kHybrid;
+    candidate.coiteration_factor = kappa;
+    consider(evaluate, candidate, report.stage_coiteration, best, best_ms);
+  }
+
+  // --- Stage 3: accumulator state width (Fig 12 box 3) ------------------
+  for (const MarkerWidth width : options.marker_widths) {
+    if (width == best.marker_width) {
+      continue;  // incumbent already measured
+    }
+    Config candidate = best;
+    candidate.marker_width = width;
+    consider(evaluate, candidate, report.stage_accumulator, best, best_ms);
+  }
+
+  report.best = best;
+  report.best_ms = best_ms;
+  return report;
+}
+
+}  // namespace tilq

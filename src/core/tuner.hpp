@@ -1,0 +1,72 @@
+// Staged parameter tuning, reproducing the paper's Fig 12 flow:
+//
+//   1. determine the best combination of tiling and scheduling
+//      (tile-count sweep x {uniform, flop-balanced} x {static, dynamic},
+//      without co-iteration, i.e. the mask-first kernel)
+//   2. tune the co-iteration factor κ (hybrid kernel, best stage-1 config)
+//   3. tune the accumulator internal state (marker width sweep, κ fixed)
+//
+// The tuner core is algebra-agnostic: it sweeps Configs through an
+// `Evaluate` callback that returns milliseconds. `tune()` wraps
+// masked_spgemm + the measurement protocol into that callback for a
+// concrete problem.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/masked_spgemm.hpp"
+#include "support/timer.hpp"
+
+namespace tilq {
+
+struct TunerOptions {
+  std::vector<std::int64_t> tile_counts = {64, 256, 1024, 4096};
+  std::vector<double> kappas = {0.125, 0.25, 0.5, 1.0, 2.0, 4.0, 16.0};
+  std::vector<MarkerWidth> marker_widths = {MarkerWidth::k8, MarkerWidth::k16,
+                                            MarkerWidth::k32, MarkerWidth::k64};
+  /// Accumulators considered in every stage.
+  std::vector<AccumulatorKind> accumulators = {AccumulatorKind::kDense,
+                                               AccumulatorKind::kHash};
+  /// Per-candidate measurement budget.
+  TimingOptions timing = {.budget_seconds = 0.2, .max_iterations = 10,
+                          .min_iterations = 2, .warmup = true};
+  int threads = 0;
+};
+
+/// One evaluated candidate.
+struct TunerTrial {
+  Config config;
+  double ms = 0.0;
+};
+
+/// Full tuning transcript: every candidate of every stage plus the winner.
+struct TunerReport {
+  Config best;
+  double best_ms = 0.0;
+  std::vector<TunerTrial> stage_tiling;       ///< stage 1 candidates
+  std::vector<TunerTrial> stage_coiteration;  ///< stage 2 candidates
+  std::vector<TunerTrial> stage_accumulator;  ///< stage 3 candidates
+};
+
+/// Callback evaluating one Config; returns milliseconds (lower is better).
+using Evaluate = std::function<double(const Config&)>;
+
+/// Runs the three-stage sweep through `evaluate`. Non-template core so the
+/// staged logic is compiled once and testable with a synthetic cost model.
+TunerReport tune_with(const Evaluate& evaluate, const TunerOptions& options);
+
+/// Tunes masked_spgemm<SR> for a concrete (M, A, B) problem.
+template <Semiring SR, class T = typename SR::value_type, class I>
+TunerReport tune(const Csr<T, I>& mask, const Csr<T, I>& a, const Csr<T, I>& b,
+                 const TunerOptions& options = {}) {
+  const Evaluate evaluate = [&](const Config& config) {
+    const TimingResult timing = measure(
+        [&] { (void)masked_spgemm<SR>(mask, a, b, config); }, options.timing);
+    return timing.median_ms;
+  };
+  return tune_with(evaluate, options);
+}
+
+}  // namespace tilq

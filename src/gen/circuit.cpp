@@ -1,0 +1,49 @@
+#include "gen/circuit.hpp"
+
+#include "support/common.hpp"
+#include "support/rng.hpp"
+
+namespace tilq {
+
+GraphMatrix generate_circuit(const CircuitParams& params) {
+  require(params.nodes >= 4, "generate_circuit: need at least 4 nodes");
+  require(params.band >= 1, "generate_circuit: band must be >= 1");
+  require(params.rails >= 0, "generate_circuit: negative rail count");
+  require(params.rail_coverage > 0.0 && params.rail_coverage <= 1.0,
+          "generate_circuit: rail_coverage must be in (0, 1]");
+
+  const std::int64_t n = params.nodes;
+  Xoshiro256 rng(params.seed);
+
+  const auto rail_fanout = static_cast<std::int64_t>(
+      params.rail_coverage * static_cast<double>(n));
+  Coo<double, std::int64_t> coo(n, n);
+  coo.reserve(static_cast<std::size_t>(n) * static_cast<std::size_t>(params.band) +
+              static_cast<std::size_t>(params.rails) *
+                  static_cast<std::size_t>(rail_fanout));
+
+  // Band part: each node couples to `band` successors with slight jitter so
+  // rows are not perfectly regular.
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (int d = 1; d <= params.band; ++d) {
+      const auto jitter = static_cast<std::int64_t>(rng.uniform_below(3));
+      const std::int64_t j = i + d + jitter;
+      if (j < n) {
+        coo.push_unchecked(i, j, 1.0);
+      }
+    }
+  }
+
+  // Rail nets: the first `rails` nodes fan out across the whole matrix.
+  for (int r = 0; r < params.rails; ++r) {
+    const std::int64_t rail = r;
+    for (std::int64_t f = 0; f < rail_fanout; ++f) {
+      const auto j = static_cast<std::int64_t>(
+          rng.uniform_below(static_cast<std::uint64_t>(n)));
+      coo.push_unchecked(rail, j, 1.0);
+    }
+  }
+  return gen_detail::finalize_graph(std::move(coo), /*symmetric=*/true);
+}
+
+}  // namespace tilq

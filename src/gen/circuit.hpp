@@ -1,0 +1,29 @@
+// Circuit-simulation matrix generator: a narrow band of local couplings
+// (neighbouring circuit nodes) plus a handful of ultra-dense "rail" rows
+// (power/ground/clock nets touching a large fraction of all nodes). The
+// rail rows are the defining feature of circuit5M: they give the matrix a
+// few rows with 10^4-10^5 nonzeros, which makes the linear-scan kernels
+// read enormous B rows per product and is exactly why the paper's
+// circuit5M run times out without co-iteration (Fig 14d).
+#pragma once
+
+#include <cstdint>
+
+#include "gen/graph_common.hpp"
+
+namespace tilq {
+
+struct CircuitParams {
+  std::int64_t nodes = 1 << 14;
+  /// Local couplings per node (half-bandwidth of the band part).
+  int band = 4;
+  /// Number of dense rail nets.
+  int rails = 6;
+  /// Fraction of all nodes each rail connects to.
+  double rail_coverage = 0.4;
+  std::uint64_t seed = 1;
+};
+
+GraphMatrix generate_circuit(const CircuitParams& params);
+
+}  // namespace tilq

@@ -1,0 +1,47 @@
+// The synthetic matrix collection: ten named analogues of the paper's
+// Table I SuiteSparse matrices, one per name, scaled ~500-1000x down so the
+// whole evaluation runs on a development machine. Each analogue is built by
+// the structural generator matching its kind (web / circuit / social /
+// road); DESIGN.md documents the substitution.
+//
+// To run the benchmarks on the *real* SuiteSparse matrices instead, load
+// them with read_matrix_market_file and feed the Csr to the same harness.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gen/graph_common.hpp"
+
+namespace tilq {
+
+/// Matrix kind, matching Table I's (W)eb / (C)ircuit / (S)ocial / (R)oad.
+enum class GraphKind { kWeb, kCircuit, kSocial, kRoad };
+
+[[nodiscard]] const char* to_string(GraphKind kind) noexcept;
+
+/// Static description of one collection entry.
+struct CollectionEntry {
+  std::string name;        ///< SuiteSparse name this analogue stands in for
+  GraphKind kind;
+  std::int64_t paper_n;    ///< vertex count of the real matrix (Table I)
+  std::int64_t paper_nnz;  ///< nonzero count of the real matrix (Table I)
+};
+
+/// The ten Table-I entries, in the paper's order.
+const std::vector<CollectionEntry>& collection_entries();
+
+/// Looks up an entry by name; throws PreconditionError for unknown names.
+const CollectionEntry& collection_entry(const std::string& name);
+
+/// Generates the analogue for `name`. `scale` multiplies the (scaled-down)
+/// default vertex count — use < 1 for smoke tests, > 1 for bigger runs;
+/// degrees are kept roughly constant so nnz scales linearly.
+GraphMatrix make_collection_graph(const std::string& name, double scale = 1.0,
+                                  std::uint64_t seed = 1);
+
+/// All ten names, in Table-I order.
+std::vector<std::string> collection_names();
+
+}  // namespace tilq

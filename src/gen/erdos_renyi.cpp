@@ -1,0 +1,24 @@
+#include "gen/erdos_renyi.hpp"
+
+#include "support/common.hpp"
+#include "support/rng.hpp"
+
+namespace tilq {
+
+GraphMatrix generate_erdos_renyi(const ErdosRenyiParams& params) {
+  require(params.nodes >= 1, "generate_erdos_renyi: need at least one node");
+  require(params.edges >= 0, "generate_erdos_renyi: negative edge count");
+  Xoshiro256 rng(params.seed);
+  const auto n = static_cast<std::uint64_t>(params.nodes);
+
+  Coo<double, std::int64_t> coo(params.nodes, params.nodes);
+  coo.reserve(static_cast<std::size_t>(params.edges));
+  for (std::int64_t e = 0; e < params.edges; ++e) {
+    const auto row = static_cast<std::int64_t>(rng.uniform_below(n));
+    const auto col = static_cast<std::int64_t>(rng.uniform_below(n));
+    coo.push_unchecked(row, col, 1.0);
+  }
+  return gen_detail::finalize_graph(std::move(coo), params.symmetric);
+}
+
+}  // namespace tilq

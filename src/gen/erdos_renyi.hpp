@@ -1,0 +1,21 @@
+// Erdős–Rényi G(n, m) generator: m edges sampled uniformly at random.
+// Baseline "no structure" graph for tests and ablations.
+#pragma once
+
+#include <cstdint>
+
+#include "gen/graph_common.hpp"
+
+namespace tilq {
+
+struct ErdosRenyiParams {
+  std::int64_t nodes = 1 << 12;
+  /// Target edge count before dedup/symmetrization.
+  std::int64_t edges = 1 << 15;
+  bool symmetric = true;
+  std::uint64_t seed = 1;
+};
+
+GraphMatrix generate_erdos_renyi(const ErdosRenyiParams& params);
+
+}  // namespace tilq

@@ -1,0 +1,34 @@
+// Shared helpers for the synthetic graph generators. All generators emit an
+// adjacency matrix as Csr<double> with unit values; pattern, not weights,
+// is what drives masked-SpGEMM performance (the paper treats the mask as
+// Boolean and fixes M = B = A, §IV-A).
+#pragma once
+
+#include <cstdint>
+
+#include "sparse/build.hpp"
+#include "sparse/coo.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/ops.hpp"
+
+namespace tilq {
+
+/// Default generator matrix type.
+using GraphMatrix = Csr<double, std::int64_t>;
+
+namespace gen_detail {
+
+/// Deduplicates, drops self-loops, and (optionally) symmetrizes a raw edge
+/// bag into the final adjacency matrix.
+inline GraphMatrix finalize_graph(Coo<double, std::int64_t>&& edges,
+                                  bool symmetric) {
+  GraphMatrix adj = build_csr(edges, DupPolicy::kKeepFirst);
+  adj = remove_diagonal(adj);
+  if (symmetric) {
+    adj = symmetrize(adj);
+  }
+  return adj;
+}
+
+}  // namespace gen_detail
+}  // namespace tilq

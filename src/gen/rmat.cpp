@@ -1,0 +1,53 @@
+#include "gen/rmat.hpp"
+
+#include <cmath>
+
+#include "support/common.hpp"
+#include "support/rng.hpp"
+
+namespace tilq {
+
+GraphMatrix generate_rmat(const RmatParams& params) {
+  require(params.scale >= 1 && params.scale < 32, "generate_rmat: bad scale");
+  require(params.edge_factor >= 1, "generate_rmat: bad edge factor");
+  const double sum = params.a + params.b + params.c + params.d;
+  require(std::abs(sum - 1.0) < 1e-6,
+          "generate_rmat: quadrant probabilities must sum to 1");
+
+  const std::int64_t n = std::int64_t{1} << params.scale;
+  const std::int64_t edges = n * params.edge_factor;
+  Xoshiro256 rng(params.seed);
+
+  Coo<double, std::int64_t> coo(n, n);
+  coo.reserve(static_cast<std::size_t>(edges));
+  for (std::int64_t e = 0; e < edges; ++e) {
+    std::int64_t row = 0;
+    std::int64_t col = 0;
+    for (int level = 0; level < params.scale; ++level) {
+      // Jitter the quadrant probabilities per level (multiplicative noise),
+      // then renormalize.
+      const double na = params.a * (1.0 + params.noise * (rng.uniform() - 0.5));
+      const double nb = params.b * (1.0 + params.noise * (rng.uniform() - 0.5));
+      const double nc = params.c * (1.0 + params.noise * (rng.uniform() - 0.5));
+      const double nd = params.d * (1.0 + params.noise * (rng.uniform() - 0.5));
+      const double total = na + nb + nc + nd;
+      const double u = rng.uniform() * total;
+      row <<= 1;
+      col <<= 1;
+      if (u < na) {
+        // top-left: nothing to add
+      } else if (u < na + nb) {
+        col |= 1;
+      } else if (u < na + nb + nc) {
+        row |= 1;
+      } else {
+        row |= 1;
+        col |= 1;
+      }
+    }
+    coo.push_unchecked(row, col, 1.0);
+  }
+  return gen_detail::finalize_graph(std::move(coo), params.symmetric);
+}
+
+}  // namespace tilq

@@ -1,0 +1,35 @@
+// R-MAT / stochastic-Kronecker graph generator (Chakrabarti et al.), the
+// standard model for social-network-like graphs with heavy-tailed degree
+// distributions. Used for the com-Orkut / com-LiveJournal / hollywood-2009
+// analogues in the synthetic collection.
+#pragma once
+
+#include <cstdint>
+
+#include "gen/graph_common.hpp"
+
+namespace tilq {
+
+struct RmatParams {
+  /// log2 of the vertex count: n = 2^scale.
+  int scale = 14;
+  /// Average edges per vertex before dedup/symmetrization.
+  int edge_factor = 16;
+  /// Quadrant probabilities; must sum to ~1. The Graph500 defaults give
+  /// strong degree skew.
+  double a = 0.57;
+  double b = 0.19;
+  double c = 0.19;
+  double d = 0.05;
+  /// Per-level noise on the quadrant probabilities, breaking up the
+  /// artificial self-similarity of pure R-MAT.
+  double noise = 0.1;
+  bool symmetric = true;
+  std::uint64_t seed = 1;
+};
+
+/// Generates an R-MAT graph: duplicate edges and self-loops are removed,
+/// and the matrix is symmetrized when `params.symmetric`.
+GraphMatrix generate_rmat(const RmatParams& params);
+
+}  // namespace tilq

@@ -1,0 +1,40 @@
+#include "gen/road_network.hpp"
+
+#include "support/common.hpp"
+#include "support/rng.hpp"
+
+namespace tilq {
+
+GraphMatrix generate_road_network(const RoadNetworkParams& params) {
+  require(params.width >= 2 && params.height >= 2,
+          "generate_road_network: lattice must be at least 2x2");
+  require(params.deletion_prob >= 0.0 && params.deletion_prob < 1.0,
+          "generate_road_network: deletion_prob must be in [0, 1)");
+
+  const std::int64_t w = params.width;
+  const std::int64_t h = params.height;
+  const std::int64_t n = w * h;
+  Xoshiro256 rng(params.seed);
+
+  const auto node = [w](std::int64_t x, std::int64_t y) { return y * w + x; };
+
+  Coo<double, std::int64_t> coo(n, n);
+  coo.reserve(static_cast<std::size_t>(2 * n));
+  for (std::int64_t y = 0; y < h; ++y) {
+    for (std::int64_t x = 0; x < w; ++x) {
+      const std::int64_t here = node(x, y);
+      if (x + 1 < w && !rng.bernoulli(params.deletion_prob)) {
+        coo.push_unchecked(here, node(x + 1, y), 1.0);
+      }
+      if (y + 1 < h && !rng.bernoulli(params.deletion_prob)) {
+        coo.push_unchecked(here, node(x, y + 1), 1.0);
+      }
+      if (x + 1 < w && y + 1 < h && rng.bernoulli(params.shortcut_prob)) {
+        coo.push_unchecked(here, node(x + 1, y + 1), 1.0);
+      }
+    }
+  }
+  return gen_detail::finalize_graph(std::move(coo), /*symmetric=*/true);
+}
+
+}  // namespace tilq

@@ -1,0 +1,27 @@
+// Road-network generator: a width x height planar lattice with randomly
+// deleted street segments and occasional diagonal shortcuts. Reproduces the
+// signature properties of europe_osm / GAP-road: near-uniform tiny degrees
+// (2-4), huge diameter, and strong index locality under row-major node
+// numbering — the regime where the paper finds tiling choices matter least
+// (Fig 11a/11b are nearly flat).
+#pragma once
+
+#include <cstdint>
+
+#include "gen/graph_common.hpp"
+
+namespace tilq {
+
+struct RoadNetworkParams {
+  std::int64_t width = 160;
+  std::int64_t height = 160;
+  /// Probability that a lattice street segment is missing.
+  double deletion_prob = 0.08;
+  /// Probability of a diagonal shortcut at a junction.
+  double shortcut_prob = 0.03;
+  std::uint64_t seed = 1;
+};
+
+GraphMatrix generate_road_network(const RoadNetworkParams& params);
+
+}  // namespace tilq

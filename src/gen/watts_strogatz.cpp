@@ -1,0 +1,34 @@
+#include "gen/watts_strogatz.hpp"
+
+#include "support/common.hpp"
+#include "support/rng.hpp"
+
+namespace tilq {
+
+GraphMatrix generate_watts_strogatz(const WattsStrogatzParams& params) {
+  require(params.nodes >= 3, "generate_watts_strogatz: need at least 3 nodes");
+  require(params.k >= 1 && 2 * params.k < params.nodes,
+          "generate_watts_strogatz: k out of range");
+  require(params.beta >= 0.0 && params.beta <= 1.0,
+          "generate_watts_strogatz: beta must be a probability");
+
+  const std::int64_t n = params.nodes;
+  Xoshiro256 rng(params.seed);
+  Coo<double, std::int64_t> coo(n, n);
+  coo.reserve(static_cast<std::size_t>(n) * static_cast<std::size_t>(params.k));
+
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (int d = 1; d <= params.k; ++d) {
+      std::int64_t j = (i + d) % n;
+      if (rng.bernoulli(params.beta)) {
+        // Rewire to a uniform random endpoint (self-loops are dropped by
+        // finalize_graph).
+        j = static_cast<std::int64_t>(rng.uniform_below(static_cast<std::uint64_t>(n)));
+      }
+      coo.push_unchecked(i, j, 1.0);
+    }
+  }
+  return gen_detail::finalize_graph(std::move(coo), /*symmetric=*/true);
+}
+
+}  // namespace tilq

@@ -1,0 +1,24 @@
+// Watts–Strogatz small-world generator: a ring lattice with k neighbours
+// per side whose edges are rewired with probability beta. Produces graphs
+// with near-uniform degree but non-trivial clustering — a useful
+// intermediate between road grids and social networks for property tests.
+#pragma once
+
+#include <cstdint>
+
+#include "gen/graph_common.hpp"
+
+namespace tilq {
+
+struct WattsStrogatzParams {
+  std::int64_t nodes = 1 << 12;
+  /// Neighbours on each side in the initial ring (degree = 2k).
+  int k = 4;
+  /// Rewiring probability.
+  double beta = 0.1;
+  std::uint64_t seed = 1;
+};
+
+GraphMatrix generate_watts_strogatz(const WattsStrogatzParams& params);
+
+}  // namespace tilq

@@ -1,0 +1,68 @@
+#include "gen/web_graph.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "support/common.hpp"
+#include "support/rng.hpp"
+
+namespace tilq {
+
+GraphMatrix generate_web_graph(const WebGraphParams& params) {
+  require(params.nodes >= 2, "generate_web_graph: need at least 2 nodes");
+  require(params.out_degree >= 1, "generate_web_graph: bad out degree");
+  require(params.copy_prob >= 0.0 && params.copy_prob <= 1.0,
+          "generate_web_graph: copy_prob must be a probability");
+  require(params.locality_window > 0.0 && params.locality_window <= 1.0,
+          "generate_web_graph: locality_window must be in (0, 1]");
+
+  const std::int64_t n = params.nodes;
+  Xoshiro256 rng(params.seed);
+
+  // Flat edge list doubling as the copy source: copying a link means
+  // sampling a uniform prior edge and reusing its target, which reproduces
+  // preferential attachment (targets are picked proportional to in-degree).
+  std::vector<std::int64_t> targets;
+  targets.reserve(static_cast<std::size_t>(n) *
+                  static_cast<std::size_t>(params.out_degree));
+
+  Coo<double, std::int64_t> coo(n, n);
+  coo.reserve(targets.capacity());
+
+  for (std::int64_t page = 1; page < n; ++page) {
+    // Pareto(shape) out-degree with mean params.out_degree: the density is
+    // shape/x^(shape+1) on [1, inf) with mean shape/(shape-1), so dividing
+    // by that mean re-centres the draw at 1.
+    std::int64_t page_degree = params.out_degree;
+    if (params.degree_shape > 1.0) {
+      const double pareto =
+          std::pow(1.0 - rng.uniform(), -1.0 / params.degree_shape);
+      const double mean = params.degree_shape / (params.degree_shape - 1.0);
+      page_degree = static_cast<std::int64_t>(
+          static_cast<double>(params.out_degree) * pareto / mean);
+      page_degree = std::clamp<std::int64_t>(page_degree, 1, n / 4);
+    }
+    for (std::int64_t link = 0; link < page_degree; ++link) {
+      std::int64_t target;
+      if (!targets.empty() && rng.bernoulli(params.copy_prob)) {
+        target = targets[rng.uniform_below(targets.size())];
+      } else {
+        // Fresh target with recency bias: uniform over the trailing window
+        // of already-created pages.
+        const auto window = static_cast<std::int64_t>(
+            std::max<double>(1.0, params.locality_window * static_cast<double>(page)));
+        target = page - 1 - static_cast<std::int64_t>(
+                                rng.uniform_below(static_cast<std::uint64_t>(window)));
+      }
+      if (target == page) {
+        continue;  // self-links dropped
+      }
+      coo.push_unchecked(page, target, 1.0);
+      targets.push_back(target);
+    }
+  }
+  return gen_detail::finalize_graph(std::move(coo), params.symmetric);
+}
+
+}  // namespace tilq

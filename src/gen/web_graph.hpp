@@ -1,0 +1,37 @@
+// Web-graph generator based on the copying model (Kumar et al.): each new
+// page links to `out_degree` targets, each either copied from a random
+// earlier page's links (probability copy_prob) or drawn fresh with a
+// recency bias. Produces the power-law in-degrees and strong index locality
+// characteristic of crawl-ordered web matrices (arabic-2005, uk-2002,
+// as-Skitter analogues). Directed by default, matching the paper's note
+// that arabic-2005 / uk-2002 are directed graphs.
+#pragma once
+
+#include <cstdint>
+
+#include "gen/graph_common.hpp"
+
+namespace tilq {
+
+struct WebGraphParams {
+  std::int64_t nodes = 1 << 14;
+  /// Mean links per page. Per-page out-degrees are Pareto-distributed
+  /// around this mean (real crawls have heavy-tailed out-degrees — index
+  /// pages link to thousands of targets), so CSR row work is skewed, not
+  /// uniform.
+  int out_degree = 16;
+  /// Pareto shape for the out-degree distribution; smaller = heavier tail.
+  /// Values <= 0 disable the skew (constant out-degree).
+  double degree_shape = 2.0;
+  /// Probability of copying a link target from an existing page.
+  double copy_prob = 0.5;
+  /// Fresh targets are sampled from the last `locality_window` fraction of
+  /// existing pages (crawl locality); 1.0 = uniform over all pages.
+  double locality_window = 0.25;
+  bool symmetric = false;
+  std::uint64_t seed = 1;
+};
+
+GraphMatrix generate_web_graph(const WebGraphParams& params);
+
+}  // namespace tilq

@@ -1,0 +1,239 @@
+#include "grb/grb.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "support/common.hpp"
+#include "support/parallel.hpp"
+
+namespace tilq::grb {
+namespace {
+
+/// OrAnd over doubles: truthiness is (value != 0), results are 0/1.
+struct OrAndF64 {
+  using value_type = double;
+  static constexpr double zero() noexcept { return 0.0; }
+  static constexpr double add(double a, double b) noexcept {
+    return (a != 0.0 || b != 0.0) ? 1.0 : 0.0;
+  }
+  static constexpr double mul(double a, double b) noexcept {
+    return (a != 0.0 && b != 0.0) ? 1.0 : 0.0;
+  }
+};
+
+/// Runs `fn` with the semiring type selected by `op`.
+template <class Fn>
+auto with_semiring(SemiringOp op, Fn&& fn) {
+  switch (op) {
+    case SemiringOp::kPlusTimes:
+      return fn(PlusTimes<double>{});
+    case SemiringOp::kMinPlus:
+      return fn(MinPlus<double>{});
+    case SemiringOp::kPlusPair:
+      return fn(PlusPair<double>{});
+    case SemiringOp::kOrAnd:
+      return fn(OrAndF64{});
+  }
+  require(false, "grb: invalid semiring");
+  return fn(PlusTimes<double>{});
+}
+
+/// Valued-mask handling: GraphBLAS treats a mask entry holding zero as
+/// absent unless GrB_STRUCTURE is set. Returns the effective structural
+/// mask.
+Matrix effective_mask(const Matrix& mask, bool structural) {
+  if (structural) {
+    return mask;
+  }
+  std::vector<std::int64_t> row_ptr(static_cast<std::size_t>(mask.rows()) + 1, 0);
+  std::vector<std::int64_t> col_idx;
+  std::vector<double> values;
+  col_idx.reserve(static_cast<std::size_t>(mask.nnz()));
+  values.reserve(static_cast<std::size_t>(mask.nnz()));
+  for (std::int64_t i = 0; i < mask.rows(); ++i) {
+    const auto cols = mask.row_cols(i);
+    const auto vals = mask.row_vals(i);
+    for (std::size_t p = 0; p < cols.size(); ++p) {
+      if (vals[p] != 0.0) {
+        col_idx.push_back(cols[p]);
+        values.push_back(vals[p]);
+      }
+    }
+    row_ptr[static_cast<std::size_t>(i) + 1] =
+        static_cast<std::int64_t>(col_idx.size());
+  }
+  return {mask.rows(), mask.cols(), std::move(row_ptr), std::move(col_idx),
+          std::move(values)};
+}
+
+/// Keeps the entries of `c` whose positions are NOT in `mask` (for
+/// GrB_COMP).
+Matrix apply_complement(const Matrix& mask, const Matrix& c) {
+  std::vector<std::int64_t> row_ptr(static_cast<std::size_t>(c.rows()) + 1, 0);
+  std::vector<std::int64_t> col_idx;
+  std::vector<double> values;
+  for (std::int64_t i = 0; i < c.rows(); ++i) {
+    const auto cols = c.row_cols(i);
+    const auto vals = c.row_vals(i);
+    for (std::size_t p = 0; p < cols.size(); ++p) {
+      if (!mask.contains(i, cols[p])) {
+        col_idx.push_back(cols[p]);
+        values.push_back(vals[p]);
+      }
+    }
+    row_ptr[static_cast<std::size_t>(i) + 1] =
+        static_cast<std::int64_t>(col_idx.size());
+  }
+  return {c.rows(), c.cols(), std::move(row_ptr), std::move(col_idx),
+          std::move(values)};
+}
+
+}  // namespace
+
+const char* to_string(SemiringOp op) noexcept {
+  switch (op) {
+    case SemiringOp::kPlusTimes:
+      return "plus-times";
+    case SemiringOp::kMinPlus:
+      return "min-plus";
+    case SemiringOp::kPlusPair:
+      return "plus-pair";
+    case SemiringOp::kOrAnd:
+      return "or-and";
+  }
+  return "?";
+}
+
+Matrix mxm(const Matrix* mask, SemiringOp op, const Matrix& a, const Matrix& b,
+           const Descriptor& descriptor) {
+  const Matrix a_eff = descriptor.transpose_a ? transpose(a) : a;
+  const Matrix b_eff = descriptor.transpose_b ? transpose(b) : b;
+
+  return with_semiring(op, [&](auto semiring) {
+    using SR = decltype(semiring);
+    if (mask == nullptr) {
+      return spgemm<SR>(a_eff, b_eff);
+    }
+    const Matrix m = effective_mask(*mask, descriptor.mask_structural);
+    if (descriptor.mask_complement) {
+      // No fused kernel can exploit a complement mask's bound; compute the
+      // full product, then subtract the mask pattern.
+      return apply_complement(m, spgemm<SR>(a_eff, b_eff));
+    }
+    return masked_spgemm<SR>(m, a_eff, b_eff, descriptor.config);
+  });
+}
+
+Vector mxv(const Vector* mask, SemiringOp op, const Matrix& a, const Vector& u,
+           const Descriptor& descriptor) {
+  const Matrix a_eff = descriptor.transpose_a ? transpose(a) : a;
+  require(a_eff.cols() == u.dim(), "grb::mxv: dimension mismatch");
+
+  return with_semiring(op, [&](auto semiring) {
+    using SR = decltype(semiring);
+    if (mask == nullptr) {
+      // Unmasked: full-row mask over the output dimension.
+      std::vector<std::int64_t> all(static_cast<std::size_t>(a_eff.rows()));
+      for (std::int64_t i = 0; i < a_eff.rows(); ++i) {
+        all[static_cast<std::size_t>(i)] = i;
+      }
+      const Vector full(a_eff.rows(), std::move(all),
+                        std::vector<double>(static_cast<std::size_t>(a_eff.rows()), 1.0));
+      return masked_spmv<SR>(full, a_eff, u);
+    }
+    if (descriptor.mask_complement) {
+      std::vector<std::int64_t> indices = pattern_complement(*mask);
+      std::vector<double> ones(indices.size(), 1.0);
+      const Vector complement(mask->dim(), std::move(indices), std::move(ones));
+      return masked_spmv<SR>(complement, a_eff, u);
+    }
+    return masked_spmv<SR>(*mask, a_eff, u);
+  });
+}
+
+Matrix ewise_mult(SemiringOp op, const Matrix& a, const Matrix& b) {
+  require(a.rows() == b.rows() && a.cols() == b.cols(),
+          "grb::ewise_mult: shape mismatch");
+  return with_semiring(op, [&](auto semiring) {
+    using SR = decltype(semiring);
+    std::vector<std::int64_t> row_ptr(static_cast<std::size_t>(a.rows()) + 1, 0);
+    std::vector<std::int64_t> col_idx;
+    std::vector<double> values;
+    for (std::int64_t i = 0; i < a.rows(); ++i) {
+      const auto ac = a.row_cols(i);
+      const auto av = a.row_vals(i);
+      const auto bc = b.row_cols(i);
+      const auto bv = b.row_vals(i);
+      std::size_t pa = 0;
+      std::size_t pb = 0;
+      while (pa < ac.size() && pb < bc.size()) {
+        if (ac[pa] < bc[pb]) {
+          ++pa;
+        } else if (ac[pa] > bc[pb]) {
+          ++pb;
+        } else {
+          col_idx.push_back(ac[pa]);
+          values.push_back(SR::mul(av[pa], bv[pb]));
+          ++pa;
+          ++pb;
+        }
+      }
+      row_ptr[static_cast<std::size_t>(i) + 1] =
+          static_cast<std::int64_t>(col_idx.size());
+    }
+    return Matrix(a.rows(), a.cols(), std::move(row_ptr), std::move(col_idx),
+                  std::move(values));
+  });
+}
+
+Matrix ewise_add(SemiringOp op, const Matrix& a, const Matrix& b) {
+  require(a.rows() == b.rows() && a.cols() == b.cols(),
+          "grb::ewise_add: shape mismatch");
+  return with_semiring(op, [&](auto semiring) {
+    using SR = decltype(semiring);
+    std::vector<std::int64_t> row_ptr(static_cast<std::size_t>(a.rows()) + 1, 0);
+    std::vector<std::int64_t> col_idx;
+    std::vector<double> values;
+    for (std::int64_t i = 0; i < a.rows(); ++i) {
+      const auto ac = a.row_cols(i);
+      const auto av = a.row_vals(i);
+      const auto bc = b.row_cols(i);
+      const auto bv = b.row_vals(i);
+      std::size_t pa = 0;
+      std::size_t pb = 0;
+      while (pa < ac.size() || pb < bc.size()) {
+        if (pb == bc.size() || (pa < ac.size() && ac[pa] < bc[pb])) {
+          col_idx.push_back(ac[pa]);
+          values.push_back(av[pa]);
+          ++pa;
+        } else if (pa == ac.size() || bc[pb] < ac[pa]) {
+          col_idx.push_back(bc[pb]);
+          values.push_back(bv[pb]);
+          ++pb;
+        } else {
+          col_idx.push_back(ac[pa]);
+          values.push_back(SR::add(av[pa], bv[pb]));
+          ++pa;
+          ++pb;
+        }
+      }
+      row_ptr[static_cast<std::size_t>(i) + 1] =
+          static_cast<std::int64_t>(col_idx.size());
+    }
+    return Matrix(a.rows(), a.cols(), std::move(row_ptr), std::move(col_idx),
+                  std::move(values));
+  });
+}
+
+double reduce(SemiringOp op, const Matrix& a) {
+  return with_semiring(op, [&](auto semiring) {
+    using SR = decltype(semiring);
+    double result = SR::zero();
+    for (const double v : a.values()) {
+      result = SR::add(result, v);
+    }
+    return result;
+  });
+}
+
+}  // namespace tilq::grb

@@ -1,0 +1,84 @@
+// GraphBLAS-flavoured façade — the API shape the paper presents in §II-B:
+//
+//   GrB_mxm(C, M, accum, op, A, B, desc)
+//
+// mapped onto the tilq kernels. The façade fixes the value domain to
+// double (GrB_FP64) and exposes:
+//   * the semiring argument (plus-times / min-plus / plus-pair / or-and,
+//     all computed in the double domain),
+//   * the descriptor: transpose either input (GrB_INP0/GrB_INP1),
+//     complement the mask (GrB_COMP), treat the mask structurally
+//     (GrB_STRUCTURE) or by value (GraphBLAS default: an entry is allowed
+//     where the mask holds a *non-zero* value),
+//   * the tilq Config, standing in for SS:GB's hidden heuristics — the
+//     whole point of the paper is making this knob visible.
+//
+// Semantics notes:
+//   * mask by value: entries with stored zeros are filtered out before the
+//     kernel runs (a pattern pre-pass), then the structural machinery
+//     applies unchanged.
+//   * complemented masks forfeit the nnz(C[i,:]) <= nnz(M[i,:]) bound that
+//     the fused kernels rely on, so GrB_COMP runs the unmasked product and
+//     subtracts the mask pattern afterwards — mirroring how complement
+//     masks are genuinely harder for masked-SpGEMM implementations.
+#pragma once
+
+#include <cstdint>
+
+#include "core/config.hpp"
+#include "core/masked_spgemm.hpp"
+#include "core/spgemm.hpp"
+#include "core/spmv.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/ops.hpp"
+#include "sparse/vector.hpp"
+
+namespace tilq::grb {
+
+/// GrB_FP64 matrix / vector aliases.
+using Matrix = Csr<double, std::int64_t>;
+using Vector = SparseVector<double, std::int64_t>;
+
+/// The semiring argument of GrB_mxm, over the double domain.
+enum class SemiringOp {
+  kPlusTimes,  ///< GrB_PLUS_TIMES_SEMIRING_FP64
+  kMinPlus,    ///< GrB_MIN_PLUS_SEMIRING_FP64
+  kPlusPair,   ///< GxB_PLUS_PAIR_FP64 (structural counting)
+  kOrAnd,      ///< boolean or-and on the (value != 0) interpretation
+};
+
+[[nodiscard]] const char* to_string(SemiringOp op) noexcept;
+
+/// GrB_Descriptor equivalent.
+struct Descriptor {
+  bool transpose_a = false;       ///< GrB_INP0 = GrB_TRAN
+  bool transpose_b = false;       ///< GrB_INP1 = GrB_TRAN
+  bool mask_complement = false;   ///< GrB_COMP
+  /// GrB_STRUCTURE: use the mask's pattern; default (false) uses values —
+  /// an entry is allowed where the mask stores a non-zero.
+  bool mask_structural = false;
+  /// Implementation selection — explicit where SS:GB is heuristic.
+  Config config;
+};
+
+/// C = [mask ⊙] (A op B), the masked matrix-matrix product. Passing no
+/// mask (nullptr) computes the unmasked product.
+Matrix mxm(const Matrix* mask, SemiringOp op, const Matrix& a, const Matrix& b,
+           const Descriptor& descriptor = {});
+
+/// w = [mask ⊙] (A op u), matrix-vector product (mask/u sparse vectors).
+Vector mxv(const Vector* mask, SemiringOp op, const Matrix& a, const Vector& u,
+           const Descriptor& descriptor = {});
+
+/// Element-wise "multiply" (pattern intersection) C = A .op B — values
+/// combined with the semiring's multiplicative op.
+Matrix ewise_mult(SemiringOp op, const Matrix& a, const Matrix& b);
+
+/// Element-wise "add" (pattern union) C = A .op B — values combined with
+/// the semiring's additive op where both present.
+Matrix ewise_add(SemiringOp op, const Matrix& a, const Matrix& b);
+
+/// reduce to scalar with the semiring's additive monoid.
+double reduce(SemiringOp op, const Matrix& a);
+
+}  // namespace tilq::grb

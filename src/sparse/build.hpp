@@ -1,0 +1,130 @@
+// COO -> CSR conversion and small CSR constructors. The builder is the only
+// place where unsorted/duplicated input is legal; everything downstream
+// relies on the Csr invariants (sorted, duplicate-free rows).
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "sparse/coo.hpp"
+#include "sparse/csr.hpp"
+#include "support/common.hpp"
+#include "support/parallel.hpp"
+
+namespace tilq {
+
+/// How the builder combines triplets with identical (row, col).
+enum class DupPolicy {
+  kSum,        ///< values are added (GraphBLAS build default)
+  kKeepFirst,  ///< first occurrence wins
+  kError,      ///< duplicates throw PreconditionError
+};
+
+/// Builds a CSR matrix from triplets. O(nnz log nnz) via counting-sort into
+/// rows followed by per-row sorts; deterministic for every DupPolicy.
+template <class T, class I>
+Csr<T, I> build_csr(const Coo<T, I>& coo, DupPolicy policy = DupPolicy::kSum) {
+  const I rows = coo.rows();
+  const auto& entries = coo.entries();
+
+  // Pass 1: row counts -> row offsets.
+  std::vector<I> counts(static_cast<std::size_t>(rows), I{0});
+  for (const auto& e : entries) {
+    ++counts[static_cast<std::size_t>(e.row)];
+  }
+  std::vector<I> row_ptr = exclusive_scan<I>(counts);
+
+  // Pass 2: scatter into row buckets.
+  std::vector<I> cursor(row_ptr.begin(), row_ptr.end() - 1);
+  std::vector<I> col_idx(entries.size());
+  std::vector<T> values(entries.size());
+  for (const auto& e : entries) {
+    const auto slot = static_cast<std::size_t>(cursor[static_cast<std::size_t>(e.row)]++);
+    col_idx[slot] = e.col;
+    values[slot] = e.value;
+  }
+
+  // Pass 3: sort each row by column, stably pairing values, then combine
+  // duplicates in place.
+  std::vector<I> out_row_ptr(static_cast<std::size_t>(rows) + 1, I{0});
+  std::vector<std::size_t> perm;
+  std::vector<I> tmp_cols;
+  std::vector<T> tmp_vals;
+  I write = 0;
+  for (I i = 0; i < rows; ++i) {
+    const auto lo = static_cast<std::size_t>(row_ptr[static_cast<std::size_t>(i)]);
+    const auto hi = static_cast<std::size_t>(row_ptr[static_cast<std::size_t>(i) + 1]);
+    const std::size_t len = hi - lo;
+    perm.resize(len);
+    for (std::size_t p = 0; p < len; ++p) {
+      perm[p] = lo + p;
+    }
+    std::stable_sort(perm.begin(), perm.end(), [&](std::size_t a, std::size_t b) {
+      return col_idx[a] < col_idx[b];
+    });
+
+    tmp_cols.clear();
+    tmp_vals.clear();
+    for (std::size_t p = 0; p < len; ++p) {
+      const I col = col_idx[perm[p]];
+      const T val = values[perm[p]];
+      if (!tmp_cols.empty() && tmp_cols.back() == col) {
+        switch (policy) {
+          case DupPolicy::kSum:
+            tmp_vals.back() = tmp_vals.back() + val;
+            break;
+          case DupPolicy::kKeepFirst:
+            break;
+          case DupPolicy::kError:
+            throw PreconditionError("build_csr: duplicate entry");
+        }
+      } else {
+        tmp_cols.push_back(col);
+        tmp_vals.push_back(val);
+      }
+    }
+
+    // Compact back into the output arrays (write <= lo always holds).
+    for (std::size_t p = 0; p < tmp_cols.size(); ++p) {
+      col_idx[static_cast<std::size_t>(write) + p] = tmp_cols[p];
+      values[static_cast<std::size_t>(write) + p] = tmp_vals[p];
+    }
+    write += static_cast<I>(tmp_cols.size());
+    out_row_ptr[static_cast<std::size_t>(i) + 1] = write;
+  }
+  col_idx.resize(static_cast<std::size_t>(write));
+  values.resize(static_cast<std::size_t>(write));
+
+  return Csr<T, I>(rows, coo.cols(), std::move(out_row_ptr), std::move(col_idx),
+                   std::move(values));
+}
+
+/// Builds a CSR matrix from an initializer-friendly triplet list — test and
+/// example convenience.
+template <class T, class I = std::int64_t>
+Csr<T, I> csr_from_triplets(I rows, I cols,
+                            const std::vector<Triplet<T, I>>& triplets,
+                            DupPolicy policy = DupPolicy::kSum) {
+  Coo<T, I> coo(rows, cols);
+  for (const auto& t : triplets) {
+    coo.push(t.row, t.col, t.value);
+  }
+  return build_csr(coo, policy);
+}
+
+/// Identity matrix of order n.
+template <class T, class I = std::int64_t>
+Csr<T, I> csr_identity(I n) {
+  std::vector<I> row_ptr(static_cast<std::size_t>(n) + 1);
+  std::vector<I> col_idx(static_cast<std::size_t>(n));
+  std::vector<T> values(static_cast<std::size_t>(n), T{1});
+  for (I i = 0; i <= n; ++i) {
+    row_ptr[static_cast<std::size_t>(i)] = i;
+  }
+  for (I i = 0; i < n; ++i) {
+    col_idx[static_cast<std::size_t>(i)] = i;
+  }
+  return Csr<T, I>(n, n, std::move(row_ptr), std::move(col_idx), std::move(values));
+}
+
+}  // namespace tilq

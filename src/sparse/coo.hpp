@@ -1,0 +1,74 @@
+// Triplet (COO) matrix representation. COO is the assembly format: graph
+// generators and the Matrix Market reader emit triplets, which build.hpp
+// converts to CSR for computation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/common.hpp"
+
+namespace tilq {
+
+/// One (row, col, value) entry.
+template <class T, class I = std::int64_t>
+struct Triplet {
+  I row;
+  I col;
+  T value;
+
+  friend bool operator==(const Triplet&, const Triplet&) = default;
+};
+
+/// Coordinate-format sparse matrix: an unordered bag of triplets plus the
+/// logical shape. Duplicates are allowed; the CSR builder decides how to
+/// combine them (sum / keep-first / error).
+template <class T, class I = std::int64_t>
+class Coo {
+ public:
+  using value_type = T;
+  using index_type = I;
+
+  Coo() = default;
+
+  Coo(I rows, I cols) : rows_(rows), cols_(cols) {
+    require(rows >= 0 && cols >= 0, "Coo: negative dimension");
+  }
+
+  [[nodiscard]] I rows() const noexcept { return rows_; }
+  [[nodiscard]] I cols() const noexcept { return cols_; }
+  [[nodiscard]] std::int64_t nnz() const noexcept {
+    return static_cast<std::int64_t>(entries_.size());
+  }
+
+  /// Appends one entry; bounds-checked.
+  void push(I row, I col, T value) {
+    require(row >= 0 && row < rows_ && col >= 0 && col < cols_,
+            "Coo::push: index out of range");
+    entries_.push_back({row, col, value});
+  }
+
+  /// Appends one entry without bounds checks (hot generator loops); the
+  /// caller guarantees validity, checked in debug builds.
+  void push_unchecked(I row, I col, T value) {
+    assert(row >= 0 && row < rows_ && col >= 0 && col < cols_);
+    entries_.push_back({row, col, value});
+  }
+
+  void reserve(std::size_t capacity) { entries_.reserve(capacity); }
+  void clear() noexcept { entries_.clear(); }
+
+  [[nodiscard]] const std::vector<Triplet<T, I>>& entries() const noexcept {
+    return entries_;
+  }
+  [[nodiscard]] std::vector<Triplet<T, I>>& entries() noexcept {
+    return entries_;
+  }
+
+ private:
+  I rows_ = 0;
+  I cols_ = 0;
+  std::vector<Triplet<T, I>> entries_;
+};
+
+}  // namespace tilq

@@ -1,0 +1,67 @@
+// Compressed Sparse Column matrix. The paper analyses row-wise saxpy over
+// CSR and notes "by symmetry, our analysis also applies to column-wise
+// saxpy over CSC operands" (§II-A); this type plus core/column_spgemm.hpp
+// make that symmetry executable: a CSC matrix is stored as the CSR of its
+// transpose, and the column-wise kernels are the row-wise kernels applied
+// to the duals.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+
+#include "sparse/csr.hpp"
+#include "sparse/ops.hpp"
+
+namespace tilq {
+
+template <class T, class I = std::int64_t>
+class Csc {
+ public:
+  using value_type = T;
+  using index_type = I;
+
+  Csc() = default;
+
+  /// Wraps the CSR of the transpose: `transposed_csr` must be the rows x
+  /// cols transpose of the logical matrix.
+  explicit Csc(Csr<T, I> transposed_csr) : dual_(std::move(transposed_csr)) {}
+
+  /// Builds from a CSR matrix (O(nnz) transpose).
+  static Csc from_csr(const Csr<T, I>& a) { return Csc(transpose(a)); }
+
+  /// Converts back to CSR (O(nnz) transpose).
+  [[nodiscard]] Csr<T, I> to_csr() const { return transpose(dual_); }
+
+  [[nodiscard]] I rows() const noexcept { return dual_.cols(); }
+  [[nodiscard]] I cols() const noexcept { return dual_.rows(); }
+  [[nodiscard]] I nnz() const noexcept { return dual_.nnz(); }
+
+  /// Row indices of column j (sorted).
+  [[nodiscard]] std::span<const I> col_rows(I j) const noexcept {
+    return dual_.row_cols(j);
+  }
+  /// Values of column j, aligned with col_rows(j).
+  [[nodiscard]] std::span<const T> col_vals(I j) const noexcept {
+    return dual_.row_vals(j);
+  }
+  [[nodiscard]] I col_nnz(I j) const noexcept { return dual_.row_nnz(j); }
+
+  [[nodiscard]] bool contains(I i, I j) const noexcept {
+    return dual_.contains(j, i);
+  }
+  [[nodiscard]] T at(I i, I j) const noexcept { return dual_.at(j, i); }
+
+  /// The underlying CSR of the transpose — what the column-wise kernels
+  /// actually execute on.
+  [[nodiscard]] const Csr<T, I>& dual() const noexcept { return dual_; }
+
+  [[nodiscard]] bool check() const noexcept { return dual_.check(); }
+
+  friend bool operator==(const Csc&, const Csc&) = default;
+
+ private:
+  Csr<T, I> dual_;
+};
+
+}  // namespace tilq

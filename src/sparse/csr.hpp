@@ -1,0 +1,143 @@
+// Compressed Sparse Row matrix — the computation format for every kernel in
+// tilq (the paper stores all operands in CSR, §II-A). Column indices within
+// a row are kept sorted: the co-iteration kernel binary-searches B rows and
+// both accumulators gather output in mask order, so sortedness is a core
+// invariant (validated by `Csr::check`).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "support/common.hpp"
+
+namespace tilq {
+
+template <class T, class I = std::int64_t>
+class Csr {
+ public:
+  using value_type = T;
+  using index_type = I;
+
+  /// Empty 0x0 matrix.
+  Csr() : row_ptr_(1, I{0}) {}
+
+  /// rows x cols matrix with no entries.
+  Csr(I rows, I cols)
+      : rows_(rows), cols_(cols), row_ptr_(static_cast<std::size_t>(rows) + 1, I{0}) {
+    require(rows >= 0 && cols >= 0, "Csr: negative dimension");
+  }
+
+  /// Adopts pre-built arrays. `row_ptr` must have rows+1 monotone entries
+  /// starting at 0; `col_idx`/`values` must have row_ptr.back() entries with
+  /// sorted, in-range, duplicate-free columns per row. Verified in debug
+  /// builds; call check() to verify explicitly.
+  Csr(I rows, I cols, std::vector<I> row_ptr, std::vector<I> col_idx,
+      std::vector<T> values)
+      : rows_(rows),
+        cols_(cols),
+        row_ptr_(std::move(row_ptr)),
+        col_idx_(std::move(col_idx)),
+        values_(std::move(values)) {
+    require(rows >= 0 && cols >= 0, "Csr: negative dimension");
+    require(row_ptr_.size() == static_cast<std::size_t>(rows) + 1,
+            "Csr: row_ptr must have rows + 1 entries");
+    require(col_idx_.size() == values_.size(),
+            "Csr: col_idx and values must have equal length");
+    require(!row_ptr_.empty() && row_ptr_.front() == 0 &&
+                static_cast<std::size_t>(row_ptr_.back()) == col_idx_.size(),
+            "Csr: row_ptr must start at 0 and end at nnz");
+    assert(check());
+  }
+
+  [[nodiscard]] I rows() const noexcept { return rows_; }
+  [[nodiscard]] I cols() const noexcept { return cols_; }
+  [[nodiscard]] I nnz() const noexcept { return row_ptr_.back(); }
+  [[nodiscard]] bool empty() const noexcept { return nnz() == 0; }
+
+  [[nodiscard]] std::span<const I> row_ptr() const noexcept { return row_ptr_; }
+  [[nodiscard]] std::span<const I> col_idx() const noexcept { return col_idx_; }
+  [[nodiscard]] std::span<const T> values() const noexcept { return values_; }
+
+  /// Number of stored entries in row i — constant time, the property the
+  /// FLOP estimator (Eq 2) relies on.
+  [[nodiscard]] I row_nnz(I i) const noexcept {
+    assert(i >= 0 && i < rows_);
+    const auto r = static_cast<std::size_t>(i);
+    return row_ptr_[r + 1] - row_ptr_[r];
+  }
+
+  /// Column indices of row i (sorted).
+  [[nodiscard]] std::span<const I> row_cols(I i) const noexcept {
+    assert(i >= 0 && i < rows_);
+    const auto r = static_cast<std::size_t>(i);
+    return {col_idx_.data() + row_ptr_[r],
+            static_cast<std::size_t>(row_ptr_[r + 1] - row_ptr_[r])};
+  }
+
+  /// Values of row i, aligned with row_cols(i).
+  [[nodiscard]] std::span<const T> row_vals(I i) const noexcept {
+    assert(i >= 0 && i < rows_);
+    const auto r = static_cast<std::size_t>(i);
+    return {values_.data() + row_ptr_[r],
+            static_cast<std::size_t>(row_ptr_[r + 1] - row_ptr_[r])};
+  }
+
+  /// True iff entry (i, j) is stored (binary search).
+  [[nodiscard]] bool contains(I i, I j) const noexcept {
+    const auto cols = row_cols(i);
+    auto it = std::lower_bound(cols.begin(), cols.end(), j);
+    return it != cols.end() && *it == j;
+  }
+
+  /// Value at (i, j), or T{} when the entry is not stored.
+  [[nodiscard]] T at(I i, I j) const noexcept {
+    const auto cols = row_cols(i);
+    auto it = std::lower_bound(cols.begin(), cols.end(), j);
+    if (it == cols.end() || *it != j) {
+      return T{};
+    }
+    return values_[static_cast<std::size_t>(
+        row_ptr_[static_cast<std::size_t>(i)] + (it - cols.begin()))];
+  }
+
+  /// Full structural validation: monotone row_ptr, in-range columns, sorted
+  /// and duplicate-free rows. O(nnz).
+  [[nodiscard]] bool check() const noexcept {
+    if (row_ptr_.size() != static_cast<std::size_t>(rows_) + 1) return false;
+    if (row_ptr_.front() != 0) return false;
+    for (I i = 0; i < rows_; ++i) {
+      const auto r = static_cast<std::size_t>(i);
+      if (row_ptr_[r] > row_ptr_[r + 1]) return false;
+      for (I p = row_ptr_[r]; p < row_ptr_[r + 1]; ++p) {
+        const I col = col_idx_[static_cast<std::size_t>(p)];
+        if (col < 0 || col >= cols_) return false;
+        if (p > row_ptr_[r] && col_idx_[static_cast<std::size_t>(p - 1)] >= col) {
+          return false;
+        }
+      }
+    }
+    return static_cast<std::size_t>(row_ptr_.back()) == col_idx_.size() &&
+           col_idx_.size() == values_.size();
+  }
+
+  /// Structural equality (shape, pattern, and values).
+  friend bool operator==(const Csr&, const Csr&) = default;
+
+  /// Mutable access for builders in this library. Application code should
+  /// treat Csr as immutable after construction.
+  [[nodiscard]] std::vector<I>& mutable_row_ptr() noexcept { return row_ptr_; }
+  [[nodiscard]] std::vector<I>& mutable_col_idx() noexcept { return col_idx_; }
+  [[nodiscard]] std::vector<T>& mutable_values() noexcept { return values_; }
+
+ private:
+  I rows_ = 0;
+  I cols_ = 0;
+  std::vector<I> row_ptr_;
+  std::vector<I> col_idx_;
+  std::vector<T> values_;
+};
+
+}  // namespace tilq

@@ -1,0 +1,58 @@
+// Dense matrix — test oracle only. The reference masked-SpGEMM used by the
+// unit/property tests multiplies dense copies so that every sparse kernel
+// variant is checked against an implementation with no shared code.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sparse/csr.hpp"
+#include "support/common.hpp"
+
+namespace tilq {
+
+template <class T, class I = std::int64_t>
+class DenseMatrix {
+ public:
+  DenseMatrix(I rows, I cols)
+      : rows_(rows),
+        cols_(cols),
+        data_(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols)) {
+    require(rows >= 0 && cols >= 0, "DenseMatrix: negative dimension");
+  }
+
+  [[nodiscard]] I rows() const noexcept { return rows_; }
+  [[nodiscard]] I cols() const noexcept { return cols_; }
+
+  [[nodiscard]] T& operator()(I i, I j) noexcept {
+    assert(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data_[static_cast<std::size_t>(i) * static_cast<std::size_t>(cols_) +
+                 static_cast<std::size_t>(j)];
+  }
+  [[nodiscard]] const T& operator()(I i, I j) const noexcept {
+    assert(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data_[static_cast<std::size_t>(i) * static_cast<std::size_t>(cols_) +
+                 static_cast<std::size_t>(j)];
+  }
+
+ private:
+  I rows_;
+  I cols_;
+  std::vector<T> data_;
+};
+
+/// Expands a CSR matrix to dense.
+template <class T, class I>
+DenseMatrix<T, I> to_dense(const Csr<T, I>& a) {
+  DenseMatrix<T, I> d(a.rows(), a.cols());
+  for (I i = 0; i < a.rows(); ++i) {
+    const auto cols = a.row_cols(i);
+    const auto vals = a.row_vals(i);
+    for (std::size_t p = 0; p < cols.size(); ++p) {
+      d(i, cols[p]) = vals[p];
+    }
+  }
+  return d;
+}
+
+}  // namespace tilq

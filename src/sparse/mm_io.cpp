@@ -1,0 +1,148 @@
+#include "sparse/mm_io.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "sparse/build.hpp"
+#include "sparse/coo.hpp"
+
+namespace tilq {
+namespace {
+
+std::string to_lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+enum class Field { kReal, kInteger, kPattern };
+enum class Symmetry { kGeneral, kSymmetric, kSkew };
+
+struct Header {
+  Field field = Field::kReal;
+  Symmetry symmetry = Symmetry::kGeneral;
+};
+
+Header parse_header(const std::string& line) {
+  std::istringstream hs(line);
+  std::string banner, object, format, field_str, symmetry_str;
+  hs >> banner >> object >> format >> field_str >> symmetry_str;
+  if (banner != "%%MatrixMarket" && banner != "%MatrixMarket") {
+    throw MatrixMarketError("missing %%MatrixMarket banner");
+  }
+  if (to_lower(object) != "matrix") {
+    throw MatrixMarketError("only 'matrix' objects are supported");
+  }
+  if (to_lower(format) != "coordinate") {
+    throw MatrixMarketError("only 'coordinate' format is supported");
+  }
+
+  Header h;
+  const std::string field = to_lower(field_str);
+  if (field == "real" || field == "double") {
+    h.field = Field::kReal;
+  } else if (field == "integer") {
+    h.field = Field::kInteger;
+  } else if (field == "pattern") {
+    h.field = Field::kPattern;
+  } else {
+    throw MatrixMarketError("unsupported field type: " + field_str);
+  }
+
+  const std::string symmetry = to_lower(symmetry_str);
+  if (symmetry == "general") {
+    h.symmetry = Symmetry::kGeneral;
+  } else if (symmetry == "symmetric") {
+    h.symmetry = Symmetry::kSymmetric;
+  } else if (symmetry == "skew-symmetric") {
+    h.symmetry = Symmetry::kSkew;
+  } else {
+    throw MatrixMarketError("unsupported symmetry: " + symmetry_str);
+  }
+  return h;
+}
+
+}  // namespace
+
+Csr<double, std::int64_t> read_matrix_market(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line)) {
+    throw MatrixMarketError("empty input");
+  }
+  const Header header = parse_header(line);
+
+  // Skip comments to the size line.
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] != '%') {
+      break;
+    }
+  }
+  std::istringstream size_line(line);
+  std::int64_t rows = 0, cols = 0, declared_nnz = 0;
+  if (!(size_line >> rows >> cols >> declared_nnz) || rows < 0 || cols < 0 ||
+      declared_nnz < 0) {
+    throw MatrixMarketError("malformed size line");
+  }
+
+  Coo<double, std::int64_t> coo(rows, cols);
+  const bool mirrored = header.symmetry != Symmetry::kGeneral;
+  coo.reserve(static_cast<std::size_t>(mirrored ? 2 * declared_nnz : declared_nnz));
+
+  for (std::int64_t k = 0; k < declared_nnz; ++k) {
+    std::int64_t i = 0, j = 0;
+    double value = 1.0;
+    if (!(in >> i >> j)) {
+      throw MatrixMarketError("unexpected end of entries");
+    }
+    if (header.field != Field::kPattern && !(in >> value)) {
+      throw MatrixMarketError("missing value in entry");
+    }
+    if (i < 1 || i > rows || j < 1 || j > cols) {
+      throw MatrixMarketError("entry index out of range");
+    }
+    coo.push_unchecked(i - 1, j - 1, value);
+    if (mirrored && i != j) {
+      const double mirrored_value =
+          header.symmetry == Symmetry::kSkew ? -value : value;
+      coo.push_unchecked(j - 1, i - 1, mirrored_value);
+    }
+  }
+  return build_csr(coo, DupPolicy::kSum);
+}
+
+Csr<double, std::int64_t> read_matrix_market_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw MatrixMarketError("cannot open file: " + path);
+  }
+  return read_matrix_market(in);
+}
+
+void write_matrix_market(std::ostream& out, const Csr<double, std::int64_t>& a) {
+  out << "%%MatrixMarket matrix coordinate real general\n";
+  out << "% written by tilq\n";
+  out << a.rows() << ' ' << a.cols() << ' ' << a.nnz() << '\n';
+  out.precision(17);
+  for (std::int64_t i = 0; i < a.rows(); ++i) {
+    const auto cols = a.row_cols(i);
+    const auto vals = a.row_vals(i);
+    for (std::size_t p = 0; p < cols.size(); ++p) {
+      out << (i + 1) << ' ' << (cols[p] + 1) << ' ' << vals[p] << '\n';
+    }
+  }
+}
+
+void write_matrix_market_file(const std::string& path,
+                              const Csr<double, std::int64_t>& a) {
+  std::ofstream out(path);
+  if (!out) {
+    throw MatrixMarketError("cannot open file for writing: " + path);
+  }
+  write_matrix_market(out, a);
+}
+
+}  // namespace tilq

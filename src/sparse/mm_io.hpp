@@ -1,0 +1,34 @@
+// Matrix Market I/O. The paper evaluates on SuiteSparse Matrix Collection
+// graphs, which are distributed as MatrixMarket (.mtx) files; this reader
+// lets users run every bench on the real matrices by dropping the files in.
+// Supports the coordinate format with real / integer / pattern fields and
+// general / symmetric / skew-symmetric symmetry.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include "sparse/csr.hpp"
+
+namespace tilq {
+
+/// Thrown on malformed Matrix Market input.
+class MatrixMarketError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Reads a coordinate-format Matrix Market matrix. Symmetric/skew storage
+/// is expanded to the full matrix; pattern matrices get value 1. Duplicate
+/// entries are summed. Indices are converted from 1- to 0-based.
+Csr<double, std::int64_t> read_matrix_market(std::istream& in);
+Csr<double, std::int64_t> read_matrix_market_file(const std::string& path);
+
+/// Writes `a` in coordinate / real / general format.
+void write_matrix_market(std::ostream& out, const Csr<double, std::int64_t>& a);
+void write_matrix_market_file(const std::string& path,
+                              const Csr<double, std::int64_t>& a);
+
+}  // namespace tilq

@@ -1,0 +1,166 @@
+// Structural operations on CSR matrices: transpose, symmetrize, diagonal
+// removal, triangular extraction, and pattern utilities. These are the
+// pre-processing steps the triangle-counting / k-truss workloads need
+// (e.g. the lower-triangular extraction for the Sandia L·L⊙L variant).
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "sparse/coo.hpp"
+#include "sparse/build.hpp"
+#include "sparse/csr.hpp"
+#include "support/common.hpp"
+#include "support/parallel.hpp"
+
+namespace tilq {
+
+/// Transpose via counting sort on columns; O(nnz + rows + cols). Output rows
+/// are sorted because input rows are scanned in order.
+template <class T, class I>
+Csr<T, I> transpose(const Csr<T, I>& a) {
+  const I rows = a.rows();
+  const I cols = a.cols();
+  std::vector<I> counts(static_cast<std::size_t>(cols), I{0});
+  for (const I col : a.col_idx()) {
+    ++counts[static_cast<std::size_t>(col)];
+  }
+  std::vector<I> row_ptr = exclusive_scan<I>(counts);
+  std::vector<I> cursor(row_ptr.begin(), row_ptr.end() - 1);
+  std::vector<I> col_idx(static_cast<std::size_t>(a.nnz()));
+  std::vector<T> values(static_cast<std::size_t>(a.nnz()));
+  for (I i = 0; i < rows; ++i) {
+    const auto acols = a.row_cols(i);
+    const auto avals = a.row_vals(i);
+    for (std::size_t p = 0; p < acols.size(); ++p) {
+      const auto slot =
+          static_cast<std::size_t>(cursor[static_cast<std::size_t>(acols[p])]++);
+      col_idx[slot] = i;
+      values[slot] = avals[p];
+    }
+  }
+  return Csr<T, I>(cols, rows, std::move(row_ptr), std::move(col_idx),
+                   std::move(values));
+}
+
+/// A + Aᵀ on the pattern: returns the symmetrized matrix where the value of
+/// a mirrored entry is taken from whichever of A/Aᵀ stores it (summed when
+/// both do). Used to turn directed web graphs into undirected adjacency
+/// matrices for triangle counting.
+template <class T, class I>
+Csr<T, I> symmetrize(const Csr<T, I>& a) {
+  require(a.rows() == a.cols(), "symmetrize: matrix must be square");
+  Coo<T, I> coo(a.rows(), a.cols());
+  coo.reserve(2 * static_cast<std::size_t>(a.nnz()));
+  for (I i = 0; i < a.rows(); ++i) {
+    const auto cols = a.row_cols(i);
+    const auto vals = a.row_vals(i);
+    for (std::size_t p = 0; p < cols.size(); ++p) {
+      coo.push_unchecked(i, cols[p], vals[p]);
+      if (cols[p] != i) {
+        coo.push_unchecked(cols[p], i, vals[p]);
+      }
+    }
+  }
+  return build_csr(coo, DupPolicy::kKeepFirst);
+}
+
+/// Removes stored diagonal entries (self-loops in graph terms).
+template <class T, class I>
+Csr<T, I> remove_diagonal(const Csr<T, I>& a) {
+  std::vector<I> row_ptr(static_cast<std::size_t>(a.rows()) + 1, I{0});
+  std::vector<I> col_idx;
+  std::vector<T> values;
+  col_idx.reserve(static_cast<std::size_t>(a.nnz()));
+  values.reserve(static_cast<std::size_t>(a.nnz()));
+  for (I i = 0; i < a.rows(); ++i) {
+    const auto cols = a.row_cols(i);
+    const auto vals = a.row_vals(i);
+    for (std::size_t p = 0; p < cols.size(); ++p) {
+      if (cols[p] != i) {
+        col_idx.push_back(cols[p]);
+        values.push_back(vals[p]);
+      }
+    }
+    row_ptr[static_cast<std::size_t>(i) + 1] = static_cast<I>(col_idx.size());
+  }
+  return Csr<T, I>(a.rows(), a.cols(), std::move(row_ptr), std::move(col_idx),
+                   std::move(values));
+}
+
+/// Strictly lower-triangular part (entries with col < row).
+template <class T, class I>
+Csr<T, I> tril(const Csr<T, I>& a) {
+  std::vector<I> row_ptr(static_cast<std::size_t>(a.rows()) + 1, I{0});
+  std::vector<I> col_idx;
+  std::vector<T> values;
+  for (I i = 0; i < a.rows(); ++i) {
+    const auto cols = a.row_cols(i);
+    const auto vals = a.row_vals(i);
+    for (std::size_t p = 0; p < cols.size() && cols[p] < i; ++p) {
+      col_idx.push_back(cols[p]);
+      values.push_back(vals[p]);
+    }
+    row_ptr[static_cast<std::size_t>(i) + 1] = static_cast<I>(col_idx.size());
+  }
+  return Csr<T, I>(a.rows(), a.cols(), std::move(row_ptr), std::move(col_idx),
+                   std::move(values));
+}
+
+/// Strictly upper-triangular part (entries with col > row).
+template <class T, class I>
+Csr<T, I> triu(const Csr<T, I>& a) {
+  std::vector<I> row_ptr(static_cast<std::size_t>(a.rows()) + 1, I{0});
+  std::vector<I> col_idx;
+  std::vector<T> values;
+  for (I i = 0; i < a.rows(); ++i) {
+    const auto cols = a.row_cols(i);
+    const auto vals = a.row_vals(i);
+    auto first = std::upper_bound(cols.begin(), cols.end(), i);
+    for (auto it = first; it != cols.end(); ++it) {
+      col_idx.push_back(*it);
+      values.push_back(vals[static_cast<std::size_t>(it - cols.begin())]);
+    }
+    row_ptr[static_cast<std::size_t>(i) + 1] = static_cast<I>(col_idx.size());
+  }
+  return Csr<T, I>(a.rows(), a.cols(), std::move(row_ptr), std::move(col_idx),
+                   std::move(values));
+}
+
+/// Same pattern as `a` with every stored value replaced by `value` —
+/// boolean/structural masks (the paper treats the mask as Boolean, §IV-A).
+template <class T, class I>
+Csr<T, I> with_uniform_values(const Csr<T, I>& a, T value) {
+  std::vector<I> row_ptr(a.row_ptr().begin(), a.row_ptr().end());
+  std::vector<I> col_idx(a.col_idx().begin(), a.col_idx().end());
+  std::vector<T> values(static_cast<std::size_t>(a.nnz()), value);
+  return Csr<T, I>(a.rows(), a.cols(), std::move(row_ptr), std::move(col_idx),
+                   std::move(values));
+}
+
+/// Same pattern as `a` with values converted to `To` — used to move a
+/// generated adjacency matrix (double) into the value domain a semiring
+/// needs (e.g. int64 for PlusPair triangle counting).
+template <class To, class T, class I>
+Csr<To, I> convert_values(const Csr<T, I>& a) {
+  std::vector<I> row_ptr(a.row_ptr().begin(), a.row_ptr().end());
+  std::vector<I> col_idx(a.col_idx().begin(), a.col_idx().end());
+  std::vector<To> values;
+  values.reserve(static_cast<std::size_t>(a.nnz()));
+  for (const T v : a.values()) {
+    values.push_back(static_cast<To>(v));
+  }
+  return Csr<To, I>(a.rows(), a.cols(), std::move(row_ptr), std::move(col_idx),
+                    std::move(values));
+}
+
+/// True iff the two matrices have identical patterns (shape + structure),
+/// ignoring values.
+template <class T, class I>
+bool same_pattern(const Csr<T, I>& a, const Csr<T, I>& b) {
+  return a.rows() == b.rows() && a.cols() == b.cols() &&
+         std::ranges::equal(a.row_ptr(), b.row_ptr()) &&
+         std::ranges::equal(a.col_idx(), b.col_idx());
+}
+
+}  // namespace tilq

@@ -1,0 +1,124 @@
+#include "sparse/serialize.hpp"
+
+#include <array>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <vector>
+
+namespace tilq {
+namespace {
+
+constexpr std::array<char, 8> kMagic = {'T', 'I', 'L', 'Q', 'C', 'S', 'R', '1'};
+constexpr std::uint32_t kValueTagF64 = 1;
+constexpr std::uint32_t kIndexWidth64 = 8;
+
+template <class T>
+void write_pod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <class T>
+void write_array(std::ostream& out, const std::vector<T>& data) {
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size() * sizeof(T)));
+}
+
+template <class T>
+T read_pod(std::istream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!in) {
+    throw SerializeError("tilq binary: truncated header");
+  }
+  return value;
+}
+
+template <class T>
+std::vector<T> read_array(std::istream& in, std::size_t count) {
+  std::vector<T> data(count);
+  in.read(reinterpret_cast<char*>(data.data()),
+          static_cast<std::streamsize>(count * sizeof(T)));
+  if (!in) {
+    throw SerializeError("tilq binary: truncated payload");
+  }
+  return data;
+}
+
+}  // namespace
+
+void write_binary(std::ostream& out, const Csr<double, std::int64_t>& a) {
+  out.write(kMagic.data(), kMagic.size());
+  write_pod(out, kValueTagF64);
+  write_pod(out, kIndexWidth64);
+  write_pod(out, a.rows());
+  write_pod(out, a.cols());
+  write_pod(out, a.nnz());
+  const std::vector<std::int64_t> row_ptr(a.row_ptr().begin(), a.row_ptr().end());
+  const std::vector<std::int64_t> col_idx(a.col_idx().begin(), a.col_idx().end());
+  const std::vector<double> values(a.values().begin(), a.values().end());
+  write_array(out, row_ptr);
+  write_array(out, col_idx);
+  write_array(out, values);
+  if (!out) {
+    throw SerializeError("tilq binary: write failed");
+  }
+}
+
+void write_binary_file(const std::string& path,
+                       const Csr<double, std::int64_t>& a) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    throw SerializeError("tilq binary: cannot open for writing: " + path);
+  }
+  write_binary(out, a);
+}
+
+Csr<double, std::int64_t> read_binary(std::istream& in) {
+  std::array<char, 8> magic{};
+  in.read(magic.data(), magic.size());
+  if (!in || magic != kMagic) {
+    throw SerializeError("tilq binary: bad magic (not a TILQCSR1 file)");
+  }
+  if (read_pod<std::uint32_t>(in) != kValueTagF64) {
+    throw SerializeError("tilq binary: unsupported value type");
+  }
+  if (read_pod<std::uint32_t>(in) != kIndexWidth64) {
+    throw SerializeError("tilq binary: unsupported index width");
+  }
+  const auto rows = read_pod<std::int64_t>(in);
+  const auto cols = read_pod<std::int64_t>(in);
+  const auto nnz = read_pod<std::int64_t>(in);
+  if (rows < 0 || cols < 0 || nnz < 0) {
+    throw SerializeError("tilq binary: negative dimensions");
+  }
+
+  auto row_ptr =
+      read_array<std::int64_t>(in, static_cast<std::size_t>(rows) + 1);
+  auto col_idx = read_array<std::int64_t>(in, static_cast<std::size_t>(nnz));
+  auto values = read_array<double>(in, static_cast<std::size_t>(nnz));
+
+  Csr<double, std::int64_t> result;
+  try {
+    result = Csr<double, std::int64_t>(rows, cols, std::move(row_ptr),
+                                       std::move(col_idx), std::move(values));
+  } catch (const PreconditionError& e) {
+    throw SerializeError(std::string("tilq binary: inconsistent arrays: ") +
+                         e.what());
+  }
+  if (!result.check()) {
+    throw SerializeError("tilq binary: structural validation failed");
+  }
+  return result;
+}
+
+Csr<double, std::int64_t> read_binary_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw SerializeError("tilq binary: cannot open: " + path);
+  }
+  return read_binary(in);
+}
+
+}  // namespace tilq

@@ -1,0 +1,35 @@
+// Binary serialization for CSR matrices. Matrix Market is the interchange
+// format; this is the fast path for benchmark caches — parsing the text
+// format dominates load time for multi-hundred-MB SuiteSparse matrices,
+// while the binary round trip is a few memcpys.
+//
+// Format (little-endian, version 1):
+//   magic "TILQCSR1" | value-type tag | index width | rows | cols | nnz |
+//   row_ptr[rows+1] | col_idx[nnz] | values[nnz]
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include "sparse/csr.hpp"
+
+namespace tilq {
+
+/// Thrown on malformed or incompatible binary input.
+class SerializeError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Writes `a` in the tilq binary format.
+void write_binary(std::ostream& out, const Csr<double, std::int64_t>& a);
+void write_binary_file(const std::string& path,
+                       const Csr<double, std::int64_t>& a);
+
+/// Reads a matrix written by write_binary; validates structure.
+Csr<double, std::int64_t> read_binary(std::istream& in);
+Csr<double, std::int64_t> read_binary_file(const std::string& path);
+
+}  // namespace tilq

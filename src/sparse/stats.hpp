@@ -1,0 +1,81 @@
+// Matrix statistics used by the heuristics (accumulator sizing, SS:GB-like
+// policy choice) and by the Table-I inventory bench.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace tilq {
+
+/// Structural summary of a CSR matrix.
+template <class I = std::int64_t>
+struct MatrixStats {
+  I rows = 0;
+  I cols = 0;
+  std::int64_t nnz = 0;
+  I max_row_nnz = 0;
+  double mean_row_nnz = 0.0;
+  double row_nnz_stddev = 0.0;
+  I empty_rows = 0;
+  /// 99th-percentile row nnz — distinguishes skewed (social/web) from
+  /// uniform (road) graphs.
+  I p99_row_nnz = 0;
+};
+
+template <class T, class I>
+MatrixStats<I> compute_stats(const Csr<T, I>& a) {
+  MatrixStats<I> s;
+  s.rows = a.rows();
+  s.cols = a.cols();
+  s.nnz = static_cast<std::int64_t>(a.nnz());
+  if (a.rows() == 0) {
+    return s;
+  }
+
+  std::vector<I> row_nnz(static_cast<std::size_t>(a.rows()));
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (I i = 0; i < a.rows(); ++i) {
+    const I d = a.row_nnz(i);
+    row_nnz[static_cast<std::size_t>(i)] = d;
+    s.max_row_nnz = std::max(s.max_row_nnz, d);
+    if (d == 0) {
+      ++s.empty_rows;
+    }
+    sum += static_cast<double>(d);
+    sum_sq += static_cast<double>(d) * static_cast<double>(d);
+  }
+  const double n = static_cast<double>(a.rows());
+  s.mean_row_nnz = sum / n;
+  s.row_nnz_stddev = std::sqrt(std::max(0.0, sum_sq / n - s.mean_row_nnz * s.mean_row_nnz));
+
+  std::nth_element(row_nnz.begin(),
+                   row_nnz.begin() + static_cast<std::ptrdiff_t>(0.99 * n),
+                   row_nnz.end());
+  s.p99_row_nnz = row_nnz[static_cast<std::size_t>(0.99 * n)];
+  return s;
+}
+
+/// Maximum nnz(M[i,:]) over rows [row_begin, row_end) — the accumulator
+/// sizing rule from §III-C ("the max can be taken over the subset of rows
+/// owned by the thread, if using static scheduling").
+template <class T, class I>
+I max_row_nnz(const Csr<T, I>& m, I row_begin, I row_end) {
+  I result = 0;
+  for (I i = row_begin; i < row_end; ++i) {
+    result = std::max(result, m.row_nnz(i));
+  }
+  return result;
+}
+
+template <class T, class I>
+I max_row_nnz(const Csr<T, I>& m) {
+  return max_row_nnz(m, I{0}, m.rows());
+}
+
+}  // namespace tilq

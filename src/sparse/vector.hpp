@@ -1,0 +1,121 @@
+// Sparse vector — the operand type for the masked SpMV / SpMSpV kernels
+// (core/spmv.hpp). A sparse vector is a sorted list of (index, value)
+// pairs plus a logical dimension; the GraphBLAS frontier/visited vectors of
+// BFS and betweenness centrality are represented this way.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "support/common.hpp"
+
+namespace tilq {
+
+template <class T, class I = std::int64_t>
+class SparseVector {
+ public:
+  using value_type = T;
+  using index_type = I;
+
+  SparseVector() = default;
+
+  explicit SparseVector(I dim) : dim_(dim) {
+    require(dim >= 0, "SparseVector: negative dimension");
+  }
+
+  /// Adopts pre-built arrays; indices must be sorted, in-range, and
+  /// duplicate-free — callers verify with check() when the source is
+  /// untrusted.
+  SparseVector(I dim, std::vector<I> indices, std::vector<T> values)
+      : dim_(dim), indices_(std::move(indices)), values_(std::move(values)) {
+    require(dim >= 0, "SparseVector: negative dimension");
+    require(indices_.size() == values_.size(),
+            "SparseVector: index/value length mismatch");
+  }
+
+  /// A vector with a single entry — e.g. a BFS source frontier.
+  static SparseVector unit(I dim, I index, T value = T{1}) {
+    require(index >= 0 && index < dim, "SparseVector::unit: index out of range");
+    return SparseVector(dim, {index}, {value});
+  }
+
+  [[nodiscard]] I dim() const noexcept { return dim_; }
+  [[nodiscard]] I nnz() const noexcept { return static_cast<I>(indices_.size()); }
+  [[nodiscard]] bool empty() const noexcept { return indices_.empty(); }
+
+  [[nodiscard]] std::span<const I> indices() const noexcept { return indices_; }
+  [[nodiscard]] std::span<const T> values() const noexcept { return values_; }
+
+  [[nodiscard]] bool contains(I index) const noexcept {
+    return std::binary_search(indices_.begin(), indices_.end(), index);
+  }
+
+  /// Value at `index`, or T{} when absent.
+  [[nodiscard]] T at(I index) const noexcept {
+    const auto it = std::lower_bound(indices_.begin(), indices_.end(), index);
+    if (it == indices_.end() || *it != index) {
+      return T{};
+    }
+    return values_[static_cast<std::size_t>(it - indices_.begin())];
+  }
+
+  /// Structural validity: sorted, duplicate-free, in-range.
+  [[nodiscard]] bool check() const noexcept {
+    if (indices_.size() != values_.size()) return false;
+    for (std::size_t p = 0; p < indices_.size(); ++p) {
+      if (indices_[p] < 0 || indices_[p] >= dim_) return false;
+      if (p > 0 && indices_[p - 1] >= indices_[p]) return false;
+    }
+    return true;
+  }
+
+  friend bool operator==(const SparseVector&, const SparseVector&) = default;
+
+ private:
+  I dim_ = 0;
+  std::vector<I> indices_;
+  std::vector<T> values_;
+};
+
+/// Builds a sparse vector from unordered (index, value) pairs; duplicate
+/// indices are combined with `combine` (defaults to keep-last).
+template <class T, class I>
+SparseVector<T, I> make_sparse_vector(I dim, std::vector<std::pair<I, T>> entries) {
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<I> indices;
+  std::vector<T> values;
+  indices.reserve(entries.size());
+  values.reserve(entries.size());
+  for (const auto& [index, value] : entries) {
+    if (!indices.empty() && indices.back() == index) {
+      values.back() = value;  // keep-last
+    } else {
+      indices.push_back(index);
+      values.push_back(value);
+    }
+  }
+  return SparseVector<T, I>(dim, std::move(indices), std::move(values));
+}
+
+/// Dense complement of the vector's pattern: all indices NOT present. Used
+/// for complemented masks (BFS's "not yet visited").
+template <class T, class I>
+std::vector<I> pattern_complement(const SparseVector<T, I>& v) {
+  std::vector<I> result;
+  result.reserve(static_cast<std::size_t>(v.dim() - v.nnz()));
+  const auto present = v.indices();
+  std::size_t p = 0;
+  for (I i = 0; i < v.dim(); ++i) {
+    if (p < present.size() && present[p] == i) {
+      ++p;
+    } else {
+      result.push_back(i);
+    }
+  }
+  return result;
+}
+
+}  // namespace tilq

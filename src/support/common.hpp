@@ -1,0 +1,91 @@
+// Small shared utilities: checked narrowing, power-of-two helpers, and the
+// library-wide assertion macro. Kept dependency-free; every other tilq
+// header may include this one.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+
+namespace tilq {
+
+/// Thrown when a tilq precondition on user-supplied data fails (shape
+/// mismatches, unsorted input where sorted is required, ...).
+class PreconditionError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Checks a user-facing precondition; throws PreconditionError on failure.
+/// Internal invariants use assert() instead.
+inline void require(bool condition, const char* message) {
+  if (!condition) {
+    throw PreconditionError(message);
+  }
+}
+
+/// Checked narrowing conversion (Core Guidelines `narrow`): throws if the
+/// value does not survive the round trip.
+template <class To, class From>
+constexpr To narrow(From value) {
+  static_assert(std::is_arithmetic_v<To> && std::is_arithmetic_v<From>);
+  const To result = static_cast<To>(value);
+  if (static_cast<From>(result) != value ||
+      (std::is_signed_v<From> != std::is_signed_v<To> &&
+       ((value < From{}) != (result < To{})))) {
+    throw std::range_error("tilq::narrow: value does not fit target type");
+  }
+  return result;
+}
+
+/// Narrowing conversion that the caller asserts is lossless; checked only in
+/// debug builds. Use on hot paths where `narrow` would be too costly.
+template <class To, class From>
+constexpr To narrow_cast(From value) noexcept {
+  assert(static_cast<From>(static_cast<To>(value)) == value);
+  return static_cast<To>(value);
+}
+
+/// Smallest power of two >= `value` (value must be >= 1).
+constexpr std::uint64_t next_pow2(std::uint64_t value) noexcept {
+  assert(value >= 1);
+  --value;
+  value |= value >> 1;
+  value |= value >> 2;
+  value |= value >> 4;
+  value |= value >> 8;
+  value |= value >> 16;
+  value |= value >> 32;
+  return value + 1;
+}
+
+constexpr bool is_pow2(std::uint64_t value) noexcept {
+  return value != 0 && (value & (value - 1)) == 0;
+}
+
+/// Integer floor(log2(value)); value must be >= 1.
+constexpr unsigned floor_log2(std::uint64_t value) noexcept {
+  assert(value >= 1);
+  unsigned result = 0;
+  while (value >>= 1) {
+    ++result;
+  }
+  return result;
+}
+
+/// Integer ceil(log2(value)); value must be >= 1. ceil_log2(1) == 0.
+constexpr unsigned ceil_log2(std::uint64_t value) noexcept {
+  return is_pow2(value) ? floor_log2(value) : floor_log2(value) + 1;
+}
+
+/// Ceiling division for non-negative integers.
+template <class T>
+constexpr T ceil_div(T numerator, T denominator) noexcept {
+  assert(denominator > 0 && numerator >= 0);
+  return (numerator + denominator - 1) / denominator;
+}
+
+}  // namespace tilq

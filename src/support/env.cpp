@@ -1,0 +1,58 @@
+#include "support/env.hpp"
+
+#include <omp.h>
+
+#include <sstream>
+
+#include "support/common.hpp"
+
+namespace tilq {
+
+const char* to_string(Schedule schedule) noexcept {
+  switch (schedule) {
+    case Schedule::kStatic:
+      return "static";
+    case Schedule::kDynamic:
+      return "dynamic";
+  }
+  return "?";
+}
+
+int max_threads() noexcept { return omp_get_max_threads(); }
+
+void set_threads(int threads) {
+  require(threads >= 1, "set_threads: thread count must be >= 1");
+  omp_set_num_threads(threads);
+}
+
+void set_runtime_schedule(Schedule schedule) {
+  // Chunk size 1: each dispatch hands out exactly one tile, which is the
+  // granularity the paper's experiments assume ("each tile is assigned to
+  // one thread").
+  switch (schedule) {
+    case Schedule::kStatic:
+      omp_set_schedule(omp_sched_static, 1);
+      break;
+    case Schedule::kDynamic:
+      omp_set_schedule(omp_sched_dynamic, 1);
+      break;
+  }
+}
+
+Schedule runtime_schedule() {
+  omp_sched_t kind = omp_sched_static;
+  int chunk = 0;
+  omp_get_schedule(&kind, &chunk);
+  // Mask off the monotonic modifier bit before comparing.
+  const auto base = static_cast<omp_sched_t>(kind & ~omp_sched_monotonic);
+  return base == omp_sched_dynamic ? Schedule::kDynamic : Schedule::kStatic;
+}
+
+std::string environment_summary() {
+  std::ostringstream out;
+  out << "threads=" << max_threads() << " openmp=" << _OPENMP
+      << " schedule=" << to_string(runtime_schedule());
+  return out.str();
+}
+
+}  // namespace tilq

@@ -1,0 +1,36 @@
+// Runtime environment control: thread counts and the OpenMP scheduling
+// policy. The paper's tiling experiments switch between STATIC and DYNAMIC
+// OpenMP schedules at run time; we expose that via omp_set_schedule plus
+// `schedule(runtime)` loops in the executors (core/execute.hpp).
+#pragma once
+
+#include <string>
+
+namespace tilq {
+
+/// OpenMP loop scheduling policy for tile execution (§III-A).
+enum class Schedule {
+  kStatic,   ///< tiles pre-assigned round-robin to threads, no runtime balancing
+  kDynamic,  ///< threads grab the next unclaimed tile when idle
+};
+
+[[nodiscard]] const char* to_string(Schedule schedule) noexcept;
+
+/// Number of threads a parallel region will use by default.
+[[nodiscard]] int max_threads() noexcept;
+
+/// Overrides the default thread count for subsequent parallel regions.
+void set_threads(int threads);
+
+/// Installs `schedule` (with chunk size 1: one tile per dispatch) as the
+/// policy used by all `schedule(runtime)` loops.
+void set_runtime_schedule(Schedule schedule);
+
+/// Reads back the currently installed runtime schedule.
+[[nodiscard]] Schedule runtime_schedule();
+
+/// Human-readable one-line description of the parallel environment, for
+/// benchmark headers (thread count, OpenMP version).
+[[nodiscard]] std::string environment_summary();
+
+}  // namespace tilq

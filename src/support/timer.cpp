@@ -1,0 +1,35 @@
+#include "support/timer.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace tilq {
+
+TimingResult measure(const std::function<void()>& body,
+                     const TimingOptions& options) {
+  if (options.warmup) {
+    body();
+  }
+
+  TimingResult result;
+  WallTimer budget;
+  while (result.iterations < options.min_iterations ||
+         (budget.seconds() < options.budget_seconds &&
+          result.iterations < options.max_iterations)) {
+    WallTimer iteration;
+    body();
+    result.samples_ms.push_back(iteration.milliseconds());
+    ++result.iterations;
+  }
+
+  std::sort(result.samples_ms.begin(), result.samples_ms.end());
+  result.min_ms = result.samples_ms.front();
+  result.max_ms = result.samples_ms.back();
+  result.median_ms = result.samples_ms[result.samples_ms.size() / 2];
+  result.mean_ms =
+      std::accumulate(result.samples_ms.begin(), result.samples_ms.end(), 0.0) /
+      static_cast<double>(result.samples_ms.size());
+  return result;
+}
+
+}  // namespace tilq

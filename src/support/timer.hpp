@@ -1,0 +1,60 @@
+// Wall-clock timing and the repeated-measurement loop used by every
+// benchmark. The measurement protocol mirrors the paper (§IV-A): one
+// warm-up run, then repeat until a time budget or an iteration cap is
+// reached, reporting the distribution of per-iteration times.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace tilq {
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() noexcept { reset(); }
+
+  void reset() noexcept { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double seconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double milliseconds() const noexcept { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Summary of a repeated measurement.
+struct TimingResult {
+  double min_ms = 0.0;     ///< fastest iteration
+  double median_ms = 0.0;  ///< median iteration
+  double mean_ms = 0.0;    ///< arithmetic mean
+  double max_ms = 0.0;     ///< slowest iteration
+  std::int64_t iterations = 0;
+  std::vector<double> samples_ms;  ///< all per-iteration times, sorted
+};
+
+/// Measurement protocol knobs. Defaults are scaled-down versions of the
+/// paper's "warm-up, then 5 s or 10000 iterations" rule so benches finish
+/// quickly on a development machine.
+struct TimingOptions {
+  double budget_seconds = 1.0;     ///< stop after this much measured time
+  std::int64_t max_iterations = 200;
+  std::int64_t min_iterations = 3;
+  bool warmup = true;              ///< one untimed run first
+};
+
+/// Runs `body` under the protocol in `options` and reports statistics.
+/// `body` must perform one complete kernel execution per call (including
+/// freeing its output, matching the paper's "output is freed after each
+/// run").
+TimingResult measure(const std::function<void()>& body,
+                     const TimingOptions& options = {});
+
+}  // namespace tilq

@@ -1,0 +1,225 @@
+// Typed tests for the shared sparse-accumulator protocol, instantiated for
+// both implementations (dense / hash) across all four marker widths — every
+// combination the Fig 13 sweep can select. Implementation-specific
+// behaviour (overflow counting, hash growth) is covered in
+// dense_accumulator_test.cpp / hash_accumulator_test.cpp.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "accum/accumulator.hpp"
+#include "accum/bitmap_accumulator.hpp"
+#include "accum/dense_accumulator.hpp"
+#include "accum/hash_accumulator.hpp"
+#include "core/semiring.hpp"
+
+namespace tilq {
+namespace {
+
+using I = std::int64_t;
+using SR = PlusTimes<double>;
+
+constexpr I kCols = 64;
+
+template <class Acc>
+struct AccumulatorFactory;
+
+template <class MarkerT>
+struct AccumulatorFactory<DenseAccumulator<SR, I, MarkerT>> {
+  static DenseAccumulator<SR, I, MarkerT> make(ResetPolicy policy) {
+    return DenseAccumulator<SR, I, MarkerT>(kCols, policy);
+  }
+};
+
+template <class MarkerT>
+struct AccumulatorFactory<HashAccumulator<SR, I, MarkerT>> {
+  static HashAccumulator<SR, I, MarkerT> make(ResetPolicy policy) {
+    return HashAccumulator<SR, I, MarkerT>(kCols, policy);
+  }
+};
+
+template <>
+struct AccumulatorFactory<BitmapAccumulator<SR, I>> {
+  // The bitmap representation is inherently explicit-reset; the policy
+  // parameter is accepted for suite uniformity and ignored.
+  static BitmapAccumulator<SR, I> make(ResetPolicy) {
+    return BitmapAccumulator<SR, I>(kCols);
+  }
+};
+
+template <class Acc>
+class AccumulatorProtocol : public ::testing::Test {
+ protected:
+  static Acc make(ResetPolicy policy = ResetPolicy::kMarker) {
+    return AccumulatorFactory<Acc>::make(policy);
+  }
+
+  static std::vector<std::pair<I, double>> gathered(
+      Acc& acc, const std::vector<I>& mask_cols) {
+    std::vector<std::pair<I, double>> out;
+    acc.gather(std::span<const I>(mask_cols),
+               [&](I col, double value) { out.emplace_back(col, value); });
+    return out;
+  }
+};
+
+using AccumulatorTypes = ::testing::Types<
+    DenseAccumulator<SR, I, std::uint8_t>, DenseAccumulator<SR, I, std::uint16_t>,
+    DenseAccumulator<SR, I, std::uint32_t>, DenseAccumulator<SR, I, std::uint64_t>,
+    HashAccumulator<SR, I, std::uint8_t>, HashAccumulator<SR, I, std::uint16_t>,
+    HashAccumulator<SR, I, std::uint32_t>, HashAccumulator<SR, I, std::uint64_t>,
+    BitmapAccumulator<SR, I>>;
+TYPED_TEST_SUITE(AccumulatorProtocol, AccumulatorTypes);
+
+TYPED_TEST(AccumulatorProtocol, SatisfiesConcept) {
+  static_assert(MaskedAccumulator<TypeParam, I>);
+}
+
+TYPED_TEST(AccumulatorProtocol, AccumulateHitsOnlyMaskedSlots) {
+  auto acc = this->make();
+  const std::vector<I> mask = {3, 10, 41};
+  acc.set_mask(mask);
+  EXPECT_TRUE(acc.accumulate(3, 1.0));
+  EXPECT_TRUE(acc.accumulate(10, 2.0));
+  EXPECT_FALSE(acc.accumulate(4, 9.0));   // not in mask
+  EXPECT_FALSE(acc.accumulate(40, 9.0));  // not in mask
+  EXPECT_TRUE(acc.accumulate(3, 5.0));    // repeat hit accumulates
+  const auto out = this->gathered(acc, mask);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].first, 3);
+  EXPECT_DOUBLE_EQ(out[0].second, 6.0);
+  EXPECT_EQ(out[1].first, 10);
+  EXPECT_DOUBLE_EQ(out[1].second, 2.0);
+}
+
+TYPED_TEST(AccumulatorProtocol, IsMaskedReflectsMask) {
+  auto acc = this->make();
+  const std::vector<I> mask = {0, 7, 63};
+  acc.set_mask(mask);
+  EXPECT_TRUE(acc.is_masked(0));
+  EXPECT_TRUE(acc.is_masked(7));
+  EXPECT_TRUE(acc.is_masked(63));
+  EXPECT_FALSE(acc.is_masked(1));
+  EXPECT_FALSE(acc.is_masked(8));
+}
+
+TYPED_TEST(AccumulatorProtocol, UntouchedMaskSlotsAreNotEmitted) {
+  auto acc = this->make();
+  const std::vector<I> mask = {1, 2, 3};
+  acc.set_mask(mask);
+  acc.accumulate(2, 4.0);
+  const auto out = this->gathered(acc, mask);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].first, 2);
+}
+
+TYPED_TEST(AccumulatorProtocol, ZeroSumEntriesAreStillStructural) {
+  // GraphBLAS structural semantics: a slot whose products cancel to the
+  // semiring zero is still an output entry.
+  auto acc = this->make();
+  const std::vector<I> mask = {5};
+  acc.set_mask(mask);
+  acc.accumulate(5, 2.0);
+  acc.accumulate(5, -2.0);
+  const auto out = this->gathered(acc, mask);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0].second, 0.0);
+}
+
+TYPED_TEST(AccumulatorProtocol, GatherPreservesMaskOrder) {
+  auto acc = this->make();
+  const std::vector<I> mask = {2, 17, 30, 55};
+  acc.set_mask(mask);
+  // Touch in reverse order.
+  acc.accumulate(55, 1.0);
+  acc.accumulate(30, 1.0);
+  acc.accumulate(17, 1.0);
+  acc.accumulate(2, 1.0);
+  const auto out = this->gathered(acc, mask);
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out[0].first, 2);
+  EXPECT_EQ(out[1].first, 17);
+  EXPECT_EQ(out[2].first, 30);
+  EXPECT_EQ(out[3].first, 55);
+}
+
+TYPED_TEST(AccumulatorProtocol, FinishRowInvalidatesState) {
+  for (const ResetPolicy policy : {ResetPolicy::kMarker, ResetPolicy::kExplicit}) {
+    auto acc = this->make(policy);
+    const std::vector<I> mask = {4, 9};
+    acc.set_mask(mask);
+    acc.accumulate(4, 3.0);
+    acc.finish_row(mask);
+    // After finishing the row, old slots must not be masked or gatherable.
+    EXPECT_FALSE(acc.is_masked(4)) << to_string(policy);
+    EXPECT_FALSE(acc.is_masked(9)) << to_string(policy);
+    EXPECT_TRUE(this->gathered(acc, mask).empty()) << to_string(policy);
+  }
+}
+
+TYPED_TEST(AccumulatorProtocol, ManyRowsStayIsolated) {
+  // Stale state from earlier rows must never leak — across enough rows to
+  // force overflow resets for the narrow marker widths.
+  for (const ResetPolicy policy : {ResetPolicy::kMarker, ResetPolicy::kExplicit}) {
+    auto acc = this->make(policy);
+    for (int row = 0; row < 1000; ++row) {
+      const I base = row % (kCols - 2);
+      const std::vector<I> mask = {base, base + 1};
+      acc.set_mask(mask);
+      EXPECT_TRUE(acc.accumulate(base, static_cast<double>(row)));
+      const auto out = this->gathered(acc, mask);
+      ASSERT_EQ(out.size(), 1u) << "row " << row << " policy " << to_string(policy);
+      EXPECT_EQ(out[0].first, base);
+      EXPECT_DOUBLE_EQ(out[0].second, static_cast<double>(row));
+      acc.finish_row(mask);
+    }
+  }
+}
+
+TYPED_TEST(AccumulatorProtocol, EmptyMaskMakesEverythingMiss) {
+  auto acc = this->make();
+  acc.set_mask(std::span<const I>{});
+  EXPECT_FALSE(acc.accumulate(0, 1.0));
+  EXPECT_FALSE(acc.is_masked(0));
+  acc.finish_row(std::span<const I>{});
+}
+
+TYPED_TEST(AccumulatorProtocol, UnmaskedProtocolAccumulatesAndSorts) {
+  auto acc = this->make();
+  acc.begin_unmasked_row(kCols);
+  acc.accumulate_any(40, 1.0);
+  acc.accumulate_any(3, 2.0);
+  acc.accumulate_any(40, 4.0);
+  acc.accumulate_any(21, 8.0);
+  std::vector<std::pair<I, double>> out;
+  acc.gather_unmasked([&](I col, double value) { out.emplace_back(col, value); });
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].first, 3);
+  EXPECT_DOUBLE_EQ(out[0].second, 2.0);
+  EXPECT_EQ(out[1].first, 21);
+  EXPECT_DOUBLE_EQ(out[1].second, 8.0);
+  EXPECT_EQ(out[2].first, 40);
+  EXPECT_DOUBLE_EQ(out[2].second, 5.0);
+  acc.finish_row(std::span<const I>{});
+}
+
+TYPED_TEST(AccumulatorProtocol, UnmaskedThenMaskedRowsInterleave) {
+  for (const ResetPolicy policy : {ResetPolicy::kMarker, ResetPolicy::kExplicit}) {
+    auto acc = this->make(policy);
+    // Unmasked row...
+    acc.begin_unmasked_row(kCols);
+    acc.accumulate_any(10, 1.0);
+    acc.finish_row(std::span<const I>{});
+    // ...must not leak into the next masked row.
+    const std::vector<I> mask = {10, 11};
+    acc.set_mask(mask);
+    const auto out = this->gathered(acc, mask);
+    EXPECT_TRUE(out.empty()) << to_string(policy);
+    acc.finish_row(mask);
+  }
+}
+
+}  // namespace
+}  // namespace tilq

@@ -1,0 +1,89 @@
+// Tests for the SS:GB-like and GrB-like baseline policies: both must agree
+// with the reference product, and their Configs must encode the documented
+// policy points.
+#include "baselines/baselines.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/collection.hpp"
+#include "test_util.hpp"
+
+namespace tilq {
+namespace {
+
+using I = std::int64_t;
+using SR = PlusTimes<double>;
+
+TEST(GrbConfig, EncodesTheGrbPolicy) {
+  const Config config = baselines::make_grb_config(/*threads=*/8);
+  EXPECT_EQ(config.num_tiles, 8);  // p tiles for p threads
+  EXPECT_EQ(config.tiling, Tiling::kFlopBalanced);
+  EXPECT_EQ(config.schedule, Schedule::kStatic);
+  EXPECT_EQ(config.strategy, MaskStrategy::kMaskFirst);  // no co-iteration
+  EXPECT_EQ(config.reset, ResetPolicy::kExplicit);
+  EXPECT_EQ(config.accumulator, AccumulatorKind::kHash);
+}
+
+TEST(GrbConfig, AccumulatorFlagIsRespected) {
+  const Config config =
+      baselines::make_grb_config(4, AccumulatorKind::kDense);
+  EXPECT_EQ(config.accumulator, AccumulatorKind::kDense);
+}
+
+TEST(SsgbConfig, EncodesTheSsgbPolicy) {
+  MatrixStats<I> stats;
+  stats.cols = 1000;
+  const Config config =
+      baselines::make_ssgb_config(stats, /*flops=*/100, /*threads=*/8);
+  EXPECT_EQ(config.num_tiles, 16);  // 2p balanced tiles
+  EXPECT_EQ(config.tiling, Tiling::kFlopBalanced);
+  EXPECT_EQ(config.schedule, Schedule::kDynamic);
+  EXPECT_EQ(config.strategy, MaskStrategy::kHybrid);  // push-pull
+  EXPECT_EQ(config.reset, ResetPolicy::kMarker);
+  EXPECT_EQ(config.marker_width, MarkerWidth::k64);
+}
+
+TEST(SsgbConfig, AccumulatorHeuristicSwitchesOnFlopDensity) {
+  MatrixStats<I> stats;
+  stats.cols = 1000;
+  // Few flops relative to dimension -> hash.
+  EXPECT_EQ(baselines::make_ssgb_config(stats, 100, 4).accumulator,
+            AccumulatorKind::kHash);
+  // Many flops relative to dimension -> dense.
+  EXPECT_EQ(baselines::make_ssgb_config(stats, 1'000'000, 4).accumulator,
+            AccumulatorKind::kDense);
+}
+
+TEST(Baselines, BothMatchOracleOnRandomProblems) {
+  for (const std::uint64_t seed : {1u, 2u}) {
+    const auto mask = test::random_matrix<double, I>(35, 40, 0.12, seed);
+    const auto a = test::random_matrix<double, I>(35, 30, 0.12, seed + 5);
+    const auto b = test::random_matrix<double, I>(30, 40, 0.12, seed + 9);
+    const auto expected = test::reference_masked_spgemm<SR>(mask, a, b);
+    EXPECT_TRUE(
+        test::csr_equal(expected, baselines::ssgb_like<SR>(mask, a, b)));
+    EXPECT_TRUE(test::csr_equal(expected, baselines::grb_like<SR>(mask, a, b)));
+    EXPECT_TRUE(test::csr_equal(
+        expected,
+        baselines::grb_like<SR>(mask, a, b, 2, AccumulatorKind::kDense)));
+  }
+}
+
+TEST(Baselines, AgreeOnACollectionGraph) {
+  // The paper's kernel shape on a small collection analogue.
+  const auto g = make_collection_graph("GAP-road", 0.05);
+  const auto c_ssgb = baselines::ssgb_like<SR>(g, g, g);
+  const auto c_grb = baselines::grb_like<SR>(g, g, g);
+  EXPECT_TRUE(test::csr_equal(c_ssgb, c_grb));
+  EXPECT_LE(c_ssgb.nnz(), g.nnz());
+}
+
+TEST(Baselines, StatsAreReported) {
+  const auto g = make_collection_graph("GAP-road", 0.05);
+  ExecutionStats stats;
+  (void)baselines::ssgb_like<SR>(g, g, g, 2, &stats);
+  EXPECT_EQ(stats.tiles, 4);  // 2p with p=2
+}
+
+}  // namespace
+}  // namespace tilq

@@ -1,0 +1,173 @@
+// Tests for betweenness centrality: closed-form values on structured
+// graphs and a brute-force all-pairs oracle on random graphs.
+#include "algos/betweenness.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <queue>
+
+#include "gen/erdos_renyi.hpp"
+#include "sparse/build.hpp"
+
+namespace tilq {
+namespace {
+
+using I = std::int64_t;
+
+Csr<double, I> graph(I n, const std::vector<std::pair<I, I>>& edges) {
+  Coo<double, I> coo(n, n);
+  for (const auto& [u, v] : edges) {
+    coo.push(u, v, 1.0);
+    coo.push(v, u, 1.0);
+  }
+  return build_csr(coo, DupPolicy::kKeepFirst);
+}
+
+/// Brute-force Brandes oracle: independent BFS + path counting per pair,
+/// O(n^2 m). Endpoint-exclusive, undirected normalization.
+std::vector<double> oracle_betweenness(const Csr<double, I>& adj) {
+  const I n = adj.rows();
+  std::vector<double> bc(static_cast<std::size_t>(n), 0.0);
+  // For every ordered (s, t): distribute 1 unit over shortest s-t paths.
+  for (I s = 0; s < n; ++s) {
+    // BFS from s, with path counts.
+    std::vector<I> dist(static_cast<std::size_t>(n), -1);
+    std::vector<double> sigma(static_cast<std::size_t>(n), 0.0);
+    dist[static_cast<std::size_t>(s)] = 0;
+    sigma[static_cast<std::size_t>(s)] = 1.0;
+    std::queue<I> q;
+    q.push(s);
+    while (!q.empty()) {
+      const I u = q.front();
+      q.pop();
+      for (const I v : adj.row_cols(u)) {
+        if (dist[static_cast<std::size_t>(v)] < 0) {
+          dist[static_cast<std::size_t>(v)] = dist[static_cast<std::size_t>(u)] + 1;
+          q.push(v);
+        }
+        if (dist[static_cast<std::size_t>(v)] ==
+            dist[static_cast<std::size_t>(u)] + 1) {
+          sigma[static_cast<std::size_t>(v)] += sigma[static_cast<std::size_t>(u)];
+        }
+      }
+    }
+    // For each target t, count per-vertex path shares via backward counts.
+    for (I t = 0; t < n; ++t) {
+      if (t == s || dist[static_cast<std::size_t>(t)] <= 0) {
+        continue;
+      }
+      // sigma_t(v): shortest s-t paths through v = sigma(v) * sigma_rev(v),
+      // computed with a reverse BFS from t over the DAG.
+      std::vector<double> sigma_rev(static_cast<std::size_t>(n), 0.0);
+      sigma_rev[static_cast<std::size_t>(t)] = 1.0;
+      for (I d = dist[static_cast<std::size_t>(t)]; d > 0; --d) {
+        for (I v = 0; v < n; ++v) {
+          if (dist[static_cast<std::size_t>(v)] != d) {
+            continue;
+          }
+          for (const I u : adj.row_cols(v)) {
+            if (dist[static_cast<std::size_t>(u)] == d - 1) {
+              sigma_rev[static_cast<std::size_t>(u)] +=
+                  sigma_rev[static_cast<std::size_t>(v)];
+            }
+          }
+        }
+      }
+      for (I v = 0; v < n; ++v) {
+        if (v == s || v == t || dist[static_cast<std::size_t>(v)] < 0) {
+          continue;
+        }
+        bc[static_cast<std::size_t>(v)] +=
+            sigma[static_cast<std::size_t>(v)] *
+            sigma_rev[static_cast<std::size_t>(v)] /
+            sigma[static_cast<std::size_t>(t)];
+      }
+    }
+  }
+  for (double& c : bc) {
+    c *= 0.5;  // each undirected pair counted from both directions
+  }
+  return bc;
+}
+
+TEST(Betweenness, PathGraphCenter) {
+  // Path 0-1-2: vertex 1 lies on the single 0-2 path => BC(1) = 1.
+  const auto bc = betweenness_centrality(graph(3, {{0, 1}, {1, 2}}));
+  EXPECT_DOUBLE_EQ(bc[0], 0.0);
+  EXPECT_DOUBLE_EQ(bc[1], 1.0);
+  EXPECT_DOUBLE_EQ(bc[2], 0.0);
+}
+
+TEST(Betweenness, StarCenterCarriesAllPairs) {
+  // Star with k leaves: centre lies on all C(k,2) leaf pairs.
+  const auto bc = betweenness_centrality(
+      graph(5, {{0, 1}, {0, 2}, {0, 3}, {0, 4}}));
+  EXPECT_DOUBLE_EQ(bc[0], 6.0);  // C(4,2)
+  for (int leaf = 1; leaf <= 4; ++leaf) {
+    EXPECT_DOUBLE_EQ(bc[static_cast<std::size_t>(leaf)], 0.0);
+  }
+}
+
+TEST(Betweenness, CompleteGraphIsZero) {
+  // Every pair is adjacent: no vertex is interior to any shortest path.
+  Coo<double, I> coo(5, 5);
+  for (I i = 0; i < 5; ++i) {
+    for (I j = 0; j < 5; ++j) {
+      if (i != j) {
+        coo.push(i, j, 1.0);
+      }
+    }
+  }
+  const auto bc = betweenness_centrality(build_csr(coo));
+  for (const double c : bc) {
+    EXPECT_DOUBLE_EQ(c, 0.0);
+  }
+}
+
+TEST(Betweenness, EvenCycleSplitsTies) {
+  // C6: each vertex is the unique middle of one distance-2 pair (+1) and
+  // an interior of two opposite pairs at weight 1/2 each (+1): BC = 2.
+  const auto bc = betweenness_centrality(
+      graph(6, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0}}));
+  for (const double c : bc) {
+    EXPECT_NEAR(c, 2.0, 1e-12);
+  }
+}
+
+TEST(Betweenness, MatchesBruteForceOracleOnRandomGraphs) {
+  for (const std::uint64_t seed : {1u, 2u, 3u}) {
+    ErdosRenyiParams p;
+    p.nodes = 40;
+    p.edges = 120;
+    p.seed = seed;
+    const auto g = generate_erdos_renyi(p);
+    const auto expected = oracle_betweenness(g);
+    const auto actual = betweenness_centrality(g);
+    ASSERT_EQ(actual.size(), expected.size());
+    for (std::size_t v = 0; v < expected.size(); ++v) {
+      EXPECT_NEAR(actual[v], expected[v], 1e-9) << "seed " << seed << " v " << v;
+    }
+  }
+}
+
+TEST(Betweenness, SampledApproximationIsUnbiasedOnSymmetricGraph) {
+  // On a vertex-transitive graph every source contributes identically, so
+  // any sample gives the exact answer (after scaling).
+  const auto g = graph(6, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0}});
+  BetweennessOptions options;
+  options.sources = 3;
+  const auto bc = betweenness_centrality(g, options);
+  double total = 0.0;
+  for (const double c : bc) {
+    total += c;
+  }
+  EXPECT_NEAR(total, 12.0, 1e-9);  // exact total = 6 * 2
+}
+
+TEST(Betweenness, InvalidArgumentsThrow) {
+  EXPECT_THROW(betweenness_centrality(Csr<double, I>(2, 3)), PreconditionError);
+}
+
+}  // namespace
+}  // namespace tilq

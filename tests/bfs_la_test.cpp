@@ -1,0 +1,105 @@
+// Tests for linear-algebraic BFS: agreement with the direct implementation
+// across graph kinds and forced modes.
+#include "algos/bfs_la.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "algos/bfs.hpp"
+#include "gen/rmat.hpp"
+#include "gen/road_network.hpp"
+#include "gen/watts_strogatz.hpp"
+#include "sparse/build.hpp"
+
+namespace tilq {
+namespace {
+
+using I = std::int64_t;
+
+Csr<double, I> graph(I n, const std::vector<std::pair<I, I>>& edges) {
+  Coo<double, I> coo(n, n);
+  for (const auto& [u, v] : edges) {
+    coo.push(u, v, 1.0);
+    coo.push(v, u, 1.0);
+  }
+  return build_csr(coo, DupPolicy::kKeepFirst);
+}
+
+TEST(BfsLa, PathGraphLevels) {
+  const auto g = graph(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}});
+  const auto r = bfs_linear_algebra(g, 0);
+  EXPECT_EQ(r.level, (std::vector<I>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(r.reached, 5);
+}
+
+TEST(BfsLa, DisconnectedVerticesStayUnreached) {
+  const auto g = graph(5, {{0, 1}, {3, 4}});
+  const auto r = bfs_linear_algebra(g, 0);
+  EXPECT_EQ(r.level, (std::vector<I>{0, 1, -1, -1, -1}));
+  EXPECT_EQ(r.reached, 2);
+}
+
+TEST(BfsLa, InvalidArgumentsThrow) {
+  EXPECT_THROW(bfs_linear_algebra(Csr<double, I>(2, 3), 0), PreconditionError);
+  EXPECT_THROW(bfs_linear_algebra(Csr<double, I>(2, 2), 5), PreconditionError);
+}
+
+class BfsLaAgreement : public ::testing::TestWithParam<int> {};
+
+TEST_P(BfsLaAgreement, MatchesDirectBfsOnVariedGraphs) {
+  const int which = GetParam();
+  Csr<double, I> g;
+  switch (which) {
+    case 0: {
+      RmatParams p;
+      p.scale = 9;
+      p.edge_factor = 8;
+      g = generate_rmat(p);
+      break;
+    }
+    case 1: {
+      RoadNetworkParams p;
+      p.width = 30;
+      p.height = 30;
+      g = generate_road_network(p);
+      break;
+    }
+    default: {
+      WattsStrogatzParams p;
+      p.nodes = 500;
+      p.k = 3;
+      g = generate_watts_strogatz(p);
+      break;
+    }
+  }
+  const auto direct = bfs(g, 0);
+  // All three LA modes must produce identical levels.
+  for (const int mode : {0, 1, 2}) {
+    BfsLaOptions options;
+    options.force_mode = mode;
+    const auto la = bfs_linear_algebra(g, 0, options);
+    EXPECT_EQ(la.level, direct.level) << "graph " << which << " mode " << mode;
+    EXPECT_EQ(la.reached, direct.reached);
+    if (mode == 1) {
+      EXPECT_EQ(la.pull_steps, 0);
+    }
+    if (mode == 2) {
+      EXPECT_EQ(la.push_steps, 0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(GraphKinds, BfsLaAgreement, ::testing::Values(0, 1, 2));
+
+TEST(BfsLa, AutoModePullsOnDenseGraphs) {
+  RmatParams p;
+  p.scale = 10;
+  p.edge_factor = 16;
+  const auto g = generate_rmat(p);
+  const auto r = bfs_linear_algebra(g, 0);
+  EXPECT_GT(r.pull_steps, 0);
+}
+
+}  // namespace
+}  // namespace tilq

@@ -1,0 +1,118 @@
+// Tests for direction-optimizing BFS.
+#include "algos/bfs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "gen/rmat.hpp"
+#include "gen/road_network.hpp"
+#include "sparse/build.hpp"
+
+namespace tilq {
+namespace {
+
+using I = std::int64_t;
+
+Csr<double, I> graph(I n, const std::vector<std::pair<I, I>>& edges) {
+  Coo<double, I> coo(n, n);
+  for (const auto& [u, v] : edges) {
+    coo.push(u, v, 1.0);
+    coo.push(v, u, 1.0);
+  }
+  return build_csr(coo, DupPolicy::kKeepFirst);
+}
+
+TEST(Bfs, PathGraphLevels) {
+  const auto g = graph(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}});
+  const auto r = bfs(g, 0);
+  EXPECT_EQ(r.level, (std::vector<I>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(r.reached, 5);
+}
+
+TEST(Bfs, StartFromTheMiddle) {
+  const auto g = graph(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}});
+  const auto r = bfs(g, 2);
+  EXPECT_EQ(r.level, (std::vector<I>{2, 1, 0, 1, 2}));
+}
+
+TEST(Bfs, StarGraph) {
+  const auto g = graph(5, {{0, 1}, {0, 2}, {0, 3}, {0, 4}});
+  const auto center = bfs(g, 0);
+  EXPECT_EQ(center.level, (std::vector<I>{0, 1, 1, 1, 1}));
+  const auto leaf = bfs(g, 3);
+  EXPECT_EQ(leaf.level, (std::vector<I>{1, 2, 2, 0, 2}));
+}
+
+TEST(Bfs, DisconnectedComponentIsUnreached) {
+  const auto g = graph(5, {{0, 1}, {1, 2}, {3, 4}});
+  const auto r = bfs(g, 0);
+  EXPECT_EQ(r.level, (std::vector<I>{0, 1, 2, -1, -1}));
+  EXPECT_EQ(r.reached, 3);
+}
+
+TEST(Bfs, IsolatedSource) {
+  const auto g = graph(3, {{1, 2}});
+  const auto r = bfs(g, 0);
+  EXPECT_EQ(r.level, (std::vector<I>{0, -1, -1}));
+  EXPECT_EQ(r.reached, 1);
+}
+
+TEST(Bfs, InvalidArgumentsThrow) {
+  EXPECT_THROW(bfs(Csr<double, I>(2, 3), 0), PreconditionError);
+  EXPECT_THROW(bfs(Csr<double, I>(2, 2), 2), PreconditionError);
+  EXPECT_THROW(bfs(Csr<double, I>(2, 2), -1), PreconditionError);
+}
+
+class BfsModes : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BfsModes, PushPullAndAutoAgree) {
+  RmatParams p;
+  p.scale = 10;
+  p.edge_factor = 8;
+  p.seed = GetParam();
+  const auto g = generate_rmat(p);
+  BfsOptions push_only;
+  push_only.force_mode = 1;
+  BfsOptions pull_only;
+  pull_only.force_mode = 2;
+  const auto auto_result = bfs(g, 0);
+  const auto push_result = bfs(g, 0, push_only);
+  const auto pull_result = bfs(g, 0, pull_only);
+  EXPECT_EQ(auto_result.level, push_result.level);
+  EXPECT_EQ(auto_result.level, pull_result.level);
+  EXPECT_EQ(push_result.pull_steps, 0);
+  EXPECT_EQ(pull_result.push_steps, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BfsModes, ::testing::Values(1, 2, 3, 4));
+
+TEST(Bfs, AutoModeUsesPullOnDenseFrontiers) {
+  // A dense social-like graph reaches a huge frontier in one hop; the alpha
+  // heuristic must switch to pull at least once.
+  RmatParams p;
+  p.scale = 11;
+  p.edge_factor = 16;
+  const auto g = generate_rmat(p);
+  const auto r = bfs(g, 0);
+  EXPECT_GT(r.pull_steps, 0);
+  EXPECT_GT(r.push_steps, 0);  // first/last hops are still pushed
+}
+
+TEST(Bfs, RoadNetworkStaysInPushMode) {
+  // Road networks have near-constant tiny frontiers: pull should never win.
+  RoadNetworkParams p;
+  p.width = 40;
+  p.height = 40;
+  p.deletion_prob = 0.0;
+  p.shortcut_prob = 0.0;  // diagonals would shorten the Manhattan distance
+  const auto g = generate_road_network(p);
+  const auto r = bfs(g, 0);
+  EXPECT_EQ(r.pull_steps, 0);
+  EXPECT_EQ(r.reached, 1600);
+  // Manhattan distance graph: the far corner is at level 78.
+  EXPECT_EQ(r.level[1599], 39 + 39);
+}
+
+}  // namespace
+}  // namespace tilq

@@ -1,0 +1,136 @@
+// Tests for the COO container and the COO -> CSR builder (duplicate
+// policies, sorting, determinism).
+#include "sparse/build.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "sparse/coo.hpp"
+#include "support/rng.hpp"
+
+namespace tilq {
+namespace {
+
+using I = std::int64_t;
+
+TEST(Coo, PushBoundsChecked) {
+  Coo<double, I> coo(2, 2);
+  EXPECT_NO_THROW(coo.push(0, 0, 1.0));
+  EXPECT_NO_THROW(coo.push(1, 1, 1.0));
+  EXPECT_THROW(coo.push(2, 0, 1.0), PreconditionError);
+  EXPECT_THROW(coo.push(0, 2, 1.0), PreconditionError);
+  EXPECT_THROW(coo.push(-1, 0, 1.0), PreconditionError);
+  EXPECT_EQ(coo.nnz(), 2);
+}
+
+TEST(BuildCsr, SortsColumnsWithinRows) {
+  Coo<double, I> coo(2, 5);
+  coo.push(0, 4, 1.0);
+  coo.push(0, 1, 2.0);
+  coo.push(0, 3, 3.0);
+  coo.push(1, 2, 4.0);
+  coo.push(1, 0, 5.0);
+  const auto m = build_csr(coo);
+  EXPECT_TRUE(m.check());
+  const auto cols0 = m.row_cols(0);
+  EXPECT_EQ(cols0[0], 1);
+  EXPECT_EQ(cols0[1], 3);
+  EXPECT_EQ(cols0[2], 4);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 0), 5.0);
+}
+
+TEST(BuildCsr, EmptyCooGivesEmptyMatrix) {
+  const Coo<double, I> coo(4, 4);
+  const auto m = build_csr(coo);
+  EXPECT_EQ(m.rows(), 4);
+  EXPECT_EQ(m.nnz(), 0);
+  EXPECT_TRUE(m.check());
+}
+
+TEST(BuildCsr, DupPolicySumAddsValues) {
+  Coo<double, I> coo(1, 3);
+  coo.push(0, 1, 2.0);
+  coo.push(0, 1, 3.0);
+  coo.push(0, 1, 5.0);
+  const auto m = build_csr(coo, DupPolicy::kSum);
+  EXPECT_EQ(m.nnz(), 1);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 10.0);
+}
+
+TEST(BuildCsr, DupPolicyKeepFirstUsesFirstInsertion) {
+  Coo<double, I> coo(1, 3);
+  coo.push(0, 1, 2.0);
+  coo.push(0, 1, 3.0);
+  const auto m = build_csr(coo, DupPolicy::kKeepFirst);
+  EXPECT_EQ(m.nnz(), 1);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 2.0);
+}
+
+TEST(BuildCsr, DupPolicyErrorThrows) {
+  Coo<double, I> coo(1, 3);
+  coo.push(0, 1, 2.0);
+  coo.push(0, 1, 3.0);
+  EXPECT_THROW(build_csr(coo, DupPolicy::kError), PreconditionError);
+}
+
+TEST(BuildCsr, NoDuplicatesPassesErrorPolicy) {
+  Coo<double, I> coo(2, 2);
+  coo.push(0, 0, 1.0);
+  coo.push(1, 1, 2.0);
+  EXPECT_NO_THROW(build_csr(coo, DupPolicy::kError));
+}
+
+TEST(BuildCsr, RandomRoundTripPreservesEntries) {
+  // Property: for duplicate-free input, build_csr is a bijection of the
+  // entry set regardless of insertion order.
+  Xoshiro256 rng(5);
+  Coo<double, I> coo(50, 50);
+  std::vector<Triplet<double, I>> truth;
+  for (I i = 0; i < 50; ++i) {
+    for (I j = 0; j < 50; ++j) {
+      if (rng.bernoulli(0.1)) {
+        const double v = rng.uniform();
+        truth.push_back({i, j, v});
+      }
+    }
+  }
+  // Insert in shuffled order.
+  std::vector<std::size_t> order(truth.size());
+  for (std::size_t p = 0; p < order.size(); ++p) {
+    order[p] = p;
+  }
+  for (std::size_t p = order.size(); p > 1; --p) {
+    std::swap(order[p - 1], order[rng.uniform_below(p)]);
+  }
+  for (const std::size_t p : order) {
+    coo.push(truth[p].row, truth[p].col, truth[p].value);
+  }
+  const auto m = build_csr(coo, DupPolicy::kError);
+  EXPECT_TRUE(m.check());
+  EXPECT_EQ(static_cast<std::size_t>(m.nnz()), truth.size());
+  for (const auto& t : truth) {
+    EXPECT_DOUBLE_EQ(m.at(t.row, t.col), t.value);
+  }
+}
+
+TEST(CsrFromTriplets, Convenience) {
+  const auto m = csr_from_triplets<double, I>(2, 2, {{0, 1, 3.0}, {1, 0, 4.0}});
+  EXPECT_EQ(m.nnz(), 2);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 3.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 0), 4.0);
+}
+
+TEST(CsrIdentity, IsIdentity) {
+  const auto eye = csr_identity<double, I>(5);
+  EXPECT_EQ(eye.nnz(), 5);
+  EXPECT_TRUE(eye.check());
+  for (I i = 0; i < 5; ++i) {
+    EXPECT_DOUBLE_EQ(eye.at(i, i), 1.0);
+    EXPECT_EQ(eye.row_nnz(i), 1);
+  }
+}
+
+}  // namespace
+}  // namespace tilq

@@ -1,0 +1,112 @@
+// Tests for the synthetic matrix collection (the Table-I analogues).
+#include "gen/collection.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sparse/stats.hpp"
+#include "support/common.hpp"
+
+namespace tilq {
+namespace {
+
+TEST(Collection, HasTheTenTableOneEntries) {
+  const auto names = collection_names();
+  ASSERT_EQ(names.size(), 10u);
+  EXPECT_EQ(names.front(), "arabic-2005");
+  EXPECT_EQ(names.back(), "uk-2002");
+}
+
+TEST(Collection, EntriesCarryPaperSizes) {
+  const auto& entry = collection_entry("com-Orkut");
+  EXPECT_EQ(entry.kind, GraphKind::kSocial);
+  EXPECT_EQ(entry.paper_n, 3072441);
+  EXPECT_EQ(entry.paper_nnz, 234370166);
+}
+
+TEST(Collection, UnknownNameThrows) {
+  EXPECT_THROW(collection_entry("nonexistent"), PreconditionError);
+  EXPECT_THROW(make_collection_graph("nonexistent"), PreconditionError);
+  EXPECT_THROW(make_collection_graph("GAP-road", -1.0), PreconditionError);
+}
+
+TEST(Collection, KindNames) {
+  EXPECT_STREQ(to_string(GraphKind::kWeb), "web");
+  EXPECT_STREQ(to_string(GraphKind::kCircuit), "circuit");
+  EXPECT_STREQ(to_string(GraphKind::kSocial), "social");
+  EXPECT_STREQ(to_string(GraphKind::kRoad), "road");
+}
+
+class CollectionGraphs : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(CollectionGraphs, GeneratesValidDeterministicGraphs) {
+  // Smoke-scale instances: structural validity + determinism per name.
+  const std::string name = GetParam();
+  const auto g = make_collection_graph(name, /*scale=*/0.1, /*seed=*/3);
+  EXPECT_TRUE(g.check());
+  EXPECT_EQ(g.rows(), g.cols());
+  EXPECT_GT(g.nnz(), 0);
+  for (std::int64_t i = 0; i < g.rows(); ++i) {
+    ASSERT_FALSE(g.contains(i, i)) << name << " has a self-loop at " << i;
+  }
+  EXPECT_EQ(g, make_collection_graph(name, 0.1, 3));
+  EXPECT_NE(g, make_collection_graph(name, 0.1, 4));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllNames, CollectionGraphs,
+                         ::testing::ValuesIn(collection_names()),
+                         [](const auto& param_info) {
+                           std::string name = param_info.param;
+                           for (auto& ch : name) {
+                             if (ch == '-') {
+                               ch = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+TEST(Collection, ScaleGrowsTheGraph) {
+  const auto small = make_collection_graph("GAP-road", 0.05);
+  const auto large = make_collection_graph("GAP-road", 0.2);
+  EXPECT_GT(large.rows(), small.rows());
+  EXPECT_GT(large.nnz(), small.nnz());
+}
+
+TEST(Collection, RoadAnaloguesHaveTinyDegrees) {
+  for (const char* name : {"europe_osm", "GAP-road"}) {
+    const auto stats = compute_stats(make_collection_graph(name, 0.2));
+    EXPECT_LT(stats.mean_row_nnz, 4.0) << name;
+    EXPECT_LE(stats.max_row_nnz, 10) << name;
+  }
+}
+
+TEST(Collection, SocialAnaloguesHaveSkew) {
+  for (const char* name : {"com-Orkut", "hollywood-2009"}) {
+    const auto stats = compute_stats(make_collection_graph(name, 0.25));
+    EXPECT_GT(static_cast<double>(stats.max_row_nnz), 5.0 * stats.mean_row_nnz)
+        << name;
+  }
+}
+
+TEST(Collection, CircuitAnalogueHasRailRows) {
+  const auto g = make_collection_graph("circuit5M", 0.25);
+  const auto stats = compute_stats(g);
+  // The rails must reach a large fraction of the matrix dimension.
+  EXPECT_GT(stats.max_row_nnz, g.rows() / 5);
+}
+
+TEST(Collection, DirectedWebAnaloguesAreAsymmetric) {
+  const auto g = make_collection_graph("uk-2002", 0.1);
+  bool found_asymmetry = false;
+  for (std::int64_t i = 0; i < g.rows() && !found_asymmetry; ++i) {
+    for (const std::int64_t j : g.row_cols(i)) {
+      if (!g.contains(j, i)) {
+        found_asymmetry = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(found_asymmetry);
+}
+
+}  // namespace
+}  // namespace tilq

@@ -1,0 +1,92 @@
+// Unit tests for support/common.hpp.
+#include "support/common.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+namespace tilq {
+namespace {
+
+TEST(Require, PassesOnTrue) { EXPECT_NO_THROW(require(true, "ok")); }
+
+TEST(Require, ThrowsPreconditionErrorOnFalse) {
+  EXPECT_THROW(require(false, "boom"), PreconditionError);
+}
+
+TEST(Require, MessageIsPreserved) {
+  try {
+    require(false, "specific message");
+    FAIL() << "expected throw";
+  } catch (const PreconditionError& e) {
+    EXPECT_STREQ(e.what(), "specific message");
+  }
+}
+
+TEST(Narrow, LosslessConversionSucceeds) {
+  EXPECT_EQ(narrow<std::int32_t>(std::int64_t{42}), 42);
+  EXPECT_EQ(narrow<std::uint8_t>(255), 255);
+  EXPECT_EQ(narrow<std::int16_t>(-32768), -32768);
+}
+
+TEST(Narrow, OverflowThrows) {
+  EXPECT_THROW(narrow<std::int8_t>(300), std::range_error);
+  EXPECT_THROW(narrow<std::uint8_t>(-1), std::range_error);
+  EXPECT_THROW(narrow<std::int32_t>(std::int64_t{1} << 40), std::range_error);
+}
+
+TEST(Narrow, SignednessMismatchThrows) {
+  EXPECT_THROW(narrow<std::uint64_t>(std::int64_t{-5}), std::range_error);
+}
+
+TEST(NarrowCast, LosslessConversion) {
+  EXPECT_EQ(narrow_cast<std::int32_t>(std::int64_t{7}), 7);
+}
+
+TEST(NextPow2, ExactPowersArePreserved) {
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(2), 2u);
+  EXPECT_EQ(next_pow2(1024), 1024u);
+}
+
+TEST(NextPow2, RoundsUp) {
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(1025), 2048u);
+  EXPECT_EQ(next_pow2(5), 8u);
+}
+
+TEST(IsPow2, Classification) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(64));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_FALSE(is_pow2(96));
+}
+
+TEST(FloorLog2, KnownValues) {
+  EXPECT_EQ(floor_log2(1), 0u);
+  EXPECT_EQ(floor_log2(2), 1u);
+  EXPECT_EQ(floor_log2(3), 1u);
+  EXPECT_EQ(floor_log2(1024), 10u);
+  EXPECT_EQ(floor_log2(1025), 10u);
+}
+
+TEST(CeilLog2, KnownValues) {
+  EXPECT_EQ(ceil_log2(1), 0u);
+  EXPECT_EQ(ceil_log2(2), 1u);
+  EXPECT_EQ(ceil_log2(3), 2u);
+  EXPECT_EQ(ceil_log2(1024), 10u);
+  EXPECT_EQ(ceil_log2(1025), 11u);
+}
+
+TEST(CeilDiv, KnownValues) {
+  EXPECT_EQ(ceil_div(10, 3), 4);
+  EXPECT_EQ(ceil_div(9, 3), 3);
+  EXPECT_EQ(ceil_div(0, 5), 0);
+  EXPECT_EQ(ceil_div(std::int64_t{1} << 40, std::int64_t{7}),
+            ((std::int64_t{1} << 40) + 6) / 7);
+}
+
+}  // namespace
+}  // namespace tilq

@@ -1,0 +1,91 @@
+// Tests for connected components.
+#include "algos/components.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "gen/road_network.hpp"
+#include "sparse/build.hpp"
+
+namespace tilq {
+namespace {
+
+using I = std::int64_t;
+
+Csr<double, I> graph(I n, const std::vector<std::pair<I, I>>& edges) {
+  Coo<double, I> coo(n, n);
+  for (const auto& [u, v] : edges) {
+    coo.push(u, v, 1.0);
+    coo.push(v, u, 1.0);
+  }
+  return build_csr(coo, DupPolicy::kKeepFirst);
+}
+
+TEST(Components, SingleComponent) {
+  const auto g = graph(4, {{0, 1}, {1, 2}, {2, 3}});
+  const auto r = connected_components(g);
+  EXPECT_EQ(r.count, 1);
+  EXPECT_EQ(r.largest_size, 4);
+  for (const I c : r.component) {
+    EXPECT_EQ(c, r.largest_id);
+  }
+}
+
+TEST(Components, IsolatedVerticesAreSingletons) {
+  const auto g = graph(5, {{1, 2}});
+  const auto r = connected_components(g);
+  EXPECT_EQ(r.count, 4);  // {0}, {1,2}, {3}, {4}
+  EXPECT_EQ(r.largest_size, 2);
+  EXPECT_EQ(r.component[1], r.component[2]);
+  EXPECT_NE(r.component[0], r.component[1]);
+  EXPECT_NE(r.component[3], r.component[4]);
+}
+
+TEST(Components, SizesSumToVertexCount) {
+  const auto g = graph(10, {{0, 1}, {2, 3}, {3, 4}, {5, 6}, {6, 7}, {7, 5}});
+  const auto r = connected_components(g);
+  I total = 0;
+  for (const I s : r.size) {
+    total += s;
+  }
+  EXPECT_EQ(total, 10);
+  EXPECT_EQ(static_cast<I>(r.size.size()), r.count);
+}
+
+TEST(Components, EmptyGraph) {
+  const auto r = connected_components(Csr<double, I>(0, 0));
+  EXPECT_EQ(r.count, 0);
+  EXPECT_EQ(r.largest_size, 0);
+}
+
+TEST(Components, NonSquareThrows) {
+  EXPECT_THROW(connected_components(Csr<double, I>(2, 3)), PreconditionError);
+}
+
+TEST(Components, FragmentedRoadNetworkHasGiantComponent) {
+  RoadNetworkParams p;
+  p.width = 80;
+  p.height = 80;
+  p.deletion_prob = 0.45;  // the europe_osm analogue's setting
+  const auto g = generate_road_network(p);
+  const auto r = connected_components(g);
+  EXPECT_GT(r.count, 1);  // fragmentation is expected near the threshold
+  // Bond percolation with keep-prob 0.55 > 0.5: a giant component exists.
+  EXPECT_GT(r.largest_size, g.rows() / 10);
+}
+
+TEST(LargestComponentMember, PicksHighDegreeVertexInGiant) {
+  // Two components: a triangle and a star; star is larger, its centre has
+  // the highest degree there.
+  const auto g =
+      graph(9, {{0, 1}, {1, 2}, {0, 2}, {4, 3}, {4, 5}, {4, 6}, {4, 7}, {4, 8}});
+  EXPECT_EQ(largest_component_member(g), 4);
+}
+
+TEST(LargestComponentMember, SingleVertexGraph) {
+  EXPECT_EQ(largest_component_member(Csr<double, I>(1, 1)), 0);
+}
+
+}  // namespace
+}  // namespace tilq

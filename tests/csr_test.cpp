@@ -1,0 +1,131 @@
+// Tests for the Csr container: construction, invariants, accessors, and
+// the structural validator.
+#include "sparse/csr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "sparse/build.hpp"
+
+namespace tilq {
+namespace {
+
+using I = std::int64_t;
+using M = Csr<double, I>;
+
+M small_matrix() {
+  // [ 1 0 2 ]
+  // [ 0 0 0 ]
+  // [ 3 4 0 ]
+  return M(3, 3, {0, 2, 2, 4}, {0, 2, 0, 1}, {1.0, 2.0, 3.0, 4.0});
+}
+
+TEST(Csr, DefaultConstructedIsEmpty) {
+  const M m;
+  EXPECT_EQ(m.rows(), 0);
+  EXPECT_EQ(m.cols(), 0);
+  EXPECT_EQ(m.nnz(), 0);
+  EXPECT_TRUE(m.empty());
+  EXPECT_TRUE(m.check());
+}
+
+TEST(Csr, ShapeOnlyConstructor) {
+  const M m(5, 7);
+  EXPECT_EQ(m.rows(), 5);
+  EXPECT_EQ(m.cols(), 7);
+  EXPECT_EQ(m.nnz(), 0);
+  EXPECT_TRUE(m.check());
+  for (I i = 0; i < 5; ++i) {
+    EXPECT_EQ(m.row_nnz(i), 0);
+  }
+}
+
+TEST(Csr, NegativeDimensionThrows) {
+  EXPECT_THROW(M(-1, 3), PreconditionError);
+  EXPECT_THROW(M(3, -1), PreconditionError);
+}
+
+TEST(Csr, ArrayConstructorBasics) {
+  const M m = small_matrix();
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_EQ(m.nnz(), 4);
+  EXPECT_TRUE(m.check());
+}
+
+TEST(Csr, MismatchedArraysThrow) {
+  // row_ptr too short.
+  EXPECT_THROW(M(3, 3, {0, 2, 4}, {0, 2, 0, 1}, {1, 2, 3, 4}), PreconditionError);
+  // col/val length mismatch.
+  EXPECT_THROW(M(3, 3, {0, 2, 2, 4}, {0, 2, 0, 1}, {1, 2, 3}), PreconditionError);
+  // row_ptr not ending at nnz.
+  EXPECT_THROW(M(3, 3, {0, 2, 2, 3}, {0, 2, 0, 1}, {1, 2, 3, 4}), PreconditionError);
+}
+
+TEST(Csr, RowAccessors) {
+  const M m = small_matrix();
+  EXPECT_EQ(m.row_nnz(0), 2);
+  EXPECT_EQ(m.row_nnz(1), 0);
+  EXPECT_EQ(m.row_nnz(2), 2);
+
+  const auto cols0 = m.row_cols(0);
+  ASSERT_EQ(cols0.size(), 2u);
+  EXPECT_EQ(cols0[0], 0);
+  EXPECT_EQ(cols0[1], 2);
+
+  const auto vals2 = m.row_vals(2);
+  ASSERT_EQ(vals2.size(), 2u);
+  EXPECT_DOUBLE_EQ(vals2[0], 3.0);
+  EXPECT_DOUBLE_EQ(vals2[1], 4.0);
+
+  EXPECT_TRUE(m.row_cols(1).empty());
+}
+
+TEST(Csr, ContainsAndAt) {
+  const M m = small_matrix();
+  EXPECT_TRUE(m.contains(0, 0));
+  EXPECT_TRUE(m.contains(0, 2));
+  EXPECT_FALSE(m.contains(0, 1));
+  EXPECT_FALSE(m.contains(1, 0));
+  EXPECT_TRUE(m.contains(2, 1));
+
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 2), 2.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 0.0);  // missing entry reads as T{}
+  EXPECT_DOUBLE_EQ(m.at(2, 1), 4.0);
+}
+
+TEST(Csr, EqualityComparesEverything) {
+  EXPECT_EQ(small_matrix(), small_matrix());
+  const M different_value(3, 3, {0, 2, 2, 4}, {0, 2, 0, 1}, {1.0, 2.0, 3.0, 5.0});
+  EXPECT_NE(small_matrix(), different_value);
+}
+
+TEST(CsrCheck, DetectsUnsortedRow) {
+  M m = small_matrix();
+  std::swap(m.mutable_col_idx()[0], m.mutable_col_idx()[1]);
+  EXPECT_FALSE(m.check());
+}
+
+TEST(CsrCheck, DetectsDuplicateColumn) {
+  M m = small_matrix();
+  m.mutable_col_idx()[1] = 0;  // row 0 becomes {0, 0}
+  EXPECT_FALSE(m.check());
+}
+
+TEST(CsrCheck, DetectsOutOfRangeColumn) {
+  M m = small_matrix();
+  m.mutable_col_idx()[3] = 99;
+  EXPECT_FALSE(m.check());
+}
+
+TEST(CsrCheck, DetectsNonMonotoneRowPtr) {
+  M m = small_matrix();
+  m.mutable_row_ptr()[1] = 3;
+  m.mutable_row_ptr()[2] = 2;
+  EXPECT_FALSE(m.check());
+}
+
+}  // namespace
+}  // namespace tilq

@@ -1,0 +1,120 @@
+// Implementation-specific tests for the dense accumulator: marker overflow
+// accounting (the width-vs-reset trade of Fig 13) and reset-policy
+// differences.
+#include "accum/dense_accumulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/semiring.hpp"
+
+namespace tilq {
+namespace {
+
+using I = std::int64_t;
+using SR = PlusTimes<double>;
+
+TEST(DenseAccumulator, NegativeColsThrows) {
+  using Acc = DenseAccumulator<SR, I, std::uint32_t>;
+  EXPECT_THROW(Acc(-1), PreconditionError);
+}
+
+TEST(DenseAccumulator, EightBitMarkerOverflowsEvery127Rows) {
+  // With an 8-bit marker, epochs 1..127 fit (2*127+1 = 255); the 128th
+  // finish_row must perform a full reset.
+  DenseAccumulator<SR, I, std::uint8_t> acc(16);
+  const std::vector<I> mask = {0};
+  for (int row = 0; row < 127; ++row) {
+    acc.set_mask(mask);
+    acc.finish_row(mask);
+  }
+  EXPECT_EQ(acc.counters().full_resets, 1u);
+  for (int row = 0; row < 127; ++row) {
+    acc.set_mask(mask);
+    acc.finish_row(mask);
+  }
+  EXPECT_EQ(acc.counters().full_resets, 2u);
+}
+
+TEST(DenseAccumulator, SixtyFourBitMarkerNeverOverflowsInPractice) {
+  DenseAccumulator<SR, I, std::uint64_t> acc(16);
+  const std::vector<I> mask = {0};
+  for (int row = 0; row < 100000; ++row) {
+    acc.set_mask(mask);
+    acc.finish_row(mask);
+  }
+  EXPECT_EQ(acc.counters().full_resets, 0u);
+}
+
+TEST(DenseAccumulator, WiderMarkersResetLessOften) {
+  // The paper's trade-off, quantified: full resets per 10k rows must be
+  // monotonically non-increasing in marker width.
+  const std::vector<I> mask = {0};
+  auto resets_for = [&](auto acc) {
+    for (int row = 0; row < 10000; ++row) {
+      acc.set_mask(mask);
+      acc.finish_row(mask);
+    }
+    return acc.counters().full_resets;
+  };
+  const auto r8 = resets_for(DenseAccumulator<SR, I, std::uint8_t>(8));
+  const auto r16 = resets_for(DenseAccumulator<SR, I, std::uint16_t>(8));
+  const auto r32 = resets_for(DenseAccumulator<SR, I, std::uint32_t>(8));
+  EXPECT_GT(r8, r16);
+  EXPECT_GE(r16, r32);
+  EXPECT_EQ(r32, 0u);
+  EXPECT_EQ(r8, 10000u / 127u);
+}
+
+TEST(DenseAccumulator, ExplicitPolicyNeverFullResets) {
+  DenseAccumulator<SR, I, std::uint8_t> acc(16, ResetPolicy::kExplicit);
+  const std::vector<I> mask = {0, 1, 2};
+  for (int row = 0; row < 1000; ++row) {
+    acc.set_mask(mask);
+    acc.accumulate(1, 1.0);
+    acc.finish_row(mask);
+  }
+  EXPECT_EQ(acc.counters().full_resets, 0u);
+  EXPECT_EQ(acc.policy(), ResetPolicy::kExplicit);
+}
+
+TEST(DenseAccumulator, CorrectAcrossOverflowBoundary) {
+  // Values accumulated in the row right after a full reset must be exact.
+  DenseAccumulator<SR, I, std::uint8_t> acc(8);
+  const std::vector<I> mask = {2, 5};
+  double expected_row_value = 0.0;
+  for (int row = 0; row < 400; ++row) {
+    acc.set_mask(mask);
+    expected_row_value = static_cast<double>(row + 1);
+    acc.accumulate(5, expected_row_value);
+    double seen = -1.0;
+    acc.gather(std::span<const I>(mask), [&](I col, double v) {
+      if (col == 5) {
+        seen = v;
+      }
+    });
+    ASSERT_DOUBLE_EQ(seen, expected_row_value) << "row " << row;
+    acc.finish_row(mask);
+  }
+  EXPECT_GE(acc.counters().full_resets, 3u);
+}
+
+TEST(DenseAccumulator, MinPlusSemiringUsesItsZero) {
+  // With MinPlus, zero() is +inf-like; set_mask must initialize slots to it
+  // so the first accumulate wins the min.
+  using MP = MinPlus<std::int64_t>;
+  DenseAccumulator<MP, I, std::uint32_t> acc(4);
+  const std::vector<I> mask = {1};
+  acc.set_mask(mask);
+  acc.accumulate(1, 7);
+  acc.accumulate(1, 3);
+  acc.accumulate(1, 9);
+  std::int64_t seen = -1;
+  acc.gather(std::span<const I>(mask), [&](I, std::int64_t v) { seen = v; });
+  EXPECT_EQ(seen, 3);
+}
+
+}  // namespace
+}  // namespace tilq

@@ -1,0 +1,40 @@
+// Tests for the runtime environment controls.
+#include "support/env.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/common.hpp"
+
+namespace tilq {
+namespace {
+
+TEST(Env, ScheduleRoundTrips) {
+  set_runtime_schedule(Schedule::kDynamic);
+  EXPECT_EQ(runtime_schedule(), Schedule::kDynamic);
+  set_runtime_schedule(Schedule::kStatic);
+  EXPECT_EQ(runtime_schedule(), Schedule::kStatic);
+}
+
+TEST(Env, ScheduleNames) {
+  EXPECT_STREQ(to_string(Schedule::kStatic), "static");
+  EXPECT_STREQ(to_string(Schedule::kDynamic), "dynamic");
+}
+
+TEST(Env, ThreadControl) {
+  const int original = max_threads();
+  set_threads(2);
+  EXPECT_EQ(max_threads(), 2);
+  set_threads(original);
+  EXPECT_EQ(max_threads(), original);
+  EXPECT_THROW(set_threads(0), PreconditionError);
+}
+
+TEST(Env, SummaryMentionsKeyFields) {
+  const std::string summary = environment_summary();
+  EXPECT_NE(summary.find("threads="), std::string::npos);
+  EXPECT_NE(summary.find("openmp="), std::string::npos);
+  EXPECT_NE(summary.find("schedule="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tilq

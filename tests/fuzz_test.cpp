@@ -1,0 +1,136 @@
+// Randomized stress tests ("fuzz"): random shapes, densities, and Configs
+// against the dense oracle, plus determinism and cross-implementation
+// agreement sweeps. These are the tests that caught real bugs during
+// development (the hash explicit-reset chain-break surfaced under exactly
+// this kind of load), so they run wide by design.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "core/masked_spgemm.hpp"
+#include "core/masked_spgemm_2d.hpp"
+#include "core/spgemm.hpp"
+#include "sparse/ops.hpp"
+#include "test_util.hpp"
+
+namespace tilq {
+namespace {
+
+using I = std::int64_t;
+using SR = PlusTimes<double>;
+
+Config random_config(Xoshiro256& rng) {
+  Config config;
+  config.strategy = static_cast<MaskStrategy>(rng.uniform_below(4));
+  config.accumulator = static_cast<AccumulatorKind>(rng.uniform_below(3));
+  switch (rng.uniform_below(4)) {
+    case 0:
+      config.marker_width = MarkerWidth::k8;
+      break;
+    case 1:
+      config.marker_width = MarkerWidth::k16;
+      break;
+    case 2:
+      config.marker_width = MarkerWidth::k32;
+      break;
+    default:
+      config.marker_width = MarkerWidth::k64;
+      break;
+  }
+  config.reset = rng.bernoulli(0.5) ? ResetPolicy::kMarker : ResetPolicy::kExplicit;
+  config.tiling = rng.bernoulli(0.5) ? Tiling::kUniform : Tiling::kFlopBalanced;
+  config.schedule = rng.bernoulli(0.5) ? Schedule::kStatic : Schedule::kDynamic;
+  config.num_tiles = static_cast<std::int64_t>(1 + rng.uniform_below(300));
+  config.coiteration_factor = std::pow(10.0, rng.uniform() * 6.0 - 3.0);
+  config.threads = static_cast<int>(1 + rng.uniform_below(4));
+  return config;
+}
+
+class FuzzRounds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzRounds, RandomProblemRandomConfigMatchesOracle) {
+  Xoshiro256 rng(GetParam() * 7919);
+  for (int round = 0; round < 8; ++round) {
+    const I rows = static_cast<I>(1 + rng.uniform_below(64));
+    const I inner = static_cast<I>(1 + rng.uniform_below(64));
+    const I cols = static_cast<I>(1 + rng.uniform_below(64));
+    const double density = 0.02 + 0.3 * rng.uniform();
+    const auto mask =
+        test::random_matrix<double, I>(rows, cols, density, rng());
+    const auto a = test::random_matrix<double, I>(rows, inner, density, rng());
+    const auto b = test::random_matrix<double, I>(inner, cols, density, rng());
+    const Config config = random_config(rng);
+
+    const auto expected = test::reference_masked_spgemm<SR>(mask, a, b);
+    const auto actual = masked_spgemm<SR>(mask, a, b, config);
+    ASSERT_TRUE(actual.check()) << config.describe();
+    ASSERT_TRUE(test::csr_equal(expected, actual))
+        << config.describe() << " shape " << rows << "x" << inner << "x"
+        << cols << " density " << density;
+  }
+}
+
+TEST_P(FuzzRounds, TwoDeeTilingAgreesWithOneDee) {
+  Xoshiro256 rng(GetParam() * 104729);
+  for (int round = 0; round < 6; ++round) {
+    const I n = static_cast<I>(8 + rng.uniform_below(80));
+    const auto a = test::random_matrix<double, I>(n, n, 0.1 + 0.2 * rng.uniform(),
+                                                  rng());
+    Config2d config;
+    config.base = random_config(rng);
+    if (config.base.strategy == MaskStrategy::kVanilla) {
+      config.base.strategy = MaskStrategy::kHybrid;  // unsupported in 2D
+    }
+    config.num_col_tiles = static_cast<std::int64_t>(1 + rng.uniform_below(20));
+
+    const auto one_d = masked_spgemm<SR>(a, a, a, config.base);
+    const auto two_d = masked_spgemm_2d<SR>(a, a, a, config);
+    ASSERT_TRUE(test::csr_equal(one_d, two_d))
+        << config.base.describe() << " col_tiles " << config.num_col_tiles;
+  }
+}
+
+TEST_P(FuzzRounds, AllStrategiesAgreeWithEachOther) {
+  Xoshiro256 rng(GetParam() * 15485863);
+  const I n = static_cast<I>(16 + rng.uniform_below(48));
+  const auto a = test::random_matrix<double, I>(n, n, 0.15, rng());
+  Csr<double, I> reference;
+  bool first = true;
+  for (const MaskStrategy strategy :
+       {MaskStrategy::kVanilla, MaskStrategy::kMaskFirst,
+        MaskStrategy::kCoIterate, MaskStrategy::kHybrid}) {
+    for (const AccumulatorKind acc :
+         {AccumulatorKind::kDense, AccumulatorKind::kHash}) {
+      Config config;
+      config.strategy = strategy;
+      config.accumulator = acc;
+      const auto c = masked_spgemm<SR>(a, a, a, config);
+      if (first) {
+        reference = c;
+        first = false;
+      } else {
+        ASSERT_TRUE(test::csr_equal(reference, c)) << config.describe();
+      }
+    }
+  }
+  // The two-phase pipeline computed with disjoint code must agree too.
+  ASSERT_TRUE(test::csr_equal(reference, two_phase_masked_spgemm<SR>(a, a, a)));
+}
+
+TEST_P(FuzzRounds, RepeatedRunsAreDeterministic) {
+  Xoshiro256 rng(GetParam() * 32452843);
+  const auto a = test::random_matrix<double, I>(50, 50, 0.2, rng());
+  Config config = random_config(rng);
+  config.threads = 4;  // oversubscribed: exercises the parallel path
+  const auto first = masked_spgemm<SR>(a, a, a, config);
+  for (int run = 0; run < 5; ++run) {
+    ASSERT_TRUE(test::csr_equal(first, masked_spgemm<SR>(a, a, a, config)))
+        << "run " << run << " " << config.describe();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzRounds,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+}  // namespace
+}  // namespace tilq

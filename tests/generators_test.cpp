@@ -1,0 +1,216 @@
+// Tests for the graph generators: structural invariants (valid CSR, no
+// self-loops, symmetry where promised), determinism by seed, and the
+// kind-defining properties each generator exists to produce (degree skew,
+// rail rows, lattice locality).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "gen/circuit.hpp"
+#include "gen/erdos_renyi.hpp"
+#include "gen/rmat.hpp"
+#include "gen/road_network.hpp"
+#include "gen/watts_strogatz.hpp"
+#include "gen/web_graph.hpp"
+#include "sparse/ops.hpp"
+#include "sparse/stats.hpp"
+#include "test_util.hpp"
+
+namespace tilq {
+namespace {
+
+using I = std::int64_t;
+
+void expect_valid_graph(const GraphMatrix& g, bool symmetric) {
+  EXPECT_TRUE(g.check());
+  EXPECT_EQ(g.rows(), g.cols());
+  for (I i = 0; i < g.rows(); ++i) {
+    EXPECT_FALSE(g.contains(i, i)) << "self-loop at " << i;
+  }
+  if (symmetric) {
+    EXPECT_TRUE(test::csr_equal(g, transpose(g)));
+  }
+}
+
+// --- R-MAT ---------------------------------------------------------------
+
+TEST(Rmat, ValidSymmetricGraph) {
+  RmatParams p;
+  p.scale = 10;
+  p.edge_factor = 8;
+  expect_valid_graph(generate_rmat(p), /*symmetric=*/true);
+}
+
+TEST(Rmat, DeterministicBySeed) {
+  RmatParams p;
+  p.scale = 9;
+  p.seed = 5;
+  EXPECT_EQ(generate_rmat(p), generate_rmat(p));
+  p.seed = 6;
+  EXPECT_NE(generate_rmat(p), generate_rmat({.scale = 9, .seed = 5}));
+}
+
+TEST(Rmat, HasDegreeSkew) {
+  // The point of R-MAT: hubs. Max degree must far exceed the mean.
+  RmatParams p;
+  p.scale = 12;
+  p.edge_factor = 8;
+  const auto stats = compute_stats(generate_rmat(p));
+  EXPECT_GT(static_cast<double>(stats.max_row_nnz), 8.0 * stats.mean_row_nnz);
+}
+
+TEST(Rmat, BadParamsThrow) {
+  EXPECT_THROW(generate_rmat({.scale = 0}), PreconditionError);
+  EXPECT_THROW(generate_rmat({.scale = 10, .edge_factor = 0}), PreconditionError);
+  EXPECT_THROW(generate_rmat({.scale = 10, .a = 0.9, .b = 0.9, .c = 0.1, .d = 0.1}),
+               PreconditionError);
+}
+
+// --- Erdős–Rényi ----------------------------------------------------------
+
+TEST(ErdosRenyi, ValidAndRoughlyTargetSize) {
+  ErdosRenyiParams p;
+  p.nodes = 2000;
+  p.edges = 10000;
+  const auto g = generate_erdos_renyi(p);
+  expect_valid_graph(g, /*symmetric=*/true);
+  // Symmetrized, deduped: nnz close to 2x requested edges.
+  EXPECT_GT(g.nnz(), 15000);
+  EXPECT_LE(g.nnz(), 20000);
+}
+
+TEST(ErdosRenyi, NoDegreeSkew) {
+  ErdosRenyiParams p;
+  p.nodes = 4000;
+  p.edges = 40000;
+  const auto stats = compute_stats(generate_erdos_renyi(p));
+  EXPECT_LT(static_cast<double>(stats.max_row_nnz), 4.0 * stats.mean_row_nnz);
+}
+
+TEST(ErdosRenyi, DirectedVariant) {
+  ErdosRenyiParams p;
+  p.nodes = 500;
+  p.edges = 2000;
+  p.symmetric = false;
+  const auto g = generate_erdos_renyi(p);
+  EXPECT_TRUE(g.check());
+  // A directed ER graph is essentially never symmetric.
+  EXPECT_FALSE(test::csr_equal(g, transpose(g)));
+}
+
+// --- Watts–Strogatz ---------------------------------------------------------
+
+TEST(WattsStrogatz, ValidWithNearUniformDegree) {
+  WattsStrogatzParams p;
+  p.nodes = 2000;
+  p.k = 4;
+  p.beta = 0.1;
+  const auto g = generate_watts_strogatz(p);
+  expect_valid_graph(g, /*symmetric=*/true);
+  const auto stats = compute_stats(g);
+  EXPECT_NEAR(stats.mean_row_nnz, 8.0, 1.0);  // degree ~ 2k
+  EXPECT_LT(stats.max_row_nnz, 24);
+}
+
+TEST(WattsStrogatz, ZeroBetaIsRingLattice) {
+  WattsStrogatzParams p;
+  p.nodes = 100;
+  p.k = 2;
+  p.beta = 0.0;
+  const auto g = generate_watts_strogatz(p);
+  const auto stats = compute_stats(g);
+  EXPECT_EQ(stats.max_row_nnz, 4);
+  EXPECT_EQ(stats.nnz, 400);  // exactly 2k per node
+}
+
+TEST(WattsStrogatz, BadParamsThrow) {
+  EXPECT_THROW(generate_watts_strogatz({.nodes = 2}), PreconditionError);
+  EXPECT_THROW(generate_watts_strogatz({.nodes = 10, .k = 5}), PreconditionError);
+  EXPECT_THROW(generate_watts_strogatz({.nodes = 10, .k = 2, .beta = 1.5}),
+               PreconditionError);
+}
+
+// --- Web graph -------------------------------------------------------------
+
+TEST(WebGraph, ValidDirectedGraphWithInDegreeSkew) {
+  WebGraphParams p;
+  p.nodes = 4000;
+  p.out_degree = 8;
+  const auto g = generate_web_graph(p);
+  expect_valid_graph(g, /*symmetric=*/false);
+  // In-degree (column) skew from preferential copying.
+  const auto stats = compute_stats(transpose(g));
+  EXPECT_GT(static_cast<double>(stats.max_row_nnz), 10.0 * stats.mean_row_nnz);
+}
+
+TEST(WebGraph, DeterministicBySeed) {
+  WebGraphParams p;
+  p.nodes = 1000;
+  p.seed = 9;
+  EXPECT_EQ(generate_web_graph(p), generate_web_graph(p));
+}
+
+TEST(WebGraph, SymmetricVariant) {
+  WebGraphParams p;
+  p.nodes = 800;
+  p.symmetric = true;
+  expect_valid_graph(generate_web_graph(p), /*symmetric=*/true);
+}
+
+// --- Road network ------------------------------------------------------------
+
+TEST(RoadNetwork, ValidWithTinyUniformDegrees) {
+  RoadNetworkParams p;
+  p.width = 60;
+  p.height = 50;
+  const auto g = generate_road_network(p);
+  expect_valid_graph(g, /*symmetric=*/true);
+  EXPECT_EQ(g.rows(), 3000);
+  const auto stats = compute_stats(g);
+  EXPECT_LT(stats.mean_row_nnz, 5.0);
+  EXPECT_LE(stats.max_row_nnz, 8);  // 4 lattice + up to 4 diagonal
+}
+
+TEST(RoadNetwork, DeletionThinsTheLattice) {
+  RoadNetworkParams dense_params{.width = 50, .height = 50, .deletion_prob = 0.0,
+                                 .shortcut_prob = 0.0};
+  RoadNetworkParams sparse_params{.width = 50, .height = 50, .deletion_prob = 0.4,
+                                  .shortcut_prob = 0.0};
+  const auto full = generate_road_network(dense_params);
+  const auto thinned = generate_road_network(sparse_params);
+  // Full 50x50 lattice: 2 * (2*50*49) directed entries.
+  EXPECT_EQ(full.nnz(), 2 * 2 * 50 * 49);
+  EXPECT_LT(thinned.nnz(), full.nnz());
+  EXPECT_NEAR(static_cast<double>(thinned.nnz()),
+              0.6 * static_cast<double>(full.nnz()),
+              0.05 * static_cast<double>(full.nnz()));
+}
+
+// --- Circuit -----------------------------------------------------------------
+
+TEST(Circuit, ValidWithRailRows) {
+  CircuitParams p;
+  p.nodes = 4000;
+  p.band = 3;
+  p.rails = 4;
+  p.rail_coverage = 0.3;
+  const auto g = generate_circuit(p);
+  expect_valid_graph(g, /*symmetric=*/true);
+  const auto stats = compute_stats(g);
+  // Rail rows must be orders of magnitude denser than the band rows —
+  // the circuit5M signature that breaks linear scanning (Fig 14d).
+  EXPECT_GT(static_cast<double>(stats.max_row_nnz), 50.0 * stats.mean_row_nnz);
+  EXPECT_GT(stats.max_row_nnz, static_cast<I>(0.2 * 4000));
+}
+
+TEST(Circuit, NoRailsGivesPureBand) {
+  CircuitParams p;
+  p.nodes = 1000;
+  p.band = 3;
+  p.rails = 0;
+  const auto stats = compute_stats(generate_circuit(p));
+  EXPECT_LE(stats.max_row_nnz, 2 * (3 + 2));  // band + jitter, symmetrized
+}
+
+}  // namespace
+}  // namespace tilq

@@ -1,0 +1,97 @@
+// Genericity tests: the containers and kernels are templated on value and
+// index types; everything else in the suite instantiates <double, int64>.
+// These tests pin down that 32-bit indices and float/int values work, so
+// the templates don't silently rot into the one instantiation.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "core/masked_spgemm.hpp"
+#include "sparse/build.hpp"
+#include "sparse/ops.hpp"
+#include "support/rng.hpp"
+
+namespace tilq {
+namespace {
+
+template <class T, class I>
+Csr<T, I> random_matrix(I rows, I cols, double density, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  Coo<T, I> coo(rows, cols);
+  for (I i = 0; i < rows; ++i) {
+    for (I j = 0; j < cols; ++j) {
+      if (rng.bernoulli(density)) {
+        coo.push_unchecked(i, j, static_cast<T>(1 + rng.uniform_below(5)));
+      }
+    }
+  }
+  return build_csr(coo, DupPolicy::kError);
+}
+
+TEST(Genericity, Int32IndicesFloatValues) {
+  using M = Csr<float, std::int32_t>;
+  const M a = random_matrix<float, std::int32_t>(40, 40, 0.15, 1);
+  EXPECT_TRUE(a.check());
+
+  using SR = PlusTimes<float>;
+  Config config;
+  config.accumulator = AccumulatorKind::kHash;
+  const M c = masked_spgemm<SR>(a, a, a, config);
+  EXPECT_TRUE(c.check());
+  EXPECT_LE(c.nnz(), a.nnz());
+
+  // All four strategies and both other accumulators agree.
+  for (const MaskStrategy strategy :
+       {MaskStrategy::kVanilla, MaskStrategy::kMaskFirst,
+        MaskStrategy::kCoIterate, MaskStrategy::kHybrid}) {
+    for (const AccumulatorKind acc :
+         {AccumulatorKind::kDense, AccumulatorKind::kHash,
+          AccumulatorKind::kBitmap}) {
+      Config variant;
+      variant.strategy = strategy;
+      variant.accumulator = acc;
+      EXPECT_EQ(c, masked_spgemm<SR>(a, a, a, variant))
+          << variant.describe();
+    }
+  }
+}
+
+TEST(Genericity, Int32ValuesWithPlusPair) {
+  using M = Csr<std::int32_t, std::int32_t>;
+  const M a = random_matrix<std::int32_t, std::int32_t>(30, 30, 0.2, 2);
+  using SR = PlusPair<std::int32_t>;
+  const M c = masked_spgemm<SR>(a, a, a);
+  // PLUS_PAIR values are structural counts bounded by the row degree.
+  for (std::int32_t i = 0; i < c.rows(); ++i) {
+    for (const std::int32_t v : c.row_vals(i)) {
+      EXPECT_GE(v, 1);
+      EXPECT_LE(v, a.row_nnz(i));
+    }
+  }
+}
+
+TEST(Genericity, StructuralOpsOnInt32) {
+  using M = Csr<float, std::int32_t>;
+  const M a = random_matrix<float, std::int32_t>(25, 30, 0.2, 3);
+  const M t = transpose(a);
+  EXPECT_EQ(t.rows(), 30);
+  EXPECT_EQ(t.cols(), 25);
+  EXPECT_EQ(transpose(t), a);
+  EXPECT_TRUE(same_pattern(a, with_uniform_values(a, 1.0f)));
+}
+
+TEST(Genericity, TilingWorksForAnyIndexWidth) {
+  using M = Csr<float, std::int32_t>;
+  const M a = random_matrix<float, std::int32_t>(100, 100, 0.1, 4);
+  Config config;
+  config.num_tiles = 17;
+  config.tiling = Tiling::kFlopBalanced;
+  ExecutionStats stats;
+  const M c = masked_spgemm<PlusTimes<float>>(a, a, a, config, &stats);
+  EXPECT_TRUE(c.check());
+  EXPECT_GE(stats.tiles, 1);
+  EXPECT_LE(stats.tiles, 17);
+}
+
+}  // namespace
+}  // namespace tilq

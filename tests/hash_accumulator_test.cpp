@@ -1,0 +1,147 @@
+// Implementation-specific tests for the hash accumulator: table sizing,
+// growth, collision handling, and probe accounting.
+#include "accum/hash_accumulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/semiring.hpp"
+#include "support/common.hpp"
+
+namespace tilq {
+namespace {
+
+using I = std::int64_t;
+using SR = PlusTimes<double>;
+using Acc = HashAccumulator<SR, I, std::uint32_t>;
+
+TEST(HashAccumulator, NegativeBoundThrows) {
+  EXPECT_THROW(Acc(-1), PreconditionError);
+}
+
+TEST(HashAccumulator, CapacityIsPowerOfTwoAtMostHalfLoaded) {
+  for (const I bound : {0, 1, 3, 100, 1000, 4097}) {
+    const Acc acc(bound);
+    EXPECT_TRUE(is_pow2(acc.capacity())) << "bound " << bound;
+    EXPECT_GE(acc.capacity(), static_cast<std::size_t>(2 * bound))
+        << "bound " << bound;
+  }
+}
+
+TEST(HashAccumulator, GrowsWhenMaskExceedsBound) {
+  Acc acc(2);
+  const std::size_t before = acc.capacity();
+  std::vector<I> big_mask(100);
+  for (I j = 0; j < 100; ++j) {
+    big_mask[static_cast<std::size_t>(j)] = j * 7;
+  }
+  acc.set_mask(big_mask);
+  EXPECT_GT(acc.capacity(), before);
+  // All entries must be present after the growth.
+  for (const I j : big_mask) {
+    EXPECT_TRUE(acc.is_masked(j));
+  }
+  acc.finish_row(big_mask);
+}
+
+TEST(HashAccumulator, HandlesCollidingKeys) {
+  // Keys spaced by the capacity hash into overlapping chains; correctness
+  // must not depend on the hash spreading them.
+  Acc acc(8);
+  const auto cap = static_cast<I>(acc.capacity());
+  const std::vector<I> mask = {0, cap, 2 * cap, 3 * cap, 1, cap + 1};
+  acc.set_mask(mask);
+  for (const I j : mask) {
+    EXPECT_TRUE(acc.is_masked(j)) << "key " << j;
+    EXPECT_TRUE(acc.accumulate(j, static_cast<double>(j + 1)));
+  }
+  EXPECT_FALSE(acc.is_masked(4 * cap));
+  std::vector<std::pair<I, double>> out;
+  acc.gather(std::span<const I>(mask),
+             [&](I col, double v) { out.emplace_back(col, v); });
+  ASSERT_EQ(out.size(), mask.size());
+  for (std::size_t p = 0; p < mask.size(); ++p) {
+    EXPECT_EQ(out[p].first, mask[p]);
+    EXPECT_DOUBLE_EQ(out[p].second, static_cast<double>(mask[p] + 1));
+  }
+  acc.finish_row(mask);
+}
+
+TEST(HashAccumulator, ProbeCounterAdvancesUnderCollisions) {
+  Acc acc(4);
+  const auto cap = static_cast<I>(acc.capacity());
+  const std::vector<I> colliding = {0, cap, 2 * cap};
+  acc.set_mask(colliding);
+  EXPECT_GT(acc.counters().probes, 0u);
+  acc.finish_row(colliding);
+}
+
+TEST(HashAccumulator, LargeSparseKeysWork) {
+  // Column indices far larger than the capacity (the whole point of the
+  // hash accumulator: dimension-independent footprint).
+  Acc acc(16);
+  const std::vector<I> mask = {1'000'000'007, 2'000'000'011, 3'000'000'019};
+  acc.set_mask(mask);
+  EXPECT_TRUE(acc.accumulate(2'000'000'011, 4.5));
+  EXPECT_FALSE(acc.accumulate(2'000'000'012, 4.5));
+  std::vector<std::pair<I, double>> out;
+  acc.gather(std::span<const I>(mask),
+             [&](I col, double v) { out.emplace_back(col, v); });
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].first, 2'000'000'011);
+  acc.finish_row(mask);
+}
+
+TEST(HashAccumulator, StaleEntriesInvisibleAfterManyRows) {
+  // Rotate through key sets long enough to wrap an 8-bit marker several
+  // times; stale keys must never resurface.
+  HashAccumulator<SR, I, std::uint8_t> acc(4);
+  for (int row = 0; row < 2000; ++row) {
+    const I base = 1000 * (row % 7);
+    const std::vector<I> mask = {base, base + 1, base + 2};
+    acc.set_mask(mask);
+    ASSERT_FALSE(acc.is_masked(base + 3)) << "row " << row;
+    ASSERT_TRUE(acc.accumulate(base + 1, 1.0));
+    int emitted = 0;
+    acc.gather(std::span<const I>(mask), [&](I, double) { ++emitted; });
+    ASSERT_EQ(emitted, 1) << "row " << row;
+    acc.finish_row(mask);
+  }
+  EXPECT_GT(acc.counters().full_resets, 10u);
+}
+
+TEST(HashAccumulator, ExplicitResetClearsOnlyMaskSlots) {
+  HashAccumulator<SR, I, std::uint16_t> acc(8, ResetPolicy::kExplicit);
+  const std::vector<I> mask_a = {1, 2};
+  acc.set_mask(mask_a);
+  acc.accumulate(1, 1.0);
+  acc.finish_row(mask_a);
+  EXPECT_EQ(acc.counters().full_resets, 0u);
+  const std::vector<I> mask_b = {2, 3};
+  acc.set_mask(mask_b);
+  EXPECT_FALSE(acc.is_masked(1));
+  EXPECT_TRUE(acc.is_masked(2));
+  EXPECT_TRUE(acc.is_masked(3));
+  acc.finish_row(mask_b);
+}
+
+TEST(HashAccumulator, UnmaskedGrowthPreservesSums) {
+  Acc acc(2);
+  acc.begin_unmasked_row(1000);
+  for (I j = 0; j < 500; ++j) {
+    acc.accumulate_any(j * 3, 1.0);
+    acc.accumulate_any(j * 3, 1.0);
+  }
+  int count = 0;
+  acc.gather_unmasked([&](I, double v) {
+    ++count;
+    ASSERT_DOUBLE_EQ(v, 2.0);
+  });
+  EXPECT_EQ(count, 500);
+  acc.finish_row(std::span<const I>{});
+}
+
+}  // namespace
+}  // namespace tilq

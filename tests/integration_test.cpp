@@ -1,0 +1,121 @@
+// End-to-end integration tests: the complete pipelines a user would run —
+// generate / load, tune, compute, analyze — crossing every module boundary.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+
+#include "tilq/tilq.hpp"
+
+namespace tilq {
+namespace {
+
+using I = std::int64_t;
+
+TEST(Integration, CollectionToTriangleCountsThroughEveryBaseline) {
+  // One small analogue per graph kind through generation -> symmetrize ->
+  // count via tuned kernel and both baseline policies: all must agree.
+  for (const char* name : {"GAP-road", "com-Orkut", "circuit5M", "uk-2002"}) {
+    const auto g = symmetrize(make_collection_graph(name, 0.05));
+    using SR = PlusPair<std::int64_t>;
+    const auto a = convert_values<std::int64_t>(g);
+
+    const auto tuned = masked_spgemm<SR>(a, a, a);
+    const auto via_ssgb = baselines::ssgb_like<SR>(a, a, a);
+    const auto via_grb = baselines::grb_like<SR>(a, a, a);
+    EXPECT_EQ(tuned, via_ssgb) << name;
+    EXPECT_EQ(tuned, via_grb) << name;
+  }
+}
+
+TEST(Integration, MatrixMarketRoundTripPreservesKernelResults) {
+  // Generate -> write .mtx -> read back -> identical masked product.
+  const auto g = make_collection_graph("as-Skitter", 0.05);
+  std::ostringstream buffer;
+  write_matrix_market(buffer, g);
+  std::istringstream in(buffer.str());
+  const auto reloaded = read_matrix_market(in);
+  ASSERT_EQ(g, reloaded);
+
+  using SR = PlusTimes<double>;
+  EXPECT_EQ(masked_spgemm<SR>(g, g, g), masked_spgemm<SR>(reloaded, reloaded, reloaded));
+}
+
+TEST(Integration, TunedConfigBeatsNothingButStaysCorrect) {
+  // Full Fig-12 flow on a real analogue; the winner must reproduce the
+  // default config's result bit-for-bit.
+  const auto g = make_collection_graph("circuit5M", 0.08);
+  TunerOptions options;
+  options.tile_counts = {8, 64};
+  options.kappas = {0.1, 1.0};
+  options.timing.budget_seconds = 0.02;
+  options.timing.max_iterations = 2;
+  options.timing.min_iterations = 1;
+  using SR = PlusTimes<double>;
+  const TunerReport report = tune<SR>(g, g, g, options);
+  EXPECT_EQ(masked_spgemm<SR>(g, g, g),
+            masked_spgemm<SR>(g, g, g, report.best));
+}
+
+TEST(Integration, GraphAnalyticsPipelineIsConsistent) {
+  // One graph through every analytic: the invariants that tie them together.
+  const auto g = symmetrize(make_collection_graph("com-LiveJournal", 0.08));
+  const I n = g.rows();
+
+  // Components partition the vertices.
+  const auto comps = connected_components(g);
+  EXPECT_LE(comps.largest_size, n);
+
+  // BFS (direct and LA) from the giant component agree everywhere.
+  const I source = largest_component_member(g);
+  const auto direct = bfs(g, source);
+  const auto la = bfs_linear_algebra(g, source);
+  EXPECT_EQ(direct.level, la.level);
+  // BFS reach equals the source's component size.
+  EXPECT_EQ(direct.reached, comps.largest_size);
+
+  // Triangles: the k-truss with k = 3 keeps exactly the edges with
+  // support >= 1, so a graph with zero triangles has an empty 3-truss.
+  const auto triangles = count_triangles(g);
+  const auto truss = ktruss(g, 3);
+  if (triangles == 0) {
+    EXPECT_EQ(truss.edges, 0);
+  } else {
+    EXPECT_GT(truss.edges, 0);
+  }
+
+  // Degeneracy bounds: any k-truss edge needs k-2 triangles through it, so
+  // the max truss is at most degeneracy + 1; core numbers bound degrees.
+  const auto cores = kcore_decomposition(g);
+  EXPECT_LE(max_truss(g), cores.degeneracy + 1);
+
+  // PageRank is a distribution over the vertices.
+  const auto pr = pagerank(g);
+  double total = 0.0;
+  for (const double r : pr.rank) {
+    total += r;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-6);
+}
+
+TEST(Integration, CscPipelineMatchesCsr) {
+  const auto g = make_collection_graph("stokes", 0.05);
+  using SR = PlusTimes<double>;
+  const auto row_wise = masked_spgemm<SR>(g, g, g);
+  const auto csc = Csc<double, I>::from_csr(g);
+  const auto col_wise = masked_spgemm_csc<SR>(csc, csc, csc);
+  EXPECT_EQ(row_wise, col_wise.to_csr());
+}
+
+TEST(Integration, PredictorWorksAcrossTheCollection) {
+  using SR = PlusTimes<double>;
+  for (const std::string& name : collection_names()) {
+    const auto g = make_collection_graph(name, 0.04);
+    const Config config = predict_config(g, g, g);
+    const auto expected = masked_spgemm<SR>(g, g, g);
+    EXPECT_EQ(expected, masked_spgemm<SR>(g, g, g, config)) << name;
+  }
+}
+
+}  // namespace
+}  // namespace tilq

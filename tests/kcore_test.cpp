@@ -1,0 +1,135 @@
+// Tests for k-core decomposition against known graphs and a naive peeling
+// oracle.
+#include "algos/kcore.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "gen/rmat.hpp"
+#include "sparse/build.hpp"
+
+namespace tilq {
+namespace {
+
+using I = std::int64_t;
+
+Csr<double, I> graph(I n, const std::vector<std::pair<I, I>>& edges) {
+  Coo<double, I> coo(n, n);
+  for (const auto& [u, v] : edges) {
+    coo.push(u, v, 1.0);
+    coo.push(v, u, 1.0);
+  }
+  return build_csr(coo, DupPolicy::kKeepFirst);
+}
+
+Csr<double, I> complete_graph(I n) {
+  Coo<double, I> coo(n, n);
+  for (I i = 0; i < n; ++i) {
+    for (I j = 0; j < n; ++j) {
+      if (i != j) {
+        coo.push(i, j, 1.0);
+      }
+    }
+  }
+  return build_csr(coo);
+}
+
+/// Naive O(n^2 m) peeling oracle: repeatedly remove min-degree vertices.
+std::vector<I> oracle_core(const Csr<double, I>& adj) {
+  const I n = adj.rows();
+  std::vector<I> degree(static_cast<std::size_t>(n));
+  std::vector<bool> alive(static_cast<std::size_t>(n), true);
+  std::vector<I> core(static_cast<std::size_t>(n), 0);
+  for (I v = 0; v < n; ++v) {
+    degree[static_cast<std::size_t>(v)] = adj.row_nnz(v);
+  }
+  // Core number = running maximum of the degree at peel time.
+  I running_max = 0;
+  for (I step = 0; step < n; ++step) {
+    I best = -1;
+    for (I v = 0; v < n; ++v) {
+      if (alive[static_cast<std::size_t>(v)] &&
+          (best < 0 || degree[static_cast<std::size_t>(v)] <
+                           degree[static_cast<std::size_t>(best)])) {
+        best = v;
+      }
+    }
+    running_max = std::max(running_max, degree[static_cast<std::size_t>(best)]);
+    core[static_cast<std::size_t>(best)] = running_max;
+    alive[static_cast<std::size_t>(best)] = false;
+    for (const I u : adj.row_cols(best)) {
+      if (alive[static_cast<std::size_t>(u)]) {
+        --degree[static_cast<std::size_t>(u)];
+      }
+    }
+  }
+  return core;
+}
+
+TEST(Kcore, CompleteGraph) {
+  const auto r = kcore_decomposition(complete_graph(6));
+  EXPECT_EQ(r.degeneracy, 5);
+  for (const I c : r.core) {
+    EXPECT_EQ(c, 5);
+  }
+}
+
+TEST(Kcore, PathGraphIsOneCore) {
+  const auto r = kcore_decomposition(graph(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}}));
+  EXPECT_EQ(r.degeneracy, 1);
+  for (const I c : r.core) {
+    EXPECT_EQ(c, 1);
+  }
+}
+
+TEST(Kcore, TriangleWithTail) {
+  // Triangle {0,1,2} + tail 2-3-4: triangle is 2-core, tail is 1-core.
+  const auto r =
+      kcore_decomposition(graph(5, {{0, 1}, {1, 2}, {0, 2}, {2, 3}, {3, 4}}));
+  EXPECT_EQ(r.core[0], 2);
+  EXPECT_EQ(r.core[1], 2);
+  EXPECT_EQ(r.core[2], 2);
+  EXPECT_EQ(r.core[3], 1);
+  EXPECT_EQ(r.core[4], 1);
+  EXPECT_EQ(r.degeneracy, 2);
+}
+
+TEST(Kcore, IsolatedVertexHasCoreZero) {
+  const auto r = kcore_decomposition(graph(3, {{0, 1}}));
+  EXPECT_EQ(r.core[2], 0);
+}
+
+TEST(Kcore, MatchesOracleOnRandomGraphs) {
+  for (const std::uint64_t seed : {1u, 2u, 3u, 4u}) {
+    RmatParams p;
+    p.scale = 7;
+    p.edge_factor = 6;
+    p.seed = seed;
+    const auto g = generate_rmat(p);
+    const auto expected = oracle_core(g);
+    const auto actual = kcore_decomposition(g);
+    EXPECT_EQ(actual.core, expected) << "seed " << seed;
+  }
+}
+
+TEST(Kcore, MembersFilter) {
+  const auto r =
+      kcore_decomposition(graph(5, {{0, 1}, {1, 2}, {0, 2}, {2, 3}, {3, 4}}));
+  EXPECT_EQ(kcore_members(r, 2), (std::vector<I>{0, 1, 2}));
+  EXPECT_EQ(kcore_members(r, 1).size(), 5u);
+  EXPECT_TRUE(kcore_members(r, 3).empty());
+}
+
+TEST(Kcore, InvalidArgumentsThrow) {
+  EXPECT_THROW(kcore_decomposition(Csr<double, I>(2, 3)), PreconditionError);
+}
+
+TEST(Kcore, EmptyGraph) {
+  const auto r = kcore_decomposition(Csr<double, I>(0, 0));
+  EXPECT_EQ(r.degeneracy, 0);
+  EXPECT_TRUE(r.core.empty());
+}
+
+}  // namespace
+}  // namespace tilq

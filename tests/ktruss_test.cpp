@@ -1,0 +1,120 @@
+// Tests for the k-truss decomposition.
+#include "algos/ktruss.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "algos/triangle_count.hpp"
+#include "gen/rmat.hpp"
+#include "sparse/build.hpp"
+
+namespace tilq {
+namespace {
+
+using I = std::int64_t;
+
+Csr<double, I> graph(I n, const std::vector<std::pair<I, I>>& edges) {
+  Coo<double, I> coo(n, n);
+  for (const auto& [u, v] : edges) {
+    coo.push(u, v, 1.0);
+    coo.push(v, u, 1.0);
+  }
+  return build_csr(coo, DupPolicy::kKeepFirst);
+}
+
+Csr<double, I> complete_graph(I n) {
+  Coo<double, I> coo(n, n);
+  for (I i = 0; i < n; ++i) {
+    for (I j = 0; j < n; ++j) {
+      if (i != j) {
+        coo.push(i, j, 1.0);
+      }
+    }
+  }
+  return build_csr(coo);
+}
+
+TEST(Ktruss, CompleteGraphIsItsOwnNTruss) {
+  // K_n is an n-truss (every edge in n-2 triangles) but not an (n+1)-truss.
+  const auto k5 = complete_graph(5);
+  const auto t5 = ktruss(k5, 5);
+  EXPECT_EQ(t5.edges, 10);
+  EXPECT_EQ(t5.truss.nnz(), k5.nnz());
+  const auto t6 = ktruss(k5, 6);
+  EXPECT_EQ(t6.edges, 0);
+}
+
+TEST(Ktruss, TriangleWithPendantEdge) {
+  // Triangle {0,1,2} plus pendant edge {2,3}: the 3-truss drops the pendant.
+  const auto g = graph(4, {{0, 1}, {1, 2}, {0, 2}, {2, 3}});
+  const auto t = ktruss(g, 3);
+  EXPECT_EQ(t.edges, 3);
+  EXPECT_TRUE(t.truss.contains(0, 1));
+  EXPECT_FALSE(t.truss.contains(2, 3));
+  EXPECT_FALSE(t.truss.contains(3, 2));
+}
+
+TEST(Ktruss, CascadingRemoval) {
+  // Chain of triangles sharing single edges: 4-truss removal cascades until
+  // nothing is left (no edge is in 2 triangles after its neighbour dies).
+  const auto g = graph(5, {{0, 1}, {1, 2}, {0, 2}, {2, 3}, {1, 3}, {3, 4},
+                           {2, 4}});
+  const auto t4 = ktruss(g, 4);
+  EXPECT_EQ(t4.edges, 0);
+  EXPECT_GT(t4.iterations, 1);  // removal must cascade, not converge at once
+}
+
+TEST(Ktruss, TwoTrussKeepsEverything) {
+  const auto g = graph(4, {{0, 1}, {1, 2}, {2, 3}});
+  const auto t = ktruss(g, 2);
+  EXPECT_EQ(t.edges, 3);
+}
+
+TEST(Ktruss, InvalidArgumentsThrow) {
+  EXPECT_THROW(ktruss(Csr<double, I>(2, 3), 3), PreconditionError);
+  EXPECT_THROW(ktruss(complete_graph(3), 1), PreconditionError);
+}
+
+TEST(Ktruss, MonotoneInK) {
+  RmatParams p;
+  p.scale = 8;
+  p.edge_factor = 8;
+  const auto g = generate_rmat(p);
+  std::int64_t previous = g.nnz() / 2;
+  for (int k = 3; k <= 6; ++k) {
+    const auto t = ktruss(g, k);
+    EXPECT_LE(t.edges, previous) << "k=" << k;
+    previous = t.edges;
+  }
+}
+
+TEST(Ktruss, ResultIsActuallyAKTruss) {
+  // Post-condition: every edge of the k-truss is in >= k-2 triangles
+  // *within the truss*.
+  RmatParams p;
+  p.scale = 7;
+  p.edge_factor = 10;
+  const auto g = generate_rmat(p);
+  const int k = 4;
+  const auto t = ktruss(g, k);
+  if (t.edges > 0) {
+    const auto support = edge_support(t.truss);
+    for (I i = 0; i < support.rows(); ++i) {
+      for (const std::int64_t s : support.row_vals(i)) {
+        EXPECT_GE(s, k - 2);
+      }
+    }
+    // Also: support pattern covers every truss edge (no unsupported edges).
+    EXPECT_EQ(support.nnz(), t.truss.nnz());
+  }
+}
+
+TEST(MaxTruss, KnownValues) {
+  EXPECT_EQ(max_truss(complete_graph(5)), 5);
+  EXPECT_EQ(max_truss(graph(4, {{0, 1}, {1, 2}, {2, 3}})), 2);
+  EXPECT_EQ(max_truss(graph(3, {{0, 1}, {1, 2}, {0, 2}})), 3);
+}
+
+}  // namespace
+}  // namespace tilq

@@ -1,0 +1,329 @@
+// End-to-end tests for the masked_spgemm driver: every Config dimension
+// against the dense oracle, shape/precondition checks, statistics
+// reporting, and alternative semirings.
+#include "core/masked_spgemm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <tuple>
+
+#include "sparse/ops.hpp"
+#include "test_util.hpp"
+
+namespace tilq {
+namespace {
+
+using I = std::int64_t;
+using SR = PlusTimes<double>;
+
+struct Problem {
+  Csr<double, I> mask;
+  Csr<double, I> a;
+  Csr<double, I> b;
+};
+
+Problem make_problem(std::uint64_t seed, I rows = 40, I inner = 35, I cols = 45,
+                     double density = 0.12) {
+  return {test::random_matrix<double, I>(rows, cols, density, seed),
+          test::random_matrix<double, I>(rows, inner, density, seed + 1000),
+          test::random_matrix<double, I>(inner, cols, density, seed + 2000)};
+}
+
+// ---------------------------------------------------------------------------
+// Full configuration sweep against the oracle.
+// ---------------------------------------------------------------------------
+
+using ConfigTuple = std::tuple<MaskStrategy, AccumulatorKind, MarkerWidth,
+                               ResetPolicy, Tiling, Schedule>;
+
+class MaskedSpgemmConfigs : public ::testing::TestWithParam<ConfigTuple> {
+ protected:
+  static Config config_from(const ConfigTuple& tuple) {
+    Config config;
+    config.strategy = std::get<0>(tuple);
+    config.accumulator = std::get<1>(tuple);
+    config.marker_width = std::get<2>(tuple);
+    config.reset = std::get<3>(tuple);
+    config.tiling = std::get<4>(tuple);
+    config.schedule = std::get<5>(tuple);
+    config.num_tiles = 8;
+    return config;
+  }
+};
+
+TEST_P(MaskedSpgemmConfigs, MatchesOracle) {
+  const Config config = config_from(GetParam());
+  for (const std::uint64_t seed : {1u, 7u}) {
+    const Problem p = make_problem(seed);
+    const auto expected = test::reference_masked_spgemm<SR>(p.mask, p.a, p.b);
+    const auto actual = masked_spgemm<SR>(p.mask, p.a, p.b, config);
+    EXPECT_TRUE(actual.check());
+    EXPECT_TRUE(test::csr_equal(expected, actual))
+        << config.describe() << " seed=" << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FullSweep, MaskedSpgemmConfigs,
+    ::testing::Combine(
+        ::testing::Values(MaskStrategy::kVanilla, MaskStrategy::kMaskFirst,
+                          MaskStrategy::kCoIterate, MaskStrategy::kHybrid),
+        ::testing::Values(AccumulatorKind::kDense, AccumulatorKind::kHash),
+        ::testing::Values(MarkerWidth::k8, MarkerWidth::k32),
+        ::testing::Values(ResetPolicy::kMarker, ResetPolicy::kExplicit),
+        ::testing::Values(Tiling::kUniform, Tiling::kFlopBalanced),
+        ::testing::Values(Schedule::kStatic, Schedule::kDynamic)),
+    [](const auto& param_info) {
+      std::string name;
+      name += to_string(std::get<0>(param_info.param));
+      name += '_';
+      name += to_string(std::get<1>(param_info.param));
+      name += std::to_string(bits(std::get<2>(param_info.param)));
+      name += '_';
+      name += to_string(std::get<3>(param_info.param));
+      name += '_';
+      name += std::get<4>(param_info.param) == Tiling::kUniform ? "uni" : "bal";
+      name += '_';
+      name += to_string(std::get<5>(param_info.param));
+      for (auto& ch : name) {
+        if (ch == '-') {
+          ch = '_';
+        }
+      }
+      return name;
+    });
+
+// ---------------------------------------------------------------------------
+// Bitmap accumulator (tilq extension) across strategies.
+// ---------------------------------------------------------------------------
+
+TEST(MaskedSpgemmBitmap, MatchesOracleAcrossStrategies) {
+  Config config;
+  config.accumulator = AccumulatorKind::kBitmap;
+  const Problem p = make_problem(61);
+  const auto expected = test::reference_masked_spgemm<SR>(p.mask, p.a, p.b);
+  for (const MaskStrategy strategy :
+       {MaskStrategy::kVanilla, MaskStrategy::kMaskFirst,
+        MaskStrategy::kCoIterate, MaskStrategy::kHybrid}) {
+    config.strategy = strategy;
+    EXPECT_TRUE(test::csr_equal(expected,
+                                masked_spgemm<SR>(p.mask, p.a, p.b, config)))
+        << config.describe();
+  }
+}
+
+TEST(MaskedSpgemmBitmap, ManyRowsNoStateLeak) {
+  // The bitmap clears whole words per row; adjacent-column masks across
+  // rows are the leak-prone pattern.
+  Config config;
+  config.accumulator = AccumulatorKind::kBitmap;
+  const Problem p = make_problem(67, 500, 40, 40, 0.15);
+  const auto expected = test::reference_masked_spgemm<SR>(p.mask, p.a, p.b);
+  EXPECT_TRUE(
+      test::csr_equal(expected, masked_spgemm<SR>(p.mask, p.a, p.b, config)));
+}
+
+// ---------------------------------------------------------------------------
+// Marker widths (full set) on the default strategy.
+// ---------------------------------------------------------------------------
+
+class MaskedSpgemmWidths : public ::testing::TestWithParam<MarkerWidth> {};
+
+TEST_P(MaskedSpgemmWidths, AllWidthsMatchOracle) {
+  Config config;
+  config.marker_width = GetParam();
+  // Enough rows that the 8-bit marker wraps several times.
+  const Problem p = make_problem(3, 600, 50, 50, 0.08);
+  const auto expected = test::reference_masked_spgemm<SR>(p.mask, p.a, p.b);
+  for (const AccumulatorKind acc :
+       {AccumulatorKind::kDense, AccumulatorKind::kHash}) {
+    config.accumulator = acc;
+    EXPECT_TRUE(test::csr_equal(expected,
+                                masked_spgemm<SR>(p.mask, p.a, p.b, config)))
+        << config.describe();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, MaskedSpgemmWidths,
+                         ::testing::Values(MarkerWidth::k8, MarkerWidth::k16,
+                                           MarkerWidth::k32, MarkerWidth::k64),
+                         [](const auto& param_info) {
+                           return "w" + std::to_string(bits(param_info.param));
+                         });
+
+// ---------------------------------------------------------------------------
+// Tile-count sweep (the Fig 11 x-axis) stays correct.
+// ---------------------------------------------------------------------------
+
+class MaskedSpgemmTiles : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(MaskedSpgemmTiles, AnyTileCountMatchesOracle) {
+  Config config;
+  config.num_tiles = GetParam();
+  const Problem p = make_problem(11);
+  const auto expected = test::reference_masked_spgemm<SR>(p.mask, p.a, p.b);
+  ExecutionStats stats;
+  const auto actual = masked_spgemm<SR>(p.mask, p.a, p.b, config, &stats);
+  EXPECT_TRUE(test::csr_equal(expected, actual));
+  EXPECT_LE(stats.tiles, GetParam());
+  EXPECT_GE(stats.tiles, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(TileCounts, MaskedSpgemmTiles,
+                         ::testing::Values<std::int64_t>(1, 2, 3, 7, 16, 39, 40,
+                                                         41, 1000));
+
+// ---------------------------------------------------------------------------
+// Kappa sweep correctness (Fig 14 x-axis).
+// ---------------------------------------------------------------------------
+
+class MaskedSpgemmKappa : public ::testing::TestWithParam<double> {};
+
+TEST_P(MaskedSpgemmKappa, AnyKappaMatchesOracle) {
+  Config config;
+  config.strategy = MaskStrategy::kHybrid;
+  config.coiteration_factor = GetParam();
+  const Problem p = make_problem(13);
+  const auto expected = test::reference_masked_spgemm<SR>(p.mask, p.a, p.b);
+  EXPECT_TRUE(
+      test::csr_equal(expected, masked_spgemm<SR>(p.mask, p.a, p.b, config)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Kappas, MaskedSpgemmKappa,
+                         ::testing::Values(0.001, 0.1, 1.0, 10.0, 1000.0));
+
+// ---------------------------------------------------------------------------
+// Shapes, preconditions, special matrices.
+// ---------------------------------------------------------------------------
+
+TEST(MaskedSpgemm, ShapeMismatchThrows) {
+  const Csr<double, I> mask(3, 3), a(3, 4), b(4, 3), bad_b(5, 3), bad_mask(3, 4);
+  EXPECT_NO_THROW(masked_spgemm<SR>(mask, a, b));
+  EXPECT_THROW(masked_spgemm<SR>(mask, a, bad_b), PreconditionError);
+  EXPECT_THROW(masked_spgemm<SR>(bad_mask, a, b), PreconditionError);
+}
+
+TEST(MaskedSpgemm, EmptyMaskGivesEmptyResult) {
+  const Problem p = make_problem(17);
+  const Csr<double, I> empty_mask(p.a.rows(), p.b.cols());
+  const auto c = masked_spgemm<SR>(empty_mask, p.a, p.b);
+  EXPECT_EQ(c.nnz(), 0);
+  EXPECT_EQ(c.rows(), p.a.rows());
+  EXPECT_EQ(c.cols(), p.b.cols());
+}
+
+TEST(MaskedSpgemm, EmptyOperandsGiveEmptyResult) {
+  const Problem p = make_problem(19);
+  const Csr<double, I> empty_a(p.a.rows(), p.a.cols());
+  const auto c = masked_spgemm<SR>(p.mask, empty_a, p.b);
+  EXPECT_EQ(c.nnz(), 0);
+}
+
+TEST(MaskedSpgemm, IdentityTimesIdentityUnderFullMask) {
+  const auto eye = csr_identity<double, I>(20);
+  Coo<double, I> full(20, 20);
+  for (I i = 0; i < 20; ++i) {
+    for (I j = 0; j < 20; ++j) {
+      full.push(i, j, 1.0);
+    }
+  }
+  const auto c = masked_spgemm<SR>(build_csr(full), eye, eye);
+  EXPECT_TRUE(test::csr_equal(eye, c));
+}
+
+TEST(MaskedSpgemm, MaskValuesAreIgnored) {
+  // The mask is structural (§IV-A): replacing its values must not change
+  // the result.
+  const Problem p = make_problem(23);
+  const auto shuffled_mask = with_uniform_values(p.mask, -123.0);
+  const auto c1 = masked_spgemm<SR>(p.mask, p.a, p.b);
+  const auto c2 = masked_spgemm<SR>(shuffled_mask, p.a, p.b);
+  EXPECT_TRUE(test::csr_equal(c1, c2));
+}
+
+TEST(MaskedSpgemm, OutputNnzBoundedByMask) {
+  const Problem p = make_problem(29);
+  const auto c = masked_spgemm<SR>(p.mask, p.a, p.b);
+  EXPECT_LE(c.nnz(), p.mask.nnz());
+  for (I i = 0; i < c.rows(); ++i) {
+    EXPECT_LE(c.row_nnz(i), p.mask.row_nnz(i));
+  }
+}
+
+TEST(MaskedSpgemm, SelfMaskedSquareMatchesOracle) {
+  // The paper's exact benchmark kernel: C = A ⊙ (A x A).
+  const auto a = test::random_matrix<double, I>(50, 50, 0.1, 31);
+  const auto expected = test::reference_masked_spgemm<SR>(a, a, a);
+  const auto actual = masked_spgemm<SR>(a, a, a);
+  EXPECT_TRUE(test::csr_equal(expected, actual));
+}
+
+TEST(MaskedSpgemm, StatsArePopulated) {
+  const Problem p = make_problem(37);
+  Config config;
+  config.num_tiles = 4;
+  ExecutionStats stats;
+  const auto c = masked_spgemm<SR>(p.mask, p.a, p.b, config, &stats);
+  EXPECT_EQ(stats.output_nnz, c.nnz());
+  EXPECT_GE(stats.tiles, 1);
+  EXPECT_LE(stats.tiles, 4);
+  EXPECT_GE(stats.analyze_ms, 0.0);
+  EXPECT_GE(stats.compute_ms, 0.0);
+  EXPECT_GE(stats.compact_ms, 0.0);
+}
+
+TEST(MaskedSpgemm, NarrowMarkerReportsFullResets) {
+  // 8-bit marker + enough rows per thread => the stats must surface resets.
+  Config config;
+  config.marker_width = MarkerWidth::k8;
+  config.accumulator = AccumulatorKind::kDense;
+  config.threads = 1;
+  const Problem p = make_problem(41, 600, 30, 30, 0.1);
+  ExecutionStats stats;
+  (void)masked_spgemm<SR>(p.mask, p.a, p.b, config, &stats);
+  EXPECT_GT(stats.accumulator_full_resets, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Alternative semirings: catch accidental +/* hard-coding.
+// ---------------------------------------------------------------------------
+
+TEST(MaskedSpgemm, PlusPairCountsIntersections) {
+  const auto a = convert_values<std::int64_t>(
+      test::random_matrix<double, I>(30, 30, 0.2, 43));
+  using PP = PlusPair<std::int64_t>;
+  const auto expected = test::reference_masked_spgemm<PP>(a, a, a);
+  const auto actual = masked_spgemm<PP>(a, a, a);
+  EXPECT_TRUE(test::csr_equal(expected, actual));
+}
+
+TEST(MaskedSpgemm, MinPlusShortestHops) {
+  using MP = MinPlus<std::int64_t>;
+  const auto a = convert_values<std::int64_t>(
+      test::random_matrix<double, I>(25, 25, 0.2, 47));
+  const auto expected = test::reference_masked_spgemm<MP>(a, a, a);
+  for (const AccumulatorKind acc :
+       {AccumulatorKind::kDense, AccumulatorKind::kHash}) {
+    Config config;
+    config.accumulator = acc;
+    EXPECT_TRUE(
+        test::csr_equal(expected, masked_spgemm<MP>(a, a, a, config)));
+  }
+}
+
+TEST(MaskedSpgemm, ThreadCountDoesNotChangeResult) {
+  const Problem p = make_problem(53);
+  Config config1;
+  config1.threads = 1;
+  Config config4;
+  config4.threads = 4;
+  config4.num_tiles = 64;
+  const auto c1 = masked_spgemm<SR>(p.mask, p.a, p.b, config1);
+  const auto c4 = masked_spgemm<SR>(p.mask, p.a, p.b, config4);
+  EXPECT_TRUE(test::csr_equal(c1, c4));
+}
+
+}  // namespace
+}  // namespace tilq

@@ -1,0 +1,149 @@
+// Tests for Matrix Market I/O: round trips, symmetry expansion, pattern
+// matrices, and malformed-input handling.
+#include "sparse/mm_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sparse/ops.hpp"
+#include "test_util.hpp"
+
+namespace tilq {
+namespace {
+
+using I = std::int64_t;
+
+TEST(MatrixMarket, ReadGeneralReal) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "% a comment line\n"
+      "3 4 3\n"
+      "1 1 1.5\n"
+      "2 3 -2.0\n"
+      "3 4 7.25\n");
+  const auto m = read_matrix_market(in);
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 4);
+  EXPECT_EQ(m.nnz(), 3);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 1.5);
+  EXPECT_DOUBLE_EQ(m.at(1, 2), -2.0);
+  EXPECT_DOUBLE_EQ(m.at(2, 3), 7.25);
+}
+
+TEST(MatrixMarket, SymmetricIsExpanded) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "3 3 3\n"
+      "1 1 1.0\n"
+      "2 1 2.0\n"
+      "3 2 3.0\n");
+  const auto m = read_matrix_market(in);
+  EXPECT_EQ(m.nnz(), 5);  // diagonal not mirrored
+  EXPECT_DOUBLE_EQ(m.at(1, 0), 2.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m.at(2, 1), 3.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 2), 3.0);
+  EXPECT_TRUE(test::csr_equal(m, transpose(m)));
+}
+
+TEST(MatrixMarket, SkewSymmetricNegatesMirror) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real skew-symmetric\n"
+      "2 2 1\n"
+      "2 1 4.0\n");
+  const auto m = read_matrix_market(in);
+  EXPECT_DOUBLE_EQ(m.at(1, 0), 4.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), -4.0);
+}
+
+TEST(MatrixMarket, PatternGetsUnitValues) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "2 2 2\n"
+      "1 2\n"
+      "2 1\n");
+  const auto m = read_matrix_market(in);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 0), 1.0);
+}
+
+TEST(MatrixMarket, IntegerField) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate integer general\n"
+      "1 1 1\n"
+      "1 1 42\n");
+  EXPECT_DOUBLE_EQ(read_matrix_market(in).at(0, 0), 42.0);
+}
+
+TEST(MatrixMarket, DuplicatesAreSummed) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "1 1 2\n"
+      "1 1 1.0\n"
+      "1 1 2.5\n");
+  const auto m = read_matrix_market(in);
+  EXPECT_EQ(m.nnz(), 1);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 3.5);
+}
+
+TEST(MatrixMarket, RoundTripThroughStream) {
+  const auto original = test::random_matrix<double, I>(20, 30, 0.1, 3);
+  std::ostringstream out;
+  write_matrix_market(out, original);
+  std::istringstream in(out.str());
+  const auto reread = read_matrix_market(in);
+  EXPECT_TRUE(test::csr_equal(original, reread));
+}
+
+TEST(MatrixMarket, RoundTripThroughFile) {
+  const auto original = test::random_matrix<double, I>(15, 15, 0.2, 9);
+  const std::string path = ::testing::TempDir() + "/tilq_roundtrip.mtx";
+  write_matrix_market_file(path, original);
+  const auto reread = read_matrix_market_file(path);
+  EXPECT_TRUE(test::csr_equal(original, reread));
+}
+
+TEST(MatrixMarket, MissingBannerThrows) {
+  std::istringstream in("not a matrix market file\n1 1 0\n");
+  EXPECT_THROW(read_matrix_market(in), MatrixMarketError);
+}
+
+TEST(MatrixMarket, UnsupportedFormatThrows) {
+  std::istringstream in("%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n");
+  EXPECT_THROW(read_matrix_market(in), MatrixMarketError);
+}
+
+TEST(MatrixMarket, OutOfRangeIndexThrows) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 1\n"
+      "3 1 1.0\n");
+  EXPECT_THROW(read_matrix_market(in), MatrixMarketError);
+}
+
+TEST(MatrixMarket, TruncatedEntriesThrow) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 2\n"
+      "1 1 1.0\n");
+  EXPECT_THROW(read_matrix_market(in), MatrixMarketError);
+}
+
+TEST(MatrixMarket, MissingFileThrows) {
+  EXPECT_THROW(read_matrix_market_file("/nonexistent/path/x.mtx"),
+               MatrixMarketError);
+}
+
+TEST(MatrixMarket, EmptyMatrixRoundTrip) {
+  const Csr<double, I> empty(5, 5);
+  std::ostringstream out;
+  write_matrix_market(out, empty);
+  std::istringstream in(out.str());
+  const auto reread = read_matrix_market(in);
+  EXPECT_EQ(reread.rows(), 5);
+  EXPECT_EQ(reread.nnz(), 0);
+}
+
+}  // namespace
+}  // namespace tilq

@@ -1,0 +1,121 @@
+// Tests for feature extraction and the model-based config predictor.
+#include "core/model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "core/masked_spgemm.hpp"
+#include "gen/circuit.hpp"
+#include "gen/collection.hpp"
+#include "gen/road_network.hpp"
+#include "test_util.hpp"
+
+namespace tilq {
+namespace {
+
+using I = std::int64_t;
+using SR = PlusTimes<double>;
+
+TEST(Features, KnownSmallProblem) {
+  const auto a = csr_from_triplets<double, I>(
+      2, 2, {{0, 0, 1.0}, {0, 1, 1.0}, {1, 1, 1.0}});
+  const auto f = extract_features(a, a, a);
+  EXPECT_EQ(f.rows, 2);
+  EXPECT_EQ(f.cols, 2);
+  EXPECT_EQ(f.mask_nnz, 3);
+  EXPECT_EQ(f.a_nnz, 3);
+  // flops: row 0 hits B rows 0 (nnz 2) and 1 (nnz 1); row 1 hits B row 1.
+  EXPECT_EQ(f.flops, 2 + 1 + 1);
+  EXPECT_EQ(f.max_mask_row, 2);
+  EXPECT_DOUBLE_EQ(f.mean_mask_row, 1.5);
+  EXPECT_EQ(f.max_b_row, 2);
+}
+
+TEST(Features, RowWorkCvSeparatesGraphKinds) {
+  RoadNetworkParams road;
+  road.width = 60;
+  road.height = 60;
+  const auto r = generate_road_network(road);
+  const auto road_features = extract_features(r, r, r);
+
+  CircuitParams circuit;
+  circuit.nodes = 3600;
+  circuit.rails = 4;
+  const auto c = generate_circuit(circuit);
+  const auto circuit_features = extract_features(c, c, c);
+
+  // Road work is near-uniform; rail rows and rail-adjacency skew circuit
+  // work far more (CV several times higher).
+  EXPECT_LT(road_features.row_work_cv, 0.5);
+  EXPECT_GT(circuit_features.row_work_cv, 3.0 * road_features.row_work_cv);
+  EXPECT_GT(circuit_features.row_work_cv, 0.5);
+}
+
+TEST(Predict, FollowsThePapersTilingRules) {
+  ProblemFeatures f;
+  f.rows = 100000;
+  f.cols = 100000;
+  f.row_work_cv = 4.0;
+  f.max_b_row = 1000;
+  f.mean_mask_row = 10.0;
+  const Config config = predict_config(f, 8);
+  EXPECT_EQ(config.tiling, Tiling::kFlopBalanced);
+  EXPECT_EQ(config.schedule, Schedule::kDynamic);
+  EXPECT_GE(config.num_tiles, 16);      // at least 2p
+  EXPECT_LE(config.num_tiles, 2048);    // intermediate cap
+  EXPECT_EQ(config.marker_width, MarkerWidth::k32);
+  EXPECT_EQ(config.threads, 8);
+}
+
+TEST(Predict, HybridOnlyWhenCoiterationCanWin) {
+  ProblemFeatures heavy_rows;
+  heavy_rows.rows = 1000;
+  heavy_rows.cols = 1000;
+  heavy_rows.max_b_row = 4096;  // log2 = 12, mask 8 -> 96 < 4096
+  heavy_rows.mean_mask_row = 8.0;
+  EXPECT_EQ(predict_config(heavy_rows, 1).strategy, MaskStrategy::kHybrid);
+
+  ProblemFeatures tiny_rows;
+  tiny_rows.rows = 1000;
+  tiny_rows.cols = 1000;
+  tiny_rows.max_b_row = 3;  // binary search can never beat a 3-entry scan
+  tiny_rows.mean_mask_row = 8.0;
+  EXPECT_EQ(predict_config(tiny_rows, 1).strategy, MaskStrategy::kMaskFirst);
+}
+
+TEST(Predict, AccumulatorSwitchesOnDimension) {
+  ProblemFeatures small_dim;
+  small_dim.rows = 10000;
+  small_dim.cols = 10000;  // 120 KB dense state: cache resident
+  small_dim.flops = 1000;
+  EXPECT_EQ(predict_config(small_dim, 1).accumulator, AccumulatorKind::kDense);
+
+  ProblemFeatures huge_dim;
+  huge_dim.rows = 50'000'000;
+  huge_dim.cols = 50'000'000;  // 600 MB dense state
+  huge_dim.flops = 1000;       // and sparse writes
+  EXPECT_EQ(predict_config(huge_dim, 1).accumulator, AccumulatorKind::kHash);
+}
+
+TEST(Predict, PredictedConfigComputesCorrectly) {
+  // End to end: the predicted config must produce the oracle result on the
+  // paper's kernel shape for several collection analogues.
+  for (const char* name : {"GAP-road", "circuit5M"}) {
+    const auto a = make_collection_graph(name, 0.05);
+    const Config config = predict_config(a, a, a);
+    const auto expected = test::reference_masked_spgemm<SR>(a, a, a);
+    EXPECT_TRUE(test::csr_equal(expected, masked_spgemm<SR>(a, a, a, config)))
+        << name << ": " << config.describe();
+  }
+}
+
+TEST(Predict, CircuitAnaloguePrefersHybrid) {
+  // The rail rows are exactly the case co-iteration exists for.
+  const auto c = make_collection_graph("circuit5M", 0.2);
+  const Config config = predict_config(c, c, c);
+  EXPECT_EQ(config.strategy, MaskStrategy::kHybrid);
+}
+
+}  // namespace
+}  // namespace tilq

@@ -1,0 +1,125 @@
+// Tests for structural CSR operations: transpose, symmetrize, diagonal
+// removal, triangular extraction, value conversion, pattern comparison.
+#include "sparse/ops.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "test_util.hpp"
+
+namespace tilq {
+namespace {
+
+using I = std::int64_t;
+using M = Csr<double, I>;
+
+TEST(Transpose, SmallKnownMatrix) {
+  const auto m = csr_from_triplets<double, I>(
+      2, 3, {{0, 0, 1.0}, {0, 2, 2.0}, {1, 1, 3.0}});
+  const auto t = transpose(m);
+  EXPECT_EQ(t.rows(), 3);
+  EXPECT_EQ(t.cols(), 2);
+  EXPECT_EQ(t.nnz(), 3);
+  EXPECT_TRUE(t.check());
+  EXPECT_DOUBLE_EQ(t.at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(t.at(2, 0), 2.0);
+  EXPECT_DOUBLE_EQ(t.at(1, 1), 3.0);
+}
+
+TEST(Transpose, DoubleTransposeIsIdentityProperty) {
+  for (const std::uint64_t seed : {1u, 2u, 3u, 4u}) {
+    const auto m = test::random_matrix<double, I>(40, 60, 0.08, seed);
+    EXPECT_TRUE(test::csr_equal(m, transpose(transpose(m)))) << "seed " << seed;
+  }
+}
+
+TEST(Transpose, EmptyMatrix) {
+  const auto t = transpose(M(3, 5));
+  EXPECT_EQ(t.rows(), 5);
+  EXPECT_EQ(t.cols(), 3);
+  EXPECT_EQ(t.nnz(), 0);
+}
+
+TEST(Symmetrize, ProducesSymmetricPattern) {
+  const auto m = test::random_matrix<double, I>(30, 30, 0.1, 7);
+  const auto s = symmetrize(m);
+  EXPECT_TRUE(test::csr_equal(s, transpose(s)));
+}
+
+TEST(Symmetrize, KeepsExistingEntries) {
+  const auto m = csr_from_triplets<double, I>(3, 3, {{0, 1, 5.0}, {2, 0, 7.0}});
+  const auto s = symmetrize(m);
+  EXPECT_DOUBLE_EQ(s.at(0, 1), 5.0);
+  EXPECT_DOUBLE_EQ(s.at(1, 0), 5.0);
+  EXPECT_DOUBLE_EQ(s.at(2, 0), 7.0);
+  EXPECT_DOUBLE_EQ(s.at(0, 2), 7.0);
+  EXPECT_EQ(s.nnz(), 4);
+}
+
+TEST(Symmetrize, RequiresSquare) {
+  EXPECT_THROW(symmetrize(M(2, 3)), PreconditionError);
+}
+
+TEST(RemoveDiagonal, DropsOnlyDiagonal) {
+  const auto m = csr_from_triplets<double, I>(
+      3, 3, {{0, 0, 1.0}, {0, 1, 2.0}, {1, 1, 3.0}, {2, 0, 4.0}, {2, 2, 5.0}});
+  const auto r = remove_diagonal(m);
+  EXPECT_EQ(r.nnz(), 2);
+  EXPECT_DOUBLE_EQ(r.at(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(r.at(2, 0), 4.0);
+  EXPECT_FALSE(r.contains(0, 0));
+  EXPECT_FALSE(r.contains(1, 1));
+  EXPECT_FALSE(r.contains(2, 2));
+}
+
+TEST(TrilTriu, PartitionOffDiagonalEntries) {
+  const auto m = test::random_matrix<double, I>(25, 25, 0.15, 11);
+  const auto no_diag = remove_diagonal(m);
+  const auto lower = tril(m);
+  const auto upper = triu(m);
+  EXPECT_EQ(lower.nnz() + upper.nnz(), no_diag.nnz());
+  for (I i = 0; i < m.rows(); ++i) {
+    for (const I j : lower.row_cols(i)) {
+      EXPECT_LT(j, i);
+    }
+    for (const I j : upper.row_cols(i)) {
+      EXPECT_GT(j, i);
+    }
+  }
+}
+
+TEST(TrilTriu, TriangularOfSymmetricAreTransposes) {
+  const auto m = symmetrize(test::random_matrix<double, I>(20, 20, 0.15, 13));
+  EXPECT_TRUE(test::csr_equal(transpose(tril(m)), triu(m)));
+}
+
+TEST(WithUniformValues, ReplacesValuesKeepsPattern) {
+  const auto m = test::random_matrix<double, I>(10, 10, 0.2, 17);
+  const auto u = with_uniform_values(m, 1.0);
+  EXPECT_TRUE(same_pattern(m, u));
+  for (const double v : u.values()) {
+    EXPECT_DOUBLE_EQ(v, 1.0);
+  }
+}
+
+TEST(ConvertValues, CastsValueType) {
+  const auto m = csr_from_triplets<double, I>(2, 2, {{0, 0, 2.5}, {1, 1, 3.0}});
+  const auto c = convert_values<std::int64_t>(m);
+  EXPECT_EQ(c.at(0, 0), 2);  // truncation
+  EXPECT_EQ(c.at(1, 1), 3);
+  EXPECT_EQ(c.rows(), 2);
+  EXPECT_EQ(c.nnz(), 2);
+}
+
+TEST(SamePattern, DetectsDifferences) {
+  const auto a = csr_from_triplets<double, I>(2, 2, {{0, 0, 1.0}, {1, 1, 2.0}});
+  const auto b = csr_from_triplets<double, I>(2, 2, {{0, 0, 9.0}, {1, 1, 8.0}});
+  const auto c = csr_from_triplets<double, I>(2, 2, {{0, 1, 1.0}, {1, 1, 2.0}});
+  EXPECT_TRUE(same_pattern(a, b));  // values differ, pattern equal
+  EXPECT_FALSE(same_pattern(a, c));
+  EXPECT_FALSE(same_pattern(a, M(2, 3)));
+}
+
+}  // namespace
+}  // namespace tilq

@@ -1,0 +1,93 @@
+// Tests for PageRank.
+#include "algos/pagerank.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+
+#include "gen/rmat.hpp"
+#include "sparse/build.hpp"
+
+namespace tilq {
+namespace {
+
+using I = std::int64_t;
+
+double total(const std::vector<double>& rank) {
+  return std::accumulate(rank.begin(), rank.end(), 0.0);
+}
+
+TEST(PageRank, UniformOnCycle) {
+  // Directed cycle: perfect symmetry => uniform ranks.
+  Coo<double, I> coo(5, 5);
+  for (I v = 0; v < 5; ++v) {
+    coo.push(v, (v + 1) % 5, 1.0);
+  }
+  const auto result = pagerank(build_csr(coo));
+  for (const double r : result.rank) {
+    EXPECT_NEAR(r, 0.2, 1e-8);
+  }
+  EXPECT_NEAR(total(result.rank), 1.0, 1e-9);
+}
+
+TEST(PageRank, SinkAttractsRank) {
+  // 0 -> 2, 1 -> 2, 2 -> 0: vertex 2 collects two in-links.
+  const auto g = csr_from_triplets<double, I>(
+      3, 3, {{0, 2, 1.0}, {1, 2, 1.0}, {2, 0, 1.0}});
+  const auto result = pagerank(g);
+  EXPECT_GT(result.rank[2], result.rank[0]);
+  EXPECT_GT(result.rank[0], result.rank[1]);
+  EXPECT_NEAR(total(result.rank), 1.0, 1e-9);
+}
+
+TEST(PageRank, DanglingMassIsRedistributed) {
+  // 0 -> 1, 1 dangles: rank must still sum to 1 and converge.
+  const auto g = csr_from_triplets<double, I>(2, 2, {{0, 1, 1.0}});
+  const auto result = pagerank(g);
+  EXPECT_NEAR(total(result.rank), 1.0, 1e-9);
+  EXPECT_GT(result.rank[1], result.rank[0]);
+  EXPECT_LT(result.residual, 1e-8);
+}
+
+TEST(PageRank, ConvergesOnSocialGraph) {
+  RmatParams p;
+  p.scale = 10;
+  p.edge_factor = 8;
+  const auto g = generate_rmat(p);
+  const auto result = pagerank(g);
+  EXPECT_LT(result.iterations, 100);
+  EXPECT_NEAR(total(result.rank), 1.0, 1e-6);
+  // Ranks are a probability distribution.
+  for (const double r : result.rank) {
+    EXPECT_GT(r, 0.0);
+    EXPECT_LT(r, 1.0);
+  }
+}
+
+TEST(PageRank, RespectsToleranceAndIterationCap) {
+  RmatParams p;
+  p.scale = 8;
+  p.edge_factor = 4;
+  const auto g = generate_rmat(p);
+  PageRankOptions strict;
+  strict.tolerance = 0.0;  // never converges by tolerance
+  strict.max_iterations = 7;
+  EXPECT_EQ(pagerank(g, strict).iterations, 7);
+}
+
+TEST(PageRank, InvalidArgumentsThrow) {
+  EXPECT_THROW(pagerank(Csr<double, I>(2, 3)), PreconditionError);
+  const auto g = csr_from_triplets<double, I>(2, 2, {{0, 1, 1.0}});
+  PageRankOptions bad;
+  bad.damping = 1.5;
+  EXPECT_THROW(pagerank(g, bad), PreconditionError);
+}
+
+TEST(PageRank, EmptyGraph) {
+  const auto result = pagerank(Csr<double, I>(0, 0));
+  EXPECT_TRUE(result.rank.empty());
+}
+
+}  // namespace
+}  // namespace tilq

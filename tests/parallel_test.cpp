@@ -1,0 +1,84 @@
+// Tests for the OpenMP helpers: parallel_for coverage and the blocked
+// parallel exclusive scan against a serial oracle, across sizes that hit
+// both the serial cutoff and the parallel path.
+#include "support/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace tilq {
+namespace {
+
+TEST(ParallelFor, VisitsEveryIndexOnce) {
+  constexpr std::int64_t kN = 10000;
+  std::vector<std::atomic<int>> visits(kN);
+  parallel_for(std::int64_t{0}, kN, [&](std::int64_t i) {
+    visits[static_cast<std::size_t>(i)].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::int64_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(visits[static_cast<std::size_t>(i)].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  int calls = 0;
+  parallel_for(5, 5, [&](int) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+class ExclusiveScanSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ExclusiveScanSizes, MatchesSerialOracle) {
+  const std::size_t n = GetParam();
+  Xoshiro256 rng(n);
+  std::vector<std::int64_t> counts(n);
+  for (auto& c : counts) {
+    c = static_cast<std::int64_t>(rng.uniform_below(100));
+  }
+
+  std::vector<std::int64_t> expected(n + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    expected[i + 1] = expected[i] + counts[i];
+  }
+
+  std::vector<std::int64_t> offsets(n + 1);
+  const std::int64_t total =
+      exclusive_scan<std::int64_t>(counts, std::span<std::int64_t>(offsets));
+  EXPECT_EQ(total, expected[n]);
+  EXPECT_EQ(offsets, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ExclusiveScanSizes,
+                         ::testing::Values(0, 1, 2, 100, (1 << 14) - 1, 1 << 14,
+                                           (1 << 14) + 1, 100000, 250000));
+
+TEST(ExclusiveScan, AllZeros) {
+  std::vector<std::int64_t> counts(50000, 0);
+  std::vector<std::int64_t> offsets(counts.size() + 1);
+  EXPECT_EQ(exclusive_scan<std::int64_t>(counts, std::span<std::int64_t>(offsets)), 0);
+  EXPECT_EQ(offsets.back(), 0);
+  EXPECT_EQ(offsets.front(), 0);
+}
+
+TEST(ExclusiveScan, VectorOverloadAllocates) {
+  const std::vector<std::int64_t> counts = {3, 1, 4, 1, 5};
+  const std::vector<std::int64_t> offsets = exclusive_scan<std::int64_t>(counts);
+  const std::vector<std::int64_t> expected = {0, 3, 4, 8, 9, 14};
+  EXPECT_EQ(offsets, expected);
+}
+
+TEST(ExclusiveScan, WrongOffsetSizeThrows) {
+  const std::vector<std::int64_t> counts = {1, 2, 3};
+  std::vector<std::int64_t> offsets(3);  // should be 4
+  EXPECT_THROW(exclusive_scan<std::int64_t>(counts, std::span<std::int64_t>(offsets)),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace tilq

@@ -1,0 +1,127 @@
+// Tests for vertex reordering: permutation algebra, semantic invariance of
+// the masked product under relabeling, and the orderings' defining
+// properties (degree monotonicity, RCM bandwidth reduction).
+#include "sparse/reorder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+
+#include "core/masked_spgemm.hpp"
+#include "gen/rmat.hpp"
+#include "gen/road_network.hpp"
+#include "sparse/ops.hpp"
+#include "test_util.hpp"
+
+namespace tilq {
+namespace {
+
+using I = std::int64_t;
+using SR = PlusTimes<double>;
+
+TEST(Permutation, Validation) {
+  EXPECT_TRUE(is_permutation({0, 1, 2}));
+  EXPECT_TRUE(is_permutation({2, 0, 1}));
+  EXPECT_TRUE(is_permutation({}));
+  EXPECT_FALSE(is_permutation({0, 0, 1}));   // duplicate
+  EXPECT_FALSE(is_permutation({0, 1, 3}));   // out of range
+  EXPECT_FALSE(is_permutation({0, 1, -1}));  // negative
+}
+
+TEST(Permutation, InverseComposesToIdentity) {
+  const Permutation perm = {3, 1, 4, 0, 2};
+  const Permutation inverse = invert_permutation(perm);
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    EXPECT_EQ(inverse[static_cast<std::size_t>(perm[i])],
+              static_cast<I>(i));
+  }
+  EXPECT_THROW(invert_permutation({0, 0}), PreconditionError);
+}
+
+TEST(PermuteSymmetric, IdentityIsNoop) {
+  const auto a = symmetrize(test::random_matrix<double, I>(20, 20, 0.15, 1));
+  Permutation identity(20);
+  std::iota(identity.begin(), identity.end(), I{0});
+  EXPECT_TRUE(test::csr_equal(a, permute_symmetric(a, identity)));
+}
+
+TEST(PermuteSymmetric, EntriesMoveWithTheirVertices) {
+  const auto a = csr_from_triplets<double, I>(
+      3, 3, {{0, 1, 5.0}, {1, 0, 5.0}, {1, 2, 7.0}, {2, 1, 7.0}});
+  // perm = {2, 0, 1}: new vertex 0 is old 2, new 1 is old 0, new 2 is old 1.
+  const auto p = permute_symmetric(a, {2, 0, 1});
+  EXPECT_DOUBLE_EQ(p.at(1, 2), 5.0);  // old (0,1)
+  EXPECT_DOUBLE_EQ(p.at(2, 0), 7.0);  // old (1,2)
+  EXPECT_EQ(p.nnz(), a.nnz());
+}
+
+TEST(PermuteSymmetric, PreservesMaskedProductUpToRelabeling) {
+  // Semantic invariance: P(M ⊙ (A x A))Pᵀ == PMPᵀ ⊙ (PAPᵀ x PAPᵀ).
+  const auto a = symmetrize(test::random_matrix<double, I>(30, 30, 0.15, 7));
+  const Permutation perm = random_order(30, 99);
+  const auto pa = permute_symmetric(a, perm);
+  const auto direct = permute_symmetric(masked_spgemm<SR>(a, a, a), perm);
+  const auto relabeled = masked_spgemm<SR>(pa, pa, pa);
+  EXPECT_TRUE(test::csr_equal(direct, relabeled));
+}
+
+TEST(DegreeOrder, SortsByDescendingDegree) {
+  RmatParams params;
+  params.scale = 8;
+  params.edge_factor = 8;
+  const auto a = generate_rmat(params);
+  const Permutation perm = degree_order(a);
+  ASSERT_TRUE(is_permutation(perm));
+  for (std::size_t i = 1; i < perm.size(); ++i) {
+    EXPECT_GE(a.row_nnz(perm[i - 1]), a.row_nnz(perm[i]));
+  }
+  // After permutation, row degrees must be non-increasing.
+  const auto p = permute_symmetric(a, perm);
+  for (I i = 1; i < p.rows(); ++i) {
+    EXPECT_GE(p.row_nnz(i - 1), p.row_nnz(i));
+  }
+}
+
+TEST(RcmOrder, ReducesLatticeBandwidthUnderRandomLabels) {
+  // A lattice whose labels were scrambled: RCM must bring the bandwidth
+  // back to O(side) rather than O(n).
+  RoadNetworkParams params;
+  params.width = 40;
+  params.height = 40;
+  params.deletion_prob = 0.0;
+  params.shortcut_prob = 0.0;
+  const auto lattice = generate_road_network(params);
+  const auto scrambled = permute_symmetric(lattice, random_order(1600, 5));
+  ASSERT_GT(bandwidth(scrambled), 800);  // scrambling destroys locality
+
+  const auto restored = permute_symmetric(scrambled, rcm_order(scrambled));
+  EXPECT_LT(bandwidth(restored), 4 * 40);  // RCM: bandwidth ~ lattice side
+}
+
+TEST(RcmOrder, CoversDisconnectedGraphs) {
+  const auto a = csr_from_triplets<double, I>(
+      5, 5, {{0, 1, 1.0}, {1, 0, 1.0}, {3, 4, 1.0}, {4, 3, 1.0}});
+  const Permutation perm = rcm_order(a);
+  EXPECT_TRUE(is_permutation(perm));
+  EXPECT_EQ(perm.size(), 5u);
+}
+
+TEST(RandomOrder, SeededAndValid) {
+  const Permutation a = random_order(100, 3);
+  const Permutation b = random_order(100, 3);
+  const Permutation c = random_order(100, 4);
+  EXPECT_TRUE(is_permutation(a));
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(Bandwidth, KnownValues) {
+  EXPECT_EQ(bandwidth(Csr<double, I>(4, 4)), 0);
+  EXPECT_EQ(bandwidth(csr_identity<double, I>(4)), 0);
+  const auto a = csr_from_triplets<double, I>(4, 4, {{0, 3, 1.0}, {2, 1, 1.0}});
+  EXPECT_EQ(bandwidth(a), 3);
+}
+
+}  // namespace
+}  // namespace tilq

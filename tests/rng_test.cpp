@@ -1,0 +1,120 @@
+// Unit tests for the xoshiro256** generator: determinism (the synthetic
+// collection depends on it), range correctness, and stream independence.
+#include "support/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <vector>
+
+namespace tilq {
+namespace {
+
+TEST(Xoshiro, SameSeedSameStream) {
+  Xoshiro256 a(123);
+  Xoshiro256 b(123);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a(), b());
+  }
+}
+
+TEST(Xoshiro, DifferentSeedsDiffer) {
+  Xoshiro256 a(1);
+  Xoshiro256 b(2);
+  int differences = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() != b()) {
+      ++differences;
+    }
+  }
+  EXPECT_GT(differences, 90);
+}
+
+TEST(Xoshiro, UniformInUnitInterval) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Xoshiro, UniformMeanIsNearHalf) {
+  Xoshiro256 rng(11);
+  double sum = 0.0;
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) {
+    sum += rng.uniform();
+  }
+  EXPECT_NEAR(sum / kSamples, 0.5, 0.01);
+}
+
+TEST(Xoshiro, UniformBelowStaysInRange) {
+  Xoshiro256 rng(13);
+  for (const std::uint64_t bound : {1ull, 2ull, 7ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 1000; ++i) {
+      ASSERT_LT(rng.uniform_below(bound), bound);
+    }
+  }
+}
+
+TEST(Xoshiro, UniformBelowOneAlwaysZero) {
+  Xoshiro256 rng(17);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(rng.uniform_below(1), 0u);
+  }
+}
+
+TEST(Xoshiro, UniformBelowCoversAllResidues) {
+  Xoshiro256 rng(19);
+  std::array<int, 10> histogram{};
+  for (int i = 0; i < 10000; ++i) {
+    ++histogram[rng.uniform_below(10)];
+  }
+  // Each residue should appear close to 1000 times.
+  for (const int count : histogram) {
+    EXPECT_GT(count, 800);
+    EXPECT_LT(count, 1200);
+  }
+}
+
+TEST(Xoshiro, BernoulliMatchesProbability) {
+  Xoshiro256 rng(23);
+  int hits = 0;
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) {
+    hits += rng.bernoulli(0.3) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kSamples, 0.3, 0.01);
+}
+
+TEST(Xoshiro, JumpProducesDisjointStream) {
+  Xoshiro256 a(31);
+  Xoshiro256 b(31);
+  b.jump();
+  std::vector<std::uint64_t> from_a(100);
+  std::vector<std::uint64_t> from_b(100);
+  for (int i = 0; i < 100; ++i) {
+    from_a[static_cast<std::size_t>(i)] = a();
+    from_b[static_cast<std::size_t>(i)] = b();
+  }
+  // The jumped stream should share no prefix values with the original.
+  EXPECT_EQ(std::ranges::mismatch(from_a, from_b).in1, from_a.begin());
+}
+
+TEST(SplitMix, Deterministic) {
+  SplitMix64 a(99);
+  SplitMix64 b(99);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(SplitMix, ZeroSeedStillMixes) {
+  SplitMix64 mix(0);
+  EXPECT_NE(mix.next(), 0u);
+}
+
+}  // namespace
+}  // namespace tilq

@@ -1,0 +1,55 @@
+// Tests for the semiring definitions.
+#include "core/semiring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace tilq {
+namespace {
+
+TEST(PlusTimesSemiring, BasicAlgebra) {
+  using SR = PlusTimes<double>;
+  EXPECT_DOUBLE_EQ(SR::zero(), 0.0);
+  EXPECT_DOUBLE_EQ(SR::add(2.0, 3.0), 5.0);
+  EXPECT_DOUBLE_EQ(SR::mul(2.0, 3.0), 6.0);
+  EXPECT_DOUBLE_EQ(SR::add(SR::zero(), 7.0), 7.0);  // identity
+}
+
+TEST(PlusPairSemiring, MulIgnoresOperands) {
+  using SR = PlusPair<std::int64_t>;
+  EXPECT_EQ(SR::mul(999, -5), 1);
+  EXPECT_EQ(SR::mul(0, 0), 1);
+  EXPECT_EQ(SR::add(3, 4), 7);
+  EXPECT_EQ(SR::zero(), 0);
+}
+
+TEST(BoolOrAndSemiring, TruthTable) {
+  using SR = BoolOrAnd;
+  EXPECT_FALSE(SR::zero());
+  EXPECT_TRUE(SR::add(true, false));
+  EXPECT_FALSE(SR::add(false, false));
+  EXPECT_TRUE(SR::mul(true, true));
+  EXPECT_FALSE(SR::mul(true, false));
+}
+
+TEST(MinPlusSemiring, TropicalAlgebra) {
+  using SR = MinPlus<std::int64_t>;
+  EXPECT_EQ(SR::zero(), std::numeric_limits<std::int64_t>::max());
+  EXPECT_EQ(SR::add(5, 3), 3);
+  EXPECT_EQ(SR::mul(5, 3), 8);
+  // Infinity absorbs multiplication and is the additive identity.
+  EXPECT_EQ(SR::mul(SR::zero(), 3), SR::zero());
+  EXPECT_EQ(SR::mul(3, SR::zero()), SR::zero());
+  EXPECT_EQ(SR::add(SR::zero(), 42), 42);
+}
+
+TEST(MinPlusSemiring, NoOverflowNearInfinity) {
+  using SR = MinPlus<std::int64_t>;
+  // mul must not wrap around when one operand is "infinity".
+  EXPECT_EQ(SR::mul(SR::zero(), SR::zero()), SR::zero());
+  EXPECT_GT(SR::mul(SR::zero(), 1), 0);
+}
+
+}  // namespace
+}  // namespace tilq

@@ -1,0 +1,84 @@
+// Tests for binary serialization: round trips, format validation, and
+// corruption detection.
+#include "sparse/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+
+#include "gen/collection.hpp"
+#include "test_util.hpp"
+
+namespace tilq {
+namespace {
+
+using I = std::int64_t;
+
+TEST(Serialize, RoundTripThroughStream) {
+  const auto original = test::random_matrix<double, I>(40, 30, 0.15, 3);
+  std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
+  write_binary(buffer, original);
+  EXPECT_TRUE(test::csr_equal(original, read_binary(buffer)));
+}
+
+TEST(Serialize, RoundTripThroughFile) {
+  const auto original = make_collection_graph("as-Skitter", 0.05);
+  const std::string path = ::testing::TempDir() + "/tilq_roundtrip.bin";
+  write_binary_file(path, original);
+  EXPECT_TRUE(test::csr_equal(original, read_binary_file(path)));
+}
+
+TEST(Serialize, EmptyMatrix) {
+  const Csr<double, I> empty(7, 9);
+  std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
+  write_binary(buffer, empty);
+  const auto reread = read_binary(buffer);
+  EXPECT_EQ(reread.rows(), 7);
+  EXPECT_EQ(reread.cols(), 9);
+  EXPECT_EQ(reread.nnz(), 0);
+}
+
+TEST(Serialize, ExactDoubleValuesSurvive) {
+  // Binary format must preserve bit-exact values (unlike text round trips).
+  const auto m = csr_from_triplets<double, I>(
+      1, 3, {{0, 0, 0.1}, {0, 1, 1e-300}, {0, 2, -3.14159265358979}});
+  std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
+  write_binary(buffer, m);
+  const auto reread = read_binary(buffer);
+  EXPECT_EQ(m.values()[0], reread.values()[0]);
+  EXPECT_EQ(m.values()[1], reread.values()[1]);
+  EXPECT_EQ(m.values()[2], reread.values()[2]);
+}
+
+TEST(Serialize, BadMagicThrows) {
+  std::stringstream buffer("definitely not a tilq file");
+  EXPECT_THROW(read_binary(buffer), SerializeError);
+}
+
+TEST(Serialize, TruncatedPayloadThrows) {
+  const auto original = test::random_matrix<double, I>(20, 20, 0.2, 5);
+  std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
+  write_binary(buffer, original);
+  const std::string full = buffer.str();
+  std::stringstream truncated(full.substr(0, full.size() / 2));
+  EXPECT_THROW(read_binary(truncated), SerializeError);
+}
+
+TEST(Serialize, CorruptedStructureThrows) {
+  const auto original = test::random_matrix<double, I>(10, 10, 0.3, 7);
+  std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
+  write_binary(buffer, original);
+  std::string bytes = buffer.str();
+  // Corrupt a byte inside the row_ptr region (just past the 36-byte header).
+  bytes[50] = static_cast<char>(0xFF);
+  std::stringstream corrupted(bytes);
+  EXPECT_THROW(read_binary(corrupted), SerializeError);
+}
+
+TEST(Serialize, MissingFileThrows) {
+  EXPECT_THROW(read_binary_file("/nonexistent/tilq.bin"), SerializeError);
+}
+
+}  // namespace
+}  // namespace tilq

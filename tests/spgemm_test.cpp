@@ -1,0 +1,124 @@
+// Tests for the unmasked Gustavson SpGEMM, mask application, and the
+// two-phase masked product (the disjoint-code oracle chain).
+#include "core/spgemm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "sparse/dense.hpp"
+#include "sparse/ops.hpp"
+#include "test_util.hpp"
+
+namespace tilq {
+namespace {
+
+using I = std::int64_t;
+using SR = PlusTimes<double>;
+
+/// Dense-multiply oracle for the unmasked product (structural: an entry
+/// exists iff some A[i,k], B[k,j] pair exists).
+Csr<double, I> dense_spgemm_oracle(const Csr<double, I>& a,
+                                   const Csr<double, I>& b) {
+  Coo<double, I> out(a.rows(), b.cols());
+  for (I i = 0; i < a.rows(); ++i) {
+    for (I j = 0; j < b.cols(); ++j) {
+      double sum = 0.0;
+      bool structural = false;
+      for (const I k : a.row_cols(i)) {
+        if (b.contains(k, j)) {
+          structural = true;
+          sum += a.at(i, k) * b.at(k, j);
+        }
+      }
+      if (structural) {
+        out.push(i, j, sum);
+      }
+    }
+  }
+  return build_csr(out, DupPolicy::kError);
+}
+
+TEST(Spgemm, MatchesDenseOracle) {
+  for (const std::uint64_t seed : {1u, 2u, 3u}) {
+    const auto a = test::random_matrix<double, I>(30, 25, 0.15, seed);
+    const auto b = test::random_matrix<double, I>(25, 35, 0.15, seed + 10);
+    EXPECT_TRUE(test::csr_equal(dense_spgemm_oracle(a, b), spgemm<SR>(a, b)))
+        << "seed " << seed;
+  }
+}
+
+TEST(Spgemm, IdentityIsNeutral) {
+  const auto a = test::random_matrix<double, I>(20, 20, 0.2, 5);
+  const auto eye = csr_identity<double, I>(20);
+  EXPECT_TRUE(test::csr_equal(a, spgemm<SR>(a, eye)));
+  EXPECT_TRUE(test::csr_equal(a, spgemm<SR>(eye, a)));
+}
+
+TEST(Spgemm, DimensionMismatchThrows) {
+  EXPECT_THROW(spgemm<SR>(Csr<double, I>(2, 3), Csr<double, I>(4, 2)),
+               PreconditionError);
+}
+
+TEST(Spgemm, EmptyOperands) {
+  const auto c = spgemm<SR>(Csr<double, I>(3, 4), Csr<double, I>(4, 5));
+  EXPECT_EQ(c.rows(), 3);
+  EXPECT_EQ(c.cols(), 5);
+  EXPECT_EQ(c.nnz(), 0);
+}
+
+TEST(ApplyMask, KeepsOnlyMaskedPositions) {
+  const auto c = csr_from_triplets<double, I>(
+      2, 3, {{0, 0, 1.0}, {0, 2, 2.0}, {1, 1, 3.0}});
+  const auto mask = csr_from_triplets<double, I>(
+      2, 3, {{0, 2, 9.0}, {1, 0, 9.0}, {1, 1, 9.0}});
+  const auto filtered = apply_mask(mask, c);
+  EXPECT_EQ(filtered.nnz(), 2);
+  EXPECT_DOUBLE_EQ(filtered.at(0, 2), 2.0);
+  EXPECT_DOUBLE_EQ(filtered.at(1, 1), 3.0);
+  EXPECT_FALSE(filtered.contains(0, 0));
+}
+
+TEST(ApplyMask, ShapeMismatchThrows) {
+  EXPECT_THROW(apply_mask(Csr<double, I>(2, 2), Csr<double, I>(2, 3)),
+               PreconditionError);
+}
+
+TEST(ApplyMask, FullMaskIsNeutral) {
+  const auto c = test::random_matrix<double, I>(15, 15, 0.3, 7);
+  Coo<double, I> full(15, 15);
+  for (I i = 0; i < 15; ++i) {
+    for (I j = 0; j < 15; ++j) {
+      full.push(i, j, 1.0);
+    }
+  }
+  EXPECT_TRUE(test::csr_equal(c, apply_mask(build_csr(full), c)));
+}
+
+TEST(TwoPhase, AgreesWithReferenceMaskedSpgemm) {
+  for (const std::uint64_t seed : {11u, 13u, 17u}) {
+    const auto mask = test::random_matrix<double, I>(25, 30, 0.15, seed);
+    const auto a = test::random_matrix<double, I>(25, 20, 0.15, seed + 1);
+    const auto b = test::random_matrix<double, I>(20, 30, 0.15, seed + 2);
+    const auto expected = test::reference_masked_spgemm<SR>(mask, a, b);
+    const auto actual = two_phase_masked_spgemm<SR>(mask, a, b);
+    EXPECT_TRUE(test::csr_equal(expected, actual)) << "seed " << seed;
+  }
+}
+
+TEST(Spgemm, PlusPairSemiring) {
+  using PP = PlusPair<std::int64_t>;
+  const auto a = convert_values<std::int64_t>(
+      test::random_matrix<double, I>(20, 20, 0.2, 19));
+  const auto c = spgemm<PP>(a, a);
+  // Every value counts structural k-paths: positive and bounded by row nnz.
+  for (I i = 0; i < c.rows(); ++i) {
+    for (const std::int64_t v : c.row_vals(i)) {
+      EXPECT_GE(v, 1);
+      EXPECT_LE(v, a.row_nnz(i));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tilq

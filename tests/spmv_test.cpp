@@ -1,0 +1,146 @@
+// Tests for the masked SpMV / SpMSpV kernels against brute-force oracles.
+#include "core/spmv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "test_util.hpp"
+
+namespace tilq {
+namespace {
+
+using I = std::int64_t;
+using SR = PlusTimes<double>;
+using V = SparseVector<double, I>;
+
+V random_vector(I dim, double density, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<I> indices;
+  std::vector<double> values;
+  for (I i = 0; i < dim; ++i) {
+    if (rng.bernoulli(density)) {
+      indices.push_back(i);
+      values.push_back(static_cast<double>(1 + rng.uniform_below(9)));
+    }
+  }
+  return {dim, std::move(indices), std::move(values)};
+}
+
+/// Brute-force oracle for y = mask ⊙ (A·x).
+V oracle_masked_spmv(const V& mask, const Csr<double, I>& a, const V& x) {
+  std::vector<I> indices;
+  std::vector<double> values;
+  for (const I i : mask.indices()) {
+    double sum = 0.0;
+    bool structural = false;
+    for (const I k : a.row_cols(i)) {
+      if (x.contains(k)) {
+        structural = true;
+        sum += a.at(i, k) * x.at(k);
+      }
+    }
+    if (structural) {
+      indices.push_back(i);
+      values.push_back(sum);
+    }
+  }
+  return {a.rows(), std::move(indices), std::move(values)};
+}
+
+TEST(MaskedSpmv, MatchesOracleOnRandomProblems) {
+  for (const std::uint64_t seed : {1u, 2u, 3u, 4u}) {
+    const auto a = test::random_matrix<double, I>(30, 25, 0.2, seed);
+    const V x = random_vector(25, 0.3, seed + 10);
+    const V mask = random_vector(30, 0.4, seed + 20);
+    const V expected = oracle_masked_spmv(mask, a, x);
+    const V actual = masked_spmv<SR>(mask, a, x);
+    EXPECT_EQ(actual, expected) << "seed " << seed;
+    EXPECT_TRUE(actual.check());
+  }
+}
+
+TEST(MaskedSpmv, EmptyMaskGivesEmptyOutput) {
+  const auto a = test::random_matrix<double, I>(10, 10, 0.3, 5);
+  const V x = random_vector(10, 0.5, 6);
+  EXPECT_TRUE(masked_spmv<SR>(V(10), a, x).empty());
+}
+
+TEST(MaskedSpmv, DimensionMismatchThrows) {
+  const auto a = test::random_matrix<double, I>(10, 8, 0.3, 5);
+  EXPECT_THROW(masked_spmv<SR>(V(9), a, random_vector(8, 0.5, 6)),
+               PreconditionError);
+  EXPECT_THROW(masked_spmv<SR>(V(10), a, random_vector(9, 0.5, 6)),
+               PreconditionError);
+}
+
+TEST(ComplementMaskedSpmspv, MatchesOracle) {
+  for (const std::uint64_t seed : {7u, 8u, 9u}) {
+    const auto at = test::random_matrix<double, I>(20, 20, 0.2, seed);
+    const V x = random_vector(20, 0.3, seed + 1);
+    const V visited = random_vector(20, 0.3, seed + 2);
+
+    // Oracle: y[j] = Σ_{k∈x} At[k,j]·x[k] for j not visited.
+    std::vector<double> dense(20, 0.0);
+    std::vector<bool> structural(20, false);
+    for (const I k : x.indices()) {
+      for (const I j : at.row_cols(k)) {
+        if (!visited.contains(j)) {
+          dense[static_cast<std::size_t>(j)] += at.at(k, j) * x.at(k);
+          structural[static_cast<std::size_t>(j)] = true;
+        }
+      }
+    }
+    const V actual = complement_masked_spmspv<SR>(visited, at, x);
+    EXPECT_TRUE(actual.check());
+    for (I j = 0; j < 20; ++j) {
+      if (structural[static_cast<std::size_t>(j)]) {
+        EXPECT_TRUE(actual.contains(j)) << "seed " << seed << " j " << j;
+        EXPECT_DOUBLE_EQ(actual.at(j), dense[static_cast<std::size_t>(j)]);
+      } else {
+        EXPECT_FALSE(actual.contains(j)) << "seed " << seed << " j " << j;
+      }
+    }
+  }
+}
+
+TEST(ComplementMaskedSpmspv, VisitedEntriesNeverAppear) {
+  const auto at = test::random_matrix<double, I>(15, 15, 0.4, 11);
+  const V x = random_vector(15, 0.5, 12);
+  const V visited = random_vector(15, 0.5, 13);
+  const V y = complement_masked_spmspv<SR>(visited, at, x);
+  for (const I j : y.indices()) {
+    EXPECT_FALSE(visited.contains(j));
+  }
+}
+
+TEST(SpmvDense, MatchesDenseOracle) {
+  const auto a = test::random_matrix<double, I>(12, 9, 0.3, 17);
+  std::vector<double> x(9);
+  for (std::size_t k = 0; k < x.size(); ++k) {
+    x[k] = static_cast<double>(k + 1);
+  }
+  const auto y = spmv_dense<SR>(a, std::span<const double>(x));
+  ASSERT_EQ(y.size(), 12u);
+  for (I i = 0; i < 12; ++i) {
+    double expected = 0.0;
+    for (const I k : a.row_cols(i)) {
+      expected += a.at(i, k) * x[static_cast<std::size_t>(k)];
+    }
+    EXPECT_DOUBLE_EQ(y[static_cast<std::size_t>(i)], expected);
+  }
+}
+
+TEST(SpmvDense, MinPlusSemiring) {
+  // One relaxation step of (min,+) shortest paths.
+  using MP = MinPlus<std::int64_t>;
+  const auto a = csr_from_triplets<std::int64_t, I>(
+      2, 2, {{0, 1, 4}, {1, 0, 2}, {1, 1, 1}});
+  const std::vector<std::int64_t> x = {0, MP::zero()};
+  const auto y = spmv_dense<MP>(a, std::span<const std::int64_t>(x));
+  EXPECT_EQ(y[0], MP::zero());  // row 0 only reaches x[1] = inf
+  EXPECT_EQ(y[1], 2);           // min(2 + 0, 1 + inf)
+}
+
+}  // namespace
+}  // namespace tilq

@@ -1,0 +1,66 @@
+// Tests for matrix statistics (sparse/stats.hpp).
+#include "sparse/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "sparse/build.hpp"
+
+namespace tilq {
+namespace {
+
+using I = std::int64_t;
+
+TEST(Stats, EmptyMatrix) {
+  const auto s = compute_stats(Csr<double, I>(0, 0));
+  EXPECT_EQ(s.rows, 0);
+  EXPECT_EQ(s.nnz, 0);
+}
+
+TEST(Stats, KnownMatrix) {
+  // rows with 3, 0, 1 entries
+  const auto m = csr_from_triplets<double, I>(
+      3, 4, {{0, 0, 1.0}, {0, 1, 1.0}, {0, 3, 1.0}, {2, 2, 1.0}});
+  const auto s = compute_stats(m);
+  EXPECT_EQ(s.rows, 3);
+  EXPECT_EQ(s.cols, 4);
+  EXPECT_EQ(s.nnz, 4);
+  EXPECT_EQ(s.max_row_nnz, 3);
+  EXPECT_EQ(s.empty_rows, 1);
+  EXPECT_NEAR(s.mean_row_nnz, 4.0 / 3.0, 1e-12);
+}
+
+TEST(Stats, StddevIsZeroForUniformRows) {
+  const auto eye = csr_identity<double, I>(10);
+  const auto s = compute_stats(eye);
+  EXPECT_NEAR(s.row_nnz_stddev, 0.0, 1e-12);
+  EXPECT_EQ(s.max_row_nnz, 1);
+  EXPECT_EQ(s.p99_row_nnz, 1);
+}
+
+TEST(Stats, P99CapturesSkew) {
+  // 99 rows of 1 entry, 1 row of 100 entries.
+  Coo<double, I> coo(100, 200);
+  for (I i = 0; i < 99; ++i) {
+    coo.push(i, i, 1.0);
+  }
+  for (I j = 0; j < 100; ++j) {
+    coo.push(99, j, 1.0);
+  }
+  const auto s = compute_stats(build_csr(coo));
+  EXPECT_EQ(s.max_row_nnz, 100);
+  EXPECT_EQ(s.p99_row_nnz, 100);  // the hub sits exactly at the 99th pct
+}
+
+TEST(MaxRowNnz, FullAndSubrange) {
+  const auto m = csr_from_triplets<double, I>(
+      4, 4, {{0, 0, 1.0}, {1, 0, 1.0}, {1, 1, 1.0}, {1, 2, 1.0}, {3, 3, 1.0}});
+  EXPECT_EQ(max_row_nnz(m), 3);
+  EXPECT_EQ(max_row_nnz(m, I{2}, I{4}), 1);
+  EXPECT_EQ(max_row_nnz(m, I{0}, I{1}), 1);
+  EXPECT_EQ(max_row_nnz(m, I{2}, I{2}), 0);  // empty range
+}
+
+}  // namespace
+}  // namespace tilq

@@ -1,0 +1,173 @@
+// Tests for the tiling strategies (§III-A): coverage invariants for both
+// tilers and balance quality for the FLOP-balanced one.
+#include "core/tiling.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "support/common.hpp"
+#include "support/rng.hpp"
+
+namespace tilq {
+namespace {
+
+/// Checks tiles are non-empty, contiguous, and exactly cover [0, rows).
+void expect_covering(const std::vector<Tile>& tiles, std::int64_t rows) {
+  if (rows == 0) {
+    EXPECT_TRUE(tiles.empty());
+    return;
+  }
+  ASSERT_FALSE(tiles.empty());
+  EXPECT_EQ(tiles.front().row_begin, 0);
+  EXPECT_EQ(tiles.back().row_end, rows);
+  for (std::size_t t = 0; t < tiles.size(); ++t) {
+    EXPECT_LT(tiles[t].row_begin, tiles[t].row_end) << "tile " << t;
+    if (t > 0) {
+      EXPECT_EQ(tiles[t].row_begin, tiles[t - 1].row_end) << "tile " << t;
+    }
+  }
+}
+
+std::vector<std::int64_t> prefix_of(const std::vector<std::int64_t>& work) {
+  std::vector<std::int64_t> prefix(work.size() + 1, 0);
+  std::partial_sum(work.begin(), work.end(), prefix.begin() + 1);
+  return prefix;
+}
+
+TEST(UniformTiles, CoversAndBalancesRowCounts) {
+  const auto tiles = make_uniform_tiles(1000, 7);
+  expect_covering(tiles, 1000);
+  EXPECT_EQ(tiles.size(), 7u);
+  for (const Tile& tile : tiles) {
+    EXPECT_GE(tile.rows(), 1000 / 7);
+    EXPECT_LE(tile.rows(), 1000 / 7 + 1);
+  }
+}
+
+TEST(UniformTiles, MoreTilesThanRowsGivesSingletons) {
+  const auto tiles = make_uniform_tiles(5, 100);
+  expect_covering(tiles, 5);
+  EXPECT_EQ(tiles.size(), 5u);
+  for (const Tile& tile : tiles) {
+    EXPECT_EQ(tile.rows(), 1);
+  }
+}
+
+TEST(UniformTiles, SingleTileTakesEverything) {
+  const auto tiles = make_uniform_tiles(42, 1);
+  ASSERT_EQ(tiles.size(), 1u);
+  EXPECT_EQ(tiles[0], (Tile{0, 42}));
+}
+
+TEST(UniformTiles, ZeroRows) { expect_covering(make_uniform_tiles(0, 4), 0); }
+
+TEST(UniformTiles, InvalidArgumentsThrow) {
+  EXPECT_THROW(make_uniform_tiles(-1, 4), PreconditionError);
+  EXPECT_THROW(make_uniform_tiles(10, 0), PreconditionError);
+}
+
+TEST(BalancedTiles, UniformWorkBehavesLikeUniformTiling) {
+  const std::vector<std::int64_t> work(100, 5);
+  const auto tiles = make_flop_balanced_tiles(prefix_of(work), 10);
+  expect_covering(tiles, 100);
+  EXPECT_EQ(tiles.size(), 10u);
+  for (const Tile& tile : tiles) {
+    EXPECT_EQ(tile.rows(), 10);
+  }
+}
+
+TEST(BalancedTiles, SkewedWorkSplitsAtWorkQuantiles) {
+  // One row carries half the work; it must sit alone-ish while the light
+  // rows pack together.
+  std::vector<std::int64_t> work(100, 1);
+  work[0] = 100;
+  const auto prefix = prefix_of(work);
+  const auto tiles = make_flop_balanced_tiles(prefix, 4);
+  expect_covering(tiles, 100);
+  // First tile: just the heavy row (its work alone exceeds a quantile).
+  EXPECT_EQ(tiles[0], (Tile{0, 1}));
+  // No light tile should hold more than ~2x the fair share of light rows.
+  for (std::size_t t = 1; t < tiles.size(); ++t) {
+    EXPECT_LE(tile_work(tiles[t], prefix), 2 * (199 / 4 + 1));
+  }
+}
+
+TEST(BalancedTiles, HeavySingleRowCannotBeSplit) {
+  // All work in one row: progress guarantee must still produce covering
+  // tiles with the heavy row in a singleton.
+  std::vector<std::int64_t> work(10, 0);
+  work[5] = 1000;
+  const auto tiles = make_flop_balanced_tiles(prefix_of(work), 4);
+  expect_covering(tiles, 10);
+  bool heavy_found = false;
+  for (const Tile& tile : tiles) {
+    if (tile.row_begin <= 5 && 5 < tile.row_end) {
+      heavy_found = true;
+    }
+  }
+  EXPECT_TRUE(heavy_found);
+}
+
+TEST(BalancedTiles, ZeroTotalWorkFallsBackToUniform) {
+  const std::vector<std::int64_t> work(20, 0);
+  const auto tiles = make_flop_balanced_tiles(prefix_of(work), 4);
+  expect_covering(tiles, 20);
+  EXPECT_EQ(tiles.size(), 4u);
+}
+
+TEST(BalancedTiles, EmptyMatrix) {
+  const std::vector<std::int64_t> prefix = {0};
+  EXPECT_TRUE(make_flop_balanced_tiles(prefix, 4).empty());
+}
+
+TEST(BalancedTiles, InvalidArgumentsThrow) {
+  EXPECT_THROW(make_flop_balanced_tiles({}, 4), PreconditionError);
+  const std::vector<std::int64_t> prefix = {0, 1};
+  EXPECT_THROW(make_flop_balanced_tiles(prefix, 0), PreconditionError);
+}
+
+class BalancedTilesRandom
+    : public ::testing::TestWithParam<std::tuple<int, std::int64_t>> {};
+
+TEST_P(BalancedTilesRandom, BalanceQualityProperty) {
+  // Property: for random work vectors, every tile's work is at most
+  // max(per-tile quota, heaviest single row) + quota — i.e. balanced up to
+  // the granularity limit of whole rows.
+  const auto [seed, num_tiles] = GetParam();
+  Xoshiro256 rng(static_cast<std::uint64_t>(seed));
+  std::vector<std::int64_t> work(500);
+  std::int64_t max_row = 0;
+  for (auto& w : work) {
+    w = static_cast<std::int64_t>(rng.uniform_below(1000));
+    max_row = std::max(max_row, w);
+  }
+  const auto prefix = prefix_of(work);
+  const std::int64_t total = prefix.back();
+  const auto tiles = make_flop_balanced_tiles(prefix, num_tiles);
+  expect_covering(tiles, 500);
+  const std::int64_t quota = ceil_div(total, num_tiles);
+  for (const Tile& tile : tiles) {
+    EXPECT_LE(tile_work(tile, prefix), std::max(quota, max_row) + quota)
+        << "tile [" << tile.row_begin << ", " << tile.row_end << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweeps, BalancedTilesRandom,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 5),
+                       ::testing::Values<std::int64_t>(1, 2, 8, 64, 499, 500,
+                                                       2000)));
+
+TEST(TileWork, ComputesRangeSum) {
+  const std::vector<std::int64_t> work = {5, 3, 7, 1};
+  const auto prefix = prefix_of(work);
+  EXPECT_EQ(tile_work({0, 4}, prefix), 16);
+  EXPECT_EQ(tile_work({1, 3}, prefix), 10);
+  EXPECT_EQ(tile_work({2, 2}, prefix), 0);
+}
+
+}  // namespace
+}  // namespace tilq

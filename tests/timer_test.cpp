@@ -1,0 +1,83 @@
+// Tests for the measurement protocol (support/timer.hpp).
+#include "support/timer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tilq {
+namespace {
+
+TEST(WallTimer, ElapsedIsNonNegativeAndMonotone) {
+  WallTimer timer;
+  const double t1 = timer.seconds();
+  const double t2 = timer.seconds();
+  EXPECT_GE(t1, 0.0);
+  EXPECT_GE(t2, t1);
+}
+
+TEST(WallTimer, ResetRestartsClock) {
+  WallTimer timer;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    sink = sink + 1.0;
+  }
+  const double before = timer.seconds();
+  timer.reset();
+  EXPECT_LE(timer.seconds(), before + 1.0);
+}
+
+TEST(Measure, HonorsMinIterations) {
+  int calls = 0;
+  TimingOptions options;
+  options.budget_seconds = 0.0;  // budget exhausted immediately
+  options.min_iterations = 5;
+  options.warmup = false;
+  const TimingResult result = measure([&] { ++calls; }, options);
+  EXPECT_EQ(result.iterations, 5);
+  EXPECT_EQ(calls, 5);
+  EXPECT_EQ(result.samples_ms.size(), 5u);
+}
+
+TEST(Measure, WarmupRunsExtraCall) {
+  int calls = 0;
+  TimingOptions options;
+  options.budget_seconds = 0.0;
+  options.min_iterations = 3;
+  options.warmup = true;
+  const TimingResult result = measure([&] { ++calls; }, options);
+  EXPECT_EQ(result.iterations, 3);
+  EXPECT_EQ(calls, 4);  // 3 measured + 1 warmup
+}
+
+TEST(Measure, HonorsMaxIterations) {
+  int calls = 0;
+  TimingOptions options;
+  options.budget_seconds = 60.0;  // would run forever without the cap
+  options.max_iterations = 7;
+  options.min_iterations = 1;
+  options.warmup = false;
+  const TimingResult result = measure([&] { ++calls; }, options);
+  EXPECT_EQ(result.iterations, 7);
+}
+
+TEST(Measure, StatisticsAreOrdered) {
+  TimingOptions options;
+  options.budget_seconds = 0.0;
+  options.min_iterations = 10;
+  options.warmup = false;
+  volatile double sink = 0.0;
+  const TimingResult result = measure(
+      [&] {
+        for (int i = 0; i < 1000; ++i) {
+          sink = sink + 1.0;
+        }
+      },
+      options);
+  EXPECT_LE(result.min_ms, result.median_ms);
+  EXPECT_LE(result.median_ms, result.max_ms);
+  EXPECT_LE(result.min_ms, result.mean_ms);
+  EXPECT_LE(result.mean_ms, result.max_ms);
+  EXPECT_TRUE(std::is_sorted(result.samples_ms.begin(), result.samples_ms.end()));
+}
+
+}  // namespace
+}  // namespace tilq

@@ -1,0 +1,168 @@
+// Tests for triangle counting: exact counts on known graphs, method
+// agreement (all three formulations count the same triangles), and
+// config-independence (every kernel variant counts the same).
+#include "algos/triangle_count.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "gen/erdos_renyi.hpp"
+#include "gen/rmat.hpp"
+#include "sparse/build.hpp"
+#include "sparse/ops.hpp"
+
+namespace tilq {
+namespace {
+
+using I = std::int64_t;
+
+/// Undirected graph from an edge list.
+Csr<double, I> graph(I n, const std::vector<std::pair<I, I>>& edges) {
+  Coo<double, I> coo(n, n);
+  for (const auto& [u, v] : edges) {
+    coo.push(u, v, 1.0);
+    coo.push(v, u, 1.0);
+  }
+  return build_csr(coo, DupPolicy::kKeepFirst);
+}
+
+/// Complete graph K_n: C(n, 3) triangles.
+Csr<double, I> complete_graph(I n) {
+  Coo<double, I> coo(n, n);
+  for (I i = 0; i < n; ++i) {
+    for (I j = 0; j < n; ++j) {
+      if (i != j) {
+        coo.push(i, j, 1.0);
+      }
+    }
+  }
+  return build_csr(coo);
+}
+
+/// Brute-force oracle: enumerate ordered vertex triples.
+std::int64_t brute_force_triangles(const Csr<double, I>& adj) {
+  std::int64_t count = 0;
+  for (I u = 0; u < adj.rows(); ++u) {
+    for (const I v : adj.row_cols(u)) {
+      if (v <= u) {
+        continue;
+      }
+      for (const I w : adj.row_cols(v)) {
+        if (w > v && adj.contains(u, w)) {
+          ++count;
+        }
+      }
+    }
+  }
+  return count;
+}
+
+constexpr TriangleMethod kAllMethods[] = {
+    TriangleMethod::kBurkhardt, TriangleMethod::kCohen, TriangleMethod::kSandia};
+
+TEST(TriangleCount, SingleTriangle) {
+  const auto g = graph(3, {{0, 1}, {1, 2}, {0, 2}});
+  for (const TriangleMethod m : kAllMethods) {
+    EXPECT_EQ(count_triangles(g, m), 1) << to_string(m);
+  }
+}
+
+TEST(TriangleCount, PathHasNoTriangles) {
+  const auto g = graph(4, {{0, 1}, {1, 2}, {2, 3}});
+  for (const TriangleMethod m : kAllMethods) {
+    EXPECT_EQ(count_triangles(g, m), 0) << to_string(m);
+  }
+}
+
+TEST(TriangleCount, StarHasNoTriangles) {
+  const auto g = graph(6, {{0, 1}, {0, 2}, {0, 3}, {0, 4}, {0, 5}});
+  EXPECT_EQ(count_triangles(g), 0);
+}
+
+TEST(TriangleCount, CompleteGraphs) {
+  // K_n has C(n,3) triangles.
+  for (const I n : {4, 5, 7, 10}) {
+    const std::int64_t expected = n * (n - 1) * (n - 2) / 6;
+    for (const TriangleMethod m : kAllMethods) {
+      EXPECT_EQ(count_triangles(complete_graph(n), m), expected)
+          << "K" << n << " " << to_string(m);
+    }
+  }
+}
+
+TEST(TriangleCount, TwoDisjointTriangles) {
+  const auto g = graph(6, {{0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}, {3, 5}});
+  EXPECT_EQ(count_triangles(g), 2);
+}
+
+TEST(TriangleCount, BowtieSharingAVertex) {
+  const auto g = graph(5, {{0, 1}, {1, 2}, {0, 2}, {2, 3}, {3, 4}, {2, 4}});
+  EXPECT_EQ(count_triangles(g), 2);
+}
+
+class TriangleMethodsAgree : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TriangleMethodsAgree, OnRandomGraphsAndMatchBruteForce) {
+  ErdosRenyiParams p;
+  p.nodes = 120;
+  p.edges = 900;
+  p.seed = GetParam();
+  const auto g = generate_erdos_renyi(p);
+  const std::int64_t expected = brute_force_triangles(g);
+  for (const TriangleMethod m : kAllMethods) {
+    EXPECT_EQ(count_triangles(g, m), expected)
+        << to_string(m) << " seed " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TriangleMethodsAgree,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(TriangleCount, ConfigIndependence) {
+  // Every kernel/accumulator combination must count identically.
+  RmatParams p;
+  p.scale = 8;
+  p.edge_factor = 6;
+  const auto g = generate_rmat(p);
+  const std::int64_t expected = brute_force_triangles(g);
+  for (const MaskStrategy strategy :
+       {MaskStrategy::kVanilla, MaskStrategy::kMaskFirst,
+        MaskStrategy::kCoIterate, MaskStrategy::kHybrid}) {
+    for (const AccumulatorKind acc :
+         {AccumulatorKind::kDense, AccumulatorKind::kHash}) {
+      Config config;
+      config.strategy = strategy;
+      config.accumulator = acc;
+      EXPECT_EQ(count_triangles(g, TriangleMethod::kSandia, config), expected)
+          << config.describe();
+    }
+  }
+}
+
+TEST(TriangleCount, RequiresSquare) {
+  EXPECT_THROW(count_triangles(Csr<double, I>(2, 3)), PreconditionError);
+}
+
+TEST(EdgeSupport, CountsTrianglesPerEdge) {
+  // Bowtie: edges of each triangle have support 1 except none shared.
+  const auto g = graph(5, {{0, 1}, {1, 2}, {0, 2}, {2, 3}, {3, 4}, {2, 4}});
+  const auto support = edge_support(g);
+  EXPECT_EQ(support.at(0, 1), 1);
+  EXPECT_EQ(support.at(1, 2), 1);
+  EXPECT_EQ(support.at(3, 4), 1);
+  // Support pattern is a subset of the adjacency pattern.
+  EXPECT_LE(support.nnz(), g.nnz());
+}
+
+TEST(EdgeSupport, CompleteGraphSupportIsNMinusTwo) {
+  const auto support = edge_support(complete_graph(6));
+  for (I i = 0; i < 6; ++i) {
+    for (const std::int64_t v : support.row_vals(i)) {
+      EXPECT_EQ(v, 4);  // each edge of K6 is in n-2 triangles
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tilq

@@ -1,0 +1,116 @@
+// Tests for the staged tuner (Fig 12): with a synthetic cost model the
+// winner of each stage must be found, stages must run in the paper's order,
+// and the real tune() must return a config that actually computes correctly.
+#include "core/tuner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "test_util.hpp"
+
+namespace tilq {
+namespace {
+
+using I = std::int64_t;
+using SR = PlusTimes<double>;
+
+TunerOptions small_options() {
+  TunerOptions options;
+  options.tile_counts = {2, 8, 32};
+  options.kappas = {0.1, 1.0, 10.0};
+  options.timing = {.budget_seconds = 0.01, .max_iterations = 2,
+                    .min_iterations = 1, .warmup = false};
+  return options;
+}
+
+TEST(TunerWith, FindsTheSyntheticOptimum) {
+  // Cost model with a unique optimum: hash accumulator, balanced tiling,
+  // dynamic scheduling, 8 tiles, kappa = 1, 16-bit marker.
+  const Evaluate model = [](const Config& config) {
+    double cost = 100.0;
+    cost += config.accumulator == AccumulatorKind::kHash ? 0.0 : 10.0;
+    cost += config.tiling == Tiling::kFlopBalanced ? 0.0 : 5.0;
+    cost += config.schedule == Schedule::kDynamic ? 0.0 : 3.0;
+    cost += std::abs(static_cast<double>(config.num_tiles) - 8.0);
+    if (config.strategy == MaskStrategy::kHybrid) {
+      cost -= 20.0 / (1.0 + std::abs(std::log10(config.coiteration_factor)));
+    }
+    cost += config.marker_width == MarkerWidth::k16 ? -2.0 : 0.0;
+    return cost;
+  };
+
+  const TunerReport report = tune_with(model, small_options());
+  EXPECT_EQ(report.best.accumulator, AccumulatorKind::kHash);
+  EXPECT_EQ(report.best.tiling, Tiling::kFlopBalanced);
+  EXPECT_EQ(report.best.schedule, Schedule::kDynamic);
+  EXPECT_EQ(report.best.num_tiles, 8);
+  EXPECT_EQ(report.best.strategy, MaskStrategy::kHybrid);
+  EXPECT_DOUBLE_EQ(report.best.coiteration_factor, 1.0);
+  EXPECT_EQ(report.best.marker_width, MarkerWidth::k16);
+  EXPECT_DOUBLE_EQ(report.best_ms, model(report.best));
+}
+
+TEST(TunerWith, StageOneSweepsTheFullCross) {
+  int calls = 0;
+  const Evaluate model = [&](const Config&) {
+    ++calls;
+    return 1.0;
+  };
+  const TunerOptions options = small_options();
+  const TunerReport report = tune_with(model, options);
+  // Stage 1: 2 accumulators x 2 tilings x 2 schedules x 3 tile counts.
+  EXPECT_EQ(report.stage_tiling.size(), 24u);
+  // Stage 2: 3 kappas. Stage 3: 3 non-incumbent widths.
+  EXPECT_EQ(report.stage_coiteration.size(), 3u);
+  EXPECT_EQ(report.stage_accumulator.size(), 3u);
+  EXPECT_EQ(calls, 24 + 3 + 3);
+}
+
+TEST(TunerWith, StageOneUsesMaskFirstOnly) {
+  const Evaluate model = [](const Config& config) {
+    EXPECT_NE(config.strategy, MaskStrategy::kVanilla);
+    return 1.0;
+  };
+  const TunerReport report = tune_with(model, small_options());
+  for (const TunerTrial& trial : report.stage_tiling) {
+    EXPECT_EQ(trial.config.strategy, MaskStrategy::kMaskFirst);
+  }
+  for (const TunerTrial& trial : report.stage_coiteration) {
+    EXPECT_EQ(trial.config.strategy, MaskStrategy::kHybrid);
+  }
+}
+
+TEST(TunerWith, MaskFirstWinsWhenCoiterationHurts) {
+  // If every hybrid candidate is worse, the stage-1 winner must survive.
+  const Evaluate model = [](const Config& config) {
+    return config.strategy == MaskStrategy::kHybrid ? 50.0 : 10.0;
+  };
+  const TunerReport report = tune_with(model, small_options());
+  EXPECT_EQ(report.best.strategy, MaskStrategy::kMaskFirst);
+}
+
+TEST(TunerWith, EmptySweepsThrow) {
+  const Evaluate model = [](const Config&) { return 1.0; };
+  TunerOptions options = small_options();
+  options.tile_counts.clear();
+  EXPECT_THROW(tune_with(model, options), PreconditionError);
+  options = small_options();
+  options.kappas.clear();
+  EXPECT_THROW(tune_with(model, options), PreconditionError);
+}
+
+TEST(Tune, EndToEndProducesAValidConfig) {
+  const auto a = test::random_matrix<double, I>(60, 60, 0.08, 99);
+  TunerOptions options = small_options();
+  const TunerReport report = tune<SR>(a, a, a, options);
+  // The tuned config must reproduce the oracle result.
+  const auto expected = test::reference_masked_spgemm<SR>(a, a, a);
+  const auto actual = masked_spgemm<SR>(a, a, a, report.best);
+  EXPECT_TRUE(test::csr_equal(expected, actual));
+  EXPECT_GT(report.best_ms, 0.0);
+  EXPECT_FALSE(report.stage_tiling.empty());
+}
+
+}  // namespace
+}  // namespace tilq

@@ -1,0 +1,78 @@
+// Tests for SparseVector.
+#include "sparse/vector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace tilq {
+namespace {
+
+using I = std::int64_t;
+using V = SparseVector<double, I>;
+
+TEST(SparseVector, DefaultIsEmpty) {
+  const V v;
+  EXPECT_EQ(v.dim(), 0);
+  EXPECT_EQ(v.nnz(), 0);
+  EXPECT_TRUE(v.empty());
+  EXPECT_TRUE(v.check());
+}
+
+TEST(SparseVector, UnitVector) {
+  const V v = V::unit(10, 3, 2.5);
+  EXPECT_EQ(v.nnz(), 1);
+  EXPECT_TRUE(v.contains(3));
+  EXPECT_DOUBLE_EQ(v.at(3), 2.5);
+  EXPECT_DOUBLE_EQ(v.at(4), 0.0);
+  EXPECT_THROW(V::unit(10, 10), PreconditionError);
+  EXPECT_THROW(V::unit(10, -1), PreconditionError);
+}
+
+TEST(SparseVector, AdoptedArraysAreValidated) {
+  EXPECT_NO_THROW(V(5, {1, 3}, {1.0, 2.0}));
+  EXPECT_THROW(V(5, {1, 3}, {1.0}), PreconditionError);  // length mismatch
+  EXPECT_THROW(V(-1, {}, {}), PreconditionError);
+}
+
+TEST(SparseVector, CheckDetectsViolations) {
+  V unsorted(5, {3, 1}, {1.0, 2.0});
+  EXPECT_FALSE(unsorted.check());
+  V duplicate(5, {2, 2}, {1.0, 2.0});
+  EXPECT_FALSE(duplicate.check());
+  V out_of_range(5, {7}, {1.0});
+  EXPECT_FALSE(out_of_range.check());
+}
+
+TEST(SparseVector, ContainsAndAt) {
+  const V v(8, {0, 4, 7}, {1.0, 2.0, 3.0});
+  EXPECT_TRUE(v.contains(0));
+  EXPECT_TRUE(v.contains(4));
+  EXPECT_TRUE(v.contains(7));
+  EXPECT_FALSE(v.contains(1));
+  EXPECT_DOUBLE_EQ(v.at(4), 2.0);
+  EXPECT_DOUBLE_EQ(v.at(5), 0.0);
+}
+
+TEST(MakeSparseVector, SortsAndCombines) {
+  const auto v = make_sparse_vector<double, I>(10, {{7, 1.0}, {2, 2.0}, {7, 3.0}});
+  EXPECT_EQ(v.nnz(), 2);
+  EXPECT_DOUBLE_EQ(v.at(2), 2.0);
+  EXPECT_DOUBLE_EQ(v.at(7), 3.0);  // keep-last
+  EXPECT_TRUE(v.check());
+}
+
+TEST(PatternComplement, CoversAllMissingIndices) {
+  const V v(6, {1, 4}, {1.0, 1.0});
+  const auto complement = pattern_complement(v);
+  EXPECT_EQ(complement, (std::vector<I>{0, 2, 3, 5}));
+}
+
+TEST(PatternComplement, EmptyAndFull) {
+  EXPECT_EQ(pattern_complement(V(3)).size(), 3u);
+  const V full(3, {0, 1, 2}, {1.0, 1.0, 1.0});
+  EXPECT_TRUE(pattern_complement(full).empty());
+}
+
+}  // namespace
+}  // namespace tilq

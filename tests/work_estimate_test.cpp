@@ -1,0 +1,86 @@
+// Tests for the Eq-2 work estimator and FLOP counting.
+#include "core/work_estimate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "sparse/build.hpp"
+#include "test_util.hpp"
+
+namespace tilq {
+namespace {
+
+using I = std::int64_t;
+
+TEST(RowWork, MatchesEquationTwoByHand) {
+  // A = [x x .]   B row nnz = {1, 2, 3}   M row nnz = {2, 0, 1}
+  //     [. . x]
+  //     [x . x]
+  const auto a = csr_from_triplets<double, I>(
+      3, 3, {{0, 0, 1.0}, {0, 1, 1.0}, {1, 2, 1.0}, {2, 0, 1.0}, {2, 2, 1.0}});
+  const auto b = csr_from_triplets<double, I>(
+      3, 3,
+      {{0, 0, 1.0}, {1, 0, 1.0}, {1, 1, 1.0}, {2, 0, 1.0}, {2, 1, 1.0}, {2, 2, 1.0}});
+  const auto mask = csr_from_triplets<double, I>(
+      3, 3, {{0, 0, 1.0}, {0, 1, 1.0}, {2, 2, 1.0}});
+
+  const auto work = row_work(mask, a, b);
+  ASSERT_EQ(work.size(), 3u);
+  EXPECT_EQ(work[0], 2 + (1 + 2));  // nnz(M[0]) + nnz(B[0]) + nnz(B[1])
+  EXPECT_EQ(work[1], 0 + 3);        // nnz(M[1]) + nnz(B[2])
+  EXPECT_EQ(work[2], 1 + (1 + 3));  // nnz(M[2]) + nnz(B[0]) + nnz(B[2])
+}
+
+TEST(RowWork, PrefixIsCumulative) {
+  const auto a = test::random_matrix<double, I>(30, 30, 0.1, 1);
+  const auto b = test::random_matrix<double, I>(30, 30, 0.1, 2);
+  const auto mask = test::random_matrix<double, I>(30, 30, 0.1, 3);
+  const auto work = row_work(mask, a, b);
+  const auto prefix = row_work_prefix(mask, a, b);
+  ASSERT_EQ(prefix.size(), work.size() + 1);
+  EXPECT_EQ(prefix[0], 0);
+  for (std::size_t i = 0; i < work.size(); ++i) {
+    EXPECT_EQ(prefix[i + 1] - prefix[i], work[i]);
+  }
+}
+
+TEST(RowWork, ShapeMismatchThrows) {
+  const Csr<double, I> a(3, 4), b(4, 3), mask(2, 3), bad_b(5, 3);
+  EXPECT_THROW(row_work(mask, a, b), PreconditionError);  // mask rows != a rows
+  const Csr<double, I> mask_ok(3, 3);
+  EXPECT_THROW(row_work(mask_ok, a, bad_b), PreconditionError);  // inner dim
+}
+
+TEST(TotalFlops, MatchesBruteForce) {
+  const auto a = test::random_matrix<double, I>(25, 20, 0.15, 4);
+  const auto b = test::random_matrix<double, I>(20, 25, 0.15, 5);
+  std::int64_t expected = 0;
+  for (I i = 0; i < a.rows(); ++i) {
+    for (const I k : a.row_cols(i)) {
+      expected += b.row_nnz(k);
+    }
+  }
+  EXPECT_EQ(total_flops(a, b), expected);
+}
+
+TEST(TotalFlops, ZeroForEmptyOperands) {
+  EXPECT_EQ(total_flops(Csr<double, I>(5, 5), Csr<double, I>(5, 5)), 0);
+}
+
+TEST(RowFlopBound, CapsAtColumnCount) {
+  // One row of A hitting a B row with many entries: bound <= b.cols().
+  const auto a = csr_from_triplets<double, I>(
+      1, 2, {{0, 0, 1.0}, {0, 1, 1.0}});
+  Coo<double, I> bcoo(2, 4);
+  for (I j = 0; j < 4; ++j) {
+    bcoo.push(0, j, 1.0);
+    bcoo.push(1, j, 1.0);
+  }
+  const auto b = build_csr(bcoo);
+  // Raw bound is 8, but only 4 columns exist.
+  EXPECT_EQ(row_flop_bound(a, b, I{0}), 4);
+}
+
+}  // namespace
+}  // namespace tilq
