@@ -36,8 +36,10 @@ int main() {
       config.base.num_tiles = std::min<std::int64_t>(1024, a.rows());
       config.base.threads = threads;
       config.num_col_tiles = ct;
-      const tilq::TimingResult result = tilq::measure(
-          [&] { (void)tilq::masked_spgemm_2d<SR>(a, a, a, config); }, timing);
+      const tilq::TimingResult result = tilq::bench::measure_with_metrics(
+          [&] { (void)tilq::masked_spgemm_2d<SR>(a, a, a, config); }, timing,
+          name,
+          config.base.describe() + " col_tiles=" + std::to_string(ct));
       std::printf(" %8.2f", result.median_ms);
       csv += "," + std::to_string(result.median_ms);
     }

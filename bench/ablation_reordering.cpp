@@ -30,10 +30,14 @@ int main() {
     config.num_tiles = std::min<std::int64_t>(1024, natural.rows());
     config.threads = threads;
 
-    const double natural_ms = tilq::bench::time_kernel(natural, config, timing);
-    const double random_ms = tilq::bench::time_kernel(scrambled, config, timing);
-    const double degree_ms = tilq::bench::time_kernel(by_degree, config, timing);
-    const double rcm_ms = tilq::bench::time_kernel(by_rcm, config, timing);
+    const double natural_ms =
+        tilq::bench::time_kernel(natural, config, timing, name + "/natural");
+    const double random_ms =
+        tilq::bench::time_kernel(scrambled, config, timing, name + "/random");
+    const double degree_ms =
+        tilq::bench::time_kernel(by_degree, config, timing, name + "/degree");
+    const double rcm_ms =
+        tilq::bench::time_kernel(by_rcm, config, timing, name + "/rcm");
 
     std::printf("%-16s | %9.2f %9.2f %9.2f %9.2f | %10lld %10lld\n",
                 name.c_str(), natural_ms, random_ms, degree_ms, rcm_ms,

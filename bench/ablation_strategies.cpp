@@ -36,9 +36,12 @@ int main() {
 
     tilq::Config vanilla = base;
     vanilla.strategy = tilq::MaskStrategy::kVanilla;
+    const tilq::MetricsSnapshot vanilla_before = tilq::metrics_snapshot();
     tilq::WallTimer vanilla_timer;
     (void)tilq::masked_spgemm<SR>(a, a, a, vanilla);
     const double vanilla_ms = vanilla_timer.milliseconds();
+    tilq::bench::emit_single_run_metrics(vanilla_before, name,
+                                         vanilla.describe(), vanilla_ms);
 
     double fused_ms[3];
     int idx = 0;
@@ -48,7 +51,7 @@ int main() {
       tilq::Config config = base;
       config.strategy = strategy;
       config.coiteration_factor = 1.0;
-      fused_ms[idx++] = tilq::bench::time_kernel(a, config, timing);
+      fused_ms[idx++] = tilq::bench::time_kernel(a, config, timing, name);
     }
 
     std::printf("%-16s %12.2f %12.2f %12.2f %12.2f %12.2f\n", name.c_str(),

@@ -72,18 +72,71 @@ class GraphCache {
   std::map<std::string, GraphMatrix> cache_;
 };
 
+/// Source label stamped into the `source` field of emitted metrics records
+/// (docs/METRICS.md); print_header() sets it to the bench name.
+inline std::string& metrics_source() {
+  static std::string source = "bench";
+  return source;
+}
+
+/// measure() plus observability: when metrics are runtime-enabled
+/// (TILQ_METRICS), the counter delta accumulated across every run of the
+/// measurement — warmup included — is emitted as one JSON-lines record, so
+/// `counters / runs` gives exact per-execution event counts.
+inline TimingResult measure_with_metrics(const std::function<void()>& body,
+                                         const TimingOptions& timing,
+                                         const std::string& matrix,
+                                         const std::string& config_label) {
+  if (!metrics_enabled()) {
+    return measure(body, timing);
+  }
+  const MetricsSnapshot before = metrics_snapshot();
+  const TimingResult result = measure(body, timing);
+  MetricsRecord record;
+  record.source = metrics_source();
+  record.matrix = matrix;
+  record.config = config_label;
+  record.runs = result.iterations + (timing.warmup ? 1 : 0);
+  record.median_ms = result.median_ms;
+  emit_metrics_record(record, metrics_delta(before, metrics_snapshot()));
+  return result;
+}
+
+/// Emits one metrics record for a single kernel run timed outside
+/// measure(): snapshot before the run, then call this with the elapsed
+/// time. No-op when metrics are runtime-disabled.
+inline void emit_single_run_metrics(const MetricsSnapshot& before,
+                                    const std::string& matrix,
+                                    const std::string& config_label,
+                                    double elapsed_ms) {
+  if (!metrics_enabled()) {
+    return;
+  }
+  MetricsRecord record;
+  record.source = metrics_source();
+  record.matrix = matrix;
+  record.config = config_label;
+  record.runs = 1;
+  record.median_ms = elapsed_ms;
+  emit_metrics_record(record, metrics_delta(before, metrics_snapshot()));
+}
+
 /// Times the paper's kernel C = A ⊙ (A × A) under `config`; returns the
-/// median milliseconds.
+/// median milliseconds. `matrix` names the input in the emitted metrics
+/// record (empty leaves the record's matrix field blank).
 inline double time_kernel(const GraphMatrix& a, const Config& config,
-                          const TimingOptions& timing = bench_timing()) {
-  const TimingResult result = measure(
-      [&] { (void)masked_spgemm<PlusTimes<double>>(a, a, a, config); }, timing);
+                          const TimingOptions& timing = bench_timing(),
+                          const std::string& matrix = "") {
+  const TimingResult result = measure_with_metrics(
+      [&] { (void)masked_spgemm<PlusTimes<double>>(a, a, a, config); }, timing,
+      matrix, config.describe());
   return result.median_ms;
 }
 
 /// Prints the standard bench header (environment + scale) so outputs are
 /// self-describing.
 inline void print_header(const char* bench_name, double scale) {
+  metrics_source() = bench_name;
   std::printf("== %s ==\n", bench_name);
   std::printf("environment: %s\n", environment_summary().c_str());
   std::printf("collection scale: %.3g (paper sizes / ~1000 at scale 1)\n\n",

@@ -43,7 +43,7 @@ int main() {
         config.marker_width = width;
         config.reset = tilq::ResetPolicy::kMarker;
         config.threads = threads;
-        ms[idx] = tilq::bench::time_kernel(a, config, timing);
+        ms[idx] = tilq::bench::time_kernel(a, config, timing, name);
         // The matrix identity for the relative summary is (graph, acc): the
         // figure compares widths within each accumulator.
         std::string label = to_string(acc);
@@ -69,7 +69,8 @@ int main() {
       config.num_tiles = std::min<std::int64_t>(2048, a.rows());
       config.accumulator = tilq::AccumulatorKind::kBitmap;
       config.threads = threads;
-      bitmap_times.emplace_back(name, tilq::bench::time_kernel(a, config, timing));
+      bitmap_times.emplace_back(name,
+                                tilq::bench::time_kernel(a, config, timing, name));
     }
   }
 

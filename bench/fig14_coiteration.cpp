@@ -45,9 +45,13 @@ int main() {
       tilq::Config config = base;
       config.strategy = tilq::MaskStrategy::kMaskFirst;
       config.accumulator = acc;
+      const tilq::MetricsSnapshot before = tilq::metrics_snapshot();
       tilq::WallTimer timer;
       (void)tilq::masked_spgemm<tilq::PlusTimes<double>>(a, a, a, config);
-      baseline[idx++] = timer.milliseconds();
+      baseline[idx] = timer.milliseconds();
+      tilq::bench::emit_single_run_metrics(before, name, config.describe(),
+                                           baseline[idx]);
+      ++idx;
     }
     std::printf("%-8s %12.2f %12.2f   (no co-iteration, single run)\n", "--",
                 baseline[0], baseline[1]);
@@ -63,7 +67,7 @@ int main() {
         config.strategy = tilq::MaskStrategy::kHybrid;
         config.coiteration_factor = kappa;
         config.accumulator = acc;
-        ms[idx++] = tilq::bench::time_kernel(a, config, timing);
+        ms[idx++] = tilq::bench::time_kernel(a, config, timing, name);
       }
       std::printf("%-8g %12.2f %12.2f\n", kappa, ms[0], ms[1]);
       std::printf("CSV,fig14,%s,%g,%.3f,%.3f\n", name, kappa, ms[0], ms[1]);

@@ -24,11 +24,11 @@ int main() {
     tilq::Config ssgb = tilq::baselines::make_ssgb_config(
         tilq::compute_stats(a), tilq::total_flops(a, a), threads);
     ssgb.accumulator = tilq::AccumulatorKind::kHash;
-    const double ssgb_ms = tilq::bench::time_kernel(a, ssgb, timing);
+    const double ssgb_ms = tilq::bench::time_kernel(a, ssgb, timing, name);
 
     const tilq::Config grb =
         tilq::baselines::make_grb_config(threads, tilq::AccumulatorKind::kHash);
-    const double grb_ms = tilq::bench::time_kernel(a, grb, timing);
+    const double grb_ms = tilq::bench::time_kernel(a, grb, timing, name);
 
     // Tuned: the configuration §V converges to — FLOP-balanced tiles at an
     // intermediate count, dynamic scheduling, hybrid with kappa = 1,
@@ -42,7 +42,7 @@ int main() {
     tuned.accumulator = tilq::AccumulatorKind::kHash;
     tuned.marker_width = tilq::MarkerWidth::k32;
     tuned.threads = threads;
-    const double tuned_ms = tilq::bench::time_kernel(a, tuned, timing);
+    const double tuned_ms = tilq::bench::time_kernel(a, tuned, timing, name);
 
     std::printf("%-16s %12.2f %12.2f %12.2f | %9.2f %9.2f\n", name.c_str(),
                 ssgb_ms, grb_ms, tuned_ms, ssgb_ms / tuned_ms,

@@ -20,7 +20,7 @@ int main() {
     const tilq::GraphMatrix& a = cache.get(name);
 
     const tilq::Config predicted = tilq::predict_config(a, a, a, threads);
-    const double model_ms = tilq::bench::time_kernel(a, predicted, timing);
+    const double model_ms = tilq::bench::time_kernel(a, predicted, timing, name);
 
     tilq::TunerOptions options;
     options.tile_counts = {64, 256, 1024};

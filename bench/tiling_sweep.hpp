@@ -63,7 +63,7 @@ inline std::vector<TilingPoint> run_tiling_sweep(
             config.num_tiles = tiles;
             config.threads = threads;
             TilingPoint point{name, acc, tiling, schedule, tiles,
-                              time_kernel(a, config, timing)};
+                              time_kernel(a, config, timing, name)};
             if (on_point) {
               on_point(point);
             }

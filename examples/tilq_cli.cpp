@@ -186,7 +186,15 @@ int main(int argc, char** argv) {
                 options.config.describe().c_str());
   }
 
-  // Execution + timing.
+  // Execution + timing. The selected configuration goes into the output
+  // header, before the (possibly long) measurement, so partial output is
+  // already attributable to a config.
+  std::string config_label = options.config.describe();
+  if (options.col_tiles > 1) {
+    config_label += " col_tiles=" + std::to_string(options.col_tiles);
+  }
+  std::printf("config: %s\n", config_label.c_str());
+
   tilq::TimingOptions timing;
   timing.max_iterations = options.repeats;
   timing.min_iterations = std::min(options.repeats, 2);
@@ -194,18 +202,16 @@ int main(int argc, char** argv) {
 
   tilq::ExecutionStats exec;
   tilq::TimingResult result;
+  const tilq::MetricsSnapshot metrics_before = tilq::metrics_snapshot();
   if (options.col_tiles > 1) {
     tilq::Config2d config2d{options.config, options.col_tiles};
     result = tilq::measure(
         [&] { (void)tilq::masked_spgemm_2d<SR>(a, a, a, config2d, &exec); },
         timing);
-    std::printf("config: %s col_tiles=%lld\n", options.config.describe().c_str(),
-                static_cast<long long>(options.col_tiles));
   } else {
     result = tilq::measure(
         [&] { (void)tilq::masked_spgemm<SR>(a, a, a, options.config, &exec); },
         timing);
-    std::printf("config: %s\n", options.config.describe().c_str());
   }
 
   std::printf("\ntime: median %.2f ms (min %.2f, mean %.2f, max %.2f over %lld runs)\n",
@@ -217,5 +223,22 @@ int main(int argc, char** argv) {
               static_cast<long long>(exec.output_nnz),
               static_cast<long long>(exec.tiles),
               static_cast<unsigned long long>(exec.accumulator_full_resets));
+
+  // Observability sinks (docs/METRICS.md): one JSON-lines record covering
+  // every run of the measurement, and the Chrome trace when requested.
+  if (tilq::metrics_enabled()) {
+    tilq::MetricsRecord record;
+    record.source = "tilq_cli";
+    record.matrix = !options.mtx_path.empty() ? options.mtx_path : options.graph;
+    record.config = config_label;
+    record.runs = result.iterations + (timing.warmup ? 1 : 0);
+    record.median_ms = result.median_ms;
+    tilq::emit_metrics_record(
+        record, tilq::metrics_delta(metrics_before, tilq::metrics_snapshot()));
+  }
+  if (!tilq::trace_path().empty() && tilq::trace_flush()) {
+    std::printf("trace: wrote %zu events to %s\n", tilq::trace_event_count(),
+                tilq::trace_path().c_str());
+  }
   return 0;
 }

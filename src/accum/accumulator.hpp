@@ -27,6 +27,8 @@
 #include <cstdint>
 #include <span>
 
+#include "support/metrics.hpp"  // TILQ_METRICS_ENABLED gate for the counters
+
 namespace tilq {
 
 /// How accumulator state is invalidated between output rows.
@@ -71,10 +73,18 @@ enum class MarkerWidth : int {
 }
 
 /// Statistics an accumulator optionally reports — used by tests asserting
-/// the overflow/reset trade-off and by the microbenchmarks.
+/// the overflow/reset trade-off, by the microbenchmarks, and flushed into
+/// the global metrics registry (support/metrics.hpp) by the SpGEMM
+/// drivers. `full_resets` and `probes` are always maintained; the rest are
+/// compiled in only with TILQ_METRICS_ENABLED (docs/METRICS.md).
 struct AccumulatorCounters {
-  std::uint64_t full_resets = 0;   ///< marker overflows => whole-array resets
-  std::uint64_t probes = 0;        ///< hash probe steps (collision metric)
+  std::uint64_t full_resets = 0;     ///< marker overflows => whole-array resets
+  std::uint64_t probes = 0;          ///< hash probe steps (collision metric)
+  std::uint64_t inserts = 0;         ///< accumulate calls that hit the mask
+  std::uint64_t rejects = 0;         ///< accumulate calls outside the mask
+  std::uint64_t collisions = 0;      ///< hash insertions needing >=1 probe step
+  std::uint64_t row_resets = 0;      ///< marker-policy finish_row epoch bumps
+  std::uint64_t explicit_clears = 0; ///< slots cleared by explicit resets
 };
 
 /// Compile-time interface check used by the kernels.

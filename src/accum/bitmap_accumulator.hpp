@@ -39,8 +39,14 @@ class BitmapAccumulator {
 
   bool accumulate(I col, value_type product) noexcept {
     if (!test_bit(masked_bits_, col)) {
+#if TILQ_METRICS_ENABLED
+      ++counters_.rejects;
+#endif
       return false;
     }
+#if TILQ_METRICS_ENABLED
+    ++counters_.inserts;
+#endif
     set_bit(touched_bits_, col);
     auto& slot = values_[static_cast<std::size_t>(col)];
     slot = SR::add(slot, product);
@@ -61,6 +67,9 @@ class BitmapAccumulator {
   }
 
   void finish_row(std::span<const I> mask_cols) noexcept {
+#if TILQ_METRICS_ENABLED
+    counters_.explicit_clears += mask_cols.size() + unmasked_touched_.size();
+#endif
     // Explicit per-row reset: clear exactly the whole words the mask
     // touched (clearing words instead of bits halves the passes; duplicate
     // word clears are harmless).
@@ -80,6 +89,9 @@ class BitmapAccumulator {
   void begin_unmasked_row(I /*flop_upper_bound*/) { unmasked_touched_.clear(); }
 
   void accumulate_any(I col, value_type product) {
+#if TILQ_METRICS_ENABLED
+    ++counters_.inserts;
+#endif
     if (test_bit(touched_bits_, col)) {
       auto& slot = values_[static_cast<std::size_t>(col)];
       slot = SR::add(slot, product);

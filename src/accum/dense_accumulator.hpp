@@ -57,14 +57,23 @@ class DenseAccumulator {
     const auto j = static_cast<std::size_t>(col);
     const Marker s = state_[j];
     if (s == touched_tag()) {
+#if TILQ_METRICS_ENABLED
+      ++counters_.inserts;
+#endif
       values_[j] = SR::add(values_[j], product);
       return true;
     }
     if (s == mask_tag()) {
+#if TILQ_METRICS_ENABLED
+      ++counters_.inserts;
+#endif
       state_[j] = touched_tag();
       values_[j] = SR::add(values_[j], product);
       return true;
     }
+#if TILQ_METRICS_ENABLED
+    ++counters_.rejects;
+#endif
     return false;
   }
 
@@ -89,6 +98,9 @@ class DenseAccumulator {
   /// marker policy `mask_cols` is unused.
   void finish_row(std::span<const I> mask_cols) noexcept {
     if (policy_ == ResetPolicy::kExplicit) {
+#if TILQ_METRICS_ENABLED
+      counters_.explicit_clears += mask_cols.size() + unmasked_touched_.size();
+#endif
       for (const I j : mask_cols) {
         state_[static_cast<std::size_t>(j)] = Marker{0};
       }
@@ -99,6 +111,9 @@ class DenseAccumulator {
       return;
     }
     unmasked_touched_.clear();
+#if TILQ_METRICS_ENABLED
+    ++counters_.row_resets;
+#endif
     if (epoch_ >= max_epoch()) {
       std::fill(state_.begin(), state_.end(), Marker{0});
       epoch_ = 1;
@@ -116,6 +131,9 @@ class DenseAccumulator {
   /// Adds `product` into slot `col` unconditionally, tracking first touches
   /// so gather_unmasked can find them.
   void accumulate_any(I col, value_type product) {
+#if TILQ_METRICS_ENABLED
+    ++counters_.inserts;
+#endif
     const auto j = static_cast<std::size_t>(col);
     if (state_[j] == touched_tag()) {
       values_[j] = SR::add(values_[j], product);

@@ -48,10 +48,18 @@ class HashAccumulator {
     const Marker tag = mask_tag();
     for (const I j : mask_cols) {
       std::size_t slot = home(j);
+#if TILQ_METRICS_ENABLED
+      const std::size_t home_slot = slot;
+#endif
       while (state_[slot] >= tag && keys_[slot] != j) {
         slot = (slot + 1) & mask_;
         ++counters_.probes;
       }
+#if TILQ_METRICS_ENABLED
+      if (slot != home_slot) {
+        ++counters_.collisions;
+      }
+#endif
       keys_[slot] = j;
       state_[slot] = tag;
       values_[slot] = SR::zero();
@@ -65,8 +73,14 @@ class HashAccumulator {
   bool accumulate(I col, value_type product) noexcept {
     const std::size_t slot = find(col);
     if (slot == kNotFound) {
+#if TILQ_METRICS_ENABLED
+      ++counters_.rejects;
+#endif
       return false;
     }
+#if TILQ_METRICS_ENABLED
+    ++counters_.inserts;
+#endif
     state_[slot] = touched_tag();
     values_[slot] = SR::add(values_[slot], product);
     return true;
@@ -89,6 +103,9 @@ class HashAccumulator {
 
   void finish_row(std::span<const I> /*mask_cols*/) noexcept {
     if (policy_ == ResetPolicy::kExplicit) {
+#if TILQ_METRICS_ENABLED
+      counters_.explicit_clears += row_slots_.size();
+#endif
       // Clear exactly the slots this row occupied (recorded at insertion).
       // Clearing by key lookup instead would break probe chains — the
       // classic open-addressing deletion hazard — leaving unreachable ghost
@@ -101,6 +118,9 @@ class HashAccumulator {
       return;
     }
     unmasked_touched_.clear();
+#if TILQ_METRICS_ENABLED
+    ++counters_.row_resets;
+#endif
     if (epoch_ >= max_epoch()) {
       std::fill(state_.begin(), state_.end(), Marker{0});
       epoch_ = 1;
@@ -122,10 +142,19 @@ class HashAccumulator {
   void accumulate_any(I col, value_type product) {
     const Marker tag = mask_tag();
     std::size_t slot = home(col);
+#if TILQ_METRICS_ENABLED
+    ++counters_.inserts;
+    const std::size_t home_slot = slot;
+#endif
     while (state_[slot] >= tag && keys_[slot] != col) {
       slot = (slot + 1) & mask_;
       ++counters_.probes;
     }
+#if TILQ_METRICS_ENABLED
+    if (slot != home_slot) {
+      ++counters_.collisions;
+    }
+#endif
     if (state_[slot] >= tag) {  // existing current-epoch entry
       values_[slot] = SR::add(values_[slot], product);
     } else {

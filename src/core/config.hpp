@@ -60,7 +60,10 @@ struct Config {
 };
 
 /// Per-call execution statistics, filled in when the caller passes a
-/// non-null pointer to masked_spgemm.
+/// non-null pointer to masked_spgemm. The accumulator counters below the
+/// timing fields are summed over threads; the ones past `hash_probes` are
+/// populated only when the library is built with TILQ_METRICS (they stay
+/// zero otherwise — see docs/METRICS.md).
 struct ExecutionStats {
   double analyze_ms = 0.0;  ///< work estimation + tiling
   double compute_ms = 0.0;  ///< parallel row computation
@@ -69,6 +72,11 @@ struct ExecutionStats {
   std::int64_t output_nnz = 0;
   std::uint64_t accumulator_full_resets = 0;  ///< summed over threads
   std::uint64_t hash_probes = 0;              ///< summed over threads
+  std::uint64_t accum_inserts = 0;       ///< mask-hitting accumulate calls
+  std::uint64_t accum_rejects = 0;       ///< accumulate calls outside the mask
+  std::uint64_t hash_collisions = 0;     ///< hash inserts needing >=1 probe
+  std::uint64_t marker_row_resets = 0;   ///< marker-policy epoch bumps
+  std::uint64_t explicit_reset_slots = 0;  ///< slots cleared by explicit resets
 };
 
 }  // namespace tilq

@@ -27,6 +27,7 @@
 #include "core/work_estimate.hpp"
 #include "sparse/csr.hpp"
 #include "support/common.hpp"
+#include "support/metrics.hpp"
 
 namespace tilq {
 
@@ -65,6 +66,51 @@ namespace detail {
   return co_cost < kappa * static_cast<double>(b_nnz);
 }
 
+/// Per-row scratch for the observability counters (docs/METRICS.md). The
+/// kernels batch into these locals and flush() adds them to the calling
+/// thread's registered slot once per row; with TILQ_METRICS_ENABLED=0 (or
+/// metrics runtime-disabled) flush is a no-op and the dead stores vanish.
+struct KernelRowMetrics {
+  std::uint64_t flops = 0;
+  std::uint64_t binary_search_steps = 0;
+  std::uint64_t hybrid_coiter_picks = 0;
+  std::uint64_t hybrid_linear_picks = 0;
+
+  void flush() const {
+#if TILQ_METRICS_ENABLED
+    if (MetricCounters* counters = metrics_thread_counters()) {
+      counters->flops += flops;
+      counters->binary_search_steps += binary_search_steps;
+      counters->hybrid_coiter_picks += hybrid_coiter_picks;
+      counters->hybrid_linear_picks += hybrid_linear_picks;
+    }
+#endif
+  }
+};
+
+/// lower_bound over `cols[from..)` that counts its halving steps — same
+/// algorithm as std::lower_bound, with the step count feeding the
+/// `binary_search_steps` counter. Returns the index of the first element
+/// >= key (cols.size() if none).
+template <class I>
+[[nodiscard]] inline std::size_t lower_bound_index(std::span<const I> cols,
+                                                   std::size_t from, I key,
+                                                   std::uint64_t& steps) noexcept {
+  std::size_t lo = from;
+  std::size_t n = cols.size() - from;
+  while (n > 0) {
+    const std::size_t half = n / 2;
+    ++steps;
+    if (cols[lo + half] < key) {
+      lo += half + 1;
+      n -= half + 1;
+    } else {
+      n = half;
+    }
+  }
+  return lo;
+}
+
 }  // namespace detail
 
 /// Fig 3. The accumulator must also provide the unmasked protocol
@@ -74,6 +120,7 @@ void row_vanilla(const Csr<T, I>& mask, const Csr<T, I>& a, const Csr<T, I>& b,
                  I i, Acc& acc, Emit&& emit) {
   const auto mask_cols = mask.row_cols(i);
   acc.begin_unmasked_row(row_flop_bound(a, b, i));
+  detail::KernelRowMetrics metrics;
   const auto a_cols = a.row_cols(i);
   const auto a_vals = a.row_vals(i);
   for (std::size_t p = 0; p < a_cols.size(); ++p) {
@@ -81,6 +128,7 @@ void row_vanilla(const Csr<T, I>& mask, const Csr<T, I>& a, const Csr<T, I>& b,
     const T scale = a_vals[p];
     const auto b_cols = b.row_cols(k);
     const auto b_vals = b.row_vals(k);
+    metrics.flops += b_cols.size();
     for (std::size_t q = 0; q < b_cols.size(); ++q) {
       acc.accumulate_any(b_cols[q], SR::mul(scale, b_vals[q]));
     }
@@ -89,6 +137,7 @@ void row_vanilla(const Csr<T, I>& mask, const Csr<T, I>& a, const Csr<T, I>& b,
   // M[i,:] are emitted (Fig 3 lines 14-16).
   acc.gather(mask_cols, emit);
   acc.finish_row(mask_cols);
+  metrics.flush();
 }
 
 /// Fig 5 (GrB / modern SS:GB).
@@ -100,6 +149,7 @@ void row_mask_first(const Csr<T, I>& mask, const Csr<T, I>& a,
     return;  // C[i,:] is structurally empty; skip the row entirely
   }
   acc.set_mask(mask_cols);
+  detail::KernelRowMetrics metrics;
   const auto a_cols = a.row_cols(i);
   const auto a_vals = a.row_vals(i);
   for (std::size_t p = 0; p < a_cols.size(); ++p) {
@@ -107,12 +157,14 @@ void row_mask_first(const Csr<T, I>& mask, const Csr<T, I>& a,
     const T scale = a_vals[p];
     const auto b_cols = b.row_cols(k);
     const auto b_vals = b.row_vals(k);
+    metrics.flops += b_cols.size();
     for (std::size_t q = 0; q < b_cols.size(); ++q) {
       acc.accumulate(b_cols[q], SR::mul(scale, b_vals[q]));
     }
   }
   acc.gather(mask_cols, emit);
   acc.finish_row(mask_cols);
+  metrics.flush();
 }
 
 /// Fig 7.
@@ -124,6 +176,7 @@ void row_coiterate(const Csr<T, I>& mask, const Csr<T, I>& a,
     return;
   }
   acc.set_mask(mask_cols);
+  detail::KernelRowMetrics metrics;
   const auto a_cols = a.row_cols(i);
   const auto a_vals = a.row_vals(i);
   for (std::size_t p = 0; p < a_cols.size(); ++p) {
@@ -133,15 +186,17 @@ void row_coiterate(const Csr<T, I>& mask, const Csr<T, I>& a,
     const auto b_vals = b.row_vals(k);
     for (const I j : mask_cols) {
       // Binary search j in B[k,:] (Fig 7 line 11).
-      const auto it = std::lower_bound(b_cols.begin(), b_cols.end(), j);
-      if (it != b_cols.end() && *it == j) {
-        const auto q = static_cast<std::size_t>(it - b_cols.begin());
+      const std::size_t q = detail::lower_bound_index(
+          b_cols, 0, j, metrics.binary_search_steps);
+      if (q < b_cols.size() && b_cols[q] == j) {
+        ++metrics.flops;
         acc.accumulate(j, SR::mul(scale, b_vals[q]));
       }
     }
   }
   acc.gather(mask_cols, emit);
   acc.finish_row(mask_cols);
+  metrics.flush();
 }
 
 /// Fig 9: hybrid linear scan / co-iteration with co-iteration factor κ.
@@ -153,6 +208,7 @@ void row_hybrid(const Csr<T, I>& mask, const Csr<T, I>& a, const Csr<T, I>& b,
     return;
   }
   acc.set_mask(mask_cols);
+  detail::KernelRowMetrics metrics;
   const auto mask_nnz = static_cast<std::int64_t>(mask_cols.size());
   const auto a_cols = a.row_cols(i);
   const auto a_vals = a.row_vals(i);
@@ -164,14 +220,18 @@ void row_hybrid(const Csr<T, I>& mask, const Csr<T, I>& a, const Csr<T, I>& b,
     if (detail::prefer_coiteration(mask_nnz,
                                    static_cast<std::int64_t>(b_cols.size()),
                                    kappa)) {
+      ++metrics.hybrid_coiter_picks;
       for (const I j : mask_cols) {
-        const auto it = std::lower_bound(b_cols.begin(), b_cols.end(), j);
-        if (it != b_cols.end() && *it == j) {
-          const auto q = static_cast<std::size_t>(it - b_cols.begin());
+        const std::size_t q = detail::lower_bound_index(
+            b_cols, 0, j, metrics.binary_search_steps);
+        if (q < b_cols.size() && b_cols[q] == j) {
+          ++metrics.flops;
           acc.accumulate(j, SR::mul(scale, b_vals[q]));
         }
       }
     } else {
+      ++metrics.hybrid_linear_picks;
+      metrics.flops += b_cols.size();
       for (std::size_t q = 0; q < b_cols.size(); ++q) {
         acc.accumulate(b_cols[q], SR::mul(scale, b_vals[q]));
       }
@@ -179,6 +239,7 @@ void row_hybrid(const Csr<T, I>& mask, const Csr<T, I>& a, const Csr<T, I>& b,
   }
   acc.gather(mask_cols, emit);
   acc.finish_row(mask_cols);
+  metrics.flush();
 }
 
 /// Dispatches one row to the kernel selected by `strategy`.

@@ -29,8 +29,10 @@
 #include "sparse/csr.hpp"
 #include "sparse/stats.hpp"
 #include "support/env.hpp"
+#include "support/metrics.hpp"
 #include "support/parallel.hpp"
 #include "support/timer.hpp"
+#include "support/trace.hpp"
 
 namespace tilq {
 
@@ -55,11 +57,14 @@ Csr<T, I> masked_spgemm_with(const Csr<T, I>& mask, const Csr<T, I>& a,
       config.num_tiles > 0 ? config.num_tiles : 2 * static_cast<std::int64_t>(threads);
 
   std::vector<Tile> tiles;
-  if (config.tiling == Tiling::kFlopBalanced) {
-    const std::vector<std::int64_t> prefix = row_work_prefix(mask, a, b);
-    tiles = make_flop_balanced_tiles(prefix, num_tiles);
-  } else {
-    tiles = make_uniform_tiles(rows, num_tiles);
+  {
+    TraceSpan span("spgemm.analyze");
+    if (config.tiling == Tiling::kFlopBalanced) {
+      const std::vector<std::int64_t> prefix = row_work_prefix(mask, a, b);
+      tiles = make_flop_balanced_tiles(prefix, num_tiles);
+    } else {
+      tiles = make_uniform_tiles(rows, num_tiles);
+    }
   }
   if (stats != nullptr) {
     stats->analyze_ms = phase.milliseconds();
@@ -80,39 +85,86 @@ Csr<T, I> masked_spgemm_with(const Csr<T, I>& mask, const Csr<T, I>& a,
 
   std::uint64_t total_resets = 0;
   std::uint64_t total_probes = 0;
+  std::uint64_t total_inserts = 0;
+  std::uint64_t total_rejects = 0;
+  std::uint64_t total_collisions = 0;
+  std::uint64_t total_row_resets = 0;
+  std::uint64_t total_explicit_clears = 0;
 
-#pragma omp parallel num_threads(threads) reduction(+ : total_resets, total_probes)
   {
-    auto acc = make_acc();
+    TraceSpan compute_span("spgemm.compute");
+
+#pragma omp parallel num_threads(threads)                                  \
+    reduction(+ : total_resets, total_probes, total_inserts, total_rejects, \
+                  total_collisions, total_row_resets, total_explicit_clears)
+    {
+      auto acc = make_acc();
+#if TILQ_METRICS_ENABLED
+      MetricCounters* const thread_counters = metrics_thread_counters();
+#endif
 
 #pragma omp for schedule(runtime) nowait
-    for (std::int64_t t = 0; t < tile_count; ++t) {
-      const Tile tile = tiles[static_cast<std::size_t>(t)];
-      for (I i = static_cast<I>(tile.row_begin); i < static_cast<I>(tile.row_end); ++i) {
-        I* out_cols = bound_cols.data() + mask_row_ptr[static_cast<std::size_t>(i)];
-        T* out_vals = bound_vals.data() + mask_row_ptr[static_cast<std::size_t>(i)];
-        I count = 0;
-        compute_row<SR>(config.strategy, config.coiteration_factor, mask, a, b,
-                        i, acc, [&](I col, T value) {
-                          out_cols[count] = col;
-                          out_vals[count] = value;
-                          ++count;
-                        });
-        row_counts[static_cast<std::size_t>(i)] = count;
+      for (std::int64_t t = 0; t < tile_count; ++t) {
+        const Tile tile = tiles[static_cast<std::size_t>(t)];
+        TraceSpan tile_span("tile", t);
+#if TILQ_METRICS_ENABLED
+        if (thread_counters != nullptr) {
+          ++thread_counters->tiles_executed;
+          thread_counters->rows_processed +=
+              static_cast<std::uint64_t>(tile.row_end - tile.row_begin);
+        }
+#endif
+        for (I i = static_cast<I>(tile.row_begin); i < static_cast<I>(tile.row_end); ++i) {
+          I* out_cols = bound_cols.data() + mask_row_ptr[static_cast<std::size_t>(i)];
+          T* out_vals = bound_vals.data() + mask_row_ptr[static_cast<std::size_t>(i)];
+          I count = 0;
+          compute_row<SR>(config.strategy, config.coiteration_factor, mask, a, b,
+                          i, acc, [&](I col, T value) {
+                            out_cols[count] = col;
+                            out_vals[count] = value;
+                            ++count;
+                          });
+          row_counts[static_cast<std::size_t>(i)] = count;
+        }
       }
-    }
 
-    total_resets += acc.counters().full_resets;
-    total_probes += acc.counters().probes;
+      const AccumulatorCounters& acc_counters = acc.counters();
+      total_resets += acc_counters.full_resets;
+      total_probes += acc_counters.probes;
+      total_inserts += acc_counters.inserts;
+      total_rejects += acc_counters.rejects;
+      total_collisions += acc_counters.collisions;
+      total_row_resets += acc_counters.row_resets;
+      total_explicit_clears += acc_counters.explicit_clears;
+#if TILQ_METRICS_ENABLED
+      // Per-accumulator counters fold into the owning thread's global slot
+      // so the metrics registry sees the same totals as ExecutionStats.
+      if (thread_counters != nullptr) {
+        thread_counters->hash_probes += acc_counters.probes;
+        thread_counters->hash_collisions += acc_counters.collisions;
+        thread_counters->accum_inserts += acc_counters.inserts;
+        thread_counters->accum_rejects += acc_counters.rejects;
+        thread_counters->marker_row_resets += acc_counters.row_resets;
+        thread_counters->marker_overflow_resets += acc_counters.full_resets;
+        thread_counters->explicit_reset_slots += acc_counters.explicit_clears;
+      }
+#endif
+    }
   }
   if (stats != nullptr) {
     stats->compute_ms = phase.milliseconds();
     stats->accumulator_full_resets = total_resets;
     stats->hash_probes = total_probes;
+    stats->accum_inserts = total_inserts;
+    stats->accum_rejects = total_rejects;
+    stats->hash_collisions = total_collisions;
+    stats->marker_row_resets = total_row_resets;
+    stats->explicit_reset_slots = total_explicit_clears;
   }
 
   // --- 3. compact -------------------------------------------------------
   phase.reset();
+  TraceSpan compact_span("spgemm.compact");
   std::vector<I> out_row_ptr(static_cast<std::size_t>(rows) + 1);
   const I out_nnz = exclusive_scan<I>(row_counts, out_row_ptr);
   std::vector<I> out_cols(static_cast<std::size_t>(out_nnz));

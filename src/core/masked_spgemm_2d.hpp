@@ -30,7 +30,9 @@
 #include "core/work_estimate.hpp"
 #include "sparse/csr.hpp"
 #include "sparse/stats.hpp"
+#include "support/metrics.hpp"
 #include "support/parallel.hpp"
+#include "support/trace.hpp"
 
 namespace tilq {
 
@@ -64,6 +66,7 @@ I compute_cell(const Csr<T, I>& mask, const Csr<T, I>& a, const Csr<T, I>& b,
   }
 
   acc.set_mask(mask_seg);
+  detail::KernelRowMetrics metrics;
   const auto mask_nnz = static_cast<std::int64_t>(mask_seg.size());
   const auto a_cols = a.row_cols(i);
   const auto a_vals = a.row_vals(i);
@@ -86,15 +89,22 @@ I compute_cell(const Csr<T, I>& mask, const Csr<T, I>& a, const Csr<T, I>& b,
          detail::prefer_coiteration(mask_nnz, static_cast<std::int64_t>(b_count),
                                     kappa));
     if (coiterate) {
+      if (strategy == MaskStrategy::kHybrid) {
+        ++metrics.hybrid_coiter_picks;
+      }
       for (const I j : mask_seg) {
-        const auto it = std::lower_bound(b_cols.begin() + static_cast<std::ptrdiff_t>(b_first_idx),
-                                         b_cols.end(), j);
-        if (it != b_cols.end() && *it == j && j < col_end) {
-          const auto q = static_cast<std::size_t>(it - b_cols.begin());
+        const std::size_t q = detail::lower_bound_index(
+            b_cols, b_first_idx, j, metrics.binary_search_steps);
+        if (q < b_cols.size() && b_cols[q] == j) {
+          ++metrics.flops;
           acc.accumulate(j, SR::mul(scale, b_vals[q]));
         }
       }
     } else {
+      if (strategy == MaskStrategy::kHybrid) {
+        ++metrics.hybrid_linear_picks;
+      }
+      metrics.flops += b_count;
       for (std::size_t q = b_first_idx; q < b_first_idx + b_count; ++q) {
         acc.accumulate(b_cols[q], SR::mul(scale, b_vals[q]));
       }
@@ -108,6 +118,7 @@ I compute_cell(const Csr<T, I>& mask, const Csr<T, I>& a, const Csr<T, I>& b,
     ++count;
   });
   acc.finish_row(mask_seg);
+  metrics.flush();
   return count;
 }
 
@@ -130,15 +141,19 @@ Csr<T, I> masked_spgemm_2d_with(const Csr<T, I>& mask, const Csr<T, I>& a,
                                 : 2 * static_cast<std::int64_t>(threads);
 
   std::vector<Tile> row_tiles;
-  if (config.base.tiling == Tiling::kFlopBalanced) {
-    row_tiles = make_flop_balanced_tiles(row_work_prefix(mask, a, b), num_row_tiles);
-  } else {
-    row_tiles = make_uniform_tiles(rows, num_row_tiles);
-  }
-  std::vector<Tile> col_tiles =
-      make_uniform_tiles(b.cols(), std::max<std::int64_t>(1, config.num_col_tiles));
-  if (col_tiles.empty()) {
-    col_tiles.push_back({0, 0});  // zero-column matrix: one empty tile
+  std::vector<Tile> col_tiles;
+  {
+    TraceSpan span("spgemm2d.analyze");
+    if (config.base.tiling == Tiling::kFlopBalanced) {
+      row_tiles = make_flop_balanced_tiles(row_work_prefix(mask, a, b), num_row_tiles);
+    } else {
+      row_tiles = make_uniform_tiles(rows, num_row_tiles);
+    }
+    col_tiles = make_uniform_tiles(b.cols(),
+                                   std::max<std::int64_t>(1, config.num_col_tiles));
+    if (col_tiles.empty()) {
+      col_tiles.push_back({0, 0});  // zero-column matrix: one empty tile
+    }
   }
   if (stats != nullptr) {
     stats->analyze_ms = phase.milliseconds();
@@ -160,41 +175,95 @@ Csr<T, I> masked_spgemm_2d_with(const Csr<T, I>& mask, const Csr<T, I>& a,
   const auto task_count =
       static_cast<std::int64_t>(row_tiles.size() * col_tile_count);
 
-#pragma omp parallel num_threads(threads)
+  std::uint64_t total_resets = 0;
+  std::uint64_t total_probes = 0;
+  std::uint64_t total_inserts = 0;
+  std::uint64_t total_rejects = 0;
+  std::uint64_t total_collisions = 0;
+  std::uint64_t total_row_resets = 0;
+  std::uint64_t total_explicit_clears = 0;
+
   {
-    auto acc = make_acc();
+    TraceSpan compute_span("spgemm2d.compute");
+
+#pragma omp parallel num_threads(threads)                                  \
+    reduction(+ : total_resets, total_probes, total_inserts, total_rejects, \
+                  total_collisions, total_row_resets, total_explicit_clears)
+    {
+      auto acc = make_acc();
+#if TILQ_METRICS_ENABLED
+      MetricCounters* const thread_counters = metrics_thread_counters();
+#endif
 
 #pragma omp for schedule(runtime) nowait
-    for (std::int64_t task = 0; task < task_count; ++task) {
-      const Tile row_tile = row_tiles[static_cast<std::size_t>(task) / col_tile_count];
-      const std::size_t ct = static_cast<std::size_t>(task) % col_tile_count;
-      const Tile col_tile = col_tiles[ct];
-      for (I i = static_cast<I>(row_tile.row_begin);
-           i < static_cast<I>(row_tile.row_end); ++i) {
-        // The cell writes into the slice of row i's mask-bounded slot that
-        // corresponds to mask columns in [col_begin, col_end).
-        const auto row_mask = mask.row_cols(i);
-        const auto seg_first = std::lower_bound(row_mask.begin(), row_mask.end(),
-                                                static_cast<I>(col_tile.row_begin));
-        const auto seg_offset = static_cast<std::size_t>(seg_first - row_mask.begin());
-        const auto slot = static_cast<std::size_t>(
-                              mask_row_ptr[static_cast<std::size_t>(i)]) +
-                          seg_offset;
-        cell_counts[static_cast<std::size_t>(i) * col_tile_count + ct] =
-            compute_cell<SR>(mask, a, b, i, static_cast<I>(col_tile.row_begin),
-                             static_cast<I>(col_tile.row_end),
-                             config.base.strategy,
-                             config.base.coiteration_factor, acc,
-                             bound_cols.data() + slot, bound_vals.data() + slot);
+      for (std::int64_t task = 0; task < task_count; ++task) {
+        const Tile row_tile = row_tiles[static_cast<std::size_t>(task) / col_tile_count];
+        const std::size_t ct = static_cast<std::size_t>(task) % col_tile_count;
+        const Tile col_tile = col_tiles[ct];
+        TraceSpan tile_span("tile2d", task);
+#if TILQ_METRICS_ENABLED
+        if (thread_counters != nullptr) {
+          ++thread_counters->tiles_executed;
+          // In 2D a row is visited once per column tile; each visit counts.
+          thread_counters->rows_processed +=
+              static_cast<std::uint64_t>(row_tile.row_end - row_tile.row_begin);
+        }
+#endif
+        for (I i = static_cast<I>(row_tile.row_begin);
+             i < static_cast<I>(row_tile.row_end); ++i) {
+          // The cell writes into the slice of row i's mask-bounded slot that
+          // corresponds to mask columns in [col_begin, col_end).
+          const auto row_mask = mask.row_cols(i);
+          const auto seg_first = std::lower_bound(row_mask.begin(), row_mask.end(),
+                                                  static_cast<I>(col_tile.row_begin));
+          const auto seg_offset = static_cast<std::size_t>(seg_first - row_mask.begin());
+          const auto slot = static_cast<std::size_t>(
+                                mask_row_ptr[static_cast<std::size_t>(i)]) +
+                            seg_offset;
+          cell_counts[static_cast<std::size_t>(i) * col_tile_count + ct] =
+              compute_cell<SR>(mask, a, b, i, static_cast<I>(col_tile.row_begin),
+                               static_cast<I>(col_tile.row_end),
+                               config.base.strategy,
+                               config.base.coiteration_factor, acc,
+                               bound_cols.data() + slot, bound_vals.data() + slot);
+        }
       }
+
+      const AccumulatorCounters& acc_counters = acc.counters();
+      total_resets += acc_counters.full_resets;
+      total_probes += acc_counters.probes;
+      total_inserts += acc_counters.inserts;
+      total_rejects += acc_counters.rejects;
+      total_collisions += acc_counters.collisions;
+      total_row_resets += acc_counters.row_resets;
+      total_explicit_clears += acc_counters.explicit_clears;
+#if TILQ_METRICS_ENABLED
+      if (thread_counters != nullptr) {
+        thread_counters->hash_probes += acc_counters.probes;
+        thread_counters->hash_collisions += acc_counters.collisions;
+        thread_counters->accum_inserts += acc_counters.inserts;
+        thread_counters->accum_rejects += acc_counters.rejects;
+        thread_counters->marker_row_resets += acc_counters.row_resets;
+        thread_counters->marker_overflow_resets += acc_counters.full_resets;
+        thread_counters->explicit_reset_slots += acc_counters.explicit_clears;
+      }
+#endif
     }
   }
   if (stats != nullptr) {
     stats->compute_ms = phase.milliseconds();
+    stats->accumulator_full_resets = total_resets;
+    stats->hash_probes = total_probes;
+    stats->accum_inserts = total_inserts;
+    stats->accum_rejects = total_rejects;
+    stats->hash_collisions = total_collisions;
+    stats->marker_row_resets = total_row_resets;
+    stats->explicit_reset_slots = total_explicit_clears;
   }
 
   // --- compact ----------------------------------------------------------
   phase.reset();
+  TraceSpan compact_span("spgemm2d.compact");
   std::vector<I> row_counts(static_cast<std::size_t>(rows), I{0});
   parallel_for(I{0}, rows, [&](I i) {
     I total = 0;

@@ -3,12 +3,28 @@
 #include <algorithm>
 
 #include "support/common.hpp"
+#include "support/metrics.hpp"
+#include "support/trace.hpp"
 
 namespace tilq {
+
+namespace {
+
+/// Credits freshly built tiles to the calling thread's metrics slot.
+void count_tiles_created([[maybe_unused]] std::size_t count) noexcept {
+#if TILQ_METRICS_ENABLED
+  if (MetricCounters* counters = metrics_thread_counters()) {
+    counters->tiles_created += count;
+  }
+#endif
+}
+
+}  // namespace
 
 std::vector<Tile> make_uniform_tiles(std::int64_t rows, std::int64_t num_tiles) {
   require(rows >= 0, "make_uniform_tiles: negative row count");
   require(num_tiles >= 1, "make_uniform_tiles: need at least one tile");
+  TraceSpan span("tiling.uniform");
   std::vector<Tile> tiles;
   if (rows == 0) {
     return tiles;
@@ -26,6 +42,7 @@ std::vector<Tile> make_uniform_tiles(std::int64_t rows, std::int64_t num_tiles) 
     begin += size;
   }
   assert(begin == rows);
+  count_tiles_created(tiles.size());
   return tiles;
 }
 
@@ -33,6 +50,7 @@ std::vector<Tile> make_flop_balanced_tiles(std::span<const std::int64_t> work_pr
                                            std::int64_t num_tiles) {
   require(!work_prefix.empty(), "make_flop_balanced_tiles: empty prefix");
   require(num_tiles >= 1, "make_flop_balanced_tiles: need at least one tile");
+  TraceSpan span("tiling.flop_balanced");
   const auto rows = static_cast<std::int64_t>(work_prefix.size()) - 1;
   std::vector<Tile> tiles;
   if (rows == 0) {
@@ -70,6 +88,7 @@ std::vector<Tile> make_flop_balanced_tiles(std::span<const std::int64_t> work_pr
     // Rounding left a remainder; extend the last tile to cover it.
     tiles.back().row_end = rows;
   }
+  count_tiles_created(tiles.size());
   return tiles;
 }
 

@@ -1,0 +1,251 @@
+#include "support/metrics.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+
+namespace tilq {
+
+MetricsSnapshot metrics_delta(const MetricsSnapshot& before,
+                              const MetricsSnapshot& after) {
+  MetricsSnapshot delta;
+  delta.total = after.total.minus(before.total);
+  for (const ThreadMetrics& t : after.per_thread) {
+    MetricCounters base;  // zero for threads registered after `before`
+    for (const ThreadMetrics& b : before.per_thread) {
+      if (b.thread_id == t.thread_id) {
+        base = b.counters;
+        break;
+      }
+    }
+    const MetricCounters d = t.counters.minus(base);
+    if (!d.all_zero()) {
+      delta.per_thread.push_back({t.thread_id, d});
+    }
+  }
+  return delta;
+}
+
+#if TILQ_METRICS_ENABLED
+
+namespace {
+
+/// Escapes a string for inclusion in a JSON string literal.
+std::string json_escape(const std::string& in) {
+  std::string out;
+  out.reserve(in.size() + 8);
+  for (const char c : in) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void append_counters_json(std::string& out, const MetricCounters& c) {
+  const auto field = [&](const char* name, std::uint64_t value, bool last = false) {
+    out += '"';
+    out += name;
+    out += "\":";
+    out += std::to_string(value);
+    if (!last) {
+      out += ',';
+    }
+  };
+  out += '{';
+  field("flops", c.flops);
+  field("accum_inserts", c.accum_inserts);
+  field("accum_rejects", c.accum_rejects);
+  field("hash_probes", c.hash_probes);
+  field("hash_collisions", c.hash_collisions);
+  field("marker_row_resets", c.marker_row_resets);
+  field("marker_overflow_resets", c.marker_overflow_resets);
+  field("explicit_reset_slots", c.explicit_reset_slots);
+  field("binary_search_steps", c.binary_search_steps);
+  field("hybrid_coiter_picks", c.hybrid_coiter_picks);
+  field("hybrid_linear_picks", c.hybrid_linear_picks);
+  field("tiles_created", c.tiles_created);
+  field("tiles_executed", c.tiles_executed);
+  field("rows_processed", c.rows_processed, /*last=*/true);
+  out += '}';
+}
+
+struct Registry {
+  std::mutex mutex;
+  // Slots are heap-allocated and intentionally never freed: a thread that
+  // exits leaves its counts aggregatable without dangling pointers.
+  std::vector<std::unique_ptr<MetricCounters>> slots;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry;  // leaked: outlives thread_local dtors
+  return *r;
+}
+
+std::string g_sink_path;  // initialized (with g_runtime_enabled) below
+std::mutex g_sink_mutex;
+
+/// Parses TILQ_METRICS: unset/"0"/"off"/"false" disable; "1"/"on"/"true"/
+/// "stdout" enable with stdout emission; any other value enables and is
+/// taken as the JSON-lines sink path.
+bool init_from_env() {
+  const char* value = std::getenv("TILQ_METRICS");
+  if (value == nullptr) {
+    return false;
+  }
+  std::string v(value);
+  std::transform(v.begin(), v.end(), v.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (v.empty() || v == "0" || v == "off" || v == "false") {
+    return false;
+  }
+  if (v == "1" || v == "on" || v == "true" || v == "stdout") {
+    return true;
+  }
+  g_sink_path = value;  // original spelling, not lowercased
+  return true;
+}
+
+}  // namespace
+
+namespace metrics_detail {
+
+bool g_runtime_enabled = init_from_env();
+
+MetricCounters& thread_slot() {
+  thread_local MetricCounters* slot = [] {
+    Registry& r = registry();
+    const std::lock_guard<std::mutex> lock(r.mutex);
+    r.slots.push_back(std::make_unique<MetricCounters>());
+    return r.slots.back().get();
+  }();
+  return *slot;
+}
+
+}  // namespace metrics_detail
+
+void set_metrics_enabled(bool enabled) noexcept {
+  metrics_detail::g_runtime_enabled = enabled;
+}
+
+void metrics_reset() noexcept {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  for (const auto& slot : r.slots) {
+    *slot = MetricCounters{};
+  }
+}
+
+MetricsSnapshot metrics_snapshot() {
+  MetricsSnapshot snapshot;
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  int id = 0;
+  for (const auto& slot : r.slots) {
+    if (!slot->all_zero()) {
+      snapshot.per_thread.push_back({id, *slot});
+      snapshot.total += *slot;
+    }
+    ++id;
+  }
+  return snapshot;
+}
+
+void set_metrics_sink_path(const std::string& path) {
+  const std::lock_guard<std::mutex> lock(g_sink_mutex);
+  g_sink_path = path;
+}
+
+std::string metrics_sink_path() {
+  const std::lock_guard<std::mutex> lock(g_sink_mutex);
+  return g_sink_path;
+}
+
+std::string format_metrics_record(const MetricsRecord& record,
+                                  const MetricsSnapshot& snapshot) {
+  std::string out;
+  out.reserve(512);
+  out += "{\"tilq_metrics\":";
+  out += std::to_string(kMetricsSchemaVersion);
+  out += ",\"source\":\"";
+  out += json_escape(record.source);
+  out += "\",\"matrix\":\"";
+  out += json_escape(record.matrix);
+  out += "\",\"config\":\"";
+  out += json_escape(record.config);
+  out += "\",\"runs\":";
+  out += std::to_string(record.runs);
+  out += ",\"median_ms\":";
+  char ms[32];
+  std::snprintf(ms, sizeof ms, "%.6g", record.median_ms);
+  out += ms;
+  out += ",\"counters\":";
+  append_counters_json(out, snapshot.total);
+  out += ",\"threads\":[";
+  bool first = true;
+  for (const ThreadMetrics& t : snapshot.per_thread) {
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    out += "{\"id\":";
+    out += std::to_string(t.thread_id);
+    out += ",\"counters\":";
+    append_counters_json(out, t.counters);
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+void emit_metrics_record(const MetricsRecord& record,
+                         const MetricsSnapshot& snapshot) {
+  if (!metrics_enabled()) {
+    return;
+  }
+  const std::string line = format_metrics_record(record, snapshot);
+  const std::lock_guard<std::mutex> lock(g_sink_mutex);
+  if (g_sink_path.empty()) {
+    std::fputs(line.c_str(), stdout);
+    std::fputc('\n', stdout);
+    return;
+  }
+  std::FILE* file = std::fopen(g_sink_path.c_str(), "a");
+  if (file == nullptr) {
+    std::fprintf(stderr, "tilq metrics: cannot open sink %s; line dropped\n",
+                 g_sink_path.c_str());
+    return;
+  }
+  std::fputs(line.c_str(), file);
+  std::fputc('\n', file);
+  std::fclose(file);
+}
+
+#endif  // TILQ_METRICS_ENABLED
+
+}  // namespace tilq

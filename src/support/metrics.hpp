@@ -1,0 +1,215 @@
+// Kernel observability: process-wide, per-thread event counters with a
+// versioned JSON-lines sink (docs/METRICS.md is the schema reference).
+//
+// Why counters and not just timers: the paper's explanations of its own
+// figures — FLOP imbalance across tiles (Fig 10/11), hash-probe cost and
+// marker-reset storms (Fig 13), binary-search work in the co-iteration
+// kernel (Fig 14) — are all statements about *event counts*, not wall
+// time. This module makes those counts observable from any run.
+//
+// Design:
+//   * Counting is compiled in only when TILQ_METRICS_ENABLED is 1 (the
+//     default; the CMake option TILQ_METRICS=OFF turns every hook into a
+//     no-op with zero code in the hot paths).
+//   * When compiled in, counting is still gated at run time by the
+//     TILQ_METRICS environment variable (or set_metrics_enabled()); the
+//     gate is a single relaxed bool read, checked once per row/tile, so a
+//     disabled-at-runtime build stays within noise of the seed.
+//   * Each thread owns a MetricCounters slot (registered on first use,
+//     leaked on purpose so late aggregation never dereferences a dead
+//     thread's storage). Hot code batches increments locally and flushes
+//     per row or per tile; metrics_snapshot() sums the slots.
+//
+// Thread-safety contract: increments are plain (non-atomic) writes to the
+// owning thread's slot. metrics_snapshot() / metrics_reset() must not be
+// called concurrently with a running kernel; call them between kernel
+// invocations (every in-tree caller does).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#ifndef TILQ_METRICS_ENABLED
+#define TILQ_METRICS_ENABLED 1
+#endif
+
+namespace tilq {
+
+/// Version of the metrics schema (counter set + JSON-lines layout). Bump
+/// when a counter is renamed/removed or the record layout changes; adding
+/// a counter is backward compatible and does not bump the version.
+inline constexpr int kMetricsSchemaVersion = 1;
+
+/// True when the counter hooks are compiled into this build (CMake option
+/// TILQ_METRICS). When false every function below is an inline no-op.
+inline constexpr bool kMetricsCompiled = TILQ_METRICS_ENABLED != 0;
+
+/// The full counter set. One instance per thread; aggregate via
+/// metrics_snapshot(). Every field is documented in docs/METRICS.md and
+/// the doc-lint (tools/check_metrics_docs.py) keeps the two in sync.
+struct MetricCounters {
+  std::uint64_t flops = 0;                  ///< semiring multiplications performed
+  std::uint64_t accum_inserts = 0;          ///< accumulate() calls that hit the mask
+  std::uint64_t accum_rejects = 0;          ///< accumulate() calls outside the mask
+  std::uint64_t hash_probes = 0;            ///< hash probe-chain steps past the home slot
+  std::uint64_t hash_collisions = 0;        ///< hash insertions that needed >=1 chain step
+  std::uint64_t marker_row_resets = 0;      ///< finish_row() epoch bumps (marker policy)
+  std::uint64_t marker_overflow_resets = 0; ///< whole-state clears on marker overflow
+  std::uint64_t explicit_reset_slots = 0;   ///< slots cleared by explicit (GrB) resets
+  std::uint64_t binary_search_steps = 0;    ///< halving steps in co-iteration searches
+  std::uint64_t hybrid_coiter_picks = 0;    ///< (i,k) pairs where hybrid chose co-iteration
+  std::uint64_t hybrid_linear_picks = 0;    ///< (i,k) pairs where hybrid chose linear scan
+  std::uint64_t tiles_created = 0;          ///< tiles produced by the tilers
+  std::uint64_t tiles_executed = 0;         ///< tiles processed in compute phases
+  std::uint64_t rows_processed = 0;         ///< output rows computed
+
+  MetricCounters& operator+=(const MetricCounters& o) noexcept {
+    flops += o.flops;
+    accum_inserts += o.accum_inserts;
+    accum_rejects += o.accum_rejects;
+    hash_probes += o.hash_probes;
+    hash_collisions += o.hash_collisions;
+    marker_row_resets += o.marker_row_resets;
+    marker_overflow_resets += o.marker_overflow_resets;
+    explicit_reset_slots += o.explicit_reset_slots;
+    binary_search_steps += o.binary_search_steps;
+    hybrid_coiter_picks += o.hybrid_coiter_picks;
+    hybrid_linear_picks += o.hybrid_linear_picks;
+    tiles_created += o.tiles_created;
+    tiles_executed += o.tiles_executed;
+    rows_processed += o.rows_processed;
+    return *this;
+  }
+
+  /// Field-wise saturating difference (used for before/after deltas; the
+  /// counters are monotone between resets, so plain subtraction suffices
+  /// unless a reset happened in between — saturate instead of wrapping).
+  [[nodiscard]] MetricCounters minus(const MetricCounters& o) const noexcept {
+    const auto sub = [](std::uint64_t a, std::uint64_t b) {
+      return a >= b ? a - b : std::uint64_t{0};
+    };
+    MetricCounters d;
+    d.flops = sub(flops, o.flops);
+    d.accum_inserts = sub(accum_inserts, o.accum_inserts);
+    d.accum_rejects = sub(accum_rejects, o.accum_rejects);
+    d.hash_probes = sub(hash_probes, o.hash_probes);
+    d.hash_collisions = sub(hash_collisions, o.hash_collisions);
+    d.marker_row_resets = sub(marker_row_resets, o.marker_row_resets);
+    d.marker_overflow_resets = sub(marker_overflow_resets, o.marker_overflow_resets);
+    d.explicit_reset_slots = sub(explicit_reset_slots, o.explicit_reset_slots);
+    d.binary_search_steps = sub(binary_search_steps, o.binary_search_steps);
+    d.hybrid_coiter_picks = sub(hybrid_coiter_picks, o.hybrid_coiter_picks);
+    d.hybrid_linear_picks = sub(hybrid_linear_picks, o.hybrid_linear_picks);
+    d.tiles_created = sub(tiles_created, o.tiles_created);
+    d.tiles_executed = sub(tiles_executed, o.tiles_executed);
+    d.rows_processed = sub(rows_processed, o.rows_processed);
+    return d;
+  }
+
+  [[nodiscard]] bool all_zero() const noexcept {
+    return flops == 0 && accum_inserts == 0 && accum_rejects == 0 &&
+           hash_probes == 0 && hash_collisions == 0 && marker_row_resets == 0 &&
+           marker_overflow_resets == 0 && explicit_reset_slots == 0 &&
+           binary_search_steps == 0 && hybrid_coiter_picks == 0 &&
+           hybrid_linear_picks == 0 && tiles_created == 0 &&
+           tiles_executed == 0 && rows_processed == 0;
+  }
+};
+
+/// One thread's contribution. Thread ids are assigned in registration
+/// order (first counter touched), not OpenMP thread numbers.
+struct ThreadMetrics {
+  int thread_id = 0;
+  MetricCounters counters;
+};
+
+/// Aggregate view over every registered thread.
+struct MetricsSnapshot {
+  MetricCounters total;
+  std::vector<ThreadMetrics> per_thread;
+};
+
+/// One JSON-lines record; see docs/METRICS.md for the field-by-field
+/// schema. `snapshot` should be a delta covering exactly `runs` kernel
+/// executions.
+struct MetricsRecord {
+  std::string source;      ///< emitting binary or bench name
+  std::string matrix;      ///< input identity (collection name or file)
+  std::string config;      ///< Config::describe() of the measured config
+  std::int64_t runs = 0;   ///< kernel executions covered by the counters
+  double median_ms = 0.0;  ///< median per-run wall time
+};
+
+#if TILQ_METRICS_ENABLED
+
+namespace metrics_detail {
+/// Fast-path runtime gate; initialized from the TILQ_METRICS environment
+/// variable, overridable via set_metrics_enabled().
+extern bool g_runtime_enabled;
+/// Returns this thread's registered slot, creating it on first use.
+[[nodiscard]] MetricCounters& thread_slot();
+}  // namespace metrics_detail
+
+/// True when counting is active (compiled in AND runtime-enabled).
+[[nodiscard]] inline bool metrics_enabled() noexcept {
+  return metrics_detail::g_runtime_enabled;
+}
+
+/// This thread's counter slot, or nullptr when counting is inactive. Hot
+/// code fetches the pointer once per row/tile/region and batches into it.
+[[nodiscard]] inline MetricCounters* metrics_thread_counters() {
+  return metrics_enabled() ? &metrics_detail::thread_slot() : nullptr;
+}
+
+/// Runtime on/off switch (overrides the TILQ_METRICS environment variable).
+void set_metrics_enabled(bool enabled) noexcept;
+
+/// Zeroes every registered thread slot.
+void metrics_reset() noexcept;
+
+/// Sums every registered thread slot. Threads whose counters are all zero
+/// are omitted from `per_thread`.
+[[nodiscard]] MetricsSnapshot metrics_snapshot();
+
+/// Where emit_metrics_record() writes: "" means stdout, anything else is a
+/// file path opened in append mode. Initialized from the TILQ_METRICS
+/// value when it names a path (see docs/METRICS.md).
+void set_metrics_sink_path(const std::string& path);
+[[nodiscard]] std::string metrics_sink_path();
+
+/// Serializes `record` + `snapshot` as one schema-v1 JSON line and writes
+/// it to the sink. No-op when metrics are runtime-disabled.
+void emit_metrics_record(const MetricsRecord& record,
+                         const MetricsSnapshot& snapshot);
+
+/// The JSON line emit_metrics_record() would write (exposed for tests).
+[[nodiscard]] std::string format_metrics_record(const MetricsRecord& record,
+                                                const MetricsSnapshot& snapshot);
+
+#else  // !TILQ_METRICS_ENABLED — every hook is a no-op.
+
+[[nodiscard]] constexpr bool metrics_enabled() noexcept { return false; }
+[[nodiscard]] inline MetricCounters* metrics_thread_counters() noexcept {
+  return nullptr;
+}
+inline void set_metrics_enabled(bool) noexcept {}
+inline void metrics_reset() noexcept {}
+[[nodiscard]] inline MetricsSnapshot metrics_snapshot() { return {}; }
+inline void set_metrics_sink_path(const std::string&) {}
+[[nodiscard]] inline std::string metrics_sink_path() { return {}; }
+inline void emit_metrics_record(const MetricsRecord&, const MetricsSnapshot&) {}
+[[nodiscard]] inline std::string format_metrics_record(const MetricsRecord&,
+                                                       const MetricsSnapshot&) {
+  return {};
+}
+
+#endif  // TILQ_METRICS_ENABLED
+
+/// Delta between two snapshots taken around a measured region: totals and
+/// per-thread contributions (matched by thread id; threads registered
+/// after `before` count from zero). Works in both build modes.
+[[nodiscard]] MetricsSnapshot metrics_delta(const MetricsSnapshot& before,
+                                            const MetricsSnapshot& after);
+
+}  // namespace tilq

@@ -1,0 +1,155 @@
+#include "support/trace.hpp"
+
+#if TILQ_METRICS_ENABLED
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <vector>
+
+namespace tilq {
+
+namespace {
+
+struct TraceEvent {
+  const char* name;
+  std::int64_t arg;
+  double ts_us;
+  double dur_us;
+  int tid;
+};
+
+struct TraceState {
+  std::mutex mutex;
+  std::vector<TraceEvent> events;
+  std::string path;
+  std::atomic<int> next_tid{0};
+  bool atexit_registered = false;
+};
+
+TraceState& state() {
+  static TraceState* s = new TraceState;  // leaked: usable from atexit
+  return *s;
+}
+
+int thread_trace_id() {
+  thread_local const int tid =
+      state().next_tid.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+std::chrono::steady_clock::time_point trace_epoch() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return epoch;
+}
+
+void flush_at_exit() { (void)trace_flush(); }
+
+/// Registers the atexit flush once; call with state().mutex held.
+void ensure_atexit_locked(TraceState& s) {
+  if (!s.atexit_registered) {
+    s.atexit_registered = true;
+    std::atexit(flush_at_exit);
+  }
+}
+
+bool init_from_env() {
+  const char* value = std::getenv("TILQ_TRACE");
+  if (value == nullptr || value[0] == '\0') {
+    return false;
+  }
+  TraceState& s = state();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  s.path = value;
+  ensure_atexit_locked(s);
+  return true;
+}
+
+}  // namespace
+
+namespace trace_detail {
+
+bool g_enabled = init_from_env();
+
+double now_us() noexcept {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - trace_epoch())
+      .count();
+}
+
+void record_span(const char* name, std::int64_t arg, double start_us,
+                 double end_us) {
+  const int tid = thread_trace_id();
+  TraceState& s = state();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  s.events.push_back({name, arg, start_us, end_us - start_us, tid});
+}
+
+}  // namespace trace_detail
+
+void set_trace_path(const std::string& path) {
+  TraceState& s = state();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  s.path = path;
+  trace_detail::g_enabled = !path.empty();
+  if (trace_detail::g_enabled) {
+    ensure_atexit_locked(s);
+  }
+}
+
+std::string trace_path() {
+  TraceState& s = state();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  return s.path;
+}
+
+bool trace_flush() {
+  TraceState& s = state();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  if (s.path.empty()) {
+    return false;
+  }
+  std::FILE* file = std::fopen(s.path.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "tilq trace: cannot open %s\n", s.path.c_str());
+    return false;
+  }
+  std::fputs("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[", file);
+  bool first = true;
+  for (const TraceEvent& e : s.events) {
+    if (!first) {
+      std::fputc(',', file);
+    }
+    first = false;
+    std::fprintf(file,
+                 "\n{\"name\":\"%s\",\"cat\":\"tilq\",\"ph\":\"X\","
+                 "\"ts\":%.3f,\"dur\":%.3f,\"pid\":0,\"tid\":%d",
+                 e.name, e.ts_us, e.dur_us, e.tid);
+    if (e.arg >= 0) {
+      std::fprintf(file, ",\"args\":{\"id\":%lld}",
+                   static_cast<long long>(e.arg));
+    }
+    std::fputc('}', file);
+  }
+  std::fputs("\n]}\n", file);
+  std::fclose(file);
+  return true;
+}
+
+void trace_clear() {
+  TraceState& s = state();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  s.events.clear();
+}
+
+std::size_t trace_event_count() {
+  TraceState& s = state();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  return s.events.size();
+}
+
+}  // namespace tilq
+
+#endif  // TILQ_METRICS_ENABLED

@@ -1,0 +1,101 @@
+// Phase/tile span tracing in Chrome's `chrome://tracing` JSON format
+// (also loadable by Perfetto and `about:tracing`). Spans record where the
+// kernel's wall time goes — analyze/compute/compact phases, tile
+// construction, and individual tile executions — with one complete ("X")
+// event per span.
+//
+// Enabling: set TILQ_TRACE=<out.json> in the environment (or call
+// set_trace_path). The trace is written by trace_flush(), which is also
+// registered atexit on first enablement so every binary drops a valid
+// file without explicit cooperation.
+//
+// Overhead: a disabled TraceSpan is one bool read; spans are placed at
+// phase/tile granularity (never per row), so tracing costs nothing when
+// off and little when on. The hooks share the TILQ_METRICS_ENABLED
+// compile gate with support/metrics.hpp: a TILQ_METRICS=OFF build
+// compiles every span to an empty object.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "support/metrics.hpp"  // for the TILQ_METRICS_ENABLED gate
+
+namespace tilq {
+
+#if TILQ_METRICS_ENABLED
+
+namespace trace_detail {
+extern bool g_enabled;
+/// Microseconds since the process's trace epoch (first call).
+[[nodiscard]] double now_us() noexcept;
+void record_span(const char* name, std::int64_t arg, double start_us,
+                 double end_us);
+}  // namespace trace_detail
+
+[[nodiscard]] inline bool trace_enabled() noexcept {
+  return trace_detail::g_enabled;
+}
+
+/// RAII complete-event span. `name` must point to storage that outlives
+/// the trace (string literals in practice). `arg` >= 0 is attached as
+/// args.id in the event (tile index etc.); pass -1 for none.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name, std::int64_t arg = -1) noexcept {
+    if (trace_enabled()) {
+      name_ = name;
+      arg_ = arg;
+      start_us_ = trace_detail::now_us();
+    }
+  }
+  ~TraceSpan() {
+    if (name_ != nullptr && trace_enabled()) {
+      trace_detail::record_span(name_, arg_, start_us_, trace_detail::now_us());
+    }
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  std::int64_t arg_ = -1;
+  double start_us_ = 0.0;
+};
+
+/// Sets the trace output path; "" disables tracing. Overrides TILQ_TRACE.
+void set_trace_path(const std::string& path);
+[[nodiscard]] std::string trace_path();
+
+/// Writes every event recorded so far to the trace path (truncating), so
+/// repeated flushes always leave a complete, loadable file. Returns false
+/// when tracing is disabled or the file cannot be written.
+bool trace_flush();
+
+/// Drops all recorded events (tests use this for isolation).
+void trace_clear();
+
+/// Number of spans recorded since the last trace_clear().
+[[nodiscard]] std::size_t trace_event_count();
+
+#else  // !TILQ_METRICS_ENABLED — spans and controls are no-ops.
+
+[[nodiscard]] constexpr bool trace_enabled() noexcept { return false; }
+
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char*, std::int64_t = -1) noexcept {}
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+};
+
+inline void set_trace_path(const std::string&) {}
+[[nodiscard]] inline std::string trace_path() { return {}; }
+inline bool trace_flush() { return false; }
+inline void trace_clear() {}
+[[nodiscard]] inline std::size_t trace_event_count() { return 0; }
+
+#endif  // TILQ_METRICS_ENABLED
+
+}  // namespace tilq

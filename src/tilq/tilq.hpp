@@ -14,9 +14,11 @@
 // Support substrate.
 #include "support/common.hpp"
 #include "support/env.hpp"
+#include "support/metrics.hpp"
 #include "support/parallel.hpp"
 #include "support/rng.hpp"
 #include "support/timer.hpp"
+#include "support/trace.hpp"
 
 // Sparse matrix substrate.
 #include "sparse/build.hpp"

@@ -112,5 +112,45 @@ TEST(Tune, EndToEndProducesAValidConfig) {
   EXPECT_FALSE(report.stage_tiling.empty());
 }
 
+TEST(Tune, WinnerDecisionsShowUpInEmittedMetrics) {
+  if (!kMetricsCompiled) {
+    GTEST_SKIP() << "instrumentation compiled out (TILQ_METRICS=OFF)";
+  }
+  const auto a = test::random_matrix<double, I>(60, 60, 0.08, 99);
+  const TunerReport report = tune<SR>(a, a, a, small_options());
+
+  // Re-run the winner with counting on: the counters must reflect the
+  // decisions the tuner made (tiling granularity, iteration strategy).
+  set_metrics_enabled(true);
+  metrics_reset();
+  ExecutionStats stats;
+  (void)masked_spgemm<SR>(a, a, a, report.best, &stats);
+  const MetricsSnapshot snapshot = metrics_snapshot();
+  set_metrics_enabled(false);
+
+  EXPECT_EQ(snapshot.total.tiles_executed,
+            static_cast<std::uint64_t>(stats.tiles));
+  EXPECT_EQ(snapshot.total.rows_processed,
+            static_cast<std::uint64_t>(a.rows()));
+  EXPECT_GT(snapshot.total.flops, 0u);
+  EXPECT_EQ(snapshot.total.accum_inserts, stats.accum_inserts);
+  switch (report.best.strategy) {
+    case MaskStrategy::kMaskFirst:
+    case MaskStrategy::kVanilla:
+      EXPECT_EQ(snapshot.total.binary_search_steps, 0u);
+      EXPECT_EQ(snapshot.total.hybrid_coiter_picks, 0u);
+      EXPECT_EQ(snapshot.total.hybrid_linear_picks, 0u);
+      break;
+    case MaskStrategy::kCoIterate:
+      EXPECT_GT(snapshot.total.binary_search_steps, 0u);
+      break;
+    case MaskStrategy::kHybrid:
+      EXPECT_GT(snapshot.total.hybrid_coiter_picks +
+                    snapshot.total.hybrid_linear_picks,
+                0u);
+      break;
+  }
+}
+
 }  // namespace
 }  // namespace tilq

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Doc-lint: keep docs/METRICS.md and src/support/metrics.hpp in sync.
+
+Checks, in both directions:
+  * every counter field of MetricCounters appears (backticked) in the
+    counter table of docs/METRICS.md;
+  * every counter the doc's table names exists as a MetricCounters field.
+
+Exits non-zero with a readable diff when the two drift apart. Registered
+as the `doc_metrics_lint` CTest entry (skipped when python3 is absent).
+"""
+
+import argparse
+import re
+import sys
+
+
+def counters_in_header(path: str) -> set[str]:
+    """Field names of the MetricCounters struct."""
+    text = open(path, encoding="utf-8").read()
+    match = re.search(r"struct MetricCounters \{(.*?)\n\};", text, re.DOTALL)
+    if not match:
+        sys.exit(f"{path}: could not find 'struct MetricCounters'")
+    body = match.group(1)
+    # Stop at the first member function; fields are declared before them.
+    body = body.split("MetricCounters& operator+=")[0]
+    fields = re.findall(r"std::uint64_t (\w+) = 0;", body)
+    if not fields:
+        sys.exit(f"{path}: no counter fields matched in MetricCounters")
+    return set(fields)
+
+
+def counters_in_doc(path: str) -> set[str]:
+    """Counter names from the table rows of the '## Counters' section."""
+    names = set()
+    in_section = False
+    for line in open(path, encoding="utf-8"):
+        if line.startswith("## "):
+            in_section = line.strip() == "## Counters"
+            continue
+        if not in_section:
+            continue
+        match = re.match(r"\|\s*`(\w+)`\s*\|", line)
+        if match:
+            names.add(match.group(1))
+    if not names:
+        sys.exit(f"{path}: no counter table rows found under '## Counters'")
+    return names
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--header", default="src/support/metrics.hpp")
+    parser.add_argument("--doc", default="docs/METRICS.md")
+    args = parser.parse_args()
+
+    header = counters_in_header(args.header)
+    doc = counters_in_doc(args.doc)
+
+    undocumented = sorted(header - doc)
+    phantom = sorted(doc - header)
+    if undocumented:
+        print(f"counters missing from {args.doc}:")
+        for name in undocumented:
+            print(f"  {name}")
+    if phantom:
+        print(f"counters documented in {args.doc} but absent from {args.header}:")
+        for name in phantom:
+            print(f"  {name}")
+    if undocumented or phantom:
+        return 1
+    print(f"ok: {len(header)} counters consistent between header and doc")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
