@@ -10,6 +10,7 @@
 //
 // Run with --help for the full flag list. With no arguments it runs a
 // small self-demo.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -28,6 +29,7 @@ struct CliOptions {
   std::int64_t col_tiles = 1;
   bool predict = false;
   bool tune = false;
+  bool profile = false;
   int repeats = 5;
 };
 
@@ -53,6 +55,7 @@ void print_usage() {
       "modes:\n"
       "  --predict        use the model-based config predictor\n"
       "  --tune           run the staged Fig-12 tuner first\n"
+      "  --profile        enable metrics and print a hardware/imbalance summary\n"
       "  --repeats N      timing repetitions (default 5)\n");
 }
 
@@ -131,6 +134,8 @@ std::optional<CliOptions> parse(int argc, char** argv) {
       options.predict = true;
     } else if (flag == "--tune") {
       options.tune = true;
+    } else if (flag == "--profile") {
+      options.profile = true;
     } else if (flag == "--repeats") {
       options.repeats = std::atoi(next());
     } else {
@@ -141,6 +146,57 @@ std::optional<CliOptions> parse(int argc, char** argv) {
   return options;
 }
 
+/// One-screen --profile summary: where the cycles went (hardware counters
+/// when the machine grants them) and how evenly the team shared the work.
+void print_profile(const tilq::MetricsSnapshot& delta,
+                   const tilq::ExecutionStats& exec) {
+  std::printf("\nprofile:\n");
+  const tilq::HwCounters& hw = delta.hw_total;
+  const tilq::MetricCounters& c = delta.total;
+  if (!tilq::kMetricsCompiled) {
+    std::printf("  metrics compiled out (build with -DTILQ_METRICS=ON)\n");
+  } else if (hw.all_zero()) {
+    std::printf(
+        "  hardware: counters unavailable on this machine (records carry "
+        "\"hw\":null);\n"
+        "            needs perf_event_open — check "
+        "/proc/sys/kernel/perf_event_paranoid\n");
+  } else {
+    const auto per = [](std::uint64_t num, std::uint64_t den) {
+      return den == 0 ? 0.0
+                      : static_cast<double>(num) / static_cast<double>(den);
+    };
+    std::printf("  cycles/flop:   %8.2f   (%llu cycles, %llu flops)\n",
+                per(hw.cycles, c.flops),
+                static_cast<unsigned long long>(hw.cycles),
+                static_cast<unsigned long long>(c.flops));
+    std::printf("  ipc:           %8.2f\n", per(hw.instructions, hw.cycles));
+    std::printf("  llc miss rate: %7.1f%%   (%llu misses / %llu loads)\n",
+                100.0 * per(hw.llc_misses, hw.llc_loads),
+                static_cast<unsigned long long>(hw.llc_misses),
+                static_cast<unsigned long long>(hw.llc_loads));
+    std::printf("  branch misses: %8.2f   per 1k instructions\n",
+                1000.0 * per(hw.branch_misses, hw.instructions));
+    std::printf("  stalled:       %7.1f%%   of cycles\n",
+                100.0 * per(hw.stalled_cycles, hw.cycles));
+  }
+  std::printf(
+      "  imbalance:     %8.2f   max/mean busy over %zu threads (cv %.2f)\n",
+      exec.imbalance_ratio, exec.thread_work.size(), exec.busy_cv);
+  double max_busy = 0.0;
+  for (const tilq::ThreadWork& t : exec.thread_work) {
+    max_busy = std::max(max_busy, t.busy_ms);
+  }
+  for (const tilq::ThreadWork& t : exec.thread_work) {
+    const int bar =
+        max_busy > 0.0 ? static_cast<int>(32.0 * t.busy_ms / max_busy) : 0;
+    std::printf("    thread %2d: %8.2f ms  %5lld tiles %8lld rows  |%.*s\n",
+                t.thread, t.busy_ms, static_cast<long long>(t.tiles),
+                static_cast<long long>(t.rows), bar,
+                "################################");
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -149,6 +205,11 @@ int main(int argc, char** argv) {
     return 2;
   }
   CliOptions options = *parsed;
+  if (options.profile) {
+    // --profile implies counting; the summary needs the flop and hardware
+    // deltas of the measured region.
+    tilq::set_metrics_enabled(true);
+  }
 
   // Input.
   tilq::GraphMatrix a;
@@ -224,6 +285,12 @@ int main(int argc, char** argv) {
               static_cast<long long>(exec.tiles),
               static_cast<unsigned long long>(exec.accumulator_full_resets));
 
+  const tilq::MetricsSnapshot metrics_region =
+      tilq::metrics_delta(metrics_before, tilq::metrics_snapshot());
+  if (options.profile) {
+    print_profile(metrics_region, exec);
+  }
+
   // Observability sinks (docs/METRICS.md): one JSON-lines record covering
   // every run of the measurement, and the Chrome trace when requested.
   if (tilq::metrics_enabled()) {
@@ -233,8 +300,7 @@ int main(int argc, char** argv) {
     record.config = config_label;
     record.runs = result.iterations + (timing.warmup ? 1 : 0);
     record.median_ms = result.median_ms;
-    tilq::emit_metrics_record(
-        record, tilq::metrics_delta(metrics_before, tilq::metrics_snapshot()));
+    tilq::emit_metrics_record(record, metrics_region);
   }
   if (!tilq::trace_path().empty() && tilq::trace_flush()) {
     std::printf("trace: wrote %zu events to %s\n", tilq::trace_event_count(),

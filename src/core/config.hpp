@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "accum/accumulator.hpp"
 #include "core/kernels.hpp"
@@ -59,11 +60,24 @@ struct Config {
   }
 };
 
+/// One thread's share of a driver's compute phase — the measured side of
+/// the load-imbalance story (the model's predicted CV lives in
+/// ProblemFeatures::row_work_cv). busy_ms covers the thread's tile loop
+/// only: accumulator construction and the region's entry/exit barriers are
+/// excluded, so ragged tile schedules show up undiluted.
+struct ThreadWork {
+  int thread = 0;           ///< OpenMP thread number inside the region
+  double busy_ms = 0.0;     ///< wall time spent executing tiles
+  std::int64_t tiles = 0;   ///< tiles (1D) or cells (2D) this thread ran
+  std::int64_t rows = 0;    ///< row visits this thread performed
+};
+
 /// Per-call execution statistics, filled in when the caller passes a
 /// non-null pointer to masked_spgemm. The accumulator counters below the
 /// timing fields are summed over threads; the ones past `hash_probes` are
 /// populated only when the library is built with TILQ_METRICS (they stay
-/// zero otherwise — see docs/METRICS.md).
+/// zero otherwise — see docs/METRICS.md). The per-thread work breakdown
+/// and the derived imbalance statistics are always populated.
 struct ExecutionStats {
   double analyze_ms = 0.0;  ///< work estimation + tiling
   double compute_ms = 0.0;  ///< parallel row computation
@@ -77,6 +91,18 @@ struct ExecutionStats {
   std::uint64_t hash_collisions = 0;     ///< hash inserts needing >=1 probe
   std::uint64_t marker_row_resets = 0;   ///< marker-policy epoch bumps
   std::uint64_t explicit_reset_slots = 0;  ///< slots cleared by explicit resets
+
+  /// Compute-phase share of every thread in the team, indexed by OpenMP
+  /// thread number (threads that drew no tiles appear with zero work —
+  /// that IS the imbalance signal under static scheduling).
+  std::vector<ThreadWork> thread_work;
+  /// max(busy) / mean(busy) over the team: 1.0 is perfectly balanced, the
+  /// team's wall time is the max, so ratio ~= achievable speedup left on
+  /// the table. 0 when the team had one thread or never ran.
+  double imbalance_ratio = 0.0;
+  /// Coefficient of variation (stddev/mean) of per-thread busy time — the
+  /// measured counterpart of the model's predicted row-work CV.
+  double busy_cv = 0.0;
 };
 
 }  // namespace tilq

@@ -16,6 +16,8 @@
 
 #include <omp.h>
 
+#include <algorithm>
+#include <cmath>
 #include <utility>
 #include <vector>
 
@@ -31,12 +33,46 @@
 #include "support/env.hpp"
 #include "support/metrics.hpp"
 #include "support/parallel.hpp"
+#include "support/perf.hpp"
 #include "support/timer.hpp"
 #include "support/trace.hpp"
 
 namespace tilq {
 
 namespace detail {
+
+/// Folds the team's per-thread compute shares into `stats`: the raw
+/// breakdown plus the derived imbalance statistics (max/mean busy ratio
+/// and the coefficient of variation — the measured counterpart of the
+/// model's predicted row-work CV). `work` is indexed by OpenMP thread
+/// number and sized for the requested team; `team_size` is how many
+/// threads the runtime actually granted.
+inline void finalize_thread_work(std::vector<ThreadWork>&& work,
+                                 int team_size, ExecutionStats* stats) {
+  if (stats == nullptr) {
+    return;
+  }
+  if (team_size > 0 &&
+      static_cast<std::size_t>(team_size) < work.size()) {
+    work.resize(static_cast<std::size_t>(team_size));
+  }
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  double max = 0.0;
+  for (const ThreadWork& t : work) {
+    sum += t.busy_ms;
+    sum_sq += t.busy_ms * t.busy_ms;
+    max = std::max(max, t.busy_ms);
+  }
+  if (!work.empty() && sum > 0.0) {
+    const double n = static_cast<double>(work.size());
+    const double mean = sum / n;
+    const double variance = std::max(0.0, sum_sq / n - mean * mean);
+    stats->imbalance_ratio = max / mean;
+    stats->busy_cv = std::sqrt(variance) / mean;
+  }
+  stats->thread_work = std::move(work);
+}
 
 /// The strategy-independent parallel driver, templated on the concrete
 /// accumulator type. `make_acc()` constructs one accumulator per thread.
@@ -91,6 +127,11 @@ Csr<T, I> masked_spgemm_with(const Csr<T, I>& mask, const Csr<T, I>& a,
   std::uint64_t total_row_resets = 0;
   std::uint64_t total_explicit_clears = 0;
 
+  // Per-thread compute shares, indexed by OpenMP thread number; the
+  // measured load-imbalance signal next to the model's predicted CV.
+  std::vector<ThreadWork> thread_work(static_cast<std::size_t>(threads));
+  int team_size = threads;
+
   {
     TraceSpan compute_span("spgemm.compute");
 
@@ -98,22 +139,27 @@ Csr<T, I> masked_spgemm_with(const Csr<T, I>& mask, const Csr<T, I>& a,
     reduction(+ : total_resets, total_probes, total_inserts, total_rejects, \
                   total_collisions, total_row_resets, total_explicit_clears)
     {
+      const int thread_num = omp_get_thread_num();
+#pragma omp single
+      team_size = omp_get_num_threads();
+
       auto acc = make_acc();
 #if TILQ_METRICS_ENABLED
       MetricCounters* const thread_counters = metrics_thread_counters();
+      // Hardware counters for this thread's share of the region; inactive
+      // (zero-cost) when metrics are off or perf_event_open failed.
+      const PerfScope perf_scope(thread_counters != nullptr);
 #endif
+      std::int64_t my_tiles = 0;
+      std::int64_t my_rows = 0;
+      WallTimer busy;
 
 #pragma omp for schedule(runtime) nowait
       for (std::int64_t t = 0; t < tile_count; ++t) {
         const Tile tile = tiles[static_cast<std::size_t>(t)];
         TraceSpan tile_span("tile", t);
-#if TILQ_METRICS_ENABLED
-        if (thread_counters != nullptr) {
-          ++thread_counters->tiles_executed;
-          thread_counters->rows_processed +=
-              static_cast<std::uint64_t>(tile.row_end - tile.row_begin);
-        }
-#endif
+        ++my_tiles;
+        my_rows += tile.row_end - tile.row_begin;
         for (I i = static_cast<I>(tile.row_begin); i < static_cast<I>(tile.row_end); ++i) {
           I* out_cols = bound_cols.data() + mask_row_ptr[static_cast<std::size_t>(i)];
           T* out_vals = bound_vals.data() + mask_row_ptr[static_cast<std::size_t>(i)];
@@ -126,6 +172,11 @@ Csr<T, I> masked_spgemm_with(const Csr<T, I>& mask, const Csr<T, I>& a,
                           });
           row_counts[static_cast<std::size_t>(i)] = count;
         }
+      }
+      const double busy_ms = busy.milliseconds();
+      if (thread_num >= 0 && thread_num < threads) {
+        thread_work[static_cast<std::size_t>(thread_num)] = {
+            thread_num, busy_ms, my_tiles, my_rows};
       }
 
       const AccumulatorCounters& acc_counters = acc.counters();
@@ -140,6 +191,9 @@ Csr<T, I> masked_spgemm_with(const Csr<T, I>& mask, const Csr<T, I>& a,
       // Per-accumulator counters fold into the owning thread's global slot
       // so the metrics registry sees the same totals as ExecutionStats.
       if (thread_counters != nullptr) {
+        thread_counters->tiles_executed += static_cast<std::uint64_t>(my_tiles);
+        thread_counters->rows_processed += static_cast<std::uint64_t>(my_rows);
+        thread_counters->busy_ns += static_cast<std::uint64_t>(busy_ms * 1e6);
         thread_counters->hash_probes += acc_counters.probes;
         thread_counters->hash_collisions += acc_counters.collisions;
         thread_counters->accum_inserts += acc_counters.inserts;
@@ -147,6 +201,9 @@ Csr<T, I> masked_spgemm_with(const Csr<T, I>& mask, const Csr<T, I>& a,
         thread_counters->marker_row_resets += acc_counters.row_resets;
         thread_counters->marker_overflow_resets += acc_counters.full_resets;
         thread_counters->explicit_reset_slots += acc_counters.explicit_clears;
+        if (HwCounters* const hw = metrics_thread_hw()) {
+          *hw += perf_scope.delta();
+        }
       }
 #endif
     }
@@ -161,6 +218,7 @@ Csr<T, I> masked_spgemm_with(const Csr<T, I>& mask, const Csr<T, I>& a,
     stats->marker_row_resets = total_row_resets;
     stats->explicit_reset_slots = total_explicit_clears;
   }
+  detail::finalize_thread_work(std::move(thread_work), team_size, stats);
 
   // --- 3. compact -------------------------------------------------------
   phase.reset();

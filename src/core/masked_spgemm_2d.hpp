@@ -32,6 +32,7 @@
 #include "sparse/stats.hpp"
 #include "support/metrics.hpp"
 #include "support/parallel.hpp"
+#include "support/perf.hpp"
 #include "support/trace.hpp"
 
 namespace tilq {
@@ -183,6 +184,10 @@ Csr<T, I> masked_spgemm_2d_with(const Csr<T, I>& mask, const Csr<T, I>& a,
   std::uint64_t total_row_resets = 0;
   std::uint64_t total_explicit_clears = 0;
 
+  // Per-thread compute shares, indexed by OpenMP thread number.
+  std::vector<ThreadWork> thread_work(static_cast<std::size_t>(threads));
+  int team_size = threads;
+
   {
     TraceSpan compute_span("spgemm2d.compute");
 
@@ -190,10 +195,18 @@ Csr<T, I> masked_spgemm_2d_with(const Csr<T, I>& mask, const Csr<T, I>& a,
     reduction(+ : total_resets, total_probes, total_inserts, total_rejects, \
                   total_collisions, total_row_resets, total_explicit_clears)
     {
+      const int thread_num = omp_get_thread_num();
+#pragma omp single
+      team_size = omp_get_num_threads();
+
       auto acc = make_acc();
 #if TILQ_METRICS_ENABLED
       MetricCounters* const thread_counters = metrics_thread_counters();
+      const PerfScope perf_scope(thread_counters != nullptr);
 #endif
+      std::int64_t my_cells = 0;
+      std::int64_t my_rows = 0;
+      WallTimer busy;
 
 #pragma omp for schedule(runtime) nowait
       for (std::int64_t task = 0; task < task_count; ++task) {
@@ -201,14 +214,9 @@ Csr<T, I> masked_spgemm_2d_with(const Csr<T, I>& mask, const Csr<T, I>& a,
         const std::size_t ct = static_cast<std::size_t>(task) % col_tile_count;
         const Tile col_tile = col_tiles[ct];
         TraceSpan tile_span("tile2d", task);
-#if TILQ_METRICS_ENABLED
-        if (thread_counters != nullptr) {
-          ++thread_counters->tiles_executed;
-          // In 2D a row is visited once per column tile; each visit counts.
-          thread_counters->rows_processed +=
-              static_cast<std::uint64_t>(row_tile.row_end - row_tile.row_begin);
-        }
-#endif
+        ++my_cells;
+        // In 2D a row is visited once per column tile; each visit counts.
+        my_rows += row_tile.row_end - row_tile.row_begin;
         for (I i = static_cast<I>(row_tile.row_begin);
              i < static_cast<I>(row_tile.row_end); ++i) {
           // The cell writes into the slice of row i's mask-bounded slot that
@@ -228,6 +236,11 @@ Csr<T, I> masked_spgemm_2d_with(const Csr<T, I>& mask, const Csr<T, I>& a,
                                bound_cols.data() + slot, bound_vals.data() + slot);
         }
       }
+      const double busy_ms = busy.milliseconds();
+      if (thread_num >= 0 && thread_num < threads) {
+        thread_work[static_cast<std::size_t>(thread_num)] = {
+            thread_num, busy_ms, my_cells, my_rows};
+      }
 
       const AccumulatorCounters& acc_counters = acc.counters();
       total_resets += acc_counters.full_resets;
@@ -239,6 +252,9 @@ Csr<T, I> masked_spgemm_2d_with(const Csr<T, I>& mask, const Csr<T, I>& a,
       total_explicit_clears += acc_counters.explicit_clears;
 #if TILQ_METRICS_ENABLED
       if (thread_counters != nullptr) {
+        thread_counters->tiles_executed += static_cast<std::uint64_t>(my_cells);
+        thread_counters->rows_processed += static_cast<std::uint64_t>(my_rows);
+        thread_counters->busy_ns += static_cast<std::uint64_t>(busy_ms * 1e6);
         thread_counters->hash_probes += acc_counters.probes;
         thread_counters->hash_collisions += acc_counters.collisions;
         thread_counters->accum_inserts += acc_counters.inserts;
@@ -246,6 +262,9 @@ Csr<T, I> masked_spgemm_2d_with(const Csr<T, I>& mask, const Csr<T, I>& a,
         thread_counters->marker_row_resets += acc_counters.row_resets;
         thread_counters->marker_overflow_resets += acc_counters.full_resets;
         thread_counters->explicit_reset_slots += acc_counters.explicit_clears;
+        if (HwCounters* const hw = metrics_thread_hw()) {
+          *hw += perf_scope.delta();
+        }
       }
 #endif
     }
@@ -260,6 +279,7 @@ Csr<T, I> masked_spgemm_2d_with(const Csr<T, I>& mask, const Csr<T, I>& a,
     stats->marker_row_resets = total_row_resets;
     stats->explicit_reset_slots = total_explicit_clears;
   }
+  detail::finalize_thread_work(std::move(thread_work), team_size, stats);
 
   // --- compact ----------------------------------------------------------
   phase.reset();

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
@@ -13,17 +14,21 @@ MetricsSnapshot metrics_delta(const MetricsSnapshot& before,
                               const MetricsSnapshot& after) {
   MetricsSnapshot delta;
   delta.total = after.total.minus(before.total);
+  delta.hw_total = after.hw_total.minus(before.hw_total);
   for (const ThreadMetrics& t : after.per_thread) {
     MetricCounters base;  // zero for threads registered after `before`
+    HwCounters hw_base;
     for (const ThreadMetrics& b : before.per_thread) {
       if (b.thread_id == t.thread_id) {
         base = b.counters;
+        hw_base = b.hw;
         break;
       }
     }
     const MetricCounters d = t.counters.minus(base);
-    if (!d.all_zero()) {
-      delta.per_thread.push_back({t.thread_id, d});
+    const HwCounters hw = t.hw.minus(hw_base);
+    if (!d.all_zero() || !hw.all_zero()) {
+      delta.per_thread.push_back({t.thread_id, d, hw});
     }
   }
   return delta;
@@ -91,15 +96,105 @@ void append_counters_json(std::string& out, const MetricCounters& c) {
   field("hybrid_linear_picks", c.hybrid_linear_picks);
   field("tiles_created", c.tiles_created);
   field("tiles_executed", c.tiles_executed);
-  field("rows_processed", c.rows_processed, /*last=*/true);
+  field("rows_processed", c.rows_processed);
+  field("busy_ns", c.busy_ns, /*last=*/true);
   out += '}';
 }
+
+void append_double(std::string& out, double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", value);
+  out += buf;
+}
+
+/// The `hw` record object; "null" when no hardware data was collected.
+/// Field names mirror HwCounters (support/perf.hpp) one-to-one, which is
+/// what tools/check_metrics_docs.py cross-checks against docs/METRICS.md.
+void append_hw_json(std::string& out, const HwCounters& hw) {
+  if (hw.all_zero()) {
+    out += "null";
+    return;
+  }
+  const auto field = [&](const char* name, std::uint64_t value,
+                         bool last = false) {
+    out += '"';
+    out += name;
+    out += "\":";
+    out += std::to_string(value);
+    if (!last) {
+      out += ',';
+    }
+  };
+  out += '{';
+  field("cycles", hw.cycles);
+  field("instructions", hw.instructions);
+  field("llc_loads", hw.llc_loads);
+  field("llc_misses", hw.llc_misses);
+  field("branch_misses", hw.branch_misses);
+  field("stalled_cycles", hw.stalled_cycles, /*last=*/true);
+  out += '}';
+}
+
+/// The `imbalance` record object, derived from the per-thread busy_ns
+/// deltas; "null" when no thread reported busy time (e.g. records emitted
+/// around code that never entered a driver compute phase). Field names
+/// here are what tools/check_metrics_docs.py scrapes for the doc check.
+void append_imbalance_json(std::string& out,
+                           const std::vector<ThreadMetrics>& threads) {
+  double max_ms = 0.0;
+  double sum_ms = 0.0;
+  double sum_sq = 0.0;
+  int busy_threads = 0;
+  for (const ThreadMetrics& t : threads) {
+    if (t.counters.busy_ns == 0) {
+      continue;
+    }
+    const double ms = static_cast<double>(t.counters.busy_ns) / 1e6;
+    max_ms = std::max(max_ms, ms);
+    sum_ms += ms;
+    sum_sq += ms * ms;
+    ++busy_threads;
+  }
+  if (busy_threads == 0) {
+    out += "null";
+    return;
+  }
+  const double n = busy_threads;
+  const double mean_ms = sum_ms / n;
+  const double variance = std::max(0.0, sum_sq / n - mean_ms * mean_ms);
+  const double cv = mean_ms > 0.0 ? std::sqrt(variance) / mean_ms : 0.0;
+  const double ratio = mean_ms > 0.0 ? max_ms / mean_ms : 1.0;
+  const auto field = [&](const char* name, double value, bool last = false) {
+    out += '"';
+    out += name;
+    out += "\":";
+    append_double(out, value);
+    if (!last) {
+      out += ',';
+    }
+  };
+  out += "{\"threads\":";
+  out += std::to_string(busy_threads);
+  out += ',';
+  field("max_busy_ms", max_ms);
+  field("mean_busy_ms", mean_ms);
+  field("ratio", ratio);
+  field("cv", cv, /*last=*/true);
+  out += '}';
+}
+
+/// One thread's registered storage: the software counters plus the
+/// hardware deltas the drivers attach alongside them.
+struct ThreadSlot {
+  MetricCounters counters;
+  HwCounters hw;
+};
 
 struct Registry {
   std::mutex mutex;
   // Slots are heap-allocated and intentionally never freed: a thread that
   // exits leaves its counts aggregatable without dangling pointers.
-  std::vector<std::unique_ptr<MetricCounters>> slots;
+  std::vector<std::unique_ptr<ThreadSlot>> slots;
 };
 
 Registry& registry() {
@@ -137,15 +232,23 @@ namespace metrics_detail {
 
 bool g_runtime_enabled = init_from_env();
 
-MetricCounters& thread_slot() {
-  thread_local MetricCounters* slot = [] {
+namespace {
+
+ThreadSlot& whole_thread_slot() {
+  thread_local ThreadSlot* slot = [] {
     Registry& r = registry();
     const std::lock_guard<std::mutex> lock(r.mutex);
-    r.slots.push_back(std::make_unique<MetricCounters>());
+    r.slots.push_back(std::make_unique<ThreadSlot>());
     return r.slots.back().get();
   }();
   return *slot;
 }
+
+}  // namespace
+
+MetricCounters& thread_slot() { return whole_thread_slot().counters; }
+
+HwCounters& thread_hw_slot() { return whole_thread_slot().hw; }
 
 }  // namespace metrics_detail
 
@@ -157,7 +260,7 @@ void metrics_reset() noexcept {
   Registry& r = registry();
   const std::lock_guard<std::mutex> lock(r.mutex);
   for (const auto& slot : r.slots) {
-    *slot = MetricCounters{};
+    *slot = ThreadSlot{};
   }
 }
 
@@ -167,9 +270,10 @@ MetricsSnapshot metrics_snapshot() {
   const std::lock_guard<std::mutex> lock(r.mutex);
   int id = 0;
   for (const auto& slot : r.slots) {
-    if (!slot->all_zero()) {
-      snapshot.per_thread.push_back({id, *slot});
-      snapshot.total += *slot;
+    if (!slot->counters.all_zero() || !slot->hw.all_zero()) {
+      snapshot.per_thread.push_back({id, slot->counters, slot->hw});
+      snapshot.total += slot->counters;
+      snapshot.hw_total += slot->hw;
     }
     ++id;
   }
@@ -206,6 +310,10 @@ std::string format_metrics_record(const MetricsRecord& record,
   out += ms;
   out += ",\"counters\":";
   append_counters_json(out, snapshot.total);
+  out += ",\"hw\":";
+  append_hw_json(out, snapshot.hw_total);
+  out += ",\"imbalance\":";
+  append_imbalance_json(out, snapshot.per_thread);
   out += ",\"threads\":[";
   bool first = true;
   for (const ThreadMetrics& t : snapshot.per_thread) {
@@ -217,6 +325,10 @@ std::string format_metrics_record(const MetricsRecord& record,
     out += std::to_string(t.thread_id);
     out += ",\"counters\":";
     append_counters_json(out, t.counters);
+    if (!t.hw.all_zero()) {
+      out += ",\"hw\":";
+      append_hw_json(out, t.hw);
+    }
     out += '}';
   }
   out += "]}";

@@ -34,12 +34,17 @@
 #define TILQ_METRICS_ENABLED 1
 #endif
 
+#include "support/perf.hpp"  // HwCounters ride along with the thread slots
+
 namespace tilq {
 
 /// Version of the metrics schema (counter set + JSON-lines layout). Bump
 /// when a counter is renamed/removed or the record layout changes; adding
 /// a counter is backward compatible and does not bump the version.
-inline constexpr int kMetricsSchemaVersion = 1;
+/// v2: added the `hw` (hardware counters, nullable) and `imbalance`
+/// (per-thread busy-time statistics, nullable) record objects and the
+/// `busy_ns` counter.
+inline constexpr int kMetricsSchemaVersion = 2;
 
 /// True when the counter hooks are compiled into this build (CMake option
 /// TILQ_METRICS). When false every function below is an inline no-op.
@@ -63,6 +68,7 @@ struct MetricCounters {
   std::uint64_t tiles_created = 0;          ///< tiles produced by the tilers
   std::uint64_t tiles_executed = 0;         ///< tiles processed in compute phases
   std::uint64_t rows_processed = 0;         ///< output rows computed
+  std::uint64_t busy_ns = 0;                ///< compute-loop busy wall time (ns)
 
   MetricCounters& operator+=(const MetricCounters& o) noexcept {
     flops += o.flops;
@@ -79,6 +85,7 @@ struct MetricCounters {
     tiles_created += o.tiles_created;
     tiles_executed += o.tiles_executed;
     rows_processed += o.rows_processed;
+    busy_ns += o.busy_ns;
     return *this;
   }
 
@@ -104,6 +111,7 @@ struct MetricCounters {
     d.tiles_created = sub(tiles_created, o.tiles_created);
     d.tiles_executed = sub(tiles_executed, o.tiles_executed);
     d.rows_processed = sub(rows_processed, o.rows_processed);
+    d.busy_ns = sub(busy_ns, o.busy_ns);
     return d;
   }
 
@@ -113,20 +121,26 @@ struct MetricCounters {
            marker_overflow_resets == 0 && explicit_reset_slots == 0 &&
            binary_search_steps == 0 && hybrid_coiter_picks == 0 &&
            hybrid_linear_picks == 0 && tiles_created == 0 &&
-           tiles_executed == 0 && rows_processed == 0;
+           tiles_executed == 0 && rows_processed == 0 && busy_ns == 0;
   }
 };
 
 /// One thread's contribution. Thread ids are assigned in registration
-/// order (first counter touched), not OpenMP thread numbers.
+/// order (first counter touched), not OpenMP thread numbers. `hw` carries
+/// the thread's hardware-counter deltas (support/perf.hpp) when the
+/// drivers could read them; all-zero otherwise.
 struct ThreadMetrics {
   int thread_id = 0;
   MetricCounters counters;
+  HwCounters hw;
 };
 
-/// Aggregate view over every registered thread.
+/// Aggregate view over every registered thread. `hw_total.all_zero()`
+/// means no hardware data was collected (perf unavailable or disabled) —
+/// the JSON record then carries an explicit `"hw":null`.
 struct MetricsSnapshot {
   MetricCounters total;
+  HwCounters hw_total;
   std::vector<ThreadMetrics> per_thread;
 };
 
@@ -149,6 +163,8 @@ namespace metrics_detail {
 extern bool g_runtime_enabled;
 /// Returns this thread's registered slot, creating it on first use.
 [[nodiscard]] MetricCounters& thread_slot();
+/// Hardware-counter slot riding along with the same registration.
+[[nodiscard]] HwCounters& thread_hw_slot();
 }  // namespace metrics_detail
 
 /// True when counting is active (compiled in AND runtime-enabled).
@@ -160,6 +176,14 @@ extern bool g_runtime_enabled;
 /// code fetches the pointer once per row/tile/region and batches into it.
 [[nodiscard]] inline MetricCounters* metrics_thread_counters() {
   return metrics_enabled() ? &metrics_detail::thread_slot() : nullptr;
+}
+
+/// This thread's hardware-delta slot, or nullptr when counting is
+/// inactive. The drivers add their PerfScope deltas here so hardware
+/// readings flow through the same snapshot/delta/record machinery as the
+/// software counters.
+[[nodiscard]] inline HwCounters* metrics_thread_hw() {
+  return metrics_enabled() ? &metrics_detail::thread_hw_slot() : nullptr;
 }
 
 /// Runtime on/off switch (overrides the TILQ_METRICS environment variable).
@@ -178,8 +202,9 @@ void metrics_reset() noexcept;
 void set_metrics_sink_path(const std::string& path);
 [[nodiscard]] std::string metrics_sink_path();
 
-/// Serializes `record` + `snapshot` as one schema-v1 JSON line and writes
-/// it to the sink. No-op when metrics are runtime-disabled.
+/// Serializes `record` + `snapshot` as one JSON line (schema version
+/// kMetricsSchemaVersion) and writes it to the sink. No-op when metrics
+/// are runtime-disabled.
 void emit_metrics_record(const MetricsRecord& record,
                          const MetricsSnapshot& snapshot);
 
@@ -191,6 +216,9 @@ void emit_metrics_record(const MetricsRecord& record,
 
 [[nodiscard]] constexpr bool metrics_enabled() noexcept { return false; }
 [[nodiscard]] inline MetricCounters* metrics_thread_counters() noexcept {
+  return nullptr;
+}
+[[nodiscard]] inline HwCounters* metrics_thread_hw() noexcept {
   return nullptr;
 }
 inline void set_metrics_enabled(bool) noexcept {}

@@ -19,6 +19,7 @@ struct TraceEvent {
   double ts_us;
   double dur_us;
   int tid;
+  HwCounters hw;  // all-zero when the thread had no hardware counters
 };
 
 struct TraceState {
@@ -80,11 +81,11 @@ double now_us() noexcept {
 }
 
 void record_span(const char* name, std::int64_t arg, double start_us,
-                 double end_us) {
+                 double end_us, const HwCounters& hw) {
   const int tid = thread_trace_id();
   TraceState& s = state();
   const std::lock_guard<std::mutex> lock(s.mutex);
-  s.events.push_back({name, arg, start_us, end_us - start_us, tid});
+  s.events.push_back({name, arg, start_us, end_us - start_us, tid, hw});
 }
 
 }  // namespace trace_detail
@@ -127,9 +128,22 @@ bool trace_flush() {
                  "\n{\"name\":\"%s\",\"cat\":\"tilq\",\"ph\":\"X\","
                  "\"ts\":%.3f,\"dur\":%.3f,\"pid\":0,\"tid\":%d",
                  e.name, e.ts_us, e.dur_us, e.tid);
-    if (e.arg >= 0) {
-      std::fprintf(file, ",\"args\":{\"id\":%lld}",
-                   static_cast<long long>(e.arg));
+    if (e.arg >= 0 || !e.hw.all_zero()) {
+      std::fputs(",\"args\":{", file);
+      bool first_arg = true;
+      const auto arg_u64 = [&](const char* key, unsigned long long value) {
+        std::fprintf(file, "%s\"%s\":%llu", first_arg ? "" : ",", key, value);
+        first_arg = false;
+      };
+      if (e.arg >= 0) {
+        arg_u64("id", static_cast<unsigned long long>(e.arg));
+      }
+      if (!e.hw.all_zero()) {
+        arg_u64("cycles", e.hw.cycles);
+        arg_u64("instructions", e.hw.instructions);
+        arg_u64("llc_misses", e.hw.llc_misses);
+      }
+      std::fputc('}', file);
     }
     std::fputc('}', file);
   }

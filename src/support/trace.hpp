@@ -21,6 +21,7 @@
 #include <string>
 
 #include "support/metrics.hpp"  // for the TILQ_METRICS_ENABLED gate
+#include "support/perf.hpp"     // hardware deltas attached to spans
 
 namespace tilq {
 
@@ -30,8 +31,10 @@ namespace trace_detail {
 extern bool g_enabled;
 /// Microseconds since the process's trace epoch (first call).
 [[nodiscard]] double now_us() noexcept;
+/// `hw` is the span's hardware-counter delta (all-zero when perf is
+/// unavailable); non-zero deltas land in the event's args.
 void record_span(const char* name, std::int64_t arg, double start_us,
-                 double end_us);
+                 double end_us, const HwCounters& hw);
 }  // namespace trace_detail
 
 [[nodiscard]] inline bool trace_enabled() noexcept {
@@ -40,7 +43,10 @@ void record_span(const char* name, std::int64_t arg, double start_us,
 
 /// RAII complete-event span. `name` must point to storage that outlives
 /// the trace (string literals in practice). `arg` >= 0 is attached as
-/// args.id in the event (tile index etc.); pass -1 for none.
+/// args.id in the event (tile index etc.); pass -1 for none. When the
+/// calling thread can read hardware counters (support/perf.hpp), the
+/// span's cycle/instruction/LLC-miss deltas are attached to the event's
+/// args — phase and tile spans then carry their own memory-system story.
 class TraceSpan {
  public:
   explicit TraceSpan(const char* name, std::int64_t arg = -1) noexcept {
@@ -48,11 +54,18 @@ class TraceSpan {
       name_ = name;
       arg_ = arg;
       start_us_ = trace_detail::now_us();
+      if (perf_available()) {
+        hw_active_ = true;
+        hw_start_ = perf_read_thread();
+      }
     }
   }
   ~TraceSpan() {
     if (name_ != nullptr && trace_enabled()) {
-      trace_detail::record_span(name_, arg_, start_us_, trace_detail::now_us());
+      const HwCounters hw =
+          hw_active_ ? perf_read_thread().minus(hw_start_) : HwCounters{};
+      trace_detail::record_span(name_, arg_, start_us_, trace_detail::now_us(),
+                                hw);
     }
   }
   TraceSpan(const TraceSpan&) = delete;
@@ -62,6 +75,8 @@ class TraceSpan {
   const char* name_ = nullptr;
   std::int64_t arg_ = -1;
   double start_us_ = 0.0;
+  HwCounters hw_start_;
+  bool hw_active_ = false;
 };
 
 /// Sets the trace output path; "" disables tracing. Overrides TILQ_TRACE.

@@ -16,6 +16,7 @@
 #include "support/env.hpp"
 #include "support/metrics.hpp"
 #include "support/parallel.hpp"
+#include "support/perf.hpp"
 #include "support/rng.hpp"
 #include "support/timer.hpp"
 #include "support/trace.hpp"

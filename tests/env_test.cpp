@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include "support/common.hpp"
+#include "support/metrics.hpp"
+#include "support/perf.hpp"
 
 namespace tilq {
 namespace {
@@ -27,6 +29,35 @@ TEST(Env, ThreadControl) {
   set_threads(original);
   EXPECT_EQ(max_threads(), original);
   EXPECT_THROW(set_threads(0), PreconditionError);
+}
+
+TEST(Env, PerfDisableSpellings) {
+  // The TILQ_PERF classifier accepts exactly the documented disabling
+  // spellings; everything else (including unset) defers to the first open.
+  for (const char* off : {"0", "off", "OFF", "Off", "false", "FALSE"}) {
+    EXPECT_TRUE(perf_env_disables(off)) << off;
+  }
+  for (const char* on : {"1", "on", "yes", "true", ""}) {
+    EXPECT_FALSE(perf_env_disables(on)) << on;
+  }
+  EXPECT_FALSE(perf_env_disables(nullptr));
+}
+
+TEST(Env, PerfFallbackIsSilentExceptOneNotice) {
+  // The fallback contract: no matter how many scopes are opened on a
+  // machine without usable hardware counters, at most ONE one-line notice
+  // is ever printed — and none at all unless metrics are runtime-enabled.
+  set_metrics_enabled(true);
+  for (int i = 0; i < 200; ++i) {
+    const PerfScope scope;
+    (void)scope.delta();
+  }
+  EXPECT_LE(perf_unavailable_notices(), 1);
+  if (perf_available()) {
+    // Counters work on this machine: the notice must never have fired.
+    EXPECT_EQ(perf_unavailable_notices(), 0);
+  }
+  set_metrics_enabled(false);
 }
 
 TEST(Env, SummaryMentionsKeyFields) {

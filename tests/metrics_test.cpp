@@ -343,7 +343,7 @@ TEST_F(MetricsTest, TwoDimensionalDriverCountsCells) {
   EXPECT_EQ(snapshot.total.accum_inserts, stats.accum_inserts);
 }
 
-TEST_F(MetricsTest, RecordFormatsAsSchemaOneJson) {
+TEST_F(MetricsTest, RecordFormatsAsSchemaTwoJson) {
   const auto a = test::random_matrix<double, I>(50, 50, 0.1, 37);
   Config config;
   config.threads = 2;
@@ -358,13 +358,120 @@ TEST_F(MetricsTest, RecordFormatsAsSchemaOneJson) {
   const std::string line = format_metrics_record(record, metrics_snapshot());
 
   EXPECT_TRUE(JsonChecker(line).valid()) << line;
-  EXPECT_EQ(line.find("{\"tilq_metrics\":1,"), 0u);
+  EXPECT_EQ(line.find("{\"tilq_metrics\":2,"), 0u);
   for (const char* field :
        {"\"source\"", "\"matrix\"", "\"config\"", "\"runs\"", "\"median_ms\"",
-        "\"counters\"", "\"threads\"", "\"flops\"", "\"accum_inserts\"",
-        "\"binary_search_steps\"", "\"tiles_executed\"", "\"rows_processed\""}) {
+        "\"counters\"", "\"hw\"", "\"imbalance\"", "\"threads\"", "\"flops\"",
+        "\"accum_inserts\"", "\"binary_search_steps\"", "\"tiles_executed\"",
+        "\"rows_processed\"", "\"busy_ns\""}) {
     EXPECT_NE(line.find(field), std::string::npos) << "missing " << field;
   }
+}
+
+TEST_F(MetricsTest, RecordCarriesImbalanceAndExplicitHwNull) {
+  const auto a = test::random_matrix<double, I>(60, 60, 0.08, 59);
+  Config config;
+  config.threads = 2;
+  config.num_tiles = 8;
+  (void)masked_spgemm<SR>(a, a, a, config);
+  const MetricsSnapshot snapshot = metrics_snapshot();
+
+  // The drivers always record per-thread busy time, so the imbalance
+  // object must be a populated object, never null, after a kernel run.
+  EXPECT_GT(snapshot.total.busy_ns, 0u);
+  MetricsRecord record;
+  record.source = "metrics_test";
+  record.runs = 1;
+  const std::string line = format_metrics_record(record, snapshot);
+  EXPECT_TRUE(JsonChecker(line).valid()) << line;
+  EXPECT_EQ(line.find("\"imbalance\":null"), std::string::npos) << line;
+  EXPECT_NE(line.find("\"imbalance\":{\"threads\":"), std::string::npos) << line;
+  EXPECT_NE(line.find("\"max_busy_ms\""), std::string::npos);
+  EXPECT_NE(line.find("\"ratio\""), std::string::npos);
+  EXPECT_NE(line.find("\"cv\""), std::string::npos);
+
+  // hw is either a populated object (perf counters readable) or an
+  // explicit null (the fallback contract) — never absent.
+  if (snapshot.hw_total.all_zero()) {
+    EXPECT_NE(line.find("\"hw\":null"), std::string::npos) << line;
+  } else {
+    EXPECT_NE(line.find("\"hw\":{\"cycles\":"), std::string::npos) << line;
+  }
+}
+
+TEST_F(MetricsTest, EmptySnapshotEmitsNullHwAndImbalance) {
+  metrics_reset();
+  MetricsRecord record;
+  record.source = "metrics_test";
+  const std::string line = format_metrics_record(record, metrics_snapshot());
+  EXPECT_TRUE(JsonChecker(line).valid()) << line;
+  EXPECT_NE(line.find("\"hw\":null"), std::string::npos);
+  EXPECT_NE(line.find("\"imbalance\":null"), std::string::npos);
+}
+
+TEST_F(MetricsTest, ExecutionStatsCarryPerThreadWork) {
+  const auto a = test::random_matrix<double, I>(120, 120, 0.05, 61);
+  Config config;
+  config.threads = 2;
+  config.num_tiles = 8;
+  ExecutionStats stats;
+  (void)masked_spgemm<SR>(a, a, a, config, &stats);
+
+  ASSERT_FALSE(stats.thread_work.empty());
+  EXPECT_LE(stats.thread_work.size(), 2u);
+  std::int64_t tiles = 0;
+  std::int64_t rows = 0;
+  for (std::size_t t = 0; t < stats.thread_work.size(); ++t) {
+    EXPECT_EQ(stats.thread_work[t].thread, static_cast<int>(t));
+    tiles += stats.thread_work[t].tiles;
+    rows += stats.thread_work[t].rows;
+  }
+  EXPECT_EQ(tiles, stats.tiles);
+  EXPECT_EQ(rows, static_cast<std::int64_t>(a.rows()));
+  EXPECT_GE(stats.imbalance_ratio, 1.0);
+  EXPECT_GE(stats.busy_cv, 0.0);
+
+  // The same invariants through the 2D driver: every row is visited once
+  // per column tile.
+  Config2d config2d;
+  config2d.base = config;
+  config2d.num_col_tiles = 3;
+  ExecutionStats stats2d;
+  (void)masked_spgemm_2d<SR>(a, a, a, config2d, &stats2d);
+  std::int64_t rows2d = 0;
+  for (const ThreadWork& t : stats2d.thread_work) {
+    rows2d += t.rows;
+  }
+  EXPECT_EQ(rows2d, static_cast<std::int64_t>(a.rows()) * 3);
+  EXPECT_GE(stats2d.imbalance_ratio, 1.0);
+}
+
+TEST_F(MetricsTest, HwDeltaMachineryIsConsistent) {
+  // Whether or not the machine grants perf counters, the snapshot/delta
+  // algebra over hw must hold: delta(before, after) isolates the region.
+  HwCounters a;
+  a.cycles = 100;
+  a.llc_misses = 7;
+  HwCounters b = a;
+  b.cycles = 250;
+  b.instructions = 40;
+  const HwCounters d = b.minus(a);
+  EXPECT_EQ(d.cycles, 150u);
+  EXPECT_EQ(d.instructions, 40u);
+  EXPECT_EQ(d.llc_misses, 0u);
+  EXPECT_FALSE(d.all_zero());
+  EXPECT_TRUE(a.minus(b).all_zero() || a.minus(b).cycles == 0u);
+
+  MetricsSnapshot before;
+  MetricsSnapshot after;
+  after.hw_total = b;
+  after.per_thread.push_back({0, MetricCounters{}, b});
+  before.hw_total = a;
+  before.per_thread.push_back({0, MetricCounters{}, a});
+  const MetricsSnapshot delta = metrics_delta(before, after);
+  EXPECT_EQ(delta.hw_total.cycles, 150u);
+  ASSERT_EQ(delta.per_thread.size(), 1u);
+  EXPECT_EQ(delta.per_thread[0].hw.cycles, 150u);
 }
 
 TEST_F(MetricsTest, SinkFileReceivesOneLinePerRecord) {

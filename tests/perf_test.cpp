@@ -1,0 +1,117 @@
+// Tests for the hardware-counter layer (support/perf.hpp): HwCounters
+// algebra, the PerfScope fallback contract (inactive scopes are free and
+// return zeros), the runtime override, and the TILQ_PERF classifier.
+// These tests must pass identically on machines with and without working
+// perf_event_open — the fallback IS the behavior under test.
+#include "support/perf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "support/metrics.hpp"
+
+namespace tilq {
+namespace {
+
+TEST(HwCountersTest, AccumulateAndSaturatingMinus) {
+  HwCounters a;
+  a.cycles = 1000;
+  a.instructions = 800;
+  a.llc_loads = 50;
+  a.llc_misses = 10;
+  a.branch_misses = 5;
+  a.stalled_cycles = 200;
+
+  HwCounters b = a;
+  b += a;
+  EXPECT_EQ(b.cycles, 2000u);
+  EXPECT_EQ(b.instructions, 1600u);
+  EXPECT_EQ(b.stalled_cycles, 400u);
+
+  const HwCounters d = b.minus(a);
+  EXPECT_EQ(d.cycles, 1000u);
+  EXPECT_EQ(d.llc_misses, 10u);
+  // Saturating: a - b clamps to zero field-wise instead of wrapping.
+  EXPECT_TRUE(a.minus(b).all_zero());
+}
+
+TEST(HwCountersTest, AllZeroDetectsAnyField) {
+  EXPECT_TRUE(HwCounters{}.all_zero());
+  HwCounters h;
+  h.branch_misses = 1;
+  EXPECT_FALSE(h.all_zero());
+  h = HwCounters{};
+  h.stalled_cycles = 1;
+  EXPECT_FALSE(h.all_zero());
+}
+
+TEST(PerfTest, EnvClassifierMatchesDocumentedSpellings) {
+  EXPECT_TRUE(perf_env_disables("0"));
+  EXPECT_TRUE(perf_env_disables("off"));
+  EXPECT_TRUE(perf_env_disables("OFF"));
+  EXPECT_TRUE(perf_env_disables("false"));
+  EXPECT_TRUE(perf_env_disables("False"));
+  EXPECT_FALSE(perf_env_disables(nullptr));  // unset: first open decides
+  EXPECT_FALSE(perf_env_disables(""));
+  EXPECT_FALSE(perf_env_disables("1"));
+  EXPECT_FALSE(perf_env_disables("on"));
+  EXPECT_FALSE(perf_env_disables("yes"));
+}
+
+TEST(PerfTest, DisabledScopeIsInactiveAndZero) {
+  if (!kMetricsCompiled) {
+    GTEST_SKIP() << "perf compiled out (TILQ_METRICS=OFF build)";
+  }
+  set_perf_enabled(false);
+  EXPECT_FALSE(perf_available());
+  const PerfScope scope;
+  EXPECT_FALSE(scope.active());
+  EXPECT_TRUE(scope.delta().all_zero());
+  EXPECT_TRUE(perf_read_thread().all_zero());
+  set_perf_enabled(true);  // let later tests see the machine's real state
+}
+
+TEST(PerfTest, ExplicitlyDisabledScopeIgnoresAvailability) {
+  const PerfScope scope(/*enable=*/false);
+  EXPECT_FALSE(scope.active());
+  EXPECT_TRUE(scope.delta().all_zero());
+}
+
+TEST(PerfTest, ScopeDeltaIsMonotoneWhenActive) {
+  const PerfScope scope;
+  if (!scope.active()) {
+    // Fallback path (container without perf permissions): the scope must
+    // read as zeros, never garbage.
+    EXPECT_TRUE(scope.delta().all_zero());
+    return;
+  }
+  // Burn some cycles so the delta is observably non-zero.
+  volatile std::uint64_t sink = 0;
+  for (std::uint64_t i = 0; i < 100000; ++i) {
+    sink = sink + i * i;
+  }
+  const HwCounters first = scope.delta();
+  for (std::uint64_t i = 0; i < 100000; ++i) {
+    sink = sink + i * i;
+  }
+  const HwCounters second = scope.delta();
+  EXPECT_GT(first.cycles, 0u);
+  EXPECT_GE(second.cycles, first.cycles);
+  EXPECT_GE(second.instructions, first.instructions);
+}
+
+TEST(PerfTest, CompiledOutBuildIsInert) {
+  if (kMetricsCompiled) {
+    GTEST_SKIP() << "only meaningful in a TILQ_METRICS=OFF build";
+  }
+  EXPECT_FALSE(perf_available());
+  EXPECT_EQ(perf_unavailable_notices(), 0);
+  EXPECT_TRUE(perf_read_thread().all_zero());
+  const PerfScope scope;
+  EXPECT_FALSE(scope.active());
+  EXPECT_TRUE(scope.delta().all_zero());
+}
+
+}  // namespace
+}  // namespace tilq

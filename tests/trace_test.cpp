@@ -1,0 +1,184 @@
+// Tests for the Chrome-trace span layer (support/trace.hpp): span
+// recording and nesting, the JSON shape trace_flush() writes, and the
+// no-op contract when tracing is disabled (at run time and, via the
+// TILQ_METRICS=OFF build, at compile time).
+#include "support/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/masked_spgemm.hpp"
+#include "core/semiring.hpp"
+#include "support/metrics.hpp"
+#include "test_util.hpp"
+
+namespace tilq {
+namespace {
+
+using I = std::int64_t;
+using SR = PlusTimes<double>;
+
+/// Structural JSON validator (balanced braces/brackets outside strings,
+/// escape-aware). A full parser is overkill for asserting the trace file
+/// is loadable; chrome://tracing only needs well-formed JSON.
+bool json_balanced(const std::string& text) {
+  int depth = 0;
+  bool in_string = false;
+  bool escaped = false;
+  for (const char c : text) {
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+    } else if (c == '{' || c == '[') {
+      ++depth;
+    } else if (c == '}' || c == ']') {
+      if (--depth < 0) {
+        return false;
+      }
+    }
+  }
+  return depth == 0 && !in_string;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+/// The numeric value of `key` in the first event after `from` mentioning
+/// `name` (events are one per line, so scanning forward is unambiguous).
+double event_field(const std::string& json, const std::string& name,
+                   const std::string& key) {
+  const std::size_t at = json.find("\"name\":\"" + name + "\"");
+  EXPECT_NE(at, std::string::npos) << "no event named " << name;
+  const std::size_t field = json.find("\"" + key + "\":", at);
+  EXPECT_NE(field, std::string::npos) << key << " missing on " << name;
+  return std::stod(json.substr(field + key.size() + 3));
+}
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!kMetricsCompiled) {
+      GTEST_SKIP() << "tracing compiled out (TILQ_METRICS=OFF build)";
+    }
+    path_ = ::testing::TempDir() + "tilq_trace_test.json";
+    set_trace_path(path_);
+    trace_clear();
+  }
+
+  void TearDown() override {
+    if (kMetricsCompiled) {
+      trace_clear();
+      set_trace_path("");
+      std::remove(path_.c_str());
+    }
+  }
+
+  std::string path_;
+};
+
+TEST_F(TraceTest, NestedSpansRecordInDestructionOrder) {
+  {
+    TraceSpan outer("outer_span");
+    {
+      TraceSpan inner("inner_span", 7);
+    }
+  }
+  EXPECT_EQ(trace_event_count(), 2u);
+  ASSERT_TRUE(trace_flush());
+
+  const std::string json = read_file(path_);
+  EXPECT_TRUE(json_balanced(json)) << json;
+  EXPECT_EQ(json.find("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["), 0u);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"tilq\""), std::string::npos);
+  // The inner span's arg rides along as args.id.
+  EXPECT_NE(json.find("\"args\":{\"id\":7"), std::string::npos) << json;
+  // Complete events are recorded at destruction: inner closes first.
+  EXPECT_LT(json.find("inner_span"), json.find("outer_span"));
+  // Nesting shows in the timestamps: the outer span starts no later than
+  // the inner one and covers at least its duration.
+  EXPECT_LE(event_field(json, "outer_span", "ts"),
+            event_field(json, "inner_span", "ts"));
+  EXPECT_GE(event_field(json, "outer_span", "dur"),
+            event_field(json, "inner_span", "dur"));
+}
+
+TEST_F(TraceTest, KernelRunEmitsPhaseAndTileSpans) {
+  const auto a = test::random_matrix<double, I>(80, 80, 0.05, 17);
+  Config config;
+  config.threads = 2;
+  config.num_tiles = 4;
+  (void)masked_spgemm<SR>(a, a, a, config);
+
+  EXPECT_GE(trace_event_count(), 3u);  // analyze + compute + compact at least
+  ASSERT_TRUE(trace_flush());
+  const std::string json = read_file(path_);
+  EXPECT_TRUE(json_balanced(json)) << json;
+  for (const char* name : {"spgemm.analyze", "spgemm.compute",
+                           "spgemm.compact", "\"name\":\"tile\""}) {
+    EXPECT_NE(json.find(name), std::string::npos) << "missing span " << name;
+  }
+}
+
+TEST_F(TraceTest, RepeatedFlushAlwaysLeavesCompleteFile) {
+  {
+    TraceSpan s("first_span");
+  }
+  ASSERT_TRUE(trace_flush());
+  const std::string once = read_file(path_);
+  {
+    TraceSpan s("second_span");
+  }
+  ASSERT_TRUE(trace_flush());
+  const std::string twice = read_file(path_);
+  EXPECT_TRUE(json_balanced(once));
+  EXPECT_TRUE(json_balanced(twice));
+  EXPECT_NE(twice.find("first_span"), std::string::npos);
+  EXPECT_NE(twice.find("second_span"), std::string::npos);
+  EXPECT_GT(twice.size(), once.size());
+}
+
+TEST(Trace, DisabledTraceRecordsNothing) {
+  set_trace_path("");
+  trace_clear();
+  EXPECT_FALSE(trace_enabled());
+  {
+    TraceSpan span("invisible");
+  }
+  EXPECT_EQ(trace_event_count(), 0u);
+  EXPECT_FALSE(trace_flush());
+}
+
+TEST(Trace, CompiledOutBuildIsInert) {
+  if (kMetricsCompiled) {
+    GTEST_SKIP() << "only meaningful in a TILQ_METRICS=OFF build";
+  }
+  set_trace_path("/nonexistent/never-written.json");
+  EXPECT_FALSE(trace_enabled());
+  EXPECT_TRUE(trace_path().empty());
+  {
+    TraceSpan span("noop");
+  }
+  EXPECT_EQ(trace_event_count(), 0u);
+  EXPECT_FALSE(trace_flush());
+}
+
+}  // namespace
+}  // namespace tilq

@@ -1,0 +1,190 @@
+#!/usr/bin/env python3
+"""Compare two metrics snapshots and flag performance regressions.
+
+A snapshot is a JSON-lines file of tilq metrics records (docs/METRICS.md,
+schema version >= 1) as written by `tools/bench_snapshot.py` (the
+`tilq_bench_snapshot` CMake target) or by any bench binary running with
+TILQ_METRICS=<path>. Records are grouped by (source, matrix, config);
+repeated records for the same key are collapsed to their median
+`median_ms`, which suppresses one-off noise between runs.
+
+Per-key verdicts:
+  REGRESSION  new median slower by more than --threshold (relative)
+  IMPROVED    new median faster by more than --threshold
+  OK          within the noise band
+  NEW / GONE  key present in only one snapshot (informational)
+
+The exit code is the contract CI relies on: non-zero iff at least one
+REGRESSION (missing keys alone do not fail the diff). The work counters
+ride along as a second signal: the kernel is deterministic, so a change
+in flops-per-run means the *work* changed, not the machine — those are
+flagged even when the timing stayed inside the noise band.
+
+    bench_diff.py BASELINE.json CURRENT.json [--threshold 0.10]
+    bench_diff.py --self-test     # harness check, used by CTest
+"""
+
+import argparse
+import json
+import statistics
+import sys
+
+
+def load_snapshot(path: str) -> dict:
+    """{(source, matrix, config): {"ms": median, "flops": per-run flops}}"""
+    groups = {}
+    with open(path, encoding="utf-8") as handle:
+        for line_no, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as error:
+                sys.exit(f"{path}:{line_no}: not valid JSON: {error}")
+            if "tilq_metrics" not in record:
+                continue  # foreign line in a shared sink: skip, don't fail
+            key = (record.get("source", ""), record.get("matrix", ""),
+                   record.get("config", ""))
+            runs = max(1, record.get("runs", 1))
+            flops = (record.get("counters") or {}).get("flops", 0) / runs
+            groups.setdefault(key, []).append(
+                {"ms": record.get("median_ms", 0.0), "flops": flops})
+    if not groups:
+        sys.exit(f"{path}: no tilq metrics records found")
+    return {
+        key: {
+            "ms": statistics.median(r["ms"] for r in records),
+            "flops": statistics.median(r["flops"] for r in records),
+        }
+        for key, records in groups.items()
+    }
+
+
+def diff_snapshots(baseline: dict, current: dict, threshold: float) -> list:
+    """[(key, verdict, detail)] for every key in either snapshot."""
+    results = []
+    for key in sorted(set(baseline) | set(current)):
+        if key not in current:
+            results.append((key, "GONE", "key absent from current snapshot"))
+            continue
+        if key not in baseline:
+            results.append((key, "NEW", "key absent from baseline snapshot"))
+            continue
+        old, new = baseline[key], current[key]
+        if old["ms"] <= 0.0:
+            results.append((key, "OK", "baseline time is zero; skipped"))
+            continue
+        change = (new["ms"] - old["ms"]) / old["ms"]
+        detail = f"{old['ms']:.3f} ms -> {new['ms']:.3f} ms ({change:+.1%})"
+        if old["flops"] > 0 and abs(new["flops"] - old["flops"]) > \
+                0.01 * old["flops"]:
+            detail += (f"; WORK CHANGED: {old['flops']:.0f} -> "
+                       f"{new['flops']:.0f} flops/run")
+        if change > threshold:
+            results.append((key, "REGRESSION", detail))
+        elif change < -threshold:
+            results.append((key, "IMPROVED", detail))
+        else:
+            results.append((key, "OK", detail))
+    return results
+
+
+def report(results: list) -> int:
+    regressions = 0
+    for (source, matrix, config), verdict, detail in results:
+        print(f"{verdict:10s} {source} | {matrix} | {config}")
+        print(f"           {detail}")
+        regressions += verdict == "REGRESSION"
+    total = len(results)
+    print(f"\n{total} configuration(s) compared, {regressions} regression(s)")
+    return 1 if regressions else 0
+
+
+def synthetic_record(matrix: str, config: str, median_ms: float,
+                     flops: int = 120000) -> str:
+    return json.dumps({
+        "tilq_metrics": 2, "source": "selftest", "matrix": matrix,
+        "config": config, "runs": 4, "median_ms": median_ms,
+        "counters": {"flops": 4 * flops}, "hw": None, "imbalance": None,
+        "threads": [],
+    })
+
+
+def self_test() -> int:
+    """Build synthetic snapshots and check every verdict path."""
+    import tempfile
+
+    def write(lines):
+        handle = tempfile.NamedTemporaryFile(
+            "w", suffix=".json", delete=False)
+        handle.write("\n".join(lines) + "\n")
+        handle.close()
+        return handle.name
+
+    base = write([
+        synthetic_record("graphA", "cfg1", 10.0),
+        synthetic_record("graphA", "cfg1", 10.2),  # repeat: median collapses
+        synthetic_record("graphA", "cfg2", 5.0),
+        synthetic_record("graphB", "cfg1", 2.0),
+    ])
+    # cfg1/graphA slowed by 50% (the injected regression), cfg2 within
+    # noise, graphB improved beyond the threshold.
+    current = write([
+        synthetic_record("graphA", "cfg1", 15.0),
+        synthetic_record("graphA", "cfg2", 5.2),
+        synthetic_record("graphB", "cfg1", 1.0, flops=90000),
+    ])
+
+    results = diff_snapshots(load_snapshot(base), load_snapshot(current),
+                             threshold=0.10)
+    verdicts = {key: verdict for key, verdict, _ in results}
+    expected = {
+        ("selftest", "graphA", "cfg1"): "REGRESSION",
+        ("selftest", "graphA", "cfg2"): "OK",
+        ("selftest", "graphB", "cfg1"): "IMPROVED",
+    }
+    if verdicts != expected:
+        print(f"self-test FAILED: got {verdicts}, expected {expected}")
+        return 1
+    if report(results) != 1:
+        print("self-test FAILED: injected regression did not set exit code")
+        return 1
+    details = {key: detail for key, _, detail in results}
+    if "WORK CHANGED" not in details[("selftest", "graphB", "cfg1")]:
+        print("self-test FAILED: flop drift not flagged")
+        return 1
+
+    # A snapshot diffed against itself must be all-OK with exit 0.
+    clean = diff_snapshots(load_snapshot(base), load_snapshot(base), 0.10)
+    if any(verdict != "OK" for _, verdict, _ in clean) or report(clean) != 0:
+        print("self-test FAILED: identical snapshots did not compare clean")
+        return 1
+    print("self-test passed")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("baseline", nargs="?", help="baseline snapshot (JSON lines)")
+    parser.add_argument("current", nargs="?", help="current snapshot (JSON lines)")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="relative slowdown tolerated as noise "
+                             "(default 0.10 = 10%%)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify the harness itself (synthetic data)")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if not args.baseline or not args.current:
+        parser.error("need BASELINE and CURRENT snapshots (or --self-test)")
+    results = diff_snapshots(load_snapshot(args.baseline),
+                             load_snapshot(args.current), args.threshold)
+    return report(results)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Record a performance snapshot: run the bench grid with TILQ_METRICS on.
+
+Runs `tilq_cli` over a small (matrix x config) grid with the metrics sink
+pointed at BENCH_<tag>.json, producing one JSON-lines metrics record per
+cell (docs/METRICS.md). Two snapshots taken on the same machine compare
+with `tools/bench_diff.py`; the committed BENCH_seed.json is the
+repository's reference shape (counters are machine-independent; its
+timings only mean something on the machine that wrote it).
+
+Wired up as the `tilq_bench_snapshot` CMake target:
+
+    cmake --build build --target tilq_bench_snapshot       # BENCH_dev.json
+    TILQ_SNAPSHOT_TAG=after cmake --build build --target tilq_bench_snapshot
+    tools/bench_diff.py BENCH_dev.json BENCH_after.json
+
+The grid is deliberately tiny (seconds, not minutes): the harness exists
+to catch gross regressions cheaply on every change; the full paper grids
+live in the fig* bench binaries.
+"""
+
+import argparse
+import os
+import subprocess
+import sys
+
+# (matrix, extra flags) x config: two structurally different graphs (road:
+# uniform low degree; circuit: skewed rows) under the two interesting
+# strategy/accumulator corners.
+GRID_MATRICES = ["GAP-road", "circuit5M"]
+GRID_CONFIGS = [
+    ["--strategy", "mask-first", "--acc", "hash"],
+    ["--strategy", "hybrid", "--kappa", "1", "--acc", "dense"],
+]
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--cli", required=True,
+                        help="path to the built tilq_cli binary")
+    parser.add_argument("--tag",
+                        default=os.environ.get("TILQ_SNAPSHOT_TAG", "dev"),
+                        help="snapshot name: writes BENCH_<tag>.json "
+                             "(default from TILQ_SNAPSHOT_TAG, else 'dev')")
+    parser.add_argument("--out-dir", default=".",
+                        help="directory for the snapshot file")
+    parser.add_argument("--scale", default="0.05",
+                        help="collection scale for the grid (default 0.05)")
+    parser.add_argument("--repeats", default="3",
+                        help="timing repetitions per cell (default 3)")
+    parser.add_argument("--threads", default="2",
+                        help="threads per run (default 2)")
+    args = parser.parse_args()
+
+    out_path = os.path.abspath(
+        os.path.join(args.out_dir, f"BENCH_{args.tag}.json"))
+    if os.path.exists(out_path):
+        os.remove(out_path)  # the sink appends; a snapshot starts fresh
+
+    env = dict(os.environ)
+    env["TILQ_METRICS"] = out_path
+    env.pop("TILQ_TRACE", None)  # don't let a stray trace slow the grid
+
+    cells = 0
+    for matrix in GRID_MATRICES:
+        for config in GRID_CONFIGS:
+            command = [args.cli, "--graph", matrix, "--scale", args.scale,
+                       "--repeats", args.repeats, "--threads", args.threads,
+                       *config]
+            print(f"snapshot: {' '.join(command[1:])}", flush=True)
+            result = subprocess.run(command, env=env, stdout=subprocess.DEVNULL)
+            if result.returncode != 0:
+                sys.exit(f"snapshot cell failed (exit {result.returncode}): "
+                         f"{' '.join(command)}")
+            cells += 1
+
+    if not os.path.exists(out_path):
+        sys.exit(f"no records written to {out_path} — was tilq_cli built "
+                 "with -DTILQ_METRICS=ON?")
+    with open(out_path, encoding="utf-8") as handle:
+        records = sum(1 for line in handle if line.strip())
+    print(f"wrote {records} record(s) from {cells} cell(s) to {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

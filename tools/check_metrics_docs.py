@@ -1,13 +1,21 @@
 #!/usr/bin/env python3
-"""Doc-lint: keep docs/METRICS.md and src/support/metrics.hpp in sync.
+"""Doc-lint: keep docs/METRICS.md and the observability headers in sync.
 
 Checks, in both directions:
-  * every counter field of MetricCounters appears (backticked) in the
-    counter table of docs/METRICS.md;
-  * every counter the doc's table names exists as a MetricCounters field.
+  * every counter field of MetricCounters (src/support/metrics.hpp)
+    appears (backticked) in the table under '## Counters', and every
+    counter that table names exists as a field;
+  * every hardware counter field of HwCounters (src/support/perf.hpp)
+    appears in the table under '## Hardware counters', and vice versa;
+  * every field the `imbalance` record object emits (scraped from
+    append_imbalance_json in src/support/metrics.cpp) appears in the
+    table under '## Load imbalance', and vice versa;
+  * the schema version the doc advertises ("schema version N" and the
+    `"tilq_metrics":N` example) matches kMetricsSchemaVersion.
 
-Exits non-zero with a readable diff when the two drift apart. Registered
-as the `doc_metrics_lint` CTest entry (skipped when python3 is absent).
+Exits non-zero with a readable diff when any pair drifts apart.
+Registered as the `doc_metrics_lint` CTest entry (skipped when python3
+is absent).
 """
 
 import argparse
@@ -15,28 +23,43 @@ import re
 import sys
 
 
-def counters_in_header(path: str) -> set[str]:
-    """Field names of the MetricCounters struct."""
+def struct_fields(path: str, struct: str) -> set[str]:
+    """uint64 field names of `struct` declared before its first method."""
     text = open(path, encoding="utf-8").read()
-    match = re.search(r"struct MetricCounters \{(.*?)\n\};", text, re.DOTALL)
+    match = re.search(rf"struct {struct} \{{(.*?)\n\}};", text, re.DOTALL)
     if not match:
-        sys.exit(f"{path}: could not find 'struct MetricCounters'")
+        sys.exit(f"{path}: could not find 'struct {struct}'")
     body = match.group(1)
     # Stop at the first member function; fields are declared before them.
-    body = body.split("MetricCounters& operator+=")[0]
+    body = body.split(f"{struct}& operator+=")[0]
     fields = re.findall(r"std::uint64_t (\w+) = 0;", body)
     if not fields:
-        sys.exit(f"{path}: no counter fields matched in MetricCounters")
+        sys.exit(f"{path}: no counter fields matched in {struct}")
     return set(fields)
 
 
-def counters_in_doc(path: str) -> set[str]:
-    """Counter names from the table rows of the '## Counters' section."""
+def imbalance_fields(path: str) -> set[str]:
+    """Keys the `imbalance` JSON object emits (append_imbalance_json)."""
+    text = open(path, encoding="utf-8").read()
+    match = re.search(
+        r"void append_imbalance_json\(.*?\n\}", text, re.DOTALL)
+    if not match:
+        sys.exit(f"{path}: could not find append_imbalance_json")
+    body = match.group(0)
+    names = set(re.findall(r'field\("(\w+)"', body))
+    names |= set(re.findall(r'\\"(\w+)\\":', body))  # hand-emitted keys
+    if not names:
+        sys.exit(f"{path}: no emitted fields matched in append_imbalance_json")
+    return names
+
+
+def doc_table(path: str, section: str) -> set[str]:
+    """Backticked names from the table rows under `section`."""
     names = set()
     in_section = False
     for line in open(path, encoding="utf-8"):
         if line.startswith("## "):
-            in_section = line.strip() == "## Counters"
+            in_section = line.strip() == section
             continue
         if not in_section:
             continue
@@ -44,32 +67,78 @@ def counters_in_doc(path: str) -> set[str]:
         if match:
             names.add(match.group(1))
     if not names:
-        sys.exit(f"{path}: no counter table rows found under '## Counters'")
+        sys.exit(f"{path}: no table rows found under '{section}'")
     return names
+
+
+def header_schema_version(path: str) -> int:
+    text = open(path, encoding="utf-8").read()
+    match = re.search(r"kMetricsSchemaVersion = (\d+);", text)
+    if not match:
+        sys.exit(f"{path}: could not find kMetricsSchemaVersion")
+    return int(match.group(1))
+
+
+def doc_schema_versions(path: str) -> set[int]:
+    """Every version number the doc claims, prose and JSON example alike."""
+    text = open(path, encoding="utf-8").read()
+    claims = re.findall(r"schema version (\d+)", text)
+    claims += re.findall(r'"tilq_metrics":(\d+)', text)
+    if not claims:
+        sys.exit(f"{path}: no schema version claims found")
+    return {int(v) for v in claims}
+
+
+def diff(kind: str, code: set[str], doc: set[str], doc_path: str,
+         code_path: str) -> bool:
+    undocumented = sorted(code - doc)
+    phantom = sorted(doc - code)
+    if undocumented:
+        print(f"{kind} missing from {doc_path}:")
+        for name in undocumented:
+            print(f"  {name}")
+    if phantom:
+        print(f"{kind} documented in {doc_path} but absent from {code_path}:")
+        for name in phantom:
+            print(f"  {name}")
+    return bool(undocumented or phantom)
 
 
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--header", default="src/support/metrics.hpp")
+    parser.add_argument("--perf-header", default="src/support/perf.hpp")
+    parser.add_argument("--impl", default="src/support/metrics.cpp")
     parser.add_argument("--doc", default="docs/METRICS.md")
     args = parser.parse_args()
 
-    header = counters_in_header(args.header)
-    doc = counters_in_doc(args.doc)
+    bad = False
+    counters = struct_fields(args.header, "MetricCounters")
+    bad |= diff("counters", counters, doc_table(args.doc, "## Counters"),
+                args.doc, args.header)
 
-    undocumented = sorted(header - doc)
-    phantom = sorted(doc - header)
-    if undocumented:
-        print(f"counters missing from {args.doc}:")
-        for name in undocumented:
-            print(f"  {name}")
-    if phantom:
-        print(f"counters documented in {args.doc} but absent from {args.header}:")
-        for name in phantom:
-            print(f"  {name}")
-    if undocumented or phantom:
+    hw = struct_fields(args.perf_header, "HwCounters")
+    bad |= diff("hw counters", hw,
+                doc_table(args.doc, "## Hardware counters"),
+                args.doc, args.perf_header)
+
+    imbalance = imbalance_fields(args.impl)
+    bad |= diff("imbalance fields", imbalance,
+                doc_table(args.doc, "## Load imbalance"),
+                args.doc, args.impl)
+
+    version = header_schema_version(args.header)
+    claimed = doc_schema_versions(args.doc)
+    if claimed != {version}:
+        print(f"schema version mismatch: {args.header} declares {version}, "
+              f"{args.doc} claims {sorted(claimed)}")
+        bad = True
+
+    if bad:
         return 1
-    print(f"ok: {len(header)} counters consistent between header and doc")
+    print(f"ok: {len(counters)} counters, {len(hw)} hw fields, "
+          f"{len(imbalance)} imbalance fields, schema v{version} "
+          "consistent between code and doc")
     return 0
 
 
