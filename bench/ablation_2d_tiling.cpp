@@ -29,17 +29,17 @@ int main() {
     std::string csv = "CSV,ablation2d," + name;
     for (const std::int64_t ct : col_tile_counts) {
       tilq::Config2d config;
-      config.base.strategy = tilq::MaskStrategy::kHybrid;
-      config.base.coiteration_factor = 1.0;
-      config.base.tiling = tilq::Tiling::kFlopBalanced;
-      config.base.schedule = tilq::Schedule::kDynamic;
-      config.base.num_tiles = std::min<std::int64_t>(1024, a.rows());
-      config.base.threads = threads;
+      config.strategy = tilq::MaskStrategy::kHybrid;
+      config.coiteration_factor = 1.0;
+      config.tiling = tilq::Tiling::kFlopBalanced;
+      config.schedule = tilq::Schedule::kDynamic;
+      config.num_tiles = std::min<std::int64_t>(1024, a.rows());
+      config.threads = threads;
       config.num_col_tiles = ct;
       const tilq::TimingResult result = tilq::bench::measure_with_metrics(
           [&] { (void)tilq::masked_spgemm_2d<SR>(a, a, a, config); }, timing,
           name,
-          config.base.describe() + " col_tiles=" + std::to_string(ct));
+          config.base().describe() + " col_tiles=" + std::to_string(ct));
       std::printf(" %8.2f", result.median_ms);
       csv += "," + std::to_string(result.median_ms);
     }

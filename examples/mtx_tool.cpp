@@ -42,7 +42,7 @@ int inspect(const std::string& path) {
     tilq::Config config;
     tilq::ExecutionStats exec;
     tilq::WallTimer timer;
-    const auto c = tilq::masked_spgemm<SR>(graph, graph, graph, config, &exec);
+    const auto c = tilq::masked_spgemm<SR>(graph, graph, graph, config, exec);
     std::printf("  C = A .* (A x A): nnz=%lld in %.1f ms [%s]\n",
                 static_cast<long long>(c.nnz()), timer.milliseconds(),
                 config.describe().c_str());

@@ -34,7 +34,7 @@ int main() {
   using Semiring = tilq::PlusPair<std::int64_t>;
   const auto a = tilq::convert_values<std::int64_t>(graph);
   tilq::ExecutionStats exec;
-  const auto c = tilq::masked_spgemm<Semiring>(a, a, a, config, &exec);
+  const auto c = tilq::masked_spgemm<Semiring>(a, a, a, config, exec);
   std::printf("masked-SpGEMM [%s]\n", config.describe().c_str());
   std::printf("  output nnz=%lld tiles=%lld compute=%.2f ms\n",
               static_cast<long long>(exec.output_nnz),

@@ -267,11 +267,11 @@ int main(int argc, char** argv) {
   if (options.col_tiles > 1) {
     tilq::Config2d config2d{options.config, options.col_tiles};
     result = tilq::measure(
-        [&] { (void)tilq::masked_spgemm_2d<SR>(a, a, a, config2d, &exec); },
+        [&] { (void)tilq::masked_spgemm_2d<SR>(a, a, a, config2d, exec); },
         timing);
   } else {
     result = tilq::measure(
-        [&] { (void)tilq::masked_spgemm<SR>(a, a, a, options.config, &exec); },
+        [&] { (void)tilq::masked_spgemm<SR>(a, a, a, options.config, exec); },
         timing);
   }
 

@@ -1,5 +1,9 @@
 #include "algos/bfs_la.hpp"
 
+#include <cstdint>
+#include <span>
+#include <vector>
+
 #include "core/semiring.hpp"
 #include "core/spmv.hpp"
 #include "sparse/vector.hpp"
@@ -59,6 +63,12 @@ BfsLaResult bfs_linear_algebra(const Csr<double, std::int64_t>& adj,
   Vec visited = frontier;
   std::int64_t depth = 0;
 
+  // Pull-step scratch, hoisted across levels: the dense frontier expansion
+  // is O(n) to allocate but only O(frontier.nnz()) to scatter and clear, so
+  // keeping the buffers alive turns per-level allocations into none.
+  std::vector<double> dense_x;
+  std::vector<std::uint8_t> present_x;
+
   using SR = PlusTimes<double>;  // values are structural; any semiring works
   while (!frontier.empty()) {
     ++depth;
@@ -73,7 +83,23 @@ BfsLaResult bfs_linear_algebra(const Csr<double, std::int64_t>& adj,
       ++result.pull_steps;
       // next = unvisited ⊙ (A · frontier): a masked SpMV where the mask is
       // the complement of the visited set, materialized sparsely.
-      next = masked_spmv<SR>(unvisited_mask(visited), adj, frontier);
+      if (dense_x.empty()) {
+        dense_x.assign(static_cast<std::size_t>(n), SR::zero());
+        present_x.assign(static_cast<std::size_t>(n), 0);
+      }
+      const auto idx = frontier.indices();
+      const auto val = frontier.values();
+      for (std::size_t p = 0; p < idx.size(); ++p) {
+        dense_x[static_cast<std::size_t>(idx[p])] = val[p];
+        present_x[static_cast<std::size_t>(idx[p])] = 1;
+      }
+      next = masked_spmv<SR>(unvisited_mask(visited), adj,
+                             std::span<const double>(dense_x),
+                             std::span<const std::uint8_t>(present_x));
+      for (const std::int64_t v : idx) {  // sparse clear, not O(n) memset
+        dense_x[static_cast<std::size_t>(v)] = SR::zero();
+        present_x[static_cast<std::size_t>(v)] = 0;
+      }
     } else {
       ++result.push_steps;
       // next = ¬visited ⊙ (Aᵀ · frontier); adjacency is symmetric so A

@@ -4,7 +4,6 @@
 #include <vector>
 
 #include "algos/triangle_count.hpp"
-#include "core/masked_spgemm.hpp"
 #include "sparse/ops.hpp"
 #include "support/common.hpp"
 
@@ -54,6 +53,12 @@ Csr<double, std::int64_t> filter_by_support(
 
 KtrussResult ktruss(const Csr<double, std::int64_t>& adj, int k,
                     const Config& config) {
+  TrianglePlanCache cache;
+  return ktruss(adj, k, config, cache);
+}
+
+KtrussResult ktruss(const Csr<double, std::int64_t>& adj, int k,
+                    const Config& config, TrianglePlanCache& cache) {
   require(adj.rows() == adj.cols(), "ktruss: adjacency must be square");
   require(k >= 2, "ktruss: k must be >= 2");
 
@@ -63,7 +68,7 @@ KtrussResult ktruss(const Csr<double, std::int64_t>& adj, int k,
 
   while (true) {
     ++result.iterations;
-    const auto support = edge_support(result.truss, config);
+    const auto support = edge_support(result.truss, config, cache);
     Csr<double, std::int64_t> next =
         filter_by_support(result.truss, support, threshold);
     const bool converged = next.nnz() == result.truss.nnz();
@@ -79,8 +84,9 @@ KtrussResult ktruss(const Csr<double, std::int64_t>& adj, int k,
 int max_truss(const Csr<double, std::int64_t>& adj, const Config& config) {
   int k = 2;
   Csr<double, std::int64_t> current = adj;
+  TrianglePlanCache cache;  // workspaces stay warm across all k levels
   while (true) {
-    const KtrussResult next = ktruss(current, k + 1, config);
+    const KtrussResult next = ktruss(current, k + 1, config, cache);
     if (next.edges == 0) {
       return k;
     }

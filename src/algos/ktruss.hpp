@@ -13,6 +13,7 @@
 
 #include <cstdint>
 
+#include "algos/triangle_count.hpp"
 #include "core/config.hpp"
 #include "sparse/csr.hpp"
 
@@ -33,7 +34,15 @@ struct KtrussResult {
 KtrussResult ktruss(const Csr<double, std::int64_t>& adj, int k,
                     const Config& config = {});
 
+/// As above, running every support product through `cache`. The iterates
+/// shrink, so each round replans, but the pooled accumulator workspaces
+/// carry over (capacity only shrinks demands, never grows them) — the
+/// allocation cost of the support kernel is paid once, not per round.
+KtrussResult ktruss(const Csr<double, std::int64_t>& adj, int k,
+                    const Config& config, TrianglePlanCache& cache);
+
 /// Largest k such that the k-truss is non-empty (the graph's trussness).
+/// Internally shares one TrianglePlanCache across all k levels.
 int max_truss(const Csr<double, std::int64_t>& adj, const Config& config = {});
 
 }  // namespace tilq

@@ -2,7 +2,6 @@
 
 #include <numeric>
 
-#include "core/masked_spgemm.hpp"
 #include "sparse/ops.hpp"
 #include "support/common.hpp"
 
@@ -32,25 +31,31 @@ const char* to_string(TriangleMethod method) noexcept {
 
 std::int64_t count_triangles(const Csr<double, std::int64_t>& adj,
                              TriangleMethod method, const Config& config) {
+  TrianglePlanCache cache;  // single shot: plans once, same as before
+  return count_triangles(adj, method, config, cache);
+}
+
+std::int64_t count_triangles(const Csr<double, std::int64_t>& adj,
+                             TriangleMethod method, const Config& config,
+                             TrianglePlanCache& cache) {
   require(adj.rows() == adj.cols(), "count_triangles: adjacency must be square");
   const CountMatrix a = convert_values<std::int64_t>(adj);
 
   switch (method) {
     case TriangleMethod::kBurkhardt: {
       // Every triangle appears once per ordered vertex pair: 6 times.
-      const CountMatrix c = masked_spgemm<CountSemiring>(a, a, a, config);
+      const CountMatrix c = cache.execute(a, a, a, config);
       return sum_values(c) / 6;
     }
     case TriangleMethod::kCohen: {
       const CountMatrix lower = tril(a);
       const CountMatrix upper = triu(a);
-      const CountMatrix c = masked_spgemm<CountSemiring>(a, lower, upper, config);
+      const CountMatrix c = cache.execute(a, lower, upper, config);
       return sum_values(c) / 2;
     }
     case TriangleMethod::kSandia: {
       const CountMatrix lower = tril(a);
-      const CountMatrix c =
-          masked_spgemm<CountSemiring>(lower, lower, lower, config);
+      const CountMatrix c = cache.execute(lower, lower, lower, config);
       return sum_values(c);
     }
   }
@@ -60,10 +65,17 @@ std::int64_t count_triangles(const Csr<double, std::int64_t>& adj,
 
 Csr<std::int64_t, std::int64_t> edge_support(const Csr<double, std::int64_t>& adj,
                                              const Config& config) {
+  TrianglePlanCache cache;
+  return edge_support(adj, config, cache);
+}
+
+Csr<std::int64_t, std::int64_t> edge_support(const Csr<double, std::int64_t>& adj,
+                                             const Config& config,
+                                             TrianglePlanCache& cache) {
   require(adj.rows() == adj.cols(), "edge_support: adjacency must be square");
   const CountMatrix a = convert_values<std::int64_t>(adj);
   // support(u,v) = |N(u) ∩ N(v)| over existing edges = (A ⊙ A·A)[u,v].
-  return masked_spgemm<CountSemiring>(a, a, a, config);
+  return cache.execute(a, a, a, config);
 }
 
 }  // namespace tilq

@@ -14,6 +14,8 @@
 #include <cstdint>
 
 #include "core/config.hpp"
+#include "core/plan.hpp"
+#include "core/semiring.hpp"
 #include "sparse/csr.hpp"
 
 namespace tilq {
@@ -22,6 +24,13 @@ enum class TriangleMethod { kBurkhardt, kCohen, kSandia };
 
 [[nodiscard]] const char* to_string(TriangleMethod method) noexcept;
 
+/// Plan cache for the PLUS_PAIR support kernel shared by triangle counting
+/// and k-truss. One cache amortizes tiling, hybrid κ decisions, and
+/// accumulator workspaces across repeated calls: identical sparsity reuses
+/// the plan outright, and even after a structure change (k-truss's shrinking
+/// iterates) the pooled accumulators survive the replan.
+using TrianglePlanCache = PlanCache<PlusPair<std::int64_t>>;
+
 /// Counts triangles in the undirected graph with symmetric adjacency matrix
 /// `adj` (values ignored; self-loops must already be removed). `config`
 /// selects the masked-SpGEMM implementation.
@@ -29,10 +38,23 @@ std::int64_t count_triangles(const Csr<double, std::int64_t>& adj,
                              TriangleMethod method = TriangleMethod::kSandia,
                              const Config& config = {});
 
+/// As above, running the masked product through `cache` so repeated counts
+/// (same graph, or a sequence of related graphs) reuse plans and pooled
+/// accumulator workspaces.
+std::int64_t count_triangles(const Csr<double, std::int64_t>& adj,
+                             TriangleMethod method, const Config& config,
+                             TrianglePlanCache& cache);
+
 /// Per-edge triangle support: support[e] = number of triangles containing
 /// edge e, laid out in the same order as adj's entries. Computed as
 /// A ⊙ (A·A) with PLUS_PAIR. The building block for k-truss.
 Csr<std::int64_t, std::int64_t> edge_support(
     const Csr<double, std::int64_t>& adj, const Config& config = {});
+
+/// As above, through `cache` (the k-truss inner loop calls this every
+/// iteration; the cache keeps accumulator workspaces warm across them).
+Csr<std::int64_t, std::int64_t> edge_support(
+    const Csr<double, std::int64_t>& adj, const Config& config,
+    TrianglePlanCache& cache);
 
 }  // namespace tilq

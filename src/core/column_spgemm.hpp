@@ -12,6 +12,7 @@
 #include "core/config.hpp"
 #include "core/masked_spgemm.hpp"
 #include "sparse/csc.hpp"
+#include "support/trace.hpp"
 
 namespace tilq {
 
@@ -19,13 +20,37 @@ namespace tilq {
 /// output's columns; the accumulator indexes output rows.
 template <Semiring SR, class T = typename SR::value_type, class I>
 Csc<T, I> masked_spgemm_csc(const Csc<T, I>& mask, const Csc<T, I>& a,
-                            const Csc<T, I>& b, const Config& config = {},
-                            ExecutionStats* stats = nullptr) {
+                            const Csc<T, I>& b, const Config& config = {}) {
   // Dual problem: rows of the duals are columns of the logical matrices, so
   // the row-wise driver computes Cᵀ = Mᵀ ⊙ (Bᵀ × Aᵀ) directly on the
   // stored arrays — no transposes are materialized.
+  TraceSpan span("spgemm.csc");
+  return Csc<T, I>(masked_spgemm<SR>(mask.dual(), b.dual(), a.dual(), config));
+}
+
+/// As above, filling `stats`. The dual-transpose path forwards `stats` (and
+/// tracing) to the row-wise driver unchanged, so the CSC entry point
+/// reports exactly what its underlying CSR run measured.
+template <Semiring SR, class T = typename SR::value_type, class I>
+Csc<T, I> masked_spgemm_csc(const Csc<T, I>& mask, const Csc<T, I>& a,
+                            const Csc<T, I>& b, const Config& config,
+                            ExecutionStats& stats) {
+  TraceSpan span("spgemm.csc");
   return Csc<T, I>(
       masked_spgemm<SR>(mask.dual(), b.dual(), a.dual(), config, stats));
+}
+
+/// Deprecated pointer-based statistics out-parameter; use the
+/// ExecutionStats& overload (or no stats argument at all) instead.
+template <Semiring SR, class T = typename SR::value_type, class I>
+[[deprecated("pass ExecutionStats by reference (or omit the argument)")]]
+Csc<T, I> masked_spgemm_csc(const Csc<T, I>& mask, const Csc<T, I>& a,
+                            const Csc<T, I>& b, const Config& config,
+                            ExecutionStats* stats) {
+  if (stats == nullptr) {
+    return masked_spgemm_csc<SR, T, I>(mask, a, b, config);
+  }
+  return masked_spgemm_csc<SR, T, I>(mask, a, b, config, *stats);
 }
 
 }  // namespace tilq

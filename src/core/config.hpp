@@ -36,6 +36,8 @@ struct Config {
   /// Threads for the parallel region; 0 uses the OpenMP default.
   int threads = 0;
 
+  [[nodiscard]] bool operator==(const Config&) const = default;
+
   [[nodiscard]] std::string describe() const {
     std::string out;
     out += "strategy=";
@@ -57,6 +59,28 @@ struct Config {
       out += std::to_string(coiteration_factor);
     }
     return out;
+  }
+};
+
+/// 2D configuration: the 1D Config plus a column tile count. A Config2d IS
+/// a Config (public base) so every 1D field is accessed directly and the
+/// two entry points cannot drift; `Config2d{config, n}` aggregate-extends a
+/// 1D config. The vanilla strategy is not supported with num_col_tiles > 1
+/// (its unmasked merge phase has no column-restricted formulation that
+/// preserves its semantics). num_col_tiles = 1 degenerates to the 1D
+/// algorithm.
+struct Config2d : Config {
+  std::int64_t num_col_tiles = 1;
+
+  /// The shared 1D slice, for call sites that need an explicit `Config&`
+  /// (e.g. handing a 2D config to a 1D entry point).
+  [[nodiscard]] Config& base() noexcept { return *this; }
+  [[nodiscard]] const Config& base() const noexcept { return *this; }
+
+  [[nodiscard]] bool operator==(const Config2d&) const = default;
+
+  [[nodiscard]] std::string describe() const {
+    return Config::describe() + " col-tiles=" + std::to_string(num_col_tiles);
   }
 };
 

@@ -1,293 +1,31 @@
 // The tilq masked-SpGEMM: C = M ⊙ (A × B) over an arbitrary semiring, with
 // every performance dimension of the paper exposed through Config.
 //
-// Execution pipeline:
+// Execution pipeline (implemented by the plan/execute runtime in
+// core/plan.hpp; this header is the one-shot convenience entry point —
+// plan once, execute once):
 //   1. analyze  — per-row work estimates (Eq 2) when FLOP-balanced tiling is
-//                 requested; tile construction.
+//                 requested; tile construction; hybrid κ decisions;
+//                 accumulator sizing. This is Executor::plan().
 //   2. compute  — one OpenMP parallel region; tiles dispatched with
 //                 schedule(runtime) so STATIC/DYNAMIC is a runtime switch;
-//                 each thread owns one accumulator; every output row is
-//                 written into a slot of size nnz(M[i,:]) inside a buffer
+//                 each thread owns one pooled accumulator; every output row
+//                 is written into a slot of size nnz(M[i,:]) inside a buffer
 //                 allocated at the mask's row-pointer bound (masked output
 //                 rows can never exceed the mask row).
 //   3. compact  — parallel prefix sum over actual row sizes + parallel copy
 //                 into the final CSR arrays.
+//
+// Iterative callers with a fixed sparsity pattern should hold a
+// tilq::Executor (or tilq::PlanCache) instead and pay phase 1 once — see
+// docs/API.md.
 #pragma once
 
-#include <omp.h>
-
-#include <algorithm>
-#include <cmath>
-#include <utility>
-#include <vector>
-
-#include "accum/bitmap_accumulator.hpp"
-#include "accum/dense_accumulator.hpp"
-#include "accum/hash_accumulator.hpp"
 #include "core/config.hpp"
-#include "core/kernels.hpp"
-#include "core/tiling.hpp"
-#include "core/work_estimate.hpp"
+#include "core/plan.hpp"
 #include "sparse/csr.hpp"
-#include "sparse/stats.hpp"
-#include "support/env.hpp"
-#include "support/metrics.hpp"
-#include "support/parallel.hpp"
-#include "support/perf.hpp"
-#include "support/timer.hpp"
-#include "support/trace.hpp"
 
 namespace tilq {
-
-namespace detail {
-
-/// Folds the team's per-thread compute shares into `stats`: the raw
-/// breakdown plus the derived imbalance statistics (max/mean busy ratio
-/// and the coefficient of variation — the measured counterpart of the
-/// model's predicted row-work CV). `work` is indexed by OpenMP thread
-/// number and sized for the requested team; `team_size` is how many
-/// threads the runtime actually granted.
-inline void finalize_thread_work(std::vector<ThreadWork>&& work,
-                                 int team_size, ExecutionStats* stats) {
-  if (stats == nullptr) {
-    return;
-  }
-  if (team_size > 0 &&
-      static_cast<std::size_t>(team_size) < work.size()) {
-    work.resize(static_cast<std::size_t>(team_size));
-  }
-  double sum = 0.0;
-  double sum_sq = 0.0;
-  double max = 0.0;
-  for (const ThreadWork& t : work) {
-    sum += t.busy_ms;
-    sum_sq += t.busy_ms * t.busy_ms;
-    max = std::max(max, t.busy_ms);
-  }
-  if (!work.empty() && sum > 0.0) {
-    const double n = static_cast<double>(work.size());
-    const double mean = sum / n;
-    const double variance = std::max(0.0, sum_sq / n - mean * mean);
-    stats->imbalance_ratio = max / mean;
-    stats->busy_cv = std::sqrt(variance) / mean;
-  }
-  stats->thread_work = std::move(work);
-}
-
-/// The strategy-independent parallel driver, templated on the concrete
-/// accumulator type. `make_acc()` constructs one accumulator per thread.
-template <Semiring SR, class T, class I, class MakeAcc>
-Csr<T, I> masked_spgemm_with(const Csr<T, I>& mask, const Csr<T, I>& a,
-                             const Csr<T, I>& b, const Config& config,
-                             MakeAcc&& make_acc, ExecutionStats* stats) {
-  require(a.cols() == b.rows(), "masked_spgemm: inner dimensions must agree");
-  require(mask.rows() == a.rows() && mask.cols() == b.cols(),
-          "masked_spgemm: mask shape must equal output shape");
-
-  WallTimer phase;
-  const I rows = a.rows();
-
-  // --- 1. analyze -------------------------------------------------------
-  const int threads = config.threads > 0 ? config.threads : max_threads();
-  const std::int64_t num_tiles =
-      config.num_tiles > 0 ? config.num_tiles : 2 * static_cast<std::int64_t>(threads);
-
-  std::vector<Tile> tiles;
-  {
-    TraceSpan span("spgemm.analyze");
-    if (config.tiling == Tiling::kFlopBalanced) {
-      const std::vector<std::int64_t> prefix = row_work_prefix(mask, a, b);
-      tiles = make_flop_balanced_tiles(prefix, num_tiles);
-    } else {
-      tiles = make_uniform_tiles(rows, num_tiles);
-    }
-  }
-  if (stats != nullptr) {
-    stats->analyze_ms = phase.milliseconds();
-    stats->tiles = static_cast<std::int64_t>(tiles.size());
-  }
-
-  // --- 2. compute -------------------------------------------------------
-  phase.reset();
-  // Row i writes into [mask.row_ptr[i], mask.row_ptr[i+1]) of the bound
-  // buffers; row_counts[i] records how many slots it actually used.
-  const auto mask_row_ptr = mask.row_ptr();
-  std::vector<I> bound_cols(static_cast<std::size_t>(mask.nnz()));
-  std::vector<T> bound_vals(static_cast<std::size_t>(mask.nnz()));
-  std::vector<I> row_counts(static_cast<std::size_t>(rows), I{0});
-
-  set_runtime_schedule(config.schedule);
-  const auto tile_count = static_cast<std::int64_t>(tiles.size());
-
-  std::uint64_t total_resets = 0;
-  std::uint64_t total_probes = 0;
-  std::uint64_t total_inserts = 0;
-  std::uint64_t total_rejects = 0;
-  std::uint64_t total_collisions = 0;
-  std::uint64_t total_row_resets = 0;
-  std::uint64_t total_explicit_clears = 0;
-
-  // Per-thread compute shares, indexed by OpenMP thread number; the
-  // measured load-imbalance signal next to the model's predicted CV.
-  std::vector<ThreadWork> thread_work(static_cast<std::size_t>(threads));
-  int team_size = threads;
-
-  {
-    TraceSpan compute_span("spgemm.compute");
-
-#pragma omp parallel num_threads(threads)                                  \
-    reduction(+ : total_resets, total_probes, total_inserts, total_rejects, \
-                  total_collisions, total_row_resets, total_explicit_clears)
-    {
-      const int thread_num = omp_get_thread_num();
-#pragma omp single
-      team_size = omp_get_num_threads();
-
-      auto acc = make_acc();
-#if TILQ_METRICS_ENABLED
-      MetricCounters* const thread_counters = metrics_thread_counters();
-      // Hardware counters for this thread's share of the region; inactive
-      // (zero-cost) when metrics are off or perf_event_open failed.
-      const PerfScope perf_scope(thread_counters != nullptr);
-#endif
-      std::int64_t my_tiles = 0;
-      std::int64_t my_rows = 0;
-      WallTimer busy;
-
-#pragma omp for schedule(runtime) nowait
-      for (std::int64_t t = 0; t < tile_count; ++t) {
-        const Tile tile = tiles[static_cast<std::size_t>(t)];
-        TraceSpan tile_span("tile", t);
-        ++my_tiles;
-        my_rows += tile.row_end - tile.row_begin;
-        for (I i = static_cast<I>(tile.row_begin); i < static_cast<I>(tile.row_end); ++i) {
-          I* out_cols = bound_cols.data() + mask_row_ptr[static_cast<std::size_t>(i)];
-          T* out_vals = bound_vals.data() + mask_row_ptr[static_cast<std::size_t>(i)];
-          I count = 0;
-          compute_row<SR>(config.strategy, config.coiteration_factor, mask, a, b,
-                          i, acc, [&](I col, T value) {
-                            out_cols[count] = col;
-                            out_vals[count] = value;
-                            ++count;
-                          });
-          row_counts[static_cast<std::size_t>(i)] = count;
-        }
-      }
-      const double busy_ms = busy.milliseconds();
-      if (thread_num >= 0 && thread_num < threads) {
-        thread_work[static_cast<std::size_t>(thread_num)] = {
-            thread_num, busy_ms, my_tiles, my_rows};
-      }
-
-      const AccumulatorCounters& acc_counters = acc.counters();
-      total_resets += acc_counters.full_resets;
-      total_probes += acc_counters.probes;
-      total_inserts += acc_counters.inserts;
-      total_rejects += acc_counters.rejects;
-      total_collisions += acc_counters.collisions;
-      total_row_resets += acc_counters.row_resets;
-      total_explicit_clears += acc_counters.explicit_clears;
-#if TILQ_METRICS_ENABLED
-      // Per-accumulator counters fold into the owning thread's global slot
-      // so the metrics registry sees the same totals as ExecutionStats.
-      if (thread_counters != nullptr) {
-        thread_counters->tiles_executed += static_cast<std::uint64_t>(my_tiles);
-        thread_counters->rows_processed += static_cast<std::uint64_t>(my_rows);
-        thread_counters->busy_ns += static_cast<std::uint64_t>(busy_ms * 1e6);
-        thread_counters->hash_probes += acc_counters.probes;
-        thread_counters->hash_collisions += acc_counters.collisions;
-        thread_counters->accum_inserts += acc_counters.inserts;
-        thread_counters->accum_rejects += acc_counters.rejects;
-        thread_counters->marker_row_resets += acc_counters.row_resets;
-        thread_counters->marker_overflow_resets += acc_counters.full_resets;
-        thread_counters->explicit_reset_slots += acc_counters.explicit_clears;
-        if (HwCounters* const hw = metrics_thread_hw()) {
-          *hw += perf_scope.delta();
-        }
-      }
-#endif
-    }
-  }
-  if (stats != nullptr) {
-    stats->compute_ms = phase.milliseconds();
-    stats->accumulator_full_resets = total_resets;
-    stats->hash_probes = total_probes;
-    stats->accum_inserts = total_inserts;
-    stats->accum_rejects = total_rejects;
-    stats->hash_collisions = total_collisions;
-    stats->marker_row_resets = total_row_resets;
-    stats->explicit_reset_slots = total_explicit_clears;
-  }
-  detail::finalize_thread_work(std::move(thread_work), team_size, stats);
-
-  // --- 3. compact -------------------------------------------------------
-  phase.reset();
-  TraceSpan compact_span("spgemm.compact");
-  std::vector<I> out_row_ptr(static_cast<std::size_t>(rows) + 1);
-  const I out_nnz = exclusive_scan<I>(row_counts, out_row_ptr);
-  std::vector<I> out_cols(static_cast<std::size_t>(out_nnz));
-  std::vector<T> out_vals(static_cast<std::size_t>(out_nnz));
-  parallel_for(I{0}, rows, [&](I i) {
-    const auto src = static_cast<std::size_t>(mask_row_ptr[static_cast<std::size_t>(i)]);
-    const auto dst = static_cast<std::size_t>(out_row_ptr[static_cast<std::size_t>(i)]);
-    const auto len = static_cast<std::size_t>(row_counts[static_cast<std::size_t>(i)]);
-    for (std::size_t p = 0; p < len; ++p) {
-      out_cols[dst + p] = bound_cols[src + p];
-      out_vals[dst + p] = bound_vals[src + p];
-    }
-  });
-  Csr<T, I> result(rows, b.cols(), std::move(out_row_ptr), std::move(out_cols),
-                   std::move(out_vals));
-  if (stats != nullptr) {
-    stats->compact_ms = phase.milliseconds();
-    stats->output_nnz = static_cast<std::int64_t>(result.nnz());
-  }
-  return result;
-}
-
-/// Accumulator sizing (§III-C): the hash table is bounded by the maximal
-/// mask-row nnz, except the vanilla strategy which fills the accumulator
-/// before masking and therefore needs the per-row FLOP bound.
-template <class T, class I>
-I accumulator_row_bound(const Csr<T, I>& mask, const Csr<T, I>& a,
-                        const Csr<T, I>& b, MaskStrategy strategy) {
-  if (strategy != MaskStrategy::kVanilla) {
-    return max_row_nnz(mask);
-  }
-  I bound = 0;
-  for (I i = 0; i < a.rows(); ++i) {
-    bound = std::max(bound, row_flop_bound(a, b, i));
-  }
-  return std::max(bound, max_row_nnz(mask));
-}
-
-template <Semiring SR, class T, class I, class Marker>
-Csr<T, I> dispatch_accumulator(const Csr<T, I>& mask, const Csr<T, I>& a,
-                               const Csr<T, I>& b, const Config& config,
-                               ExecutionStats* stats) {
-  switch (config.accumulator) {
-    case AccumulatorKind::kDense:
-      return masked_spgemm_with<SR>(
-          mask, a, b, config,
-          [&] { return DenseAccumulator<SR, I, Marker>(b.cols(), config.reset); },
-          stats);
-    case AccumulatorKind::kBitmap:
-      // 1-bit flags: the marker width and reset policy are fixed by the
-      // representation (explicit reset only).
-      return masked_spgemm_with<SR>(
-          mask, a, b, config, [&] { return BitmapAccumulator<SR, I>(b.cols()); },
-          stats);
-    case AccumulatorKind::kHash:
-      break;
-  }
-  const I bound = accumulator_row_bound(mask, a, b, config.strategy);
-  return masked_spgemm_with<SR>(
-      mask, a, b, config,
-      [&] { return HashAccumulator<SR, I, Marker>(bound, config.reset); },
-      stats);
-}
-
-}  // namespace detail
 
 /// Masked sparse matrix-matrix product C = M ⊙ (A × B) over semiring SR.
 /// The mask is structural: its values are ignored, only its pattern filters
@@ -295,26 +33,40 @@ Csr<T, I> dispatch_accumulator(const Csr<T, I>& mask, const Csr<T, I>& a,
 /// sorted; nnz(C[i,:]) <= nnz(M[i,:]).
 template <Semiring SR, class T = typename SR::value_type, class I>
 Csr<T, I> masked_spgemm(const Csr<T, I>& mask, const Csr<T, I>& a,
-                        const Csr<T, I>& b, const Config& config = {},
-                        ExecutionStats* stats = nullptr) {
+                        const Csr<T, I>& b, const Config& config = {}) {
   static_assert(std::is_same_v<T, typename SR::value_type>,
                 "matrix value type must match the semiring");
-  switch (config.marker_width) {
-    case MarkerWidth::k8:
-      return detail::dispatch_accumulator<SR, T, I, std::uint8_t>(mask, a, b,
-                                                                  config, stats);
-    case MarkerWidth::k16:
-      return detail::dispatch_accumulator<SR, T, I, std::uint16_t>(mask, a, b,
-                                                                   config, stats);
-    case MarkerWidth::k32:
-      return detail::dispatch_accumulator<SR, T, I, std::uint32_t>(mask, a, b,
-                                                                   config, stats);
-    case MarkerWidth::k64:
-      return detail::dispatch_accumulator<SR, T, I, std::uint64_t>(mask, a, b,
-                                                                   config, stats);
+  Executor<SR, T, I> exec;
+  exec.plan(mask, a, b, config);
+  return exec.execute(mask, a, b);
+}
+
+/// As above, filling `stats` with this call's execution statistics (the
+/// plan-build time is reported as the analyze phase).
+template <Semiring SR, class T = typename SR::value_type, class I>
+Csr<T, I> masked_spgemm(const Csr<T, I>& mask, const Csr<T, I>& a,
+                        const Csr<T, I>& b, const Config& config,
+                        ExecutionStats& stats) {
+  static_assert(std::is_same_v<T, typename SR::value_type>,
+                "matrix value type must match the semiring");
+  Executor<SR, T, I> exec;
+  exec.plan(mask, a, b, config);
+  Csr<T, I> result = exec.execute(mask, a, b, stats);
+  stats.analyze_ms += exec.info().build_ms;
+  return result;
+}
+
+/// Deprecated pointer-based statistics out-parameter; use the
+/// ExecutionStats& overload (or no stats argument at all) instead.
+template <Semiring SR, class T = typename SR::value_type, class I>
+[[deprecated("pass ExecutionStats by reference (or omit the argument)")]]
+Csr<T, I> masked_spgemm(const Csr<T, I>& mask, const Csr<T, I>& a,
+                        const Csr<T, I>& b, const Config& config,
+                        ExecutionStats* stats) {
+  if (stats == nullptr) {
+    return masked_spgemm<SR, T, I>(mask, a, b, config);
   }
-  require(false, "masked_spgemm: invalid marker width");
-  return Csr<T, I>{};
+  return masked_spgemm<SR, T, I>(mask, a, b, config, *stats);
 }
 
 }  // namespace tilq

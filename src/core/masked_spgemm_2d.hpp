@@ -12,368 +12,62 @@
 // contents and its private, disjoint slice of the output buffer. Column
 // tiles of one row therefore write into non-overlapping slot ranges and
 // need no synchronization, and concatenating the slices in column-tile
-// order keeps rows sorted.
+// order keeps rows sorted. The cell kernel lives in core/kernels.hpp
+// (detail::compute_cell); the driver is the planned runtime in
+// core/plan.hpp — this header is the one-shot entry point (plan once,
+// execute once). Config2d itself is declared in core/config.hpp.
 #pragma once
 
-#include <omp.h>
-
-#include <algorithm>
-#include <vector>
-
-#include "accum/bitmap_accumulator.hpp"
-#include "accum/dense_accumulator.hpp"
-#include "accum/hash_accumulator.hpp"
 #include "core/config.hpp"
-#include "core/kernels.hpp"
-#include "core/masked_spgemm.hpp"
-#include "core/tiling.hpp"
-#include "core/work_estimate.hpp"
+#include "core/plan.hpp"
 #include "sparse/csr.hpp"
-#include "sparse/stats.hpp"
-#include "support/metrics.hpp"
-#include "support/parallel.hpp"
-#include "support/perf.hpp"
-#include "support/trace.hpp"
 
 namespace tilq {
 
-/// 2D configuration: the 1D Config plus a column tile count. The vanilla
-/// strategy is not supported in 2D (its unmasked merge phase has no
-/// column-restricted formulation that preserves its semantics).
-struct Config2d {
-  Config base;
-  std::int64_t num_col_tiles = 1;
-};
-
-namespace detail {
-
-/// Computes one (row, column-range) cell: the mask segment of row i inside
-/// [col_begin, col_end) is loaded, A[i,:] is traversed, and each B row is
-/// scanned only inside the column range. Returns the number of outputs
-/// emitted (written at out_cols/out_vals).
-template <Semiring SR, class T, class I, class Acc>
-I compute_cell(const Csr<T, I>& mask, const Csr<T, I>& a, const Csr<T, I>& b,
-               I i, I col_begin, I col_end, MaskStrategy strategy, double kappa,
-               Acc& acc, I* out_cols, T* out_vals) {
-  const auto full_mask = mask.row_cols(i);
-  const auto seg_first =
-      std::lower_bound(full_mask.begin(), full_mask.end(), col_begin);
-  const auto seg_last = std::lower_bound(seg_first, full_mask.end(), col_end);
-  const std::span<const I> mask_seg =
-      full_mask.subspan(static_cast<std::size_t>(seg_first - full_mask.begin()),
-                        static_cast<std::size_t>(seg_last - seg_first));
-  if (mask_seg.empty()) {
-    return 0;
-  }
-
-  acc.set_mask(mask_seg);
-  detail::KernelRowMetrics metrics;
-  const auto mask_nnz = static_cast<std::int64_t>(mask_seg.size());
-  const auto a_cols = a.row_cols(i);
-  const auto a_vals = a.row_vals(i);
-  for (std::size_t p = 0; p < a_cols.size(); ++p) {
-    const I k = a_cols[p];
-    const T scale = a_vals[p];
-    const auto b_cols = b.row_cols(k);
-    const auto b_vals = b.row_vals(k);
-    // Restrict the B row to the column range.
-    const auto b_first = std::lower_bound(b_cols.begin(), b_cols.end(), col_begin);
-    const auto b_first_idx = static_cast<std::size_t>(b_first - b_cols.begin());
-    std::size_t b_count = 0;
-    for (auto it = b_first; it != b_cols.end() && *it < col_end; ++it) {
-      ++b_count;
-    }
-
-    const bool coiterate =
-        strategy == MaskStrategy::kCoIterate ||
-        (strategy == MaskStrategy::kHybrid &&
-         detail::prefer_coiteration(mask_nnz, static_cast<std::int64_t>(b_count),
-                                    kappa));
-    if (coiterate) {
-      if (strategy == MaskStrategy::kHybrid) {
-        ++metrics.hybrid_coiter_picks;
-      }
-      for (const I j : mask_seg) {
-        const std::size_t q = detail::lower_bound_index(
-            b_cols, b_first_idx, j, metrics.binary_search_steps);
-        if (q < b_cols.size() && b_cols[q] == j) {
-          ++metrics.flops;
-          acc.accumulate(j, SR::mul(scale, b_vals[q]));
-        }
-      }
-    } else {
-      if (strategy == MaskStrategy::kHybrid) {
-        ++metrics.hybrid_linear_picks;
-      }
-      metrics.flops += b_count;
-      for (std::size_t q = b_first_idx; q < b_first_idx + b_count; ++q) {
-        acc.accumulate(b_cols[q], SR::mul(scale, b_vals[q]));
-      }
-    }
-  }
-
-  I count = 0;
-  acc.gather(mask_seg, [&](I col, T value) {
-    out_cols[count] = col;
-    out_vals[count] = value;
-    ++count;
-  });
-  acc.finish_row(mask_seg);
-  metrics.flush();
-  return count;
-}
-
-template <Semiring SR, class T, class I, class MakeAcc>
-Csr<T, I> masked_spgemm_2d_with(const Csr<T, I>& mask, const Csr<T, I>& a,
-                                const Csr<T, I>& b, const Config2d& config,
-                                MakeAcc&& make_acc, ExecutionStats* stats) {
-  require(a.cols() == b.rows(), "masked_spgemm_2d: inner dimensions must agree");
-  require(mask.rows() == a.rows() && mask.cols() == b.cols(),
-          "masked_spgemm_2d: mask shape must equal output shape");
-  require(config.base.strategy != MaskStrategy::kVanilla,
-          "masked_spgemm_2d: the vanilla strategy has no 2D formulation");
-
-  WallTimer phase;
-  const I rows = a.rows();
-  const int threads =
-      config.base.threads > 0 ? config.base.threads : max_threads();
-  const std::int64_t num_row_tiles =
-      config.base.num_tiles > 0 ? config.base.num_tiles
-                                : 2 * static_cast<std::int64_t>(threads);
-
-  std::vector<Tile> row_tiles;
-  std::vector<Tile> col_tiles;
-  {
-    TraceSpan span("spgemm2d.analyze");
-    if (config.base.tiling == Tiling::kFlopBalanced) {
-      row_tiles = make_flop_balanced_tiles(row_work_prefix(mask, a, b), num_row_tiles);
-    } else {
-      row_tiles = make_uniform_tiles(rows, num_row_tiles);
-    }
-    col_tiles = make_uniform_tiles(b.cols(),
-                                   std::max<std::int64_t>(1, config.num_col_tiles));
-    if (col_tiles.empty()) {
-      col_tiles.push_back({0, 0});  // zero-column matrix: one empty tile
-    }
-  }
-  if (stats != nullptr) {
-    stats->analyze_ms = phase.milliseconds();
-    stats->tiles =
-        static_cast<std::int64_t>(row_tiles.size() * std::max<std::size_t>(1, col_tiles.size()));
-  }
-
-  // --- compute ----------------------------------------------------------
-  phase.reset();
-  const auto mask_row_ptr = mask.row_ptr();
-  std::vector<I> bound_cols(static_cast<std::size_t>(mask.nnz()));
-  std::vector<T> bound_vals(static_cast<std::size_t>(mask.nnz()));
-  // Per (row, column-tile) output counts, laid out row-major. Compaction
-  // stitches the column segments of each row back together.
-  const std::size_t col_tile_count = col_tiles.size();
-  std::vector<I> cell_counts(static_cast<std::size_t>(rows) * col_tile_count, I{0});
-
-  set_runtime_schedule(config.base.schedule);
-  const auto task_count =
-      static_cast<std::int64_t>(row_tiles.size() * col_tile_count);
-
-  std::uint64_t total_resets = 0;
-  std::uint64_t total_probes = 0;
-  std::uint64_t total_inserts = 0;
-  std::uint64_t total_rejects = 0;
-  std::uint64_t total_collisions = 0;
-  std::uint64_t total_row_resets = 0;
-  std::uint64_t total_explicit_clears = 0;
-
-  // Per-thread compute shares, indexed by OpenMP thread number.
-  std::vector<ThreadWork> thread_work(static_cast<std::size_t>(threads));
-  int team_size = threads;
-
-  {
-    TraceSpan compute_span("spgemm2d.compute");
-
-#pragma omp parallel num_threads(threads)                                  \
-    reduction(+ : total_resets, total_probes, total_inserts, total_rejects, \
-                  total_collisions, total_row_resets, total_explicit_clears)
-    {
-      const int thread_num = omp_get_thread_num();
-#pragma omp single
-      team_size = omp_get_num_threads();
-
-      auto acc = make_acc();
-#if TILQ_METRICS_ENABLED
-      MetricCounters* const thread_counters = metrics_thread_counters();
-      const PerfScope perf_scope(thread_counters != nullptr);
-#endif
-      std::int64_t my_cells = 0;
-      std::int64_t my_rows = 0;
-      WallTimer busy;
-
-#pragma omp for schedule(runtime) nowait
-      for (std::int64_t task = 0; task < task_count; ++task) {
-        const Tile row_tile = row_tiles[static_cast<std::size_t>(task) / col_tile_count];
-        const std::size_t ct = static_cast<std::size_t>(task) % col_tile_count;
-        const Tile col_tile = col_tiles[ct];
-        TraceSpan tile_span("tile2d", task);
-        ++my_cells;
-        // In 2D a row is visited once per column tile; each visit counts.
-        my_rows += row_tile.row_end - row_tile.row_begin;
-        for (I i = static_cast<I>(row_tile.row_begin);
-             i < static_cast<I>(row_tile.row_end); ++i) {
-          // The cell writes into the slice of row i's mask-bounded slot that
-          // corresponds to mask columns in [col_begin, col_end).
-          const auto row_mask = mask.row_cols(i);
-          const auto seg_first = std::lower_bound(row_mask.begin(), row_mask.end(),
-                                                  static_cast<I>(col_tile.row_begin));
-          const auto seg_offset = static_cast<std::size_t>(seg_first - row_mask.begin());
-          const auto slot = static_cast<std::size_t>(
-                                mask_row_ptr[static_cast<std::size_t>(i)]) +
-                            seg_offset;
-          cell_counts[static_cast<std::size_t>(i) * col_tile_count + ct] =
-              compute_cell<SR>(mask, a, b, i, static_cast<I>(col_tile.row_begin),
-                               static_cast<I>(col_tile.row_end),
-                               config.base.strategy,
-                               config.base.coiteration_factor, acc,
-                               bound_cols.data() + slot, bound_vals.data() + slot);
-        }
-      }
-      const double busy_ms = busy.milliseconds();
-      if (thread_num >= 0 && thread_num < threads) {
-        thread_work[static_cast<std::size_t>(thread_num)] = {
-            thread_num, busy_ms, my_cells, my_rows};
-      }
-
-      const AccumulatorCounters& acc_counters = acc.counters();
-      total_resets += acc_counters.full_resets;
-      total_probes += acc_counters.probes;
-      total_inserts += acc_counters.inserts;
-      total_rejects += acc_counters.rejects;
-      total_collisions += acc_counters.collisions;
-      total_row_resets += acc_counters.row_resets;
-      total_explicit_clears += acc_counters.explicit_clears;
-#if TILQ_METRICS_ENABLED
-      if (thread_counters != nullptr) {
-        thread_counters->tiles_executed += static_cast<std::uint64_t>(my_cells);
-        thread_counters->rows_processed += static_cast<std::uint64_t>(my_rows);
-        thread_counters->busy_ns += static_cast<std::uint64_t>(busy_ms * 1e6);
-        thread_counters->hash_probes += acc_counters.probes;
-        thread_counters->hash_collisions += acc_counters.collisions;
-        thread_counters->accum_inserts += acc_counters.inserts;
-        thread_counters->accum_rejects += acc_counters.rejects;
-        thread_counters->marker_row_resets += acc_counters.row_resets;
-        thread_counters->marker_overflow_resets += acc_counters.full_resets;
-        thread_counters->explicit_reset_slots += acc_counters.explicit_clears;
-        if (HwCounters* const hw = metrics_thread_hw()) {
-          *hw += perf_scope.delta();
-        }
-      }
-#endif
-    }
-  }
-  if (stats != nullptr) {
-    stats->compute_ms = phase.milliseconds();
-    stats->accumulator_full_resets = total_resets;
-    stats->hash_probes = total_probes;
-    stats->accum_inserts = total_inserts;
-    stats->accum_rejects = total_rejects;
-    stats->hash_collisions = total_collisions;
-    stats->marker_row_resets = total_row_resets;
-    stats->explicit_reset_slots = total_explicit_clears;
-  }
-  detail::finalize_thread_work(std::move(thread_work), team_size, stats);
-
-  // --- compact ----------------------------------------------------------
-  phase.reset();
-  TraceSpan compact_span("spgemm2d.compact");
-  std::vector<I> row_counts(static_cast<std::size_t>(rows), I{0});
-  parallel_for(I{0}, rows, [&](I i) {
-    I total = 0;
-    for (std::size_t ct = 0; ct < col_tile_count; ++ct) {
-      total += cell_counts[static_cast<std::size_t>(i) * col_tile_count + ct];
-    }
-    row_counts[static_cast<std::size_t>(i)] = total;
-  });
-  std::vector<I> out_row_ptr(static_cast<std::size_t>(rows) + 1);
-  const I out_nnz = exclusive_scan<I>(row_counts, out_row_ptr);
-  std::vector<I> out_cols(static_cast<std::size_t>(out_nnz));
-  std::vector<T> out_vals(static_cast<std::size_t>(out_nnz));
-  parallel_for(I{0}, rows, [&](I i) {
-    auto dst = static_cast<std::size_t>(out_row_ptr[static_cast<std::size_t>(i)]);
-    const auto row_mask = mask.row_cols(i);
-    for (std::size_t ct = 0; ct < col_tile_count; ++ct) {
-      const Tile col_tile = col_tiles[ct];
-      const auto seg_first = std::lower_bound(row_mask.begin(), row_mask.end(),
-                                              static_cast<I>(col_tile.row_begin));
-      const auto slot = static_cast<std::size_t>(
-                            mask_row_ptr[static_cast<std::size_t>(i)]) +
-                        static_cast<std::size_t>(seg_first - row_mask.begin());
-      const auto len = static_cast<std::size_t>(
-          cell_counts[static_cast<std::size_t>(i) * col_tile_count + ct]);
-      for (std::size_t p = 0; p < len; ++p) {
-        out_cols[dst + p] = bound_cols[slot + p];
-        out_vals[dst + p] = bound_vals[slot + p];
-      }
-      dst += len;
-    }
-  });
-  Csr<T, I> result(rows, b.cols(), std::move(out_row_ptr), std::move(out_cols),
-                   std::move(out_vals));
-  if (stats != nullptr) {
-    stats->compact_ms = phase.milliseconds();
-    stats->output_nnz = static_cast<std::int64_t>(result.nnz());
-  }
-  return result;
-}
-
-template <Semiring SR, class T, class I, class Marker>
-Csr<T, I> dispatch_accumulator_2d(const Csr<T, I>& mask, const Csr<T, I>& a,
-                                  const Csr<T, I>& b, const Config2d& config,
-                                  ExecutionStats* stats) {
-  switch (config.base.accumulator) {
-    case AccumulatorKind::kDense:
-      return masked_spgemm_2d_with<SR>(
-          mask, a, b, config,
-          [&] {
-            return DenseAccumulator<SR, I, Marker>(b.cols(), config.base.reset);
-          },
-          stats);
-    case AccumulatorKind::kBitmap:
-      return masked_spgemm_2d_with<SR>(
-          mask, a, b, config, [&] { return BitmapAccumulator<SR, I>(b.cols()); },
-          stats);
-    case AccumulatorKind::kHash:
-      break;
-  }
-  const I bound = max_row_nnz(mask);
-  return masked_spgemm_2d_with<SR>(
-      mask, a, b, config,
-      [&] { return HashAccumulator<SR, I, Marker>(bound, config.base.reset); },
-      stats);
-}
-
-}  // namespace detail
-
 /// Masked SpGEMM with 2D (row x column) output tiling. num_col_tiles = 1
-/// degenerates to the 1D algorithm.
+/// degenerates to the 1D algorithm. The vanilla strategy is not supported
+/// (its unmasked merge phase has no column-restricted formulation that
+/// preserves its semantics).
+template <Semiring SR, class T = typename SR::value_type, class I>
+Csr<T, I> masked_spgemm_2d(const Csr<T, I>& mask, const Csr<T, I>& a,
+                           const Csr<T, I>& b, const Config2d& config) {
+  static_assert(std::is_same_v<T, typename SR::value_type>,
+                "matrix value type must match the semiring");
+  require(config.strategy != MaskStrategy::kVanilla,
+          "masked_spgemm_2d: the vanilla strategy has no 2D formulation");
+  Executor<SR, T, I> exec;
+  exec.plan(mask, a, b, config);
+  return exec.execute(mask, a, b);
+}
+
+/// As above, filling `stats` with this call's execution statistics (the
+/// plan-build time is reported as the analyze phase).
 template <Semiring SR, class T = typename SR::value_type, class I>
 Csr<T, I> masked_spgemm_2d(const Csr<T, I>& mask, const Csr<T, I>& a,
                            const Csr<T, I>& b, const Config2d& config,
-                           ExecutionStats* stats = nullptr) {
-  switch (config.base.marker_width) {
-    case MarkerWidth::k8:
-      return detail::dispatch_accumulator_2d<SR, T, I, std::uint8_t>(
-          mask, a, b, config, stats);
-    case MarkerWidth::k16:
-      return detail::dispatch_accumulator_2d<SR, T, I, std::uint16_t>(
-          mask, a, b, config, stats);
-    case MarkerWidth::k32:
-      return detail::dispatch_accumulator_2d<SR, T, I, std::uint32_t>(
-          mask, a, b, config, stats);
-    case MarkerWidth::k64:
-      return detail::dispatch_accumulator_2d<SR, T, I, std::uint64_t>(
-          mask, a, b, config, stats);
+                           ExecutionStats& stats) {
+  static_assert(std::is_same_v<T, typename SR::value_type>,
+                "matrix value type must match the semiring");
+  require(config.strategy != MaskStrategy::kVanilla,
+          "masked_spgemm_2d: the vanilla strategy has no 2D formulation");
+  Executor<SR, T, I> exec;
+  exec.plan(mask, a, b, config);
+  Csr<T, I> result = exec.execute(mask, a, b, stats);
+  stats.analyze_ms += exec.info().build_ms;
+  return result;
+}
+
+/// Deprecated pointer-based statistics out-parameter; use the
+/// ExecutionStats& overload (or no stats argument at all) instead.
+template <Semiring SR, class T = typename SR::value_type, class I>
+[[deprecated("pass ExecutionStats by reference (or omit the argument)")]]
+Csr<T, I> masked_spgemm_2d(const Csr<T, I>& mask, const Csr<T, I>& a,
+                           const Csr<T, I>& b, const Config2d& config,
+                           ExecutionStats* stats) {
+  if (stats == nullptr) {
+    return masked_spgemm_2d<SR, T, I>(mask, a, b, config);
   }
-  require(false, "masked_spgemm_2d: invalid marker width");
-  return Csr<T, I>{};
+  return masked_spgemm_2d<SR, T, I>(mask, a, b, config, *stats);
 }
 
 }  // namespace tilq

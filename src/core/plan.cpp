@@ -1,0 +1,43 @@
+#include "core/plan.hpp"
+
+#include <cstring>
+
+namespace tilq::detail {
+
+namespace {
+
+// splitmix64 finalizer — strong enough to make accidental fingerprint
+// collisions between two real sparsity patterns a non-concern.
+constexpr std::uint64_t mix(std::uint64_t x) noexcept {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+}  // namespace
+
+std::uint64_t hash_bytes(const void* data, std::size_t size,
+                         std::uint64_t seed) noexcept {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint64_t h = seed ^ (0x9e3779b97f4a7c15ULL + size);
+  // Word-at-a-time so fingerprinting stays cheap next to the kernel itself
+  // (the staleness check runs on every execute()).
+  while (size >= sizeof(std::uint64_t)) {
+    std::uint64_t word;
+    std::memcpy(&word, bytes, sizeof word);
+    h = mix(h ^ word);
+    bytes += sizeof word;
+    size -= sizeof word;
+  }
+  if (size > 0) {
+    std::uint64_t tail = 0;
+    std::memcpy(&tail, bytes, size);
+    h = mix(h ^ tail ^ (static_cast<std::uint64_t>(size) << 56));
+  }
+  return h;
+}
+
+}  // namespace tilq::detail

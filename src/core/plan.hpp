@@ -1,0 +1,782 @@
+// Plan/execute split for the masked-SpGEMM — the symbolic/numeric
+// separation of Milaković et al. and Deveci et al., applied to the paper's
+// three performance dimensions. Iterative workloads (k-truss, triangle
+// census, BFS levels) call the kernel repeatedly with the SAME mask/operand
+// sparsity; everything that depends only on structure is computed once by
+// plan() and amortized across execute() calls:
+//
+//   plan(M, A, B, config)      — structure phase, runs once:
+//     * per-row work estimates (Eq 2) + FLOP-balanced tile boundaries
+//     * per-(i,k) hybrid κ decisions (one flag per A nonzero)
+//     * accumulator sizing (mask row bound; FLOP bound for vanilla)
+//     * structural fingerprint (rowptr/colidx hash) of all three operands
+//   execute(M, A, B [, stats]) — numeric phase, runs per iteration:
+//     * compute + compact only, against pooled per-thread accumulators
+//       (src/accum/workspace_pool.hpp) and reused bound buffers
+//     * verifies the fingerprint first; a structure change since plan()
+//       raises StalePlanError instead of computing garbage
+//
+// Values may change freely between executes — only the sparsity pattern is
+// fingerprinted. Outputs are bit-identical to the one-shot masked_spgemm
+// path: the planned hybrid kernel replays the exact per-entry decisions the
+// inline κ test would make, so the floating-point summation order is
+// unchanged, and pooled accumulators gather in mask order, so their reuse
+// (continued marker epochs, retained hash capacity) cannot reorder sums.
+//
+// masked_spgemm / masked_spgemm_2d are thin wrappers over this machinery
+// (plan once, execute once); see docs/API.md for the lifecycle and the
+// migration table.
+#pragma once
+
+#include <omp.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <typeinfo>
+#include <utility>
+#include <vector>
+
+#include "accum/bitmap_accumulator.hpp"
+#include "accum/dense_accumulator.hpp"
+#include "accum/hash_accumulator.hpp"
+#include "accum/workspace_pool.hpp"
+#include "core/config.hpp"
+#include "core/kernels.hpp"
+#include "core/tiling.hpp"
+#include "core/work_estimate.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/stats.hpp"
+#include "support/common.hpp"
+#include "support/env.hpp"
+#include "support/metrics.hpp"
+#include "support/parallel.hpp"
+#include "support/perf.hpp"
+#include "support/timer.hpp"
+#include "support/trace.hpp"
+
+namespace tilq {
+
+/// Thrown by Executor::execute when the operands' structure no longer
+/// matches the fingerprint recorded at plan() time.
+class StalePlanError : public PreconditionError {
+ public:
+  using PreconditionError::PreconditionError;
+};
+
+/// Structure-phase diagnostics, filled by plan().
+struct PlanInfo {
+  std::uint64_t fingerprint = 0;      ///< rowptr/colidx hash of M, A, B
+  std::int64_t row_tiles = 0;
+  std::int64_t col_tiles = 1;         ///< 1 on the 1D path
+  std::int64_t accumulator_bound = 0; ///< per-row accumulator sizing
+  std::int64_t hybrid_decisions = 0;  ///< precomputed per-(i,k) κ picks
+  double build_ms = 0.0;              ///< wall time of the plan() call
+};
+
+namespace detail {
+
+/// Mixes `size` bytes into `seed` (64-bit splitmix-style, word at a time);
+/// defined in plan.cpp.
+[[nodiscard]] std::uint64_t hash_bytes(const void* data, std::size_t size,
+                                       std::uint64_t seed) noexcept;
+
+/// Hash of everything structural about the triple (M, A, B): dimensions,
+/// nnz, row pointers, and column indices. Values are deliberately excluded —
+/// a plan stays valid under value-only updates.
+template <class T, class I>
+[[nodiscard]] std::uint64_t structural_fingerprint(const Csr<T, I>& mask,
+                                                   const Csr<T, I>& a,
+                                                   const Csr<T, I>& b) noexcept {
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+  const auto fold = [&h](const Csr<T, I>& m) {
+    const std::int64_t dims[3] = {static_cast<std::int64_t>(m.rows()),
+                                  static_cast<std::int64_t>(m.cols()),
+                                  static_cast<std::int64_t>(m.nnz())};
+    h = hash_bytes(dims, sizeof dims, h);
+    h = hash_bytes(m.row_ptr().data(), m.row_ptr().size_bytes(), h);
+    h = hash_bytes(m.col_idx().data(), m.col_idx().size_bytes(), h);
+  };
+  fold(mask);
+  fold(a);
+  fold(b);
+  return h;
+}
+
+/// Reused driver-level scratch (distinct from the accumulators, which live
+/// in the WorkspacePool): the mask-bounded output slots and per-row/cell
+/// counts. ensure() only reallocates on growth, so steady-state executes
+/// perform zero allocations here.
+template <class T, class I>
+struct DriverBuffers {
+  std::vector<I> bound_cols;
+  std::vector<T> bound_vals;
+  std::vector<I> row_counts;
+  std::vector<I> cell_counts;  ///< 2D only: rows x col_tiles, row-major
+  std::uint64_t grows = 0;     ///< how many ensure() calls had to grow
+
+  void ensure(std::size_t mask_nnz, std::size_t rows, std::size_t cells) {
+    const bool grew = mask_nnz > bound_cols.capacity() ||
+                      rows > row_counts.capacity() ||
+                      cells > cell_counts.capacity();
+    bound_cols.resize(mask_nnz);
+    bound_vals.resize(mask_nnz);
+    row_counts.assign(rows, I{0});
+    cell_counts.assign(cells, I{0});
+    if (grew) {
+      ++grows;
+    }
+  }
+};
+
+}  // namespace detail
+
+/// Everything plan() derives from structure. Immutable between plan() calls;
+/// indexed by the operand triple's fingerprint.
+template <class I = std::int64_t>
+struct Plan {
+  PlanInfo info;
+  I rows = 0;
+  I inner = 0;
+  I cols = 0;
+  std::int64_t mask_nnz = 0;
+  std::vector<Tile> row_tiles;
+  std::vector<Tile> col_tiles;  ///< single full-width tile on the 1D path
+  I accumulator_bound = 0;
+  /// One flag per A nonzero (flat index a.row_ptr[i] + p): the hybrid
+  /// strategy's per-(i,k) co-iteration choice. Empty unless the planned
+  /// config uses MaskStrategy::kHybrid on the 1D path.
+  std::vector<std::uint8_t> hybrid_coiterate;
+  /// Whether the plan targets the 2D (row x column tile) driver.
+  bool two_d = false;
+
+  [[nodiscard]] bool two_dimensional() const noexcept { return two_d; }
+};
+
+namespace detail {
+
+/// Accumulator sizing (§III-C): the hash table is bounded by the maximal
+/// mask-row nnz, except the vanilla strategy which fills the accumulator
+/// before masking and therefore needs the per-row FLOP bound.
+template <class T, class I>
+I accumulator_row_bound(const Csr<T, I>& mask, const Csr<T, I>& a,
+                        const Csr<T, I>& b, MaskStrategy strategy) {
+  if (strategy != MaskStrategy::kVanilla) {
+    return max_row_nnz(mask);
+  }
+  I bound = 0;
+  for (I i = 0; i < a.rows(); ++i) {
+    bound = std::max(bound, row_flop_bound(a, b, i));
+  }
+  return std::max(bound, max_row_nnz(mask));
+}
+
+/// Folds the team's per-thread compute shares into `stats`: the raw
+/// breakdown plus the derived imbalance statistics (max/mean busy ratio
+/// and the coefficient of variation — the measured counterpart of the
+/// model's predicted row-work CV). `work` is indexed by OpenMP thread
+/// number and sized for the requested team; `team_size` is how many
+/// threads the runtime actually granted.
+inline void finalize_thread_work(std::vector<ThreadWork>&& work,
+                                 int team_size, ExecutionStats* stats) {
+  if (stats == nullptr) {
+    return;
+  }
+  if (team_size > 0 &&
+      static_cast<std::size_t>(team_size) < work.size()) {
+    work.resize(static_cast<std::size_t>(team_size));
+  }
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  double max = 0.0;
+  for (const ThreadWork& t : work) {
+    sum += t.busy_ms;
+    sum_sq += t.busy_ms * t.busy_ms;
+    max = std::max(max, t.busy_ms);
+  }
+  if (!work.empty() && sum > 0.0) {
+    const double n = static_cast<double>(work.size());
+    const double mean = sum / n;
+    const double variance = std::max(0.0, sum_sq / n - mean * mean);
+    stats->imbalance_ratio = max / mean;
+    stats->busy_cv = std::sqrt(variance) / mean;
+  }
+  stats->thread_work = std::move(work);
+}
+
+/// Per-execute delta of the accumulator counters: pooled accumulators keep
+/// counting across executes, so each call reports counters() minus the
+/// snapshot taken right after acquire().
+inline AccumulatorCounters counters_delta(const AccumulatorCounters& after,
+                                          const AccumulatorCounters& before) {
+  AccumulatorCounters d;
+  d.full_resets = after.full_resets - before.full_resets;
+  d.probes = after.probes - before.probes;
+  d.inserts = after.inserts - before.inserts;
+  d.rejects = after.rejects - before.rejects;
+  d.collisions = after.collisions - before.collisions;
+  d.row_resets = after.row_resets - before.row_resets;
+  d.explicit_clears = after.explicit_clears - before.explicit_clears;
+  return d;
+}
+
+/// The numeric phase (compute + compact) against a built plan. Handles both
+/// the 1D and the 2D tile grid; trace span names stay those of the original
+/// drivers ("spgemm.*" / "tile" when the plan is 1D, "spgemm2d.*" /
+/// "tile2d" when 2D) so existing trace consumers keep working.
+///
+/// `make` constructs one accumulator for the current plan+config;
+/// `capability` is the pool's rebuild key (columns for dense/bitmap, row
+/// bound for hash — see WorkspacePool).
+template <Semiring SR, class T, class I, class Acc, class MakeAcc>
+Csr<T, I> planned_execute(const Plan<I>& plan, const Config2d& config,
+                          const Csr<T, I>& mask, const Csr<T, I>& a,
+                          const Csr<T, I>& b, WorkspacePool<Acc>& pool,
+                          std::uint64_t capability, MakeAcc&& make,
+                          DriverBuffers<T, I>& buffers,
+                          ExecutionStats* stats) {
+  const bool two_d = plan.two_dimensional();
+  WallTimer phase;
+  const I rows = a.rows();
+  const int threads = config.threads > 0 ? config.threads : max_threads();
+
+  const auto mask_row_ptr = mask.row_ptr();
+  const std::size_t col_tile_count = std::max<std::size_t>(1, plan.col_tiles.size());
+  buffers.ensure(static_cast<std::size_t>(mask.nnz()),
+                 static_cast<std::size_t>(rows),
+                 two_d ? static_cast<std::size_t>(rows) * col_tile_count : 0);
+  pool.reserve(threads);
+
+  set_runtime_schedule(config.schedule);
+  const auto task_count = static_cast<std::int64_t>(
+      plan.row_tiles.size() * (two_d ? col_tile_count : 1));
+
+  std::uint64_t total_resets = 0;
+  std::uint64_t total_probes = 0;
+  std::uint64_t total_inserts = 0;
+  std::uint64_t total_rejects = 0;
+  std::uint64_t total_collisions = 0;
+  std::uint64_t total_row_resets = 0;
+  std::uint64_t total_explicit_clears = 0;
+
+  // Per-thread compute shares, indexed by OpenMP thread number; the
+  // measured load-imbalance signal next to the model's predicted CV.
+  std::vector<ThreadWork> thread_work(static_cast<std::size_t>(threads));
+  int team_size = threads;
+
+  const std::span<const std::uint8_t> decisions(plan.hybrid_coiterate);
+
+  {
+    TraceSpan compute_span(two_d ? "spgemm2d.compute" : "spgemm.compute");
+
+#pragma omp parallel num_threads(threads)                                  \
+    reduction(+ : total_resets, total_probes, total_inserts, total_rejects, \
+                  total_collisions, total_row_resets, total_explicit_clears)
+    {
+      const int thread_num = omp_get_thread_num();
+#pragma omp single
+      team_size = omp_get_num_threads();
+
+      Acc& acc = pool.acquire(thread_num, capability, make);
+      const AccumulatorCounters counters_at_entry = acc.counters();
+#if TILQ_METRICS_ENABLED
+      MetricCounters* const thread_counters = metrics_thread_counters();
+      // Hardware counters for this thread's share of the region; inactive
+      // (zero-cost) when metrics are off or perf_event_open failed.
+      const PerfScope perf_scope(thread_counters != nullptr);
+#endif
+      std::int64_t my_tiles = 0;
+      std::int64_t my_rows = 0;
+      WallTimer busy;
+
+#pragma omp for schedule(runtime) nowait
+      for (std::int64_t task = 0; task < task_count; ++task) {
+        if (!two_d) {
+          const Tile tile = plan.row_tiles[static_cast<std::size_t>(task)];
+          TraceSpan tile_span("tile", task);
+          ++my_tiles;
+          my_rows += tile.row_end - tile.row_begin;
+          for (I i = static_cast<I>(tile.row_begin);
+               i < static_cast<I>(tile.row_end); ++i) {
+            I* out_cols = buffers.bound_cols.data() +
+                          mask_row_ptr[static_cast<std::size_t>(i)];
+            T* out_vals = buffers.bound_vals.data() +
+                          mask_row_ptr[static_cast<std::size_t>(i)];
+            I count = 0;
+            compute_row_planned<SR>(config.strategy, config.coiteration_factor,
+                                    decisions, mask, a, b, i, acc,
+                                    [&](I col, T value) {
+                                      out_cols[count] = col;
+                                      out_vals[count] = value;
+                                      ++count;
+                                    });
+            buffers.row_counts[static_cast<std::size_t>(i)] = count;
+          }
+        } else {
+          const Tile row_tile =
+              plan.row_tiles[static_cast<std::size_t>(task) / col_tile_count];
+          const std::size_t ct = static_cast<std::size_t>(task) % col_tile_count;
+          const Tile col_tile = plan.col_tiles[ct];
+          TraceSpan tile_span("tile2d", task);
+          ++my_tiles;
+          // In 2D a row is visited once per column tile; each visit counts.
+          my_rows += row_tile.row_end - row_tile.row_begin;
+          for (I i = static_cast<I>(row_tile.row_begin);
+               i < static_cast<I>(row_tile.row_end); ++i) {
+            // The cell writes into the slice of row i's mask-bounded slot
+            // that corresponds to mask columns in [col_begin, col_end).
+            const auto row_mask = mask.row_cols(i);
+            const auto seg_first =
+                std::lower_bound(row_mask.begin(), row_mask.end(),
+                                 static_cast<I>(col_tile.row_begin));
+            const auto seg_offset =
+                static_cast<std::size_t>(seg_first - row_mask.begin());
+            const auto slot = static_cast<std::size_t>(
+                                  mask_row_ptr[static_cast<std::size_t>(i)]) +
+                              seg_offset;
+            buffers.cell_counts[static_cast<std::size_t>(i) * col_tile_count +
+                                ct] =
+                compute_cell<SR>(mask, a, b, i,
+                                 static_cast<I>(col_tile.row_begin),
+                                 static_cast<I>(col_tile.row_end),
+                                 config.strategy, config.coiteration_factor,
+                                 acc, buffers.bound_cols.data() + slot,
+                                 buffers.bound_vals.data() + slot);
+          }
+        }
+      }
+      const double busy_ms = busy.milliseconds();
+      if (thread_num >= 0 && thread_num < threads) {
+        thread_work[static_cast<std::size_t>(thread_num)] = {
+            thread_num, busy_ms, my_tiles, my_rows};
+      }
+
+      const AccumulatorCounters acc_counters =
+          counters_delta(acc.counters(), counters_at_entry);
+      total_resets += acc_counters.full_resets;
+      total_probes += acc_counters.probes;
+      total_inserts += acc_counters.inserts;
+      total_rejects += acc_counters.rejects;
+      total_collisions += acc_counters.collisions;
+      total_row_resets += acc_counters.row_resets;
+      total_explicit_clears += acc_counters.explicit_clears;
+#if TILQ_METRICS_ENABLED
+      // Per-accumulator counters fold into the owning thread's global slot
+      // so the metrics registry sees the same totals as ExecutionStats.
+      if (thread_counters != nullptr) {
+        thread_counters->tiles_executed += static_cast<std::uint64_t>(my_tiles);
+        thread_counters->rows_processed += static_cast<std::uint64_t>(my_rows);
+        thread_counters->busy_ns += static_cast<std::uint64_t>(busy_ms * 1e6);
+        thread_counters->hash_probes += acc_counters.probes;
+        thread_counters->hash_collisions += acc_counters.collisions;
+        thread_counters->accum_inserts += acc_counters.inserts;
+        thread_counters->accum_rejects += acc_counters.rejects;
+        thread_counters->marker_row_resets += acc_counters.row_resets;
+        thread_counters->marker_overflow_resets += acc_counters.full_resets;
+        thread_counters->explicit_reset_slots += acc_counters.explicit_clears;
+        if (HwCounters* const hw = metrics_thread_hw()) {
+          *hw += perf_scope.delta();
+        }
+      }
+#endif
+    }
+  }
+  if (stats != nullptr) {
+    stats->compute_ms = phase.milliseconds();
+    stats->tiles = task_count;
+    stats->accumulator_full_resets = total_resets;
+    stats->hash_probes = total_probes;
+    stats->accum_inserts = total_inserts;
+    stats->accum_rejects = total_rejects;
+    stats->hash_collisions = total_collisions;
+    stats->marker_row_resets = total_row_resets;
+    stats->explicit_reset_slots = total_explicit_clears;
+  }
+  finalize_thread_work(std::move(thread_work), team_size, stats);
+
+  // --- compact -----------------------------------------------------------
+  phase.reset();
+  TraceSpan compact_span(two_d ? "spgemm2d.compact" : "spgemm.compact");
+  if (two_d) {
+    parallel_for(I{0}, rows, [&](I i) {
+      I total = 0;
+      for (std::size_t ct = 0; ct < col_tile_count; ++ct) {
+        total += buffers.cell_counts[static_cast<std::size_t>(i) * col_tile_count + ct];
+      }
+      buffers.row_counts[static_cast<std::size_t>(i)] = total;
+    });
+  }
+  std::vector<I> out_row_ptr(static_cast<std::size_t>(rows) + 1);
+  const I out_nnz = exclusive_scan<I>(buffers.row_counts, out_row_ptr);
+  std::vector<I> out_cols(static_cast<std::size_t>(out_nnz));
+  std::vector<T> out_vals(static_cast<std::size_t>(out_nnz));
+  if (!two_d) {
+    parallel_for(I{0}, rows, [&](I i) {
+      const auto src = static_cast<std::size_t>(mask_row_ptr[static_cast<std::size_t>(i)]);
+      const auto dst = static_cast<std::size_t>(out_row_ptr[static_cast<std::size_t>(i)]);
+      const auto len = static_cast<std::size_t>(buffers.row_counts[static_cast<std::size_t>(i)]);
+      for (std::size_t p = 0; p < len; ++p) {
+        out_cols[dst + p] = buffers.bound_cols[src + p];
+        out_vals[dst + p] = buffers.bound_vals[src + p];
+      }
+    });
+  } else {
+    // Stitch each row's column-tile segments back together in tile order.
+    parallel_for(I{0}, rows, [&](I i) {
+      auto dst = static_cast<std::size_t>(out_row_ptr[static_cast<std::size_t>(i)]);
+      const auto row_mask = mask.row_cols(i);
+      for (std::size_t ct = 0; ct < col_tile_count; ++ct) {
+        const Tile col_tile = plan.col_tiles[ct];
+        const auto seg_first =
+            std::lower_bound(row_mask.begin(), row_mask.end(),
+                             static_cast<I>(col_tile.row_begin));
+        const auto slot = static_cast<std::size_t>(
+                              mask_row_ptr[static_cast<std::size_t>(i)]) +
+                          static_cast<std::size_t>(seg_first - row_mask.begin());
+        const auto len = static_cast<std::size_t>(
+            buffers.cell_counts[static_cast<std::size_t>(i) * col_tile_count + ct]);
+        for (std::size_t p = 0; p < len; ++p) {
+          out_cols[dst + p] = buffers.bound_cols[slot + p];
+          out_vals[dst + p] = buffers.bound_vals[slot + p];
+        }
+        dst += len;
+      }
+    });
+  }
+  Csr<T, I> result(rows, b.cols(), std::move(out_row_ptr), std::move(out_cols),
+                   std::move(out_vals));
+  if (stats != nullptr) {
+    stats->compact_ms = phase.milliseconds();
+    stats->output_nnz = static_cast<std::int64_t>(result.nnz());
+  }
+  return result;
+}
+
+}  // namespace detail
+
+/// Reusable execution engine: plan() runs the structure phase and binds the
+/// accumulator dispatch once; execute() runs the numeric phase against
+/// pooled per-thread workspaces. One Executor serves one operand structure
+/// at a time; replanning (same Executor, new structure or config) keeps the
+/// workspace pool warm whenever the accumulator type is unchanged.
+template <Semiring SR, class T = typename SR::value_type,
+          class I = std::int64_t>
+class Executor {
+ public:
+  /// Structure phase for the 1D driver.
+  void plan(const Csr<T, I>& mask, const Csr<T, I>& a, const Csr<T, I>& b,
+            const Config& config = {}) {
+    plan(mask, a, b, Config2d{config, 1});
+  }
+
+  /// Structure phase; num_col_tiles > 1 selects the 2D driver.
+  void plan(const Csr<T, I>& mask, const Csr<T, I>& a, const Csr<T, I>& b,
+            const Config2d& config) {
+    static_assert(std::is_same_v<T, typename SR::value_type>,
+                  "matrix value type must match the semiring");
+    require(a.cols() == b.rows(),
+            "Executor::plan: inner dimensions must agree");
+    require(mask.rows() == a.rows() && mask.cols() == b.cols(),
+            "Executor::plan: mask shape must equal output shape");
+    const bool two_d = config.num_col_tiles > 1;
+    require(!(two_d && config.strategy == MaskStrategy::kVanilla),
+            "Executor::plan: the vanilla strategy has no 2D formulation");
+
+    WallTimer build;
+    config_ = config;
+    plan_ = Plan<I>{};
+    plan_.two_d = two_d;
+    plan_.rows = a.rows();
+    plan_.inner = a.cols();
+    plan_.cols = b.cols();
+    plan_.mask_nnz = static_cast<std::int64_t>(mask.nnz());
+
+    const int threads = config.threads > 0 ? config.threads : max_threads();
+    const std::int64_t num_tiles =
+        config.num_tiles > 0 ? config.num_tiles
+                             : 2 * static_cast<std::int64_t>(threads);
+    {
+      TraceSpan span(two_d ? "spgemm2d.analyze" : "spgemm.analyze");
+      if (config.tiling == Tiling::kFlopBalanced) {
+        plan_.row_tiles =
+            make_flop_balanced_tiles(row_work_prefix(mask, a, b), num_tiles);
+      } else {
+        plan_.row_tiles = make_uniform_tiles(plan_.rows, num_tiles);
+      }
+      if (two_d) {
+        plan_.col_tiles = make_uniform_tiles(
+            b.cols(), std::max<std::int64_t>(1, config.num_col_tiles));
+        if (plan_.col_tiles.empty()) {
+          plan_.col_tiles.push_back({0, 0});  // zero-column matrix
+        }
+      } else {
+        plan_.col_tiles.assign(1, Tile{0, static_cast<std::int64_t>(b.cols())});
+      }
+      plan_.accumulator_bound =
+          detail::accumulator_row_bound(mask, a, b, config.strategy);
+      if (!two_d && config.strategy == MaskStrategy::kHybrid) {
+        build_hybrid_decisions(mask, a, b, config.coiteration_factor);
+      }
+      plan_.info.fingerprint = detail::structural_fingerprint(mask, a, b);
+    }
+
+    bind_dispatch();
+
+    plan_.info.row_tiles = static_cast<std::int64_t>(plan_.row_tiles.size());
+    plan_.info.col_tiles = static_cast<std::int64_t>(plan_.col_tiles.size());
+    plan_.info.accumulator_bound =
+        static_cast<std::int64_t>(plan_.accumulator_bound);
+    plan_.info.hybrid_decisions =
+        static_cast<std::int64_t>(plan_.hybrid_coiterate.size());
+    plan_.info.build_ms = build.milliseconds();
+    planned_ = true;
+  }
+
+  /// Numeric phase. Throws PreconditionError if no plan was built and
+  /// StalePlanError if the operands' structure changed since plan().
+  Csr<T, I> execute(const Csr<T, I>& mask, const Csr<T, I>& a,
+                    const Csr<T, I>& b) {
+    return execute_impl(mask, a, b, nullptr);
+  }
+
+  Csr<T, I> execute(const Csr<T, I>& mask, const Csr<T, I>& a,
+                    const Csr<T, I>& b, ExecutionStats& stats) {
+    return execute_impl(mask, a, b, &stats);
+  }
+
+  [[nodiscard]] bool planned() const noexcept { return planned_; }
+
+  /// True when a plan exists and `mask`/`a`/`b` carry the planned
+  /// structure (same fingerprint). The non-throwing form of the execute()
+  /// staleness check.
+  [[nodiscard]] bool matches(const Csr<T, I>& mask, const Csr<T, I>& a,
+                             const Csr<T, I>& b) const noexcept {
+    return planned_ &&
+           detail::structural_fingerprint(mask, a, b) == plan_.info.fingerprint;
+  }
+
+  [[nodiscard]] const Plan<I>& plan_data() const noexcept { return plan_; }
+  [[nodiscard]] const PlanInfo& info() const noexcept { return plan_.info; }
+  [[nodiscard]] const Config2d& config() const noexcept { return config_; }
+
+  /// Aggregated workspace-pool counters (zero until the first execute).
+  [[nodiscard]] WorkspacePoolStats pool_stats() const {
+    return pool_stats_ ? pool_stats_() : WorkspacePoolStats{};
+  }
+
+  /// Driver-buffer growth count: flat across executes once warmed up.
+  [[nodiscard]] std::uint64_t buffer_grows() const noexcept {
+    return buffers_->grows;
+  }
+
+  /// Drops the plan and every pooled workspace.
+  void reset() {
+    plan_ = Plan<I>{};
+    config_ = Config2d{};
+    run_ = nullptr;
+    pool_stats_ = nullptr;
+    pool_.reset();
+    pool_type_ = nullptr;
+    *buffers_ = detail::DriverBuffers<T, I>{};
+    planned_ = false;
+  }
+
+ private:
+  using Runner = std::function<Csr<T, I>(
+      const Plan<I>&, const Config2d&, const Csr<T, I>&, const Csr<T, I>&,
+      const Csr<T, I>&, detail::DriverBuffers<T, I>&, ExecutionStats*)>;
+
+  Csr<T, I> execute_impl(const Csr<T, I>& mask, const Csr<T, I>& a,
+                         const Csr<T, I>& b, ExecutionStats* stats) {
+    require(planned_, "Executor::execute: no plan built — call plan() first");
+    TraceSpan span("plan.execute");
+    WallTimer verify;
+    if (detail::structural_fingerprint(mask, a, b) != plan_.info.fingerprint) {
+      throw StalePlanError(
+          "Executor::execute: operand structure does not match the plan "
+          "(rowptr/colidx fingerprint mismatch) — re-plan() after any "
+          "sparsity change; only values may differ between executes");
+    }
+    if (stats != nullptr) {
+      // The structure phase ran at plan() time; what is left of "analyze"
+      // per execute is the staleness check.
+      stats->analyze_ms = verify.milliseconds();
+    }
+    return run_(plan_, config_, mask, a, b, *buffers_, stats);
+  }
+
+  /// Precomputes the hybrid kernel's per-(i,k) κ choices — exactly the
+  /// predicate row_hybrid evaluates inline, hoisted to plan time.
+  void build_hybrid_decisions(const Csr<T, I>& mask, const Csr<T, I>& a,
+                              const Csr<T, I>& b, double kappa) {
+    plan_.hybrid_coiterate.assign(static_cast<std::size_t>(a.nnz()), 0);
+    const auto a_row_ptr = a.row_ptr();
+    parallel_for(I{0}, a.rows(), [&](I i) {
+      const auto mask_nnz = static_cast<std::int64_t>(mask.row_nnz(i));
+      if (mask_nnz == 0) {
+        return;  // the kernel skips the row before reading any decision
+      }
+      const auto a_cols = a.row_cols(i);
+      const auto base = static_cast<std::size_t>(a_row_ptr[static_cast<std::size_t>(i)]);
+      for (std::size_t p = 0; p < a_cols.size(); ++p) {
+        const auto b_nnz = static_cast<std::int64_t>(b.row_nnz(a_cols[p]));
+        plan_.hybrid_coiterate[base + p] =
+            detail::prefer_coiteration(mask_nnz, b_nnz, kappa) ? 1 : 0;
+      }
+    });
+  }
+
+  /// Resolves the (marker width x accumulator kind) dispatch once, binding
+  /// a runner that carries the workspace pool. The pool survives replans
+  /// that keep the same accumulator type.
+  void bind_dispatch() {
+    switch (config_.marker_width) {
+      case MarkerWidth::k8:
+        bind_accumulator<std::uint8_t>();
+        return;
+      case MarkerWidth::k16:
+        bind_accumulator<std::uint16_t>();
+        return;
+      case MarkerWidth::k32:
+        bind_accumulator<std::uint32_t>();
+        return;
+      case MarkerWidth::k64:
+        bind_accumulator<std::uint64_t>();
+        return;
+    }
+    require(false, "Executor::plan: invalid marker width");
+  }
+
+  template <class Marker>
+  void bind_accumulator() {
+    switch (config_.accumulator) {
+      case AccumulatorKind::kDense:
+        bind_runner<DenseAccumulator<SR, I, Marker>>(
+            [](const Plan<I>& p, const Config2d& c) {
+              return DenseAccumulator<SR, I, Marker>(p.cols, c.reset);
+            },
+            [](const Plan<I>& p) {
+              return static_cast<std::uint64_t>(p.cols);
+            });
+        return;
+      case AccumulatorKind::kBitmap:
+        // 1-bit flags: the marker width and reset policy are fixed by the
+        // representation (explicit reset only).
+        bind_runner<BitmapAccumulator<SR, I>>(
+            [](const Plan<I>& p, const Config2d&) {
+              return BitmapAccumulator<SR, I>(p.cols);
+            },
+            [](const Plan<I>& p) {
+              return static_cast<std::uint64_t>(p.cols);
+            });
+        return;
+      case AccumulatorKind::kHash:
+        bind_runner<HashAccumulator<SR, I, Marker>>(
+            [](const Plan<I>& p, const Config2d& c) {
+              return HashAccumulator<SR, I, Marker>(p.accumulator_bound,
+                                                    c.reset);
+            },
+            [](const Plan<I>& p) {
+              return static_cast<std::uint64_t>(p.accumulator_bound);
+            });
+        return;
+    }
+    require(false, "Executor::plan: invalid accumulator kind");
+  }
+
+  /// `factory(plan, config)` builds one accumulator; `capability(plan)` is
+  /// the pool rebuild key. Both are stateless, so the bound runner stays
+  /// valid across replans — only the pool's concrete type matters.
+  template <class Acc, class Factory, class Capability>
+  void bind_runner(Factory factory, Capability capability) {
+    std::shared_ptr<WorkspacePool<Acc>> pool;
+    if (pool_type_ != nullptr && *pool_type_ == typeid(Acc)) {
+      pool = std::static_pointer_cast<WorkspacePool<Acc>>(pool_);
+    } else {
+      pool = std::make_shared<WorkspacePool<Acc>>();
+      pool_ = pool;
+      pool_type_ = &typeid(Acc);
+    }
+    pool_stats_ = [pool] { return pool->stats(); };
+    run_ = [pool, factory, capability](
+               const Plan<I>& plan, const Config2d& config,
+               const Csr<T, I>& mask, const Csr<T, I>& a, const Csr<T, I>& b,
+               detail::DriverBuffers<T, I>& buffers, ExecutionStats* stats) {
+      return detail::planned_execute<SR>(
+          plan, config, mask, a, b, *pool, capability(plan),
+          [&] { return factory(plan, config); }, buffers, stats);
+    };
+  }
+
+  Plan<I> plan_{};
+  Config2d config_{};
+  Runner run_;
+  std::function<WorkspacePoolStats()> pool_stats_;
+  std::shared_ptr<void> pool_;
+  const std::type_info* pool_type_ = nullptr;
+  std::shared_ptr<detail::DriverBuffers<T, I>> buffers_ =
+      std::make_shared<detail::DriverBuffers<T, I>>();
+  bool planned_ = false;
+};
+
+/// Plan-reuse convenience for iterative algorithms: execute() replans
+/// automatically when the operand structure or the config changes and runs
+/// the cached plan otherwise. Replans keep the workspace pool warm (same
+/// accumulator type => zero reallocation), which is exactly the k-truss /
+/// BFS-loop pattern where the matrix shrinks every few iterations.
+template <Semiring SR, class T = typename SR::value_type,
+          class I = std::int64_t>
+class PlanCache {
+ public:
+  Csr<T, I> execute(const Csr<T, I>& mask, const Csr<T, I>& a,
+                    const Csr<T, I>& b, const Config& config = {}) {
+    return execute_impl(mask, a, b, Config2d{config, 1}, nullptr);
+  }
+
+  Csr<T, I> execute(const Csr<T, I>& mask, const Csr<T, I>& a,
+                    const Csr<T, I>& b, const Config& config,
+                    ExecutionStats& stats) {
+    return execute_impl(mask, a, b, Config2d{config, 1}, &stats);
+  }
+
+  Csr<T, I> execute(const Csr<T, I>& mask, const Csr<T, I>& a,
+                    const Csr<T, I>& b, const Config2d& config) {
+    return execute_impl(mask, a, b, config, nullptr);
+  }
+
+  Csr<T, I> execute(const Csr<T, I>& mask, const Csr<T, I>& a,
+                    const Csr<T, I>& b, const Config2d& config,
+                    ExecutionStats& stats) {
+    return execute_impl(mask, a, b, config, &stats);
+  }
+
+  [[nodiscard]] const Executor<SR, T, I>& executor() const noexcept {
+    return exec_;
+  }
+  [[nodiscard]] std::uint64_t replans() const noexcept { return replans_; }
+  [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
+
+ private:
+  Csr<T, I> execute_impl(const Csr<T, I>& mask, const Csr<T, I>& a,
+                         const Csr<T, I>& b, const Config2d& config,
+                         ExecutionStats* stats) {
+    if (!exec_.planned() || !(exec_.config() == config) ||
+        !exec_.matches(mask, a, b)) {
+      exec_.plan(mask, a, b, config);
+      ++replans_;
+    } else {
+      ++hits_;
+    }
+    return stats != nullptr ? exec_.execute(mask, a, b, *stats)
+                            : exec_.execute(mask, a, b);
+  }
+
+  Executor<SR, T, I> exec_;
+  std::uint64_t replans_ = 0;
+  std::uint64_t hits_ = 0;
+};
+
+}  // namespace tilq

@@ -47,6 +47,7 @@
 #include "accum/accumulator.hpp"
 #include "accum/dense_accumulator.hpp"
 #include "accum/hash_accumulator.hpp"
+#include "accum/workspace_pool.hpp"
 
 // Core masked-SpGEMM.
 #include "core/column_spgemm.hpp"
@@ -54,6 +55,7 @@
 #include "core/kernels.hpp"
 #include "core/masked_spgemm.hpp"
 #include "core/masked_spgemm_2d.hpp"
+#include "core/plan.hpp"
 #include "core/model.hpp"
 #include "core/semiring.hpp"
 #include "core/spgemm.hpp"

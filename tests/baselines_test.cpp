@@ -81,7 +81,7 @@ TEST(Baselines, AgreeOnACollectionGraph) {
 TEST(Baselines, StatsAreReported) {
   const auto g = make_collection_graph("GAP-road", 0.05);
   ExecutionStats stats;
-  (void)baselines::ssgb_like<SR>(g, g, g, 2, &stats);
+  (void)baselines::ssgb_like<SR>(g, g, g, 2, stats);
   EXPECT_EQ(stats.tiles, 4);  // 2p with p=2
 }
 

@@ -76,7 +76,7 @@ TEST(ColumnSpgemm, StatsFlowThrough) {
   Config config;
   config.num_tiles = 4;
   ExecutionStats stats;
-  const auto c = masked_spgemm_csc<SR>(a_csc, a_csc, a_csc, config, &stats);
+  const auto c = masked_spgemm_csc<SR>(a_csc, a_csc, a_csc, config, stats);
   EXPECT_EQ(stats.output_nnz, c.nnz());
   EXPECT_GE(stats.tiles, 1);
 }

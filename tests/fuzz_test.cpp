@@ -77,16 +77,16 @@ TEST_P(FuzzRounds, TwoDeeTilingAgreesWithOneDee) {
     const auto a = test::random_matrix<double, I>(n, n, 0.1 + 0.2 * rng.uniform(),
                                                   rng());
     Config2d config;
-    config.base = random_config(rng);
-    if (config.base.strategy == MaskStrategy::kVanilla) {
-      config.base.strategy = MaskStrategy::kHybrid;  // unsupported in 2D
+    config.base() = random_config(rng);
+    if (config.strategy == MaskStrategy::kVanilla) {
+      config.strategy = MaskStrategy::kHybrid;  // unsupported in 2D
     }
     config.num_col_tiles = static_cast<std::int64_t>(1 + rng.uniform_below(20));
 
-    const auto one_d = masked_spgemm<SR>(a, a, a, config.base);
+    const auto one_d = masked_spgemm<SR>(a, a, a, config.base());
     const auto two_d = masked_spgemm_2d<SR>(a, a, a, config);
     ASSERT_TRUE(test::csr_equal(one_d, two_d))
-        << config.base.describe() << " col_tiles " << config.num_col_tiles;
+        << config.base().describe() << " col_tiles " << config.num_col_tiles;
   }
 }
 

@@ -87,7 +87,7 @@ TEST(Genericity, TilingWorksForAnyIndexWidth) {
   config.num_tiles = 17;
   config.tiling = Tiling::kFlopBalanced;
   ExecutionStats stats;
-  const M c = masked_spgemm<PlusTimes<float>>(a, a, a, config, &stats);
+  const M c = masked_spgemm<PlusTimes<float>>(a, a, a, config, stats);
   EXPECT_TRUE(c.check());
   EXPECT_GE(stats.tiles, 1);
   EXPECT_LE(stats.tiles, 17);

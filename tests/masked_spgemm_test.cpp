@@ -165,7 +165,7 @@ TEST_P(MaskedSpgemmTiles, AnyTileCountMatchesOracle) {
   const Problem p = make_problem(11);
   const auto expected = test::reference_masked_spgemm<SR>(p.mask, p.a, p.b);
   ExecutionStats stats;
-  const auto actual = masked_spgemm<SR>(p.mask, p.a, p.b, config, &stats);
+  const auto actual = masked_spgemm<SR>(p.mask, p.a, p.b, config, stats);
   EXPECT_TRUE(test::csr_equal(expected, actual));
   EXPECT_LE(stats.tiles, GetParam());
   EXPECT_GE(stats.tiles, 1);
@@ -265,7 +265,7 @@ TEST(MaskedSpgemm, StatsArePopulated) {
   Config config;
   config.num_tiles = 4;
   ExecutionStats stats;
-  const auto c = masked_spgemm<SR>(p.mask, p.a, p.b, config, &stats);
+  const auto c = masked_spgemm<SR>(p.mask, p.a, p.b, config, stats);
   EXPECT_EQ(stats.output_nnz, c.nnz());
   EXPECT_GE(stats.tiles, 1);
   EXPECT_LE(stats.tiles, 4);
@@ -282,7 +282,7 @@ TEST(MaskedSpgemm, NarrowMarkerReportsFullResets) {
   config.threads = 1;
   const Problem p = make_problem(41, 600, 30, 30, 0.1);
   ExecutionStats stats;
-  (void)masked_spgemm<SR>(p.mask, p.a, p.b, config, &stats);
+  (void)masked_spgemm<SR>(p.mask, p.a, p.b, config, stats);
   EXPECT_GT(stats.accumulator_full_resets, 0u);
 }
 

@@ -250,7 +250,7 @@ TEST_F(MetricsTest, TotalsEqualPerThreadSumAcrossThreads) {
   config.threads = 4;
   config.num_tiles = 16;
   ExecutionStats stats;
-  (void)masked_spgemm<SR>(a, a, a, config, &stats);
+  (void)masked_spgemm<SR>(a, a, a, config, stats);
 
   const MetricsSnapshot snapshot = metrics_snapshot();
   MetricCounters summed;
@@ -331,10 +331,10 @@ TEST_F(MetricsTest, DeltaIsolatesOneMeasuredRegion) {
 TEST_F(MetricsTest, TwoDimensionalDriverCountsCells) {
   const auto a = test::random_matrix<double, I>(60, 60, 0.1, 31);
   Config2d config;
-  config.base.strategy = MaskStrategy::kMaskFirst;
+  config.strategy = MaskStrategy::kMaskFirst;
   config.num_col_tiles = 4;
   ExecutionStats stats;
-  (void)masked_spgemm_2d<SR>(a, a, a, config, &stats);
+  (void)masked_spgemm_2d<SR>(a, a, a, config, stats);
 
   const MetricsSnapshot snapshot = metrics_snapshot();
   EXPECT_EQ(snapshot.total.tiles_executed,
@@ -415,7 +415,7 @@ TEST_F(MetricsTest, ExecutionStatsCarryPerThreadWork) {
   config.threads = 2;
   config.num_tiles = 8;
   ExecutionStats stats;
-  (void)masked_spgemm<SR>(a, a, a, config, &stats);
+  (void)masked_spgemm<SR>(a, a, a, config, stats);
 
   ASSERT_FALSE(stats.thread_work.empty());
   EXPECT_LE(stats.thread_work.size(), 2u);
@@ -434,10 +434,10 @@ TEST_F(MetricsTest, ExecutionStatsCarryPerThreadWork) {
   // The same invariants through the 2D driver: every row is visited once
   // per column tile.
   Config2d config2d;
-  config2d.base = config;
+  config2d.base() = config;
   config2d.num_col_tiles = 3;
   ExecutionStats stats2d;
-  (void)masked_spgemm_2d<SR>(a, a, a, config2d, &stats2d);
+  (void)masked_spgemm_2d<SR>(a, a, a, config2d, stats2d);
   std::int64_t rows2d = 0;
   for (const ThreadWork& t : stats2d.thread_work) {
     rows2d += t.rows;

@@ -1,0 +1,422 @@
+// Plan/execute runtime tests: bit-identity of the planned numeric phase
+// against the oracle and across repeated executes, value-only updates on a
+// fixed sparsity pattern, staleness detection, workspace-pool reuse (zero
+// per-iteration accumulator constructions after warm-up), and the PlanCache
+// replan/hit accounting the iterative algorithms rely on.
+#include "core/plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "accum/workspace_pool.hpp"
+#include "algos/ktruss.hpp"
+#include "algos/triangle_count.hpp"
+#include "core/masked_spgemm.hpp"
+#include "core/masked_spgemm_2d.hpp"
+#include "sparse/build.hpp"
+#include "sparse/ops.hpp"
+#include "support/rng.hpp"
+#include "test_util.hpp"
+
+namespace tilq {
+namespace {
+
+using I = std::int64_t;
+using SR = PlusTimes<double>;
+
+struct Problem {
+  Csr<double, I> mask;
+  Csr<double, I> a;
+  Csr<double, I> b;
+};
+
+Problem make_problem(std::uint64_t seed, I rows = 48, I inner = 40, I cols = 44,
+                     double density = 0.12) {
+  return {test::random_matrix<double, I>(rows, cols, density, seed),
+          test::random_matrix<double, I>(rows, inner, density, seed + 1000),
+          test::random_matrix<double, I>(inner, cols, density, seed + 2000)};
+}
+
+/// Random undirected simple graph as a symmetric adjacency matrix.
+Csr<double, I> random_symmetric_graph(I n, double density, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  Coo<double, I> coo(n, n);
+  for (I i = 0; i < n; ++i) {
+    for (I j = i + 1; j < n; ++j) {
+      if (rng.bernoulli(density)) {
+        coo.push(i, j, 1.0);
+        coo.push(j, i, 1.0);
+      }
+    }
+  }
+  return build_csr(coo);
+}
+
+/// Same sparsity, different values — the update a plan must survive.
+Csr<double, I> scale_values(const Csr<double, I>& m, double factor) {
+  std::vector<I> row_ptr(m.row_ptr().begin(), m.row_ptr().end());
+  std::vector<I> col_idx(m.col_idx().begin(), m.col_idx().end());
+  std::vector<double> values(m.values().begin(), m.values().end());
+  for (double& v : values) {
+    v *= factor;
+  }
+  return {m.rows(), m.cols(), std::move(row_ptr), std::move(col_idx),
+          std::move(values)};
+}
+
+// ---------------------------------------------------------------------------
+// Bit-identity: planned executes match the oracle and each other, across the
+// strategy x accumulator x marker-width grid.
+// ---------------------------------------------------------------------------
+
+using PlanTuple = std::tuple<MaskStrategy, AccumulatorKind, MarkerWidth>;
+
+class PlannedExecute : public ::testing::TestWithParam<PlanTuple> {};
+
+TEST_P(PlannedExecute, RepeatedExecutesAreBitIdenticalToOracle) {
+  Config config;
+  config.strategy = std::get<0>(GetParam());
+  config.accumulator = std::get<1>(GetParam());
+  config.marker_width = std::get<2>(GetParam());
+  config.num_tiles = 6;
+
+  const Problem p = make_problem(5);
+  const auto expected = test::reference_masked_spgemm<SR>(p.mask, p.a, p.b);
+  const auto one_shot = masked_spgemm<SR>(p.mask, p.a, p.b, config);
+
+  Executor<SR> exec;
+  exec.plan(p.mask, p.a, p.b, config);
+  const auto first = exec.execute(p.mask, p.a, p.b);
+  EXPECT_TRUE(test::csr_equal(expected, first)) << config.describe();
+  EXPECT_TRUE(test::csr_equal(one_shot, first)) << config.describe();
+  // Reused pooled accumulators (continued epochs, retained capacity) must
+  // not perturb a single bit of the output.
+  for (int round = 0; round < 4; ++round) {
+    EXPECT_TRUE(test::csr_equal(first, exec.execute(p.mask, p.a, p.b)))
+        << config.describe() << " round=" << round;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, PlannedExecute,
+    ::testing::Combine(
+        ::testing::Values(MaskStrategy::kVanilla, MaskStrategy::kMaskFirst,
+                          MaskStrategy::kCoIterate, MaskStrategy::kHybrid),
+        ::testing::Values(AccumulatorKind::kDense, AccumulatorKind::kHash,
+                          AccumulatorKind::kBitmap),
+        ::testing::Values(MarkerWidth::k8, MarkerWidth::k64)),
+    [](const auto& param_info) {
+      std::string name;
+      name += to_string(std::get<0>(param_info.param));
+      name += '_';
+      name += to_string(std::get<1>(param_info.param));
+      name += std::to_string(bits(std::get<2>(param_info.param)));
+      for (auto& ch : name) {
+        if (ch == '-') {
+          ch = '_';
+        }
+      }
+      return name;
+    });
+
+// ---------------------------------------------------------------------------
+// Value-only updates: the planned structure survives new numeric values.
+// ---------------------------------------------------------------------------
+
+TEST(PlanValueUpdates, NewValuesSameSparsityExecuteWithoutReplanning) {
+  const Problem p = make_problem(7);
+  Config config;
+  config.strategy = MaskStrategy::kHybrid;
+
+  Executor<SR> exec;
+  exec.plan(p.mask, p.a, p.b, config);
+  (void)exec.execute(p.mask, p.a, p.b);
+
+  for (const double factor : {2.0, -0.5, 10.0}) {
+    const auto a2 = scale_values(p.a, factor);
+    const auto b2 = scale_values(p.b, factor);
+    EXPECT_TRUE(exec.matches(p.mask, a2, b2));
+    const auto planned = exec.execute(p.mask, a2, b2);
+    const auto fresh = masked_spgemm<SR>(p.mask, a2, b2, config);
+    EXPECT_TRUE(test::csr_equal(fresh, planned)) << "factor=" << factor;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Staleness: a structure change after plan() must raise, not compute.
+// ---------------------------------------------------------------------------
+
+TEST(PlanStaleness, StructureChangeRaisesStalePlanError) {
+  const Problem p = make_problem(11);
+  Executor<SR> exec;
+  exec.plan(p.mask, p.a, p.b);
+  (void)exec.execute(p.mask, p.a, p.b);
+
+  const auto a_changed = tril(p.a);  // drops entries: new sparsity
+  EXPECT_FALSE(exec.matches(p.mask, a_changed, p.b));
+  EXPECT_THROW((void)exec.execute(p.mask, a_changed, p.b), StalePlanError);
+  // StalePlanError is a PreconditionError, so existing catch sites work.
+  EXPECT_THROW((void)exec.execute(p.mask, a_changed, p.b), PreconditionError);
+  // The original operands still execute fine: the plan was not corrupted.
+  EXPECT_NO_THROW((void)exec.execute(p.mask, p.a, p.b));
+}
+
+TEST(PlanStaleness, ExecuteWithoutPlanThrows) {
+  const Problem p = make_problem(13);
+  Executor<SR> exec;
+  EXPECT_THROW((void)exec.execute(p.mask, p.a, p.b), PreconditionError);
+  exec.plan(p.mask, p.a, p.b);
+  EXPECT_NO_THROW((void)exec.execute(p.mask, p.a, p.b));
+  exec.reset();
+  EXPECT_THROW((void)exec.execute(p.mask, p.a, p.b), PreconditionError);
+}
+
+TEST(PlanStaleness, ValueOnlyChangeKeepsFingerprint) {
+  const Problem p = make_problem(17);
+  Executor<SR> exec;
+  exec.plan(p.mask, p.a, p.b);
+  const auto mask2 = scale_values(p.mask, 3.0);  // mask values are ignored
+  EXPECT_TRUE(exec.matches(mask2, p.a, p.b));
+}
+
+// ---------------------------------------------------------------------------
+// Workspace pooling: allocations happen once, not per execute.
+// ---------------------------------------------------------------------------
+
+TEST(PlanWorkspaces, AccumulatorConstructionsFlatAcrossExecutes) {
+  const Problem p = make_problem(19);
+  Config config;
+  config.accumulator = AccumulatorKind::kHash;
+
+  Executor<SR> exec;
+  exec.plan(p.mask, p.a, p.b, config);
+  (void)exec.execute(p.mask, p.a, p.b);  // warm-up constructs the pool
+
+  const auto warm = exec.pool_stats();
+  const auto warm_grows = exec.buffer_grows();
+  EXPECT_GT(warm.constructions, 0u);
+
+  for (int round = 0; round < 10; ++round) {
+    (void)exec.execute(p.mask, p.a, p.b);
+  }
+  const auto after = exec.pool_stats();
+  EXPECT_EQ(after.constructions, warm.constructions)
+      << "pooled accumulators were rebuilt on a steady-state execute";
+  EXPECT_EQ(after.retunes, warm.retunes);
+  EXPECT_GT(after.acquisitions, warm.acquisitions);
+  EXPECT_EQ(exec.buffer_grows(), warm_grows)
+      << "driver buffers grew on a steady-state execute";
+}
+
+TEST(PlanWorkspaces, ReplanSameAccumulatorTypeKeepsPoolWarm) {
+  const Problem p = make_problem(23);
+  Config config;
+  config.accumulator = AccumulatorKind::kDense;
+
+  Executor<SR> exec;
+  exec.plan(p.mask, p.a, p.b, config);
+  (void)exec.execute(p.mask, p.a, p.b);
+  const auto warm = exec.pool_stats();
+
+  // Shrinking replan (k-truss pattern): same accumulator type, smaller
+  // structure — the pooled workspaces must carry over untouched.
+  const auto mask2 = tril(p.mask);
+  exec.plan(mask2, p.a, p.b, config);
+  (void)exec.execute(mask2, p.a, p.b);
+  const auto after = exec.pool_stats();
+  EXPECT_EQ(after.constructions, warm.constructions);
+  EXPECT_GT(after.acquisitions, warm.acquisitions);
+}
+
+TEST(PlanWorkspaces, PoolRebuildsOnlyOnCapabilityGrowth) {
+  struct Dummy {
+    std::uint64_t cap;
+  };
+  WorkspacePool<Dummy> pool;
+  pool.reserve(1);
+  const auto make_for = [](std::uint64_t cap) {
+    return [cap] { return Dummy{cap}; };
+  };
+  (void)pool.acquire(0, 100, make_for(100));
+  (void)pool.acquire(0, 50, make_for(50));   // smaller demand: reuse
+  (void)pool.acquire(0, 100, make_for(100)); // equal demand: reuse
+  auto stats = pool.stats();
+  EXPECT_EQ(stats.acquisitions, 3u);
+  EXPECT_EQ(stats.constructions, 1u);
+  EXPECT_EQ(stats.retunes, 0u);
+
+  (void)pool.acquire(0, 200, make_for(200));  // growth: rebuild
+  stats = pool.stats();
+  EXPECT_EQ(stats.constructions, 2u);
+  EXPECT_EQ(stats.retunes, 1u);
+
+  pool.release();
+  (void)pool.acquire(0, 10, make_for(10));  // empty slot: rebuild, no retune
+  stats = pool.stats();
+  EXPECT_EQ(stats.constructions, 3u);
+  EXPECT_EQ(stats.retunes, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Plan introspection.
+// ---------------------------------------------------------------------------
+
+TEST(PlanInfo, HybridPlansOneDecisionPerANonzero) {
+  const Problem p = make_problem(29);
+  Config config;
+  config.strategy = MaskStrategy::kHybrid;
+  Executor<SR> exec;
+  exec.plan(p.mask, p.a, p.b, config);
+  EXPECT_EQ(exec.info().hybrid_decisions, p.a.nnz());
+  EXPECT_GT(exec.info().fingerprint, 0u);
+  EXPECT_GE(exec.info().build_ms, 0.0);
+  EXPECT_EQ(exec.info().col_tiles, 1);
+
+  config.strategy = MaskStrategy::kMaskFirst;
+  exec.plan(p.mask, p.a, p.b, config);
+  EXPECT_EQ(exec.info().hybrid_decisions, 0);  // only hybrid precomputes
+}
+
+TEST(PlanInfo, StatsReportPhasesAndPlanBuildTime) {
+  const Problem p = make_problem(31);
+  Executor<SR> exec;
+  exec.plan(p.mask, p.a, p.b);
+  ExecutionStats stats;
+  const auto c = exec.execute(p.mask, p.a, p.b, stats);
+  EXPECT_EQ(stats.output_nnz, c.nnz());
+  EXPECT_GE(stats.tiles, 1);
+  EXPECT_GE(stats.analyze_ms, 0.0);  // per-execute: the staleness check
+  EXPECT_GE(stats.compute_ms, 0.0);
+  EXPECT_GE(stats.compact_ms, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// 2D plans.
+// ---------------------------------------------------------------------------
+
+TEST(Plan2d, PlannedTwoDimensionalMatchesOracleAndRepeats) {
+  const Problem p = make_problem(37);
+  Config2d config;
+  config.strategy = MaskStrategy::kMaskFirst;
+  config.num_col_tiles = 3;
+  config.num_tiles = 4;
+
+  const auto expected = test::reference_masked_spgemm<SR>(p.mask, p.a, p.b);
+  Executor<SR> exec;
+  exec.plan(p.mask, p.a, p.b, config);
+  EXPECT_TRUE(exec.plan_data().two_dimensional());
+  EXPECT_EQ(exec.info().col_tiles, 3);
+  const auto first = exec.execute(p.mask, p.a, p.b);
+  EXPECT_TRUE(test::csr_equal(expected, first));
+  EXPECT_TRUE(test::csr_equal(first, exec.execute(p.mask, p.a, p.b)));
+}
+
+TEST(Plan2d, VanillaTwoDimensionalIsRejected) {
+  const Problem p = make_problem(41);
+  Config2d config;
+  config.strategy = MaskStrategy::kVanilla;
+  config.num_col_tiles = 2;
+  Executor<SR> exec;
+  EXPECT_THROW(exec.plan(p.mask, p.a, p.b, config), PreconditionError);
+}
+
+TEST(Plan2d, SingleColumnTileDegeneratesToOneDimensional) {
+  const Problem p = make_problem(43);
+  Config2d config;
+  config.num_col_tiles = 1;
+  Executor<SR> exec;
+  exec.plan(p.mask, p.a, p.b, config);
+  EXPECT_FALSE(exec.plan_data().two_dimensional());
+  EXPECT_TRUE(test::csr_equal(masked_spgemm<SR>(p.mask, p.a, p.b),
+                              exec.execute(p.mask, p.a, p.b)));
+}
+
+// ---------------------------------------------------------------------------
+// PlanCache: the iterative-algorithm front door.
+// ---------------------------------------------------------------------------
+
+TEST(PlanCacheTest, ReplansOnlyOnStructureOrConfigChange) {
+  const Problem p = make_problem(47);
+  PlanCache<SR> cache;
+  const Config config;
+
+  const auto c1 = cache.execute(p.mask, p.a, p.b, config);
+  (void)cache.execute(p.mask, p.a, p.b, config);
+  (void)cache.execute(p.mask, p.a, p.b, config);
+  EXPECT_EQ(cache.replans(), 1u);
+  EXPECT_EQ(cache.hits(), 2u);
+  EXPECT_TRUE(test::csr_equal(c1, cache.execute(p.mask, p.a, p.b, config)));
+
+  // Structure change: transparent replan, correct result.
+  const auto mask2 = tril(p.mask);
+  const auto c2 = cache.execute(mask2, p.a, p.b, config);
+  EXPECT_EQ(cache.replans(), 2u);
+  EXPECT_TRUE(test::csr_equal(
+      test::reference_masked_spgemm<SR>(mask2, p.a, p.b), c2));
+
+  // Config change on the same structure: also a replan.
+  Config other = config;
+  other.strategy = MaskStrategy::kCoIterate;
+  (void)cache.execute(mask2, p.a, p.b, other);
+  EXPECT_EQ(cache.replans(), 3u);
+}
+
+TEST(PlanCacheTest, KtrussSharedCacheMatchesUncached) {
+  const auto adj = random_symmetric_graph(60, 0.12, 53);
+  const Config config;
+  const KtrussResult plain = ktruss(adj, 4, config);
+
+  TrianglePlanCache cache;
+  const KtrussResult cached = ktruss(adj, 4, config, cache);
+  EXPECT_TRUE(test::csr_equal(plain.truss, cached.truss));
+  EXPECT_EQ(plain.edges, cached.edges);
+  EXPECT_EQ(plain.iterations, cached.iterations);
+  EXPECT_EQ(cache.replans() + cache.hits(),
+            static_cast<std::uint64_t>(cached.iterations));
+}
+
+TEST(PlanCacheTest, TriangleCountSharedCacheMatchesUncached) {
+  const auto adj = random_symmetric_graph(60, 0.15, 59);
+  TrianglePlanCache cache;
+  for (const TriangleMethod method :
+       {TriangleMethod::kBurkhardt, TriangleMethod::kCohen,
+        TriangleMethod::kSandia}) {
+    const auto plain = count_triangles(adj, method);
+    EXPECT_EQ(plain, count_triangles(adj, method, Config{}, cache))
+        << to_string(method);
+    // Repeating the same method is a pure cache hit.
+    const auto hits_before = cache.hits();
+    EXPECT_EQ(plain, count_triangles(adj, method, Config{}, cache));
+    EXPECT_GT(cache.hits(), hits_before);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Unified Config2d.
+// ---------------------------------------------------------------------------
+
+TEST(ConfigUnification, Config2dExtendsConfigAndDescribes) {
+  Config base;
+  base.strategy = MaskStrategy::kCoIterate;
+  Config2d config{base, 4};
+  EXPECT_EQ(config.strategy, MaskStrategy::kCoIterate);
+  EXPECT_EQ(config.num_col_tiles, 4);
+  EXPECT_EQ(config.base(), base);
+  EXPECT_NE(config.describe().find("col-tiles=4"), std::string::npos);
+  EXPECT_NE(config.describe().find(base.describe()), std::string::npos);
+
+  Config2d same{base, 4};
+  EXPECT_EQ(config, same);
+  same.num_col_tiles = 5;
+  EXPECT_FALSE(config == same);
+  same.num_col_tiles = 4;
+  same.threads = 7;
+  EXPECT_FALSE(config == same);
+}
+
+}  // namespace
+}  // namespace tilq

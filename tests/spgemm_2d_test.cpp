@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <tuple>
 
+#include "core/masked_spgemm.hpp"
 #include "test_util.hpp"
 
 namespace tilq {
@@ -35,9 +36,9 @@ class Spgemm2dColTiles
 TEST_P(Spgemm2dColTiles, MatchesOracle) {
   Config2d config;
   config.num_col_tiles = std::get<0>(GetParam());
-  config.base.strategy = std::get<1>(GetParam());
-  config.base.accumulator = std::get<2>(GetParam());
-  config.base.num_tiles = 6;
+  config.strategy = std::get<1>(GetParam());
+  config.accumulator = std::get<2>(GetParam());
+  config.num_tiles = 6;
   for (const std::uint64_t seed : {1u, 5u}) {
     const Problem p = make_problem(seed);
     const auto expected = test::reference_masked_spgemm<SR>(p.mask, p.a, p.b);
@@ -45,7 +46,7 @@ TEST_P(Spgemm2dColTiles, MatchesOracle) {
     EXPECT_TRUE(actual.check());
     EXPECT_TRUE(test::csr_equal(expected, actual))
         << "col_tiles=" << config.num_col_tiles << " "
-        << config.base.describe() << " seed=" << seed;
+        << config.describe() << " seed=" << seed;
   }
 }
 
@@ -63,14 +64,14 @@ TEST(Spgemm2d, SingleColumnTileEqualsOneDimensional) {
   Config2d config;
   config.num_col_tiles = 1;
   const auto two_d = masked_spgemm_2d<SR>(p.mask, p.a, p.b, config);
-  const auto one_d = masked_spgemm<SR>(p.mask, p.a, p.b, config.base);
+  const auto one_d = masked_spgemm<SR>(p.mask, p.a, p.b, config.base());
   EXPECT_TRUE(test::csr_equal(one_d, two_d));
 }
 
 TEST(Spgemm2d, VanillaStrategyIsRejected) {
   const Problem p = make_problem(11);
   Config2d config;
-  config.base.strategy = MaskStrategy::kVanilla;
+  config.strategy = MaskStrategy::kVanilla;
   EXPECT_THROW(masked_spgemm_2d<SR>(p.mask, p.a, p.b, config),
                PreconditionError);
 }
@@ -78,10 +79,10 @@ TEST(Spgemm2d, VanillaStrategyIsRejected) {
 TEST(Spgemm2d, StatsCountRowByColumnTiles) {
   const Problem p = make_problem(13);
   Config2d config;
-  config.base.num_tiles = 4;
+  config.num_tiles = 4;
   config.num_col_tiles = 3;
   ExecutionStats stats;
-  (void)masked_spgemm_2d<SR>(p.mask, p.a, p.b, config, &stats);
+  (void)masked_spgemm_2d<SR>(p.mask, p.a, p.b, config, stats);
   EXPECT_EQ(stats.tiles, 12);
 }
 
@@ -100,7 +101,7 @@ TEST(Spgemm2d, SelfMaskedKernelAcrossMarkerWidths) {
   for (const MarkerWidth width : {MarkerWidth::k8, MarkerWidth::k64}) {
     Config2d config;
     config.num_col_tiles = 5;
-    config.base.marker_width = width;
+    config.marker_width = width;
     EXPECT_TRUE(
         test::csr_equal(expected, masked_spgemm_2d<SR>(a, a, a, config)))
         << bits(width);
@@ -111,7 +112,7 @@ TEST(Spgemm2d, ExplicitResetPolicy) {
   const Problem p = make_problem(23);
   Config2d config;
   config.num_col_tiles = 4;
-  config.base.reset = ResetPolicy::kExplicit;
+  config.reset = ResetPolicy::kExplicit;
   const auto expected = test::reference_masked_spgemm<SR>(p.mask, p.a, p.b);
   EXPECT_TRUE(test::csr_equal(expected,
                               masked_spgemm_2d<SR>(p.mask, p.a, p.b, config)));

@@ -124,7 +124,7 @@ TEST(Tune, WinnerDecisionsShowUpInEmittedMetrics) {
   set_metrics_enabled(true);
   metrics_reset();
   ExecutionStats stats;
-  (void)masked_spgemm<SR>(a, a, a, report.best, &stats);
+  (void)masked_spgemm<SR>(a, a, a, report.best, stats);
   const MetricsSnapshot snapshot = metrics_snapshot();
   set_metrics_enabled(false);
 

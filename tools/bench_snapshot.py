@@ -38,6 +38,12 @@ def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--cli", required=True,
                         help="path to the built tilq_cli binary")
+    parser.add_argument("--iterated", default=None,
+                        help="path to the built iterated_workload bench; when "
+                             "given, its plan-reuse records (source "
+                             "'iterated_workload') are appended to the "
+                             "snapshot, so bench_diff also guards the "
+                             "planned-execute path")
     parser.add_argument("--tag",
                         default=os.environ.get("TILQ_SNAPSHOT_TAG", "dev"),
                         help="snapshot name: writes BENCH_<tag>.json "
@@ -73,6 +79,21 @@ def main() -> int:
                 sys.exit(f"snapshot cell failed (exit {result.returncode}): "
                          f"{' '.join(command)}")
             cells += 1
+
+    if args.iterated:
+        # The iterated bench reads the standard bench knobs; align them with
+        # the grid so the snapshot is one coherent workload size.
+        env["TILQ_BENCH_SCALE"] = args.scale
+        env["TILQ_BENCH_THREADS"] = args.threads
+        # Record-only: the speedup gate lives in CI's plan-reuse job, not in
+        # the snapshot (a snapshot should never fail on timing noise).
+        command = [args.iterated]
+        print("snapshot: iterated_workload", flush=True)
+        result = subprocess.run(command, env=env, stdout=subprocess.DEVNULL)
+        if result.returncode != 0:
+            sys.exit(f"iterated snapshot failed (exit {result.returncode}): "
+                     f"{' '.join(command)}")
+        cells += 1
 
     if not os.path.exists(out_path):
         sys.exit(f"no records written to {out_path} — was tilq_cli built "
