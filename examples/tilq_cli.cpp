@@ -197,14 +197,7 @@ void print_profile(const tilq::MetricsSnapshot& delta,
   }
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  const auto parsed = parse(argc, argv);
-  if (!parsed) {
-    return 2;
-  }
-  CliOptions options = *parsed;
+int run(CliOptions options) {
   if (options.profile) {
     // --profile implies counting; the summary needs the flop and hardware
     // deltas of the measured region.
@@ -307,4 +300,26 @@ int main(int argc, char** argv) {
                 tilq::trace_path().c_str());
   }
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto parsed = parse(argc, argv);
+  if (!parsed) {
+    return 2;
+  }
+  // Every library failure is a typed tilq::Error (docs/ROBUSTNESS.md) and
+  // propagates here even from inside the OpenMP regions; report it as a
+  // diagnostic instead of std::terminate.
+  try {
+    return run(*parsed);
+  } catch (const tilq::Error& e) {
+    std::fprintf(stderr, "tilq_cli: %s error: %s\n", tilq::to_string(e.kind()),
+                 e.message());
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "tilq_cli: %s\n", e.what());
+    return 1;
+  }
 }

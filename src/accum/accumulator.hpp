@@ -27,6 +27,7 @@
 #include <cstdint>
 #include <span>
 
+#include "support/errors.hpp"
 #include "support/metrics.hpp"  // TILQ_METRICS_ENABLED gate for the counters
 
 namespace tilq {
@@ -85,6 +86,17 @@ struct AccumulatorCounters {
   std::uint64_t collisions = 0;      ///< hash insertions needing >=1 probe step
   std::uint64_t row_resets = 0;      ///< marker-policy finish_row epoch bumps
   std::uint64_t explicit_clears = 0; ///< slots cleared by explicit resets
+  std::uint64_t rehashes = 0;        ///< hash grow-and-rehash events (saturation)
+};
+
+/// Thrown (CapacityError subtype) when the hash accumulator's probe chains
+/// breach its limit and growing the table past its bound would not help —
+/// or when the hash-sat fault site (support/fault.hpp) forces that path.
+/// The drivers catch this and degrade the offending row/cell to the dense
+/// accumulator when Config::degrade_on_saturation is set (the default).
+class AccumulatorSaturatedError : public CapacityError {
+ public:
+  using CapacityError::CapacityError;
 };
 
 /// Compile-time interface check used by the kernels.

@@ -20,6 +20,7 @@
 #include "accum/accumulator.hpp"
 #include "core/semiring.hpp"
 #include "support/common.hpp"
+#include "support/fault.hpp"
 
 namespace tilq {
 
@@ -114,7 +115,10 @@ class DenseAccumulator {
 #if TILQ_METRICS_ENABLED
     ++counters_.row_resets;
 #endif
-    if (epoch_ >= max_epoch()) {
+    // The marker-wrap fault site forces the overflow full-reset path at any
+    // width; results must be unchanged (the wrap is correctness-preserving).
+    if (epoch_ >= max_epoch() ||
+        fault::should_fire(FaultSite::kMarkerWrap)) {
       std::fill(state_.begin(), state_.end(), Marker{0});
       epoch_ = 1;
       ++counters_.full_resets;

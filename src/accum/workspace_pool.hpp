@@ -20,6 +20,9 @@
 #include <utility>
 #include <vector>
 
+#include "support/errors.hpp"
+#include "support/fault.hpp"
+
 namespace tilq {
 
 /// Aggregated pool counters (summed over slots by WorkspacePool::stats()).
@@ -43,12 +46,18 @@ class WorkspacePool {
   /// Returns thread `thread`'s accumulator, constructing it via `make()`
   /// only when the slot is empty or `capability` exceeds what the resident
   /// instance was built for. Call only from the owning thread, after a
-  /// reserve() that covers `thread`.
+  /// reserve() that covers `thread`. Throws CapacityError when the
+  /// pool-alloc fault site fires (or make() itself fails to allocate); the
+  /// slot is left empty, not half-built, so the pool stays reusable.
   template <class Make>
   Acc& acquire(int thread, std::uint64_t capability, Make&& make) {
     Slot& slot = slots_[static_cast<std::size_t>(thread)];
     ++slot.acquisitions;
     if (!slot.acc.has_value() || slot.capability < capability) {
+      if (fault::should_fire(FaultSite::kPoolAllocation)) {
+        throw CapacityError(
+            "workspace allocation failed (injected fault: pool-alloc)");
+      }
       if (slot.acc.has_value()) {
         ++slot.retunes;
       }

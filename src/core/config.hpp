@@ -11,6 +11,7 @@
 #include "accum/accumulator.hpp"
 #include "core/kernels.hpp"
 #include "core/tiling.hpp"
+#include "support/common.hpp"
 #include "support/env.hpp"
 
 namespace tilq {
@@ -35,6 +36,19 @@ struct Config {
 
   /// Threads for the parallel region; 0 uses the OpenMP default.
   int threads = 0;
+
+  // Robustness knobs (docs/ROBUSTNESS.md). Deliberately NOT part of
+  // describe(): they change error handling, never the executed kernel path,
+  // and benchmark config strings must stay comparable across versions.
+  /// Run the structural validator over mask/A/B at plan() boundaries and
+  /// throw PreconditionError with a defect report on broken operands.
+  /// Defaults on in hardened (Debug / sanitizer) builds.
+  bool validate_inputs = TILQ_HARDENED != 0;
+  /// When the hash accumulator saturates beyond its growth bound, fall back
+  /// to a dense accumulator for the offending row/cell (bit-identical
+  /// results, `accum_degrades` counts it). When false the saturation
+  /// escalates as CapacityError instead.
+  bool degrade_on_saturation = true;
 
   [[nodiscard]] bool operator==(const Config&) const = default;
 
@@ -115,6 +129,11 @@ struct ExecutionStats {
   std::uint64_t hash_collisions = 0;     ///< hash inserts needing >=1 probe
   std::uint64_t marker_row_resets = 0;   ///< marker-policy epoch bumps
   std::uint64_t explicit_reset_slots = 0;  ///< slots cleared by explicit resets
+  std::uint64_t accum_rehashes = 0;  ///< hash grow-and-rehash events
+  std::uint64_t accum_degrades = 0;  ///< rows/cells escalated to dense
+  /// True when any row/cell of this execute ran on the dense fallback after
+  /// hash saturation (accum_degrades > 0).
+  bool degraded = false;
 
   /// Compute-phase share of every thread in the team, indexed by OpenMP
   /// thread number (threads that drew no tiles appear with zero work —

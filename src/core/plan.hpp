@@ -35,9 +35,11 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <span>
 #include <typeinfo>
 #include <utility>
+#include <variant>
 #include <vector>
 
 #include "accum/bitmap_accumulator.hpp"
@@ -50,9 +52,12 @@
 #include "core/work_estimate.hpp"
 #include "sparse/csr.hpp"
 #include "sparse/stats.hpp"
+#include "sparse/validate.hpp"
 #include "support/common.hpp"
 #include "support/env.hpp"
+#include "support/fault.hpp"
 #include "support/metrics.hpp"
+#include "support/panic.hpp"
 #include "support/parallel.hpp"
 #include "support/perf.hpp"
 #include "support/timer.hpp"
@@ -61,10 +66,11 @@
 namespace tilq {
 
 /// Thrown by Executor::execute when the operands' structure no longer
-/// matches the fingerprint recorded at plan() time.
-class StalePlanError : public PreconditionError {
+/// matches the fingerprint recorded at plan() time. A StaleError
+/// (kind() == kStale) that remains catchable as PreconditionError.
+class StalePlanError : public StaleError {
  public:
-  using PreconditionError::PreconditionError;
+  using StaleError::StaleError;
 };
 
 /// Structure-phase diagnostics, filled by plan().
@@ -220,8 +226,25 @@ inline AccumulatorCounters counters_delta(const AccumulatorCounters& after,
   d.collisions = after.collisions - before.collisions;
   d.row_resets = after.row_resets - before.row_resets;
   d.explicit_clears = after.explicit_clears - before.explicit_clears;
+  d.rehashes = after.rehashes - before.rehashes;
   return d;
 }
+
+/// Degradation target when an accumulator saturates: the hash accumulator
+/// escalates the offending row/cell to a dense accumulator with the same
+/// marker type (identical accumulate-and-gather order => bit-identical
+/// results). Dense and bitmap accumulators cannot saturate.
+template <class Acc>
+struct FallbackAccumulator {
+  using type = std::monostate;
+  static constexpr bool available = false;
+};
+
+template <Semiring SR, class I, class Marker>
+struct FallbackAccumulator<HashAccumulator<SR, I, Marker>> {
+  using type = DenseAccumulator<SR, I, Marker>;
+  static constexpr bool available = true;
+};
 
 /// The numeric phase (compute + compact) against a built plan. Handles both
 /// the 1D and the 2D tile grid; trace span names stay those of the original
@@ -261,6 +284,8 @@ Csr<T, I> planned_execute(const Plan<I>& plan, const Config2d& config,
   std::uint64_t total_collisions = 0;
   std::uint64_t total_row_resets = 0;
   std::uint64_t total_explicit_clears = 0;
+  std::uint64_t total_rehashes = 0;
+  std::uint64_t total_degrades = 0;
 
   // Per-thread compute shares, indexed by OpenMP thread number; the
   // measured load-imbalance signal next to the model's predicted CV.
@@ -269,19 +294,38 @@ Csr<T, I> planned_execute(const Plan<I>& plan, const Config2d& config,
 
   const std::span<const std::uint8_t> decisions(plan.hybrid_coiterate);
 
+  // First worker exception is captured here and rethrown after the join;
+  // remaining tiles become no-ops. No exception may cross the region
+  // boundary (that would be std::terminate under OpenMP).
+  ParallelGuard guard;
+  using Fallback = FallbackAccumulator<Acc>;
+
   {
     TraceSpan compute_span(two_d ? "spgemm2d.compute" : "spgemm.compute");
 
 #pragma omp parallel num_threads(threads)                                  \
     reduction(+ : total_resets, total_probes, total_inserts, total_rejects, \
-                  total_collisions, total_row_resets, total_explicit_clears)
+                  total_collisions, total_row_resets, total_explicit_clears, \
+                  total_rehashes, total_degrades)
     {
       const int thread_num = omp_get_thread_num();
 #pragma omp single
       team_size = omp_get_num_threads();
 
-      Acc& acc = pool.acquire(thread_num, capability, make);
-      const AccumulatorCounters counters_at_entry = acc.counters();
+      // A thread whose acquisition failed must still encounter the
+      // worksharing loop below (OpenMP requires the whole team to meet the
+      // same constructs), so failure leaves `acc` null and the loop bodies
+      // become no-ops instead of the thread bailing out of the region.
+      Acc* acc = nullptr;
+      AccumulatorCounters counters_at_entry;
+      guard.run([&] {
+        acc = &pool.acquire(thread_num, capability, make);
+        counters_at_entry = acc->counters();
+      });
+      // Saturated rows/cells re-run on a dense fallback with the same
+      // marker type, built lazily on first degrade (most executes never
+      // touch it).
+      std::optional<typename Fallback::type> fallback;
 #if TILQ_METRICS_ENABLED
       MetricCounters* const thread_counters = metrics_thread_counters();
       // Hardware counters for this thread's share of the region; inactive
@@ -290,10 +334,15 @@ Csr<T, I> planned_execute(const Plan<I>& plan, const Config2d& config,
 #endif
       std::int64_t my_tiles = 0;
       std::int64_t my_rows = 0;
+      std::uint64_t my_degrades = 0;
       WallTimer busy;
 
 #pragma omp for schedule(runtime) nowait
       for (std::int64_t task = 0; task < task_count; ++task) {
+        if (acc == nullptr || guard.cancelled()) {
+          continue;  // cooperative cancellation: skip the body, not the loop
+        }
+        guard.run([&] {
         if (!two_d) {
           const Tile tile = plan.row_tiles[static_cast<std::size_t>(task)];
           TraceSpan tile_span("tile", task);
@@ -306,13 +355,40 @@ Csr<T, I> planned_execute(const Plan<I>& plan, const Config2d& config,
             T* out_vals = buffers.bound_vals.data() +
                           mask_row_ptr[static_cast<std::size_t>(i)];
             I count = 0;
-            compute_row_planned<SR>(config.strategy, config.coiteration_factor,
-                                    decisions, mask, a, b, i, acc,
-                                    [&](I col, T value) {
-                                      out_cols[count] = col;
-                                      out_vals[count] = value;
-                                      ++count;
-                                    });
+            const auto emit = [&](I col, T value) {
+              out_cols[count] = col;
+              out_vals[count] = value;
+              ++count;
+            };
+            if constexpr (Fallback::available) {
+              try {
+                compute_row_planned<SR>(config.strategy,
+                                        config.coiteration_factor, decisions,
+                                        mask, a, b, i, *acc, emit);
+              } catch (const AccumulatorSaturatedError&) {
+                if (!config.degrade_on_saturation) {
+                  throw;
+                }
+                // The kernels emit only while gathering at the end of a
+                // row, so a saturation mid-row has produced no output yet;
+                // discard the hash accumulator's partial epoch and replay
+                // the whole row on the dense fallback. Accumulation and
+                // gather order are unchanged => bit-identical values.
+                acc->abort_row();
+                count = 0;
+                if (!fallback.has_value()) {
+                  fallback.emplace(plan.cols, config.reset);
+                }
+                compute_row_planned<SR>(config.strategy,
+                                        config.coiteration_factor, decisions,
+                                        mask, a, b, i, *fallback, emit);
+                ++my_degrades;
+              }
+            } else {
+              compute_row_planned<SR>(config.strategy,
+                                      config.coiteration_factor, decisions,
+                                      mask, a, b, i, *acc, emit);
+            }
             buffers.row_counts[static_cast<std::size_t>(i)] = count;
           }
         } else {
@@ -337,16 +413,44 @@ Csr<T, I> planned_execute(const Plan<I>& plan, const Config2d& config,
             const auto slot = static_cast<std::size_t>(
                                   mask_row_ptr[static_cast<std::size_t>(i)]) +
                               seg_offset;
+            I cell_count = 0;
+            if constexpr (Fallback::available) {
+              try {
+                cell_count = compute_cell<SR>(
+                    mask, a, b, i, static_cast<I>(col_tile.row_begin),
+                    static_cast<I>(col_tile.row_end), config.strategy,
+                    config.coiteration_factor, *acc,
+                    buffers.bound_cols.data() + slot,
+                    buffers.bound_vals.data() + slot);
+              } catch (const AccumulatorSaturatedError&) {
+                if (!config.degrade_on_saturation) {
+                  throw;
+                }
+                acc->abort_row();
+                if (!fallback.has_value()) {
+                  fallback.emplace(plan.cols, config.reset);
+                }
+                cell_count = compute_cell<SR>(
+                    mask, a, b, i, static_cast<I>(col_tile.row_begin),
+                    static_cast<I>(col_tile.row_end), config.strategy,
+                    config.coiteration_factor, *fallback,
+                    buffers.bound_cols.data() + slot,
+                    buffers.bound_vals.data() + slot);
+                ++my_degrades;
+              }
+            } else {
+              cell_count = compute_cell<SR>(
+                  mask, a, b, i, static_cast<I>(col_tile.row_begin),
+                  static_cast<I>(col_tile.row_end), config.strategy,
+                  config.coiteration_factor, *acc,
+                  buffers.bound_cols.data() + slot,
+                  buffers.bound_vals.data() + slot);
+            }
             buffers.cell_counts[static_cast<std::size_t>(i) * col_tile_count +
-                                ct] =
-                compute_cell<SR>(mask, a, b, i,
-                                 static_cast<I>(col_tile.row_begin),
-                                 static_cast<I>(col_tile.row_end),
-                                 config.strategy, config.coiteration_factor,
-                                 acc, buffers.bound_cols.data() + slot,
-                                 buffers.bound_vals.data() + slot);
+                                ct] = cell_count;
           }
         }
+        });
       }
       const double busy_ms = busy.milliseconds();
       if (thread_num >= 0 && thread_num < threads) {
@@ -354,8 +458,24 @@ Csr<T, I> planned_execute(const Plan<I>& plan, const Config2d& config,
             thread_num, busy_ms, my_tiles, my_rows};
       }
 
-      const AccumulatorCounters acc_counters =
-          counters_delta(acc.counters(), counters_at_entry);
+      AccumulatorCounters acc_counters;
+      if (acc != nullptr) {
+        acc_counters = counters_delta(acc->counters(), counters_at_entry);
+      }
+      if constexpr (Fallback::available) {
+        // The fallback is built fresh each execute, so its counters need no
+        // entry snapshot; fold them so degraded rows stay observable.
+        if (fallback.has_value()) {
+          const AccumulatorCounters& f = fallback->counters();
+          acc_counters.full_resets += f.full_resets;
+          acc_counters.probes += f.probes;
+          acc_counters.inserts += f.inserts;
+          acc_counters.rejects += f.rejects;
+          acc_counters.collisions += f.collisions;
+          acc_counters.row_resets += f.row_resets;
+          acc_counters.explicit_clears += f.explicit_clears;
+        }
+      }
       total_resets += acc_counters.full_resets;
       total_probes += acc_counters.probes;
       total_inserts += acc_counters.inserts;
@@ -363,6 +483,8 @@ Csr<T, I> planned_execute(const Plan<I>& plan, const Config2d& config,
       total_collisions += acc_counters.collisions;
       total_row_resets += acc_counters.row_resets;
       total_explicit_clears += acc_counters.explicit_clears;
+      total_rehashes += acc_counters.rehashes;
+      total_degrades += my_degrades;
 #if TILQ_METRICS_ENABLED
       // Per-accumulator counters fold into the owning thread's global slot
       // so the metrics registry sees the same totals as ExecutionStats.
@@ -377,6 +499,8 @@ Csr<T, I> planned_execute(const Plan<I>& plan, const Config2d& config,
         thread_counters->marker_row_resets += acc_counters.row_resets;
         thread_counters->marker_overflow_resets += acc_counters.full_resets;
         thread_counters->explicit_reset_slots += acc_counters.explicit_clears;
+        thread_counters->accum_rehashes += acc_counters.rehashes;
+        thread_counters->accum_degrades += my_degrades;
         if (HwCounters* const hw = metrics_thread_hw()) {
           *hw += perf_scope.delta();
         }
@@ -384,6 +508,7 @@ Csr<T, I> planned_execute(const Plan<I>& plan, const Config2d& config,
 #endif
     }
   }
+  guard.rethrow_if_failed();
   if (stats != nullptr) {
     stats->compute_ms = phase.milliseconds();
     stats->tiles = task_count;
@@ -394,6 +519,9 @@ Csr<T, I> planned_execute(const Plan<I>& plan, const Config2d& config,
     stats->hash_collisions = total_collisions;
     stats->marker_row_resets = total_row_resets;
     stats->explicit_reset_slots = total_explicit_clears;
+    stats->accum_rehashes = total_rehashes;
+    stats->accum_degrades = total_degrades;
+    stats->degraded = total_degrades > 0;
   }
   finalize_thread_work(std::move(thread_work), team_size, stats);
 
@@ -484,6 +612,14 @@ class Executor {
     const bool two_d = config.num_col_tiles > 1;
     require(!(two_d && config.strategy == MaskStrategy::kVanilla),
             "Executor::plan: the vanilla strategy has no 2D formulation");
+    if (config.validate_inputs) {
+      // Structural validation at the plan boundary (Config::validate_inputs,
+      // on by default in hardened builds): a defect report beats the UB a
+      // corrupt rowptr/colidx would cause inside the parallel kernels.
+      require_valid(mask, "mask");
+      require_valid(a, "A");
+      require_valid(b, "B");
+    }
 
     WallTimer build;
     config_ = config;
@@ -594,7 +730,10 @@ class Executor {
     require(planned_, "Executor::execute: no plan built — call plan() first");
     TraceSpan span("plan.execute");
     WallTimer verify;
-    if (detail::structural_fingerprint(mask, a, b) != plan_.info.fingerprint) {
+    // The plan-fingerprint fault site corrupts this comparison, forcing the
+    // staleness path without touching real operands.
+    if (detail::structural_fingerprint(mask, a, b) != plan_.info.fingerprint ||
+        fault::should_fire(FaultSite::kPlanFingerprint)) {
       throw StalePlanError(
           "Executor::execute: operand structure does not match the plan "
           "(rowptr/colidx fingerprint mismatch) — re-plan() after any "

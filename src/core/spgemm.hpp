@@ -14,6 +14,7 @@
 #include "core/semiring.hpp"
 #include "sparse/csr.hpp"
 #include "support/common.hpp"
+#include "support/panic.hpp"
 #include "support/parallel.hpp"
 
 namespace tilq {
@@ -28,25 +29,36 @@ Csr<T, I> spgemm(const Csr<T, I>& a, const Csr<T, I>& b) {
   const I rows = a.rows();
   const I cols = b.cols();
 
-  // Symbolic pass: row nnz counts.
+  // Symbolic pass: row nnz counts. The per-thread marker allocation and the
+  // row bodies run under a ParallelGuard: a failed allocation (or a
+  // hardened-build bounds check) surfaces as a tilq error after the join
+  // instead of terminating inside the region.
   std::vector<I> counts(static_cast<std::size_t>(rows), I{0});
+  ParallelGuard guard;
 #pragma omp parallel
   {
-    std::vector<I> marker(static_cast<std::size_t>(cols), I{-1});
+    std::vector<I> marker;
+    guard.run([&] { marker.assign(static_cast<std::size_t>(cols), I{-1}); });
 #pragma omp for schedule(dynamic, 64)
     for (I i = 0; i < rows; ++i) {
-      I count = 0;
-      for (const I k : a.row_cols(i)) {
-        for (const I j : b.row_cols(k)) {
-          if (marker[static_cast<std::size_t>(j)] != i) {
-            marker[static_cast<std::size_t>(j)] = i;
-            ++count;
+      if (guard.cancelled()) {
+        continue;
+      }
+      guard.run([&] {
+        I count = 0;
+        for (const I k : a.row_cols(i)) {
+          for (const I j : b.row_cols(k)) {
+            if (marker[static_cast<std::size_t>(j)] != i) {
+              marker[static_cast<std::size_t>(j)] = i;
+              ++count;
+            }
           }
         }
-      }
-      counts[static_cast<std::size_t>(i)] = count;
+        counts[static_cast<std::size_t>(i)] = count;
+      });
     }
   }
+  guard.rethrow_if_failed();
 
   std::vector<I> row_ptr(static_cast<std::size_t>(rows) + 1);
   const I nnz = exclusive_scan<I>(counts, row_ptr);
@@ -54,43 +66,55 @@ Csr<T, I> spgemm(const Csr<T, I>& a, const Csr<T, I>& b) {
   std::vector<T> values(static_cast<std::size_t>(nnz));
 
   // Numeric pass: dense value scatter + touch list per row, sorted output.
+  // Same containment protocol as the symbolic pass.
+  ParallelGuard numeric_guard;
 #pragma omp parallel
   {
-    std::vector<I> marker(static_cast<std::size_t>(cols), I{-1});
-    std::vector<T> dense(static_cast<std::size_t>(cols), SR::zero());
+    std::vector<I> marker;
+    std::vector<T> dense;
     std::vector<I> touched;
+    numeric_guard.run([&] {
+      marker.assign(static_cast<std::size_t>(cols), I{-1});
+      dense.assign(static_cast<std::size_t>(cols), SR::zero());
+    });
 #pragma omp for schedule(dynamic, 64)
     for (I i = 0; i < rows; ++i) {
-      touched.clear();
-      const auto a_cols = a.row_cols(i);
-      const auto a_vals = a.row_vals(i);
-      for (std::size_t p = 0; p < a_cols.size(); ++p) {
-        const I k = a_cols[p];
-        const T scale = a_vals[p];
-        const auto b_cols = b.row_cols(k);
-        const auto b_vals = b.row_vals(k);
-        for (std::size_t q = 0; q < b_cols.size(); ++q) {
-          const I j = b_cols[q];
-          const T product = SR::mul(scale, b_vals[q]);
-          if (marker[static_cast<std::size_t>(j)] != i) {
-            marker[static_cast<std::size_t>(j)] = i;
-            dense[static_cast<std::size_t>(j)] = product;
-            touched.push_back(j);
-          } else {
-            dense[static_cast<std::size_t>(j)] =
-                SR::add(dense[static_cast<std::size_t>(j)], product);
+      if (numeric_guard.cancelled()) {
+        continue;
+      }
+      numeric_guard.run([&] {
+        touched.clear();
+        const auto a_cols = a.row_cols(i);
+        const auto a_vals = a.row_vals(i);
+        for (std::size_t p = 0; p < a_cols.size(); ++p) {
+          const I k = a_cols[p];
+          const T scale = a_vals[p];
+          const auto b_cols = b.row_cols(k);
+          const auto b_vals = b.row_vals(k);
+          for (std::size_t q = 0; q < b_cols.size(); ++q) {
+            const I j = b_cols[q];
+            const T product = SR::mul(scale, b_vals[q]);
+            if (marker[static_cast<std::size_t>(j)] != i) {
+              marker[static_cast<std::size_t>(j)] = i;
+              dense[static_cast<std::size_t>(j)] = product;
+              touched.push_back(j);
+            } else {
+              dense[static_cast<std::size_t>(j)] =
+                  SR::add(dense[static_cast<std::size_t>(j)], product);
+            }
           }
         }
-      }
-      std::sort(touched.begin(), touched.end());
-      auto out = static_cast<std::size_t>(row_ptr[static_cast<std::size_t>(i)]);
-      for (const I j : touched) {
-        col_idx[out] = j;
-        values[out] = dense[static_cast<std::size_t>(j)];
-        ++out;
-      }
+        std::sort(touched.begin(), touched.end());
+        auto out = static_cast<std::size_t>(row_ptr[static_cast<std::size_t>(i)]);
+        for (const I j : touched) {
+          col_idx[out] = j;
+          values[out] = dense[static_cast<std::size_t>(j)];
+          ++out;
+        }
+      });
     }
   }
+  numeric_guard.rethrow_if_failed();
 
   return Csr<T, I>(rows, cols, std::move(row_ptr), std::move(col_idx),
                    std::move(values));

@@ -48,10 +48,11 @@ class Coo {
     entries_.push_back({row, col, value});
   }
 
-  /// Appends one entry without bounds checks (hot generator loops); the
-  /// caller guarantees validity, checked in debug builds.
+  /// Appends one entry without release-build bounds checks (hot generator
+  /// loops); the caller guarantees validity, enforced when TILQ_HARDENED.
   void push_unchecked(I row, I col, T value) {
-    assert(row >= 0 && row < rows_ && col >= 0 && col < cols_);
+    TILQ_CHECK(row >= 0 && row < rows_ && col >= 0 && col < cols_,
+               "Coo::push_unchecked: index out of range");
     entries_.push_back({row, col, value});
   }
 

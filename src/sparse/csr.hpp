@@ -62,24 +62,24 @@ class Csr {
   [[nodiscard]] std::span<const T> values() const noexcept { return values_; }
 
   /// Number of stored entries in row i — constant time, the property the
-  /// FLOP estimator (Eq 2) relies on.
-  [[nodiscard]] I row_nnz(I i) const noexcept {
-    assert(i >= 0 && i < rows_);
+  /// FLOP estimator (Eq 2) relies on. Bounds-checked when TILQ_HARDENED.
+  [[nodiscard]] I row_nnz(I i) const TILQ_CHECK_NOEXCEPT {
+    TILQ_CHECK(i >= 0 && i < rows_, "Csr::row_nnz: row index out of range");
     const auto r = static_cast<std::size_t>(i);
     return row_ptr_[r + 1] - row_ptr_[r];
   }
 
   /// Column indices of row i (sorted).
-  [[nodiscard]] std::span<const I> row_cols(I i) const noexcept {
-    assert(i >= 0 && i < rows_);
+  [[nodiscard]] std::span<const I> row_cols(I i) const TILQ_CHECK_NOEXCEPT {
+    TILQ_CHECK(i >= 0 && i < rows_, "Csr::row_cols: row index out of range");
     const auto r = static_cast<std::size_t>(i);
     return {col_idx_.data() + row_ptr_[r],
             static_cast<std::size_t>(row_ptr_[r + 1] - row_ptr_[r])};
   }
 
   /// Values of row i, aligned with row_cols(i).
-  [[nodiscard]] std::span<const T> row_vals(I i) const noexcept {
-    assert(i >= 0 && i < rows_);
+  [[nodiscard]] std::span<const T> row_vals(I i) const TILQ_CHECK_NOEXCEPT {
+    TILQ_CHECK(i >= 0 && i < rows_, "Csr::row_vals: row index out of range");
     const auto r = static_cast<std::size_t>(i);
     return {values_.data() + row_ptr_[r],
             static_cast<std::size_t>(row_ptr_[r + 1] - row_ptr_[r])};

@@ -24,13 +24,15 @@ class DenseMatrix {
   [[nodiscard]] I rows() const noexcept { return rows_; }
   [[nodiscard]] I cols() const noexcept { return cols_; }
 
-  [[nodiscard]] T& operator()(I i, I j) noexcept {
-    assert(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+  [[nodiscard]] T& operator()(I i, I j) TILQ_CHECK_NOEXCEPT {
+    TILQ_CHECK(i >= 0 && i < rows_ && j >= 0 && j < cols_,
+               "DenseMatrix: index out of range");
     return data_[static_cast<std::size_t>(i) * static_cast<std::size_t>(cols_) +
                  static_cast<std::size_t>(j)];
   }
-  [[nodiscard]] const T& operator()(I i, I j) const noexcept {
-    assert(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+  [[nodiscard]] const T& operator()(I i, I j) const TILQ_CHECK_NOEXCEPT {
+    TILQ_CHECK(i >= 0 && i < rows_ && j >= 0 && j < cols_,
+               "DenseMatrix: index out of range");
     return data_[static_cast<std::size_t>(i) * static_cast<std::size_t>(cols_) +
                  static_cast<std::size_t>(j)];
   }

@@ -2,16 +2,49 @@
 
 #include <algorithm>
 #include <cctype>
+#include <charconv>
 #include <fstream>
 #include <istream>
 #include <ostream>
 #include <sstream>
+#include <system_error>
 
 #include "sparse/build.hpp"
 #include "sparse/coo.hpp"
 
 namespace tilq {
 namespace {
+
+/// Parses one whitespace-delimited token as a 64-bit index with explicit
+/// overflow detection — a value past Index max raises MatrixMarketError
+/// instead of the silent truncation / stream-failure ambiguity of `>>`.
+std::int64_t parse_index(const std::string& token, const char* what) {
+  std::int64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec == std::errc::result_out_of_range) {
+    throw MatrixMarketError(std::string(what) +
+                            " overflows the 64-bit index type: " + token);
+  }
+  if (ec != std::errc{} || ptr != token.data() + token.size()) {
+    throw MatrixMarketError(std::string("malformed ") + what + ": '" + token +
+                            "'");
+  }
+  return value;
+}
+
+double parse_value(const std::string& token) {
+  double value = 0.0;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec == std::errc::result_out_of_range) {
+    throw MatrixMarketError("value overflows a double: " + token);
+  }
+  if (ec != std::errc{} || ptr != token.data() + token.size()) {
+    throw MatrixMarketError("malformed value: '" + token + "'");
+  }
+  return value;
+}
 
 std::string to_lower(std::string s) {
   std::transform(s.begin(), s.end(), s.begin(),
@@ -82,27 +115,47 @@ Csr<double, std::int64_t> read_matrix_market(std::istream& in) {
     }
   }
   std::istringstream size_line(line);
-  std::int64_t rows = 0, cols = 0, declared_nnz = 0;
-  if (!(size_line >> rows >> cols >> declared_nnz) || rows < 0 || cols < 0 ||
-      declared_nnz < 0) {
-    throw MatrixMarketError("malformed size line");
+  std::string rows_tok, cols_tok, nnz_tok, extra;
+  if (!(size_line >> rows_tok >> cols_tok >> nnz_tok) || (size_line >> extra)) {
+    throw MatrixMarketError("malformed size line: '" + line + "'");
+  }
+  const std::int64_t rows = parse_index(rows_tok, "row count");
+  const std::int64_t cols = parse_index(cols_tok, "column count");
+  const std::int64_t declared_nnz = parse_index(nnz_tok, "nnz count");
+  if (rows < 0 || cols < 0 || declared_nnz < 0) {
+    throw MatrixMarketError("negative dimension in size line: '" + line + "'");
   }
 
   Coo<double, std::int64_t> coo(rows, cols);
   const bool mirrored = header.symmetry != Symmetry::kGeneral;
-  coo.reserve(static_cast<std::size_t>(mirrored ? 2 * declared_nnz : declared_nnz));
+  // Cap the pre-reservation: a corrupt header declaring a absurd nnz must
+  // fail at the first missing entry, not OOM the process up front here.
+  constexpr std::int64_t kMaxReserve = std::int64_t{1} << 22;
+  const std::int64_t reserve_base = std::min(kMaxReserve, declared_nnz);
+  coo.reserve(static_cast<std::size_t>(mirrored ? 2 * reserve_base
+                                                : reserve_base));
 
+  std::string i_tok, j_tok, v_tok;
   for (std::int64_t k = 0; k < declared_nnz; ++k) {
-    std::int64_t i = 0, j = 0;
-    double value = 1.0;
-    if (!(in >> i >> j)) {
-      throw MatrixMarketError("unexpected end of entries");
+    if (!(in >> i_tok >> j_tok)) {
+      throw MatrixMarketError("unexpected end of entries: got " +
+                              std::to_string(k) + " of " +
+                              std::to_string(declared_nnz));
     }
-    if (header.field != Field::kPattern && !(in >> value)) {
-      throw MatrixMarketError("missing value in entry");
+    const std::int64_t i = parse_index(i_tok, "row index");
+    const std::int64_t j = parse_index(j_tok, "column index");
+    double value = 1.0;
+    if (header.field != Field::kPattern) {
+      if (!(in >> v_tok)) {
+        throw MatrixMarketError("missing value in entry " + std::to_string(k));
+      }
+      value = parse_value(v_tok);
     }
     if (i < 1 || i > rows || j < 1 || j > cols) {
-      throw MatrixMarketError("entry index out of range");
+      throw MatrixMarketError("entry index out of range: (" +
+                              std::to_string(i) + ", " + std::to_string(j) +
+                              ") in a " + std::to_string(rows) + " x " +
+                              std::to_string(cols) + " matrix");
     }
     coo.push_unchecked(i - 1, j - 1, value);
     if (mirrored && i != j) {

@@ -11,13 +11,15 @@
 #include <string>
 
 #include "sparse/csr.hpp"
+#include "support/errors.hpp"
 
 namespace tilq {
 
-/// Thrown on malformed Matrix Market input.
-class MatrixMarketError : public std::runtime_error {
+/// Thrown on malformed Matrix Market input. An IoError (kind() == kIo), so
+/// it stays catchable as std::runtime_error like before the taxonomy.
+class MatrixMarketError : public IoError {
  public:
-  using std::runtime_error::runtime_error;
+  using IoError::IoError;
 };
 
 /// Reads a coordinate-format Matrix Market matrix. Symmetric/skew storage

@@ -1,0 +1,159 @@
+// Structural CSR validation with a machine-readable defect report.
+// `Csr::check()` answers yes/no; `validate()` answers *what* is broken and
+// *where*, which is what error messages, the structure-corruption fuzzer,
+// and plan()-boundary validation (Config::validate_inputs) need. O(nnz),
+// single pass, stops collecting after `max_defects` (the scan itself always
+// completes so `ok()` is exact).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sparse/csr.hpp"
+#include "support/common.hpp"
+
+namespace tilq {
+
+/// One category per way a CSR can be structurally broken.
+enum class DefectKind {
+  kRowPtrNonMonotone,  ///< row_ptr not non-decreasing from 0 (or negative)
+  kColumnOutOfRange,   ///< col_idx entry < 0 or >= cols
+  kUnsortedColumns,    ///< columns within a row not strictly increasing
+                       ///< (covers duplicates)
+  kNnzOverflow,        ///< row_ptr.back() disagrees with the col_idx/values
+                       ///< lengths, or an array exceeds the index type's range
+};
+
+[[nodiscard]] constexpr const char* to_string(DefectKind kind) noexcept {
+  switch (kind) {
+    case DefectKind::kRowPtrNonMonotone:
+      return "rowptr-non-monotone";
+    case DefectKind::kColumnOutOfRange:
+      return "column-out-of-range";
+    case DefectKind::kUnsortedColumns:
+      return "unsorted-columns";
+    case DefectKind::kNnzOverflow:
+      return "nnz-overflow";
+  }
+  return "?";
+}
+
+/// One located defect. `row` is the offending matrix row (-1 when the
+/// defect is not row-local) and `position` the flat index into the array
+/// the kind refers to (row_ptr for kRowPtrNonMonotone, col_idx otherwise;
+/// -1 for whole-array length mismatches).
+struct Defect {
+  DefectKind kind;
+  std::int64_t row = -1;
+  std::int64_t position = -1;
+
+  friend bool operator==(const Defect&, const Defect&) = default;
+};
+
+struct ValidationReport {
+  std::vector<Defect> defects;   ///< at most `max_defects`, in scan order
+  std::int64_t defect_count = 0; ///< true total, may exceed defects.size()
+
+  [[nodiscard]] bool ok() const noexcept { return defect_count == 0; }
+
+  /// One-line human rendering, e.g.
+  /// "3 structural defect(s); first: unsorted-columns at row 4 (col_idx[17])".
+  [[nodiscard]] std::string summary() const {
+    if (ok()) {
+      return "structurally valid";
+    }
+    std::string s = std::to_string(defect_count) + " structural defect(s)";
+    if (!defects.empty()) {
+      const Defect& d = defects.front();
+      s += "; first: ";
+      s += to_string(d.kind);
+      if (d.row >= 0) {
+        s += " at row " + std::to_string(d.row);
+      }
+      if (d.position >= 0) {
+        s += (d.kind == DefectKind::kRowPtrNonMonotone ? " (row_ptr["
+                                                       : " (col_idx[") +
+             std::to_string(d.position) + "])";
+      }
+    }
+    return s;
+  }
+};
+
+/// Scans `m` for structural defects. Collects at most `max_defects` located
+/// defects but always counts all of them.
+template <class T, class I>
+[[nodiscard]] ValidationReport validate(const Csr<T, I>& m,
+                                        std::size_t max_defects = 16) {
+  ValidationReport report;
+  const auto add = [&](DefectKind kind, std::int64_t row,
+                       std::int64_t position) {
+    if (report.defects.size() < max_defects) {
+      report.defects.push_back({kind, row, position});
+    }
+    ++report.defect_count;
+  };
+
+  const auto row_ptr = m.row_ptr();
+  const auto col_idx = m.col_idx();
+  const std::int64_t rows = static_cast<std::int64_t>(m.rows());
+  const std::int64_t cols = static_cast<std::int64_t>(m.cols());
+
+  // row_ptr shape + monotonicity. The Csr constructor enforces size and
+  // front()==0, but validate() must stand alone (the fuzzer mutates arrays
+  // in place through the mutable_* accessors).
+  if (row_ptr.empty() ||
+      row_ptr.size() != static_cast<std::size_t>(rows) + 1) {
+    add(DefectKind::kNnzOverflow, -1, -1);
+    return report;  // no trustworthy row extents — nothing else is scannable
+  }
+  if (row_ptr.front() != 0) {
+    add(DefectKind::kRowPtrNonMonotone, 0, 0);
+  }
+  bool monotone = row_ptr.front() == 0;
+  for (std::size_t r = 0; r + 1 < row_ptr.size(); ++r) {
+    if (row_ptr[r + 1] < row_ptr[r]) {
+      add(DefectKind::kRowPtrNonMonotone, static_cast<std::int64_t>(r),
+          static_cast<std::int64_t>(r + 1));
+      monotone = false;
+    }
+  }
+  if (static_cast<std::size_t>(row_ptr.back()) != col_idx.size() ||
+      col_idx.size() != m.values().size() || row_ptr.back() < 0) {
+    add(DefectKind::kNnzOverflow, -1, -1);
+    monotone = false;
+  }
+  if (!monotone) {
+    return report;  // per-row extents unreliable; column scan would be UB
+  }
+
+  for (std::int64_t i = 0; i < rows; ++i) {
+    const auto begin = static_cast<std::size_t>(row_ptr[static_cast<std::size_t>(i)]);
+    const auto end = static_cast<std::size_t>(row_ptr[static_cast<std::size_t>(i) + 1]);
+    for (std::size_t p = begin; p < end; ++p) {
+      const std::int64_t col = static_cast<std::int64_t>(col_idx[p]);
+      if (col < 0 || col >= cols) {
+        add(DefectKind::kColumnOutOfRange, i, static_cast<std::int64_t>(p));
+      } else if (p > begin &&
+                 static_cast<std::int64_t>(col_idx[p - 1]) >= col) {
+        add(DefectKind::kUnsortedColumns, i, static_cast<std::int64_t>(p));
+      }
+    }
+  }
+  return report;
+}
+
+/// Validates `m` and throws PreconditionError carrying the report summary
+/// when it is structurally broken. `what` names the operand in the message
+/// ("mask", "A", ...).
+template <class T, class I>
+void require_valid(const Csr<T, I>& m, const char* what) {
+  const ValidationReport report = validate(m);
+  if (!report.ok()) {
+    throw PreconditionError(std::string("invalid CSR operand '") + what +
+                            "': " + report.summary());
+  }
+}
+
+}  // namespace tilq

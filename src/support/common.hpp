@@ -1,6 +1,6 @@
 // Small shared utilities: checked narrowing, power-of-two helpers, and the
-// library-wide assertion macro. Kept dependency-free; every other tilq
-// header may include this one.
+// library-wide assertion macros. Kept dependency-free (errors.hpp only pulls
+// standard headers); every other tilq header may include this one.
 #pragma once
 
 #include <cassert>
@@ -10,14 +10,44 @@
 #include <string>
 #include <type_traits>
 
+#include "support/errors.hpp"
+
+// TILQ_HARDENED promotes hot-path bounds checks (TILQ_CHECK below) from
+// assert()s to thrown PreconditionErrors. Defaults to on in Debug builds and
+// off in Release; the CMake option TILQ_HARDENED forces it on so sanitizer CI
+// can run optimized builds with checks enabled.
+#ifndef TILQ_HARDENED
+#ifndef NDEBUG
+#define TILQ_HARDENED 1
+#else
+#define TILQ_HARDENED 0
+#endif
+#endif
+
+// Bounds/invariant check on accessors that are noexcept in release builds.
+// Declare such accessors `TILQ_CHECK_NOEXCEPT` instead of `noexcept`: when
+// hardened the check throws PreconditionError, so the noexcept comes off.
+#if TILQ_HARDENED
+#define TILQ_CHECK(cond, msg) ::tilq::detail::check_failed_if(!(cond), (msg))
+#define TILQ_CHECK_NOEXCEPT
+#else
+#define TILQ_CHECK(cond, msg) assert((cond) && (msg))
+#define TILQ_CHECK_NOEXCEPT noexcept
+#endif
+
 namespace tilq {
 
-/// Thrown when a tilq precondition on user-supplied data fails (shape
-/// mismatches, unsorted input where sorted is required, ...).
-class PreconditionError : public std::invalid_argument {
- public:
-  using std::invalid_argument::invalid_argument;
-};
+namespace detail {
+/// Out-of-line throw keeps TILQ_CHECK call sites branch + call, nothing more.
+[[noreturn]] inline void throw_check_failed(const char* message) {
+  throw PreconditionError(message);
+}
+inline void check_failed_if(bool failed, const char* message) {
+  if (failed) {
+    throw_check_failed(message);
+  }
+}
+}  // namespace detail
 
 /// Checks a user-facing precondition; throws PreconditionError on failure.
 /// Internal invariants use assert() instead.

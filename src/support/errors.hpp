@@ -1,0 +1,131 @@
+// The tilq error taxonomy (docs/ROBUSTNESS.md). Every exception the library
+// throws derives from one of five kinds, each mapped onto the standard
+// exception it always was — existing `catch (std::invalid_argument&)` /
+// `catch (std::runtime_error&)` sites keep working — plus the `tilq::Error`
+// mixin, so callers can handle the whole taxonomy with one catch clause and
+// branch on kind():
+//
+//   Precondition — caller handed the library invalid input (bad shapes,
+//                  corrupt structure, invalid enum values). Retrying with
+//                  the same arguments will fail again.
+//   Capacity     — a resource bound was exceeded at run time (allocation
+//                  failure, hash-accumulator saturation past its growth
+//                  bound). Retrying with a smaller problem or a different
+//                  configuration may succeed.
+//   Stale        — cached derived state (a Plan) no longer matches its
+//                  inputs; rebuild the state and retry.
+//   Io           — the outside world misbehaved (malformed files, unopenable
+//                  paths).
+//   Internal     — a library invariant broke, or a foreign exception escaped
+//                  a parallel worker. Always a bug report.
+//
+// Kept dependency-free (standard headers only): support/common.hpp includes
+// this header, and every other tilq header may include common.hpp.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace tilq {
+
+/// Coarse classification of every tilq exception; see the header comment
+/// for the retry semantics each kind implies.
+enum class ErrorKind {
+  kPrecondition,
+  kCapacity,
+  kStale,
+  kIo,
+  kInternal,
+};
+
+[[nodiscard]] constexpr const char* to_string(ErrorKind kind) noexcept {
+  switch (kind) {
+    case ErrorKind::kPrecondition:
+      return "precondition";
+    case ErrorKind::kCapacity:
+      return "capacity";
+    case ErrorKind::kStale:
+      return "stale";
+    case ErrorKind::kIo:
+      return "io";
+    case ErrorKind::kInternal:
+      return "internal";
+  }
+  return "?";
+}
+
+/// Taxonomy root. Deliberately NOT derived from std::exception: the
+/// concrete error types inherit their std::exception base through the
+/// standard hierarchy (invalid_argument / runtime_error), and a second
+/// path would make `catch (const std::exception&)` ambiguous.
+class Error {
+ public:
+  virtual ~Error() = default;
+
+  [[nodiscard]] virtual ErrorKind kind() const noexcept = 0;
+  /// The what() string, reachable when the handler caught `const Error&`.
+  [[nodiscard]] virtual const char* message() const noexcept = 0;
+
+ protected:
+  Error() = default;
+  Error(const Error&) = default;
+  Error& operator=(const Error&) = default;
+};
+
+/// Thrown when a tilq precondition on user-supplied data fails (shape
+/// mismatches, unsorted input where sorted is required, ...).
+class PreconditionError : public std::invalid_argument, public Error {
+ public:
+  using std::invalid_argument::invalid_argument;
+  [[nodiscard]] ErrorKind kind() const noexcept override {
+    return ErrorKind::kPrecondition;
+  }
+  [[nodiscard]] const char* message() const noexcept override { return what(); }
+};
+
+/// Thrown when a runtime resource bound is exceeded: allocation failure,
+/// an accumulator saturated beyond its growth bound, an injected
+/// capacity fault (support/fault.hpp).
+class CapacityError : public std::runtime_error, public Error {
+ public:
+  using std::runtime_error::runtime_error;
+  [[nodiscard]] ErrorKind kind() const noexcept override {
+    return ErrorKind::kCapacity;
+  }
+  [[nodiscard]] const char* message() const noexcept override { return what(); }
+};
+
+/// Thrown when cached derived state no longer matches the inputs it was
+/// derived from. A PreconditionError subtype (calling execute() with
+/// operands the plan was not built for IS a precondition violation) so
+/// pre-taxonomy catch sites keep working; kind() still reports kStale.
+class StaleError : public PreconditionError {
+ public:
+  using PreconditionError::PreconditionError;
+  [[nodiscard]] ErrorKind kind() const noexcept override {
+    return ErrorKind::kStale;
+  }
+};
+
+/// Thrown on I/O failures: malformed input files, unopenable paths.
+class IoError : public std::runtime_error, public Error {
+ public:
+  using std::runtime_error::runtime_error;
+  [[nodiscard]] ErrorKind kind() const noexcept override {
+    return ErrorKind::kIo;
+  }
+  [[nodiscard]] const char* message() const noexcept override { return what(); }
+};
+
+/// Thrown when a library invariant breaks or a foreign exception escapes a
+/// parallel worker (support/panic.hpp wraps it). Always a bug report.
+class InternalError : public std::runtime_error, public Error {
+ public:
+  using std::runtime_error::runtime_error;
+  [[nodiscard]] ErrorKind kind() const noexcept override {
+    return ErrorKind::kInternal;
+  }
+  [[nodiscard]] const char* message() const noexcept override { return what(); }
+};
+
+}  // namespace tilq

@@ -1,0 +1,184 @@
+#include "support/fault.hpp"
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+#include "support/errors.hpp"
+
+namespace tilq {
+
+const char* to_string(FaultSite site) noexcept {
+  switch (site) {
+    case FaultSite::kPoolAllocation:
+      return "pool-alloc";
+    case FaultSite::kMarkerWrap:
+      return "marker-wrap";
+    case FaultSite::kHashSaturation:
+      return "hash-sat";
+    case FaultSite::kPlanFingerprint:
+      return "plan-fingerprint";
+  }
+  return "?";
+}
+
+namespace fault {
+namespace {
+
+struct SiteState {
+  /// Probes left before firing; only meaningful while the armed bit is set.
+  std::atomic<std::uint64_t> countdown{0};
+  std::atomic<std::uint64_t> hits{0};
+  std::atomic<std::uint64_t> triggered{0};
+};
+
+SiteState g_sites[kFaultSiteCount];
+
+/// Bit i set <=> site i armed. The disarmed fast path in should_fire() is a
+/// single relaxed load of this mask.
+std::atomic<std::uint32_t> g_armed_mask{0};
+
+constexpr std::uint32_t bit(FaultSite site) noexcept {
+  return std::uint32_t{1} << static_cast<unsigned>(site);
+}
+
+SiteState& state(FaultSite site) noexcept {
+  return g_sites[static_cast<std::size_t>(site)];
+}
+
+bool parse_site(std::string_view name, FaultSite& out) noexcept {
+  for (std::size_t i = 0; i < kFaultSiteCount; ++i) {
+    const auto site = static_cast<FaultSite>(i);
+    if (name == to_string(site)) {
+      out = site;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// TILQ_FAULT is parsed during static initialization, mirroring the
+/// TILQ_METRICS / TILQ_TRACE / TILQ_PERF env gates. A malformed spec here
+/// must not throw out of a static initializer, so it is ignored (tests use
+/// configure(), which does throw).
+bool init_from_env() noexcept {
+  const char* value = std::getenv("TILQ_FAULT");
+  if (value == nullptr || value[0] == '\0') {
+    return false;
+  }
+  try {
+    configure(value);
+  } catch (...) {
+    return false;
+  }
+  return true;
+}
+
+[[maybe_unused]] const bool g_env_initialized = init_from_env();
+
+}  // namespace
+
+void arm(FaultSite site, std::uint64_t nth) noexcept {
+  state(site).countdown.store(nth == 0 ? 1 : nth, std::memory_order_relaxed);
+  g_armed_mask.fetch_or(bit(site), std::memory_order_release);
+}
+
+void disarm(FaultSite site) noexcept {
+  g_armed_mask.fetch_and(~bit(site), std::memory_order_release);
+  state(site).countdown.store(0, std::memory_order_relaxed);
+}
+
+void disarm_all() noexcept {
+  g_armed_mask.store(0, std::memory_order_release);
+  for (SiteState& s : g_sites) {
+    s.countdown.store(0, std::memory_order_relaxed);
+    s.hits.store(0, std::memory_order_relaxed);
+    s.triggered.store(0, std::memory_order_relaxed);
+  }
+}
+
+bool armed(FaultSite site) noexcept {
+  return (g_armed_mask.load(std::memory_order_acquire) & bit(site)) != 0;
+}
+
+std::uint64_t hits(FaultSite site) noexcept {
+  return state(site).hits.load(std::memory_order_relaxed);
+}
+
+std::uint64_t triggered(FaultSite site) noexcept {
+  return state(site).triggered.load(std::memory_order_relaxed);
+}
+
+void configure(std::string_view spec) {
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t comma = spec.find(',', pos);
+    std::string_view entry = spec.substr(
+        pos, comma == std::string_view::npos ? std::string_view::npos
+                                             : comma - pos);
+    if (!entry.empty()) {
+      std::string_view name = entry;
+      std::uint64_t nth = 1;
+      if (const std::size_t colon = entry.find(':');
+          colon != std::string_view::npos) {
+        name = entry.substr(0, colon);
+        const std::string_view count = entry.substr(colon + 1);
+        if (count.empty()) {
+          throw PreconditionError(
+              "TILQ_FAULT: missing count after ':' in spec entry");
+        }
+        nth = 0;
+        for (const char c : count) {
+          if (c < '0' || c > '9') {
+            throw PreconditionError(
+                "TILQ_FAULT: count must be a positive integer");
+          }
+          nth = nth * 10 + static_cast<std::uint64_t>(c - '0');
+        }
+        if (nth == 0) {
+          throw PreconditionError("TILQ_FAULT: count must be >= 1");
+        }
+      }
+      FaultSite site{};
+      if (!parse_site(name, site)) {
+        throw PreconditionError(
+            std::string("TILQ_FAULT: unknown fault site '") +
+            std::string(name) +
+            "' (expected pool-alloc, marker-wrap, hash-sat, or "
+            "plan-fingerprint)");
+      }
+      arm(site, nth);
+    }
+    if (comma == std::string_view::npos) {
+      break;
+    }
+    pos = comma + 1;
+  }
+}
+
+bool should_fire(FaultSite site) noexcept {
+  if ((g_armed_mask.load(std::memory_order_relaxed) & bit(site)) == 0) {
+    return false;  // the everything-off fast path: one relaxed load
+  }
+  SiteState& s = state(site);
+  s.hits.fetch_add(1, std::memory_order_relaxed);
+  // fetch_sub decides a unique winner when several threads probe the armed
+  // site concurrently: exactly one observes the transition to zero.
+  const std::uint64_t before =
+      s.countdown.fetch_sub(1, std::memory_order_acq_rel);
+  if (before == 1) {
+    disarm(site);
+    s.triggered.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  if (before == 0) {
+    // A racing thread already consumed the trigger; undo our decrement so
+    // the counter does not wrap further.
+    s.countdown.fetch_add(1, std::memory_order_relaxed);
+  }
+  return false;
+}
+
+}  // namespace fault
+}  // namespace tilq

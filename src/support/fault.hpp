@@ -1,0 +1,81 @@
+// Deterministic fault injection (docs/ROBUSTNESS.md). Tests arm a site and
+// the library throws a typed tilq error (support/errors.hpp) from that
+// site's exact code path, so exception-safety claims — "fault at the Nth
+// pool acquisition → clean CapacityError, pool still reusable, output
+// untouched" — are assertable instead of aspirational.
+//
+// Sites (each a single `fault::should_fire(FaultSite::...)` probe in
+// library code):
+//   pool-alloc       WorkspacePool::acquire, before constructing a slot
+//   marker-wrap      accumulator finish_row: forces the marker-overflow
+//                    full-reset path regardless of the real epoch
+//   hash-sat         HashAccumulator insert: forces the saturation path
+//                    (growth bound treated as already exhausted)
+//   plan-fingerprint Executor::execute staleness check: corrupts the
+//                    fingerprint comparison so StalePlanError fires
+//
+// Arming is one-shot with an Nth-hit trigger: arm(site, n) fires on the
+// n-th probe of that site (1-based) and disarms itself, so the process
+// recovers and the same pool/executor is provably reusable afterwards.
+// Probes and triggers are counted per site (fault::hits / fault::triggered).
+//
+// Configuration:
+//   programmatic — fault::arm / fault::disarm / fault::disarm_all
+//   environment  — TILQ_FAULT="site[:nth](,site[:nth])*", parsed once at
+//                  static initialization, e.g. TILQ_FAULT=pool-alloc:3,hash-sat
+//
+// Cost when nothing is armed: one relaxed atomic load per probe (a bitmask
+// test), no branches beyond it. Probes never appear in per-element loops —
+// only at row/acquisition granularity.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace tilq {
+
+enum class FaultSite : unsigned {
+  kPoolAllocation = 0,
+  kMarkerWrap = 1,
+  kHashSaturation = 2,
+  kPlanFingerprint = 3,
+};
+
+inline constexpr std::size_t kFaultSiteCount = 4;
+
+[[nodiscard]] const char* to_string(FaultSite site) noexcept;
+
+namespace fault {
+
+/// Arms `site` to fire on its `nth` probe from now (1-based; nth=1 fires on
+/// the very next probe). Re-arming an armed site restarts its countdown.
+void arm(FaultSite site, std::uint64_t nth = 1) noexcept;
+
+void disarm(FaultSite site) noexcept;
+
+/// Disarms every site and zeroes all hit/trigger counters. Tests call this
+/// in teardown so faults never leak across test cases.
+void disarm_all() noexcept;
+
+[[nodiscard]] bool armed(FaultSite site) noexcept;
+
+/// Probes observed at `site` while it was armed, since the last
+/// disarm_all(). (Disarmed probes take the zero-cost fast path and are
+/// deliberately not counted.)
+[[nodiscard]] std::uint64_t hits(FaultSite site) noexcept;
+
+/// How many times `site` actually fired since the last disarm_all().
+[[nodiscard]] std::uint64_t triggered(FaultSite site) noexcept;
+
+/// Parses a TILQ_FAULT-style spec ("site[:nth](,site[:nth])*") and arms the
+/// named sites. Throws PreconditionError on malformed specs. An empty spec
+/// is a no-op.
+void configure(std::string_view spec);
+
+/// The library-side probe. Returns true exactly once per arm(), on the
+/// armed site's Nth hit, then self-disarms. Near-free when nothing is
+/// armed (single relaxed load). noexcept: callers throw, this never does.
+[[nodiscard]] bool should_fire(FaultSite site) noexcept;
+
+}  // namespace fault
+}  // namespace tilq

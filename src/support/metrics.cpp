@@ -91,6 +91,8 @@ void append_counters_json(std::string& out, const MetricCounters& c) {
   field("marker_row_resets", c.marker_row_resets);
   field("marker_overflow_resets", c.marker_overflow_resets);
   field("explicit_reset_slots", c.explicit_reset_slots);
+  field("accum_rehashes", c.accum_rehashes);
+  field("accum_degrades", c.accum_degrades);
   field("binary_search_steps", c.binary_search_steps);
   field("hybrid_coiter_picks", c.hybrid_coiter_picks);
   field("hybrid_linear_picks", c.hybrid_linear_picks);

@@ -62,6 +62,8 @@ struct MetricCounters {
   std::uint64_t marker_row_resets = 0;      ///< finish_row() epoch bumps (marker policy)
   std::uint64_t marker_overflow_resets = 0; ///< whole-state clears on marker overflow
   std::uint64_t explicit_reset_slots = 0;   ///< slots cleared by explicit (GrB) resets
+  std::uint64_t accum_rehashes = 0;         ///< hash grow-and-rehash saturation responses
+  std::uint64_t accum_degrades = 0;         ///< rows/cells escalated to the dense fallback
   std::uint64_t binary_search_steps = 0;    ///< halving steps in co-iteration searches
   std::uint64_t hybrid_coiter_picks = 0;    ///< (i,k) pairs where hybrid chose co-iteration
   std::uint64_t hybrid_linear_picks = 0;    ///< (i,k) pairs where hybrid chose linear scan
@@ -79,6 +81,8 @@ struct MetricCounters {
     marker_row_resets += o.marker_row_resets;
     marker_overflow_resets += o.marker_overflow_resets;
     explicit_reset_slots += o.explicit_reset_slots;
+    accum_rehashes += o.accum_rehashes;
+    accum_degrades += o.accum_degrades;
     binary_search_steps += o.binary_search_steps;
     hybrid_coiter_picks += o.hybrid_coiter_picks;
     hybrid_linear_picks += o.hybrid_linear_picks;
@@ -105,6 +109,8 @@ struct MetricCounters {
     d.marker_row_resets = sub(marker_row_resets, o.marker_row_resets);
     d.marker_overflow_resets = sub(marker_overflow_resets, o.marker_overflow_resets);
     d.explicit_reset_slots = sub(explicit_reset_slots, o.explicit_reset_slots);
+    d.accum_rehashes = sub(accum_rehashes, o.accum_rehashes);
+    d.accum_degrades = sub(accum_degrades, o.accum_degrades);
     d.binary_search_steps = sub(binary_search_steps, o.binary_search_steps);
     d.hybrid_coiter_picks = sub(hybrid_coiter_picks, o.hybrid_coiter_picks);
     d.hybrid_linear_picks = sub(hybrid_linear_picks, o.hybrid_linear_picks);
@@ -119,6 +125,7 @@ struct MetricCounters {
     return flops == 0 && accum_inserts == 0 && accum_rejects == 0 &&
            hash_probes == 0 && hash_collisions == 0 && marker_row_resets == 0 &&
            marker_overflow_resets == 0 && explicit_reset_slots == 0 &&
+           accum_rehashes == 0 && accum_degrades == 0 &&
            binary_search_steps == 0 && hybrid_coiter_picks == 0 &&
            hybrid_linear_picks == 0 && tiles_created == 0 &&
            tiles_executed == 0 && rows_processed == 0 && busy_ns == 0;

@@ -1,0 +1,115 @@
+// Parallel exception safety. An exception that escapes the body of an
+// OpenMP worksharing construct is undefined behavior — with libgomp it is
+// std::terminate, taking the whole process down. ParallelGuard gives every
+// parallel region in tilq a uniform containment protocol instead:
+//
+//   ParallelGuard guard;
+//   #pragma omp parallel
+//   {
+//     guard.run([&] { ... per-thread setup ... });
+//   #pragma omp for nowait
+//     for (...) {
+//       if (guard.cancelled()) continue;   // cooperative cancellation
+//       guard.run([&] { ... tile work ... });
+//     }
+//   }
+//   guard.rethrow_if_failed();             // after the join
+//
+// The FIRST exception thrown in any worker is captured as a
+// std::exception_ptr; an atomic flag makes the remaining tile iterations
+// no-ops (cheap relaxed load per task, not per row), and the join point
+// rethrows on the calling thread. Exceptions from the tilq taxonomy
+// (support/errors.hpp) pass through with their dynamic type intact;
+// std::bad_alloc becomes CapacityError and anything else is wrapped in
+// InternalError carrying the original what() — so every public entry point
+// throws tilq::Error-classified exceptions, never terminates.
+//
+// Note the loop still ENCOUNTERS the worksharing construct after a failure
+// (OpenMP requires all threads of a team to meet the same worksharing
+// constructs); only the body is skipped.
+#pragma once
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "support/errors.hpp"
+
+namespace tilq {
+
+class ParallelGuard {
+ public:
+  ParallelGuard() = default;
+  ParallelGuard(const ParallelGuard&) = delete;
+  ParallelGuard& operator=(const ParallelGuard&) = delete;
+
+  /// Runs `body` and captures any escaping exception. Safe to call from
+  /// inside OpenMP constructs; never lets an exception propagate.
+  template <class Body>
+  void run(Body&& body) noexcept {
+    if (cancelled()) {
+      return;
+    }
+    try {
+      std::forward<Body>(body)();
+    } catch (...) {
+      capture(std::current_exception());
+    }
+  }
+
+  /// True once any worker failed. A single relaxed atomic load — cheap
+  /// enough to poll once per tile (do not poll per accumulator write).
+  [[nodiscard]] bool cancelled() const noexcept {
+    return failed_.load(std::memory_order_relaxed);
+  }
+
+  /// Records `error` if it is the first failure; later failures only keep
+  /// the cancellation flag set. Thread-safe.
+  void capture(std::exception_ptr error) noexcept {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (first_ == nullptr) {
+        first_ = std::move(error);
+      }
+    }
+    failed_.store(true, std::memory_order_release);
+  }
+
+  /// Call on the calling thread after the parallel region joined. Rethrows
+  /// the first captured exception, normalized into the tilq taxonomy (see
+  /// the header comment). No-op when every worker succeeded.
+  void rethrow_if_failed() {
+    if (!failed_.load(std::memory_order_acquire)) {
+      return;
+    }
+    std::exception_ptr error;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      error = first_;
+    }
+    if (error == nullptr) {
+      throw InternalError("ParallelGuard: worker failed without an exception");
+    }
+    try {
+      std::rethrow_exception(error);
+    } catch (const Error&) {
+      throw;  // already classified — preserve the dynamic type
+    } catch (const std::bad_alloc&) {
+      throw CapacityError("allocation failed inside a parallel worker");
+    } catch (const std::exception& e) {
+      throw InternalError(
+          std::string("exception escaped a parallel worker: ") + e.what());
+    } catch (...) {
+      throw InternalError("unknown exception escaped a parallel worker");
+    }
+  }
+
+ private:
+  std::atomic<bool> failed_{false};
+  std::mutex mutex_;
+  std::exception_ptr first_;
+};
+
+}  // namespace tilq

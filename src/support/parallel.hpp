@@ -10,18 +10,26 @@
 #include <vector>
 
 #include "support/common.hpp"
+#include "support/panic.hpp"
 
 namespace tilq {
 
 /// Applies `body(i)` for every i in [begin, end), in parallel with a static
 /// schedule. Intended for regular per-row work; irregular work goes through
-/// the tile executors in core/execute.hpp instead.
+/// the tile executors in core/execute.hpp instead. A throwing body is safe:
+/// the first exception is captured (remaining iterations become no-ops) and
+/// rethrown here after the join instead of terminating the process.
 template <class I, class Body>
 void parallel_for(I begin, I end, Body&& body) {
+  ParallelGuard guard;
 #pragma omp parallel for schedule(static)
   for (I i = begin; i < end; ++i) {
-    body(i);
+    if (guard.cancelled()) {
+      continue;
+    }
+    guard.run([&] { body(i); });
   }
+  guard.rethrow_if_failed();
 }
 
 /// Exclusive prefix sum of `counts` into `offsets` (sized counts.size() + 1);

@@ -14,7 +14,10 @@
 // Support substrate.
 #include "support/common.hpp"
 #include "support/env.hpp"
+#include "support/errors.hpp"
+#include "support/fault.hpp"
 #include "support/metrics.hpp"
+#include "support/panic.hpp"
 #include "support/parallel.hpp"
 #include "support/perf.hpp"
 #include "support/rng.hpp"
@@ -32,6 +35,7 @@
 #include "sparse/reorder.hpp"
 #include "sparse/serialize.hpp"
 #include "sparse/stats.hpp"
+#include "sparse/validate.hpp"
 #include "sparse/vector.hpp"
 
 // Graph generators and the synthetic collection.

@@ -11,6 +11,7 @@
 #include "core/masked_spgemm_2d.hpp"
 #include "core/spgemm.hpp"
 #include "sparse/ops.hpp"
+#include "sparse/validate.hpp"
 #include "test_util.hpp"
 
 namespace tilq {
@@ -126,6 +127,90 @@ TEST_P(FuzzRounds, RepeatedRunsAreDeterministic) {
   for (int run = 0; run < 5; ++run) {
     ASSERT_TRUE(test::csr_equal(first, masked_spgemm<SR>(a, a, a, config)))
         << "run " << run << " " << config.describe();
+  }
+}
+
+// Structure-corruption fuzzer (docs/ROBUSTNESS.md): mutate one structural
+// array of a valid CSR at random and assert the validator reports the
+// damage — so the plan()-boundary validation (Config::validate_inputs)
+// rejects the operand instead of handing corrupt extents to the kernels.
+TEST_P(FuzzRounds, CorruptedStructureIsAlwaysCaughtByValidate) {
+  Xoshiro256 rng(GetParam() * 86028121);
+  for (int round = 0; round < 24; ++round) {
+    const I rows = static_cast<I>(2 + rng.uniform_below(40));
+    const I cols = rows;  // square: the corrupt operand fits every slot
+    auto m = test::random_matrix<double, I>(rows, cols, 0.25, rng());
+    if (m.nnz() < 2) {
+      continue;
+    }
+    ASSERT_TRUE(validate(m).ok());
+
+    bool corrupted = true;
+    switch (rng.uniform_below(5)) {
+      case 0: {  // column out of range (high)
+        const auto p = rng.uniform_below(static_cast<std::uint64_t>(m.nnz()));
+        m.mutable_col_idx()[p] = cols + static_cast<I>(rng.uniform_below(100));
+        break;
+      }
+      case 1: {  // column out of range (negative)
+        const auto p = rng.uniform_below(static_cast<std::uint64_t>(m.nnz()));
+        m.mutable_col_idx()[p] = -1 - static_cast<I>(rng.uniform_below(100));
+        break;
+      }
+      case 2: {  // rowptr non-monotone
+        const auto r =
+            1 + rng.uniform_below(static_cast<std::uint64_t>(rows));
+        auto& ptr = m.mutable_row_ptr();
+        if (ptr[r] == 0) {
+          corrupted = false;  // decrement would go negative of front()==0
+          break;
+        }
+        ptr[r] = static_cast<I>(-ptr[r]);
+        break;
+      }
+      case 3: {  // unsorted / duplicate columns inside one row
+        I victim = -1;
+        for (I i = 0; i < rows; ++i) {
+          if (m.row_nnz(i) >= 2) {
+            victim = i;
+            break;
+          }
+        }
+        if (victim < 0) {
+          corrupted = false;
+          break;
+        }
+        auto& idx = m.mutable_col_idx();
+        const auto p = static_cast<std::size_t>(
+            m.row_ptr()[static_cast<std::size_t>(victim)]);
+        if (rng.bernoulli(0.5)) {
+          std::swap(idx[p], idx[p + 1]);  // order violation
+        } else {
+          idx[p + 1] = idx[p];  // duplicate
+        }
+        break;
+      }
+      default: {  // length mismatch between col_idx and row_ptr.back()
+        m.mutable_col_idx().pop_back();
+        break;
+      }
+    }
+    if (!corrupted) {
+      continue;
+    }
+
+    const auto report = validate(m);
+    ASSERT_FALSE(report.ok()) << "round " << round;
+    ASSERT_FALSE(report.summary().empty());
+
+    Config config;
+    config.validate_inputs = true;
+    Executor<SR> exec;
+    const auto ok = test::random_matrix<double, I>(rows, cols, 0.25, rng());
+    // Validation runs before any kernel touches the operand's extents, so
+    // the corrupt matrix is safe to hand to plan() — it must be rejected.
+    EXPECT_THROW(exec.plan(m, ok, ok, config), PreconditionError)
+        << "round " << round;
   }
 }
 

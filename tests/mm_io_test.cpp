@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <sstream>
 
 #include "sparse/ops.hpp"
@@ -133,6 +134,82 @@ TEST(MatrixMarket, TruncatedEntriesThrow) {
 TEST(MatrixMarket, MissingFileThrows) {
   EXPECT_THROW(read_matrix_market_file("/nonexistent/path/x.mtx"),
                MatrixMarketError);
+}
+
+TEST(MatrixMarket, IndexOverflowThrows) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "3 3 1\n"
+      "99999999999999999999999999 1 1.0\n");
+  try {
+    read_matrix_market(in);
+    FAIL() << "expected MatrixMarketError";
+  } catch (const MatrixMarketError& e) {
+    EXPECT_NE(std::string(e.what()).find("overflow"), std::string::npos)
+        << e.what();
+    EXPECT_EQ(e.kind(), ErrorKind::kIo);
+  }
+}
+
+TEST(MatrixMarket, ValueOverflowThrows) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 1\n"
+      "1 1 1.0e99999\n");
+  EXPECT_THROW(read_matrix_market(in), MatrixMarketError);
+}
+
+TEST(MatrixMarket, NonNumericTokenThrows) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 1\n"
+      "one 1 1.0\n");
+  EXPECT_THROW(read_matrix_market(in), MatrixMarketError);
+}
+
+TEST(MatrixMarket, SizeLineWithExtraTokenThrows) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 1 7\n"
+      "1 1 1.0\n");
+  EXPECT_THROW(read_matrix_market(in), MatrixMarketError);
+}
+
+TEST(MatrixMarket, HugeDeclaredNnzFailsWithoutPreallocating) {
+  // 9e18 declared entries must fail at the first missing entry, not OOM in
+  // the up-front reservation (mm_io caps the reserve).
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "3 3 9000000000000000000\n"
+      "1 1 1.0\n");
+  EXPECT_THROW(read_matrix_market(in), MatrixMarketError);
+}
+
+// Corpus sweep: every file in tests/data/bad_mtx is malformed in exactly one
+// way and must produce a typed error with a useful message — never a crash,
+// never a silently-wrong matrix.
+TEST(MatrixMarket, MalformedCorpusAllThrowTypedErrors) {
+  const std::filesystem::path dir =
+      std::filesystem::path(TILQ_TEST_DATA_DIR) / "bad_mtx";
+  ASSERT_TRUE(std::filesystem::is_directory(dir)) << dir;
+  int swept = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() != ".mtx") {
+      continue;
+    }
+    ++swept;
+    try {
+      read_matrix_market_file(entry.path().string());
+      FAIL() << entry.path().filename() << " loaded without error";
+    } catch (const MatrixMarketError& e) {
+      EXPECT_FALSE(std::string(e.what()).empty()) << entry.path().filename();
+      EXPECT_EQ(e.kind(), ErrorKind::kIo);
+    } catch (const std::exception& e) {
+      FAIL() << entry.path().filename() << " threw a non-taxonomy exception: "
+             << e.what();
+    }
+  }
+  EXPECT_GE(swept, 10) << "corpus unexpectedly small in " << dir;
 }
 
 TEST(MatrixMarket, EmptyMatrixRoundTrip) {

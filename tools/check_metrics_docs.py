@@ -5,6 +5,9 @@ Checks, in both directions:
   * every counter field of MetricCounters (src/support/metrics.hpp)
     appears (backticked) in the table under '## Counters', and every
     counter that table names exists as a field;
+  * every fault site the implementation names (the to_string table in
+    src/support/fault.cpp) appears in docs/ROBUSTNESS.md's site table
+    and vice versa, and the degradation counters are documented there;
   * every hardware counter field of HwCounters (src/support/perf.hpp)
     appears in the table under '## Hardware counters', and vice versa;
   * every field the `imbalance` record object emits (scraped from
@@ -71,6 +74,50 @@ def doc_table(path: str, section: str) -> set[str]:
     return names
 
 
+def fault_sites(path: str) -> set[str]:
+    """Site names from the to_string(FaultSite) table in fault.cpp."""
+    text = open(path, encoding="utf-8").read()
+    match = re.search(
+        r"const char\* to_string\(FaultSite site\).*?\n\}", text, re.DOTALL)
+    if not match:
+        sys.exit(f"{path}: could not find to_string(FaultSite)")
+    names = set(re.findall(r'return "([a-z-]+)";', match.group(0)))
+    names.discard("?")  # the unreachable default
+    if not names:
+        sys.exit(f"{path}: no fault site names matched")
+    return names
+
+
+def defect_kinds(path: str) -> set[str]:
+    """Defect-kind strings from the to_string(DefectKind) table."""
+    text = open(path, encoding="utf-8").read()
+    match = re.search(
+        r"to_string\(DefectKind kind\).*?\n\}", text, re.DOTALL)
+    if not match:
+        sys.exit(f"{path}: could not find to_string(DefectKind)")
+    names = set(re.findall(r'return "([a-z-]+)";', match.group(0)))
+    names.discard("?")
+    if not names:
+        sys.exit(f"{path}: no defect kind names matched")
+    return names
+
+
+def check_robustness_doc(doc_path: str, fault_cpp: str,
+                         validate_hpp: str) -> bool:
+    """Every fault site, defect kind, and degradation counter the code
+    defines must be named (backticked) in docs/ROBUSTNESS.md."""
+    doc = open(doc_path, encoding="utf-8").read()
+    documented = set(re.findall(r"`([\w-]+)`", doc))
+    required = fault_sites(fault_cpp) | defect_kinds(validate_hpp)
+    required |= {"accum_rehashes", "accum_degrades"}
+    missing = sorted(required - documented)
+    if missing:
+        print(f"names missing from {doc_path}:")
+        for name in missing:
+            print(f"  {name}")
+    return bool(missing)
+
+
 def header_schema_version(path: str) -> int:
     text = open(path, encoding="utf-8").read()
     match = re.search(r"kMetricsSchemaVersion = (\d+);", text)
@@ -110,6 +157,10 @@ def main() -> int:
     parser.add_argument("--perf-header", default="src/support/perf.hpp")
     parser.add_argument("--impl", default="src/support/metrics.cpp")
     parser.add_argument("--doc", default="docs/METRICS.md")
+    parser.add_argument("--fault-impl", default="src/support/fault.cpp")
+    parser.add_argument("--validate-header",
+                        default="src/sparse/validate.hpp")
+    parser.add_argument("--robustness-doc", default="docs/ROBUSTNESS.md")
     args = parser.parse_args()
 
     bad = False
@@ -134,11 +185,16 @@ def main() -> int:
               f"{args.doc} claims {sorted(claimed)}")
         bad = True
 
+    bad |= check_robustness_doc(args.robustness_doc, args.fault_impl,
+                                args.validate_header)
+
     if bad:
         return 1
     print(f"ok: {len(counters)} counters, {len(hw)} hw fields, "
-          f"{len(imbalance)} imbalance fields, schema v{version} "
-          "consistent between code and doc")
+          f"{len(imbalance)} imbalance fields, schema v{version}, "
+          f"{len(fault_sites(args.fault_impl))} fault sites and "
+          f"{len(defect_kinds(args.validate_header))} defect kinds "
+          "documented; code and docs consistent")
     return 0
 
 
