@@ -16,6 +16,7 @@
 #include <cstring>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "tilq/tilq.hpp"
 
@@ -30,6 +31,8 @@ struct CliOptions {
   bool predict = false;
   bool tune = false;
   bool profile = false;
+  bool engine = false;
+  int jobs = 8;
   int repeats = 5;
 };
 
@@ -56,6 +59,8 @@ void print_usage() {
       "  --predict        use the model-based config predictor\n"
       "  --tune           run the staged Fig-12 tuner first\n"
       "  --profile        enable metrics and print a hardware/imbalance summary\n"
+      "  --engine         serve the repeated queries through the batch engine\n"
+      "  --jobs N         engine mode: concurrent in-flight queries (default 8)\n"
       "  --repeats N      timing repetitions (default 5)\n");
 }
 
@@ -136,6 +141,10 @@ std::optional<CliOptions> parse(int argc, char** argv) {
       options.tune = true;
     } else if (flag == "--profile") {
       options.profile = true;
+    } else if (flag == "--engine") {
+      options.engine = true;
+    } else if (flag == "--jobs") {
+      options.jobs = std::atoi(next());
     } else if (flag == "--repeats") {
       options.repeats = std::atoi(next());
     } else {
@@ -197,6 +206,83 @@ void print_profile(const tilq::MetricsSnapshot& delta,
   }
 }
 
+/// --engine mode: serve repeats x jobs identical queries through the batch
+/// engine with up to `jobs` concurrently in flight (a sliding submission
+/// window), then cross-check the last result against the single-call path.
+int run_engine(const tilq::GraphMatrix& a, const CliOptions& options,
+               const std::string& config_label) {
+  using SR = tilq::PlusTimes<double>;
+  const int jobs = std::max(1, options.jobs);
+  const int total = std::max(1, options.repeats) * jobs;
+  tilq::Config2d config{options.config, std::max<std::int64_t>(1, options.col_tiles)};
+
+  tilq::EngineOptions engine_options;
+  engine_options.max_in_flight = static_cast<std::size_t>(jobs);
+  tilq::Engine<SR> engine(engine_options);
+  std::printf("engine: %d workers, %d jobs in flight, %d queries\n",
+              engine.threads(), jobs, total);
+
+  const tilq::MetricsSnapshot metrics_before = tilq::metrics_snapshot();
+  std::vector<tilq::Engine<SR>::JobHandle> window;
+  std::vector<double> latencies_ms;
+  latencies_ms.reserve(static_cast<std::size_t>(total));
+  tilq::WallTimer wall;
+  for (int i = 0; i < total; ++i) {
+    if (window.size() >= static_cast<std::size_t>(jobs)) {
+      window.front().wait();
+      latencies_ms.push_back(window.front().stats().total_ms);
+      window.erase(window.begin());
+    }
+    window.push_back(engine.submit(a, a, a, config));
+  }
+  for (tilq::Engine<SR>::JobHandle& handle : window) {
+    handle.wait();
+    latencies_ms.push_back(handle.stats().total_ms);
+  }
+  const double elapsed = wall.seconds();
+
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  const auto quantile = [&](double q) {
+    const auto index = static_cast<std::size_t>(
+        q * static_cast<double>(latencies_ms.size() - 1));
+    return latencies_ms[index];
+  };
+  std::printf("\nthroughput: %.1f queries/sec (%d queries in %.2f s)\n",
+              static_cast<double>(total) / elapsed, total, elapsed);
+  std::printf("latency: p50 %.2f ms, p99 %.2f ms, max %.2f ms\n",
+              quantile(0.50), quantile(0.99), latencies_ms.back());
+  std::printf("engine: %s\n", tilq::describe(engine.stats()).c_str());
+
+  // Bit-identity spot check: engine output vs the single-call path.
+  const auto oracle = config.num_col_tiles > 1
+                          ? tilq::masked_spgemm_2d<SR>(a, a, a, config)
+                          : tilq::masked_spgemm<SR>(a, a, a, options.config);
+  const auto served = engine.submit(a, a, a, config).get();
+  const bool identical = oracle.rows() == served.rows() &&
+                         oracle.nnz() == served.nnz() &&
+                         std::equal(oracle.values().begin(),
+                                    oracle.values().end(),
+                                    served.values().begin());
+  std::printf("bit-identical vs single-call path: %s\n",
+              identical ? "yes" : "NO");
+
+  if (tilq::metrics_enabled()) {
+    tilq::MetricsRecord record;
+    record.source = "tilq_cli-engine";
+    record.matrix = !options.mtx_path.empty() ? options.mtx_path : options.graph;
+    record.config = config_label + " jobs=" + std::to_string(jobs);
+    record.runs = total;
+    record.median_ms = quantile(0.50);
+    tilq::emit_metrics_record(
+        record, tilq::metrics_delta(metrics_before, tilq::metrics_snapshot()));
+  }
+  if (!tilq::trace_path().empty() && tilq::trace_flush()) {
+    std::printf("trace: wrote %zu events to %s\n", tilq::trace_event_count(),
+                tilq::trace_path().c_str());
+  }
+  return identical ? 0 : 1;
+}
+
 int run(CliOptions options) {
   if (options.profile) {
     // --profile implies counting; the summary needs the flop and hardware
@@ -253,6 +339,10 @@ int run(CliOptions options) {
   timing.max_iterations = options.repeats;
   timing.min_iterations = std::min(options.repeats, 2);
   timing.budget_seconds = 60.0;
+
+  if (options.engine) {
+    return run_engine(a, options, config_label);
+  }
 
   tilq::ExecutionStats exec;
   tilq::TimingResult result;

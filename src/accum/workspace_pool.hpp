@@ -11,14 +11,19 @@
 // per-slot counters make reuse observable: tests and the iterated-workload
 // bench assert `constructions` stays flat after warm-up.
 //
-// Thread safety: size the pool with reserve() outside the parallel region;
-// acquire() touches only the calling thread's slot.
+// Thread safety: size the pool with reserve() before any concurrent use
+// (reserve itself is NOT safe against in-flight acquires); after that,
+// acquire() touches only the calling thread's slot, slots live in a deque
+// so reserving more never moves existing ones, and the per-slot counters
+// are relaxed atomics, so stats() may run concurrently with acquires (the
+// batch engine polls it while pool workers hold workspaces).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <deque>
 #include <optional>
 #include <utility>
-#include <vector>
 
 #include "support/errors.hpp"
 #include "support/fault.hpp"
@@ -52,18 +57,18 @@ class WorkspacePool {
   template <class Make>
   Acc& acquire(int thread, std::uint64_t capability, Make&& make) {
     Slot& slot = slots_[static_cast<std::size_t>(thread)];
-    ++slot.acquisitions;
+    slot.acquisitions.fetch_add(1, std::memory_order_relaxed);
     if (!slot.acc.has_value() || slot.capability < capability) {
       if (fault::should_fire(FaultSite::kPoolAllocation)) {
         throw CapacityError(
             "workspace allocation failed (injected fault: pool-alloc)");
       }
       if (slot.acc.has_value()) {
-        ++slot.retunes;
+        slot.retunes.fetch_add(1, std::memory_order_relaxed);
       }
       slot.acc.emplace(make());
       slot.capability = capability;
-      ++slot.constructions;
+      slot.constructions.fetch_add(1, std::memory_order_relaxed);
     }
     return *slot.acc;
   }
@@ -80,9 +85,11 @@ class WorkspacePool {
   [[nodiscard]] WorkspacePoolStats stats() const {
     WorkspacePoolStats total;
     for (const Slot& slot : slots_) {
-      total.acquisitions += slot.acquisitions;
-      total.constructions += slot.constructions;
-      total.retunes += slot.retunes;
+      total.acquisitions +=
+          slot.acquisitions.load(std::memory_order_relaxed);
+      total.constructions +=
+          slot.constructions.load(std::memory_order_relaxed);
+      total.retunes += slot.retunes.load(std::memory_order_relaxed);
     }
     return total;
   }
@@ -93,11 +100,13 @@ class WorkspacePool {
   struct Slot {
     std::optional<Acc> acc;
     std::uint64_t capability = 0;
-    std::uint64_t acquisitions = 0;
-    std::uint64_t constructions = 0;
-    std::uint64_t retunes = 0;
+    std::atomic<std::uint64_t> acquisitions{0};
+    std::atomic<std::uint64_t> constructions{0};
+    std::atomic<std::uint64_t> retunes{0};
   };
-  std::vector<Slot> slots_;
+  // deque: growth constructs new slots in place without moving existing
+  // ones (atomics are immovable, and worker threads hold references).
+  std::deque<Slot> slots_;
 };
 
 }  // namespace tilq

@@ -1,0 +1,34 @@
+#include "core/engine.hpp"
+
+#include <atomic>
+
+namespace tilq {
+
+namespace engine_detail {
+
+std::uint64_t next_job_id() noexcept {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+}  // namespace engine_detail
+
+std::string describe(const EngineStats& stats) {
+  std::string out = "jobs=" + std::to_string(stats.jobs_completed);
+  if (stats.jobs_failed > 0) {
+    out += " failed=" + std::to_string(stats.jobs_failed);
+  }
+  if (stats.jobs_rejected > 0) {
+    out += " rejected=" + std::to_string(stats.jobs_rejected);
+  }
+  out += " plan-builds=" + std::to_string(stats.plan_builds);
+  out += " plan-hits=" + std::to_string(stats.plan_hits);
+  out += " tasks=" + std::to_string(stats.tasks_executed);
+  out += " steals=" + std::to_string(stats.tasks_stolen);
+  out += " peak-in-flight=" + std::to_string(stats.peak_in_flight);
+  out += " workspace-acquires=" + std::to_string(stats.workspace.acquisitions);
+  out += " workspace-builds=" + std::to_string(stats.workspace.constructions);
+  return out;
+}
+
+}  // namespace tilq

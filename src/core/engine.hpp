@@ -1,0 +1,720 @@
+// Batch execution engine: concurrent masked-SpGEMM serving on a persistent
+// work-stealing thread pool (support/thread_pool.hpp). Where Executor
+// amortizes the structure phase across calls from ONE caller, the Engine
+// amortizes plans, workspaces, and threads across MANY concurrent queries:
+//
+//   tilq::Engine<SR> engine;                        // spawns the pool once
+//   auto job = engine.submit(mask, a, b, config);   // non-blocking
+//   ... submit more queries; tiles interleave ...
+//   Csr<T, I> c = job.get();                        // wait + take the result
+//
+// Each submitted query is decomposed into the FLOP-balanced tile tasks its
+// plan prescribes (detail::build_plan / detail::run_tile_task — the same
+// code the OpenMP driver runs, so results are bit-identical to the
+// single-call path), and the pool interleaves tasks from every in-flight
+// job: a skewed query cannot idle the machine while others have runnable
+// tiles. Plans are cached engine-wide by (structural fingerprint, config),
+// so repeat structures skip the analyze phase entirely; accumulators come
+// from engine-wide per-worker workspace pools and driver buffers are
+// recycled across jobs — a warm engine performs no steady-state
+// allocations beyond each query's output.
+//
+// Backpressure: at most EngineOptions::max_in_flight jobs may be admitted
+// at once; submit() past the bound throws EngineSaturatedError (a
+// CapacityError) and run_batch() blocks instead. Failure isolation: each
+// job carries its own ParallelGuard — an exception in one job's tasks
+// cancels that job's remaining tiles and rethrows (normalized into the
+// error taxonomy) from its JobHandle::wait()/get(), without poisoning
+// sibling jobs.
+//
+// Observability: per-job latency, queue depth, and steal counters flow
+// into the metrics-v3 schema (engine_* counters, docs/METRICS.md) and
+// "engine.job" / "engine.compact" Chrome-trace spans ride next to the
+// existing tile spans. docs/CONCURRENCY.md documents the lifecycle and
+// the per-type thread-safety guarantees; tools/check_metrics_docs.py
+// lints that table against this header.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <typeindex>
+#include <utility>
+#include <vector>
+
+#include "core/plan.hpp"
+#include "support/thread_pool.hpp"
+
+namespace tilq {
+
+/// Thrown by Engine::submit when max_in_flight jobs are already admitted —
+/// the bounded-queue backpressure signal. A CapacityError: callers shed
+/// load or retry after a JobHandle completes; run_batch() blocks instead
+/// of throwing.
+class EngineSaturatedError : public CapacityError {
+ public:
+  using CapacityError::CapacityError;
+};
+
+/// Engine construction knobs.
+struct EngineOptions {
+  /// Pool workers; <= 0 means max_threads() (the OpenMP-visible width).
+  int threads = 0;
+  /// Admission bound: jobs submitted-but-not-finished before submit()
+  /// throws EngineSaturatedError (run_batch blocks instead).
+  std::size_t max_in_flight = 16;
+  /// Cached plans before the oldest is evicted (FIFO).
+  std::size_t plan_cache_capacity = 64;
+};
+
+/// Per-job accounting, valid once the job is done (JobHandle::stats()).
+struct JobStats {
+  std::uint64_t id = 0;          ///< engine-assigned job id (1-based)
+  bool plan_cache_hit = false;   ///< structure+config found in the plan cache
+  std::int64_t tasks = 0;        ///< tile tasks the job was split into
+  std::int64_t output_nnz = 0;   ///< nonzeros in the result (0 on failure)
+  std::uint64_t degrades = 0;    ///< rows/cells replayed on the dense fallback
+  std::size_t queue_depth = 0;   ///< other jobs in flight at admission
+  double queue_ms = 0.0;         ///< submit -> first task start
+  double run_ms = 0.0;           ///< first task start -> completion
+  double total_ms = 0.0;         ///< submit -> completion
+};
+
+/// Engine-lifetime totals (Engine::stats()).
+struct EngineStats {
+  std::uint64_t jobs_submitted = 0;  ///< admitted by submit()/run_batch()
+  std::uint64_t jobs_completed = 0;  ///< finished with a result
+  std::uint64_t jobs_failed = 0;     ///< finished by capturing an exception
+  std::uint64_t jobs_rejected = 0;   ///< submit() throws past the admission bound
+  std::uint64_t plan_builds = 0;     ///< structure phases actually run
+  std::uint64_t plan_hits = 0;       ///< submissions served from the plan cache
+  std::uint64_t tasks_executed = 0;  ///< pool tasks run (tiles + finalizers)
+  std::uint64_t tasks_stolen = 0;    ///< tasks taken from another worker's queue
+  std::uint64_t in_flight = 0;       ///< jobs admitted but not yet finished
+  std::uint64_t peak_in_flight = 0;  ///< high-water mark of in_flight
+  WorkspacePoolStats workspace;      ///< summed over the engine's typed pools
+};
+
+/// One-line human-readable rendering of EngineStats (CLI/bench output).
+[[nodiscard]] std::string describe(const EngineStats& stats);
+
+namespace engine_detail {
+/// Process-wide monotone job ids (stable across engines, handy in traces).
+[[nodiscard]] std::uint64_t next_job_id() noexcept;
+}  // namespace engine_detail
+
+/// The batch engine. Thread-safe: submit(), run_batch(), wait_idle(), and
+/// stats() may be called concurrently from any number of threads. The
+/// operand matrices behind a submission must stay alive and unmodified
+/// until its job completes (the engine stores references, not copies).
+/// Config::threads and Config::schedule are ignored in engine mode — the
+/// pool width fixes the tile grid and tasks are dynamically scheduled by
+/// construction. Destruction waits for in-flight jobs, then joins the
+/// pool.
+template <Semiring SR, class T = typename SR::value_type,
+          class I = std::int64_t>
+class Engine {
+  struct Job;
+
+ public:
+  /// Future-like handle to a submitted query. Cheap to copy (shared
+  /// state); safe to wait from any thread.
+  class JobHandle {
+   public:
+    JobHandle() = default;
+
+    [[nodiscard]] bool valid() const noexcept { return job_ != nullptr; }
+    [[nodiscard]] std::uint64_t id() const { return job_->id; }
+
+    /// Non-blocking completion probe.
+    [[nodiscard]] bool done() const {
+      const std::lock_guard<std::mutex> lock(job_->mutex);
+      return job_->done;
+    }
+
+    /// Blocks until the job finishes. Rethrows the job's first captured
+    /// exception with ParallelGuard semantics (taxonomy types pass through
+    /// intact, bad_alloc becomes CapacityError, anything foreign becomes
+    /// InternalError). Repeatable: failed jobs rethrow on every wait.
+    void wait() const {
+      std::unique_lock<std::mutex> lock(job_->mutex);
+      job_->cv.wait(lock, [&] { return job_->done; });
+      lock.unlock();
+      job_->guard.rethrow_if_failed();
+    }
+
+    /// wait(), then moves the result out. Single-use: a second get() on
+    /// the same job throws PreconditionError.
+    [[nodiscard]] Csr<T, I> get() {
+      wait();
+      const std::lock_guard<std::mutex> lock(job_->mutex);
+      require(job_->result.has_value(),
+              "JobHandle::get: result already taken");
+      Csr<T, I> out = std::move(*job_->result);
+      job_->result.reset();
+      return out;
+    }
+
+    /// Per-job accounting; call only after the job is done.
+    [[nodiscard]] JobStats stats() const {
+      const std::lock_guard<std::mutex> lock(job_->mutex);
+      require(job_->done, "JobHandle::stats: job still running");
+      return job_->stats;
+    }
+
+   private:
+    friend class Engine;
+    explicit JobHandle(std::shared_ptr<Job> job) : job_(std::move(job)) {}
+    std::shared_ptr<Job> job_;
+  };
+
+  /// One query of a run_batch() call. Pointers, not copies: the caller
+  /// keeps the matrices alive for the duration of the batch.
+  struct Query {
+    const Csr<T, I>* mask = nullptr;
+    const Csr<T, I>* a = nullptr;
+    const Csr<T, I>* b = nullptr;
+    Config2d config{};
+  };
+
+  explicit Engine(EngineOptions options = {})
+      : options_(options), pool_(options.threads) {
+    static_assert(std::is_same_v<T, typename SR::value_type>,
+                  "matrix value type must match the semiring");
+    if (options_.max_in_flight == 0) {
+      options_.max_in_flight = 1;
+    }
+  }
+
+  ~Engine() { wait_idle(); }
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Submits one masked-SpGEMM query; never blocks. Throws
+  /// EngineSaturatedError when max_in_flight jobs are already admitted,
+  /// and PreconditionError for shape/validation defects (found on the
+  /// calling thread, before any task is queued).
+  JobHandle submit(const Csr<T, I>& mask, const Csr<T, I>& a,
+                   const Csr<T, I>& b, const Config& config = {}) {
+    return submit(mask, a, b, Config2d{config, 1});
+  }
+
+  JobHandle submit(const Csr<T, I>& mask, const Csr<T, I>& a,
+                   const Csr<T, I>& b, const Config2d& config) {
+    return submit_impl(mask, a, b, config, /*block=*/false);
+  }
+
+  /// Submits every query, pacing admissions against the in-flight bound
+  /// (blocks instead of throwing), and returns the results in query
+  /// order. A failing job rethrows its error from here once its turn
+  /// comes; sibling jobs are unaffected and still complete.
+  std::vector<Csr<T, I>> run_batch(std::span<const Query> queries) {
+    std::vector<JobHandle> handles;
+    handles.reserve(queries.size());
+    for (const Query& q : queries) {
+      handles.push_back(
+          submit_impl(*q.mask, *q.a, *q.b, q.config, /*block=*/true));
+    }
+    std::vector<Csr<T, I>> results;
+    results.reserve(handles.size());
+    for (JobHandle& handle : handles) {
+      results.push_back(handle.get());
+    }
+    return results;
+  }
+
+  /// Blocks until no job is in flight.
+  void wait_idle() {
+    std::unique_lock<std::mutex> lock(state_mutex_);
+    state_cv_.wait(lock, [&] { return in_flight_ == 0; });
+  }
+
+  /// Pool workers.
+  [[nodiscard]] int threads() const noexcept { return pool_.size(); }
+
+  [[nodiscard]] EngineStats stats() const {
+    EngineStats s;
+    {
+      const std::lock_guard<std::mutex> lock(state_mutex_);
+      s.jobs_submitted = jobs_submitted_;
+      s.jobs_completed = jobs_completed_;
+      s.jobs_failed = jobs_failed_;
+      s.jobs_rejected = jobs_rejected_;
+      s.in_flight = static_cast<std::uint64_t>(in_flight_);
+      s.peak_in_flight = peak_in_flight_;
+    }
+    {
+      const std::lock_guard<std::mutex> lock(plan_mutex_);
+      s.plan_builds = plan_builds_;
+      s.plan_hits = plan_hits_;
+    }
+    const ThreadPool::Stats pool = pool_.stats();
+    s.tasks_executed = pool.executed;
+    s.tasks_stolen = pool.stolen;
+    {
+      const std::lock_guard<std::mutex> lock(pools_mutex_);
+      for (const auto& stats_fn : pool_stats_fns_) {
+        const WorkspacePoolStats w = stats_fn();
+        s.workspace.acquisitions += w.acquisitions;
+        s.workspace.constructions += w.constructions;
+        s.workspace.retunes += w.retunes;
+      }
+    }
+    return s;
+  }
+
+ private:
+  /// A cached, fully-bound plan: the structure-phase output plus the typed
+  /// task runner resolved for its (marker width x accumulator) dispatch.
+  /// Immutable after construction, shared by every job that hits it.
+  struct PlanEntry {
+    Plan<I> plan;
+    Config2d config;
+    /// Runs one tile task of `job` on pool worker `worker`.
+    std::function<void(const PlanEntry&, Job&, std::int64_t, int)> run_task;
+  };
+
+  struct Job {
+    std::uint64_t id = 0;
+    const Csr<T, I>* mask = nullptr;
+    const Csr<T, I>* a = nullptr;
+    const Csr<T, I>* b = nullptr;
+    std::shared_ptr<const PlanEntry> entry;
+    std::unique_ptr<detail::DriverBuffers<T, I>> buffers;
+    std::once_flag buffers_once;  ///< first task binds `buffers`
+    std::int64_t task_count = 0;
+    std::atomic<std::int64_t> remaining{0};
+    ParallelGuard guard;
+    std::atomic<std::int64_t> rows{0};
+    std::atomic<std::uint64_t> degrades{0};
+    WallTimer since_submit;  ///< started at admission
+    std::atomic<bool> first_task_seen{false};
+    double queue_ms = 0.0;  ///< written once by the first task
+    double trace_start_us = -1.0;
+    bool cache_hit = false;
+    std::size_t depth_at_submit = 0;
+    // Completion state, guarded by `mutex`.
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool done = false;
+    std::optional<Csr<T, I>> result;
+    JobStats stats;
+  };
+
+  JobHandle submit_impl(const Csr<T, I>& mask, const Csr<T, I>& a,
+                        const Csr<T, I>& b, Config2d config, bool block) {
+    std::size_t depth = 0;
+    {
+      std::unique_lock<std::mutex> lock(state_mutex_);
+      if (in_flight_ >= options_.max_in_flight) {
+        if (!block) {
+          ++jobs_rejected_;
+          throw EngineSaturatedError(
+              "Engine::submit: " + std::to_string(in_flight_) +
+              " jobs in flight (max_in_flight=" +
+              std::to_string(options_.max_in_flight) +
+              ") — wait on a JobHandle or use run_batch(), which paces "
+              "admissions");
+        }
+        state_cv_.wait(lock,
+                       [&] { return in_flight_ < options_.max_in_flight; });
+      }
+      depth = in_flight_++;
+      peak_in_flight_ =
+          std::max<std::uint64_t>(peak_in_flight_, in_flight_);
+      ++jobs_submitted_;
+    }
+    try {
+      // The pool width fixes the tile grid (2 x workers by default) and
+      // the plan-cache key stays stable across callers with different
+      // Config::threads.
+      config.threads = pool_.size();
+      bool cache_hit = false;
+      std::shared_ptr<const PlanEntry> entry =
+          plan_for(mask, a, b, config, cache_hit);
+      return launch(mask, a, b, std::move(entry), cache_hit, depth);
+    } catch (...) {
+      // Admission is undone: the job never started.
+      const std::lock_guard<std::mutex> lock(state_mutex_);
+      --in_flight_;
+      --jobs_submitted_;
+      state_cv_.notify_all();
+      throw;
+    }
+  }
+
+  /// Plan-cache lookup keyed by (structural fingerprint, config); builds
+  /// and binds a new entry on miss. Builds run on the submitting thread
+  /// (OpenMP is safe there, unlike on pool workers) while holding the
+  /// cache lock, which serializes duplicate builders and keeps the
+  /// plan_builds/plan_hits accounting exact under concurrent submission.
+  std::shared_ptr<const PlanEntry> plan_for(const Csr<T, I>& mask,
+                                            const Csr<T, I>& a,
+                                            const Csr<T, I>& b,
+                                            const Config2d& config,
+                                            bool& cache_hit) {
+    const std::uint64_t fingerprint =
+        detail::structural_fingerprint(mask, a, b);
+    const std::lock_guard<std::mutex> lock(plan_mutex_);
+    // Newest-first scan: serving workloads resubmit recent structures.
+    for (auto it = plans_.rbegin(); it != plans_.rend(); ++it) {
+      if ((*it)->plan.info.fingerprint == fingerprint &&
+          (*it)->config == config) {
+        ++plan_hits_;
+        cache_hit = true;
+        return *it;
+      }
+    }
+    WallTimer build;
+    auto entry = std::make_shared<PlanEntry>();
+    entry->plan = detail::build_plan(mask, a, b, config);
+    entry->config = config;
+    entry->plan.info.build_ms = build.milliseconds();
+    bind_entry(*entry);
+    ++plan_builds_;
+    plans_.push_back(entry);
+    if (plans_.size() > std::max<std::size_t>(1, options_.plan_cache_capacity)) {
+      plans_.pop_front();  // in-flight jobs keep their shared_ptr alive
+    }
+    cache_hit = false;
+    return entry;
+  }
+
+  JobHandle launch(const Csr<T, I>& mask, const Csr<T, I>& a,
+                   const Csr<T, I>& b, std::shared_ptr<const PlanEntry> entry,
+                   bool cache_hit, std::size_t depth) {
+    auto job = std::make_shared<Job>();
+    job->id = engine_detail::next_job_id();
+    job->mask = &mask;
+    job->a = &a;
+    job->b = &b;
+    job->entry = std::move(entry);
+    job->cache_hit = cache_hit;
+    job->depth_at_submit = depth;
+    const Plan<I>& plan = job->entry->plan;
+    const std::size_t col_tiles =
+        plan.two_dimensional() ? std::max<std::size_t>(1, plan.col_tiles.size())
+                               : 1;
+    job->task_count =
+        static_cast<std::int64_t>(plan.row_tiles.size() * col_tiles);
+    // Driver buffers are NOT acquired here: binding is deferred to the
+    // first task (bind_buffers) so the number of live scratch sets tracks
+    // the worker count, not the admission window. Acquiring at submit
+    // would materialize max_in_flight nnz-sized buffer sets that evict
+    // each other from cache while most of them sit queued.
+    // Even a zero-tile job runs one finalizer task so completion always
+    // happens on the pool, never inline in submit().
+    job->remaining.store(std::max<std::int64_t>(1, job->task_count),
+                         std::memory_order_relaxed);
+#if TILQ_METRICS_ENABLED
+    if (MetricCounters* const counters = metrics_thread_counters()) {
+      counters->engine_queue_depth += static_cast<std::uint64_t>(depth);
+    }
+    if (trace_enabled()) {
+      job->trace_start_us = trace_detail::now_us();
+    }
+#endif
+    job->since_submit.reset();
+    if (job->task_count == 0) {
+      pool_.submit([this, job] { run_task(job, -1); });
+    } else {
+      for (std::int64_t task = 0; task < job->task_count; ++task) {
+        pool_.submit([this, job, task] { run_task(job, task); });
+      }
+    }
+    return JobHandle(std::move(job));
+  }
+
+  /// Body of every pool task: one tile (task >= 0), then whoever finishes
+  /// last runs the serial compact and completes the job.
+  void run_task(const std::shared_ptr<Job>& job, std::int64_t task) {
+    if (!job->first_task_seen.exchange(true, std::memory_order_acq_rel)) {
+      job->queue_ms = job->since_submit.milliseconds();
+    }
+    if (task >= 0 && !job->guard.cancelled()) {
+      job->guard.run([&] { bind_buffers(*job); });
+      if (!job->guard.cancelled()) {
+        const int worker = std::max(0, ThreadPool::worker_index());
+        job->entry->run_task(*job->entry, *job, task, worker);
+      }
+    }
+    if (job->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      finalize(job);
+    }
+  }
+
+  /// Binds the job's driver buffers on first use, from any worker.
+  /// Allocation failures surface through the caller's ParallelGuard wrap
+  /// (an exceptional std::call_once leaves the flag unset, which is fine:
+  /// every later attempt is equally guarded).
+  void bind_buffers(Job& job) {
+    std::call_once(job.buffers_once, [&] {
+      const Plan<I>& plan = job.entry->plan;
+      const std::size_t col_tiles =
+          plan.two_dimensional()
+              ? std::max<std::size_t>(1, plan.col_tiles.size())
+              : 1;
+      job.buffers = acquire_buffers();
+      job.buffers->ensure(
+          static_cast<std::size_t>(job.mask->nnz()),
+          static_cast<std::size_t>(plan.rows),
+          plan.two_dimensional()
+              ? static_cast<std::size_t>(plan.rows) * col_tiles
+              : 0);
+    });
+  }
+
+  void finalize(const std::shared_ptr<Job>& job) {
+    if (!job->guard.cancelled()) {
+      job->guard.run([&] {
+        TraceSpan span("engine.compact", static_cast<std::int64_t>(job->id));
+        bind_buffers(*job);  // zero-tile jobs reach compact unbound
+        // Serial on purpose: pool workers must not open OpenMP teams.
+        job->result = detail::compact_planned(job->entry->plan, *job->mask,
+                                              *job->buffers,
+                                              /*parallel=*/false);
+      });
+    }
+    const bool failed = job->guard.cancelled();
+    const double total_ms = job->since_submit.milliseconds();
+    JobStats stats;
+    stats.id = job->id;
+    stats.plan_cache_hit = job->cache_hit;
+    stats.tasks = job->task_count;
+    stats.output_nnz =
+        failed ? 0 : static_cast<std::int64_t>(job->result->nnz());
+    stats.degrades = job->degrades.load(std::memory_order_relaxed);
+    stats.queue_depth = job->depth_at_submit;
+    stats.queue_ms = job->queue_ms;
+    stats.total_ms = total_ms;
+    stats.run_ms = std::max(0.0, total_ms - job->queue_ms);
+    recycle_buffers(std::move(job->buffers));
+#if TILQ_METRICS_ENABLED
+    if (MetricCounters* const counters = metrics_thread_counters()) {
+      ++counters->engine_jobs;
+      counters->engine_job_ns += static_cast<std::uint64_t>(total_ms * 1e6);
+      counters->engine_queue_ns +=
+          static_cast<std::uint64_t>(job->queue_ms * 1e6);
+    }
+    if (trace_enabled() && job->trace_start_us >= 0.0) {
+      // A manual complete-event: the span opened at submit() on the caller
+      // thread and closes here on a worker.
+      trace_detail::record_span("engine.job",
+                                static_cast<std::int64_t>(job->id),
+                                job->trace_start_us, trace_detail::now_us(),
+                                HwCounters{});
+    }
+#endif
+    {
+      // Engine-wide accounting settles before the job reads as done, so a
+      // caller returning from JobHandle::get()/wait() always sees this job
+      // in stats(). Notify under the lock: wait_idle() may destroy the
+      // engine the moment the predicate holds, so neither the cv nor any
+      // other engine member may be touched after the mutex is released —
+      // everything below this block is Job state, which the handle's
+      // shared_ptr keeps alive past the engine.
+      const std::lock_guard<std::mutex> lock(state_mutex_);
+      --in_flight_;
+      if (failed) {
+        ++jobs_failed_;
+      } else {
+        ++jobs_completed_;
+      }
+      state_cv_.notify_all();
+    }
+    {
+      const std::lock_guard<std::mutex> lock(job->mutex);
+      job->stats = stats;
+      job->done = true;
+    }
+    job->cv.notify_all();
+  }
+
+  /// Resolves the (marker width x accumulator kind) dispatch for a new
+  /// plan entry — the engine-side analogue of Executor::bind_dispatch.
+  void bind_entry(PlanEntry& entry) {
+    switch (entry.config.marker_width) {
+      case MarkerWidth::k8:
+        bind_entry_marker<std::uint8_t>(entry);
+        return;
+      case MarkerWidth::k16:
+        bind_entry_marker<std::uint16_t>(entry);
+        return;
+      case MarkerWidth::k32:
+        bind_entry_marker<std::uint32_t>(entry);
+        return;
+      case MarkerWidth::k64:
+        bind_entry_marker<std::uint64_t>(entry);
+        return;
+    }
+    require(false, "Engine: invalid marker width");
+  }
+
+  template <class Marker>
+  void bind_entry_marker(PlanEntry& entry) {
+    switch (entry.config.accumulator) {
+      case AccumulatorKind::kDense:
+        bind_entry_runner<DenseAccumulator<SR, I, Marker>>(
+            entry,
+            [](const Plan<I>& p, const Config2d& c) {
+              return DenseAccumulator<SR, I, Marker>(p.cols, c.reset);
+            },
+            [](const Plan<I>& p) {
+              return static_cast<std::uint64_t>(p.cols);
+            });
+        return;
+      case AccumulatorKind::kBitmap:
+        bind_entry_runner<BitmapAccumulator<SR, I>>(
+            entry,
+            [](const Plan<I>& p, const Config2d&) {
+              return BitmapAccumulator<SR, I>(p.cols);
+            },
+            [](const Plan<I>& p) {
+              return static_cast<std::uint64_t>(p.cols);
+            });
+        return;
+      case AccumulatorKind::kHash:
+        bind_entry_runner<HashAccumulator<SR, I, Marker>>(
+            entry,
+            [](const Plan<I>& p, const Config2d& c) {
+              return HashAccumulator<SR, I, Marker>(p.accumulator_bound,
+                                                    c.reset);
+            },
+            [](const Plan<I>& p) {
+              return static_cast<std::uint64_t>(p.accumulator_bound);
+            });
+        return;
+    }
+    require(false, "Engine: invalid accumulator kind");
+  }
+
+  template <class Acc, class Factory, class Capability>
+  void bind_entry_runner(PlanEntry& entry, Factory factory,
+                         Capability capability) {
+    std::shared_ptr<WorkspacePool<Acc>> pool = pool_for<Acc>();
+    entry.run_task = [pool, factory, capability](const PlanEntry& e, Job& job,
+                                                 std::int64_t task,
+                                                 int worker) {
+      job.guard.run([&] {
+        WallTimer busy;
+        Acc& acc = pool->acquire(worker, capability(e.plan),
+                                 [&] { return factory(e.plan, e.config); });
+#if TILQ_METRICS_ENABLED
+        const AccumulatorCounters counters_at_entry = acc.counters();
+#endif
+        // Per-task fallback (vs per-thread in the OpenMP driver): degraded
+        // tasks are rare and a fresh dense target is equally bit-identical.
+        std::optional<typename detail::FallbackAccumulator<Acc>::type>
+            fallback;
+        const detail::TileTaskStats tile =
+            detail::run_tile_task<SR>(e.plan, e.config, *job.mask, *job.a,
+                                      *job.b, task, acc, fallback,
+                                      *job.buffers);
+        job.rows.fetch_add(tile.rows, std::memory_order_relaxed);
+        job.degrades.fetch_add(tile.degrades, std::memory_order_relaxed);
+#if TILQ_METRICS_ENABLED
+        if (MetricCounters* const tc = metrics_thread_counters()) {
+          const AccumulatorCounters d =
+              detail::counters_delta(acc.counters(), counters_at_entry);
+          ++tc->tiles_executed;
+          tc->rows_processed += static_cast<std::uint64_t>(tile.rows);
+          tc->busy_ns +=
+              static_cast<std::uint64_t>(busy.milliseconds() * 1e6);
+          tc->hash_probes += d.probes;
+          tc->hash_collisions += d.collisions;
+          tc->accum_inserts += d.inserts;
+          tc->accum_rejects += d.rejects;
+          tc->marker_row_resets += d.row_resets;
+          tc->marker_overflow_resets += d.full_resets;
+          tc->explicit_reset_slots += d.explicit_clears;
+          tc->accum_rehashes += d.rehashes;
+          tc->accum_degrades += tile.degrades;
+          if constexpr (detail::FallbackAccumulator<Acc>::available) {
+            if (fallback.has_value()) {
+              const AccumulatorCounters& f = fallback->counters();
+              tc->hash_probes += f.probes;
+              tc->hash_collisions += f.collisions;
+              tc->accum_inserts += f.inserts;
+              tc->accum_rejects += f.rejects;
+              tc->marker_row_resets += f.row_resets;
+              tc->marker_overflow_resets += f.full_resets;
+              tc->explicit_reset_slots += f.explicit_clears;
+            }
+          }
+        }
+#endif
+      });
+    };
+  }
+
+  /// One engine-wide WorkspacePool per concrete accumulator type, sized to
+  /// the pool width once at creation (reserve is not concurrency-safe;
+  /// acquires afterwards are per-worker).
+  template <class Acc>
+  std::shared_ptr<WorkspacePool<Acc>> pool_for() {
+    const std::lock_guard<std::mutex> lock(pools_mutex_);
+    std::shared_ptr<void>& slot = pools_[std::type_index(typeid(Acc))];
+    if (slot == nullptr) {
+      auto pool = std::make_shared<WorkspacePool<Acc>>();
+      pool->reserve(pool_.size());
+      pool_stats_fns_.push_back([pool] { return pool->stats(); });
+      slot = pool;
+    }
+    return std::static_pointer_cast<WorkspacePool<Acc>>(slot);
+  }
+
+  std::unique_ptr<detail::DriverBuffers<T, I>> acquire_buffers() {
+    const std::lock_guard<std::mutex> lock(buffers_mutex_);
+    if (!free_buffers_.empty()) {
+      auto buffers = std::move(free_buffers_.back());
+      free_buffers_.pop_back();
+      return buffers;
+    }
+    return std::make_unique<detail::DriverBuffers<T, I>>();
+  }
+
+  void recycle_buffers(std::unique_ptr<detail::DriverBuffers<T, I>> buffers) {
+    if (buffers == nullptr) {
+      return;
+    }
+    const std::lock_guard<std::mutex> lock(buffers_mutex_);
+    if (free_buffers_.size() < options_.max_in_flight) {
+      free_buffers_.push_back(std::move(buffers));
+    }
+  }
+
+  EngineOptions options_;
+  ThreadPool pool_;
+
+  mutable std::mutex state_mutex_;
+  std::condition_variable state_cv_;  ///< admission slots + wait_idle
+  std::size_t in_flight_ = 0;
+  std::uint64_t jobs_submitted_ = 0;
+  std::uint64_t jobs_completed_ = 0;
+  std::uint64_t jobs_failed_ = 0;
+  std::uint64_t jobs_rejected_ = 0;
+  std::uint64_t peak_in_flight_ = 0;
+
+  mutable std::mutex plan_mutex_;
+  std::deque<std::shared_ptr<const PlanEntry>> plans_;
+  std::uint64_t plan_builds_ = 0;
+  std::uint64_t plan_hits_ = 0;
+
+  mutable std::mutex pools_mutex_;
+  std::map<std::type_index, std::shared_ptr<void>> pools_;
+  std::vector<std::function<WorkspacePoolStats()>> pool_stats_fns_;
+
+  std::mutex buffers_mutex_;
+  std::vector<std::unique_ptr<detail::DriverBuffers<T, I>>> free_buffers_;
+};
+
+}  // namespace tilq

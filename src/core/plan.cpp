@@ -23,8 +23,24 @@ std::uint64_t hash_bytes(const void* data, std::size_t size,
                          std::uint64_t seed) noexcept {
   const auto* bytes = static_cast<const unsigned char*>(data);
   std::uint64_t h = seed ^ (0x9e3779b97f4a7c15ULL + size);
-  // Word-at-a-time so fingerprinting stays cheap next to the kernel itself
-  // (the staleness check runs on every execute()).
+  // Four independent lanes, 32 bytes per step: a single word-at-a-time
+  // chain is latency-bound on the multiply, and the staleness check runs
+  // on every execute()/submit() — fingerprint throughput is serving-path
+  // throughput (bench/engine_throughput is dominated by it otherwise).
+  std::uint64_t lane[4] = {h, h ^ 0xbf58476d1ce4e5b9ULL,
+                           h ^ 0x94d049bb133111ebULL,
+                           h ^ 0xd6e8feb86659fd93ULL};
+  while (size >= 4 * sizeof(std::uint64_t)) {
+    std::uint64_t word[4];
+    std::memcpy(word, bytes, sizeof word);
+    for (int i = 0; i < 4; ++i) {
+      lane[i] = (lane[i] ^ word[i]) * 0x9e3779b97f4a7c15ULL;
+      lane[i] ^= lane[i] >> 29;
+    }
+    bytes += sizeof word;
+    size -= sizeof word;
+  }
+  h = mix(lane[0]) ^ mix(lane[1]) ^ mix(lane[2]) ^ mix(lane[3]);
   while (size >= sizeof(std::uint64_t)) {
     std::uint64_t word;
     std::memcpy(&word, bytes, sizeof word);

@@ -97,19 +97,25 @@ template <class T, class I>
 [[nodiscard]] std::uint64_t structural_fingerprint(const Csr<T, I>& mask,
                                                    const Csr<T, I>& a,
                                                    const Csr<T, I>& b) noexcept {
-  std::uint64_t h = 0x9e3779b97f4a7c15ULL;
-  const auto fold = [&h](const Csr<T, I>& m) {
+  const auto digest = [](const Csr<T, I>& m) {
     const std::int64_t dims[3] = {static_cast<std::int64_t>(m.rows()),
                                   static_cast<std::int64_t>(m.cols()),
                                   static_cast<std::int64_t>(m.nnz())};
-    h = hash_bytes(dims, sizeof dims, h);
+    std::uint64_t h = hash_bytes(dims, sizeof dims, 0x9e3779b97f4a7c15ULL);
     h = hash_bytes(m.row_ptr().data(), m.row_ptr().size_bytes(), h);
-    h = hash_bytes(m.col_idx().data(), m.col_idx().size_bytes(), h);
+    return hash_bytes(m.col_idx().data(), m.col_idx().size_bytes(), h);
   };
-  fold(mask);
-  fold(a);
-  fold(b);
-  return h;
+  // The triangle-census shape C = A ⊙ (A × A) passes one object three
+  // times; same object now means same structure now, so digest it once.
+  // Per-operand digests are combined through a seed chain, so the key
+  // stays position-sensitive (swapping A and B changes it).
+  const std::uint64_t dm = digest(mask);
+  const std::uint64_t da = (&a == &mask) ? dm : digest(a);
+  const std::uint64_t db =
+      (&b == &mask) ? dm : ((&b == &a) ? da : digest(b));
+  std::uint64_t h = hash_bytes(&dm, sizeof dm, 0x243f6a8885a308d3ULL);
+  h = hash_bytes(&da, sizeof da, h);
+  return hash_bytes(&db, sizeof db, h);
 }
 
 /// Reused driver-level scratch (distinct from the accumulators, which live
@@ -180,6 +186,99 @@ I accumulator_row_bound(const Csr<T, I>& mask, const Csr<T, I>& a,
   return std::max(bound, max_row_nnz(mask));
 }
 
+/// Precomputes the hybrid kernel's per-(i,k) κ choices — exactly the
+/// predicate row_hybrid evaluates inline, hoisted to plan time.
+template <class T, class I>
+void build_hybrid_decisions(Plan<I>& plan, const Csr<T, I>& mask,
+                            const Csr<T, I>& a, const Csr<T, I>& b,
+                            double kappa) {
+  plan.hybrid_coiterate.assign(static_cast<std::size_t>(a.nnz()), 0);
+  const auto a_row_ptr = a.row_ptr();
+  parallel_for(I{0}, a.rows(), [&](I i) {
+    const auto mask_nnz = static_cast<std::int64_t>(mask.row_nnz(i));
+    if (mask_nnz == 0) {
+      return;  // the kernel skips the row before reading any decision
+    }
+    const auto a_cols = a.row_cols(i);
+    const auto base = static_cast<std::size_t>(a_row_ptr[static_cast<std::size_t>(i)]);
+    for (std::size_t p = 0; p < a_cols.size(); ++p) {
+      const auto b_nnz = static_cast<std::int64_t>(b.row_nnz(a_cols[p]));
+      plan.hybrid_coiterate[base + p] =
+          detail::prefer_coiteration(mask_nnz, b_nnz, kappa) ? 1 : 0;
+    }
+  });
+}
+
+/// The structure phase as a free function: validates shapes (and, under
+/// Config::validate_inputs, the operands themselves), builds the
+/// FLOP-balanced tile grid, sizes the accumulator, precomputes hybrid κ
+/// decisions, and fingerprints the operand structure. Executor::plan and
+/// the batch engine's shared plan cache (core/engine.hpp) both delegate
+/// here, so a cached engine plan is the plan the Executor would have built.
+/// Fills everything but PlanInfo::build_ms, which the caller times.
+template <class T, class I>
+[[nodiscard]] Plan<I> build_plan(const Csr<T, I>& mask, const Csr<T, I>& a,
+                                 const Csr<T, I>& b, const Config2d& config) {
+  require(a.cols() == b.rows(), "plan: inner dimensions must agree");
+  require(mask.rows() == a.rows() && mask.cols() == b.cols(),
+          "plan: mask shape must equal output shape");
+  const bool two_d = config.num_col_tiles > 1;
+  require(!(two_d && config.strategy == MaskStrategy::kVanilla),
+          "plan: the vanilla strategy has no 2D formulation");
+  if (config.validate_inputs) {
+    // Structural validation at the plan boundary (Config::validate_inputs,
+    // on by default in hardened builds): a defect report beats the UB a
+    // corrupt rowptr/colidx would cause inside the parallel kernels.
+    require_valid(mask, "mask");
+    require_valid(a, "A");
+    require_valid(b, "B");
+  }
+
+  Plan<I> plan;
+  plan.two_d = two_d;
+  plan.rows = a.rows();
+  plan.inner = a.cols();
+  plan.cols = b.cols();
+  plan.mask_nnz = static_cast<std::int64_t>(mask.nnz());
+
+  const int threads = config.threads > 0 ? config.threads : max_threads();
+  const std::int64_t num_tiles =
+      config.num_tiles > 0 ? config.num_tiles
+                           : 2 * static_cast<std::int64_t>(threads);
+  {
+    TraceSpan span(two_d ? "spgemm2d.analyze" : "spgemm.analyze");
+    if (config.tiling == Tiling::kFlopBalanced) {
+      plan.row_tiles =
+          make_flop_balanced_tiles(row_work_prefix(mask, a, b), num_tiles);
+    } else {
+      plan.row_tiles = make_uniform_tiles(plan.rows, num_tiles);
+    }
+    if (two_d) {
+      plan.col_tiles = make_uniform_tiles(
+          b.cols(), std::max<std::int64_t>(1, config.num_col_tiles));
+      if (plan.col_tiles.empty()) {
+        plan.col_tiles.push_back({0, 0});  // zero-column matrix
+      }
+    } else {
+      plan.col_tiles.assign(1, Tile{0, static_cast<std::int64_t>(b.cols())});
+    }
+    plan.accumulator_bound =
+        detail::accumulator_row_bound(mask, a, b, config.strategy);
+    if (!two_d && config.strategy == MaskStrategy::kHybrid) {
+      build_hybrid_decisions(plan, mask, a, b, config.coiteration_factor);
+    }
+    plan.info.fingerprint = detail::structural_fingerprint(mask, a, b);
+  }
+
+  plan.info.row_tiles = static_cast<std::int64_t>(plan.row_tiles.size());
+  plan.info.col_tiles = static_cast<std::int64_t>(plan.col_tiles.size());
+  plan.info.accumulator_bound =
+      static_cast<std::int64_t>(plan.accumulator_bound);
+  plan.info.hybrid_decisions =
+      static_cast<std::int64_t>(plan.hybrid_coiterate.size());
+  return plan;
+}
+
 /// Folds the team's per-thread compute shares into `stats`: the raw
 /// breakdown plus the derived imbalance statistics (max/mean busy ratio
 /// and the coefficient of variation — the measured counterpart of the
@@ -246,6 +345,206 @@ struct FallbackAccumulator<HashAccumulator<SR, I, Marker>> {
   static constexpr bool available = true;
 };
 
+/// Accounting one tile task reports back to its driver.
+struct TileTaskStats {
+  std::int64_t rows = 0;       ///< row visits performed by this task
+  std::uint64_t degrades = 0;  ///< rows/cells replayed on the dense fallback
+};
+
+/// One tile task of the numeric phase: task index `task` of `plan`, run
+/// against `acc`, writing into `buffers`' mask-bounded slots. This is the
+/// single shared body behind both schedulers — the OpenMP worksharing loop
+/// in planned_execute and the batch engine's pool workers (core/engine.hpp)
+/// call exactly this function, so the two paths stay bit-identical by
+/// construction. `fallback` is the caller's lazily-built dense escalation
+/// target, kept across tasks so a degrading worker builds it only once.
+template <Semiring SR, class T, class I, class Acc>
+TileTaskStats run_tile_task(
+    const Plan<I>& plan, const Config2d& config, const Csr<T, I>& mask,
+    const Csr<T, I>& a, const Csr<T, I>& b, std::int64_t task, Acc& acc,
+    std::optional<typename FallbackAccumulator<Acc>::type>& fallback,
+    DriverBuffers<T, I>& buffers) {
+  using Fallback = FallbackAccumulator<Acc>;
+  const auto mask_row_ptr = mask.row_ptr();
+  const std::span<const std::uint8_t> decisions(plan.hybrid_coiterate);
+  TileTaskStats out;
+  if (!plan.two_dimensional()) {
+    const Tile tile = plan.row_tiles[static_cast<std::size_t>(task)];
+    TraceSpan tile_span("tile", task);
+    out.rows += tile.row_end - tile.row_begin;
+    for (I i = static_cast<I>(tile.row_begin);
+         i < static_cast<I>(tile.row_end); ++i) {
+      I* out_cols = buffers.bound_cols.data() +
+                    mask_row_ptr[static_cast<std::size_t>(i)];
+      T* out_vals = buffers.bound_vals.data() +
+                    mask_row_ptr[static_cast<std::size_t>(i)];
+      I count = 0;
+      const auto emit = [&](I col, T value) {
+        out_cols[count] = col;
+        out_vals[count] = value;
+        ++count;
+      };
+      if constexpr (Fallback::available) {
+        try {
+          compute_row_planned<SR>(config.strategy, config.coiteration_factor,
+                                  decisions, mask, a, b, i, acc, emit);
+        } catch (const AccumulatorSaturatedError&) {
+          if (!config.degrade_on_saturation) {
+            throw;
+          }
+          // The kernels emit only while gathering at the end of a row, so a
+          // saturation mid-row has produced no output yet; discard the hash
+          // accumulator's partial epoch and replay the whole row on the
+          // dense fallback. Accumulation and gather order are unchanged
+          // => bit-identical values.
+          acc.abort_row();
+          count = 0;
+          if (!fallback.has_value()) {
+            fallback.emplace(plan.cols, config.reset);
+          }
+          compute_row_planned<SR>(config.strategy, config.coiteration_factor,
+                                  decisions, mask, a, b, i, *fallback, emit);
+          ++out.degrades;
+        }
+      } else {
+        compute_row_planned<SR>(config.strategy, config.coiteration_factor,
+                                decisions, mask, a, b, i, acc, emit);
+      }
+      buffers.row_counts[static_cast<std::size_t>(i)] = count;
+    }
+  } else {
+    const std::size_t col_tile_count =
+        std::max<std::size_t>(1, plan.col_tiles.size());
+    const Tile row_tile =
+        plan.row_tiles[static_cast<std::size_t>(task) / col_tile_count];
+    const std::size_t ct = static_cast<std::size_t>(task) % col_tile_count;
+    const Tile col_tile = plan.col_tiles[ct];
+    TraceSpan tile_span("tile2d", task);
+    // In 2D a row is visited once per column tile; each visit counts.
+    out.rows += row_tile.row_end - row_tile.row_begin;
+    for (I i = static_cast<I>(row_tile.row_begin);
+         i < static_cast<I>(row_tile.row_end); ++i) {
+      // The cell writes into the slice of row i's mask-bounded slot that
+      // corresponds to mask columns in [col_begin, col_end).
+      const auto row_mask = mask.row_cols(i);
+      const auto seg_first =
+          std::lower_bound(row_mask.begin(), row_mask.end(),
+                           static_cast<I>(col_tile.row_begin));
+      const auto seg_offset =
+          static_cast<std::size_t>(seg_first - row_mask.begin());
+      const auto slot = static_cast<std::size_t>(
+                            mask_row_ptr[static_cast<std::size_t>(i)]) +
+                        seg_offset;
+      I cell_count = 0;
+      if constexpr (Fallback::available) {
+        try {
+          cell_count = compute_cell<SR>(
+              mask, a, b, i, static_cast<I>(col_tile.row_begin),
+              static_cast<I>(col_tile.row_end), config.strategy,
+              config.coiteration_factor, acc, buffers.bound_cols.data() + slot,
+              buffers.bound_vals.data() + slot);
+        } catch (const AccumulatorSaturatedError&) {
+          if (!config.degrade_on_saturation) {
+            throw;
+          }
+          acc.abort_row();
+          if (!fallback.has_value()) {
+            fallback.emplace(plan.cols, config.reset);
+          }
+          cell_count = compute_cell<SR>(
+              mask, a, b, i, static_cast<I>(col_tile.row_begin),
+              static_cast<I>(col_tile.row_end), config.strategy,
+              config.coiteration_factor, *fallback,
+              buffers.bound_cols.data() + slot,
+              buffers.bound_vals.data() + slot);
+          ++out.degrades;
+        }
+      } else {
+        cell_count = compute_cell<SR>(
+            mask, a, b, i, static_cast<I>(col_tile.row_begin),
+            static_cast<I>(col_tile.row_end), config.strategy,
+            config.coiteration_factor, acc, buffers.bound_cols.data() + slot,
+            buffers.bound_vals.data() + slot);
+      }
+      buffers.cell_counts[static_cast<std::size_t>(i) * col_tile_count + ct] =
+          cell_count;
+    }
+  }
+  return out;
+}
+
+/// The compact phase against filled driver buffers. `parallel` selects the
+/// OpenMP row loop (planned_execute) or a plain serial one (the batch
+/// engine's pool workers, which must not open a nested OpenMP team). Rows
+/// are independent, so both orders produce the same output.
+template <class T, class I>
+Csr<T, I> compact_planned(const Plan<I>& plan, const Csr<T, I>& mask,
+                          DriverBuffers<T, I>& buffers, bool parallel) {
+  const I rows = plan.rows;
+  const auto mask_row_ptr = mask.row_ptr();
+  const std::size_t col_tile_count =
+      std::max<std::size_t>(1, plan.col_tiles.size());
+  const auto for_rows = [&](auto&& body) {
+    if (parallel) {
+      parallel_for(I{0}, rows, body);
+    } else {
+      for (I i = 0; i < rows; ++i) {
+        body(i);
+      }
+    }
+  };
+  if (plan.two_dimensional()) {
+    for_rows([&](I i) {
+      I total = 0;
+      for (std::size_t ct = 0; ct < col_tile_count; ++ct) {
+        total += buffers.cell_counts[static_cast<std::size_t>(i) * col_tile_count + ct];
+      }
+      buffers.row_counts[static_cast<std::size_t>(i)] = total;
+    });
+  }
+  std::vector<I> out_row_ptr(static_cast<std::size_t>(rows) + 1);
+  const I out_nnz =
+      parallel ? exclusive_scan<I>(buffers.row_counts, out_row_ptr)
+               : exclusive_scan_serial<I>(buffers.row_counts, out_row_ptr);
+  std::vector<I> out_cols(static_cast<std::size_t>(out_nnz));
+  std::vector<T> out_vals(static_cast<std::size_t>(out_nnz));
+  if (!plan.two_dimensional()) {
+    for_rows([&](I i) {
+      const auto src = static_cast<std::size_t>(mask_row_ptr[static_cast<std::size_t>(i)]);
+      const auto dst = static_cast<std::size_t>(out_row_ptr[static_cast<std::size_t>(i)]);
+      const auto len = static_cast<std::size_t>(buffers.row_counts[static_cast<std::size_t>(i)]);
+      for (std::size_t p = 0; p < len; ++p) {
+        out_cols[dst + p] = buffers.bound_cols[src + p];
+        out_vals[dst + p] = buffers.bound_vals[src + p];
+      }
+    });
+  } else {
+    // Stitch each row's column-tile segments back together in tile order.
+    for_rows([&](I i) {
+      auto dst = static_cast<std::size_t>(out_row_ptr[static_cast<std::size_t>(i)]);
+      const auto row_mask = mask.row_cols(i);
+      for (std::size_t ct = 0; ct < col_tile_count; ++ct) {
+        const Tile col_tile = plan.col_tiles[ct];
+        const auto seg_first =
+            std::lower_bound(row_mask.begin(), row_mask.end(),
+                             static_cast<I>(col_tile.row_begin));
+        const auto slot = static_cast<std::size_t>(
+                              mask_row_ptr[static_cast<std::size_t>(i)]) +
+                          static_cast<std::size_t>(seg_first - row_mask.begin());
+        const auto len = static_cast<std::size_t>(
+            buffers.cell_counts[static_cast<std::size_t>(i) * col_tile_count + ct]);
+        for (std::size_t p = 0; p < len; ++p) {
+          out_cols[dst + p] = buffers.bound_cols[slot + p];
+          out_vals[dst + p] = buffers.bound_vals[slot + p];
+        }
+        dst += len;
+      }
+    });
+  }
+  return Csr<T, I>(rows, plan.cols, std::move(out_row_ptr),
+                   std::move(out_cols), std::move(out_vals));
+}
+
 /// The numeric phase (compute + compact) against a built plan. Handles both
 /// the 1D and the 2D tile grid; trace span names stay those of the original
 /// drivers ("spgemm.*" / "tile" when the plan is 1D, "spgemm2d.*" /
@@ -266,7 +565,6 @@ Csr<T, I> planned_execute(const Plan<I>& plan, const Config2d& config,
   const I rows = a.rows();
   const int threads = config.threads > 0 ? config.threads : max_threads();
 
-  const auto mask_row_ptr = mask.row_ptr();
   const std::size_t col_tile_count = std::max<std::size_t>(1, plan.col_tiles.size());
   buffers.ensure(static_cast<std::size_t>(mask.nnz()),
                  static_cast<std::size_t>(rows),
@@ -291,8 +589,6 @@ Csr<T, I> planned_execute(const Plan<I>& plan, const Config2d& config,
   // measured load-imbalance signal next to the model's predicted CV.
   std::vector<ThreadWork> thread_work(static_cast<std::size_t>(threads));
   int team_size = threads;
-
-  const std::span<const std::uint8_t> decisions(plan.hybrid_coiterate);
 
   // First worker exception is captured here and rethrown after the join;
   // remaining tiles become no-ops. No exception may cross the region
@@ -343,113 +639,11 @@ Csr<T, I> planned_execute(const Plan<I>& plan, const Config2d& config,
           continue;  // cooperative cancellation: skip the body, not the loop
         }
         guard.run([&] {
-        if (!two_d) {
-          const Tile tile = plan.row_tiles[static_cast<std::size_t>(task)];
-          TraceSpan tile_span("tile", task);
+          const TileTaskStats tile = run_tile_task<SR>(
+              plan, config, mask, a, b, task, *acc, fallback, buffers);
           ++my_tiles;
-          my_rows += tile.row_end - tile.row_begin;
-          for (I i = static_cast<I>(tile.row_begin);
-               i < static_cast<I>(tile.row_end); ++i) {
-            I* out_cols = buffers.bound_cols.data() +
-                          mask_row_ptr[static_cast<std::size_t>(i)];
-            T* out_vals = buffers.bound_vals.data() +
-                          mask_row_ptr[static_cast<std::size_t>(i)];
-            I count = 0;
-            const auto emit = [&](I col, T value) {
-              out_cols[count] = col;
-              out_vals[count] = value;
-              ++count;
-            };
-            if constexpr (Fallback::available) {
-              try {
-                compute_row_planned<SR>(config.strategy,
-                                        config.coiteration_factor, decisions,
-                                        mask, a, b, i, *acc, emit);
-              } catch (const AccumulatorSaturatedError&) {
-                if (!config.degrade_on_saturation) {
-                  throw;
-                }
-                // The kernels emit only while gathering at the end of a
-                // row, so a saturation mid-row has produced no output yet;
-                // discard the hash accumulator's partial epoch and replay
-                // the whole row on the dense fallback. Accumulation and
-                // gather order are unchanged => bit-identical values.
-                acc->abort_row();
-                count = 0;
-                if (!fallback.has_value()) {
-                  fallback.emplace(plan.cols, config.reset);
-                }
-                compute_row_planned<SR>(config.strategy,
-                                        config.coiteration_factor, decisions,
-                                        mask, a, b, i, *fallback, emit);
-                ++my_degrades;
-              }
-            } else {
-              compute_row_planned<SR>(config.strategy,
-                                      config.coiteration_factor, decisions,
-                                      mask, a, b, i, *acc, emit);
-            }
-            buffers.row_counts[static_cast<std::size_t>(i)] = count;
-          }
-        } else {
-          const Tile row_tile =
-              plan.row_tiles[static_cast<std::size_t>(task) / col_tile_count];
-          const std::size_t ct = static_cast<std::size_t>(task) % col_tile_count;
-          const Tile col_tile = plan.col_tiles[ct];
-          TraceSpan tile_span("tile2d", task);
-          ++my_tiles;
-          // In 2D a row is visited once per column tile; each visit counts.
-          my_rows += row_tile.row_end - row_tile.row_begin;
-          for (I i = static_cast<I>(row_tile.row_begin);
-               i < static_cast<I>(row_tile.row_end); ++i) {
-            // The cell writes into the slice of row i's mask-bounded slot
-            // that corresponds to mask columns in [col_begin, col_end).
-            const auto row_mask = mask.row_cols(i);
-            const auto seg_first =
-                std::lower_bound(row_mask.begin(), row_mask.end(),
-                                 static_cast<I>(col_tile.row_begin));
-            const auto seg_offset =
-                static_cast<std::size_t>(seg_first - row_mask.begin());
-            const auto slot = static_cast<std::size_t>(
-                                  mask_row_ptr[static_cast<std::size_t>(i)]) +
-                              seg_offset;
-            I cell_count = 0;
-            if constexpr (Fallback::available) {
-              try {
-                cell_count = compute_cell<SR>(
-                    mask, a, b, i, static_cast<I>(col_tile.row_begin),
-                    static_cast<I>(col_tile.row_end), config.strategy,
-                    config.coiteration_factor, *acc,
-                    buffers.bound_cols.data() + slot,
-                    buffers.bound_vals.data() + slot);
-              } catch (const AccumulatorSaturatedError&) {
-                if (!config.degrade_on_saturation) {
-                  throw;
-                }
-                acc->abort_row();
-                if (!fallback.has_value()) {
-                  fallback.emplace(plan.cols, config.reset);
-                }
-                cell_count = compute_cell<SR>(
-                    mask, a, b, i, static_cast<I>(col_tile.row_begin),
-                    static_cast<I>(col_tile.row_end), config.strategy,
-                    config.coiteration_factor, *fallback,
-                    buffers.bound_cols.data() + slot,
-                    buffers.bound_vals.data() + slot);
-                ++my_degrades;
-              }
-            } else {
-              cell_count = compute_cell<SR>(
-                  mask, a, b, i, static_cast<I>(col_tile.row_begin),
-                  static_cast<I>(col_tile.row_end), config.strategy,
-                  config.coiteration_factor, *acc,
-                  buffers.bound_cols.data() + slot,
-                  buffers.bound_vals.data() + slot);
-            }
-            buffers.cell_counts[static_cast<std::size_t>(i) * col_tile_count +
-                                ct] = cell_count;
-          }
-        }
+          my_rows += tile.rows;
+          my_degrades += tile.degrades;
         });
       }
       const double busy_ms = busy.milliseconds();
@@ -528,54 +722,7 @@ Csr<T, I> planned_execute(const Plan<I>& plan, const Config2d& config,
   // --- compact -----------------------------------------------------------
   phase.reset();
   TraceSpan compact_span(two_d ? "spgemm2d.compact" : "spgemm.compact");
-  if (two_d) {
-    parallel_for(I{0}, rows, [&](I i) {
-      I total = 0;
-      for (std::size_t ct = 0; ct < col_tile_count; ++ct) {
-        total += buffers.cell_counts[static_cast<std::size_t>(i) * col_tile_count + ct];
-      }
-      buffers.row_counts[static_cast<std::size_t>(i)] = total;
-    });
-  }
-  std::vector<I> out_row_ptr(static_cast<std::size_t>(rows) + 1);
-  const I out_nnz = exclusive_scan<I>(buffers.row_counts, out_row_ptr);
-  std::vector<I> out_cols(static_cast<std::size_t>(out_nnz));
-  std::vector<T> out_vals(static_cast<std::size_t>(out_nnz));
-  if (!two_d) {
-    parallel_for(I{0}, rows, [&](I i) {
-      const auto src = static_cast<std::size_t>(mask_row_ptr[static_cast<std::size_t>(i)]);
-      const auto dst = static_cast<std::size_t>(out_row_ptr[static_cast<std::size_t>(i)]);
-      const auto len = static_cast<std::size_t>(buffers.row_counts[static_cast<std::size_t>(i)]);
-      for (std::size_t p = 0; p < len; ++p) {
-        out_cols[dst + p] = buffers.bound_cols[src + p];
-        out_vals[dst + p] = buffers.bound_vals[src + p];
-      }
-    });
-  } else {
-    // Stitch each row's column-tile segments back together in tile order.
-    parallel_for(I{0}, rows, [&](I i) {
-      auto dst = static_cast<std::size_t>(out_row_ptr[static_cast<std::size_t>(i)]);
-      const auto row_mask = mask.row_cols(i);
-      for (std::size_t ct = 0; ct < col_tile_count; ++ct) {
-        const Tile col_tile = plan.col_tiles[ct];
-        const auto seg_first =
-            std::lower_bound(row_mask.begin(), row_mask.end(),
-                             static_cast<I>(col_tile.row_begin));
-        const auto slot = static_cast<std::size_t>(
-                              mask_row_ptr[static_cast<std::size_t>(i)]) +
-                          static_cast<std::size_t>(seg_first - row_mask.begin());
-        const auto len = static_cast<std::size_t>(
-            buffers.cell_counts[static_cast<std::size_t>(i) * col_tile_count + ct]);
-        for (std::size_t p = 0; p < len; ++p) {
-          out_cols[dst + p] = buffers.bound_cols[slot + p];
-          out_vals[dst + p] = buffers.bound_vals[slot + p];
-        }
-        dst += len;
-      }
-    });
-  }
-  Csr<T, I> result(rows, b.cols(), std::move(out_row_ptr), std::move(out_cols),
-                   std::move(out_vals));
+  Csr<T, I> result = compact_planned(plan, mask, buffers, /*parallel=*/true);
   if (stats != nullptr) {
     stats->compact_ms = phase.milliseconds();
     stats->output_nnz = static_cast<std::int64_t>(result.nnz());
@@ -605,68 +752,10 @@ class Executor {
             const Config2d& config) {
     static_assert(std::is_same_v<T, typename SR::value_type>,
                   "matrix value type must match the semiring");
-    require(a.cols() == b.rows(),
-            "Executor::plan: inner dimensions must agree");
-    require(mask.rows() == a.rows() && mask.cols() == b.cols(),
-            "Executor::plan: mask shape must equal output shape");
-    const bool two_d = config.num_col_tiles > 1;
-    require(!(two_d && config.strategy == MaskStrategy::kVanilla),
-            "Executor::plan: the vanilla strategy has no 2D formulation");
-    if (config.validate_inputs) {
-      // Structural validation at the plan boundary (Config::validate_inputs,
-      // on by default in hardened builds): a defect report beats the UB a
-      // corrupt rowptr/colidx would cause inside the parallel kernels.
-      require_valid(mask, "mask");
-      require_valid(a, "A");
-      require_valid(b, "B");
-    }
-
     WallTimer build;
     config_ = config;
-    plan_ = Plan<I>{};
-    plan_.two_d = two_d;
-    plan_.rows = a.rows();
-    plan_.inner = a.cols();
-    plan_.cols = b.cols();
-    plan_.mask_nnz = static_cast<std::int64_t>(mask.nnz());
-
-    const int threads = config.threads > 0 ? config.threads : max_threads();
-    const std::int64_t num_tiles =
-        config.num_tiles > 0 ? config.num_tiles
-                             : 2 * static_cast<std::int64_t>(threads);
-    {
-      TraceSpan span(two_d ? "spgemm2d.analyze" : "spgemm.analyze");
-      if (config.tiling == Tiling::kFlopBalanced) {
-        plan_.row_tiles =
-            make_flop_balanced_tiles(row_work_prefix(mask, a, b), num_tiles);
-      } else {
-        plan_.row_tiles = make_uniform_tiles(plan_.rows, num_tiles);
-      }
-      if (two_d) {
-        plan_.col_tiles = make_uniform_tiles(
-            b.cols(), std::max<std::int64_t>(1, config.num_col_tiles));
-        if (plan_.col_tiles.empty()) {
-          plan_.col_tiles.push_back({0, 0});  // zero-column matrix
-        }
-      } else {
-        plan_.col_tiles.assign(1, Tile{0, static_cast<std::int64_t>(b.cols())});
-      }
-      plan_.accumulator_bound =
-          detail::accumulator_row_bound(mask, a, b, config.strategy);
-      if (!two_d && config.strategy == MaskStrategy::kHybrid) {
-        build_hybrid_decisions(mask, a, b, config.coiteration_factor);
-      }
-      plan_.info.fingerprint = detail::structural_fingerprint(mask, a, b);
-    }
-
+    plan_ = detail::build_plan(mask, a, b, config);
     bind_dispatch();
-
-    plan_.info.row_tiles = static_cast<std::int64_t>(plan_.row_tiles.size());
-    plan_.info.col_tiles = static_cast<std::int64_t>(plan_.col_tiles.size());
-    plan_.info.accumulator_bound =
-        static_cast<std::int64_t>(plan_.accumulator_bound);
-    plan_.info.hybrid_decisions =
-        static_cast<std::int64_t>(plan_.hybrid_coiterate.size());
     plan_.info.build_ms = build.milliseconds();
     planned_ = true;
   }
@@ -745,27 +834,6 @@ class Executor {
       stats->analyze_ms = verify.milliseconds();
     }
     return run_(plan_, config_, mask, a, b, *buffers_, stats);
-  }
-
-  /// Precomputes the hybrid kernel's per-(i,k) κ choices — exactly the
-  /// predicate row_hybrid evaluates inline, hoisted to plan time.
-  void build_hybrid_decisions(const Csr<T, I>& mask, const Csr<T, I>& a,
-                              const Csr<T, I>& b, double kappa) {
-    plan_.hybrid_coiterate.assign(static_cast<std::size_t>(a.nnz()), 0);
-    const auto a_row_ptr = a.row_ptr();
-    parallel_for(I{0}, a.rows(), [&](I i) {
-      const auto mask_nnz = static_cast<std::int64_t>(mask.row_nnz(i));
-      if (mask_nnz == 0) {
-        return;  // the kernel skips the row before reading any decision
-      }
-      const auto a_cols = a.row_cols(i);
-      const auto base = static_cast<std::size_t>(a_row_ptr[static_cast<std::size_t>(i)]);
-      for (std::size_t p = 0; p < a_cols.size(); ++p) {
-        const auto b_nnz = static_cast<std::int64_t>(b.row_nnz(a_cols[p]));
-        plan_.hybrid_coiterate[base + p] =
-            detail::prefer_coiteration(mask_nnz, b_nnz, kappa) ? 1 : 0;
-      }
-    });
   }
 
   /// Resolves the (marker width x accumulator kind) dispatch once, binding

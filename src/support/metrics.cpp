@@ -99,7 +99,13 @@ void append_counters_json(std::string& out, const MetricCounters& c) {
   field("tiles_created", c.tiles_created);
   field("tiles_executed", c.tiles_executed);
   field("rows_processed", c.rows_processed);
-  field("busy_ns", c.busy_ns, /*last=*/true);
+  field("busy_ns", c.busy_ns);
+  field("engine_jobs", c.engine_jobs);
+  field("engine_job_ns", c.engine_job_ns);
+  field("engine_queue_ns", c.engine_queue_ns);
+  field("engine_queue_depth", c.engine_queue_depth);
+  field("engine_tasks", c.engine_tasks);
+  field("engine_steals", c.engine_steals, /*last=*/true);
   out += '}';
 }
 

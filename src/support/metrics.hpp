@@ -44,7 +44,10 @@ namespace tilq {
 /// v2: added the `hw` (hardware counters, nullable) and `imbalance`
 /// (per-thread busy-time statistics, nullable) record objects and the
 /// `busy_ns` counter.
-inline constexpr int kMetricsSchemaVersion = 2;
+/// v3: added the batch-engine job/queue/steal counters (`engine_jobs`,
+/// `engine_job_ns`, `engine_queue_ns`, `engine_queue_depth`,
+/// `engine_tasks`, `engine_steals`) — see docs/CONCURRENCY.md.
+inline constexpr int kMetricsSchemaVersion = 3;
 
 /// True when the counter hooks are compiled into this build (CMake option
 /// TILQ_METRICS). When false every function below is an inline no-op.
@@ -71,6 +74,12 @@ struct MetricCounters {
   std::uint64_t tiles_executed = 0;         ///< tiles processed in compute phases
   std::uint64_t rows_processed = 0;         ///< output rows computed
   std::uint64_t busy_ns = 0;                ///< compute-loop busy wall time (ns)
+  std::uint64_t engine_jobs = 0;            ///< batch-engine jobs completed
+  std::uint64_t engine_job_ns = 0;          ///< total submit-to-done job latency (ns)
+  std::uint64_t engine_queue_ns = 0;        ///< total submit-to-first-task wait (ns)
+  std::uint64_t engine_queue_depth = 0;     ///< in-flight jobs summed over submits
+  std::uint64_t engine_tasks = 0;           ///< tile tasks run on engine pool workers
+  std::uint64_t engine_steals = 0;          ///< engine tasks taken from another worker's queue
 
   MetricCounters& operator+=(const MetricCounters& o) noexcept {
     flops += o.flops;
@@ -90,6 +99,12 @@ struct MetricCounters {
     tiles_executed += o.tiles_executed;
     rows_processed += o.rows_processed;
     busy_ns += o.busy_ns;
+    engine_jobs += o.engine_jobs;
+    engine_job_ns += o.engine_job_ns;
+    engine_queue_ns += o.engine_queue_ns;
+    engine_queue_depth += o.engine_queue_depth;
+    engine_tasks += o.engine_tasks;
+    engine_steals += o.engine_steals;
     return *this;
   }
 
@@ -118,6 +133,12 @@ struct MetricCounters {
     d.tiles_executed = sub(tiles_executed, o.tiles_executed);
     d.rows_processed = sub(rows_processed, o.rows_processed);
     d.busy_ns = sub(busy_ns, o.busy_ns);
+    d.engine_jobs = sub(engine_jobs, o.engine_jobs);
+    d.engine_job_ns = sub(engine_job_ns, o.engine_job_ns);
+    d.engine_queue_ns = sub(engine_queue_ns, o.engine_queue_ns);
+    d.engine_queue_depth = sub(engine_queue_depth, o.engine_queue_depth);
+    d.engine_tasks = sub(engine_tasks, o.engine_tasks);
+    d.engine_steals = sub(engine_steals, o.engine_steals);
     return d;
   }
 
@@ -128,7 +149,9 @@ struct MetricCounters {
            accum_rehashes == 0 && accum_degrades == 0 &&
            binary_search_steps == 0 && hybrid_coiter_picks == 0 &&
            hybrid_linear_picks == 0 && tiles_created == 0 &&
-           tiles_executed == 0 && rows_processed == 0 && busy_ns == 0;
+           tiles_executed == 0 && rows_processed == 0 && busy_ns == 0 &&
+           engine_jobs == 0 && engine_job_ns == 0 && engine_queue_ns == 0 &&
+           engine_queue_depth == 0 && engine_tasks == 0 && engine_steals == 0;
   }
 };
 

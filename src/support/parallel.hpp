@@ -16,7 +16,7 @@ namespace tilq {
 
 /// Applies `body(i)` for every i in [begin, end), in parallel with a static
 /// schedule. Intended for regular per-row work; irregular work goes through
-/// the tile executors in core/execute.hpp instead. A throwing body is safe:
+/// the tile drivers in core/plan.hpp instead. A throwing body is safe:
 /// the first exception is captured (remaining iterations become no-ops) and
 /// rethrown here after the join instead of terminating the process.
 template <class I, class Body>
@@ -97,6 +97,24 @@ std::vector<I> exclusive_scan(std::span<const I> counts) {
   std::vector<I> offsets(counts.size() + 1);
   exclusive_scan(counts, std::span<I>(offsets));
   return offsets;
+}
+
+/// Guaranteed-serial exclusive prefix sum: same contract as exclusive_scan
+/// but never opens an OpenMP region. For callers that already run on a
+/// worker of the batch engine's thread pool (core/engine.hpp), where a
+/// nested OpenMP team would oversubscribe the machine.
+template <class I>
+I exclusive_scan_serial(std::span<const I> counts, std::span<I> offsets) {
+  require(offsets.size() == counts.size() + 1,
+          "exclusive_scan_serial: offsets must have counts.size() + 1 "
+          "elements");
+  I running{};
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    offsets[i] = running;
+    running += counts[i];
+  }
+  offsets[counts.size()] = running;
+  return running;
 }
 
 }  // namespace tilq

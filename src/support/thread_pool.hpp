@@ -1,0 +1,107 @@
+// Persistent work-stealing thread pool — the scheduling substrate of the
+// batch engine (core/engine.hpp). Unlike the OpenMP worksharing loops in
+// the drivers, which exist for the duration of one kernel call, the pool's
+// workers live as long as the pool and interleave tasks from every
+// in-flight query, so one skewed query cannot idle the machine while
+// others have runnable tiles (Deveci et al.: task scheduling beats static
+// loop parallelism at scale).
+//
+// Topology: one deque per worker, each behind its own mutex. External
+// submissions land round-robin across the deques; a worker pops its own
+// deque front-first (FIFO, preserving rough job order) and, when empty,
+// steals from the back of a sibling's deque. A global condition variable
+// parks idle workers; an atomic pending-task count keeps the sleep/wake
+// handshake cheap.
+//
+// Thread-safety: submit(), stats(), size(), and drain() may be called from
+// any thread at any time. Tasks must not throw — a throwing task is caught,
+// counted in Stats::task_exceptions, and dropped (the engine wraps every
+// task body in a ParallelGuard, so nothing in-tree ever trips this).
+//
+// Tasks MUST NOT enter OpenMP parallel regions (parallel_for, the planned
+// drivers, exclusive_scan above its serial cutoff): a nested team on every
+// pool worker oversubscribes the machine. The engine's tasks run the
+// serial tile/compact bodies (detail::run_tile_task, exclusive_scan_serial)
+// for exactly this reason.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tilq {
+
+/// Fixed-size work-stealing pool. Construction spawns the workers;
+/// destruction drains every queued task, then joins them.
+class ThreadPool {
+ public:
+  using Task = std::function<void()>;
+
+  /// `threads` <= 0 means max_threads() (the OpenMP-visible width).
+  explicit ThreadPool(int threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `task` for execution on some worker. Never blocks; the
+  /// engine enforces its own admission bound before calling this.
+  void submit(Task task);
+
+  /// Blocks until every task submitted so far (and every task those tasks
+  /// submit) has finished executing.
+  void drain();
+
+  /// Number of workers.
+  [[nodiscard]] int size() const noexcept;
+
+  /// Lifetime totals, readable at any time.
+  struct Stats {
+    std::uint64_t submitted = 0;        ///< tasks accepted by submit()
+    std::uint64_t executed = 0;         ///< tasks run to completion
+    std::uint64_t stolen = 0;           ///< executed tasks taken from a sibling's deque
+    std::uint64_t task_exceptions = 0;  ///< tasks that threw (contract violation)
+  };
+  [[nodiscard]] Stats stats() const;
+
+  /// Index of the calling thread within its owning pool: [0, size()) on a
+  /// worker, -1 on any thread the pool does not own. The engine keys
+  /// per-worker workspace slots off this.
+  [[nodiscard]] static int worker_index() noexcept;
+
+ private:
+  struct Worker {
+    mutable std::mutex mutex;
+    std::deque<Task> tasks;  ///< guarded by `mutex`
+  };
+
+  void worker_loop(int index);
+  bool next_task(int index, Task& out);
+  bool try_pop(int index, Task& out);
+  bool try_steal(int index, Task& out);
+
+  // unique_ptr so Worker's mutex never has to move.
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+
+  std::atomic<std::int64_t> pending_{0};  ///< queued, not yet popped
+  std::atomic<std::int64_t> running_{0};  ///< popped, still executing
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> executed_{0};
+  std::atomic<std::uint64_t> stolen_{0};
+  std::atomic<std::uint64_t> exceptions_{0};
+  std::atomic<std::uint64_t> round_robin_{0};
+
+  std::mutex wake_mutex_;
+  std::condition_variable wake_cv_;   ///< parks idle workers
+  std::condition_variable drain_cv_;  ///< wakes drain() waiters
+  bool stop_ = false;                 ///< guarded by wake_mutex_
+};
+
+}  // namespace tilq

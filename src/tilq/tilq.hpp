@@ -21,6 +21,7 @@
 #include "support/parallel.hpp"
 #include "support/perf.hpp"
 #include "support/rng.hpp"
+#include "support/thread_pool.hpp"
 #include "support/timer.hpp"
 #include "support/trace.hpp"
 
@@ -56,6 +57,7 @@
 // Core masked-SpGEMM.
 #include "core/column_spgemm.hpp"
 #include "core/config.hpp"
+#include "core/engine.hpp"
 #include "core/kernels.hpp"
 #include "core/masked_spgemm.hpp"
 #include "core/masked_spgemm_2d.hpp"

@@ -1,0 +1,391 @@
+// Batch engine tests: bit-identity with the single-call path across
+// configs (including 2D tiling and degradation), exact plan-cache
+// accounting under serial and concurrent submission, backpressure
+// (EngineSaturatedError + jobs_rejected), per-job failure isolation under
+// fault injection, run_batch ordering, JobStats sanity, and the metrics-v3
+// engine counters. The concurrent sections double as the PlanCache hammer
+// for the TSan CI job.
+#include "core/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "core/masked_spgemm.hpp"
+#include "core/masked_spgemm_2d.hpp"
+#include "support/fault.hpp"
+#include "support/metrics.hpp"
+#include "test_util.hpp"
+
+namespace tilq {
+namespace {
+
+using I = std::int64_t;
+using SR = PlusTimes<double>;
+
+struct Problem {
+  Csr<double, I> mask;
+  Csr<double, I> a;
+  Csr<double, I> b;
+};
+
+Problem make_problem(std::uint64_t seed, I rows = 48, I inner = 40, I cols = 44,
+                     double density = 0.12) {
+  return {test::random_matrix<double, I>(rows, cols, density, seed),
+          test::random_matrix<double, I>(rows, inner, density, seed + 1000),
+          test::random_matrix<double, I>(inner, cols, density, seed + 2000)};
+}
+
+/// Same sparsity, different values — the cache-hit case that must still be
+/// numerically correct (plans capture structure only).
+Csr<double, I> scale_values(const Csr<double, I>& m, double factor) {
+  std::vector<I> row_ptr(m.row_ptr().begin(), m.row_ptr().end());
+  std::vector<I> col_idx(m.col_idx().begin(), m.col_idx().end());
+  std::vector<double> values(m.values().begin(), m.values().end());
+  for (double& v : values) {
+    v *= factor;
+  }
+  return Csr<double, I>(m.rows(), m.cols(), std::move(row_ptr),
+                        std::move(col_idx), std::move(values));
+}
+
+class EngineTest : public ::testing::Test {
+ protected:
+  void TearDown() override { fault::disarm_all(); }
+};
+
+TEST_F(EngineTest, BitIdenticalToSingleCallPathAcrossConfigs) {
+  const Problem p = make_problem(7);
+  std::vector<Config2d> configs;
+  for (const MaskStrategy strategy :
+       {MaskStrategy::kMaskFirst, MaskStrategy::kCoIterate,
+        MaskStrategy::kHybrid, MaskStrategy::kVanilla}) {
+    for (const AccumulatorKind acc :
+         {AccumulatorKind::kHash, AccumulatorKind::kDense,
+          AccumulatorKind::kBitmap}) {
+      Config2d config;
+      config.strategy = strategy;
+      config.accumulator = acc;
+      configs.push_back(config);
+    }
+  }
+  {
+    Config2d two_d;
+    two_d.num_col_tiles = 3;
+    configs.push_back(two_d);
+  }
+  Engine<SR> engine;
+  for (const Config2d& config : configs) {
+    const Csr<double, I> oracle =
+        config.num_col_tiles > 1
+            ? masked_spgemm_2d<SR>(p.mask, p.a, p.b, config)
+            : masked_spgemm<SR>(p.mask, p.a, p.b, config);
+    auto handle = engine.submit(p.mask, p.a, p.b, config);
+    const Csr<double, I> got = handle.get();
+    EXPECT_TRUE(test::csr_equal(oracle, got))
+        << "config: " << config.describe();
+  }
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.jobs_completed, configs.size());
+  EXPECT_EQ(stats.jobs_failed, 0u);
+}
+
+TEST_F(EngineTest, PlanCacheAccountingIsExact) {
+  const Problem p = make_problem(11);
+  const Problem q = make_problem(23, 32, 28, 30);
+  Config2d hash_config;
+  hash_config.accumulator = AccumulatorKind::kHash;
+  Config2d dense_config;
+  dense_config.accumulator = AccumulatorKind::kDense;
+
+  Engine<SR> engine;
+  // 3 distinct (structure, config) keys, each resubmitted twice.
+  for (int round = 0; round < 3; ++round) {
+    (void)engine.submit(p.mask, p.a, p.b, hash_config).get();
+    (void)engine.submit(p.mask, p.a, p.b, dense_config).get();
+    (void)engine.submit(q.mask, q.a, q.b, hash_config).get();
+  }
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.plan_builds, 3u);
+  EXPECT_EQ(stats.plan_hits, 6u);
+  EXPECT_EQ(stats.jobs_submitted, 9u);
+  EXPECT_EQ(stats.jobs_completed, 9u);
+}
+
+TEST_F(EngineTest, CallerThreadCountDoesNotFragmentTheCache) {
+  const Problem p = make_problem(13);
+  Engine<SR> engine;
+  Config2d first;
+  first.threads = 3;
+  Config2d second;
+  second.threads = 7;
+  (void)engine.submit(p.mask, p.a, p.b, first).get();
+  (void)engine.submit(p.mask, p.a, p.b, second).get();
+  // Engine mode pins the tile grid to the pool width, so two callers that
+  // differ only in Config::threads share one plan.
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.plan_builds, 1u);
+  EXPECT_EQ(stats.plan_hits, 1u);
+}
+
+TEST_F(EngineTest, ValueOnlyUpdatesHitTheCacheAndStayCorrect) {
+  const Problem p = make_problem(17);
+  Engine<SR> engine;
+  auto first = engine.submit(p.mask, p.a, p.b);
+  EXPECT_TRUE(
+      test::csr_equal(test::reference_masked_spgemm<SR>(p.mask, p.a, p.b),
+                      first.get()));
+  const Csr<double, I> a2 = scale_values(p.a, 2.0);
+  const Csr<double, I> b2 = scale_values(p.b, 0.5);
+  auto second = engine.submit(p.mask, a2, b2);
+  EXPECT_TRUE(test::csr_equal(
+      test::reference_masked_spgemm<SR>(p.mask, a2, b2), second.get()));
+  EXPECT_TRUE(second.stats().plan_cache_hit);
+  EXPECT_FALSE(first.stats().plan_cache_hit);
+  EXPECT_EQ(engine.stats().plan_builds, 1u);
+}
+
+TEST_F(EngineTest, RunBatchReturnsResultsInQueryOrder) {
+  std::vector<Problem> problems;
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    problems.push_back(make_problem(100 + seed, 24 + static_cast<I>(seed), 20,
+                                    22 + static_cast<I>(seed)));
+  }
+  std::vector<Engine<SR>::Query> queries;
+  for (const Problem& p : problems) {
+    queries.push_back({&p.mask, &p.a, &p.b, Config2d{}});
+  }
+  EngineOptions options;
+  options.max_in_flight = 2;  // force the blocking admission path
+  Engine<SR> engine(options);
+  const std::vector<Csr<double, I>> results = engine.run_batch(queries);
+  ASSERT_EQ(results.size(), problems.size());
+  for (std::size_t i = 0; i < problems.size(); ++i) {
+    EXPECT_TRUE(test::csr_equal(
+        test::reference_masked_spgemm<SR>(problems[i].mask, problems[i].a,
+                                          problems[i].b),
+        results[i]))
+        << "query " << i;
+  }
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.jobs_completed, problems.size());
+  EXPECT_LE(stats.peak_in_flight, 2u);
+}
+
+TEST_F(EngineTest, SaturationThrowsAndIsCounted) {
+  // A deliberately heavy first job (one pool worker, many rows) so the
+  // immediate second submit finds the admission slot still taken.
+  const Problem heavy = make_problem(29, 600, 400, 500, 0.08);
+  const Problem light = make_problem(31, 16, 12, 14);
+  EngineOptions options;
+  options.threads = 1;
+  options.max_in_flight = 1;
+  Engine<SR> engine(options);
+  auto handle = engine.submit(heavy.mask, heavy.a, heavy.b);
+  std::uint64_t rejected = 0;
+  try {
+    auto second = engine.submit(light.mask, light.a, light.b);
+    second.wait();  // raced past the heavy job: legal, just not rejected
+  } catch (const EngineSaturatedError&) {
+    ++rejected;
+  }
+  handle.wait();
+  engine.wait_idle();
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.jobs_rejected, rejected);
+  EXPECT_EQ(stats.jobs_submitted + stats.jobs_rejected, 2u);
+  EXPECT_EQ(stats.jobs_failed, 0u);
+  // The rejection is also a CapacityError — callers may catch at taxonomy
+  // granularity.
+  static_assert(std::is_base_of_v<CapacityError, EngineSaturatedError>);
+}
+
+TEST_F(EngineTest, FaultedJobFailsAloneAndTheEngineSurvives) {
+  const Problem p = make_problem(37);
+  EngineOptions options;
+  options.threads = 1;  // one workspace slot => the armed fault hits job 1
+  Engine<SR> engine(options);
+  fault::arm(FaultSite::kPoolAllocation, 1);
+  auto doomed = engine.submit(p.mask, p.a, p.b);
+  EXPECT_THROW(doomed.wait(), CapacityError);
+  EXPECT_THROW(doomed.wait(), CapacityError);  // repeatable rethrow
+  fault::disarm_all();
+  auto healthy = engine.submit(p.mask, p.a, p.b);
+  EXPECT_TRUE(
+      test::csr_equal(test::reference_masked_spgemm<SR>(p.mask, p.a, p.b),
+                      healthy.get()));
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.jobs_failed, 1u);
+  EXPECT_EQ(stats.jobs_completed, 1u);
+  EXPECT_TRUE(doomed.stats().plan_cache_hit == false);
+  EXPECT_EQ(doomed.stats().output_nnz, 0);
+}
+
+TEST_F(EngineTest, DegradedJobsStayBitIdentical) {
+  const Problem p = make_problem(41, 64, 48, 56, 0.2);
+  Config2d config;
+  config.accumulator = AccumulatorKind::kHash;
+  const Csr<double, I> oracle = masked_spgemm<SR>(p.mask, p.a, p.b, config);
+  Engine<SR> engine(EngineOptions{.threads = 1});
+  // First submit warms the plan + workspace; the second runs with the
+  // saturation fault armed so at least one row degrades to the dense
+  // fallback mid-flight.
+  (void)engine.submit(p.mask, p.a, p.b, config).get();
+  fault::arm(FaultSite::kHashSaturation, 3);
+  auto handle = engine.submit(p.mask, p.a, p.b, config);
+  const Csr<double, I> got = handle.get();
+  fault::disarm_all();
+  EXPECT_TRUE(test::csr_equal(oracle, got));
+  EXPECT_GE(handle.stats().degrades, 1u);
+}
+
+TEST_F(EngineTest, EmptyMaskCompletesThroughTheFinalizerOnlyPath) {
+  Csr<double, I> empty_mask(24, 22, std::vector<I>(25, I{0}), {}, {});
+  const Csr<double, I> a = test::random_matrix<double, I>(24, 20, 0.2, 5);
+  const Csr<double, I> b = test::random_matrix<double, I>(20, 22, 0.2, 6);
+  Engine<SR> engine;
+  const Csr<double, I> got = engine.submit(empty_mask, a, b).get();
+  EXPECT_EQ(got.nnz(), 0);
+  EXPECT_EQ(got.rows(), 24);
+  EXPECT_EQ(got.cols(), 22);
+}
+
+TEST_F(EngineTest, JobStatsAreCoherent) {
+  const Problem p = make_problem(43);
+  Engine<SR> engine;
+  auto handle = engine.submit(p.mask, p.a, p.b);
+  const Csr<double, I> got = handle.get();
+  const JobStats stats = handle.stats();
+  EXPECT_GT(stats.id, 0u);
+  EXPECT_GT(stats.tasks, 0);
+  EXPECT_EQ(stats.output_nnz, got.nnz());
+  EXPECT_GE(stats.queue_ms, 0.0);
+  EXPECT_GE(stats.run_ms, 0.0);
+  EXPECT_GE(stats.total_ms, stats.queue_ms);
+  EXPECT_EQ(stats.queue_depth, 0u);
+}
+
+TEST_F(EngineTest, GetIsSingleUse) {
+  const Problem p = make_problem(47);
+  Engine<SR> engine;
+  auto handle = engine.submit(p.mask, p.a, p.b);
+  (void)handle.get();
+  EXPECT_THROW((void)handle.get(), PreconditionError);
+}
+
+TEST_F(EngineTest, ShapeDefectsFailOnTheCallingThread) {
+  const Problem p = make_problem(53);
+  const Csr<double, I> wrong = test::random_matrix<double, I>(8, 8, 0.3, 9);
+  Engine<SR> engine;
+  EXPECT_THROW((void)engine.submit(p.mask, p.a, wrong), PreconditionError);
+  engine.wait_idle();
+  // The failed admission was rolled back: the engine is still serviceable.
+  EXPECT_EQ(engine.stats().jobs_submitted, 0u);
+  (void)engine.submit(p.mask, p.a, p.b).get();
+}
+
+// The PlanCache hammer: N submitter threads mixing cache hits, replans
+// (fresh structures), and config changes against one engine. Runs under
+// TSan in CI. Accounting must come out exact because plan builds are
+// serialized under the cache lock.
+TEST_F(EngineTest, ConcurrentSubmittersKeepCacheAccountingExact) {
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 5;
+  std::vector<Problem> shared;
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    shared.push_back(make_problem(200 + seed, 40, 36, 38));
+  }
+  Config2d hash_config;
+  hash_config.accumulator = AccumulatorKind::kHash;
+  Config2d dense_config;
+  dense_config.accumulator = AccumulatorKind::kDense;
+  const std::vector<Config2d> configs = {hash_config, dense_config};
+
+  Engine<SR> engine;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> submitters;
+  submitters.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&, t] {
+      for (int round = 0; round < kRounds; ++round) {
+        const Problem& p = shared[static_cast<std::size_t>(
+            (t + round) % static_cast<int>(shared.size()))];
+        const Config2d& config =
+            configs[static_cast<std::size_t>(round % 2)];
+        try {
+          const Csr<double, I> got =
+              engine.run_batch(std::vector<Engine<SR>::Query>{
+                                   {&p.mask, &p.a, &p.b, config}})
+                  .front();
+          if (!test::csr_equal(
+                  test::reference_masked_spgemm<SR>(p.mask, p.a, p.b), got)) {
+            failures.fetch_add(1, std::memory_order_relaxed);
+          }
+        } catch (...) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& t : submitters) {
+    t.join();
+  }
+  engine.wait_idle();
+  EXPECT_EQ(failures.load(), 0);
+  const EngineStats stats = engine.stats();
+  const auto total = static_cast<std::uint64_t>(kThreads * kRounds);
+  EXPECT_EQ(stats.jobs_completed, total);
+  // 3 structures x 2 configs, built exactly once each no matter the
+  // interleaving; every other submission is a hit.
+  EXPECT_EQ(stats.plan_builds, 6u);
+  EXPECT_EQ(stats.plan_hits, total - 6u);
+}
+
+TEST_F(EngineTest, InterleavedJobsShareThePoolWithoutCrosstalk) {
+  const Problem p = make_problem(61, 80, 64, 72, 0.1);
+  const Problem q = make_problem(67, 56, 48, 52, 0.15);
+  const Csr<double, I> p_oracle =
+      test::reference_masked_spgemm<SR>(p.mask, p.a, p.b);
+  const Csr<double, I> q_oracle =
+      test::reference_masked_spgemm<SR>(q.mask, q.a, q.b);
+  Engine<SR> engine;
+  std::vector<Engine<SR>::JobHandle> handles;
+  for (int i = 0; i < 8; ++i) {
+    const Problem& prob = (i % 2 == 0) ? p : q;
+    handles.push_back(engine.submit(prob.mask, prob.a, prob.b));
+  }
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_TRUE(
+        test::csr_equal((i % 2 == 0) ? p_oracle : q_oracle, handles[i].get()))
+        << "job " << i;
+  }
+}
+
+#if TILQ_METRICS_ENABLED
+TEST_F(EngineTest, EngineCountersFlowIntoTheMetricsRegistry) {
+  const Problem p = make_problem(71);
+  set_metrics_enabled(true);
+  const MetricsSnapshot before = metrics_snapshot();
+  Engine<SR> engine;
+  constexpr int kJobs = 5;
+  for (int i = 0; i < kJobs; ++i) {
+    (void)engine.submit(p.mask, p.a, p.b).get();
+  }
+  engine.wait_idle();
+  const MetricsSnapshot delta = metrics_delta(before, metrics_snapshot());
+  set_metrics_enabled(false);
+  EXPECT_EQ(delta.total.engine_jobs, static_cast<std::uint64_t>(kJobs));
+  EXPECT_GT(delta.total.engine_job_ns, 0u);
+  // Tiles + one finalizer-bearing task accounting: every pool task is an
+  // engine task.
+  EXPECT_GE(delta.total.engine_tasks, static_cast<std::uint64_t>(kJobs));
+  EXPECT_GT(delta.total.tiles_executed, 0u);
+  EXPECT_GT(delta.total.rows_processed, 0u);
+}
+#endif
+
+}  // namespace
+}  // namespace tilq

@@ -343,7 +343,7 @@ TEST_F(MetricsTest, TwoDimensionalDriverCountsCells) {
   EXPECT_EQ(snapshot.total.accum_inserts, stats.accum_inserts);
 }
 
-TEST_F(MetricsTest, RecordFormatsAsSchemaTwoJson) {
+TEST_F(MetricsTest, RecordFormatsAsSchemaThreeJson) {
   const auto a = test::random_matrix<double, I>(50, 50, 0.1, 37);
   Config config;
   config.threads = 2;
@@ -358,12 +358,13 @@ TEST_F(MetricsTest, RecordFormatsAsSchemaTwoJson) {
   const std::string line = format_metrics_record(record, metrics_snapshot());
 
   EXPECT_TRUE(JsonChecker(line).valid()) << line;
-  EXPECT_EQ(line.find("{\"tilq_metrics\":2,"), 0u);
+  EXPECT_EQ(line.find("{\"tilq_metrics\":3,"), 0u);
   for (const char* field :
        {"\"source\"", "\"matrix\"", "\"config\"", "\"runs\"", "\"median_ms\"",
         "\"counters\"", "\"hw\"", "\"imbalance\"", "\"threads\"", "\"flops\"",
         "\"accum_inserts\"", "\"binary_search_steps\"", "\"tiles_executed\"",
-        "\"rows_processed\"", "\"busy_ns\""}) {
+        "\"rows_processed\"", "\"busy_ns\"", "\"engine_jobs\"",
+        "\"engine_steals\""}) {
     EXPECT_NE(line.find(field), std::string::npos) << "missing " << field;
   }
 }

@@ -44,6 +44,12 @@ def main() -> int:
                              "'iterated_workload') are appended to the "
                              "snapshot, so bench_diff also guards the "
                              "planned-execute path")
+    parser.add_argument("--engine", default=None,
+                        help="path to the built engine_throughput bench; when "
+                             "given, its serving records (source "
+                             "'engine_throughput', one per job level) are "
+                             "appended, so bench_diff also guards the batch "
+                             "engine")
     parser.add_argument("--tag",
                         default=os.environ.get("TILQ_SNAPSHOT_TAG", "dev"),
                         help="snapshot name: writes BENCH_<tag>.json "
@@ -92,6 +98,19 @@ def main() -> int:
         result = subprocess.run(command, env=env, stdout=subprocess.DEVNULL)
         if result.returncode != 0:
             sys.exit(f"iterated snapshot failed (exit {result.returncode}): "
+                     f"{' '.join(command)}")
+        cells += 1
+
+    if args.engine:
+        env["TILQ_BENCH_SCALE"] = args.scale
+        env["TILQ_BENCH_THREADS"] = args.threads
+        # Record-only, small stream: the speedup gate lives in CI's
+        # engine-smoke job.
+        command = [args.engine, "--jobs", "1,8", "--queries", "8"]
+        print("snapshot: engine_throughput", flush=True)
+        result = subprocess.run(command, env=env, stdout=subprocess.DEVNULL)
+        if result.returncode != 0:
+            sys.exit(f"engine snapshot failed (exit {result.returncode}): "
                      f"{' '.join(command)}")
         cells += 1
 

@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Doc-lint: no user-facing doc may name an identifier the code lost.
+
+Scans README.md, EXPERIMENTS.md, and docs/*.md for *code-like* backticked
+spans — qualified names (`tilq::Engine`), call expressions (`submit()`),
+and CamelCase type names (`ExecutionStats`) — and checks that every
+identifier component still occurs somewhere in the source tree (src/,
+tests/, bench/, examples/, tools/, CMake files). This is how the
+`[[deprecated]]` overloads API.md once described, or a pipeline stage
+ARCHITECTURE.md drew before a refactor, get caught the moment the code
+moves on.
+
+Deliberately one-directional and lexical: it does not demand docs cover
+the code (doc_metrics_lint does that for the observability and engine
+surfaces) and it does not parse C++ — an identifier "exists" if the
+token appears in any scanned source file. Lowercase prose words, flag
+names, and file paths in backticks are ignored; only spans that look
+like code are held to the standard.
+
+Registered as the `doc_identifier_lint` CTest entry (skipped when
+python3 is absent).
+"""
+
+import argparse
+import pathlib
+import re
+import sys
+
+DOC_GLOBS = ["README.md", "EXPERIMENTS.md", "docs/*.md"]
+SOURCE_GLOBS = [
+    "src/**/*.hpp", "src/**/*.cpp", "tests/**/*.cpp", "tests/**/*.hpp",
+    "bench/**/*.cpp", "bench/**/*.hpp", "examples/**/*.cpp",
+    "examples/**/*.hpp", "tools/*.py", "CMakeLists.txt",
+    "**/CMakeLists.txt", ".github/workflows/*.yml",
+]
+
+# Tokens that look like identifiers but belong to the toolchain or the
+# environment rather than this tree.
+ALLOWED = {
+    "std", "omp", "gtest", "GoogleTest", "OpenMP", "CMake", "CTest",
+    "JSON", "CSR", "CSV", "GraphBLAS", "SpGEMM", "MaskedSpGEMM",
+    "LaTeX", "TSan", "ASan", "UBSan", "GCC", "Clang", "POSIX",
+}
+
+
+def code_like(span: str) -> bool:
+    """A backticked span is held to the identifier standard if it is a
+    qualified name, a call, or a CamelCase word — not prose, paths,
+    flags, or env assignments."""
+    if "/" in span or span.startswith("-") or "=" in span or " " in span:
+        return False
+    if "::" in span or span.endswith("()"):
+        return True
+    word = span.rstrip("()")
+    return bool(re.fullmatch(r"[A-Z][A-Za-z0-9]*", word)
+                and re.search(r"[a-z]", word)
+                and re.search(r"[A-Z].*[A-Z]", word + "A"))
+
+
+def doc_identifiers(path: pathlib.Path) -> dict[str, list[int]]:
+    """Map identifier component -> line numbers where a code-like
+    backticked span names it."""
+    found: dict[str, list[int]] = {}
+    text = path.read_text(encoding="utf-8")
+    # Drop fenced code blocks: they flip inline-span parity, and example
+    # code is allowed pseudo-identifiers (loop variables, ellipses).
+    text = re.sub(r"```.*?```", lambda m: "\n" * m.group(0).count("\n"),
+                  text, flags=re.DOTALL)
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        for span in re.findall(r"`([^`]+)`", line):
+            if not code_like(span):
+                continue
+            for token in re.findall(r"\w+", span):
+                if token.isdigit() or token in ALLOWED:
+                    continue
+                # `Csr::row_*` style wildcards: the token before the star
+                # is a prefix claim, recorded with a trailing star.
+                if f"{token}*" in span:
+                    token += "*"
+                found.setdefault(token, []).append(lineno)
+    return found
+
+
+def source_tokens(root: pathlib.Path) -> set[str]:
+    tokens: set[str] = set()
+    seen: set[pathlib.Path] = set()
+    for glob in SOURCE_GLOBS:
+        for path in root.glob(glob):
+            if "build" in path.parts or path in seen or not path.is_file():
+                continue
+            seen.add(path)
+            tokens |= set(re.findall(
+                r"\w+", path.read_text(encoding="utf-8", errors="replace")))
+    if not tokens:
+        sys.exit(f"{root}: no source files matched — wrong --root?")
+    return tokens
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=".",
+                        help="repository root to scan")
+    args = parser.parse_args()
+    root = pathlib.Path(args.root)
+
+    known = source_tokens(root)
+    bad = 0
+    docs = 0
+    checked = 0
+    for glob in DOC_GLOBS:
+        for doc in sorted(root.glob(glob)):
+            docs += 1
+            for token, lines in sorted(doc_identifiers(doc).items()):
+                checked += 1
+                if token.endswith("*"):
+                    resolved = any(name.startswith(token[:-1])
+                                   for name in known)
+                else:
+                    resolved = token in known
+                if not resolved:
+                    where = ", ".join(str(n) for n in lines[:4])
+                    print(f"{doc.relative_to(root)}:{where}: "
+                          f"`{token}` is not defined anywhere in the tree")
+                    bad += 1
+    if docs == 0:
+        sys.exit(f"{root}: no docs matched — wrong --root?")
+    if bad:
+        print(f"{bad} stale identifier(s); rename the doc reference or "
+              "whitelist toolchain names in ALLOWED")
+        return 1
+    print(f"ok: {checked} distinct code-like identifiers across {docs} "
+          "docs all resolve to the source tree")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

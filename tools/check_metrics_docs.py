@@ -14,7 +14,15 @@ Checks, in both directions:
     append_imbalance_json in src/support/metrics.cpp) appears in the
     table under '## Load imbalance', and vice versa;
   * the schema version the doc advertises ("schema version N" and the
-    `"tilq_metrics":N` example) matches kMetricsSchemaVersion.
+    `"tilq_metrics":N` example) matches kMetricsSchemaVersion;
+  * every engine_* counter appears in docs/CONCURRENCY.md's table under
+    '## Engine counters (metrics schema v3)' and vice versa;
+  * every public symbol of the batch engine and its thread pool (scraped
+    from src/core/engine.hpp and src/support/thread_pool.hpp — namespace
+    -scope types/functions and public members, *_detail namespaces and
+    private sections excluded) is named (backticked) somewhere in
+    docs/CONCURRENCY.md, so the thread-safety contract cannot silently
+    miss an API addition.
 
 Exits non-zero with a readable diff when any pair drifts apart.
 Registered as the `doc_metrics_lint` CTest entry (skipped when python3
@@ -118,6 +126,85 @@ def check_robustness_doc(doc_path: str, fault_cpp: str,
     return bool(missing)
 
 
+_SKIP_NAMES = {"operator", "static_assert", "require", "return", "if",
+               "switch", "for", "while", "throw", "sizeof", "decltype"}
+
+
+def public_symbols(path: str) -> set[str]:
+    """Public API names declared in a header: namespace-scope classes,
+    structs, free functions, and the public members of those classes
+    (methods, nested types, `using X =` aliases). Private/protected
+    sections and *_detail namespaces are excluded. Line-based scan with a
+    brace-depth scope stack — not a C++ parser, but exact for the
+    project's style (one declaration per line, opening brace on the
+    declaration line)."""
+    names: set[str] = set()
+    depth = 0
+    # Scope stack entries: (kind, body_depth, access, name).
+    stack: list[tuple[str, int, str, str]] = []
+
+    def scrapeable() -> bool:
+        for kind, _, access, name in stack:
+            if kind == "namespace" and name.endswith("detail"):
+                return False
+            if kind in ("class", "struct") and access != "public":
+                return False
+        return True
+
+    for raw in open(path, encoding="utf-8"):
+        line = raw.split("//")[0].rstrip()
+        stripped = line.strip()
+        top = stack[-1] if stack else None
+        at_body = top is not None and depth == top[1]
+        ns = re.match(r"namespace (\w+) \{", stripped)
+        record = re.match(r"(?:template <.*> )?(class|struct) (\w+)[^;=]*\{",
+                          stripped)
+        if top and top[0] in ("class", "struct") and at_body:
+            if re.match(r"(public|private|protected):", stripped):
+                stack[-1] = (top[0], top[1], stripped.split(":")[0], top[3])
+            elif scrapeable() and not record:
+                alias = re.match(r"using (\w+) =", stripped)
+                method = re.search(r"[~ ](\w+)\(", " " + stripped)
+                if alias:
+                    names.add(alias.group(1))
+                elif (method and not stripped.startswith(":")
+                      and method.group(1) not in _SKIP_NAMES
+                      and not method.group(1).endswith("_")):
+                    names.add(method.group(1))
+        if ns:
+            stack.append(("namespace", depth + 1, "public", ns.group(1)))
+        elif record and (top is None or at_body):
+            if scrapeable():
+                names.add(record.group(2))
+            access = "public" if record.group(1) == "struct" else "private"
+            stack.append((record.group(1), depth + 1, access,
+                          record.group(2)))
+        elif (top is not None and top[0] == "namespace" and at_body
+              and scrapeable()):
+            func = re.match(
+                r"(?:\[\[nodiscard\]\] )?[\w:<>]+ (\w+)\(", stripped)
+            if func and func.group(1) not in _SKIP_NAMES:
+                names.add(func.group(1))
+        depth += line.count("{") - line.count("}")
+        while stack and depth < stack[-1][1]:
+            stack.pop()
+    if not names:
+        sys.exit(f"{path}: no public symbols matched")
+    return names
+
+
+def doc_mentions(path: str) -> set[str]:
+    """Every backticked word anywhere in the doc (prose or tables)."""
+    text = open(path, encoding="utf-8").read()
+    # Fenced code blocks would flip the inline-span parity; drop them
+    # (identifiers must be named in prose, not just shown in examples).
+    text = re.sub(r"```.*?```", " ", text, flags=re.DOTALL)
+    mentions = set()
+    for span in re.findall(r"`([^`]+)`", text):
+        mentions |= set(re.findall(r"\w+", span))
+    return mentions
+
+
 def header_schema_version(path: str) -> int:
     text = open(path, encoding="utf-8").read()
     match = re.search(r"kMetricsSchemaVersion = (\d+);", text)
@@ -161,6 +248,10 @@ def main() -> int:
     parser.add_argument("--validate-header",
                         default="src/sparse/validate.hpp")
     parser.add_argument("--robustness-doc", default="docs/ROBUSTNESS.md")
+    parser.add_argument("--engine-header", default="src/core/engine.hpp")
+    parser.add_argument("--thread-pool-header",
+                        default="src/support/thread_pool.hpp")
+    parser.add_argument("--concurrency-doc", default="docs/CONCURRENCY.md")
     args = parser.parse_args()
 
     bad = False
@@ -188,13 +279,30 @@ def main() -> int:
     bad |= check_robustness_doc(args.robustness_doc, args.fault_impl,
                                 args.validate_header)
 
+    engine_counters = {c for c in counters if c.startswith("engine_")}
+    bad |= diff("engine counters", engine_counters,
+                doc_table(args.concurrency_doc,
+                          "## Engine counters (metrics schema v3)"),
+                args.concurrency_doc, args.header)
+
+    api = (public_symbols(args.engine_header)
+           | public_symbols(args.thread_pool_header))
+    undocumented = sorted(api - doc_mentions(args.concurrency_doc))
+    if undocumented:
+        print(f"public engine/thread-pool symbols missing from "
+              f"{args.concurrency_doc}:")
+        for name in undocumented:
+            print(f"  {name}")
+        bad = True
+
     if bad:
         return 1
     print(f"ok: {len(counters)} counters, {len(hw)} hw fields, "
           f"{len(imbalance)} imbalance fields, schema v{version}, "
           f"{len(fault_sites(args.fault_impl))} fault sites and "
-          f"{len(defect_kinds(args.validate_header))} defect kinds "
-          "documented; code and docs consistent")
+          f"{len(defect_kinds(args.validate_header))} defect kinds, "
+          f"{len(api)} engine/pool symbols documented; "
+          "code and docs consistent")
     return 0
 
 
