@@ -104,11 +104,15 @@ inline TimingResult measure_with_metrics(const std::function<void()>& body,
 
 /// Emits one metrics record for a single kernel run timed outside
 /// measure(): snapshot before the run, then call this with the elapsed
-/// time. No-op when metrics are runtime-disabled.
+/// time. Serving benches pass `latency` to attach the engine's
+/// percentile block (the nullable `engine_latency` record object); null
+/// is emitted otherwise. No-op when metrics are runtime-disabled.
 inline void emit_single_run_metrics(const MetricsSnapshot& before,
                                     const std::string& matrix,
                                     const std::string& config_label,
-                                    double elapsed_ms) {
+                                    double elapsed_ms,
+                                    const EngineLatencyRecord* latency =
+                                        nullptr) {
   if (!metrics_enabled()) {
     return;
   }
@@ -118,6 +122,9 @@ inline void emit_single_run_metrics(const MetricsSnapshot& before,
   record.config = config_label;
   record.runs = 1;
   record.median_ms = elapsed_ms;
+  if (latency != nullptr) {
+    record.engine_latency = *latency;
+  }
   emit_metrics_record(record, metrics_delta(before, metrics_snapshot()));
 }
 

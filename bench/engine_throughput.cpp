@@ -21,13 +21,33 @@
 // in both modes) amortization can only shave the planning sliver. Use
 // --stream to measure one regime in isolation.
 //
+// Latency mode (--latency): instead of sweeping job levels, replay an
+// injected heavy-tail stream — mostly the first --stream graph, with the
+// last one spliced in every --tail-every queries — through the same
+// closed-loop window twice: once with priority scheduling off (FIFO, the
+// baseline) and once with the cost-model lanes on. Both passes see the
+// identical stream and window (fixed offered load); the gate is the p99
+// ratio. This is the serving claim of docs/SERVING.md made executable:
+// under FIFO one expensive query's tiles queue ahead of every cheap query
+// admitted behind it, so the cheap p99 collapses to the expensive
+// runtime; with lanes the cheap tiles jump ahead and p99 stays near the
+// cheap service time. Each pass emits one metrics record carrying the
+// engine's percentile block (the `engine_latency` record object).
+//
 // Flags: --jobs a,b,...      job levels to sweep (default 1,2,4,8)
-//        --queries N         queries per level (default 16)
+//        --queries N         queries per level (default 16; 128 in
+//                            latency mode unless set explicitly)
 //        --stream a,b,...    graphs cycled through (default mixed
-//                            GAP-road,circuit5M)
+//                            GAP-road,circuit5M); latency mode reads
+//                            first=cheap, last=expensive
 //        --repeats R         best-of-R per mode, serial included — noise
 //                            mitigation on shared machines (default 1)
 //        --min-speedup X     gate on the highest level (default: report)
+//        --latency           run the heavy-tail percentile comparison
+//        --tail-every K      expensive query period in latency mode
+//                            (default 64)
+//        --min-p99-improvement X   latency-mode gate: FIFO p99 must be at
+//                            least X times the priority p99, bit-identical
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -63,8 +83,12 @@ double quantile(const std::vector<double>& sorted, double q) {
 int main(int argc, char** argv) {
   std::vector<int> job_levels = {1, 2, 4, 8};
   int queries = 16;
+  bool queries_set = false;
   int repeats = 1;
   double min_speedup = 0.0;
+  bool latency_mode = false;
+  int tail_every = 64;
+  double min_p99_improvement = 0.0;
   std::vector<std::string> names = {"GAP-road", "circuit5M"};
   const auto split_list = [](const std::string& list) {
     std::vector<std::string> out;
@@ -83,6 +107,14 @@ int main(int argc, char** argv) {
       }
     } else if (std::strcmp(argv[i], "--queries") == 0 && i + 1 < argc) {
       queries = std::max(1, std::atoi(argv[++i]));
+      queries_set = true;
+    } else if (std::strcmp(argv[i], "--latency") == 0) {
+      latency_mode = true;
+    } else if (std::strcmp(argv[i], "--tail-every") == 0 && i + 1 < argc) {
+      tail_every = std::max(1, std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--min-p99-improvement") == 0 &&
+               i + 1 < argc) {
+      min_p99_improvement = std::atof(argv[++i]);
     } else if (std::strcmp(argv[i], "--stream") == 0 && i + 1 < argc) {
       names = split_list(argv[++i]);
       if (names.empty()) {
@@ -96,7 +128,9 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [--jobs a,b,...] [--queries n] "
-                   "[--stream a,b,...] [--repeats r] [--min-speedup x]\n",
+                   "[--stream a,b,...] [--repeats r] [--min-speedup x] "
+                   "[--latency] [--tail-every k] "
+                   "[--min-p99-improvement x]\n",
                    argv[0]);
       return 2;
     }
@@ -110,6 +144,164 @@ int main(int argc, char** argv) {
   tilq::Config config;
   config.strategy = tilq::MaskStrategy::kHybrid;  // heaviest analyze phase
   config.threads = tilq::bench::bench_threads();
+
+  if (latency_mode) {
+    if (!queries_set) {
+      queries = 128;  // enough samples for a meaningful p99
+    }
+    const tilq::GraphMatrix& cheap = cache.get(names.front());
+    // The injected tail is the last stream graph at 4x the collection
+    // scale: a genuinely expensive query (tens of times the cheap FLOP
+    // total), not just a different structure — the regime where FIFO's
+    // p99 collapse actually shows.
+    tilq::bench::GraphCache tail_cache(scale * 4.0);
+    const tilq::GraphMatrix& expensive = tail_cache.get(names.back());
+    const std::string stream_label =
+        names.front() + " tail " + names.back();
+
+    // Heavy-tail stream: cheap everywhere, the expensive structure
+    // spliced in every tail_every-th position. The expensive samples
+    // themselves sit above the p99 rank (2 of 128 at the defaults), so
+    // the percentile measures what FIFO does to the *cheap* traffic.
+    std::vector<bool> is_tail(static_cast<std::size_t>(queries), false);
+    for (int i = tail_every - 1; i < queries; i += tail_every) {
+      is_tail[static_cast<std::size_t>(i)] = true;
+    }
+
+    // One-shot oracles for bit-identity.
+    const Csr<double, std::int64_t> cheap_oracle =
+        tilq::masked_spgemm<SR>(cheap, cheap, cheap, config);
+    const Csr<double, std::int64_t> expensive_oracle =
+        tilq::masked_spgemm<SR>(expensive, expensive, expensive, config);
+
+    // Price both structures through the engine's own cost model and put
+    // the classification threshold halfway between them — deterministic,
+    // where the adaptive running mean would depend on stream order.
+    std::uint64_t cheap_flops = 0;
+    std::uint64_t expensive_flops = 0;
+    {
+      tilq::EngineOptions probe_options;
+      probe_options.threads = tilq::bench::bench_threads();
+      tilq::Engine<SR> probe(probe_options);
+      auto hc = probe.submit(cheap, cheap, cheap, config);
+      (void)hc.get();
+      cheap_flops = static_cast<std::uint64_t>(
+          std::max<std::int64_t>(0, hc.stats().flop_estimate));
+      auto he = probe.submit(expensive, expensive, expensive, config);
+      (void)he.get();
+      expensive_flops = static_cast<std::uint64_t>(
+          std::max<std::int64_t>(0, he.stats().flop_estimate));
+    }
+    const std::uint64_t threshold = cheap_flops / 2 + expensive_flops / 2;
+    std::printf(
+        "latency mode: %d queries, expensive every %d (cost model: "
+        "cheap=%llu flops, expensive=%llu flops, threshold=%llu)\n\n",
+        queries, tail_every,
+        static_cast<unsigned long long>(cheap_flops),
+        static_cast<unsigned long long>(expensive_flops),
+        static_cast<unsigned long long>(threshold));
+    std::printf("%-10s %12s %10s %10s %10s %6s\n", "mode", "queries/s",
+                "p50 ms", "p95 ms", "p99 ms", "ident");
+
+    struct ModeResult {
+      double qps = 0.0;
+      double p50 = 0.0;
+      double p95 = 0.0;
+      double p99 = 0.0;
+      bool identical = true;
+    };
+    const int window = 8;
+    const auto run_mode = [&](bool priority) {
+      tilq::EngineOptions options;
+      options.threads = tilq::bench::bench_threads();
+      options.max_in_flight = window;
+      options.expensive_flops = threshold;
+      options.priority_scheduling = priority;
+      tilq::Engine<SR> engine(options);
+      // Warm plans and workspaces for both structures.
+      (void)engine.submit(cheap, cheap, cheap, config).get();
+      (void)engine.submit(expensive, expensive, expensive, config).get();
+
+      const tilq::MetricsSnapshot before = tilq::metrics_snapshot();
+      ModeResult result;
+      std::vector<double> best_lat;
+      double best_elapsed = 0.0;
+      for (int rep = 0; rep < repeats; ++rep) {
+        std::vector<double> lat;
+        lat.reserve(static_cast<std::size_t>(queries));
+        std::vector<Csr<double, std::int64_t>> outputs;
+        outputs.reserve(static_cast<std::size_t>(queries));
+        std::vector<tilq::Engine<SR>::JobHandle> handles;
+        tilq::WallTimer wall;
+        const auto retire_front = [&] {
+          outputs.push_back(handles.front().get());
+          lat.push_back(handles.front().stats().total_ms);
+          handles.erase(handles.begin());
+        };
+        for (int i = 0; i < queries; ++i) {
+          if (handles.size() >= static_cast<std::size_t>(window)) {
+            retire_front();
+          }
+          const tilq::GraphMatrix& a =
+              is_tail[static_cast<std::size_t>(i)] ? expensive : cheap;
+          handles.push_back(engine.submit(a, a, a, config));
+        }
+        while (!handles.empty()) {
+          retire_front();
+        }
+        const double elapsed = wall.seconds();
+        for (std::size_t i = 0; i < outputs.size(); ++i) {
+          result.identical =
+              result.identical &&
+              bit_identical(is_tail[i] ? expensive_oracle : cheap_oracle,
+                            outputs[i]);
+        }
+        std::sort(lat.begin(), lat.end());
+        // Best-of-R by p99: the gated number, so both modes keep their
+        // least-noisy pass.
+        if (rep == 0 || quantile(lat, 0.99) < quantile(best_lat, 0.99)) {
+          best_lat = std::move(lat);
+          best_elapsed = elapsed;
+        }
+      }
+      result.qps = static_cast<double>(queries) / best_elapsed;
+      result.p50 = quantile(best_lat, 0.5);
+      result.p95 = quantile(best_lat, 0.95);
+      result.p99 = quantile(best_lat, 0.99);
+      const tilq::EngineLatencyRecord latency =
+          tilq::engine_latency_record(engine.stats());
+      tilq::bench::emit_single_run_metrics(
+          before, stream_label,
+          priority ? "latency-priority" : "latency-fifo", best_elapsed * 1e3,
+          &latency);
+      const char* label = priority ? "priority" : "fifo";
+      std::printf("%-10s %12.2f %10.2f %10.2f %10.2f %6s\n", label,
+                  result.qps, result.p50, result.p95, result.p99,
+                  result.identical ? "yes" : "NO");
+      std::printf("CSV,engine-latency,%s,%d,%.4f,%.4f,%.4f,%.4f,%d\n", label,
+                  queries, result.qps, result.p50, result.p95, result.p99,
+                  result.identical ? 1 : 0);
+      return result;
+    };
+
+    const ModeResult fifo = run_mode(/*priority=*/false);
+    const ModeResult priority = run_mode(/*priority=*/true);
+    const double improvement =
+        priority.p99 > 0.0 ? fifo.p99 / priority.p99 : 0.0;
+    std::printf("\np99 improvement (fifo/priority): %.2fx\n", improvement);
+    std::printf("CSV,engine-latency-improvement,%.4f\n", improvement);
+    bool ok = fifo.identical && priority.identical;
+    if (min_p99_improvement > 0.0) {
+      if (improvement < min_p99_improvement) {
+        ok = false;
+      }
+      std::printf(
+          "gate: priority p99 >= %.2fx better than FIFO, bit-identical => "
+          "%s\n",
+          min_p99_improvement, ok ? "PASS" : "FAIL");
+    }
+    return ok ? 0 : 1;
+  }
 
   std::vector<const tilq::GraphMatrix*> stream;
   stream.reserve(static_cast<std::size_t>(queries));
@@ -227,8 +419,10 @@ int main(int argc, char** argv) {
     const double speedup = serial_qps > 0.0 ? qps / serial_qps : 0.0;
     std::sort(latencies.begin(), latencies.end());
     const std::string label = "jobs=" + std::to_string(jobs);
+    const tilq::EngineLatencyRecord latency_record =
+        tilq::engine_latency_record(engine.stats());
     tilq::bench::emit_single_run_metrics(before, stream_label, label,
-                                         elapsed_s * 1e3);
+                                         elapsed_s * 1e3, &latency_record);
     std::printf("%-8s %12.2f %10.2f %10.2f %8.2fx %6s\n", label.c_str(), qps,
                 quantile(latencies, 0.5), quantile(latencies, 0.99), speedup,
                 identical ? "yes" : "NO");

@@ -34,6 +34,8 @@ struct CliOptions {
   bool engine = false;
   int jobs = 8;
   int repeats = 5;
+  tilq::JobPriority priority = tilq::JobPriority::kAuto;
+  double deadline_ms = 0.0;
 };
 
 void print_usage() {
@@ -61,6 +63,10 @@ void print_usage() {
       "  --profile        enable metrics and print a hardware/imbalance summary\n"
       "  --engine         serve the repeated queries through the batch engine\n"
       "  --jobs N         engine mode: concurrent in-flight queries (default 8)\n"
+      "  --priority P     engine mode: high|normal|background lane request\n"
+      "                   (default: auto — the cost model picks, docs/SERVING.md)\n"
+      "  --deadline-ms N  engine mode: per-job deadline; late jobs are\n"
+      "                   cancelled with DeadlineExpiredError (default 0 = none)\n"
       "  --repeats N      timing repetitions (default 5)\n");
 }
 
@@ -145,6 +151,22 @@ std::optional<CliOptions> parse(int argc, char** argv) {
       options.engine = true;
     } else if (flag == "--jobs") {
       options.jobs = std::atoi(next());
+    } else if (flag == "--priority") {
+      const std::string v = next();
+      if (v == "high") {
+        options.priority = tilq::JobPriority::kHigh;
+      } else if (v == "normal") {
+        options.priority = tilq::JobPriority::kNormal;
+      } else if (v == "background") {
+        options.priority = tilq::JobPriority::kBackground;
+      } else {
+        std::fprintf(stderr,
+                     "bad --priority %s (want high|normal|background)\n",
+                     v.c_str());
+        return std::nullopt;
+      }
+    } else if (flag == "--deadline-ms") {
+      options.deadline_ms = std::atof(next());
     } else if (flag == "--repeats") {
       options.repeats = std::atoi(next());
     } else {
@@ -219,39 +241,79 @@ int run_engine(const tilq::GraphMatrix& a, const CliOptions& options,
   tilq::EngineOptions engine_options;
   engine_options.max_in_flight = static_cast<std::size_t>(jobs);
   tilq::Engine<SR> engine(engine_options);
+  tilq::SubmitOptions submit_options;
+  submit_options.priority = options.priority;
+  submit_options.deadline_ms = options.deadline_ms;
   std::printf("engine: %d workers, %d jobs in flight, %d queries\n",
               engine.threads(), jobs, total);
+  if (options.deadline_ms > 0.0) {
+    std::printf("engine: per-job deadline %.2f ms\n", options.deadline_ms);
+  }
 
   const tilq::MetricsSnapshot metrics_before = tilq::metrics_snapshot();
   std::vector<tilq::Engine<SR>::JobHandle> window;
   std::vector<double> latencies_ms;
   latencies_ms.reserve(static_cast<std::size_t>(total));
+  int deadline_misses = 0;
+  // A job past its --deadline-ms is an expected outcome here, not a CLI
+  // failure: count it and keep serving the rest of the stream.
+  const auto drain = [&](tilq::Engine<SR>::JobHandle& handle) {
+    try {
+      handle.wait();
+      latencies_ms.push_back(handle.stats().total_ms);
+    } catch (const tilq::DeadlineExpiredError&) {
+      ++deadline_misses;
+    }
+  };
   tilq::WallTimer wall;
   for (int i = 0; i < total; ++i) {
     if (window.size() >= static_cast<std::size_t>(jobs)) {
-      window.front().wait();
-      latencies_ms.push_back(window.front().stats().total_ms);
+      drain(window.front());
       window.erase(window.begin());
     }
-    window.push_back(engine.submit(a, a, a, config));
+    window.push_back(engine.submit(a, a, a, config, submit_options));
   }
   for (tilq::Engine<SR>::JobHandle& handle : window) {
-    handle.wait();
-    latencies_ms.push_back(handle.stats().total_ms);
+    drain(handle);
   }
   const double elapsed = wall.seconds();
 
-  std::sort(latencies_ms.begin(), latencies_ms.end());
-  const auto quantile = [&](double q) {
-    const auto index = static_cast<std::size_t>(
-        q * static_cast<double>(latencies_ms.size() - 1));
-    return latencies_ms[index];
-  };
   std::printf("\nthroughput: %.1f queries/sec (%d queries in %.2f s)\n",
               static_cast<double>(total) / elapsed, total, elapsed);
-  std::printf("latency: p50 %.2f ms, p99 %.2f ms, max %.2f ms\n",
-              quantile(0.50), quantile(0.99), latencies_ms.back());
-  std::printf("engine: %s\n", tilq::describe(engine.stats()).c_str());
+  if (latencies_ms.empty()) {
+    std::printf("latency: no jobs finished (%d deadline misses)\n",
+                deadline_misses);
+  } else {
+    std::sort(latencies_ms.begin(), latencies_ms.end());
+    const auto quantile = [&](double q) {
+      const auto index = static_cast<std::size_t>(
+          q * static_cast<double>(latencies_ms.size() - 1));
+      return latencies_ms[index];
+    };
+    std::printf("latency: p50 %.2f ms, p95 %.2f ms, p99 %.2f ms, max %.2f ms\n",
+                quantile(0.50), quantile(0.95), quantile(0.99),
+                latencies_ms.back());
+  }
+  if (deadline_misses > 0) {
+    std::printf("deadline misses: %d of %d jobs\n", deadline_misses, total);
+  }
+  const tilq::EngineStats engine_stats = engine.stats();
+  std::printf("engine: %s\n", tilq::describe(engine_stats).c_str());
+  if (options.profile) {
+    // Engine-mode --profile: the serving percentile block, split into the
+    // queue (submit -> first task) and run (first task -> done) phases so
+    // a saturated pool reads differently from a slow kernel.
+    const auto row = [](const char* label, const tilq::LatencySummary& s) {
+      std::printf("  %-7s p50 %8.2f ms   p95 %8.2f ms   p99 %8.2f ms   "
+                  "max %8.2f ms\n",
+                  label, s.p50_ms, s.p95_ms, s.p99_ms, s.max_ms);
+    };
+    std::printf("\nprofile (engine, %llu jobs):\n",
+                static_cast<unsigned long long>(engine_stats.latency.count));
+    row("total", engine_stats.latency);
+    row("queue", engine_stats.queue_latency);
+    row("run", engine_stats.run_latency);
+  }
 
   // Bit-identity spot check: engine output vs the single-call path.
   const auto oracle = config.num_col_tiles > 1
@@ -272,7 +334,10 @@ int run_engine(const tilq::GraphMatrix& a, const CliOptions& options,
     record.matrix = !options.mtx_path.empty() ? options.mtx_path : options.graph;
     record.config = config_label + " jobs=" + std::to_string(jobs);
     record.runs = total;
-    record.median_ms = quantile(0.50);
+    record.median_ms = latencies_ms.empty()
+                           ? 0.0
+                           : latencies_ms[latencies_ms.size() / 2];
+    record.engine_latency = tilq::engine_latency_record(engine_stats);
     tilq::emit_metrics_record(
         record, tilq::metrics_delta(metrics_before, tilq::metrics_snapshot()));
   }

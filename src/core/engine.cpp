@@ -1,8 +1,17 @@
 #include "core/engine.hpp"
 
 #include <atomic>
+#include <cstdio>
 
 namespace tilq {
+
+namespace {
+std::string fixed2(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.2f", value);
+  return buf;
+}
+}  // namespace
 
 namespace engine_detail {
 
@@ -21,6 +30,18 @@ std::string describe(const EngineStats& stats) {
   if (stats.jobs_rejected > 0) {
     out += " rejected=" + std::to_string(stats.jobs_rejected);
   }
+  if (stats.jobs_shed > 0) {
+    out += " shed=" + std::to_string(stats.jobs_shed);
+  }
+  if (stats.jobs_deferred > 0) {
+    out += " deferred=" + std::to_string(stats.jobs_deferred);
+  }
+  if (stats.jobs_expensive > 0) {
+    out += " expensive=" + std::to_string(stats.jobs_expensive);
+  }
+  if (stats.deadline_misses > 0) {
+    out += " deadline-misses=" + std::to_string(stats.deadline_misses);
+  }
   out += " plan-builds=" + std::to_string(stats.plan_builds);
   out += " plan-hits=" + std::to_string(stats.plan_hits);
   out += " tasks=" + std::to_string(stats.tasks_executed);
@@ -28,7 +49,30 @@ std::string describe(const EngineStats& stats) {
   out += " peak-in-flight=" + std::to_string(stats.peak_in_flight);
   out += " workspace-acquires=" + std::to_string(stats.workspace.acquisitions);
   out += " workspace-builds=" + std::to_string(stats.workspace.constructions);
+  if (stats.latency.count > 0) {
+    out += " p50=" + fixed2(stats.latency.p50_ms) + "ms";
+    out += " p95=" + fixed2(stats.latency.p95_ms) + "ms";
+    out += " p99=" + fixed2(stats.latency.p99_ms) + "ms";
+  }
   return out;
+}
+
+EngineLatencyRecord engine_latency_record(const EngineStats& stats) {
+  EngineLatencyRecord record;
+  if (stats.latency.count == 0) {
+    return record;  // present stays false -> "engine_latency":null
+  }
+  record.present = true;
+  record.jobs = stats.latency.count;
+  record.p50_ms = stats.latency.p50_ms;
+  record.p95_ms = stats.latency.p95_ms;
+  record.p99_ms = stats.latency.p99_ms;
+  record.max_ms = stats.latency.max_ms;
+  record.queue_p50_ms = stats.queue_latency.p50_ms;
+  record.queue_p99_ms = stats.queue_latency.p99_ms;
+  record.run_p50_ms = stats.run_latency.p50_ms;
+  record.run_p99_ms = stats.run_latency.p99_ms;
+  return record;
 }
 
 }  // namespace tilq

@@ -19,6 +19,16 @@
 // recycled across jobs — a warm engine performs no steady-state
 // allocations beyond each query's output.
 //
+// Serving (docs/SERVING.md): every submission is priced by the plan's
+// Eq-2 FLOP total — free on a plan-cache hit — and classified cheap or
+// expensive at admission. The verdict picks the job's lane in the pool's
+// priority scheduler (cheap queries jump ahead of expensive bulk work, so
+// one heavy query cannot collapse the cheap p99), steers the overload
+// response (EngineOptions::overload_policy: reject everything at the
+// bound, or shed/defer only the expensive jobs as pressure builds), and
+// SubmitOptions lets callers pin a lane or attach a per-job deadline
+// (missed deadlines cancel the job with DeadlineExpiredError).
+//
 // Backpressure: at most EngineOptions::max_in_flight jobs may be admitted
 // at once; submit() past the bound throws EngineSaturatedError (a
 // CapacityError) and run_batch() blocks instead. Failure isolation: each
@@ -28,7 +38,10 @@
 // sibling jobs.
 //
 // Observability: per-job latency, queue depth, and steal counters flow
-// into the metrics-v3 schema (engine_* counters, docs/METRICS.md) and
+// into the metrics-v3 schema (engine_* counters, docs/METRICS.md), each
+// job's queue/run/total latency lands in fixed-bucket log-scale
+// histograms (support/latency.hpp) whose p50/p95/p99 surface through
+// EngineStats and the nullable `engine_latency` record object, and
 // "engine.job" / "engine.compact" Chrome-trace spans ride next to the
 // existing tile spans. docs/CONCURRENCY.md documents the lifecycle and
 // the per-type thread-safety guarantees; tools/check_metrics_docs.py
@@ -51,17 +64,59 @@
 #include <vector>
 
 #include "core/plan.hpp"
+#include "support/latency.hpp"
+#include "support/metrics.hpp"
 #include "support/thread_pool.hpp"
 
 namespace tilq {
 
 /// Thrown by Engine::submit when max_in_flight jobs are already admitted —
-/// the bounded-queue backpressure signal. A CapacityError: callers shed
-/// load or retry after a JobHandle completes; run_batch() blocks instead
-/// of throwing.
+/// the bounded-queue backpressure signal — and, under
+/// OverloadPolicy::kShed, when an expensive job is refused at the shed
+/// bound. A CapacityError: callers shed load or retry after a JobHandle
+/// completes; run_batch() blocks instead of throwing.
 class EngineSaturatedError : public CapacityError {
  public:
   using CapacityError::CapacityError;
+};
+
+/// Thrown (from JobHandle::wait()/get()) when a job submitted with
+/// SubmitOptions::deadline_ms was cancelled because the deadline passed
+/// before its tiles finished. A CapacityError: the machine did not have
+/// the headroom to serve the query in time.
+class DeadlineExpiredError : public CapacityError {
+ public:
+  using CapacityError::CapacityError;
+};
+
+/// What submit() does with an expensive job once in-flight pressure
+/// reaches the shed bound (3/4 of max_in_flight). Cheap jobs are never
+/// shed or deferred — only the hard max_in_flight bound applies to them.
+enum class OverloadPolicy {
+  kReject,  ///< no cost-model gate: the pre-serving all-or-nothing behavior
+  kShed,    ///< refuse expensive jobs with EngineSaturatedError
+  kDefer,   ///< admit expensive jobs demoted to the background lane
+};
+
+/// Caller-chosen lane for one submission; kAuto lets the cost model pick
+/// (cheap -> high, expensive -> background).
+enum class JobPriority {
+  kAuto,
+  kHigh,
+  kNormal,
+  kBackground,
+};
+
+/// Per-submission serving knobs (the submit() overloads without this
+/// parameter behave as SubmitOptions{}).
+struct SubmitOptions {
+  /// Lane request; kAuto defers to the cost model (and to
+  /// EngineOptions::priority_scheduling).
+  JobPriority priority = JobPriority::kAuto;
+  /// When > 0: if the job has not finished within this many milliseconds
+  /// of admission, its remaining tiles are cancelled and the job fails
+  /// with DeadlineExpiredError. 0 means no deadline.
+  double deadline_ms = 0.0;
 };
 
 /// Engine construction knobs.
@@ -73,6 +128,17 @@ struct EngineOptions {
   std::size_t max_in_flight = 16;
   /// Cached plans before the oldest is evicted (FIFO).
   std::size_t plan_cache_capacity = 64;
+  /// Cost-model threshold: jobs whose plan prices above this many Eq-2
+  /// FLOPs classify expensive. 0 means adaptive — expensive is more than
+  /// twice the running mean of admitted jobs (once two jobs have been
+  /// admitted; before that everything classifies cheap).
+  std::uint64_t expensive_flops = 0;
+  /// Overload response for expensive jobs at the shed bound.
+  OverloadPolicy overload_policy = OverloadPolicy::kReject;
+  /// When false, kAuto submissions all map to the normal lane — FIFO
+  /// scheduling, the baseline the latency bench compares against.
+  /// Explicit SubmitOptions::priority requests are always honored.
+  bool priority_scheduling = true;
 };
 
 /// Per-job accounting, valid once the job is done (JobHandle::stats()).
@@ -83,6 +149,11 @@ struct JobStats {
   std::int64_t output_nnz = 0;   ///< nonzeros in the result (0 on failure)
   std::uint64_t degrades = 0;    ///< rows/cells replayed on the dense fallback
   std::size_t queue_depth = 0;   ///< other jobs in flight at admission
+  bool expensive = false;        ///< cost-model verdict at admission
+  bool deferred = false;         ///< demoted to background under kDefer
+  std::int64_t flop_estimate = 0;  ///< the plan's Eq-2 work total
+  double deadline_ms = 0.0;      ///< SubmitOptions::deadline_ms (0 = none)
+  double plan_ms = 0.0;          ///< structure-phase time (0 on a cache hit)
   double queue_ms = 0.0;         ///< submit -> first task start
   double run_ms = 0.0;           ///< first task start -> completion
   double total_ms = 0.0;         ///< submit -> completion
@@ -94,6 +165,10 @@ struct EngineStats {
   std::uint64_t jobs_completed = 0;  ///< finished with a result
   std::uint64_t jobs_failed = 0;     ///< finished by capturing an exception
   std::uint64_t jobs_rejected = 0;   ///< submit() throws past the admission bound
+  std::uint64_t jobs_shed = 0;       ///< expensive jobs refused at the shed bound
+  std::uint64_t jobs_deferred = 0;   ///< expensive jobs demoted to background
+  std::uint64_t jobs_expensive = 0;  ///< admitted jobs the cost model priced expensive
+  std::uint64_t deadline_misses = 0; ///< jobs cancelled past their deadline
   std::uint64_t plan_builds = 0;     ///< structure phases actually run
   std::uint64_t plan_hits = 0;       ///< submissions served from the plan cache
   std::uint64_t tasks_executed = 0;  ///< pool tasks run (tiles + finalizers)
@@ -101,7 +176,17 @@ struct EngineStats {
   std::uint64_t in_flight = 0;       ///< jobs admitted but not yet finished
   std::uint64_t peak_in_flight = 0;  ///< high-water mark of in_flight
   WorkspacePoolStats workspace;      ///< summed over the engine's typed pools
+  LatencySummary latency;            ///< submit-to-done percentiles, all finished jobs
+  LatencySummary queue_latency;      ///< submit-to-first-task percentiles
+  LatencySummary run_latency;        ///< first-task-to-done percentiles
 };
+
+/// The serving percentile block of `stats` as the metrics layer's
+/// nullable record object (present only when at least one job finished);
+/// benches attach it to their MetricsRecord so `engine_latency_*` fields
+/// land in the JSON-lines sink.
+[[nodiscard]] EngineLatencyRecord engine_latency_record(
+    const EngineStats& stats);
 
 /// One-line human-readable rendering of EngineStats (CLI/bench output).
 [[nodiscard]] std::string describe(const EngineStats& stats);
@@ -183,6 +268,7 @@ class Engine {
     const Csr<T, I>* a = nullptr;
     const Csr<T, I>* b = nullptr;
     Config2d config{};
+    SubmitOptions options{};
   };
 
   explicit Engine(EngineOptions options = {})
@@ -200,17 +286,26 @@ class Engine {
   Engine& operator=(const Engine&) = delete;
 
   /// Submits one masked-SpGEMM query; never blocks. Throws
-  /// EngineSaturatedError when max_in_flight jobs are already admitted,
-  /// and PreconditionError for shape/validation defects (found on the
-  /// calling thread, before any task is queued).
+  /// EngineSaturatedError when max_in_flight jobs are already admitted
+  /// (or, under OverloadPolicy::kShed, when an expensive job hits the
+  /// shed bound), and PreconditionError for shape/validation defects
+  /// (found on the calling thread, before any task is queued). The
+  /// SubmitOptions overloads attach a lane request and/or a deadline.
   JobHandle submit(const Csr<T, I>& mask, const Csr<T, I>& a,
                    const Csr<T, I>& b, const Config& config = {}) {
-    return submit(mask, a, b, Config2d{config, 1});
+    return submit(mask, a, b, Config2d{config, 1}, SubmitOptions{});
   }
 
   JobHandle submit(const Csr<T, I>& mask, const Csr<T, I>& a,
-                   const Csr<T, I>& b, const Config2d& config) {
-    return submit_impl(mask, a, b, config, /*block=*/false);
+                   const Csr<T, I>& b, const Config& config,
+                   const SubmitOptions& options) {
+    return submit(mask, a, b, Config2d{config, 1}, options);
+  }
+
+  JobHandle submit(const Csr<T, I>& mask, const Csr<T, I>& a,
+                   const Csr<T, I>& b, const Config2d& config,
+                   const SubmitOptions& options = {}) {
+    return submit_impl(mask, a, b, config, options, /*block=*/false);
   }
 
   /// Submits every query, pacing admissions against the in-flight bound
@@ -222,7 +317,8 @@ class Engine {
     handles.reserve(queries.size());
     for (const Query& q : queries) {
       handles.push_back(
-          submit_impl(*q.mask, *q.a, *q.b, q.config, /*block=*/true));
+          submit_impl(*q.mask, *q.a, *q.b, q.config, q.options,
+                      /*block=*/true));
     }
     std::vector<Csr<T, I>> results;
     results.reserve(handles.size());
@@ -249,9 +345,16 @@ class Engine {
       s.jobs_completed = jobs_completed_;
       s.jobs_failed = jobs_failed_;
       s.jobs_rejected = jobs_rejected_;
+      s.jobs_shed = jobs_shed_;
+      s.jobs_deferred = jobs_deferred_;
+      s.jobs_expensive = jobs_expensive_;
       s.in_flight = static_cast<std::uint64_t>(in_flight_);
       s.peak_in_flight = peak_in_flight_;
     }
+    s.deadline_misses = deadline_misses_.load(std::memory_order_relaxed);
+    s.latency = total_hist_.summary();
+    s.queue_latency = queue_hist_.summary();
+    s.run_latency = run_hist_.summary();
     {
       const std::lock_guard<std::mutex> lock(plan_mutex_);
       s.plan_builds = plan_builds_;
@@ -302,6 +405,12 @@ class Engine {
     double trace_start_us = -1.0;
     bool cache_hit = false;
     std::size_t depth_at_submit = 0;
+    bool expensive = false;      ///< cost-model verdict at admission
+    bool was_deferred = false;   ///< demoted to background under kDefer
+    std::int64_t flop_estimate = 0;
+    double deadline_ms = 0.0;    ///< 0 = no deadline
+    std::atomic<bool> deadline_missed{false};
+    double plan_ms = 0.0;        ///< structure-phase time (0 on a hit)
     // Completion state, guarded by `mutex`.
     std::mutex mutex;
     std::condition_variable cv;
@@ -311,12 +420,39 @@ class Engine {
   };
 
   JobHandle submit_impl(const Csr<T, I>& mask, const Csr<T, I>& a,
-                        const Csr<T, I>& b, Config2d config, bool block) {
+                        const Csr<T, I>& b, Config2d config,
+                        const SubmitOptions& sopts, bool block) {
+    // Plan before admission: the cost-model verdict needs the plan's Eq-2
+    // FLOP total, and a cache hit makes pricing a repeat structure free.
+    // Shape/validation defects therefore surface on the calling thread
+    // without ever consuming an admission slot. The pool width fixes the
+    // tile grid (2 x workers by default) and the plan-cache key stays
+    // stable across callers with different Config::threads.
+    config.threads = pool_.size();
+    bool cache_hit = false;
+    std::shared_ptr<const PlanEntry> entry =
+        plan_for(mask, a, b, config, cache_hit);
+    const double plan_ms = cache_hit ? 0.0 : entry->plan.info.build_ms;
+    const auto flops =
+        static_cast<std::uint64_t>(std::max<std::int64_t>(
+            0, entry->plan.flop_total));
+
     std::size_t depth = 0;
+    bool expensive = false;
+    bool deferred = false;
     {
       std::unique_lock<std::mutex> lock(state_mutex_);
-      if (in_flight_ >= options_.max_in_flight) {
-        if (!block) {
+      expensive = classify_expensive_locked(flops);
+      // Expensive jobs hit their overload response earlier than the hard
+      // bound: at 3/4 of max_in_flight the engine starts protecting the
+      // cheap traffic's latency (docs/SERVING.md).
+      const std::size_t shed_bound = std::max<std::size_t>(
+          1, options_.max_in_flight - options_.max_in_flight / 4);
+      if (block) {
+        state_cv_.wait(lock,
+                       [&] { return in_flight_ < options_.max_in_flight; });
+      } else {
+        if (in_flight_ >= options_.max_in_flight) {
           ++jobs_rejected_;
           throw EngineSaturatedError(
               "Engine::submit: " + std::to_string(in_flight_) +
@@ -325,23 +461,48 @@ class Engine {
               ") — wait on a JobHandle or use run_batch(), which paces "
               "admissions");
         }
-        state_cv_.wait(lock,
-                       [&] { return in_flight_ < options_.max_in_flight; });
+        if (expensive && in_flight_ >= shed_bound) {
+          if (options_.overload_policy == OverloadPolicy::kShed) {
+            ++jobs_shed_;
+            count_shed_metric();
+            throw EngineSaturatedError(
+                "Engine::submit: expensive job (" + std::to_string(flops) +
+                " estimated FLOPs) shed at " + std::to_string(in_flight_) +
+                " jobs in flight — retry when load drops, or submit with "
+                "JobPriority::kBackground");
+          }
+          if (options_.overload_policy == OverloadPolicy::kDefer &&
+              sopts.priority == JobPriority::kAuto) {
+            deferred = true;
+            ++jobs_deferred_;
+          }
+        }
       }
       depth = in_flight_++;
       peak_in_flight_ =
           std::max<std::uint64_t>(peak_in_flight_, in_flight_);
       ++jobs_submitted_;
+      if (expensive) {
+        ++jobs_expensive_;
+      }
+      // Only admitted jobs feed the adaptive threshold, so a burst of
+      // shed submissions cannot talk the mean up until nothing is
+      // expensive any more.
+      admitted_flops_ += flops;
+      ++admitted_jobs_;
     }
+#if TILQ_METRICS_ENABLED
+    if (expensive || deferred) {
+      if (MetricCounters* const counters = metrics_thread_counters()) {
+        counters->engine_jobs_expensive += expensive ? 1 : 0;
+        counters->engine_jobs_deferred += deferred ? 1 : 0;
+      }
+    }
+#endif
     try {
-      // The pool width fixes the tile grid (2 x workers by default) and
-      // the plan-cache key stays stable across callers with different
-      // Config::threads.
-      config.threads = pool_.size();
-      bool cache_hit = false;
-      std::shared_ptr<const PlanEntry> entry =
-          plan_for(mask, a, b, config, cache_hit);
-      return launch(mask, a, b, std::move(entry), cache_hit, depth);
+      return launch(mask, a, b, std::move(entry), cache_hit, depth,
+                    lane_for(sopts.priority, expensive, deferred), sopts,
+                    expensive, deferred, plan_ms);
     } catch (...) {
       // Admission is undone: the job never started.
       const std::lock_guard<std::mutex> lock(state_mutex_);
@@ -350,6 +511,46 @@ class Engine {
       state_cv_.notify_all();
       throw;
     }
+  }
+
+  /// Cost-model verdict for one submission; call with state_mutex_ held.
+  [[nodiscard]] bool classify_expensive_locked(std::uint64_t flops) const {
+    if (options_.expensive_flops > 0) {
+      return flops > options_.expensive_flops;
+    }
+    if (admitted_jobs_ < 2) {
+      return false;  // no baseline yet: everything is cheap
+    }
+    return flops > 2 * (admitted_flops_ / admitted_jobs_);
+  }
+
+  /// Maps the caller's lane request and the cost-model verdict onto a
+  /// pool lane.
+  [[nodiscard]] TaskPriority lane_for(JobPriority requested, bool expensive,
+                                      bool deferred) const {
+    switch (requested) {
+      case JobPriority::kHigh:
+        return TaskPriority::kHigh;
+      case JobPriority::kNormal:
+        return TaskPriority::kNormal;
+      case JobPriority::kBackground:
+        return TaskPriority::kBackground;
+      case JobPriority::kAuto:
+        break;
+    }
+    if (!options_.priority_scheduling) {
+      return TaskPriority::kNormal;  // FIFO baseline
+    }
+    return (expensive || deferred) ? TaskPriority::kBackground
+                                   : TaskPriority::kHigh;
+  }
+
+  void count_shed_metric() const {
+#if TILQ_METRICS_ENABLED
+    if (MetricCounters* const counters = metrics_thread_counters()) {
+      ++counters->engine_jobs_shed;
+    }
+#endif
   }
 
   /// Plan-cache lookup keyed by (structural fingerprint, config); builds
@@ -391,7 +592,9 @@ class Engine {
 
   JobHandle launch(const Csr<T, I>& mask, const Csr<T, I>& a,
                    const Csr<T, I>& b, std::shared_ptr<const PlanEntry> entry,
-                   bool cache_hit, std::size_t depth) {
+                   bool cache_hit, std::size_t depth, TaskPriority lane,
+                   const SubmitOptions& sopts, bool expensive, bool deferred,
+                   double plan_ms) {
     auto job = std::make_shared<Job>();
     job->id = engine_detail::next_job_id();
     job->mask = &mask;
@@ -400,6 +603,11 @@ class Engine {
     job->entry = std::move(entry);
     job->cache_hit = cache_hit;
     job->depth_at_submit = depth;
+    job->expensive = expensive;
+    job->was_deferred = deferred;
+    job->flop_estimate = job->entry->plan.flop_total;
+    job->deadline_ms = std::max(0.0, sopts.deadline_ms);
+    job->plan_ms = plan_ms;
     const Plan<I>& plan = job->entry->plan;
     const std::size_t col_tiles =
         plan.two_dimensional() ? std::max<std::size_t>(1, plan.col_tiles.size())
@@ -425,10 +633,10 @@ class Engine {
 #endif
     job->since_submit.reset();
     if (job->task_count == 0) {
-      pool_.submit([this, job] { run_task(job, -1); });
+      pool_.submit([this, job] { run_task(job, -1); }, lane);
     } else {
       for (std::int64_t task = 0; task < job->task_count; ++task) {
-        pool_.submit([this, job, task] { run_task(job, task); });
+        pool_.submit([this, job, task] { run_task(job, task); }, lane);
       }
     }
     return JobHandle(std::move(job));
@@ -439,6 +647,26 @@ class Engine {
   void run_task(const std::shared_ptr<Job>& job, std::int64_t task) {
     if (!job->first_task_seen.exchange(true, std::memory_order_acq_rel)) {
       job->queue_ms = job->since_submit.milliseconds();
+    }
+    // Deadline gate: a tile that would start past the job's deadline
+    // cancels the job instead (via the guard, so the remaining tiles
+    // skip and the handle rethrows a DeadlineExpiredError). Checked
+    // per-tile, not per-row — an already-running tile finishes.
+    if (task >= 0 && job->deadline_ms > 0.0 && !job->guard.cancelled() &&
+        job->since_submit.milliseconds() > job->deadline_ms) {
+      if (!job->deadline_missed.exchange(true, std::memory_order_relaxed)) {
+        deadline_misses_.fetch_add(1, std::memory_order_relaxed);
+#if TILQ_METRICS_ENABLED
+        if (MetricCounters* const counters = metrics_thread_counters()) {
+          ++counters->engine_deadline_misses;
+        }
+#endif
+      }
+      job->guard.run([&] {
+        throw DeadlineExpiredError(
+            "Engine: job " + std::to_string(job->id) + " missed its " +
+            std::to_string(job->deadline_ms) + " ms deadline");
+      });
     }
     if (task >= 0 && !job->guard.cancelled()) {
       job->guard.run([&] { bind_buffers(*job); });
@@ -494,10 +722,21 @@ class Engine {
         failed ? 0 : static_cast<std::int64_t>(job->result->nnz());
     stats.degrades = job->degrades.load(std::memory_order_relaxed);
     stats.queue_depth = job->depth_at_submit;
+    stats.expensive = job->expensive;
+    stats.deferred = job->was_deferred;
+    stats.flop_estimate = job->flop_estimate;
+    stats.deadline_ms = job->deadline_ms;
+    stats.plan_ms = job->plan_ms;
     stats.queue_ms = job->queue_ms;
     stats.total_ms = total_ms;
     stats.run_ms = std::max(0.0, total_ms - job->queue_ms);
     recycle_buffers(std::move(job->buffers));
+    // Histograms before the state_mutex_ block below: after that lock is
+    // released the engine may already be destroyed (see the comment
+    // there), so no engine member may be touched past it.
+    total_hist_.record_ms(stats.total_ms);
+    queue_hist_.record_ms(stats.queue_ms);
+    run_hist_.record_ms(stats.run_ms);
 #if TILQ_METRICS_ENABLED
     if (MetricCounters* const counters = metrics_thread_counters()) {
       ++counters->engine_jobs;
@@ -702,7 +941,17 @@ class Engine {
   std::uint64_t jobs_completed_ = 0;
   std::uint64_t jobs_failed_ = 0;
   std::uint64_t jobs_rejected_ = 0;
+  std::uint64_t jobs_shed_ = 0;
+  std::uint64_t jobs_deferred_ = 0;
+  std::uint64_t jobs_expensive_ = 0;
+  std::uint64_t admitted_flops_ = 0;  ///< adaptive-threshold running sum
+  std::uint64_t admitted_jobs_ = 0;
   std::uint64_t peak_in_flight_ = 0;
+  std::atomic<std::uint64_t> deadline_misses_{0};  ///< bumped from pool tasks
+
+  LatencyHistogram total_hist_;  ///< submit-to-done, recorded in finalize
+  LatencyHistogram queue_hist_;
+  LatencyHistogram run_hist_;
 
   mutable std::mutex plan_mutex_;
   std::deque<std::shared_ptr<const PlanEntry>> plans_;

@@ -80,6 +80,7 @@ struct PlanInfo {
   std::int64_t col_tiles = 1;         ///< 1 on the 1D path
   std::int64_t accumulator_bound = 0; ///< per-row accumulator sizing
   std::int64_t hybrid_decisions = 0;  ///< precomputed per-(i,k) κ picks
+  std::int64_t flop_total = 0;        ///< Eq-2 work total Σ_i W[i]
   double build_ms = 0.0;              ///< wall time of the plan() call
 };
 
@@ -157,6 +158,11 @@ struct Plan {
   std::int64_t mask_nnz = 0;
   std::vector<Tile> row_tiles;
   std::vector<Tile> col_tiles;  ///< single full-width tile on the 1D path
+  /// Eq-2 work total Σ_i (nnz(M[i,:]) + Σ_{A[i,k]≠0} nnz(B[k,:])) — the
+  /// cost model's per-query price tag. The batch engine's admission stage
+  /// classifies jobs cheap/expensive from it (docs/SERVING.md), so a plan
+  /// cache hit prices a repeat structure for free.
+  std::int64_t flop_total = 0;
   I accumulator_bound = 0;
   /// One flag per A nonzero (flat index a.row_ptr[i] + p): the hybrid
   /// strategy's per-(i,k) co-iteration choice. Empty unless the planned
@@ -248,9 +254,12 @@ template <class T, class I>
   {
     TraceSpan span(two_d ? "spgemm2d.analyze" : "spgemm.analyze");
     if (config.tiling == Tiling::kFlopBalanced) {
-      plan.row_tiles =
-          make_flop_balanced_tiles(row_work_prefix(mask, a, b), num_tiles);
+      const std::vector<std::int64_t> prefix = row_work_prefix(mask, a, b);
+      plan.flop_total = prefix.empty() ? 0 : prefix.back();
+      plan.row_tiles = make_flop_balanced_tiles(prefix, num_tiles);
     } else {
+      // Same Eq-2 total the prefix sums to, without materializing it.
+      plan.flop_total = plan.mask_nnz + total_flops(a, b);
       plan.row_tiles = make_uniform_tiles(plan.rows, num_tiles);
     }
     if (two_d) {
@@ -276,6 +285,7 @@ template <class T, class I>
       static_cast<std::int64_t>(plan.accumulator_bound);
   plan.info.hybrid_decisions =
       static_cast<std::int64_t>(plan.hybrid_coiterate.size());
+  plan.info.flop_total = plan.flop_total;
   return plan;
 }
 

@@ -105,7 +105,11 @@ void append_counters_json(std::string& out, const MetricCounters& c) {
   field("engine_queue_ns", c.engine_queue_ns);
   field("engine_queue_depth", c.engine_queue_depth);
   field("engine_tasks", c.engine_tasks);
-  field("engine_steals", c.engine_steals, /*last=*/true);
+  field("engine_steals", c.engine_steals);
+  field("engine_jobs_shed", c.engine_jobs_shed);
+  field("engine_jobs_deferred", c.engine_jobs_deferred);
+  field("engine_jobs_expensive", c.engine_jobs_expensive);
+  field("engine_deadline_misses", c.engine_deadline_misses, /*last=*/true);
   out += '}';
 }
 
@@ -188,6 +192,40 @@ void append_imbalance_json(std::string& out,
   field("mean_busy_ms", mean_ms);
   field("ratio", ratio);
   field("cv", cv, /*last=*/true);
+  out += '}';
+}
+
+/// The `engine_latency` record object; "null" unless the emitter filled
+/// the serving engine's percentile block (record.engine_latency.present).
+/// Every key carries the `engine_latency_` prefix so a flat grep for
+/// `engine_latency_p99_ms` works on raw JSON lines; the key set is what
+/// tools/check_metrics_docs.py cross-checks against docs/SERVING.md.
+void append_engine_latency_json(std::string& out,
+                                const EngineLatencyRecord& lat) {
+  if (!lat.present) {
+    out += "null";
+    return;
+  }
+  const auto field = [&](const char* name, double value, bool last = false) {
+    out += '"';
+    out += name;
+    out += "\":";
+    append_double(out, value);
+    if (!last) {
+      out += ',';
+    }
+  };
+  out += "{\"engine_latency_jobs\":";
+  out += std::to_string(lat.jobs);
+  out += ',';
+  field("engine_latency_p50_ms", lat.p50_ms);
+  field("engine_latency_p95_ms", lat.p95_ms);
+  field("engine_latency_p99_ms", lat.p99_ms);
+  field("engine_latency_max_ms", lat.max_ms);
+  field("engine_latency_queue_p50_ms", lat.queue_p50_ms);
+  field("engine_latency_queue_p99_ms", lat.queue_p99_ms);
+  field("engine_latency_run_p50_ms", lat.run_p50_ms);
+  field("engine_latency_run_p99_ms", lat.run_p99_ms, /*last=*/true);
   out += '}';
 }
 
@@ -322,6 +360,8 @@ std::string format_metrics_record(const MetricsRecord& record,
   append_hw_json(out, snapshot.hw_total);
   out += ",\"imbalance\":";
   append_imbalance_json(out, snapshot.per_thread);
+  out += ",\"engine_latency\":";
+  append_engine_latency_json(out, record.engine_latency);
   out += ",\"threads\":[";
   bool first = true;
   for (const ThreadMetrics& t : snapshot.per_thread) {

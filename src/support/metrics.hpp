@@ -46,7 +46,11 @@ namespace tilq {
 /// `busy_ns` counter.
 /// v3: added the batch-engine job/queue/steal counters (`engine_jobs`,
 /// `engine_job_ns`, `engine_queue_ns`, `engine_queue_depth`,
-/// `engine_tasks`, `engine_steals`) — see docs/CONCURRENCY.md.
+/// `engine_tasks`, `engine_steals`) — see docs/CONCURRENCY.md. Later
+/// extended, compatibly, with the serving counters (`engine_jobs_shed`,
+/// `engine_jobs_deferred`, `engine_jobs_expensive`,
+/// `engine_deadline_misses`) and the nullable `engine_latency` record
+/// object (docs/SERVING.md).
 inline constexpr int kMetricsSchemaVersion = 3;
 
 /// True when the counter hooks are compiled into this build (CMake option
@@ -80,6 +84,10 @@ struct MetricCounters {
   std::uint64_t engine_queue_depth = 0;     ///< in-flight jobs summed over submits
   std::uint64_t engine_tasks = 0;           ///< tile tasks run on engine pool workers
   std::uint64_t engine_steals = 0;          ///< engine tasks taken from another worker's queue
+  std::uint64_t engine_jobs_shed = 0;       ///< expensive jobs refused at the shed bound
+  std::uint64_t engine_jobs_deferred = 0;   ///< expensive jobs demoted to the background lane
+  std::uint64_t engine_jobs_expensive = 0;  ///< admitted jobs the cost model priced expensive
+  std::uint64_t engine_deadline_misses = 0; ///< jobs cancelled past their submit() deadline
 
   MetricCounters& operator+=(const MetricCounters& o) noexcept {
     flops += o.flops;
@@ -105,6 +113,10 @@ struct MetricCounters {
     engine_queue_depth += o.engine_queue_depth;
     engine_tasks += o.engine_tasks;
     engine_steals += o.engine_steals;
+    engine_jobs_shed += o.engine_jobs_shed;
+    engine_jobs_deferred += o.engine_jobs_deferred;
+    engine_jobs_expensive += o.engine_jobs_expensive;
+    engine_deadline_misses += o.engine_deadline_misses;
     return *this;
   }
 
@@ -139,6 +151,10 @@ struct MetricCounters {
     d.engine_queue_depth = sub(engine_queue_depth, o.engine_queue_depth);
     d.engine_tasks = sub(engine_tasks, o.engine_tasks);
     d.engine_steals = sub(engine_steals, o.engine_steals);
+    d.engine_jobs_shed = sub(engine_jobs_shed, o.engine_jobs_shed);
+    d.engine_jobs_deferred = sub(engine_jobs_deferred, o.engine_jobs_deferred);
+    d.engine_jobs_expensive = sub(engine_jobs_expensive, o.engine_jobs_expensive);
+    d.engine_deadline_misses = sub(engine_deadline_misses, o.engine_deadline_misses);
     return d;
   }
 
@@ -151,7 +167,10 @@ struct MetricCounters {
            hybrid_linear_picks == 0 && tiles_created == 0 &&
            tiles_executed == 0 && rows_processed == 0 && busy_ns == 0 &&
            engine_jobs == 0 && engine_job_ns == 0 && engine_queue_ns == 0 &&
-           engine_queue_depth == 0 && engine_tasks == 0 && engine_steals == 0;
+           engine_queue_depth == 0 && engine_tasks == 0 &&
+           engine_steals == 0 && engine_jobs_shed == 0 &&
+           engine_jobs_deferred == 0 && engine_jobs_expensive == 0 &&
+           engine_deadline_misses == 0;
   }
 };
 
@@ -174,6 +193,24 @@ struct MetricsSnapshot {
   std::vector<ThreadMetrics> per_thread;
 };
 
+/// The serving engine's latency-percentile block, serialized as the
+/// nullable `engine_latency` record object (every key inside it carries
+/// the `engine_latency_` prefix; docs/SERVING.md has the field glossary).
+/// `present == false` — the default — emits `"engine_latency":null`, the
+/// same nullable-object convention as `hw` and `imbalance`.
+struct EngineLatencyRecord {
+  bool present = false;
+  std::uint64_t jobs = 0;      ///< completed jobs the percentiles cover
+  double p50_ms = 0.0;         ///< submit-to-done latency percentiles
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  double max_ms = 0.0;
+  double queue_p50_ms = 0.0;   ///< submit-to-first-task wait percentiles
+  double queue_p99_ms = 0.0;
+  double run_p50_ms = 0.0;     ///< first-task-to-done execute percentiles
+  double run_p99_ms = 0.0;
+};
+
 /// One JSON-lines record; see docs/METRICS.md for the field-by-field
 /// schema. `snapshot` should be a delta covering exactly `runs` kernel
 /// executions.
@@ -183,6 +220,7 @@ struct MetricsRecord {
   std::string config;      ///< Config::describe() of the measured config
   std::int64_t runs = 0;   ///< kernel executions covered by the counters
   double median_ms = 0.0;  ///< median per-run wall time
+  EngineLatencyRecord engine_latency;  ///< null unless a serving bench fills it
 };
 
 #if TILQ_METRICS_ENABLED

@@ -38,12 +38,13 @@ ThreadPool::~ThreadPool() {
   }
 }
 
-void ThreadPool::submit(Task task) {
+void ThreadPool::submit(Task task, TaskPriority priority) {
   const auto slot = static_cast<std::size_t>(
       round_robin_.fetch_add(1, std::memory_order_relaxed) % workers_.size());
+  const auto lane = static_cast<std::size_t>(priority);
   {
     std::lock_guard<std::mutex> lock(workers_[slot]->mutex);
-    workers_[slot]->tasks.push_back(std::move(task));
+    workers_[slot]->lanes[lane].push_back(std::move(task));
   }
   submitted_.fetch_add(1, std::memory_order_relaxed);
   pending_.fetch_add(1, std::memory_order_release);
@@ -129,37 +130,45 @@ bool ThreadPool::next_task(int index, Task& out) {
 bool ThreadPool::try_pop(int index, Task& out) {
   Worker& w = *workers_[static_cast<std::size_t>(index)];
   std::lock_guard<std::mutex> lock(w.mutex);
-  if (w.tasks.empty()) {
-    return false;
+  for (auto& lane : w.lanes) {  // priority order: high drains first
+    if (lane.empty()) {
+      continue;
+    }
+    out = std::move(lane.front());
+    lane.pop_front();
+    // running_ rises before pending_ falls so drain() can never observe the
+    // transient (0, 0) while this task is in hand.
+    running_.fetch_add(1, std::memory_order_relaxed);
+    pending_.fetch_sub(1, std::memory_order_release);
+    return true;
   }
-  out = std::move(w.tasks.front());
-  w.tasks.pop_front();
-  // running_ rises before pending_ falls so drain() can never observe the
-  // transient (0, 0) while this task is in hand.
-  running_.fetch_add(1, std::memory_order_relaxed);
-  pending_.fetch_sub(1, std::memory_order_release);
-  return true;
+  return false;
 }
 
 bool ThreadPool::try_steal(int index, Task& out) {
   const int n = size();
-  for (int step = 1; step < n; ++step) {
-    Worker& victim = *workers_[static_cast<std::size_t>((index + step) % n)];
-    std::lock_guard<std::mutex> lock(victim.mutex);
-    if (victim.tasks.empty()) {
-      continue;
-    }
-    out = std::move(victim.tasks.back());
-    victim.tasks.pop_back();
-    running_.fetch_add(1, std::memory_order_relaxed);
-    pending_.fetch_sub(1, std::memory_order_release);
-    stolen_.fetch_add(1, std::memory_order_relaxed);
+  // Lane-major: exhaust every victim's high lane before touching any
+  // normal lane, so priority holds pool-wide, not just per-worker.
+  for (int lane = 0; lane < kTaskPriorityLanes; ++lane) {
+    for (int step = 1; step < n; ++step) {
+      Worker& victim = *workers_[static_cast<std::size_t>((index + step) % n)];
+      std::lock_guard<std::mutex> lock(victim.mutex);
+      auto& tasks = victim.lanes[static_cast<std::size_t>(lane)];
+      if (tasks.empty()) {
+        continue;
+      }
+      out = std::move(tasks.back());
+      tasks.pop_back();
+      running_.fetch_add(1, std::memory_order_relaxed);
+      pending_.fetch_sub(1, std::memory_order_release);
+      stolen_.fetch_add(1, std::memory_order_relaxed);
 #if TILQ_METRICS_ENABLED
-    if (MetricCounters* const counters = metrics_thread_counters()) {
-      ++counters->engine_steals;
-    }
+      if (MetricCounters* const counters = metrics_thread_counters()) {
+        ++counters->engine_steals;
+      }
 #endif
-    return true;
+      return true;
+    }
   }
   return false;
 }

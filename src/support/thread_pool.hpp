@@ -6,12 +6,18 @@
 // others have runnable tiles (Deveci et al.: task scheduling beats static
 // loop parallelism at scale).
 //
-// Topology: one deque per worker, each behind its own mutex. External
-// submissions land round-robin across the deques; a worker pops its own
-// deque front-first (FIFO, preserving rough job order) and, when empty,
-// steals from the back of a sibling's deque. A global condition variable
-// parks idle workers; an atomic pending-task count keeps the sleep/wake
-// handshake cheap.
+// Topology: three priority lanes (high / normal / background) of one deque
+// per worker, each worker's lanes behind one mutex. External submissions
+// land round-robin across the workers in the requested lane; a worker
+// drains its own lanes in priority order, popping front-first within a
+// lane (FIFO, preserving rough job order), and, when every own lane is
+// empty, steals from the back of a sibling's deque — scanning lane-major,
+// so a high-priority task anywhere in the pool runs before any worker
+// touches background work. Scheduling is strict-priority but
+// work-conserving: lower lanes only wait while higher-lane tasks are
+// runnable, so nothing starves forever under finite load. A global
+// condition variable parks idle workers; an atomic pending-task count
+// keeps the sleep/wake handshake cheap.
 //
 // Thread-safety: submit(), stats(), size(), and drain() may be called from
 // any thread at any time. Tasks must not throw — a throwing task is caught,
@@ -25,6 +31,7 @@
 // for exactly this reason.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
@@ -36,6 +43,18 @@
 #include <vector>
 
 namespace tilq {
+
+/// Scheduling lane of a submitted task. Lower values drain first; the
+/// engine maps its cost-model admission verdicts onto these
+/// (docs/SERVING.md).
+enum class TaskPriority {
+  kHigh = 0,        ///< latency-sensitive: runs before everything else
+  kNormal = 1,      ///< the default lane; pre-lane behavior
+  kBackground = 2,  ///< deferred bulk work: runs only when higher lanes are dry
+};
+
+/// Number of TaskPriority lanes.
+inline constexpr int kTaskPriorityLanes = 3;
 
 /// Fixed-size work-stealing pool. Construction spawns the workers;
 /// destruction drains every queued task, then joins them.
@@ -50,9 +69,10 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues `task` for execution on some worker. Never blocks; the
-  /// engine enforces its own admission bound before calling this.
-  void submit(Task task);
+  /// Enqueues `task` for execution on some worker in the given priority
+  /// lane. Never blocks; the engine enforces its own admission bound
+  /// before calling this.
+  void submit(Task task, TaskPriority priority = TaskPriority::kNormal);
 
   /// Blocks until every task submitted so far (and every task those tasks
   /// submit) has finished executing.
@@ -78,7 +98,8 @@ class ThreadPool {
  private:
   struct Worker {
     mutable std::mutex mutex;
-    std::deque<Task> tasks;  ///< guarded by `mutex`
+    /// One deque per TaskPriority, all guarded by `mutex`.
+    std::array<std::deque<Task>, kTaskPriorityLanes> lanes;
   };
 
   void worker_loop(int index);

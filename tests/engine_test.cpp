@@ -3,8 +3,10 @@
 // accounting under serial and concurrent submission, backpressure
 // (EngineSaturatedError + jobs_rejected), per-job failure isolation under
 // fault injection, run_batch ordering, JobStats sanity, and the metrics-v3
-// engine counters. The concurrent sections double as the PlanCache hammer
-// for the TSan CI job.
+// engine counters — plus the serving layer (docs/SERVING.md): deadline
+// expiry, the shed/defer overload policies, cost-model classification,
+// and the per-job latency histograms. The concurrent sections double as
+// the PlanCache and mixed-priority hammers for the TSan CI job.
 #include "core/engine.hpp"
 
 #include <gtest/gtest.h>
@@ -362,6 +364,230 @@ TEST_F(EngineTest, InterleavedJobsShareThePoolWithoutCrosstalk) {
         test::csr_equal((i % 2 == 0) ? p_oracle : q_oracle, handles[i].get()))
         << "job " << i;
   }
+}
+
+TEST_F(EngineTest, DeadlineExpiryCancelsTheJobAndCountsTheMiss) {
+  // A deadline no tile can meet: the first tile to start finds it past
+  // and cancels the job through its guard, so the handle rethrows the
+  // taxonomy type and the engine counts exactly one miss.
+  const Problem heavy = make_problem(29, 600, 400, 500, 0.08);
+  EngineOptions options;
+  options.threads = 1;
+  Engine<SR> engine(options);
+  SubmitOptions impossible;
+  impossible.deadline_ms = 1e-6;
+  auto doomed = engine.submit(heavy.mask, heavy.a, heavy.b, Config{},
+                              impossible);
+  EXPECT_THROW(doomed.wait(), DeadlineExpiredError);
+  EXPECT_THROW(doomed.wait(), DeadlineExpiredError);  // repeatable rethrow
+  EXPECT_DOUBLE_EQ(doomed.stats().deadline_ms, 1e-6);
+  // A missed deadline is a capacity signal, not a defect.
+  static_assert(std::is_base_of_v<CapacityError, DeadlineExpiredError>);
+
+  // The engine survives and keeps serving: same structure, no deadline.
+  auto healthy = engine.submit(heavy.mask, heavy.a, heavy.b);
+  EXPECT_GT(healthy.get().nnz(), 0);
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.deadline_misses, 1u);
+  EXPECT_EQ(stats.jobs_failed, 1u);
+  EXPECT_EQ(stats.jobs_completed, 1u);
+}
+
+TEST_F(EngineTest, GenerousDeadlineDoesNotFire) {
+  const Problem p = make_problem(73);
+  Engine<SR> engine;
+  SubmitOptions generous;
+  generous.deadline_ms = 60'000.0;
+  auto handle = engine.submit(p.mask, p.a, p.b, Config{}, generous);
+  EXPECT_TRUE(
+      test::csr_equal(test::reference_masked_spgemm<SR>(p.mask, p.a, p.b),
+                      handle.get()));
+  EXPECT_EQ(engine.stats().deadline_misses, 0u);
+}
+
+TEST_F(EngineTest, ShedPolicyRefusesExpensiveJobsAtTheShedBound) {
+  // expensive_flops=1 prices every job expensive; with max_in_flight=4
+  // the shed bound is 3. Three heavy jobs on a one-worker pool hold the
+  // slots while the fourth submit arrives — it should be shed, though a
+  // fast pool may legally finish a heavy job first (racy-tolerant, the
+  // SaturationThrowsAndIsCounted pattern).
+  const Problem heavy = make_problem(79, 400, 300, 350, 0.08);
+  EngineOptions options;
+  options.threads = 1;
+  options.max_in_flight = 4;
+  options.expensive_flops = 1;
+  options.overload_policy = OverloadPolicy::kShed;
+  Engine<SR> engine(options);
+  std::vector<Engine<SR>::JobHandle> handles;
+  for (int i = 0; i < 3; ++i) {
+    handles.push_back(engine.submit(heavy.mask, heavy.a, heavy.b));
+  }
+  std::uint64_t shed = 0;
+  try {
+    handles.push_back(engine.submit(heavy.mask, heavy.a, heavy.b));
+  } catch (const EngineSaturatedError&) {
+    ++shed;
+  }
+  for (auto& handle : handles) {
+    handle.wait();
+  }
+  engine.wait_idle();
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.jobs_shed, shed);
+  EXPECT_EQ(stats.jobs_submitted + stats.jobs_shed, 4u);
+  EXPECT_EQ(stats.jobs_failed, 0u);
+  // Every admitted job priced expensive under the 1-FLOP threshold.
+  EXPECT_EQ(stats.jobs_expensive, stats.jobs_submitted);
+}
+
+TEST_F(EngineTest, DeferPolicyDemotesExpensiveJobsButCompletesThem) {
+  const Problem heavy = make_problem(83, 400, 300, 350, 0.08);
+  const Csr<double, I> oracle =
+      test::reference_masked_spgemm<SR>(heavy.mask, heavy.a, heavy.b);
+  EngineOptions options;
+  options.threads = 1;
+  options.max_in_flight = 4;
+  options.expensive_flops = 1;
+  options.overload_policy = OverloadPolicy::kDefer;
+  Engine<SR> engine(options);
+  std::vector<Engine<SR>::JobHandle> handles;
+  for (int i = 0; i < 4; ++i) {
+    handles.push_back(engine.submit(heavy.mask, heavy.a, heavy.b));
+  }
+  std::uint64_t deferred = 0;
+  for (auto& handle : handles) {
+    EXPECT_TRUE(test::csr_equal(oracle, handle.get()));
+    if (handle.stats().deferred) {
+      ++deferred;
+    }
+  }
+  engine.wait_idle();
+  const EngineStats stats = engine.stats();
+  // Deferral demotes, never drops: everything completed, and the books
+  // match the per-job flags exactly.
+  EXPECT_EQ(stats.jobs_completed, 4u);
+  EXPECT_EQ(stats.jobs_deferred, deferred);
+  EXPECT_EQ(stats.jobs_shed, 0u);
+}
+
+TEST_F(EngineTest, ExplicitPriorityIsNeverDeferred) {
+  const Problem heavy = make_problem(89, 400, 300, 350, 0.08);
+  EngineOptions options;
+  options.threads = 1;
+  options.max_in_flight = 4;
+  options.expensive_flops = 1;
+  options.overload_policy = OverloadPolicy::kDefer;
+  Engine<SR> engine(options);
+  std::vector<Engine<SR>::JobHandle> handles;
+  for (int i = 0; i < 3; ++i) {
+    handles.push_back(engine.submit(heavy.mask, heavy.a, heavy.b));
+  }
+  // kDefer only touches kAuto submissions; a pinned lane is honored even
+  // for an expensive job past the shed bound.
+  SubmitOptions pinned;
+  pinned.priority = JobPriority::kHigh;
+  auto high = engine.submit(heavy.mask, heavy.a, heavy.b, Config{}, pinned);
+  for (auto& handle : handles) {
+    handle.wait();
+  }
+  high.wait();
+  EXPECT_FALSE(high.stats().deferred);
+}
+
+TEST_F(EngineTest, AdaptiveCostModelPricesTheOutlier) {
+  // No explicit threshold: the first two jobs build the baseline, then a
+  // job pricing more than twice the running mean classifies expensive.
+  const Problem cheap = make_problem(97, 24, 20, 22);
+  const Problem heavy = make_problem(101, 600, 400, 500, 0.08);
+  Engine<SR> engine;
+  auto first = engine.submit(cheap.mask, cheap.a, cheap.b);
+  (void)first.get();
+  auto second = engine.submit(cheap.mask, cheap.a, cheap.b);
+  (void)second.get();
+  EXPECT_FALSE(first.stats().expensive);
+  EXPECT_FALSE(second.stats().expensive);
+  EXPECT_GT(first.stats().flop_estimate, 0);
+  auto outlier = engine.submit(heavy.mask, heavy.a, heavy.b);
+  (void)outlier.get();
+  EXPECT_TRUE(outlier.stats().expensive);
+  EXPECT_GT(outlier.stats().flop_estimate, first.stats().flop_estimate);
+  EXPECT_EQ(engine.stats().jobs_expensive, 1u);
+}
+
+TEST_F(EngineTest, LatencyHistogramsCoverEveryFinishedJob) {
+  const Problem p = make_problem(103);
+  Engine<SR> engine;
+  constexpr int kJobs = 6;
+  for (int i = 0; i < kJobs; ++i) {
+    (void)engine.submit(p.mask, p.a, p.b).get();
+  }
+  engine.wait_idle();
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.latency.count, static_cast<std::uint64_t>(kJobs));
+  EXPECT_EQ(stats.queue_latency.count, static_cast<std::uint64_t>(kJobs));
+  EXPECT_EQ(stats.run_latency.count, static_cast<std::uint64_t>(kJobs));
+  EXPECT_GT(stats.latency.p50_ms, 0.0);
+  EXPECT_GE(stats.latency.p99_ms, stats.latency.p50_ms);
+  EXPECT_GE(stats.latency.max_ms, 0.0);
+  // The percentile block round-trips into the metrics record object.
+  const EngineLatencyRecord record = engine_latency_record(stats);
+  EXPECT_TRUE(record.present);
+  EXPECT_EQ(record.jobs, static_cast<std::uint64_t>(kJobs));
+  EXPECT_DOUBLE_EQ(record.p99_ms, stats.latency.p99_ms);
+}
+
+// The serving-path hammer: submitter threads mixing every lane request,
+// deadlines that never fire, and both cheap and heavy structures against
+// one priority-scheduling engine. Results must stay bit-identical no
+// matter the lane interleaving. Runs under TSan in CI.
+TEST_F(EngineTest, MixedPrioritySubmittersStayBitIdentical) {
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 6;
+  const Problem small = make_problem(107, 40, 36, 38);
+  const Problem big = make_problem(109, 96, 80, 88, 0.1);
+  const Csr<double, I> small_oracle =
+      test::reference_masked_spgemm<SR>(small.mask, small.a, small.b);
+  const Csr<double, I> big_oracle =
+      test::reference_masked_spgemm<SR>(big.mask, big.a, big.b);
+  const JobPriority lanes[] = {JobPriority::kAuto, JobPriority::kHigh,
+                               JobPriority::kNormal,
+                               JobPriority::kBackground};
+
+  Engine<SR> engine;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> submitters;
+  submitters.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&, t] {
+      for (int round = 0; round < kRounds; ++round) {
+        const bool use_big = (t + round) % 3 == 0;
+        const Problem& p = use_big ? big : small;
+        SubmitOptions sopts;
+        sopts.priority = lanes[(t + round) % 4];
+        sopts.deadline_ms = (round % 2 == 0) ? 0.0 : 60'000.0;
+        try {
+          auto handle =
+              engine.submit(p.mask, p.a, p.b, Config{}, sopts);
+          if (!test::csr_equal(use_big ? big_oracle : small_oracle,
+                               handle.get())) {
+            failures.fetch_add(1, std::memory_order_relaxed);
+          }
+        } catch (...) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& t : submitters) {
+    t.join();
+  }
+  engine.wait_idle();
+  EXPECT_EQ(failures.load(), 0);
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.jobs_completed,
+            static_cast<std::uint64_t>(kThreads * kRounds));
+  EXPECT_EQ(stats.deadline_misses, 0u);
+  EXPECT_EQ(stats.latency.count, stats.jobs_completed);
 }
 
 #if TILQ_METRICS_ENABLED

@@ -1,0 +1,195 @@
+// LatencyHistogram tests: the bucket math (index/upper-edge round trip),
+// and the quantile exactness bound — a reported quantile is never below
+// the true nearest-rank sample and at most +25% above it (the kSubBuckets
+// guarantee docs/SERVING.md relies on), pinned against a sorted-vector
+// oracle over adversarial and randomized sample sets.
+#include "support/latency.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace tilq {
+namespace {
+
+/// Exact nearest-rank quantile of a sample set, the definition
+/// quantile_ms() approximates: the smallest sample whose rank reaches
+/// ceil(q * n).
+double oracle_quantile_ms(std::vector<std::uint64_t> ns, double q) {
+  std::sort(ns.begin(), ns.end());
+  const double scaled = q * static_cast<double>(ns.size());
+  auto rank = static_cast<std::size_t>(std::ceil(scaled));
+  rank = std::clamp<std::size_t>(rank, 1, ns.size());
+  return static_cast<double>(ns[rank - 1]) / 1e6;
+}
+
+/// The histogram's contract versus the oracle: never below, at most +25%
+/// (plus one absolute nanosecond for the integer bucket edges).
+void expect_within_bound(const LatencyHistogram& hist,
+                         const std::vector<std::uint64_t>& samples, double q) {
+  const double oracle = oracle_quantile_ms(samples, q);
+  const double reported = hist.quantile_ms(q);
+  EXPECT_GE(reported, oracle) << "q=" << q;
+  EXPECT_LE(reported, oracle * 1.25 + 1e-6) << "q=" << q;
+}
+
+TEST(LatencyHistogramTest, EmptyHistogramReportsZeros) {
+  const LatencyHistogram hist;
+  EXPECT_EQ(hist.count(), 0u);
+  EXPECT_EQ(hist.quantile_ms(0.5), 0.0);
+  EXPECT_EQ(hist.max_ms(), 0.0);
+  EXPECT_EQ(hist.mean_ms(), 0.0);
+  const LatencySummary summary = hist.summary();
+  EXPECT_EQ(summary.count, 0u);
+  EXPECT_EQ(summary.p99_ms, 0.0);
+}
+
+TEST(LatencyHistogramTest, BucketIndexRoundTripsThroughUpperEdge) {
+  // Every bucket's upper edge must map back into that bucket, and the
+  // value one past it into a later bucket — the grid has no gaps or
+  // overlaps.
+  for (int index = 0; index < LatencyHistogram::kBucketCount - 1; ++index) {
+    const std::uint64_t upper = LatencyHistogram::bucket_upper_ns(index);
+    EXPECT_EQ(LatencyHistogram::bucket_index(upper), index) << upper;
+    EXPECT_GT(LatencyHistogram::bucket_index(upper + 1), index) << upper;
+  }
+}
+
+TEST(LatencyHistogramTest, BucketEdgesAreStrictlyIncreasing) {
+  for (int index = 1; index < LatencyHistogram::kBucketCount; ++index) {
+    EXPECT_GT(LatencyHistogram::bucket_upper_ns(index),
+              LatencyHistogram::bucket_upper_ns(index - 1));
+  }
+}
+
+TEST(LatencyHistogramTest, ExtremesSaturateSafely) {
+  EXPECT_EQ(LatencyHistogram::bucket_index(0), 0);
+  EXPECT_EQ(LatencyHistogram::bucket_index(1), 1);
+  EXPECT_EQ(LatencyHistogram::bucket_index(~std::uint64_t{0}),
+            LatencyHistogram::kBucketCount - 1);
+  LatencyHistogram hist;
+  hist.record_ms(-3.0);  // negative clamps into the zero bucket
+  EXPECT_EQ(hist.count(), 1u);
+  EXPECT_EQ(hist.quantile_ms(0.5), 0.0);
+}
+
+TEST(LatencyHistogramTest, CountMeanAndMaxAreExact) {
+  // Count, mean, and max come from exact counters, not buckets.
+  LatencyHistogram hist;
+  const std::vector<std::uint64_t> samples = {1'000'000, 3'000'000, 8'000'000};
+  for (const std::uint64_t ns : samples) {
+    hist.record_ns(ns);
+  }
+  EXPECT_EQ(hist.count(), samples.size());
+  EXPECT_DOUBLE_EQ(hist.max_ms(), 8.0);
+  EXPECT_DOUBLE_EQ(hist.mean_ms(), 4.0);
+}
+
+TEST(LatencyHistogramTest, QuantilesMatchOracleOnHeavyTail) {
+  // The serving shape: many cheap samples, a few expensive ones. The p99
+  // must land on the tail, within the +25% bound.
+  LatencyHistogram hist;
+  std::vector<std::uint64_t> samples;
+  for (int i = 0; i < 980; ++i) {
+    samples.push_back(1'000'000 + static_cast<std::uint64_t>(i) * 1000);
+  }
+  for (int i = 0; i < 20; ++i) {
+    samples.push_back(50'000'000 + static_cast<std::uint64_t>(i) * 100'000);
+  }
+  for (const std::uint64_t ns : samples) {
+    hist.record_ns(ns);
+  }
+  for (const double q : {0.5, 0.9, 0.95, 0.99, 1.0}) {
+    expect_within_bound(hist, samples, q);
+  }
+  // p99 of 1000 samples ranks into the 20-sample tail.
+  EXPECT_GE(hist.quantile_ms(0.99), 50.0);
+}
+
+TEST(LatencyHistogramTest, QuantilesMatchOracleOnRandomSamples) {
+  Xoshiro256 rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    LatencyHistogram hist;
+    std::vector<std::uint64_t> samples;
+    const int n = 1 + static_cast<int>(rng.uniform_below(2000));
+    for (int i = 0; i < n; ++i) {
+      // Log-uniform over ~9 decades, the histogram's intended regime.
+      const double exponent = 18.0 * rng.uniform();
+      samples.push_back(
+          static_cast<std::uint64_t>(std::exp2(exponent)));
+      hist.record_ns(samples.back());
+    }
+    for (const double q : {0.01, 0.25, 0.5, 0.75, 0.95, 0.99, 1.0}) {
+      expect_within_bound(hist, samples, q);
+    }
+  }
+}
+
+TEST(LatencyHistogramTest, QuantileIsMonotoneInQ) {
+  Xoshiro256 rng(11);
+  LatencyHistogram hist;
+  for (int i = 0; i < 500; ++i) {
+    hist.record_ns(rng.uniform_below(1'000'000'000));
+  }
+  double previous = 0.0;
+  for (double q = 0.0; q <= 1.0; q += 0.05) {
+    const double value = hist.quantile_ms(q);
+    EXPECT_GE(value, previous);
+    previous = value;
+  }
+}
+
+TEST(LatencyHistogramTest, MergeMatchesRecordingIntoOne) {
+  // Merging two histograms must equal recording every sample into one:
+  // same grid, so bucket counts add exactly.
+  LatencyHistogram left;
+  LatencyHistogram right;
+  LatencyHistogram combined;
+  Xoshiro256 rng(3);
+  std::vector<std::uint64_t> samples;
+  for (int i = 0; i < 400; ++i) {
+    samples.push_back(rng.uniform_below(100'000'000));
+    (i % 2 == 0 ? left : right).record_ns(samples.back());
+    combined.record_ns(samples.back());
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), combined.count());
+  EXPECT_DOUBLE_EQ(left.max_ms(), combined.max_ms());
+  EXPECT_DOUBLE_EQ(left.mean_ms(), combined.mean_ms());
+  for (const double q : {0.5, 0.95, 0.99}) {
+    EXPECT_DOUBLE_EQ(left.quantile_ms(q), combined.quantile_ms(q));
+  }
+}
+
+TEST(LatencyHistogramTest, ConcurrentRecordingLosesNoSamples) {
+  LatencyHistogram hist;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&hist, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        hist.record_ns(static_cast<std::uint64_t>(t) * 1'000'000 +
+                       static_cast<std::uint64_t>(i));
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(hist.count(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  const LatencySummary summary = hist.summary();
+  EXPECT_EQ(summary.count, hist.count());
+  EXPECT_GT(summary.p99_ms, 0.0);
+}
+
+}  // namespace
+}  // namespace tilq

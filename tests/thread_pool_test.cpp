@@ -1,7 +1,8 @@
 // ThreadPool tests: every submitted task runs exactly once, worker_index
 // is stable inside the pool and -1 outside, drain() is a real barrier,
-// destruction drains queued work, throwing tasks are contained, and tasks
-// may themselves submit (the engine's finalizer pattern).
+// destruction drains queued work, throwing tasks are contained, tasks
+// may themselves submit (the engine's finalizer pattern), and the
+// priority lanes pop high-before-normal-before-background.
 #include "support/thread_pool.hpp"
 
 #include <gtest/gtest.h>
@@ -11,6 +12,7 @@
 #include <memory>
 #include <mutex>
 #include <set>
+#include <thread>
 #include <vector>
 
 namespace tilq {
@@ -114,6 +116,58 @@ TEST(ThreadPoolTest, DefaultWidthIsAtLeastOne) {
   pool.submit([&ran] { ran.store(true, std::memory_order_relaxed); });
   pool.drain();
   EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPoolTest, HighLaneRunsBeforeBackgroundLane) {
+  // One worker, so execution order is the pop order. A gate task holds
+  // the worker while both lanes fill; on release the high-lane task must
+  // run before the background one that was submitted first.
+  ThreadPool pool(1);
+  std::atomic<bool> release{false};
+  std::mutex mutex;
+  std::vector<int> order;
+  pool.submit([&release] {
+    while (!release.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+  });
+  pool.submit(
+      [&] {
+        const std::lock_guard<std::mutex> lock(mutex);
+        order.push_back(2);
+      },
+      TaskPriority::kBackground);
+  pool.submit(
+      [&] {
+        const std::lock_guard<std::mutex> lock(mutex);
+        order.push_back(0);
+      },
+      TaskPriority::kHigh);
+  pool.submit(
+      [&] {
+        const std::lock_guard<std::mutex> lock(mutex);
+        order.push_back(1);
+      },
+      TaskPriority::kNormal);
+  release.store(true, std::memory_order_release);
+  pool.drain();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(ThreadPoolTest, AllLanesDrainAndCountConsistently) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 300; ++i) {
+    const auto lane = static_cast<TaskPriority>(i % kTaskPriorityLanes);
+    pool.submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); },
+                lane);
+  }
+  pool.drain();
+  EXPECT_EQ(ran.load(), 300);
+  const ThreadPool::Stats stats = pool.stats();
+  EXPECT_EQ(stats.executed, 300u);
+  EXPECT_LE(stats.stolen, stats.executed);
 }
 
 TEST(ThreadPoolTest, StealAccountingStaysConsistent) {

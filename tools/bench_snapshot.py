@@ -113,6 +113,14 @@ def main() -> int:
             sys.exit(f"engine snapshot failed (exit {result.returncode}): "
                      f"{' '.join(command)}")
         cells += 1
+        # The engine-mode records must carry the serving percentile block
+        # (docs/SERVING.md): a snapshot whose engine_latency object went
+        # missing would silently stop guarding the latency path.
+        with open(out_path, encoding="utf-8") as handle:
+            if '"engine_latency_jobs":' not in handle.read():
+                sys.exit(f"engine snapshot wrote no engine_latency block to "
+                         f"{out_path} — serving percentiles missing from the "
+                         "jobs=N records")
 
     if not os.path.exists(out_path):
         sys.exit(f"no records written to {out_path} — was tilq_cli built "

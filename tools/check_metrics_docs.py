@@ -22,7 +22,13 @@ Checks, in both directions:
     -scope types/functions and public members, *_detail namespaces and
     private sections excluded) is named (backticked) somewhere in
     docs/CONCURRENCY.md, so the thread-safety contract cannot silently
-    miss an API addition.
+    miss an API addition;
+  * every key the `engine_latency` record object emits (scraped from
+    append_engine_latency_json in src/support/metrics.cpp) appears in
+    docs/SERVING.md's table under '## Latency record fields (metrics
+    schema v3)' and vice versa, and every engine_* counter is named
+    (backticked) somewhere in docs/SERVING.md — the serving guide is
+    machine-checked, not best-effort prose.
 
 Exits non-zero with a readable diff when any pair drifts apart.
 Registered as the `doc_metrics_lint` CTest entry (skipped when python3
@@ -61,6 +67,22 @@ def imbalance_fields(path: str) -> set[str]:
     names |= set(re.findall(r'\\"(\w+)\\":', body))  # hand-emitted keys
     if not names:
         sys.exit(f"{path}: no emitted fields matched in append_imbalance_json")
+    return names
+
+
+def engine_latency_fields(path: str) -> set[str]:
+    """Keys the `engine_latency` record emits (append_engine_latency_json)."""
+    text = open(path, encoding="utf-8").read()
+    match = re.search(
+        r"void append_engine_latency_json\(.*?\n\}", text, re.DOTALL)
+    if not match:
+        sys.exit(f"{path}: could not find append_engine_latency_json")
+    body = match.group(0)
+    names = set(re.findall(r'field\("(\w+)"', body))
+    names |= set(re.findall(r'\\"(\w+)\\":', body))  # hand-emitted keys
+    if not names:
+        sys.exit(
+            f"{path}: no emitted fields matched in append_engine_latency_json")
     return names
 
 
@@ -252,6 +274,7 @@ def main() -> int:
     parser.add_argument("--thread-pool-header",
                         default="src/support/thread_pool.hpp")
     parser.add_argument("--concurrency-doc", default="docs/CONCURRENCY.md")
+    parser.add_argument("--serving-doc", default="docs/SERVING.md")
     args = parser.parse_args()
 
     bad = False
@@ -295,14 +318,27 @@ def main() -> int:
             print(f"  {name}")
         bad = True
 
+    latency = engine_latency_fields(args.impl)
+    bad |= diff("engine_latency fields", latency,
+                doc_table(args.serving_doc,
+                          "## Latency record fields (metrics schema v3)"),
+                args.serving_doc, args.impl)
+
+    serving_gaps = sorted(engine_counters - doc_mentions(args.serving_doc))
+    if serving_gaps:
+        print(f"engine counters missing from {args.serving_doc}:")
+        for name in serving_gaps:
+            print(f"  {name}")
+        bad = True
+
     if bad:
         return 1
     print(f"ok: {len(counters)} counters, {len(hw)} hw fields, "
           f"{len(imbalance)} imbalance fields, schema v{version}, "
           f"{len(fault_sites(args.fault_impl))} fault sites and "
           f"{len(defect_kinds(args.validate_header))} defect kinds, "
-          f"{len(api)} engine/pool symbols documented; "
-          "code and docs consistent")
+          f"{len(api)} engine/pool symbols and {len(latency)} "
+          "engine_latency fields documented; code and docs consistent")
     return 0
 
 
