@@ -48,6 +48,13 @@
 //                            (default 64)
 //        --min-p99-improvement X   latency-mode gate: FIFO p99 must be at
 //                            least X times the priority p99, bit-identical
+//
+// Telemetry-overhead mode (--telemetry-overhead): run one job level (the
+// highest of --jobs) over the same stream twice — telemetry sampler off,
+// then on at a 100 ms interval with no exporter port — best-of-repeats
+// each, and gate the relative queries/sec regression at --max-overhead
+// (default 0.02, docs/TELEMETRY.md's <2% claim; CI uses a looser bound
+// on shared runners).
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -87,6 +94,8 @@ int main(int argc, char** argv) {
   int repeats = 1;
   double min_speedup = 0.0;
   bool latency_mode = false;
+  bool telemetry_overhead_mode = false;
+  double max_overhead = 0.02;
   int tail_every = 64;
   double min_p99_improvement = 0.0;
   std::vector<std::string> names = {"GAP-road", "circuit5M"};
@@ -110,6 +119,10 @@ int main(int argc, char** argv) {
       queries_set = true;
     } else if (std::strcmp(argv[i], "--latency") == 0) {
       latency_mode = true;
+    } else if (std::strcmp(argv[i], "--telemetry-overhead") == 0) {
+      telemetry_overhead_mode = true;
+    } else if (std::strcmp(argv[i], "--max-overhead") == 0 && i + 1 < argc) {
+      max_overhead = std::atof(argv[++i]);
     } else if (std::strcmp(argv[i], "--tail-every") == 0 && i + 1 < argc) {
       tail_every = std::max(1, std::atoi(argv[++i]));
     } else if (std::strcmp(argv[i], "--min-p99-improvement") == 0 &&
@@ -130,7 +143,8 @@ int main(int argc, char** argv) {
                    "usage: %s [--jobs a,b,...] [--queries n] "
                    "[--stream a,b,...] [--repeats r] [--min-speedup x] "
                    "[--latency] [--tail-every k] "
-                   "[--min-p99-improvement x]\n",
+                   "[--min-p99-improvement x] "
+                   "[--telemetry-overhead] [--max-overhead x]\n",
                    argv[0]);
       return 2;
     }
@@ -321,6 +335,78 @@ int main(int argc, char** argv) {
   for (std::size_t i = 1; i < names.size(); ++i) {
     stream_label += " + " + names[i];
   }
+
+  if (telemetry_overhead_mode) {
+    // One job level (the highest requested), same closed-loop window, run
+    // with the sampler off and then on. The sampler thread only snapshots
+    // counters and scans the watchdog map; the gate makes "live telemetry
+    // is ~free" an executable claim rather than a doc sentence.
+    const int jobs = job_levels.back();
+    std::printf(
+        "telemetry-overhead mode: jobs=%d, %d queries, sampler at 100 ms "
+        "(stream: %s)\n\n",
+        jobs, queries, stream_label.c_str());
+    const auto run_pass = [&](bool telemetry_on) {
+      tilq::EngineOptions options;
+      options.threads = tilq::bench::bench_threads();
+      options.max_in_flight = static_cast<std::size_t>(jobs);
+      options.telemetry.enabled = telemetry_on;
+      options.telemetry.sample_interval_ms = 100.0;
+      options.telemetry.port = -1;  // measure the sampler, not the listener
+      tilq::Engine<SR> engine(options);
+      for (const std::string& name : names) {
+        const auto& a = cache.get(name);
+        (void)engine.submit(a, a, a, config).get();
+      }
+      double best_elapsed = 0.0;
+      bool identical = true;
+      for (int rep = 0; rep < repeats; ++rep) {
+        std::vector<Csr<double, std::int64_t>> outputs;
+        outputs.reserve(stream.size());
+        std::vector<tilq::Engine<SR>::JobHandle> window;
+        tilq::WallTimer wall;
+        for (std::size_t i = 0; i < stream.size(); ++i) {
+          if (window.size() >= static_cast<std::size_t>(jobs)) {
+            outputs.push_back(window.front().get());
+            window.erase(window.begin());
+          }
+          const tilq::GraphMatrix& a = *stream[i];
+          window.push_back(engine.submit(a, a, a, config));
+        }
+        while (!window.empty()) {
+          outputs.push_back(window.front().get());
+          window.erase(window.begin());
+        }
+        const double elapsed = wall.seconds();
+        for (std::size_t i = 0; i < outputs.size(); ++i) {
+          identical = identical &&
+                      bit_identical(oracles[i % names.size()], outputs[i]);
+        }
+        if (rep == 0 || elapsed < best_elapsed) {
+          best_elapsed = elapsed;
+        }
+      }
+      const double qps = static_cast<double>(queries) / best_elapsed;
+      std::printf("%-14s %12.2f queries/s %s\n",
+                  telemetry_on ? "telemetry-on" : "telemetry-off", qps,
+                  identical ? "" : " NOT IDENTICAL");
+      return identical ? qps : -1.0;
+    };
+    const double qps_off = run_pass(/*telemetry_on=*/false);
+    const double qps_on = run_pass(/*telemetry_on=*/true);
+    const bool identical = qps_off > 0.0 && qps_on > 0.0;
+    const double overhead =
+        identical && qps_off > 0.0 ? (qps_off - qps_on) / qps_off : 1.0;
+    std::printf("\ntelemetry overhead: %.2f%% of queries/sec\n",
+                100.0 * overhead);
+    std::printf("CSV,engine-telemetry-overhead,%d,%d,%.4f,%.4f,%.4f,%d\n",
+                jobs, queries, qps_off, qps_on, overhead, identical ? 1 : 0);
+    const bool ok = identical && overhead <= max_overhead;
+    std::printf("gate: overhead <= %.2f%%, bit-identical => %s\n",
+                100.0 * max_overhead, ok ? "PASS" : "FAIL");
+    return ok ? 0 : 1;
+  }
+
   std::printf("config: %s, %d queries per level (stream: %s)\n\n",
               config.describe().c_str(), queries, stream_label.c_str());
   std::printf("%-8s %12s %10s %10s %9s %6s\n", "mode", "queries/s", "p50 ms",

@@ -11,11 +11,14 @@
 // Run with --help for the full flag list. With no arguments it runs a
 // small self-demo.
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "tilq/tilq.hpp"
@@ -32,6 +35,9 @@ struct CliOptions {
   bool tune = false;
   bool profile = false;
   bool engine = false;
+  bool watch = false;
+  int telemetry_port = -1;
+  double serve_ms = 0.0;
   int jobs = 8;
   int repeats = 5;
   tilq::JobPriority priority = tilq::JobPriority::kAuto;
@@ -67,7 +73,12 @@ void print_usage() {
       "                   (default: auto — the cost model picks, docs/SERVING.md)\n"
       "  --deadline-ms N  engine mode: per-job deadline; late jobs are\n"
       "                   cancelled with DeadlineExpiredError (default 0 = none)\n"
-      "  --repeats N      timing repetitions (default 5)\n");
+      "  --repeats N      timing repetitions (default 5)\n"
+      "telemetry (docs/TELEMETRY.md; implies --engine):\n"
+      "  --watch             print one live sampler line per telemetry tick\n"
+      "  --telemetry-port P  serve Prometheus text on 127.0.0.1:P (0 = any)\n"
+      "  --serve-ms N        keep the engine and exporter alive N ms after\n"
+      "                      the query stream finishes (for scraping)\n");
 }
 
 std::optional<CliOptions> parse(int argc, char** argv) {
@@ -148,6 +159,15 @@ std::optional<CliOptions> parse(int argc, char** argv) {
     } else if (flag == "--profile") {
       options.profile = true;
     } else if (flag == "--engine") {
+      options.engine = true;
+    } else if (flag == "--watch") {
+      options.watch = true;
+      options.engine = true;
+    } else if (flag == "--telemetry-port") {
+      options.telemetry_port = std::atoi(next());
+      options.engine = true;
+    } else if (flag == "--serve-ms") {
+      options.serve_ms = std::atof(next());
       options.engine = true;
     } else if (flag == "--jobs") {
       options.jobs = std::atoi(next());
@@ -240,6 +260,12 @@ int run_engine(const tilq::GraphMatrix& a, const CliOptions& options,
 
   tilq::EngineOptions engine_options;
   engine_options.max_in_flight = static_cast<std::size_t>(jobs);
+  if (options.watch || options.telemetry_port >= 0 || options.serve_ms > 0.0) {
+    engine_options.telemetry.enabled = true;
+  }
+  if (options.telemetry_port >= 0) {
+    engine_options.telemetry.port = options.telemetry_port;
+  }
   tilq::Engine<SR> engine(engine_options);
   tilq::SubmitOptions submit_options;
   submit_options.priority = options.priority;
@@ -248,6 +274,45 @@ int run_engine(const tilq::GraphMatrix& a, const CliOptions& options,
               engine.threads(), jobs, total);
   if (options.deadline_ms > 0.0) {
     std::printf("engine: per-job deadline %.2f ms\n", options.deadline_ms);
+  }
+  if (tilq::TelemetryHub* hub = engine.telemetry()) {
+    if (hub->port() >= 0) {
+      std::printf("telemetry: serving /metrics on http://127.0.0.1:%d\n",
+                  hub->port());
+    }
+  }
+
+  // --watch: a background printer that tails the sampler ring, one line per
+  // new sample. The hub keeps ticking regardless; this only reads `latest()`.
+  std::atomic<bool> watch_stop{false};
+  std::thread watcher;
+  if (options.watch && engine.telemetry() != nullptr) {
+    watcher = std::thread([&] {
+      tilq::TelemetryHub* hub = engine.telemetry();
+      std::uint64_t seen = 0;
+      while (!watch_stop.load(std::memory_order_relaxed)) {
+        const std::uint64_t count = hub->sample_count();
+        if (count > seen) {
+          seen = count;
+          if (const auto sample = hub->latest()) {
+            const double denom = static_cast<double>(sample->plan_builds +
+                                                     sample->plan_hits);
+            std::printf(
+                "watch: t=%8.0fms in-flight=%2llu done=%llu p50=%.2fms "
+                "p99=%.2fms hit-rate=%.2f stuck=%llu\n",
+                sample->uptime_ms,
+                static_cast<unsigned long long>(sample->in_flight),
+                static_cast<unsigned long long>(sample->jobs_completed),
+                sample->window.p50_ms, sample->window.p99_ms,
+                denom > 0.0 ? static_cast<double>(sample->plan_hits) / denom
+                            : 0.0,
+                static_cast<unsigned long long>(sample->jobs_stuck));
+          }
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(
+            std::max(1, static_cast<int>(hub->options().sample_interval_ms))));
+      }
+    });
   }
 
   const tilq::MetricsSnapshot metrics_before = tilq::metrics_snapshot();
@@ -297,6 +362,20 @@ int run_engine(const tilq::GraphMatrix& a, const CliOptions& options,
   if (deadline_misses > 0) {
     std::printf("deadline misses: %d of %d jobs\n", deadline_misses, total);
   }
+  // --serve-ms: keep the engine (and its /metrics exporter) alive so an
+  // external scraper can observe the post-stream counters (CI does this).
+  if (options.serve_ms > 0.0) {
+    std::printf("telemetry: holding engine alive for %.0f ms\n",
+                options.serve_ms);
+    std::fflush(stdout);
+    std::this_thread::sleep_for(std::chrono::milliseconds(
+        static_cast<long long>(options.serve_ms)));
+  }
+  if (watcher.joinable()) {
+    watch_stop.store(true, std::memory_order_relaxed);
+    watcher.join();
+  }
+
   const tilq::EngineStats engine_stats = engine.stats();
   std::printf("engine: %s\n", tilq::describe(engine_stats).c_str());
   if (options.profile) {
@@ -313,6 +392,27 @@ int run_engine(const tilq::GraphMatrix& a, const CliOptions& options,
     row("total", engine_stats.latency);
     row("queue", engine_stats.queue_latency);
     row("run", engine_stats.run_latency);
+    // Serving-health footer: cache effectiveness, admission outcomes and
+    // how long this engine has been up (docs/TELEMETRY.md).
+    const double plan_denom = static_cast<double>(engine_stats.plan_builds +
+                                                  engine_stats.plan_hits);
+    std::printf("  plan-cache hit rate: %.2f (%llu hits / %llu builds)\n",
+                plan_denom > 0.0
+                    ? static_cast<double>(engine_stats.plan_hits) / plan_denom
+                    : 0.0,
+                static_cast<unsigned long long>(engine_stats.plan_hits),
+                static_cast<unsigned long long>(engine_stats.plan_builds));
+    std::printf("  shed %llu, deferred %llu, deadline misses %llu\n",
+                static_cast<unsigned long long>(engine_stats.jobs_shed),
+                static_cast<unsigned long long>(engine_stats.jobs_deferred),
+                static_cast<unsigned long long>(engine_stats.deadline_misses));
+    std::printf("  uptime: %.0f ms", engine_stats.uptime_ms);
+    if (engine_stats.telemetry_samples > 0) {
+      std::printf("   (%llu telemetry samples)",
+                  static_cast<unsigned long long>(
+                      engine_stats.telemetry_samples));
+    }
+    std::printf("\n");
   }
 
   // Bit-identity spot check: engine output vs the single-call path.

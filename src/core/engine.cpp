@@ -42,6 +42,9 @@ std::string describe(const EngineStats& stats) {
   if (stats.deadline_misses > 0) {
     out += " deadline-misses=" + std::to_string(stats.deadline_misses);
   }
+  if (stats.jobs_stuck > 0) {
+    out += " stuck=" + std::to_string(stats.jobs_stuck);
+  }
   out += " plan-builds=" + std::to_string(stats.plan_builds);
   out += " plan-hits=" + std::to_string(stats.plan_hits);
   out += " tasks=" + std::to_string(stats.tasks_executed);

@@ -49,8 +49,10 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <cstdio>
 #include <deque>
 #include <functional>
 #include <map>
@@ -66,6 +68,7 @@
 #include "core/plan.hpp"
 #include "support/latency.hpp"
 #include "support/metrics.hpp"
+#include "support/telemetry.hpp"
 #include "support/thread_pool.hpp"
 
 namespace tilq {
@@ -139,6 +142,11 @@ struct EngineOptions {
   /// scheduling, the baseline the latency bench compares against.
   /// Explicit SubmitOptions::priority requests are always honored.
   bool priority_scheduling = true;
+  /// Live telemetry (docs/TELEMETRY.md): sampler thread, flight recorder,
+  /// Prometheus exporter, stuck-job watchdog. Off by default; the
+  /// TILQ_TELEMETRY / TILQ_TELEMETRY_PORT / TILQ_TELEMETRY_DUMP
+  /// environment variables are applied on top at engine construction.
+  TelemetryOptions telemetry;
 };
 
 /// Per-job accounting, valid once the job is done (JobHandle::stats()).
@@ -175,6 +183,9 @@ struct EngineStats {
   std::uint64_t tasks_stolen = 0;    ///< tasks taken from another worker's queue
   std::uint64_t in_flight = 0;       ///< jobs admitted but not yet finished
   std::uint64_t peak_in_flight = 0;  ///< high-water mark of in_flight
+  std::uint64_t jobs_stuck = 0;      ///< in-flight jobs flagged by the watchdog
+  std::uint64_t telemetry_samples = 0;  ///< sampler ticks (0 with telemetry off)
+  double uptime_ms = 0.0;            ///< milliseconds since engine construction
   WorkspacePoolStats workspace;      ///< summed over the engine's typed pools
   LatencySummary latency;            ///< submit-to-done percentiles, all finished jobs
   LatencySummary queue_latency;      ///< submit-to-first-task percentiles
@@ -278,6 +289,13 @@ class Engine {
     if (options_.max_in_flight == 0) {
       options_.max_in_flight = 1;
     }
+    options_.telemetry = telemetry_options_from_env(options_.telemetry);
+    if (options_.telemetry.enabled) {
+      // Created in the constructor body, after every member the collector
+      // walks is initialized; declared last, so it is destroyed first.
+      telemetry_ = std::make_unique<TelemetryHub>(
+          options_.telemetry, [this] { return collect_telemetry(); });
+    }
   }
 
   ~Engine() { wait_idle(); }
@@ -337,6 +355,13 @@ class Engine {
   /// Pool workers.
   [[nodiscard]] int threads() const noexcept { return pool_.size(); }
 
+  /// The live telemetry hub — sample ring, flight recorder, exporter —
+  /// or nullptr when EngineOptions::telemetry left telemetry off.
+  [[nodiscard]] TelemetryHub* telemetry() noexcept { return telemetry_.get(); }
+  [[nodiscard]] const TelemetryHub* telemetry() const noexcept {
+    return telemetry_.get();
+  }
+
   [[nodiscard]] EngineStats stats() const {
     EngineStats s;
     {
@@ -352,6 +377,9 @@ class Engine {
       s.peak_in_flight = peak_in_flight_;
     }
     s.deadline_misses = deadline_misses_.load(std::memory_order_relaxed);
+    s.jobs_stuck = jobs_stuck_.load(std::memory_order_relaxed);
+    s.telemetry_samples = telemetry_ ? telemetry_->sample_count() : 0;
+    s.uptime_ms = uptime_.milliseconds();
     s.latency = total_hist_.summary();
     s.queue_latency = queue_hist_.summary();
     s.run_latency = run_hist_.summary();
@@ -436,6 +464,15 @@ class Engine {
     const auto flops =
         static_cast<std::uint64_t>(std::max<std::int64_t>(
             0, entry->plan.flop_total));
+    // The id exists before admission so every flight-record event of this
+    // submission — even a shed one — is keyed to the same job.
+    const std::uint64_t job_id = engine_detail::next_job_id();
+    if (telemetry_) {
+      telemetry_->flight().record(job_id, FlightEventKind::kSubmitted, -1,
+                                  entry->plan.flop_total);
+      telemetry_->flight().record(job_id, FlightEventKind::kPlanned, -1,
+                                  entry->plan.flop_total);
+    }
 
     std::size_t depth = 0;
     bool expensive = false;
@@ -465,6 +502,10 @@ class Engine {
           if (options_.overload_policy == OverloadPolicy::kShed) {
             ++jobs_shed_;
             count_shed_metric();
+            if (telemetry_) {  // wait-free, fine under the lock
+              telemetry_->flight().record(job_id, FlightEventKind::kShed, -1,
+                                          entry->plan.flop_total);
+            }
             throw EngineSaturatedError(
                 "Engine::submit: expensive job (" + std::to_string(flops) +
                 " estimated FLOPs) shed at " + std::to_string(in_flight_) +
@@ -499,12 +540,24 @@ class Engine {
       }
     }
 #endif
+    if (telemetry_) {
+      if (deferred) {
+        telemetry_->flight().record(job_id, FlightEventKind::kDeferred, -1,
+                                    entry->plan.flop_total);
+      }
+      telemetry_->flight().record(job_id, FlightEventKind::kAdmitted, -1,
+                                  entry->plan.flop_total);
+      telemetry_register(job_id, entry->plan.flop_total);
+    }
     try {
-      return launch(mask, a, b, std::move(entry), cache_hit, depth,
+      return launch(job_id, mask, a, b, std::move(entry), cache_hit, depth,
                     lane_for(sopts.priority, expensive, deferred), sopts,
                     expensive, deferred, plan_ms);
     } catch (...) {
       // Admission is undone: the job never started.
+      if (telemetry_) {
+        telemetry_unregister(job_id);
+      }
       const std::lock_guard<std::mutex> lock(state_mutex_);
       --in_flight_;
       --jobs_submitted_;
@@ -590,13 +643,14 @@ class Engine {
     return entry;
   }
 
-  JobHandle launch(const Csr<T, I>& mask, const Csr<T, I>& a,
-                   const Csr<T, I>& b, std::shared_ptr<const PlanEntry> entry,
-                   bool cache_hit, std::size_t depth, TaskPriority lane,
+  JobHandle launch(std::uint64_t job_id, const Csr<T, I>& mask,
+                   const Csr<T, I>& a, const Csr<T, I>& b,
+                   std::shared_ptr<const PlanEntry> entry, bool cache_hit,
+                   std::size_t depth, TaskPriority lane,
                    const SubmitOptions& sopts, bool expensive, bool deferred,
                    double plan_ms) {
     auto job = std::make_shared<Job>();
-    job->id = engine_detail::next_job_id();
+    job->id = job_id;
     job->mask = &mask;
     job->a = &a;
     job->b = &b;
@@ -631,6 +685,10 @@ class Engine {
       job->trace_start_us = trace_detail::now_us();
     }
 #endif
+    if (telemetry_) {
+      telemetry_->flight().record(job->id, FlightEventKind::kLaneAssigned,
+                                  static_cast<int>(lane), job->flop_estimate);
+    }
     job->since_submit.reset();
     if (job->task_count == 0) {
       pool_.submit([this, job] { run_task(job, -1); }, lane);
@@ -647,6 +705,9 @@ class Engine {
   void run_task(const std::shared_ptr<Job>& job, std::int64_t task) {
     if (!job->first_task_seen.exchange(true, std::memory_order_acq_rel)) {
       job->queue_ms = job->since_submit.milliseconds();
+      if (telemetry_) {
+        telemetry_->flight().record(job->id, FlightEventKind::kFirstTile);
+      }
     }
     // Deadline gate: a tile that would start past the job's deadline
     // cancels the job instead (via the guard, so the remaining tiles
@@ -656,6 +717,9 @@ class Engine {
         job->since_submit.milliseconds() > job->deadline_ms) {
       if (!job->deadline_missed.exchange(true, std::memory_order_relaxed)) {
         deadline_misses_.fetch_add(1, std::memory_order_relaxed);
+        if (telemetry_) {
+          telemetry_->flight().record(job->id, FlightEventKind::kDeadlineMiss);
+        }
 #if TILQ_METRICS_ENABLED
         if (MetricCounters* const counters = metrics_thread_counters()) {
           ++counters->engine_deadline_misses;
@@ -737,6 +801,19 @@ class Engine {
     total_hist_.record_ms(stats.total_ms);
     queue_hist_.record_ms(stats.queue_ms);
     run_hist_.record_ms(stats.run_ms);
+    if (telemetry_) {
+      telemetry_->flight().record(job->id, FlightEventKind::kFinalized, -1,
+                                  job->flop_estimate);
+      telemetry_finish(job->id, failed, job->flop_estimate, stats.run_ms);
+      if (failed) {
+        // The "on Error" dump (docs/TELEMETRY.md): the failed job's
+        // lifecycle, one line, before its handle ever rethrows.
+        std::fprintf(stderr,
+                     "tilq engine: job %llu failed; flight record: %s\n",
+                     static_cast<unsigned long long>(job->id),
+                     telemetry_->flight().to_json(job->id).c_str());
+      }
+    }
 #if TILQ_METRICS_ENABLED
     if (MetricCounters* const counters = metrics_thread_counters()) {
       ++counters->engine_jobs;
@@ -911,6 +988,125 @@ class Engine {
     return std::static_pointer_cast<WorkspacePool<Acc>>(slot);
   }
 
+  /// The telemetry collector: one TelemetrySample from the engine's live
+  /// state. Runs on the sampler thread (or a sample_now caller),
+  /// serialized by the hub, so the windowed-histogram baselines below
+  /// need no further synchronization.
+  TelemetrySample collect_telemetry() {
+    TelemetrySample s;
+    s.uptime_ms = uptime_.milliseconds();
+    {
+      const std::lock_guard<std::mutex> lock(state_mutex_);
+      s.jobs_submitted = jobs_submitted_;
+      s.jobs_completed = jobs_completed_;
+      s.jobs_failed = jobs_failed_;
+      s.jobs_shed = jobs_shed_;
+      s.jobs_deferred = jobs_deferred_;
+      s.in_flight = static_cast<std::uint64_t>(in_flight_);
+    }
+    s.deadline_misses = deadline_misses_.load(std::memory_order_relaxed);
+    {
+      const std::lock_guard<std::mutex> lock(plan_mutex_);
+      s.plan_builds = plan_builds_;
+      s.plan_hits = plan_hits_;
+    }
+    const std::uint64_t lookups = s.plan_builds + s.plan_hits;
+    s.plan_hit_rate = lookups == 0 ? 0.0
+                                   : static_cast<double>(s.plan_hits) /
+                                         static_cast<double>(lookups);
+    s.window = total_hist_.snapshot_delta(window_total_baseline_);
+    s.queue_window = queue_hist_.snapshot_delta(window_queue_baseline_);
+    for (const ThreadPool::WorkerStats& w : pool_.worker_stats()) {
+      TelemetryWorkerSample ws;
+      ws.executed = w.executed;
+      ws.stolen = w.stolen;
+      s.workers.push_back(ws);
+    }
+    watchdog_scan();
+    s.jobs_stuck = jobs_stuck_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  /// Watchdog pass over the in-flight registry (docs/TELEMETRY.md): a job
+  /// whose elapsed time exceeds watchdog_factor x its Eq-2-predicted
+  /// runtime — predicted from the completed jobs' FLOPs-per-millisecond
+  /// throughput — and the floor is flagged once, counted in jobs_stuck /
+  /// engine_jobs_stuck, and its flight record logged to stderr. Until a
+  /// job has completed there is no throughput baseline and nothing flags.
+  void watchdog_scan() {
+    std::vector<std::pair<std::uint64_t, double>> stuck;  // id, elapsed ms
+    const auto now = std::chrono::steady_clock::now();
+    {
+      const std::lock_guard<std::mutex> lock(watchdog_mutex_);
+      if (watchdog_run_ms_ <= 0.0 || watchdog_flops_ == 0) {
+        return;
+      }
+      const double flops_per_ms =
+          static_cast<double>(watchdog_flops_) / watchdog_run_ms_;
+      for (auto& [id, entry] : watchdog_jobs_) {
+        if (entry.flagged) {
+          continue;
+        }
+        const double elapsed_ms =
+            std::chrono::duration<double, std::milli>(now - entry.admitted)
+                .count();
+        const double predicted_ms =
+            static_cast<double>(std::max<std::int64_t>(0, entry.flops)) /
+            flops_per_ms;
+        const double bound =
+            std::max(options_.telemetry.watchdog_floor_ms,
+                     options_.telemetry.watchdog_factor * predicted_ms);
+        if (elapsed_ms > bound) {
+          entry.flagged = true;
+          stuck.emplace_back(id, elapsed_ms);
+        }
+      }
+    }
+    for (const auto& [id, elapsed_ms] : stuck) {
+      jobs_stuck_.fetch_add(1, std::memory_order_relaxed);
+#if TILQ_METRICS_ENABLED
+      if (MetricCounters* const counters = metrics_thread_counters()) {
+        ++counters->engine_jobs_stuck;
+      }
+#endif
+      telemetry_->flight().record(id, FlightEventKind::kStuck);
+      std::fprintf(
+          stderr,
+          "tilq engine: watchdog: job %llu still in flight after %.1f ms "
+          "(watchdog_factor %.1f); flight record: %s\n",
+          static_cast<unsigned long long>(id), elapsed_ms,
+          options_.telemetry.watchdog_factor,
+          telemetry_->flight().to_json(id).c_str());
+    }
+  }
+
+  /// In-flight registry bookkeeping; all no-ops unless telemetry is on.
+  void telemetry_register(std::uint64_t id, std::int64_t flops) {
+    const std::lock_guard<std::mutex> lock(watchdog_mutex_);
+    WatchedJob entry;
+    entry.admitted = std::chrono::steady_clock::now();
+    entry.flops = flops;
+    watchdog_jobs_[id] = entry;
+  }
+
+  void telemetry_unregister(std::uint64_t id) {
+    const std::lock_guard<std::mutex> lock(watchdog_mutex_);
+    watchdog_jobs_.erase(id);
+  }
+
+  void telemetry_finish(std::uint64_t id, bool failed, std::int64_t flops,
+                        double run_ms) {
+    const std::lock_guard<std::mutex> lock(watchdog_mutex_);
+    watchdog_jobs_.erase(id);
+    // Only clean completions feed the throughput baseline: a failed or
+    // deadline-cancelled job's run time says nothing about healthy speed.
+    if (!failed && run_ms > 0.0) {
+      watchdog_flops_ +=
+          static_cast<std::uint64_t>(std::max<std::int64_t>(0, flops));
+      watchdog_run_ms_ += run_ms;
+    }
+  }
+
   std::unique_ptr<detail::DriverBuffers<T, I>> acquire_buffers() {
     const std::lock_guard<std::mutex> lock(buffers_mutex_);
     if (!free_buffers_.empty()) {
@@ -933,6 +1129,7 @@ class Engine {
 
   EngineOptions options_;
   ThreadPool pool_;
+  WallTimer uptime_;  ///< started at construction (EngineStats::uptime_ms)
 
   mutable std::mutex state_mutex_;
   std::condition_variable state_cv_;  ///< admission slots + wait_idle
@@ -964,6 +1161,26 @@ class Engine {
 
   std::mutex buffers_mutex_;
   std::vector<std::unique_ptr<detail::DriverBuffers<T, I>>> free_buffers_;
+
+  // --- Telemetry (docs/TELEMETRY.md); all dormant when telemetry_ is
+  // null. The watchdog registry tracks every admitted-but-unfinished job
+  // with its admission instant and Eq-2 estimate; completed jobs feed the
+  // FLOPs-per-ms throughput baseline the predictions divide by.
+  struct WatchedJob {
+    std::chrono::steady_clock::time_point admitted;
+    std::int64_t flops = 0;
+    bool flagged = false;  ///< already counted stuck; never flag twice
+  };
+  mutable std::mutex watchdog_mutex_;
+  std::map<std::uint64_t, WatchedJob> watchdog_jobs_;
+  std::uint64_t watchdog_flops_ = 0;   ///< summed over clean completions
+  double watchdog_run_ms_ = 0.0;       ///< their total run time
+  std::atomic<std::uint64_t> jobs_stuck_{0};
+  LatencyHistogram::Counts window_total_baseline_;  ///< sampler-owned
+  LatencyHistogram::Counts window_queue_baseline_;
+  // Declared last: destroyed first, so the sampler thread (whose
+  // collector walks the members above) joins before any of them die.
+  std::unique_ptr<TelemetryHub> telemetry_;
 };
 
 }  // namespace tilq

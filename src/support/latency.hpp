@@ -59,6 +59,15 @@ class LatencyHistogram {
       1 + ((1 << kFirstSplitOctave) - 1) +
       (kOctaves - kFirstSplitOctave) * kSubBuckets;
 
+  /// Plain-value snapshot of the bucket counters — the baseline a windowed
+  /// reader (the telemetry sampler, docs/TELEMETRY.md) carries between
+  /// snapshot_delta() calls. Default-constructed it is the zero baseline,
+  /// so the first delta covers the histogram's whole history.
+  struct Counts {
+    std::array<std::uint64_t, kBucketCount> buckets{};
+    std::uint64_t sum_ns = 0;
+  };
+
   void record_ms(double ms) noexcept {
     record_ns(ms <= 0.0 ? 0 : static_cast<std::uint64_t>(ms * 1e6));
   }
@@ -127,6 +136,60 @@ class LatencyHistogram {
     return s;
   }
 
+  /// Relaxed snapshot of the current bucket counters. Buckets only ever
+  /// grow, so a snapshot taken earlier is bucket-wise <= one taken later —
+  /// the invariant snapshot_delta() subtracts on.
+  [[nodiscard]] Counts counts() const noexcept {
+    Counts c;
+    for (int i = 0; i < kBucketCount; ++i) {
+      const auto idx = static_cast<std::size_t>(i);
+      c.buckets[idx] = counts_[idx].load(std::memory_order_relaxed);
+    }
+    c.sum_ns = sum_ns_.load(std::memory_order_relaxed);
+    return c;
+  }
+
+  /// Windowed percentiles: the summary of only the samples recorded since
+  /// `since` was last updated, after which `since` advances to the current
+  /// totals. Merge-based and reset-free — recorders are never touched, so
+  /// the sampler can never race them: a concurrent record_ns() lands in
+  /// either this window or the next, never in both and never lost. The
+  /// window max is the upper edge of its highest occupied bucket (the
+  /// exact max_ns_ counter cannot be windowed), so it obeys the same +25%
+  /// bound as the quantiles. Not reentrant per `since` baseline: each
+  /// concurrent reader must own its own Counts.
+  [[nodiscard]] LatencySummary snapshot_delta(Counts& since) const noexcept {
+    const Counts now = counts();
+    std::array<std::uint64_t, kBucketCount> delta{};
+    std::uint64_t n = 0;
+    int highest = -1;
+    for (int i = 0; i < kBucketCount; ++i) {
+      const auto idx = static_cast<std::size_t>(i);
+      delta[idx] = now.buckets[idx] - since.buckets[idx];
+      n += delta[idx];
+      if (delta[idx] > 0) {
+        highest = i;
+      }
+    }
+    LatencySummary s;
+    s.count = n;
+    if (n > 0) {
+      s.p50_ms = delta_quantile_ms(delta, n, 0.50);
+      s.p95_ms = delta_quantile_ms(delta, n, 0.95);
+      s.p99_ms = delta_quantile_ms(delta, n, 0.99);
+      s.max_ms = static_cast<double>(bucket_upper_ns(highest)) / 1e6;
+      // sum_ns_ and the buckets are separate relaxed counters, so under
+      // concurrent recording the sum delta can momentarily disagree with
+      // the bucket delta by in-flight samples; saturate instead of
+      // wrapping.
+      const std::uint64_t sum =
+          now.sum_ns >= since.sum_ns ? now.sum_ns - since.sum_ns : 0;
+      s.mean_ms = static_cast<double>(sum) / (1e6 * static_cast<double>(n));
+    }
+    since = now;
+    return s;
+  }
+
   /// Folds another histogram's buckets into this one (aggregation across
   /// engines; percentiles merge exactly because the grid is shared).
   void merge(const LatencyHistogram& other) noexcept {
@@ -185,6 +248,27 @@ class LatencyHistogram {
   }
 
  private:
+  /// Nearest-rank quantile over a plain bucket-delta array — quantile_ms()
+  /// restated for windowed counts.
+  [[nodiscard]] static double delta_quantile_ms(
+      const std::array<std::uint64_t, kBucketCount>& delta, std::uint64_t n,
+      double q) noexcept {
+    const double scaled = q * static_cast<double>(n);
+    std::uint64_t rank = static_cast<std::uint64_t>(scaled);
+    if (static_cast<double>(rank) < scaled) {
+      ++rank;
+    }
+    rank = rank == 0 ? 1 : (rank > n ? n : rank);
+    std::uint64_t cumulative = 0;
+    for (int i = 0; i < kBucketCount; ++i) {
+      cumulative += delta[static_cast<std::size_t>(i)];
+      if (cumulative >= rank) {
+        return static_cast<double>(bucket_upper_ns(i)) / 1e6;
+      }
+    }
+    return 0.0;
+  }
+
   std::array<std::atomic<std::uint64_t>, kBucketCount> counts_{};
   std::atomic<std::uint64_t> count_{0};
   std::atomic<std::uint64_t> sum_ns_{0};

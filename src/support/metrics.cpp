@@ -109,7 +109,9 @@ void append_counters_json(std::string& out, const MetricCounters& c) {
   field("engine_jobs_shed", c.engine_jobs_shed);
   field("engine_jobs_deferred", c.engine_jobs_deferred);
   field("engine_jobs_expensive", c.engine_jobs_expensive);
-  field("engine_deadline_misses", c.engine_deadline_misses, /*last=*/true);
+  field("engine_deadline_misses", c.engine_deadline_misses);
+  field("engine_jobs_stuck", c.engine_jobs_stuck);
+  field("engine_telemetry_samples", c.engine_telemetry_samples, /*last=*/true);
   out += '}';
 }
 

@@ -50,7 +50,8 @@ namespace tilq {
 /// extended, compatibly, with the serving counters (`engine_jobs_shed`,
 /// `engine_jobs_deferred`, `engine_jobs_expensive`,
 /// `engine_deadline_misses`) and the nullable `engine_latency` record
-/// object (docs/SERVING.md).
+/// object (docs/SERVING.md), then with the telemetry counters
+/// (`engine_jobs_stuck`, `engine_telemetry_samples` — docs/TELEMETRY.md).
 inline constexpr int kMetricsSchemaVersion = 3;
 
 /// True when the counter hooks are compiled into this build (CMake option
@@ -88,6 +89,8 @@ struct MetricCounters {
   std::uint64_t engine_jobs_deferred = 0;   ///< expensive jobs demoted to the background lane
   std::uint64_t engine_jobs_expensive = 0;  ///< admitted jobs the cost model priced expensive
   std::uint64_t engine_deadline_misses = 0; ///< jobs cancelled past their submit() deadline
+  std::uint64_t engine_jobs_stuck = 0;      ///< in-flight jobs flagged by the telemetry watchdog
+  std::uint64_t engine_telemetry_samples = 0; ///< telemetry sampler ticks taken
 
   MetricCounters& operator+=(const MetricCounters& o) noexcept {
     flops += o.flops;
@@ -117,6 +120,8 @@ struct MetricCounters {
     engine_jobs_deferred += o.engine_jobs_deferred;
     engine_jobs_expensive += o.engine_jobs_expensive;
     engine_deadline_misses += o.engine_deadline_misses;
+    engine_jobs_stuck += o.engine_jobs_stuck;
+    engine_telemetry_samples += o.engine_telemetry_samples;
     return *this;
   }
 
@@ -155,6 +160,8 @@ struct MetricCounters {
     d.engine_jobs_deferred = sub(engine_jobs_deferred, o.engine_jobs_deferred);
     d.engine_jobs_expensive = sub(engine_jobs_expensive, o.engine_jobs_expensive);
     d.engine_deadline_misses = sub(engine_deadline_misses, o.engine_deadline_misses);
+    d.engine_jobs_stuck = sub(engine_jobs_stuck, o.engine_jobs_stuck);
+    d.engine_telemetry_samples = sub(engine_telemetry_samples, o.engine_telemetry_samples);
     return d;
   }
 
@@ -170,7 +177,8 @@ struct MetricCounters {
            engine_queue_depth == 0 && engine_tasks == 0 &&
            engine_steals == 0 && engine_jobs_shed == 0 &&
            engine_jobs_deferred == 0 && engine_jobs_expensive == 0 &&
-           engine_deadline_misses == 0;
+           engine_deadline_misses == 0 && engine_jobs_stuck == 0 &&
+           engine_telemetry_samples == 0;
   }
 };
 

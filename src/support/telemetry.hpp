@@ -1,0 +1,271 @@
+// Live engine telemetry (docs/TELEMETRY.md): the pieces an operator needs
+// while an Engine is running, as opposed to the post-hoc metrics records
+// that only appear when a run finishes.
+//
+//   * TelemetryHub — a background sampler thread that periodically calls a
+//     collector (the engine's stats snapshot) into a fixed-capacity ring of
+//     timestamped TelemetrySample values, plus an optional single-threaded
+//     HTTP listener serving /metrics (Prometheus text format) and /healthz.
+//   * FlightRecorder — a wait-free lock-free ring of per-job lifecycle
+//     events (submitted, admitted, planned, lane-assigned, first-tile,
+//     finalized, shed, deferred, deadline-miss, stuck) dumpable as JSON.
+//   * render_prometheus — a dependency-free Prometheus text-format
+//     rendering of every metrics-v3 counter; the hub's member variant adds
+//     the sampled engine gauges on top.
+//
+// Everything here is engine-agnostic: the hub takes a collector callback,
+// so the engine (core/engine.hpp) owns the policy — what to sample, when a
+// job counts as stuck — and this layer owns the mechanics. Opt-in via
+// EngineOptions::telemetry or the TILQ_TELEMETRY / TILQ_TELEMETRY_PORT /
+// TILQ_TELEMETRY_DUMP environment variables (telemetry_options_from_env).
+//
+// Thread-safety: FlightRecorder::record is wait-free (one relaxed
+// fetch_add plus per-slot atomic stores) and callable from any thread;
+// readers validate a per-slot sequence tag and drop slots that are
+// mid-overwrite. TelemetryHub::samples/latest/render_prometheus may be
+// called from any thread; the collector itself runs serialized (sampler
+// thread and sample_now callers take the same mutex), so a collector may
+// keep unsynchronized baselines like LatencyHistogram::Counts.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "support/latency.hpp"
+
+namespace tilq {
+
+/// Knobs for the telemetry subsystem, a member of EngineOptions. The
+/// defaults keep everything off; enabling costs one sampler thread and a
+/// few atomic stores per job lifecycle transition.
+struct TelemetryOptions {
+  /// Master switch: off means no sampler thread, no flight recorder
+  /// hooks, no listener — the engine behaves exactly as before.
+  bool enabled = false;
+  /// Sampler period; clamped to >= 1 ms.
+  double sample_interval_ms = 100.0;
+  /// Samples kept in the ring (600 x 100 ms = one minute of history).
+  std::size_t ring_capacity = 600;
+  /// Flight-recorder slots (rounded up to a power of two).
+  std::size_t flight_capacity = 4096;
+  /// A job is stuck once elapsed > watchdog_factor x its Eq-2-predicted
+  /// runtime (and past watchdog_floor_ms, so tiny estimates cannot flag
+  /// merely-queued jobs).
+  double watchdog_factor = 8.0;
+  double watchdog_floor_ms = 100.0;
+  /// HTTP listener port on loopback: -1 disables the listener, 0 binds an
+  /// ephemeral port (read it back via TelemetryHub::port()).
+  int port = -1;
+  /// When non-empty, the hub dumps the flight recorder as JSON to this
+  /// path at destruction.
+  std::string dump_path;
+};
+
+/// Applies the TILQ_TELEMETRY (off / on / sample interval in ms),
+/// TILQ_TELEMETRY_PORT, and TILQ_TELEMETRY_DUMP environment variables on
+/// top of `base`; unset variables leave the base value untouched.
+[[nodiscard]] TelemetryOptions telemetry_options_from_env(
+    TelemetryOptions base);
+
+/// Lifecycle stations of a job, in the order the engine visits them.
+enum class FlightEventKind : std::uint8_t {
+  kSubmitted = 0,   ///< submit() entered, plan priced (flops = estimate)
+  kPlanned,         ///< plan resolved (cache hit or fresh build)
+  kAdmitted,        ///< past the admission gate, holds an in-flight slot
+  kLaneAssigned,    ///< scheduling lane chosen (the event's lane field)
+  kFirstTile,       ///< first tile task started on a worker
+  kFinalized,       ///< job finished (completed or failed)
+  kShed,            ///< refused at the shed bound (OverloadPolicy::kShed)
+  kDeferred,        ///< demoted to the background lane (kDefer)
+  kDeadlineMiss,    ///< cancelled because a tile would start past deadline
+  kStuck,           ///< flagged by the watchdog (docs/TELEMETRY.md)
+};
+
+/// Stable lowercase-dashed name of a FlightEventKind — the `event` field
+/// of the JSON dump; docs/TELEMETRY.md tables are linted against these.
+[[nodiscard]] const char* to_string(FlightEventKind kind) noexcept;
+
+/// One flight-recorder entry. `t_ns` is nanoseconds since the recorder
+/// was constructed; `lane` is -1 when no lane applies; `flops` is the
+/// job's Eq-2 estimate where the station knows it, else 0.
+struct FlightEvent {
+  std::uint64_t sequence = 0;
+  std::uint64_t t_ns = 0;
+  std::uint64_t job = 0;
+  FlightEventKind kind = FlightEventKind::kSubmitted;
+  int lane = -1;
+  std::int64_t flops = 0;
+};
+
+/// Fixed-capacity lock-free ring of FlightEvent. Writers never wait and
+/// never allocate; the ring keeps the most recent `capacity` events and
+/// overwrites the oldest. Readers (events, to_json) may run concurrently
+/// with writers: each slot carries a sequence tag published with release
+/// ordering, and a slot whose tag changed mid-read is skipped.
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(std::size_t capacity = 4096);
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Appends one event. Wait-free; callable from any thread, including
+  /// pool workers inside a job's critical path.
+  void record(std::uint64_t job, FlightEventKind kind, int lane = -1,
+              std::int64_t flops = 0) noexcept;
+
+  /// The surviving events, oldest first. Events overwritten while the
+  /// scan runs are dropped, never torn.
+  [[nodiscard]] std::vector<FlightEvent> events() const;
+
+  /// The surviving events of one job, oldest first.
+  [[nodiscard]] std::vector<FlightEvent> events_for(std::uint64_t job) const;
+
+  /// JSON array of every surviving event (docs/TELEMETRY.md schema).
+  [[nodiscard]] std::string to_json() const;
+
+  /// JSON array restricted to one job — what the watchdog logs.
+  [[nodiscard]] std::string to_json(std::uint64_t job) const;
+
+  /// Events ever recorded (monotonic; exceeds capacity once wrapped).
+  [[nodiscard]] std::uint64_t recorded() const noexcept;
+
+  /// Ring size after power-of-two rounding.
+  [[nodiscard]] std::size_t capacity() const noexcept;
+
+ private:
+  /// Every field atomic so a concurrent overwrite can interleave with a
+  /// reader without a data race (TSan-clean); the tag seqlock detects and
+  /// discards such mixed reads.
+  struct Slot {
+    std::atomic<std::uint64_t> tag{0};  ///< sequence + 1 once published
+    std::atomic<std::uint64_t> t_ns{0};
+    std::atomic<std::uint64_t> job{0};
+    std::atomic<std::uint32_t> meta{0};  ///< kind | (lane + 1) << 8
+    std::atomic<std::int64_t> flops{0};
+  };
+
+  bool read_slot(std::uint64_t sequence, FlightEvent& out) const;
+
+  std::vector<Slot> slots_;
+  std::uint64_t mask_ = 0;
+  std::atomic<std::uint64_t> next_{0};
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Per-worker share of the pool totals inside a sample.
+struct TelemetryWorkerSample {
+  std::uint64_t executed = 0;
+  std::uint64_t stolen = 0;
+};
+
+/// One timestamped snapshot produced by the collector. Cumulative fields
+/// (jobs_*, plan_*) are engine-lifetime totals at the sample instant; the
+/// `window` / `queue_window` summaries cover only the interval since the
+/// previous sample (LatencyHistogram::snapshot_delta).
+struct TelemetrySample {
+  double t_ms = 0.0;       ///< since the hub started (set by the hub)
+  double uptime_ms = 0.0;  ///< engine uptime at the sample
+  std::uint64_t jobs_submitted = 0;
+  std::uint64_t jobs_completed = 0;
+  std::uint64_t jobs_failed = 0;
+  std::uint64_t jobs_shed = 0;
+  std::uint64_t jobs_deferred = 0;
+  std::uint64_t jobs_stuck = 0;
+  std::uint64_t deadline_misses = 0;
+  std::uint64_t in_flight = 0;
+  std::uint64_t plan_builds = 0;
+  std::uint64_t plan_hits = 0;
+  double plan_hit_rate = 0.0;  ///< hits / (hits + builds), 0 when idle
+  LatencySummary window;        ///< total latency since previous sample
+  LatencySummary queue_window;  ///< queue latency since previous sample
+  std::vector<TelemetryWorkerSample> workers;
+};
+
+/// Owns the sampler thread, the sample ring, the flight recorder, and the
+/// optional HTTP listener. Engine-agnostic: the collector callback decides
+/// what a sample contains. Destruction stops both threads, then dumps the
+/// flight recorder to TelemetryOptions::dump_path when one is set.
+class TelemetryHub {
+ public:
+  using Collector = std::function<TelemetrySample()>;
+
+  TelemetryHub(TelemetryOptions options, Collector collector);
+  ~TelemetryHub();
+
+  TelemetryHub(const TelemetryHub&) = delete;
+  TelemetryHub& operator=(const TelemetryHub&) = delete;
+
+  [[nodiscard]] const TelemetryOptions& options() const noexcept;
+
+  /// The flight recorder the engine's lifecycle hooks write into.
+  [[nodiscard]] FlightRecorder& flight() noexcept;
+  [[nodiscard]] const FlightRecorder& flight() const noexcept;
+
+  /// Copy of the sample ring, oldest first.
+  [[nodiscard]] std::vector<TelemetrySample> samples() const;
+
+  /// The most recent sample, if any tick has completed.
+  [[nodiscard]] std::optional<TelemetrySample> latest() const;
+
+  /// Sampler ticks taken so far (monotonic; exceeds ring_capacity once
+  /// the ring wraps).
+  [[nodiscard]] std::uint64_t sample_count() const noexcept;
+
+  /// Takes one sample immediately from the calling thread (serialized
+  /// with the sampler thread). The constructor takes the first sample, so
+  /// /metrics is never empty.
+  void sample_now();
+
+  /// Port the listener actually bound (differs from options().port when
+  /// that was 0 = ephemeral); -1 when the listener is off or bind failed.
+  [[nodiscard]] int port() const noexcept;
+
+  /// What /metrics serves: the process-wide counter rendering of the free
+  /// render_prometheus plus this hub's sampled gauges.
+  void render_prometheus(std::string& out) const;
+
+ private:
+  void sampler_loop();
+  void serve_loop();
+  void push_sample();
+  void start_listener();
+  void handle_client(int client_fd) const;
+
+  TelemetryOptions options_;
+  Collector collector_;
+  FlightRecorder flight_;
+  std::chrono::steady_clock::time_point start_;
+
+  mutable std::mutex collect_mutex_;  ///< serializes collector calls
+  mutable std::mutex ring_mutex_;
+  std::deque<TelemetrySample> ring_;
+  std::atomic<std::uint64_t> sample_count_{0};
+
+  std::atomic<bool> stop_{false};
+  std::mutex stop_mutex_;
+  std::condition_variable stop_cv_;
+
+  int listen_fd_ = -1;
+  std::atomic<int> port_{-1};
+
+  std::thread sampler_;
+  std::thread server_;
+};
+
+/// Renders every metrics-v3 counter (the process-wide metrics_snapshot
+/// total) in Prometheus text exposition format, metric names prefixed
+/// `tilq_`. Dependency-free; works — emitting zeros — even when the
+/// metrics runtime is disabled. docs/TELEMETRY.md tables the names.
+void render_prometheus(std::string& out);
+
+}  // namespace tilq

@@ -71,10 +71,26 @@ int ThreadPool::size() const noexcept {
 ThreadPool::Stats ThreadPool::stats() const {
   Stats s;
   s.submitted = submitted_.load(std::memory_order_relaxed);
-  s.executed = executed_.load(std::memory_order_relaxed);
-  s.stolen = stolen_.load(std::memory_order_relaxed);
+  // Totals are the sum of the per-worker counters, so stats() and
+  // worker_stats() can never disagree on the grand total.
+  for (const std::unique_ptr<Worker>& w : workers_) {
+    s.executed += w->executed.load(std::memory_order_relaxed);
+    s.stolen += w->stolen.load(std::memory_order_relaxed);
+  }
   s.task_exceptions = exceptions_.load(std::memory_order_relaxed);
   return s;
+}
+
+std::vector<ThreadPool::WorkerStats> ThreadPool::worker_stats() const {
+  std::vector<WorkerStats> out;
+  out.reserve(workers_.size());
+  for (const std::unique_ptr<Worker>& w : workers_) {
+    WorkerStats ws;
+    ws.executed = w->executed.load(std::memory_order_relaxed);
+    ws.stolen = w->stolen.load(std::memory_order_relaxed);
+    out.push_back(ws);
+  }
+  return out;
 }
 
 int ThreadPool::worker_index() noexcept { return t_worker_index; }
@@ -94,7 +110,8 @@ void ThreadPool::worker_loop(int index) {
       exceptions_.fetch_add(1, std::memory_order_relaxed);
     }
     task = nullptr;  // release captured state before reporting completion
-    executed_.fetch_add(1, std::memory_order_relaxed);
+    workers_[static_cast<std::size_t>(index)]->executed.fetch_add(
+        1, std::memory_order_relaxed);
 #if TILQ_METRICS_ENABLED
     if (MetricCounters* const counters = metrics_thread_counters()) {
       ++counters->engine_tasks;
@@ -161,7 +178,8 @@ bool ThreadPool::try_steal(int index, Task& out) {
       tasks.pop_back();
       running_.fetch_add(1, std::memory_order_relaxed);
       pending_.fetch_sub(1, std::memory_order_release);
-      stolen_.fetch_add(1, std::memory_order_relaxed);
+      workers_[static_cast<std::size_t>(index)]->stolen.fetch_add(
+          1, std::memory_order_relaxed);
 #if TILQ_METRICS_ENABLED
       if (MetricCounters* const counters = metrics_thread_counters()) {
         ++counters->engine_steals;

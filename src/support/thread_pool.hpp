@@ -90,6 +90,19 @@ class ThreadPool {
   };
   [[nodiscard]] Stats stats() const;
 
+  /// One worker's slice of the lifetime totals — stats() is the sum of
+  /// these across workers, so totals are conserved by construction.
+  struct WorkerStats {
+    std::uint64_t executed = 0;  ///< tasks this worker ran to completion
+    std::uint64_t stolen = 0;    ///< of those, taken from a sibling's deque
+  };
+
+  /// Per-worker executed/stolen snapshot, indexed by worker. Relaxed
+  /// atomic reads, no locks: safe to call from any thread at any time —
+  /// the telemetry sampler (docs/TELEMETRY.md) polls this concurrently
+  /// with a running workload.
+  [[nodiscard]] std::vector<WorkerStats> worker_stats() const;
+
   /// Index of the calling thread within its owning pool: [0, size()) on a
   /// worker, -1 on any thread the pool does not own. The engine keys
   /// per-worker workspace slots off this.
@@ -100,6 +113,11 @@ class ThreadPool {
     mutable std::mutex mutex;
     /// One deque per TaskPriority, all guarded by `mutex`.
     std::array<std::deque<Task>, kTaskPriorityLanes> lanes;
+    /// Lifetime counters attributed to this worker (a steal is credited
+    /// to the thief). Relaxed atomics, written only by the owning worker
+    /// thread, so worker_stats() never takes `mutex`.
+    std::atomic<std::uint64_t> executed{0};
+    std::atomic<std::uint64_t> stolen{0};
   };
 
   void worker_loop(int index);
@@ -114,8 +132,6 @@ class ThreadPool {
   std::atomic<std::int64_t> pending_{0};  ///< queued, not yet popped
   std::atomic<std::int64_t> running_{0};  ///< popped, still executing
   std::atomic<std::uint64_t> submitted_{0};
-  std::atomic<std::uint64_t> executed_{0};
-  std::atomic<std::uint64_t> stolen_{0};
   std::atomic<std::uint64_t> exceptions_{0};
   std::atomic<std::uint64_t> round_robin_{0};
 

@@ -21,6 +21,7 @@
 #include "support/parallel.hpp"
 #include "support/perf.hpp"
 #include "support/rng.hpp"
+#include "support/telemetry.hpp"
 #include "support/thread_pool.hpp"
 #include "support/timer.hpp"
 #include "support/trace.hpp"

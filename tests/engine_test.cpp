@@ -12,7 +12,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -231,7 +233,9 @@ TEST_F(EngineTest, DegradedJobsStayBitIdentical) {
   Config2d config;
   config.accumulator = AccumulatorKind::kHash;
   const Csr<double, I> oracle = masked_spgemm<SR>(p.mask, p.a, p.b, config);
-  Engine<SR> engine(EngineOptions{.threads = 1});
+  EngineOptions one_thread;
+  one_thread.threads = 1;
+  Engine<SR> engine(one_thread);
   // First submit warms the plan + workspace; the second runs with the
   // saturation fault armed so at least one row degrades to the dense
   // fallback mid-flight.
@@ -612,6 +616,122 @@ TEST_F(EngineTest, EngineCountersFlowIntoTheMetricsRegistry) {
   EXPECT_GT(delta.total.rows_processed, 0u);
 }
 #endif
+
+TEST_F(EngineTest, TelemetryEnabledEngineStaysBitIdenticalAndRecordsFlights) {
+  const Problem p = make_problem(41);
+  const Csr<double, I> oracle = masked_spgemm<SR>(p.mask, p.a, p.b, Config{});
+
+  EngineOptions options;
+  options.telemetry.enabled = true;
+  options.telemetry.sample_interval_ms = 5.0;
+  Engine<SR> engine(options);
+  ASSERT_NE(engine.telemetry(), nullptr);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(
+        test::csr_equal(oracle, engine.submit(p.mask, p.a, p.b).get()));
+  }
+
+  // Every job left a full lifecycle trail in the flight recorder.
+  const FlightRecorder& flight = engine.telemetry()->flight();
+  std::uint64_t submitted = 0;
+  std::uint64_t finalized = 0;
+  std::uint64_t first_tiles = 0;
+  for (const FlightEvent& event : flight.events()) {
+    submitted += event.kind == FlightEventKind::kSubmitted ? 1 : 0;
+    finalized += event.kind == FlightEventKind::kFinalized ? 1 : 0;
+    first_tiles += event.kind == FlightEventKind::kFirstTile ? 1 : 0;
+  }
+  EXPECT_EQ(submitted, 4u);
+  EXPECT_EQ(finalized, 4u);
+  EXPECT_EQ(first_tiles, 4u);
+
+  // The sampler ticked (the constructor takes an eager first sample) and
+  // its totals flow into EngineStats and the latest sample.
+  const EngineStats stats = engine.stats();
+  EXPECT_GE(stats.telemetry_samples, 1u);
+  EXPECT_EQ(stats.jobs_stuck, 0u);
+  EXPECT_GT(stats.uptime_ms, 0.0);
+  engine.telemetry()->sample_now();
+  const auto sample = engine.telemetry()->latest();
+  ASSERT_TRUE(sample.has_value());
+  EXPECT_EQ(sample->jobs_completed, 4u);
+  EXPECT_EQ(sample->in_flight, 0u);
+  EXPECT_FALSE(sample->workers.empty());
+}
+
+TEST_F(EngineTest, TelemetryDisabledLeavesNoHub) {
+  Engine<SR> engine;
+  EXPECT_EQ(engine.telemetry(), nullptr);
+  const Problem p = make_problem(43);
+  (void)engine.submit(p.mask, p.a, p.b).get();
+  EXPECT_EQ(engine.stats().telemetry_samples, 0u);
+}
+
+/// Kill switch for the watchdog test: while set, every multiply blocks, so
+/// an in-flight job wedges deterministically without burning CPU.
+std::atomic<bool> g_wedge{false};
+
+struct WedgeSemiring {
+  using value_type = double;
+  static double zero() noexcept { return 0.0; }
+  static double add(double a, double b) noexcept { return a + b; }
+  static double mul(double a, double b) {
+    while (g_wedge.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return a * b;
+  }
+};
+
+TEST_F(EngineTest, WatchdogFlagsWedgedJobAndFlightRecordNamesIt) {
+  const Problem p = make_problem(47);
+  EngineOptions options;
+  options.telemetry.enabled = true;
+  options.telemetry.sample_interval_ms = 5.0;
+  options.telemetry.watchdog_factor = 2.0;
+  options.telemetry.watchdog_floor_ms = 25.0;
+  Engine<WedgeSemiring> engine(options);
+
+  // Clean completions first: the watchdog refuses to flag until it has a
+  // FLOPs/ms baseline, so a cold engine cannot false-positive.
+  for (int i = 0; i < 3; ++i) {
+    (void)engine.submit(p.mask, p.a, p.b).get();
+  }
+  ASSERT_EQ(engine.stats().jobs_stuck, 0u);
+
+  g_wedge.store(true, std::memory_order_release);
+  auto handle = engine.submit(p.mask, p.a, p.b);
+  bool flagged = false;
+  for (int i = 0; i < 2000 && !flagged; ++i) {
+    flagged = engine.stats().jobs_stuck >= 1;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  g_wedge.store(false, std::memory_order_release);
+  (void)handle.get();
+  ASSERT_TRUE(flagged) << "watchdog never fired on a wedged job";
+  EXPECT_EQ(engine.stats().jobs_stuck, 1u);  // flagged once, not per scan
+
+  // The flight record pins the flag on the right job: the one stuck event
+  // belongs to the fourth (wedged) submission.
+  ASSERT_NE(engine.telemetry(), nullptr);
+  const FlightRecorder& flight = engine.telemetry()->flight();
+  std::vector<std::uint64_t> submitted_jobs;
+  std::vector<FlightEvent> stuck_events;
+  for (const FlightEvent& event : flight.events()) {
+    if (event.kind == FlightEventKind::kSubmitted) {
+      submitted_jobs.push_back(event.job);
+    } else if (event.kind == FlightEventKind::kStuck) {
+      stuck_events.push_back(event);
+    }
+  }
+  ASSERT_EQ(stuck_events.size(), 1u);
+  ASSERT_EQ(submitted_jobs.size(), 4u);
+  EXPECT_EQ(stuck_events[0].job, submitted_jobs.back());
+  const std::string dump = flight.to_json(stuck_events[0].job);
+  EXPECT_NE(dump.find("\"event\":\"stuck\""), std::string::npos) << dump;
+  EXPECT_NE(dump.find("\"event\":\"submitted\""), std::string::npos);
+  EXPECT_NE(dump.find("\"event\":\"finalized\""), std::string::npos);
+}
 
 }  // namespace
 }  // namespace tilq

@@ -8,8 +8,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdint>
+#include <numeric>
 #include <thread>
 #include <vector>
 
@@ -165,6 +167,133 @@ TEST(LatencyHistogramTest, MergeMatchesRecordingIntoOne) {
   for (const double q : {0.5, 0.95, 0.99}) {
     EXPECT_DOUBLE_EQ(left.quantile_ms(q), combined.quantile_ms(q));
   }
+}
+
+TEST(LatencyHistogramTest, SnapshotDeltaEmptyWindowIsAllZeros) {
+  LatencyHistogram hist;
+  LatencyHistogram::Counts since;
+  // First window over an empty histogram, and a second window with no
+  // recording in between: both must be the zero summary.
+  for (int round = 0; round < 2; ++round) {
+    const LatencySummary window = hist.snapshot_delta(since);
+    EXPECT_EQ(window.count, 0u);
+    EXPECT_EQ(window.p50_ms, 0.0);
+    EXPECT_EQ(window.p99_ms, 0.0);
+    EXPECT_EQ(window.max_ms, 0.0);
+    EXPECT_EQ(window.mean_ms, 0.0);
+  }
+}
+
+TEST(LatencyHistogramTest, SnapshotDeltaSeesOnlyItsOwnWindow) {
+  // Two disjoint recording bursts with very different magnitudes; each
+  // window's percentiles must match the oracle over that burst alone —
+  // the earlier (and much larger) history must not bleed through.
+  LatencyHistogram hist;
+  LatencyHistogram::Counts since;
+  std::vector<std::uint64_t> first;
+  for (int i = 0; i < 500; ++i) {
+    first.push_back(400'000'000 + static_cast<std::uint64_t>(i) * 1'000'000);
+    hist.record_ns(first.back());
+  }
+  LatencySummary window = hist.snapshot_delta(since);
+  EXPECT_EQ(window.count, first.size());
+
+  std::vector<std::uint64_t> second;
+  for (int i = 0; i < 50; ++i) {
+    second.push_back(1'000'000 + static_cast<std::uint64_t>(i) * 10'000);
+    hist.record_ns(second.back());
+  }
+  window = hist.snapshot_delta(since);
+  EXPECT_EQ(window.count, second.size());
+  for (const double q : {0.5, 0.95, 0.99}) {
+    const double oracle = oracle_quantile_ms(second, q);
+    const double reported = q == 0.5   ? window.p50_ms
+                            : q == 0.95 ? window.p95_ms
+                                        : window.p99_ms;
+    EXPECT_GE(reported, oracle) << "q=" << q;
+    EXPECT_LE(reported, oracle * 1.25 + 1e-6) << "q=" << q;
+  }
+  // The window max is the whole point: ~1.5 ms here, not the 900 ms the
+  // lifetime histogram would report. Same +25% bucket-edge bound.
+  const double oracle_max = oracle_quantile_ms(second, 1.0);
+  EXPECT_GE(window.max_ms, oracle_max);
+  EXPECT_LE(window.max_ms, oracle_max * 1.25 + 1e-6);
+  const double oracle_mean =
+      static_cast<double>(std::accumulate(second.begin(), second.end(),
+                                          std::uint64_t{0})) /
+      (1e6 * static_cast<double>(second.size()));
+  EXPECT_NEAR(window.mean_ms, oracle_mean, 1e-9);
+}
+
+TEST(LatencyHistogramTest, SnapshotDeltaWindowsPartitionRandomStreams) {
+  // Random bursts through random window boundaries: every window matches
+  // its own oracle, and the window counts sum to the lifetime count.
+  Xoshiro256 rng(29);
+  LatencyHistogram hist;
+  LatencyHistogram::Counts since;
+  std::uint64_t windowed_total = 0;
+  for (int window_index = 0; window_index < 30; ++window_index) {
+    std::vector<std::uint64_t> burst;
+    const int n = static_cast<int>(rng.uniform_below(200));
+    for (int i = 0; i < n; ++i) {
+      const double exponent = 18.0 * rng.uniform();
+      burst.push_back(static_cast<std::uint64_t>(std::exp2(exponent)));
+      hist.record_ns(burst.back());
+    }
+    const LatencySummary window = hist.snapshot_delta(since);
+    ASSERT_EQ(window.count, static_cast<std::uint64_t>(n));
+    windowed_total += window.count;
+    if (n == 0) {
+      EXPECT_EQ(window.p99_ms, 0.0);
+      continue;
+    }
+    for (const double q : {0.5, 0.95, 0.99}) {
+      const double oracle = oracle_quantile_ms(burst, q);
+      const double reported = q == 0.5   ? window.p50_ms
+                              : q == 0.95 ? window.p95_ms
+                                          : window.p99_ms;
+      EXPECT_GE(reported, oracle) << "window " << window_index << " q=" << q;
+      EXPECT_LE(reported, oracle * 1.25 + 1e-6)
+          << "window " << window_index << " q=" << q;
+    }
+  }
+  EXPECT_EQ(windowed_total, hist.count());
+}
+
+TEST(LatencyHistogramTest, SnapshotDeltaUnderConcurrentRecordingConserves) {
+  // Recorders hammer the histogram while a sampler takes windows; no
+  // sample may be lost or double-counted across windows (each relaxed
+  // bucket increment lands in exactly one delta).
+  LatencyHistogram hist;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 20'000;
+  std::atomic<bool> stop{false};
+  std::uint64_t windowed_total = 0;
+  LatencyHistogram::Counts since;
+  std::thread sampler([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      windowed_total += hist.snapshot_delta(since).count;
+      std::this_thread::yield();
+    }
+  });
+  std::vector<std::thread> recorders;
+  recorders.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    recorders.emplace_back([&hist] {
+      for (int i = 0; i < kPerThread; ++i) {
+        hist.record_ns(static_cast<std::uint64_t>(i) * 1000);
+      }
+    });
+  }
+  for (std::thread& thread : recorders) {
+    thread.join();
+  }
+  stop.store(true, std::memory_order_release);
+  sampler.join();
+  windowed_total += hist.snapshot_delta(since).count;  // the final window
+  EXPECT_EQ(windowed_total,
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(windowed_total, hist.count());
 }
 
 TEST(LatencyHistogramTest, ConcurrentRecordingLosesNoSamples) {

@@ -183,5 +183,69 @@ TEST(ThreadPoolTest, StealAccountingStaysConsistent) {
   EXPECT_EQ(stats.executed, 400u);
 }
 
+TEST(ThreadPoolTest, WorkerStatsSumToPoolTotalsAfterDrain) {
+  ThreadPool pool(4);
+  for (int i = 0; i < 500; ++i) {
+    pool.submit([] {});
+  }
+  pool.drain();
+  const ThreadPool::Stats totals = pool.stats();
+  const std::vector<ThreadPool::WorkerStats> per_worker = pool.worker_stats();
+  ASSERT_EQ(per_worker.size(), 4u);
+  std::uint64_t executed = 0;
+  std::uint64_t stolen = 0;
+  for (const ThreadPool::WorkerStats& w : per_worker) {
+    executed += w.executed;
+    stolen += w.stolen;
+  }
+  // Conservation: the pool totals are defined as the per-worker sums.
+  EXPECT_EQ(executed, totals.executed);
+  EXPECT_EQ(stolen, totals.stolen);
+  EXPECT_EQ(executed, 500u);
+  EXPECT_EQ(executed, totals.submitted);
+}
+
+TEST(ThreadPoolTest, WorkerStatsSnapshotsAreSafeDuringStealHeavyLoad) {
+  // The telemetry sampler reads worker_stats() while the pool runs; this
+  // is that access pattern under load. Round-robin placement plus tiny
+  // tasks keeps the deques unevenly drained, so steals occur while the
+  // sampler reads. TSan-clean is part of the contract.
+  ThreadPool pool(4);
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> snapshots{0};
+  std::thread sampler([&] {
+    std::vector<std::uint64_t> last_executed(4, 0);
+    while (!stop.load(std::memory_order_acquire)) {
+      const std::vector<ThreadPool::WorkerStats> per_worker =
+          pool.worker_stats();
+      ASSERT_EQ(per_worker.size(), 4u);
+      for (std::size_t i = 0; i < per_worker.size(); ++i) {
+        // Each worker's counter is monotone across snapshots.
+        EXPECT_GE(per_worker[i].executed, last_executed[i]);
+        last_executed[i] = per_worker[i].executed;
+      }
+      snapshots.fetch_add(1, std::memory_order_relaxed);
+      std::this_thread::yield();
+    }
+  });
+  constexpr int kTasks = 4000;
+  std::atomic<int> ran{0};
+  for (int i = 0; i < kTasks; ++i) {
+    pool.submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.drain();
+  stop.store(true, std::memory_order_release);
+  sampler.join();
+  EXPECT_EQ(ran.load(), kTasks);
+  EXPECT_GE(snapshots.load(), 1u);
+  // After the barrier the per-worker books must balance exactly.
+  std::uint64_t executed = 0;
+  for (const ThreadPool::WorkerStats& w : pool.worker_stats()) {
+    executed += w.executed;
+  }
+  EXPECT_EQ(executed, static_cast<std::uint64_t>(kTasks));
+  EXPECT_EQ(executed, pool.stats().executed);
+}
+
 }  // namespace
 }  // namespace tilq

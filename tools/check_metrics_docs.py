@@ -28,7 +28,15 @@ Checks, in both directions:
     docs/SERVING.md's table under '## Latency record fields (metrics
     schema v3)' and vice versa, and every engine_* counter is named
     (backticked) somewhere in docs/SERVING.md — the serving guide is
-    machine-checked, not best-effort prose.
+    machine-checked, not best-effort prose;
+  * with --telemetry-doc (opt-in): every `tilq_`-prefixed metric name
+    the Prometheus exporter emits (string literals scraped from
+    src/support/telemetry.cpp) appears in docs/TELEMETRY.md's table
+    under '## Exporter metrics' and vice versa; every flight-record
+    event name (the to_string(FlightEventKind) table) appears in the
+    table under '## Flight-record events' and vice versa; and every
+    public symbol of src/support/telemetry.hpp is named (backticked)
+    somewhere in docs/TELEMETRY.md.
 
 Exits non-zero with a readable diff when any pair drifts apart.
 Registered as the `doc_metrics_lint` CTest entry (skipped when python3
@@ -96,7 +104,7 @@ def doc_table(path: str, section: str) -> set[str]:
             continue
         if not in_section:
             continue
-        match = re.match(r"\|\s*`(\w+)`\s*\|", line)
+        match = re.match(r"\|\s*`([\w-]+)`\s*\|", line)
         if match:
             names.add(match.group(1))
     if not names:
@@ -115,6 +123,32 @@ def fault_sites(path: str) -> set[str]:
     names.discard("?")  # the unreachable default
     if not names:
         sys.exit(f"{path}: no fault site names matched")
+    return names
+
+
+def exporter_metric_names(path: str) -> set[str]:
+    """Every `tilq_`-prefixed metric name the exporter emits. The
+    implementation keeps metric names as its only tilq_-prefixed string
+    literals (diagnostics use a 'tilq telemetry:' prefix), so a literal
+    scrape is exact."""
+    text = open(path, encoding="utf-8").read()
+    names = set(re.findall(r'"(tilq_[a-z0-9_]+)"', text))
+    if not names:
+        sys.exit(f"{path}: no exporter metric names matched")
+    return names
+
+
+def flight_event_names(path: str) -> set[str]:
+    """Event names from the to_string(FlightEventKind) table."""
+    text = open(path, encoding="utf-8").read()
+    match = re.search(
+        r"to_string\(FlightEventKind kind\).*?\n\}", text, re.DOTALL)
+    if not match:
+        sys.exit(f"{path}: could not find to_string(FlightEventKind)")
+    names = set(re.findall(r'return "([a-z-]+)";', match.group(0)))
+    names.discard("unknown")  # the unreachable default
+    if not names:
+        sys.exit(f"{path}: no flight event names matched")
     return names
 
 
@@ -275,6 +309,13 @@ def main() -> int:
                         default="src/support/thread_pool.hpp")
     parser.add_argument("--concurrency-doc", default="docs/CONCURRENCY.md")
     parser.add_argument("--serving-doc", default="docs/SERVING.md")
+    parser.add_argument("--telemetry-impl",
+                        default="src/support/telemetry.cpp")
+    parser.add_argument("--telemetry-header",
+                        default="src/support/telemetry.hpp")
+    parser.add_argument("--telemetry-doc", default=None,
+                        help="docs/TELEMETRY.md; enables the exporter/"
+                             "flight-record/API checks when given")
     args = parser.parse_args()
 
     bad = False
@@ -331,14 +372,43 @@ def main() -> int:
             print(f"  {name}")
         bad = True
 
+    exporter = set()
+    events = set()
+    telemetry_api = set()
+    if args.telemetry_doc:
+        exporter = exporter_metric_names(args.telemetry_impl)
+        bad |= diff("exporter metrics", exporter,
+                    doc_table(args.telemetry_doc, "## Exporter metrics"),
+                    args.telemetry_doc, args.telemetry_impl)
+
+        events = flight_event_names(args.telemetry_impl)
+        bad |= diff("flight events", events,
+                    doc_table(args.telemetry_doc, "## Flight-record events"),
+                    args.telemetry_doc, args.telemetry_impl)
+
+        telemetry_api = public_symbols(args.telemetry_header)
+        telemetry_gaps = sorted(telemetry_api
+                                - doc_mentions(args.telemetry_doc))
+        if telemetry_gaps:
+            print(f"public telemetry symbols missing from "
+                  f"{args.telemetry_doc}:")
+            for name in telemetry_gaps:
+                print(f"  {name}")
+            bad = True
+
     if bad:
         return 1
-    print(f"ok: {len(counters)} counters, {len(hw)} hw fields, "
-          f"{len(imbalance)} imbalance fields, schema v{version}, "
-          f"{len(fault_sites(args.fault_impl))} fault sites and "
-          f"{len(defect_kinds(args.validate_header))} defect kinds, "
-          f"{len(api)} engine/pool symbols and {len(latency)} "
-          "engine_latency fields documented; code and docs consistent")
+    summary = (f"ok: {len(counters)} counters, {len(hw)} hw fields, "
+               f"{len(imbalance)} imbalance fields, schema v{version}, "
+               f"{len(fault_sites(args.fault_impl))} fault sites and "
+               f"{len(defect_kinds(args.validate_header))} defect kinds, "
+               f"{len(api)} engine/pool symbols and {len(latency)} "
+               "engine_latency fields documented")
+    if args.telemetry_doc:
+        summary += (f"; {len(exporter)} exporter metrics, {len(events)} "
+                    f"flight events and {len(telemetry_api)} telemetry "
+                    "symbols documented")
+    print(summary + "; code and docs consistent")
     return 0
 
 

@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Validate Prometheus text-exposition scrapes of the tilq telemetry
+exporter (docs/TELEMETRY.md) — the CI telemetry-smoke contract.
+
+Usage:
+  check_prometheus.py SCRAPE [SCRAPE2] [--require NAME]...
+
+With one file: parse the exposition strictly — every sample line must
+parse as `name[{labels}] value`, carry a finite value, and be preceded
+by a `# TYPE` line for its metric; `# TYPE` declarations must be one of
+counter/gauge.
+
+With two files (two scrapes of the same process, second taken later):
+additionally assert that every counter-typed series present in both
+scrapes is monotonically non-decreasing — the property Prometheus
+`rate()` relies on.
+
+--require NAME (repeatable) asserts the named metric has at least one
+sample in every given scrape.
+
+Exits non-zero with a readable message on the first violation class.
+"""
+
+import argparse
+import math
+import sys
+
+
+def parse_exposition(path: str):
+    """Returns ({series_key: value}, {metric_name: type}). A series key is
+    the full `name{labels}` string; the bare name indexes the type map."""
+    types: dict[str, str] = {}
+    samples: dict[str, float] = {}
+    errors: list[str] = []
+    for number, raw in enumerate(open(path, encoding="utf-8"), start=1):
+        line = raw.rstrip("\n")
+        if not line.strip():
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4 or parts[3] not in ("counter", "gauge"):
+                errors.append(f"{path}:{number}: malformed TYPE line: {line}")
+                continue
+            types[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue  # HELP and comments
+        fields = line.rsplit(None, 1)
+        if len(fields) != 2:
+            errors.append(f"{path}:{number}: malformed sample line: {line}")
+            continue
+        series, value_text = fields
+        name = series.split("{", 1)[0]
+        if not name or not name.replace("_", "a").isalnum():
+            errors.append(f"{path}:{number}: bad metric name: {series}")
+            continue
+        try:
+            value = float(value_text)
+        except ValueError:
+            errors.append(f"{path}:{number}: unparsable value: {line}")
+            continue
+        if not math.isfinite(value):
+            errors.append(f"{path}:{number}: non-finite value: {line}")
+            continue
+        if name not in types:
+            errors.append(
+                f"{path}:{number}: sample without preceding TYPE: {name}")
+            continue
+        samples[series] = value
+    if not samples:
+        errors.append(f"{path}: no samples parsed")
+    return samples, types, errors
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("scrapes", nargs="+", help="1 or 2 exposition files")
+    parser.add_argument("--require", action="append", default=[],
+                        metavar="NAME",
+                        help="metric that must be present in every scrape")
+    args = parser.parse_args()
+    if len(args.scrapes) > 2:
+        parser.error("at most two scrape files")
+
+    bad = False
+    parsed = []
+    for path in args.scrapes:
+        samples, types, errors = parse_exposition(path)
+        for error in errors:
+            print(error)
+            bad = True
+        parsed.append((path, samples, types))
+        for name in args.require:
+            if not any(key.split("{", 1)[0] == name for key in samples):
+                print(f"{path}: required metric absent: {name}")
+                bad = True
+
+    if len(parsed) == 2:
+        (path1, first, types1), (path2, second, types2) = parsed
+        if types1 != types2:
+            print(f"{path1} and {path2} disagree on metric types")
+            bad = True
+        regressions = []
+        for series, before in first.items():
+            name = series.split("{", 1)[0]
+            if types1.get(name) != "counter" or series not in second:
+                continue
+            if second[series] < before:
+                regressions.append((series, before, second[series]))
+        for series, before, after in sorted(regressions):
+            print(f"counter went backwards: {series} {before} -> {after}")
+            bad = True
+
+    if bad:
+        return 1
+    counted = sum(len(samples) for _, samples, _ in parsed)
+    print(f"ok: {counted} samples across {len(parsed)} scrape(s), "
+          f"format valid" +
+          (", counters monotonic" if len(parsed) == 2 else ""))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
