@@ -30,7 +30,6 @@ struct CliOptions {
   std::string mtx_path;
   double scale = 0.25;
   tilq::Config config;
-  std::int64_t col_tiles = 1;
   bool predict = false;
   bool tune = false;
   bool profile = false;
@@ -62,6 +61,8 @@ void print_usage() {
       "  --marker 8|16|32|64            (default 32)\n"
       "  --reset marker|explicit        (default marker)\n"
       "  --col-tiles N    2D column tiling (default 1 = 1D)\n"
+      "  --mode 1d|2d|blocked           execution space (default: inferred)\n"
+      "  --block-cols N   blocked mode: columns per cache block (default 4096)\n"
       "  --threads N\n"
       "modes:\n"
       "  --predict        use the model-based config predictor\n"
@@ -149,7 +150,14 @@ std::optional<CliOptions> parse(int argc, char** argv) {
       options.config.reset = v == "explicit" ? tilq::ResetPolicy::kExplicit
                                              : tilq::ResetPolicy::kMarker;
     } else if (flag == "--col-tiles") {
-      options.col_tiles = std::atoll(next());
+      options.config.num_col_tiles = std::atoll(next());
+    } else if (flag == "--mode") {
+      const std::string v = next();
+      options.config.mode = v == "blocked" ? tilq::Strategy::kBlocked
+                            : v == "2d"    ? tilq::Strategy::k2D
+                                           : tilq::Strategy::k1D;
+    } else if (flag == "--block-cols") {
+      options.config.block_cols = std::atoll(next());
     } else if (flag == "--threads") {
       options.config.threads = std::atoi(next());
     } else if (flag == "--predict") {
@@ -256,7 +264,7 @@ int run_engine(const tilq::GraphMatrix& a, const CliOptions& options,
   using SR = tilq::PlusTimes<double>;
   const int jobs = std::max(1, options.jobs);
   const int total = std::max(1, options.repeats) * jobs;
-  tilq::Config2d config{options.config, std::max<std::int64_t>(1, options.col_tiles)};
+  const tilq::Config& config = options.config;
 
   tilq::EngineOptions engine_options;
   engine_options.max_in_flight = static_cast<std::size_t>(jobs);
@@ -416,9 +424,7 @@ int run_engine(const tilq::GraphMatrix& a, const CliOptions& options,
   }
 
   // Bit-identity spot check: engine output vs the single-call path.
-  const auto oracle = config.num_col_tiles > 1
-                          ? tilq::masked_spgemm_2d<SR>(a, a, a, config)
-                          : tilq::masked_spgemm<SR>(a, a, a, options.config);
+  const auto oracle = tilq::masked_spgemm<SR>(a, a, a, config);
   const auto served = engine.submit(a, a, a, config).get();
   const bool identical = oracle.rows() == served.rows() &&
                          oracle.nnz() == served.nnz() &&
@@ -494,10 +500,7 @@ int run(CliOptions options) {
   // Execution + timing. The selected configuration goes into the output
   // header, before the (possibly long) measurement, so partial output is
   // already attributable to a config.
-  std::string config_label = options.config.describe();
-  if (options.col_tiles > 1) {
-    config_label += " col_tiles=" + std::to_string(options.col_tiles);
-  }
+  const std::string config_label = options.config.describe();
   std::printf("config: %s\n", config_label.c_str());
 
   tilq::TimingOptions timing;
@@ -512,16 +515,9 @@ int run(CliOptions options) {
   tilq::ExecutionStats exec;
   tilq::TimingResult result;
   const tilq::MetricsSnapshot metrics_before = tilq::metrics_snapshot();
-  if (options.col_tiles > 1) {
-    tilq::Config2d config2d{options.config, options.col_tiles};
-    result = tilq::measure(
-        [&] { (void)tilq::masked_spgemm_2d<SR>(a, a, a, config2d, exec); },
-        timing);
-  } else {
-    result = tilq::measure(
-        [&] { (void)tilq::masked_spgemm<SR>(a, a, a, options.config, exec); },
-        timing);
-  }
+  result = tilq::measure(
+      [&] { (void)tilq::masked_spgemm<SR>(a, a, a, options.config, exec); },
+      timing);
 
   std::printf("\ntime: median %.2f ms (min %.2f, mean %.2f, max %.2f over %lld runs)\n",
               result.median_ms, result.min_ms, result.mean_ms, result.max_ms,

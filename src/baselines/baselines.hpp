@@ -62,18 +62,6 @@ Csr<T, I> ssgb_like(const Csr<T, I>& mask, const Csr<T, I>& a,
   return masked_spgemm<SR>(mask, a, b, config, stats);
 }
 
-/// Deprecated pointer-based statistics out-parameter; use the
-/// ExecutionStats& overload (or no stats argument at all) instead.
-template <Semiring SR, class T = typename SR::value_type, class I>
-[[deprecated("pass ExecutionStats by reference (or omit the argument)")]]
-Csr<T, I> ssgb_like(const Csr<T, I>& mask, const Csr<T, I>& a,
-                    const Csr<T, I>& b, int threads, ExecutionStats* stats) {
-  if (stats == nullptr) {
-    return ssgb_like<SR, T, I>(mask, a, b, threads);
-  }
-  return ssgb_like<SR, T, I>(mask, a, b, threads, *stats);
-}
-
 /// C = M ⊙ (A × B) with the GrB-like policy.
 template <Semiring SR, class T = typename SR::value_type, class I>
 Csr<T, I> grb_like(const Csr<T, I>& mask, const Csr<T, I>& a,
@@ -90,19 +78,6 @@ Csr<T, I> grb_like(const Csr<T, I>& mask, const Csr<T, I>& a,
                    AccumulatorKind accumulator, ExecutionStats& stats) {
   const Config config = make_grb_config(threads, accumulator);
   return masked_spgemm<SR>(mask, a, b, config, stats);
-}
-
-/// Deprecated pointer-based statistics out-parameter; use the
-/// ExecutionStats& overload (or no stats argument at all) instead.
-template <Semiring SR, class T = typename SR::value_type, class I>
-[[deprecated("pass ExecutionStats by reference (or omit the argument)")]]
-Csr<T, I> grb_like(const Csr<T, I>& mask, const Csr<T, I>& a,
-                   const Csr<T, I>& b, int threads,
-                   AccumulatorKind accumulator, ExecutionStats* stats) {
-  if (stats == nullptr) {
-    return grb_like<SR, T, I>(mask, a, b, threads, accumulator);
-  }
-  return grb_like<SR, T, I>(mask, a, b, threads, accumulator, *stats);
 }
 
 }  // namespace tilq::baselines

@@ -40,17 +40,4 @@ Csc<T, I> masked_spgemm_csc(const Csc<T, I>& mask, const Csc<T, I>& a,
       masked_spgemm<SR>(mask.dual(), b.dual(), a.dual(), config, stats));
 }
 
-/// Deprecated pointer-based statistics out-parameter; use the
-/// ExecutionStats& overload (or no stats argument at all) instead.
-template <Semiring SR, class T = typename SR::value_type, class I>
-[[deprecated("pass ExecutionStats by reference (or omit the argument)")]]
-Csc<T, I> masked_spgemm_csc(const Csc<T, I>& mask, const Csc<T, I>& a,
-                            const Csc<T, I>& b, const Config& config,
-                            ExecutionStats* stats) {
-  if (stats == nullptr) {
-    return masked_spgemm_csc<SR, T, I>(mask, a, b, config);
-  }
-  return masked_spgemm_csc<SR, T, I>(mask, a, b, config, *stats);
-}
-
 }  // namespace tilq

@@ -16,6 +16,27 @@
 
 namespace tilq {
 
+/// Execution-space strategy: how plan() decomposes the iteration space.
+/// One Config field replaces the former Config2d type — a third strategy
+/// cannot ship as yet another config-type-and-entry-point pair.
+enum class Strategy {
+  k1D,       ///< row tiles over the full column range (the reference path)
+  k2D,       ///< row × column tile grid walking global CSR
+  kBlocked,  ///< cache-blocked column slices with per-tile accumulators
+};
+
+[[nodiscard]] constexpr const char* to_string(Strategy strategy) noexcept {
+  switch (strategy) {
+    case Strategy::k1D:
+      return "1d";
+    case Strategy::k2D:
+      return "2d";
+    case Strategy::kBlocked:
+      return "blocked";
+  }
+  return "?";
+}
+
 struct Config {
   // Dimension 1: tiling & scheduling (§III-A, Figs 10/11).
   Tiling tiling = Tiling::kFlopBalanced;
@@ -23,6 +44,20 @@ struct Config {
   /// Number of row tiles; 0 selects the default of 2 x threads (the
   /// SS:GB-observed policy).
   std::int64_t num_tiles = 0;
+
+  // Execution-space strategy (docs/ARCHITECTURE.md).
+  /// Strategy::k2D with num_col_tiles <= 1 degenerates to the 1D
+  /// algorithm, and — for one deprecation cycle of the former Config2d —
+  /// num_col_tiles > 1 under the default mode still selects 2D;
+  /// effective_strategy() resolves both. The vanilla mask strategy is
+  /// rejected for 2D and blocked plans (its unmasked merge phase has no
+  /// column-restricted formulation that preserves its semantics).
+  Strategy mode = Strategy::k1D;
+  /// Column tile count for Strategy::k2D.
+  std::int64_t num_col_tiles = 1;
+  /// Column-block width for Strategy::kBlocked; 0 picks the auto width
+  /// (kDefaultBlockCols, clamped to kMaxColumnBlocks blocks).
+  std::int64_t block_cols = 0;
 
   // Dimension 2: iteration space (§III-B, Fig 14).
   MaskStrategy strategy = MaskStrategy::kMaskFirst;
@@ -52,6 +87,16 @@ struct Config {
 
   [[nodiscard]] bool operator==(const Config&) const = default;
 
+  /// The strategy this config actually selects: blocked when mode says
+  /// so, 2D whenever more than one column tile is requested (the former
+  /// Config2d contract), 1D otherwise.
+  [[nodiscard]] Strategy effective_strategy() const noexcept {
+    if (mode == Strategy::kBlocked) {
+      return Strategy::kBlocked;
+    }
+    return num_col_tiles > 1 ? Strategy::k2D : Strategy::k1D;
+  }
+
   [[nodiscard]] std::string describe() const {
     std::string out;
     out += "strategy=";
@@ -72,31 +117,34 @@ struct Config {
       out += " kappa=";
       out += std::to_string(coiteration_factor);
     }
+    // Strategy tokens only when the config leaves the 1D default, so 1D
+    // bench config strings stay comparable across versions.
+    switch (effective_strategy()) {
+      case Strategy::k1D:
+        break;
+      case Strategy::k2D:
+        out += " col-tiles=";
+        out += std::to_string(num_col_tiles);
+        break;
+      case Strategy::kBlocked:
+        out += " mode=";
+        out += to_string(Strategy::kBlocked);
+        out += " block-cols=";
+        out += std::to_string(block_cols);
+        break;
+    }
     return out;
   }
 };
 
-/// 2D configuration: the 1D Config plus a column tile count. A Config2d IS
-/// a Config (public base) so every 1D field is accessed directly and the
-/// two entry points cannot drift; `Config2d{config, n}` aggregate-extends a
-/// 1D config. The vanilla strategy is not supported with num_col_tiles > 1
-/// (its unmasked merge phase has no column-restricted formulation that
-/// preserves its semantics). num_col_tiles = 1 degenerates to the 1D
-/// algorithm.
-struct Config2d : Config {
-  std::int64_t num_col_tiles = 1;
-
-  /// The shared 1D slice, for call sites that need an explicit `Config&`
-  /// (e.g. handing a 2D config to a 1D entry point).
-  [[nodiscard]] Config& base() noexcept { return *this; }
-  [[nodiscard]] const Config& base() const noexcept { return *this; }
-
-  [[nodiscard]] bool operator==(const Config2d&) const = default;
-
-  [[nodiscard]] std::string describe() const {
-    return Config::describe() + " col-tiles=" + std::to_string(num_col_tiles);
-  }
-};
+/// Deprecated alias, kept for one release cycle: the former 2D config
+/// type collapsed into Config, whose Strategy field (`mode`, plus
+/// `num_col_tiles` / `block_cols`) selects the execution space. Migrate
+/// `Config2d{base, n}` to a Config with `num_col_tiles = n` (see
+/// docs/API.md for the table).
+using Config2d [[deprecated(
+    "Config2d is now Config: select the execution space via "
+    "Config::mode / num_col_tiles / block_cols")]] = Config;
 
 /// One thread's share of a driver's compute phase — the measured side of
 /// the load-imbalance story (the model's predicted CV lives in

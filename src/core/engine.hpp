@@ -278,7 +278,7 @@ class Engine {
     const Csr<T, I>* mask = nullptr;
     const Csr<T, I>* a = nullptr;
     const Csr<T, I>* b = nullptr;
-    Config2d config{};
+    Config config{};
     SubmitOptions options{};
   };
 
@@ -311,18 +311,12 @@ class Engine {
   /// SubmitOptions overloads attach a lane request and/or a deadline.
   JobHandle submit(const Csr<T, I>& mask, const Csr<T, I>& a,
                    const Csr<T, I>& b, const Config& config = {}) {
-    return submit(mask, a, b, Config2d{config, 1}, SubmitOptions{});
+    return submit_impl(mask, a, b, config, SubmitOptions{}, /*block=*/false);
   }
 
   JobHandle submit(const Csr<T, I>& mask, const Csr<T, I>& a,
                    const Csr<T, I>& b, const Config& config,
                    const SubmitOptions& options) {
-    return submit(mask, a, b, Config2d{config, 1}, options);
-  }
-
-  JobHandle submit(const Csr<T, I>& mask, const Csr<T, I>& a,
-                   const Csr<T, I>& b, const Config2d& config,
-                   const SubmitOptions& options = {}) {
     return submit_impl(mask, a, b, config, options, /*block=*/false);
   }
 
@@ -409,7 +403,7 @@ class Engine {
   /// Immutable after construction, shared by every job that hits it.
   struct PlanEntry {
     Plan<I> plan;
-    Config2d config;
+    Config config;
     /// Runs one tile task of `job` on pool worker `worker`.
     std::function<void(const PlanEntry&, Job&, std::int64_t, int)> run_task;
   };
@@ -448,7 +442,7 @@ class Engine {
   };
 
   JobHandle submit_impl(const Csr<T, I>& mask, const Csr<T, I>& a,
-                        const Csr<T, I>& b, Config2d config,
+                        const Csr<T, I>& b, Config config,
                         const SubmitOptions& sopts, bool block) {
     // Plan before admission: the cost-model verdict needs the plan's Eq-2
     // FLOP total, and a cache hit makes pricing a repeat structure free.
@@ -614,7 +608,7 @@ class Engine {
   std::shared_ptr<const PlanEntry> plan_for(const Csr<T, I>& mask,
                                             const Csr<T, I>& a,
                                             const Csr<T, I>& b,
-                                            const Config2d& config,
+                                            const Config& config,
                                             bool& cache_hit) {
     const std::uint64_t fingerprint =
         detail::structural_fingerprint(mask, a, b);
@@ -663,11 +657,9 @@ class Engine {
     job->deadline_ms = std::max(0.0, sopts.deadline_ms);
     job->plan_ms = plan_ms;
     const Plan<I>& plan = job->entry->plan;
-    const std::size_t col_tiles =
-        plan.two_dimensional() ? std::max<std::size_t>(1, plan.col_tiles.size())
-                               : 1;
-    job->task_count =
-        static_cast<std::int64_t>(plan.row_tiles.size() * col_tiles);
+    // Cells per row tile: column blocks (blocked), column tiles (2D), 1 (1D).
+    job->task_count = static_cast<std::int64_t>(plan.row_tiles.size() *
+                                                plan.cells_per_row_tile());
     // Driver buffers are NOT acquired here: binding is deferred to the
     // first task (bind_buffers) so the number of live scratch sets tracks
     // the worker count, not the admission window. Acquiring at submit
@@ -751,17 +743,13 @@ class Engine {
   void bind_buffers(Job& job) {
     std::call_once(job.buffers_once, [&] {
       const Plan<I>& plan = job.entry->plan;
-      const std::size_t col_tiles =
-          plan.two_dimensional()
-              ? std::max<std::size_t>(1, plan.col_tiles.size())
-              : 1;
+      const bool celled = plan.two_dimensional() || plan.is_blocked();
       job.buffers = acquire_buffers();
       job.buffers->ensure(
           static_cast<std::size_t>(job.mask->nnz()),
           static_cast<std::size_t>(plan.rows),
-          plan.two_dimensional()
-              ? static_cast<std::size_t>(plan.rows) * col_tiles
-              : 0);
+          celled ? static_cast<std::size_t>(plan.rows) * plan.cells_per_row_tile()
+                 : 0);
     });
   }
 
@@ -877,11 +865,28 @@ class Engine {
 
   template <class Marker>
   void bind_entry_marker(PlanEntry& entry) {
+    if (entry.plan.is_blocked()) {
+      // Blocked plans run on a BlockedWorkspace (block-width dense + the
+      // configured sparse-tile accumulator) — same dispatch as
+      // Executor::bind_blocked_runner.
+      switch (entry.config.accumulator) {
+        case AccumulatorKind::kDense:
+          bind_blocked_entry<Marker, DenseAccumulator<SR, I, Marker>>(entry);
+          return;
+        case AccumulatorKind::kBitmap:
+          bind_blocked_entry<Marker, BitmapAccumulator<SR, I>>(entry);
+          return;
+        case AccumulatorKind::kHash:
+          bind_blocked_entry<Marker, HashAccumulator<SR, I, Marker>>(entry);
+          return;
+      }
+      require(false, "Engine: invalid accumulator kind");
+    }
     switch (entry.config.accumulator) {
       case AccumulatorKind::kDense:
         bind_entry_runner<DenseAccumulator<SR, I, Marker>>(
             entry,
-            [](const Plan<I>& p, const Config2d& c) {
+            [](const Plan<I>& p, const Config& c) {
               return DenseAccumulator<SR, I, Marker>(p.cols, c.reset);
             },
             [](const Plan<I>& p) {
@@ -891,7 +896,7 @@ class Engine {
       case AccumulatorKind::kBitmap:
         bind_entry_runner<BitmapAccumulator<SR, I>>(
             entry,
-            [](const Plan<I>& p, const Config2d&) {
+            [](const Plan<I>& p, const Config&) {
               return BitmapAccumulator<SR, I>(p.cols);
             },
             [](const Plan<I>& p) {
@@ -901,7 +906,7 @@ class Engine {
       case AccumulatorKind::kHash:
         bind_entry_runner<HashAccumulator<SR, I, Marker>>(
             entry,
-            [](const Plan<I>& p, const Config2d& c) {
+            [](const Plan<I>& p, const Config& c) {
               return HashAccumulator<SR, I, Marker>(p.accumulator_bound,
                                                     c.reset);
             },
@@ -911,6 +916,19 @@ class Engine {
         return;
     }
     require(false, "Engine: invalid accumulator kind");
+  }
+
+  template <class Marker, class SparseAcc>
+  void bind_blocked_entry(PlanEntry& entry) {
+    using Ws = BlockedWorkspace<SR, I, Marker, SparseAcc>;
+    bind_entry_runner<Ws>(
+        entry,
+        [](const Plan<I>& p, const Config& c) {
+          return Ws(p.blocked->block_width, p.accumulator_bound, c.reset);
+        },
+        [](const Plan<I>& p) {
+          return Ws::capability(p.blocked->block_width, p.accumulator_bound);
+        });
   }
 
   template <class Acc, class Factory, class Capability>

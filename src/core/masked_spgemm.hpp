@@ -56,17 +56,4 @@ Csr<T, I> masked_spgemm(const Csr<T, I>& mask, const Csr<T, I>& a,
   return result;
 }
 
-/// Deprecated pointer-based statistics out-parameter; use the
-/// ExecutionStats& overload (or no stats argument at all) instead.
-template <Semiring SR, class T = typename SR::value_type, class I>
-[[deprecated("pass ExecutionStats by reference (or omit the argument)")]]
-Csr<T, I> masked_spgemm(const Csr<T, I>& mask, const Csr<T, I>& a,
-                        const Csr<T, I>& b, const Config& config,
-                        ExecutionStats* stats) {
-  if (stats == nullptr) {
-    return masked_spgemm<SR, T, I>(mask, a, b, config);
-  }
-  return masked_spgemm<SR, T, I>(mask, a, b, config, *stats);
-}
-
 }  // namespace tilq

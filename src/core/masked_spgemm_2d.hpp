@@ -14,12 +14,14 @@
 // need no synchronization, and concatenating the slices in column-tile
 // order keeps rows sorted. The cell kernel lives in core/kernels.hpp
 // (detail::compute_cell); the driver is the planned runtime in
-// core/plan.hpp — this header is the one-shot entry point (plan once,
-// execute once). Config2d itself is declared in core/config.hpp.
+// core/plan.hpp. Since the Config unification this header is a thin shim
+// over the unified masked_spgemm facade: Config::num_col_tiles (or
+// Config::mode) selects the execution space, and these wrappers only add
+// the historical vanilla-rejection precondition.
 #pragma once
 
 #include "core/config.hpp"
-#include "core/plan.hpp"
+#include "core/masked_spgemm.hpp"
 #include "sparse/csr.hpp"
 
 namespace tilq {
@@ -30,44 +32,21 @@ namespace tilq {
 /// preserves its semantics).
 template <Semiring SR, class T = typename SR::value_type, class I>
 Csr<T, I> masked_spgemm_2d(const Csr<T, I>& mask, const Csr<T, I>& a,
-                           const Csr<T, I>& b, const Config2d& config) {
-  static_assert(std::is_same_v<T, typename SR::value_type>,
-                "matrix value type must match the semiring");
+                           const Csr<T, I>& b, const Config& config) {
   require(config.strategy != MaskStrategy::kVanilla,
           "masked_spgemm_2d: the vanilla strategy has no 2D formulation");
-  Executor<SR, T, I> exec;
-  exec.plan(mask, a, b, config);
-  return exec.execute(mask, a, b);
+  return masked_spgemm<SR, T, I>(mask, a, b, config);
 }
 
 /// As above, filling `stats` with this call's execution statistics (the
 /// plan-build time is reported as the analyze phase).
 template <Semiring SR, class T = typename SR::value_type, class I>
 Csr<T, I> masked_spgemm_2d(const Csr<T, I>& mask, const Csr<T, I>& a,
-                           const Csr<T, I>& b, const Config2d& config,
+                           const Csr<T, I>& b, const Config& config,
                            ExecutionStats& stats) {
-  static_assert(std::is_same_v<T, typename SR::value_type>,
-                "matrix value type must match the semiring");
   require(config.strategy != MaskStrategy::kVanilla,
           "masked_spgemm_2d: the vanilla strategy has no 2D formulation");
-  Executor<SR, T, I> exec;
-  exec.plan(mask, a, b, config);
-  Csr<T, I> result = exec.execute(mask, a, b, stats);
-  stats.analyze_ms += exec.info().build_ms;
-  return result;
-}
-
-/// Deprecated pointer-based statistics out-parameter; use the
-/// ExecutionStats& overload (or no stats argument at all) instead.
-template <Semiring SR, class T = typename SR::value_type, class I>
-[[deprecated("pass ExecutionStats by reference (or omit the argument)")]]
-Csr<T, I> masked_spgemm_2d(const Csr<T, I>& mask, const Csr<T, I>& a,
-                           const Csr<T, I>& b, const Config2d& config,
-                           ExecutionStats* stats) {
-  if (stats == nullptr) {
-    return masked_spgemm_2d<SR, T, I>(mask, a, b, config);
-  }
-  return masked_spgemm_2d<SR, T, I>(mask, a, b, config, *stats);
+  return masked_spgemm<SR, T, I>(mask, a, b, config, stats);
 }
 
 }  // namespace tilq

@@ -46,6 +46,7 @@
 #include "accum/dense_accumulator.hpp"
 #include "accum/hash_accumulator.hpp"
 #include "accum/workspace_pool.hpp"
+#include "core/blocked.hpp"
 #include "core/config.hpp"
 #include "core/kernels.hpp"
 #include "core/tiling.hpp"
@@ -81,6 +82,9 @@ struct PlanInfo {
   std::int64_t accumulator_bound = 0; ///< per-row accumulator sizing
   std::int64_t hybrid_decisions = 0;  ///< precomputed per-(i,k) κ picks
   std::int64_t flop_total = 0;        ///< Eq-2 work total Σ_i W[i]
+  std::int64_t dense_tiles = 0;       ///< blocked: tiles classified dense
+  std::int64_t sparse_tiles = 0;      ///< blocked: tiles classified sparse
+  std::int64_t hub_splits = 0;        ///< blocked: hub rows split out
   double build_ms = 0.0;              ///< wall time of the plan() call
 };
 
@@ -165,13 +169,27 @@ struct Plan {
   std::int64_t flop_total = 0;
   I accumulator_bound = 0;
   /// One flag per A nonzero (flat index a.row_ptr[i] + p): the hybrid
-  /// strategy's per-(i,k) co-iteration choice. Empty unless the planned
-  /// config uses MaskStrategy::kHybrid on the 1D path.
+  /// strategy's per-(i,k) κ choice. Empty unless the planned config uses
+  /// MaskStrategy::kHybrid on the 1D or blocked path.
   std::vector<std::uint8_t> hybrid_coiterate;
   /// Whether the plan targets the 2D (row x column tile) driver.
   bool two_d = false;
+  /// Blocked-strategy artifacts (column-block slices, per-tile dense
+  /// verdicts); null unless the plan was built with Strategy::kBlocked.
+  /// Shared so plan copies (the engine's cache hands plans around) do not
+  /// duplicate the slices.
+  std::shared_ptr<const BlockedLayout<I>> blocked;
 
   [[nodiscard]] bool two_dimensional() const noexcept { return two_d; }
+  [[nodiscard]] bool is_blocked() const noexcept { return blocked != nullptr; }
+  /// Cells one row tile fans out into: column blocks (blocked), column
+  /// tiles (2D), or 1 (1D). task_count = row_tiles.size() x this.
+  [[nodiscard]] std::size_t cells_per_row_tile() const noexcept {
+    if (blocked != nullptr) {
+      return static_cast<std::size_t>(blocked->num_blocks());
+    }
+    return two_d ? std::max<std::size_t>(1, col_tiles.size()) : 1;
+  }
 };
 
 namespace detail {
@@ -224,13 +242,16 @@ void build_hybrid_decisions(Plan<I>& plan, const Csr<T, I>& mask,
 /// Fills everything but PlanInfo::build_ms, which the caller times.
 template <class T, class I>
 [[nodiscard]] Plan<I> build_plan(const Csr<T, I>& mask, const Csr<T, I>& a,
-                                 const Csr<T, I>& b, const Config2d& config) {
+                                 const Csr<T, I>& b, const Config& config) {
   require(a.cols() == b.rows(), "plan: inner dimensions must agree");
   require(mask.rows() == a.rows() && mask.cols() == b.cols(),
           "plan: mask shape must equal output shape");
-  const bool two_d = config.num_col_tiles > 1;
-  require(!(two_d && config.strategy == MaskStrategy::kVanilla),
-          "plan: the vanilla strategy has no 2D formulation");
+  const Strategy space = config.effective_strategy();
+  const bool two_d = space == Strategy::k2D;
+  const bool blocked = space == Strategy::kBlocked;
+  require(!((two_d || blocked) && config.strategy == MaskStrategy::kVanilla),
+          "plan: the vanilla strategy has no column-tiled (2D/blocked) "
+          "formulation");
   if (config.validate_inputs) {
     // Structural validation at the plan boundary (Config::validate_inputs,
     // on by default in hardened builds): a defect report beats the UB a
@@ -252,11 +273,29 @@ template <class T, class I>
       config.num_tiles > 0 ? config.num_tiles
                            : 2 * static_cast<std::int64_t>(threads);
   {
-    TraceSpan span(two_d ? "spgemm2d.analyze" : "spgemm.analyze");
-    if (config.tiling == Tiling::kFlopBalanced) {
+    TraceSpan span(blocked ? "spgemmblk.analyze"
+                           : (two_d ? "spgemm2d.analyze" : "spgemm.analyze"));
+    if (config.tiling == Tiling::kFlopBalanced || blocked) {
+      // The blocked strategy needs the per-row Eq-2 work even under uniform
+      // tiling: hub-row splitting reads it.
       const std::vector<std::int64_t> prefix = row_work_prefix(mask, a, b);
       plan.flop_total = prefix.empty() ? 0 : prefix.back();
-      plan.row_tiles = make_flop_balanced_tiles(prefix, num_tiles);
+      plan.row_tiles = config.tiling == Tiling::kFlopBalanced
+                           ? make_flop_balanced_tiles(prefix, num_tiles)
+                           : make_uniform_tiles(plan.rows, num_tiles);
+      if (blocked && !plan.row_tiles.empty()) {
+        // Hub rows (circuit-style ultra-dense rows holding more than twice
+        // a tile's work quota) become singleton tiles: the column blocks
+        // then fan each hub into one task per block, parallelizing INSIDE
+        // the row instead of serializing one straggler task.
+        const std::int64_t quota =
+            std::max<std::int64_t>(1, plan.flop_total / std::max<std::int64_t>(
+                                                            1, num_tiles));
+        std::int64_t splits = 0;
+        plan.row_tiles = split_hub_rows(std::move(plan.row_tiles), prefix,
+                                        2 * quota, &splits);
+        plan.info.hub_splits = splits;
+      }
     } else {
       // Same Eq-2 total the prefix sums to, without materializing it.
       plan.flop_total = plan.mask_nnz + total_flops(a, b);
@@ -273,7 +312,29 @@ template <class T, class I>
     }
     plan.accumulator_bound =
         detail::accumulator_row_bound(mask, a, b, config.strategy);
-    if (!two_d && config.strategy == MaskStrategy::kHybrid) {
+    if (blocked) {
+      auto layout = std::make_shared<BlockedLayout<I>>(build_blocked_layout(
+          mask, b, std::span<const Tile>(plan.row_tiles), config.block_cols));
+      // The sparse per-tile accumulator only ever sees one mask (row, block)
+      // segment, so its bound is the largest segment, not the full row.
+      plan.accumulator_bound = std::max<I>(I{1}, layout->max_seg_entries);
+      plan.info.dense_tiles = layout->dense_tiles;
+      plan.info.sparse_tiles = layout->sparse_tiles;
+      // Expose the block grid through col_tiles for introspection; the
+      // driver itself walks the layout's slices.
+      plan.col_tiles.clear();
+      for (std::int64_t t = 0; t < layout->num_blocks(); ++t) {
+        plan.col_tiles.push_back(
+            {static_cast<std::int64_t>(
+                 layout->block_begin[static_cast<std::size_t>(t)]),
+             static_cast<std::int64_t>(
+                 layout->block_begin[static_cast<std::size_t>(t) + 1])});
+      }
+      plan.blocked = std::move(layout);
+    }
+    if (!two_d && !blocked && config.strategy == MaskStrategy::kHybrid) {
+      // 1D only: the blocked driver re-evaluates κ per (cell, k) against
+      // SEGMENT sizes, which the full-row precomputation cannot stand for.
       build_hybrid_decisions(plan, mask, a, b, config.coiteration_factor);
     }
     plan.info.fingerprint = detail::structural_fingerprint(mask, a, b);
@@ -361,16 +422,82 @@ struct TileTaskStats {
   std::uint64_t degrades = 0;  ///< rows/cells replayed on the dense fallback
 };
 
+/// One (row tile x column block) task of the blocked driver. The per-tile
+/// dense/sparse verdict picks the accumulator out of the workspace; a
+/// sparse-side saturation replays the cell on the workspace's own dense
+/// accumulator (same block width => same gather order => bit-identical),
+/// so no external fallback is needed. Output slots come straight from the
+/// mask slice's entry_begin — the slice IS the slot map, no binary search.
+template <Semiring SR, class T, class I, class Ws>
+TileTaskStats run_blocked_tile_task(const Plan<I>& plan, const Config& config,
+                                    const Csr<T, I>& a, const Csr<T, I>& b,
+                                    std::int64_t task, Ws& ws,
+                                    DriverBuffers<T, I>& buffers) {
+  const BlockedLayout<I>& layout = *plan.blocked;
+  const auto blocks = static_cast<std::size_t>(layout.num_blocks());
+  const std::size_t rt = static_cast<std::size_t>(task) / blocks;
+  const std::size_t t = static_cast<std::size_t>(task) % blocks;
+  const Tile row_tile = plan.row_tiles[rt];
+  const BlockSlice<I>& mslice = layout.m_blocks[t];
+  const BlockSlice<I>& bslice = layout.b_blocks[t];
+  const I col_base = layout.block_begin[t];
+  const bool dense_tile = layout.dense_tile(rt, t);
+  TraceSpan tile_span("tileblk", task);
+  TileTaskStats out;
+  out.rows += row_tile.row_end - row_tile.row_begin;
+#if TILQ_METRICS_ENABLED
+  if (MetricCounters* const counters = metrics_thread_counters()) {
+    if (dense_tile) {
+      ++counters->blocked_dense_picks;
+    } else {
+      ++counters->blocked_sparse_picks;
+    }
+  }
+#endif
+  for (I i = static_cast<I>(row_tile.row_begin);
+       i < static_cast<I>(row_tile.row_end); ++i) {
+    const auto slot = static_cast<std::size_t>(
+        mslice.entry_begin[static_cast<std::size_t>(i)]);
+    I* const out_cols = buffers.bound_cols.data() + slot;
+    T* const out_vals = buffers.bound_vals.data() + slot;
+    I count = 0;
+    if (dense_tile) {
+      count = compute_block_cell_direct<SR>(
+          mslice, bslice, a, b, i, col_base, config.strategy,
+          config.coiteration_factor, ws.direct(), out_cols, out_vals);
+    } else {
+      try {
+        count = compute_block_cell<SR>(
+            mslice, bslice, a, b, i, col_base, config.strategy,
+            config.coiteration_factor, ws.sparse(), out_cols, out_vals);
+      } catch (const AccumulatorSaturatedError&) {
+        if (!config.degrade_on_saturation) {
+          throw;
+        }
+        ws.abort_sparse_row();
+        count = compute_block_cell<SR>(
+            mslice, bslice, a, b, i, col_base, config.strategy,
+            config.coiteration_factor, ws.dense(), out_cols, out_vals);
+        ++out.degrades;
+      }
+    }
+    buffers.cell_counts[static_cast<std::size_t>(i) * blocks + t] = count;
+  }
+  return out;
+}
+
 /// One tile task of the numeric phase: task index `task` of `plan`, run
 /// against `acc`, writing into `buffers`' mask-bounded slots. This is the
 /// single shared body behind both schedulers — the OpenMP worksharing loop
 /// in planned_execute and the batch engine's pool workers (core/engine.hpp)
 /// call exactly this function, so the two paths stay bit-identical by
 /// construction. `fallback` is the caller's lazily-built dense escalation
-/// target, kept across tasks so a degrading worker builds it only once.
+/// target, kept across tasks so a degrading worker builds it only once
+/// (unused by the blocked path, whose workspace carries its own dense
+/// accumulator).
 template <Semiring SR, class T, class I, class Acc>
-TileTaskStats run_tile_task(
-    const Plan<I>& plan, const Config2d& config, const Csr<T, I>& mask,
+TileTaskStats run_scalar_tile_task(
+    const Plan<I>& plan, const Config& config, const Csr<T, I>& mask,
     const Csr<T, I>& a, const Csr<T, I>& b, std::int64_t task, Acc& acc,
     std::optional<typename FallbackAccumulator<Acc>::type>& fallback,
     DriverBuffers<T, I>& buffers) {
@@ -483,6 +610,26 @@ TileTaskStats run_tile_task(
   return out;
 }
 
+/// Compile-time dispatch over the workspace type: a BlockedWorkspace runs
+/// the blocked driver, a plain accumulator the 1D/2D ones. Instantiating
+/// only the matching branch is what lets one worksharing loop (and the
+/// engine's one pool-worker body) serve all three execution spaces.
+template <Semiring SR, class T, class I, class Acc>
+TileTaskStats run_tile_task(
+    const Plan<I>& plan, const Config& config, const Csr<T, I>& mask,
+    const Csr<T, I>& a, const Csr<T, I>& b, std::int64_t task, Acc& acc,
+    std::optional<typename FallbackAccumulator<Acc>::type>& fallback,
+    DriverBuffers<T, I>& buffers) {
+  if constexpr (is_blocked_workspace_v<Acc>) {
+    (void)mask;
+    (void)fallback;
+    return run_blocked_tile_task<SR>(plan, config, a, b, task, acc, buffers);
+  } else {
+    return run_scalar_tile_task<SR>(plan, config, mask, a, b, task, acc,
+                                    fallback, buffers);
+  }
+}
+
 /// The compact phase against filled driver buffers. `parallel` selects the
 /// OpenMP row loop (planned_execute) or a plain serial one (the batch
 /// engine's pool workers, which must not open a nested OpenMP team). Rows
@@ -492,8 +639,7 @@ Csr<T, I> compact_planned(const Plan<I>& plan, const Csr<T, I>& mask,
                           DriverBuffers<T, I>& buffers, bool parallel) {
   const I rows = plan.rows;
   const auto mask_row_ptr = mask.row_ptr();
-  const std::size_t col_tile_count =
-      std::max<std::size_t>(1, plan.col_tiles.size());
+  const std::size_t col_tile_count = plan.cells_per_row_tile();
   const auto for_rows = [&](auto&& body) {
     if (parallel) {
       parallel_for(I{0}, rows, body);
@@ -503,7 +649,7 @@ Csr<T, I> compact_planned(const Plan<I>& plan, const Csr<T, I>& mask,
       }
     }
   };
-  if (plan.two_dimensional()) {
+  if (plan.two_dimensional() || plan.is_blocked()) {
     for_rows([&](I i) {
       I total = 0;
       for (std::size_t ct = 0; ct < col_tile_count; ++ct) {
@@ -518,7 +664,25 @@ Csr<T, I> compact_planned(const Plan<I>& plan, const Csr<T, I>& mask,
                : exclusive_scan_serial<I>(buffers.row_counts, out_row_ptr);
   std::vector<I> out_cols(static_cast<std::size_t>(out_nnz));
   std::vector<T> out_vals(static_cast<std::size_t>(out_nnz));
-  if (!plan.two_dimensional()) {
+  if (plan.is_blocked()) {
+    // Stitch the per-block segments in block order; the mask slice's
+    // entry_begin is the slot map, so no per-cell search is needed.
+    const BlockedLayout<I>& layout = *plan.blocked;
+    for_rows([&](I i) {
+      auto dst = static_cast<std::size_t>(out_row_ptr[static_cast<std::size_t>(i)]);
+      for (std::size_t ct = 0; ct < col_tile_count; ++ct) {
+        const auto slot = static_cast<std::size_t>(
+            layout.m_blocks[ct].entry_begin[static_cast<std::size_t>(i)]);
+        const auto len = static_cast<std::size_t>(
+            buffers.cell_counts[static_cast<std::size_t>(i) * col_tile_count + ct]);
+        for (std::size_t p = 0; p < len; ++p) {
+          out_cols[dst + p] = buffers.bound_cols[slot + p];
+          out_vals[dst + p] = buffers.bound_vals[slot + p];
+        }
+        dst += len;
+      }
+    });
+  } else if (!plan.two_dimensional()) {
     for_rows([&](I i) {
       const auto src = static_cast<std::size_t>(mask_row_ptr[static_cast<std::size_t>(i)]);
       const auto dst = static_cast<std::size_t>(out_row_ptr[static_cast<std::size_t>(i)]);
@@ -555,35 +719,39 @@ Csr<T, I> compact_planned(const Plan<I>& plan, const Csr<T, I>& mask,
                    std::move(out_cols), std::move(out_vals));
 }
 
-/// The numeric phase (compute + compact) against a built plan. Handles both
-/// the 1D and the 2D tile grid; trace span names stay those of the original
+/// The numeric phase (compute + compact) against a built plan. Handles the
+/// 1D, 2D, and blocked drivers; trace span names stay those of the original
 /// drivers ("spgemm.*" / "tile" when the plan is 1D, "spgemm2d.*" /
-/// "tile2d" when 2D) so existing trace consumers keep working.
+/// "tile2d" when 2D) so existing trace consumers keep working; the blocked
+/// path adds "spgemmblk.*" / "tileblk".
 ///
 /// `make` constructs one accumulator for the current plan+config;
 /// `capability` is the pool's rebuild key (columns for dense/bitmap, row
 /// bound for hash — see WorkspacePool).
 template <Semiring SR, class T, class I, class Acc, class MakeAcc>
-Csr<T, I> planned_execute(const Plan<I>& plan, const Config2d& config,
+Csr<T, I> planned_execute(const Plan<I>& plan, const Config& config,
                           const Csr<T, I>& mask, const Csr<T, I>& a,
                           const Csr<T, I>& b, WorkspacePool<Acc>& pool,
                           std::uint64_t capability, MakeAcc&& make,
                           DriverBuffers<T, I>& buffers,
                           ExecutionStats* stats) {
   const bool two_d = plan.two_dimensional();
+  const bool blocked = plan.is_blocked();
   WallTimer phase;
   const I rows = a.rows();
   const int threads = config.threads > 0 ? config.threads : max_threads();
 
-  const std::size_t col_tile_count = std::max<std::size_t>(1, plan.col_tiles.size());
+  const std::size_t col_tile_count = plan.cells_per_row_tile();
   buffers.ensure(static_cast<std::size_t>(mask.nnz()),
                  static_cast<std::size_t>(rows),
-                 two_d ? static_cast<std::size_t>(rows) * col_tile_count : 0);
+                 (two_d || blocked)
+                     ? static_cast<std::size_t>(rows) * col_tile_count
+                     : 0);
   pool.reserve(threads);
 
   set_runtime_schedule(config.schedule);
   const auto task_count = static_cast<std::int64_t>(
-      plan.row_tiles.size() * (two_d ? col_tile_count : 1));
+      plan.row_tiles.size() * ((two_d || blocked) ? col_tile_count : 1));
 
   std::uint64_t total_resets = 0;
   std::uint64_t total_probes = 0;
@@ -607,7 +775,9 @@ Csr<T, I> planned_execute(const Plan<I>& plan, const Config2d& config,
   using Fallback = FallbackAccumulator<Acc>;
 
   {
-    TraceSpan compute_span(two_d ? "spgemm2d.compute" : "spgemm.compute");
+    TraceSpan compute_span(blocked ? "spgemmblk.compute"
+                                   : (two_d ? "spgemm2d.compute"
+                                            : "spgemm.compute"));
 
 #pragma omp parallel num_threads(threads)                                  \
     reduction(+ : total_resets, total_probes, total_inserts, total_rejects, \
@@ -731,7 +901,9 @@ Csr<T, I> planned_execute(const Plan<I>& plan, const Config2d& config,
 
   // --- compact -----------------------------------------------------------
   phase.reset();
-  TraceSpan compact_span(two_d ? "spgemm2d.compact" : "spgemm.compact");
+  TraceSpan compact_span(blocked ? "spgemmblk.compact"
+                                 : (two_d ? "spgemm2d.compact"
+                                          : "spgemm.compact"));
   Csr<T, I> result = compact_planned(plan, mask, buffers, /*parallel=*/true);
   if (stats != nullptr) {
     stats->compact_ms = phase.milliseconds();
@@ -751,15 +923,10 @@ template <Semiring SR, class T = typename SR::value_type,
           class I = std::int64_t>
 class Executor {
  public:
-  /// Structure phase for the 1D driver.
+  /// Structure phase. Config::effective_strategy() selects the 1D, 2D, or
+  /// blocked driver.
   void plan(const Csr<T, I>& mask, const Csr<T, I>& a, const Csr<T, I>& b,
             const Config& config = {}) {
-    plan(mask, a, b, Config2d{config, 1});
-  }
-
-  /// Structure phase; num_col_tiles > 1 selects the 2D driver.
-  void plan(const Csr<T, I>& mask, const Csr<T, I>& a, const Csr<T, I>& b,
-            const Config2d& config) {
     static_assert(std::is_same_v<T, typename SR::value_type>,
                   "matrix value type must match the semiring");
     WallTimer build;
@@ -795,7 +962,7 @@ class Executor {
 
   [[nodiscard]] const Plan<I>& plan_data() const noexcept { return plan_; }
   [[nodiscard]] const PlanInfo& info() const noexcept { return plan_.info; }
-  [[nodiscard]] const Config2d& config() const noexcept { return config_; }
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
 
   /// Aggregated workspace-pool counters (zero until the first execute).
   [[nodiscard]] WorkspacePoolStats pool_stats() const {
@@ -810,7 +977,7 @@ class Executor {
   /// Drops the plan and every pooled workspace.
   void reset() {
     plan_ = Plan<I>{};
-    config_ = Config2d{};
+    config_ = Config{};
     run_ = nullptr;
     pool_stats_ = nullptr;
     pool_.reset();
@@ -821,7 +988,7 @@ class Executor {
 
  private:
   using Runner = std::function<Csr<T, I>(
-      const Plan<I>&, const Config2d&, const Csr<T, I>&, const Csr<T, I>&,
+      const Plan<I>&, const Config&, const Csr<T, I>&, const Csr<T, I>&,
       const Csr<T, I>&, detail::DriverBuffers<T, I>&, ExecutionStats*)>;
 
   Csr<T, I> execute_impl(const Csr<T, I>& mask, const Csr<T, I>& a,
@@ -869,10 +1036,27 @@ class Executor {
 
   template <class Marker>
   void bind_accumulator() {
+    if (plan_.is_blocked()) {
+      // Blocked driver: the workspace pairs a block-width dense accumulator
+      // with the configured sparse-tile accumulator; Config::accumulator
+      // picks the latter.
+      switch (config_.accumulator) {
+        case AccumulatorKind::kDense:
+          bind_blocked_runner<Marker, DenseAccumulator<SR, I, Marker>>();
+          return;
+        case AccumulatorKind::kBitmap:
+          bind_blocked_runner<Marker, BitmapAccumulator<SR, I>>();
+          return;
+        case AccumulatorKind::kHash:
+          bind_blocked_runner<Marker, HashAccumulator<SR, I, Marker>>();
+          return;
+      }
+      require(false, "Executor::plan: invalid accumulator kind");
+    }
     switch (config_.accumulator) {
       case AccumulatorKind::kDense:
         bind_runner<DenseAccumulator<SR, I, Marker>>(
-            [](const Plan<I>& p, const Config2d& c) {
+            [](const Plan<I>& p, const Config& c) {
               return DenseAccumulator<SR, I, Marker>(p.cols, c.reset);
             },
             [](const Plan<I>& p) {
@@ -883,7 +1067,7 @@ class Executor {
         // 1-bit flags: the marker width and reset policy are fixed by the
         // representation (explicit reset only).
         bind_runner<BitmapAccumulator<SR, I>>(
-            [](const Plan<I>& p, const Config2d&) {
+            [](const Plan<I>& p, const Config&) {
               return BitmapAccumulator<SR, I>(p.cols);
             },
             [](const Plan<I>& p) {
@@ -892,7 +1076,7 @@ class Executor {
         return;
       case AccumulatorKind::kHash:
         bind_runner<HashAccumulator<SR, I, Marker>>(
-            [](const Plan<I>& p, const Config2d& c) {
+            [](const Plan<I>& p, const Config& c) {
               return HashAccumulator<SR, I, Marker>(p.accumulator_bound,
                                                     c.reset);
             },
@@ -902,6 +1086,21 @@ class Executor {
         return;
     }
     require(false, "Executor::plan: invalid accumulator kind");
+  }
+
+  /// Binds the blocked driver's per-thread workspace: block-width dense +
+  /// `SparseAcc` for sparse tiles, pooled under the lexicographic
+  /// (block width, sparse bound) capability.
+  template <class Marker, class SparseAcc>
+  void bind_blocked_runner() {
+    using Ws = BlockedWorkspace<SR, I, Marker, SparseAcc>;
+    bind_runner<Ws>(
+        [](const Plan<I>& p, const Config& c) {
+          return Ws(p.blocked->block_width, p.accumulator_bound, c.reset);
+        },
+        [](const Plan<I>& p) {
+          return Ws::capability(p.blocked->block_width, p.accumulator_bound);
+        });
   }
 
   /// `factory(plan, config)` builds one accumulator; `capability(plan)` is
@@ -919,7 +1118,7 @@ class Executor {
     }
     pool_stats_ = [pool] { return pool->stats(); };
     run_ = [pool, factory, capability](
-               const Plan<I>& plan, const Config2d& config,
+               const Plan<I>& plan, const Config& config,
                const Csr<T, I>& mask, const Csr<T, I>& a, const Csr<T, I>& b,
                detail::DriverBuffers<T, I>& buffers, ExecutionStats* stats) {
       return detail::planned_execute<SR>(
@@ -929,7 +1128,7 @@ class Executor {
   }
 
   Plan<I> plan_{};
-  Config2d config_{};
+  Config config_{};
   Runner run_;
   std::function<WorkspacePoolStats()> pool_stats_;
   std::shared_ptr<void> pool_;
@@ -950,22 +1149,11 @@ class PlanCache {
  public:
   Csr<T, I> execute(const Csr<T, I>& mask, const Csr<T, I>& a,
                     const Csr<T, I>& b, const Config& config = {}) {
-    return execute_impl(mask, a, b, Config2d{config, 1}, nullptr);
-  }
-
-  Csr<T, I> execute(const Csr<T, I>& mask, const Csr<T, I>& a,
-                    const Csr<T, I>& b, const Config& config,
-                    ExecutionStats& stats) {
-    return execute_impl(mask, a, b, Config2d{config, 1}, &stats);
-  }
-
-  Csr<T, I> execute(const Csr<T, I>& mask, const Csr<T, I>& a,
-                    const Csr<T, I>& b, const Config2d& config) {
     return execute_impl(mask, a, b, config, nullptr);
   }
 
   Csr<T, I> execute(const Csr<T, I>& mask, const Csr<T, I>& a,
-                    const Csr<T, I>& b, const Config2d& config,
+                    const Csr<T, I>& b, const Config& config,
                     ExecutionStats& stats) {
     return execute_impl(mask, a, b, config, &stats);
   }
@@ -978,7 +1166,7 @@ class PlanCache {
 
  private:
   Csr<T, I> execute_impl(const Csr<T, I>& mask, const Csr<T, I>& a,
-                         const Csr<T, I>& b, const Config2d& config,
+                         const Csr<T, I>& b, const Config& config,
                          ExecutionStats* stats) {
     if (!exec_.planned() || !(exec_.config() == config) ||
         !exec_.matches(mask, a, b)) {

@@ -97,4 +97,43 @@ std::int64_t tile_work(const Tile& tile, std::span<const std::int64_t> work_pref
          work_prefix[static_cast<std::size_t>(tile.row_begin)];
 }
 
+std::vector<Tile> split_hub_rows(std::vector<Tile> tiles,
+                                 std::span<const std::int64_t> work_prefix,
+                                 std::int64_t hub_threshold,
+                                 std::int64_t* splits) {
+  require(hub_threshold > 0, "split_hub_rows: threshold must be positive");
+  std::int64_t count = 0;
+  std::vector<Tile> refined;
+  refined.reserve(tiles.size());
+  for (const Tile& tile : tiles) {
+    std::int64_t begin = tile.row_begin;
+    for (std::int64_t row = tile.row_begin; row < tile.row_end; ++row) {
+      const std::int64_t row_work =
+          work_prefix[static_cast<std::size_t>(row) + 1] -
+          work_prefix[static_cast<std::size_t>(row)];
+      if (row_work <= hub_threshold) {
+        continue;
+      }
+      if (begin < row) {
+        refined.push_back({begin, row});
+      }
+      refined.push_back({row, row + 1});
+      ++count;
+      begin = row + 1;
+    }
+    if (begin < tile.row_end) {
+      refined.push_back({begin, tile.row_end});
+    }
+  }
+  if (splits != nullptr) {
+    *splits = count;
+  }
+  if (count > 0) {
+    // Only the net-new tiles are fresh: a hub row and its neighbors were
+    // already covered by the input tiling.
+    count_tiles_created(refined.size() - tiles.size());
+  }
+  return refined;
+}
+
 }  // namespace tilq

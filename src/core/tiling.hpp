@@ -47,4 +47,16 @@ std::vector<Tile> make_flop_balanced_tiles(std::span<const std::int64_t> work_pr
 /// Work assigned to `tile` under `work_prefix` — test/diagnostic helper.
 std::int64_t tile_work(const Tile& tile, std::span<const std::int64_t> work_prefix);
 
+/// Splits hub rows out of `tiles`: every row whose estimated work exceeds
+/// `hub_threshold` becomes a singleton tile of its own, preserving row
+/// order and coverage. With a column-tiled grid (2D / blocked) a
+/// singleton row tile still fans out into one task per column tile, so a
+/// circuit-style ultra-dense row parallelizes INSIDE the row instead of
+/// serializing one task. Returns the refined tiling; `splits` (when
+/// non-null) receives the number of hub rows split out.
+std::vector<Tile> split_hub_rows(std::vector<Tile> tiles,
+                                 std::span<const std::int64_t> work_prefix,
+                                 std::int64_t hub_threshold,
+                                 std::int64_t* splits = nullptr);
+
 }  // namespace tilq

@@ -63,30 +63,36 @@ class EngineTest : public ::testing::Test {
 
 TEST_F(EngineTest, BitIdenticalToSingleCallPathAcrossConfigs) {
   const Problem p = make_problem(7);
-  std::vector<Config2d> configs;
+  std::vector<Config> configs;
   for (const MaskStrategy strategy :
        {MaskStrategy::kMaskFirst, MaskStrategy::kCoIterate,
         MaskStrategy::kHybrid, MaskStrategy::kVanilla}) {
     for (const AccumulatorKind acc :
          {AccumulatorKind::kHash, AccumulatorKind::kDense,
           AccumulatorKind::kBitmap}) {
-      Config2d config;
+      Config config;
       config.strategy = strategy;
       config.accumulator = acc;
       configs.push_back(config);
     }
   }
   {
-    Config2d two_d;
+    Config two_d;
     two_d.num_col_tiles = 3;
     configs.push_back(two_d);
   }
+  for (const AccumulatorKind acc :
+       {AccumulatorKind::kHash, AccumulatorKind::kDense,
+        AccumulatorKind::kBitmap}) {
+    Config blocked;
+    blocked.mode = Strategy::kBlocked;
+    blocked.block_cols = 9;
+    blocked.accumulator = acc;
+    configs.push_back(blocked);
+  }
   Engine<SR> engine;
-  for (const Config2d& config : configs) {
-    const Csr<double, I> oracle =
-        config.num_col_tiles > 1
-            ? masked_spgemm_2d<SR>(p.mask, p.a, p.b, config)
-            : masked_spgemm<SR>(p.mask, p.a, p.b, config);
+  for (const Config& config : configs) {
+    const Csr<double, I> oracle = masked_spgemm<SR>(p.mask, p.a, p.b, config);
     auto handle = engine.submit(p.mask, p.a, p.b, config);
     const Csr<double, I> got = handle.get();
     EXPECT_TRUE(test::csr_equal(oracle, got))
@@ -100,9 +106,9 @@ TEST_F(EngineTest, BitIdenticalToSingleCallPathAcrossConfigs) {
 TEST_F(EngineTest, PlanCacheAccountingIsExact) {
   const Problem p = make_problem(11);
   const Problem q = make_problem(23, 32, 28, 30);
-  Config2d hash_config;
+  Config hash_config;
   hash_config.accumulator = AccumulatorKind::kHash;
-  Config2d dense_config;
+  Config dense_config;
   dense_config.accumulator = AccumulatorKind::kDense;
 
   Engine<SR> engine;
@@ -122,9 +128,9 @@ TEST_F(EngineTest, PlanCacheAccountingIsExact) {
 TEST_F(EngineTest, CallerThreadCountDoesNotFragmentTheCache) {
   const Problem p = make_problem(13);
   Engine<SR> engine;
-  Config2d first;
+  Config first;
   first.threads = 3;
-  Config2d second;
+  Config second;
   second.threads = 7;
   (void)engine.submit(p.mask, p.a, p.b, first).get();
   (void)engine.submit(p.mask, p.a, p.b, second).get();
@@ -152,6 +158,25 @@ TEST_F(EngineTest, ValueOnlyUpdatesHitTheCacheAndStayCorrect) {
   EXPECT_EQ(engine.stats().plan_builds, 1u);
 }
 
+TEST_F(EngineTest, BlockedValueOnlyUpdatesHitTheCacheAndStayCorrect) {
+  const Problem p = make_problem(19);
+  Config config;
+  config.mode = Strategy::kBlocked;
+  config.block_cols = 11;
+  Engine<SR> engine;
+  auto first = engine.submit(p.mask, p.a, p.b, config);
+  EXPECT_TRUE(
+      test::csr_equal(test::reference_masked_spgemm<SR>(p.mask, p.a, p.b),
+                      first.get()));
+  const Csr<double, I> a2 = scale_values(p.a, -3.0);
+  const Csr<double, I> b2 = scale_values(p.b, 0.25);
+  auto second = engine.submit(p.mask, a2, b2, config);
+  EXPECT_TRUE(test::csr_equal(
+      test::reference_masked_spgemm<SR>(p.mask, a2, b2), second.get()));
+  EXPECT_TRUE(second.stats().plan_cache_hit);
+  EXPECT_EQ(engine.stats().plan_builds, 1u);
+}
+
 TEST_F(EngineTest, RunBatchReturnsResultsInQueryOrder) {
   std::vector<Problem> problems;
   for (std::uint64_t seed = 0; seed < 6; ++seed) {
@@ -160,7 +185,7 @@ TEST_F(EngineTest, RunBatchReturnsResultsInQueryOrder) {
   }
   std::vector<Engine<SR>::Query> queries;
   for (const Problem& p : problems) {
-    queries.push_back({&p.mask, &p.a, &p.b, Config2d{}});
+    queries.push_back({&p.mask, &p.a, &p.b, Config{}});
   }
   EngineOptions options;
   options.max_in_flight = 2;  // force the blocking admission path
@@ -230,7 +255,7 @@ TEST_F(EngineTest, FaultedJobFailsAloneAndTheEngineSurvives) {
 
 TEST_F(EngineTest, DegradedJobsStayBitIdentical) {
   const Problem p = make_problem(41, 64, 48, 56, 0.2);
-  Config2d config;
+  Config config;
   config.accumulator = AccumulatorKind::kHash;
   const Csr<double, I> oracle = masked_spgemm<SR>(p.mask, p.a, p.b, config);
   EngineOptions one_thread;
@@ -304,11 +329,11 @@ TEST_F(EngineTest, ConcurrentSubmittersKeepCacheAccountingExact) {
   for (std::uint64_t seed = 0; seed < 3; ++seed) {
     shared.push_back(make_problem(200 + seed, 40, 36, 38));
   }
-  Config2d hash_config;
+  Config hash_config;
   hash_config.accumulator = AccumulatorKind::kHash;
-  Config2d dense_config;
+  Config dense_config;
   dense_config.accumulator = AccumulatorKind::kDense;
-  const std::vector<Config2d> configs = {hash_config, dense_config};
+  const std::vector<Config> configs = {hash_config, dense_config};
 
   Engine<SR> engine;
   std::atomic<int> failures{0};
@@ -319,7 +344,7 @@ TEST_F(EngineTest, ConcurrentSubmittersKeepCacheAccountingExact) {
       for (int round = 0; round < kRounds; ++round) {
         const Problem& p = shared[static_cast<std::size_t>(
             (t + round) % static_cast<int>(shared.size()))];
-        const Config2d& config =
+        const Config& config =
             configs[static_cast<std::size_t>(round % 2)];
         try {
           const Csr<double, I> got =

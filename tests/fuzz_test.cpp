@@ -5,8 +5,12 @@
 // this kind of load), so they run wide by design.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
+#include <span>
+#include <vector>
 
+#include "core/blocked.hpp"
 #include "core/masked_spgemm.hpp"
 #include "core/masked_spgemm_2d.hpp"
 #include "core/spgemm.hpp"
@@ -77,17 +81,91 @@ TEST_P(FuzzRounds, TwoDeeTilingAgreesWithOneDee) {
     const I n = static_cast<I>(8 + rng.uniform_below(80));
     const auto a = test::random_matrix<double, I>(n, n, 0.1 + 0.2 * rng.uniform(),
                                                   rng());
-    Config2d config;
-    config.base() = random_config(rng);
+    Config config = random_config(rng);
     if (config.strategy == MaskStrategy::kVanilla) {
       config.strategy = MaskStrategy::kHybrid;  // unsupported in 2D
     }
+    Config one_d_config = config;  // same knobs, 1D execution space
     config.num_col_tiles = static_cast<std::int64_t>(1 + rng.uniform_below(20));
 
-    const auto one_d = masked_spgemm<SR>(a, a, a, config.base());
+    const auto one_d = masked_spgemm<SR>(a, a, a, one_d_config);
     const auto two_d = masked_spgemm_2d<SR>(a, a, a, config);
     ASSERT_TRUE(test::csr_equal(one_d, two_d))
-        << config.base().describe() << " col_tiles " << config.num_col_tiles;
+        << one_d_config.describe() << " col_tiles " << config.num_col_tiles;
+  }
+}
+
+TEST_P(FuzzRounds, BlockedTilingAgreesWithOneDee) {
+  Xoshiro256 rng(GetParam() * 49979687);
+  for (int round = 0; round < 6; ++round) {
+    const I n = static_cast<I>(8 + rng.uniform_below(80));
+    const auto a = test::random_matrix<double, I>(n, n, 0.1 + 0.2 * rng.uniform(),
+                                                  rng());
+    Config config = random_config(rng);
+    if (config.strategy == MaskStrategy::kVanilla) {
+      config.strategy = MaskStrategy::kHybrid;  // unsupported when blocked
+    }
+    Config one_d_config = config;
+    config.mode = Strategy::kBlocked;
+    config.block_cols = static_cast<std::int64_t>(1 + rng.uniform_below(
+                                                          static_cast<std::uint64_t>(n) + 8));
+
+    const auto one_d = masked_spgemm<SR>(a, a, a, one_d_config);
+    const auto blocked = masked_spgemm<SR>(a, a, a, config);
+    ASSERT_TRUE(test::csr_equal(one_d, blocked))
+        << one_d_config.describe() << " block_cols " << config.block_cols;
+  }
+}
+
+// Block-boundary fuzzer: random (including degenerate, zero-width) column
+// blocks must slice any valid CSR into segments that reassemble the source
+// exactly — local columns remap back via the block origin, and entry_begin
+// recovers every value segment. The reassembled matrix must also pass the
+// structural validator, closing the loop with CorruptedStructureIsAlways-
+// CaughtByValidate below.
+TEST_P(FuzzRounds, BlockSliceExtractionRoundTrips) {
+  Xoshiro256 rng(GetParam() * 67867967);
+  for (int round = 0; round < 12; ++round) {
+    const I rows = static_cast<I>(1 + rng.uniform_below(48));
+    const I cols = static_cast<I>(1 + rng.uniform_below(96));
+    const auto m = test::random_matrix<double, I>(
+        rows, cols, 0.02 + 0.3 * rng.uniform(), rng());
+    // Random sorted boundaries: 0 and cols always present; interior cuts
+    // may collide, producing empty blocks on purpose.
+    std::vector<I> block_begin{0};
+    const std::uint64_t cuts = rng.uniform_below(6);
+    for (std::uint64_t c = 0; c < cuts; ++c) {
+      block_begin.push_back(
+          static_cast<I>(rng.uniform_below(static_cast<std::uint64_t>(cols) + 1)));
+    }
+    block_begin.push_back(cols);
+    std::sort(block_begin.begin(), block_begin.end());
+
+    const auto slices =
+        extract_block_slices(m, std::span<const I>(block_begin));
+    ASSERT_EQ(slices.size(), block_begin.size() - 1);
+
+    // Reassemble row by row, in block order.
+    std::vector<I> out_row_ptr{0};
+    std::vector<I> out_cols;
+    std::vector<double> out_vals;
+    for (I i = 0; i < rows; ++i) {
+      for (std::size_t t = 0; t + 1 < block_begin.size(); ++t) {
+        const auto seg = slices[t].row_local_cols(i);
+        const auto base = static_cast<std::size_t>(
+            slices[t].entry_begin[static_cast<std::size_t>(i)]);
+        for (std::size_t q = 0; q < seg.size(); ++q) {
+          out_cols.push_back(static_cast<I>(seg[q] + block_begin[t]));
+          out_vals.push_back(m.values()[base + q]);
+        }
+      }
+      out_row_ptr.push_back(static_cast<I>(out_cols.size()));
+    }
+    const Csr<double, I> rebuilt(rows, cols, std::move(out_row_ptr),
+                                 std::move(out_cols), std::move(out_vals));
+    ASSERT_TRUE(rebuilt.check());
+    ASSERT_TRUE(validate(rebuilt).ok()) << validate(rebuilt).summary();
+    ASSERT_TRUE(test::csr_equal(m, rebuilt)) << "blocks " << slices.size();
   }
 }
 

@@ -325,7 +325,7 @@ TEST_F(Hardening, SaturationDegradesToDenseBitIdentical) {
 
 TEST_F(Hardening, DegradationWorksUnder2dTiling) {
   const auto a = test::random_matrix<double, I>(72, 72, 0.2, 71);
-  Config2d config;
+  Config config;
   config.accumulator = AccumulatorKind::kHash;
   config.strategy = MaskStrategy::kMaskFirst;
   config.num_col_tiles = 3;

@@ -330,7 +330,7 @@ TEST_F(MetricsTest, DeltaIsolatesOneMeasuredRegion) {
 
 TEST_F(MetricsTest, TwoDimensionalDriverCountsCells) {
   const auto a = test::random_matrix<double, I>(60, 60, 0.1, 31);
-  Config2d config;
+  Config config;
   config.strategy = MaskStrategy::kMaskFirst;
   config.num_col_tiles = 4;
   ExecutionStats stats;
@@ -434,8 +434,7 @@ TEST_F(MetricsTest, ExecutionStatsCarryPerThreadWork) {
 
   // The same invariants through the 2D driver: every row is visited once
   // per column tile.
-  Config2d config2d;
-  config2d.base() = config;
+  Config config2d = config;
   config2d.num_col_tiles = 3;
   ExecutionStats stats2d;
   (void)masked_spgemm_2d<SR>(a, a, a, config2d, stats2d);

@@ -300,7 +300,7 @@ TEST(PlanInfo, StatsReportPhasesAndPlanBuildTime) {
 
 TEST(Plan2d, PlannedTwoDimensionalMatchesOracleAndRepeats) {
   const Problem p = make_problem(37);
-  Config2d config;
+  Config config;
   config.strategy = MaskStrategy::kMaskFirst;
   config.num_col_tiles = 3;
   config.num_tiles = 4;
@@ -317,7 +317,7 @@ TEST(Plan2d, PlannedTwoDimensionalMatchesOracleAndRepeats) {
 
 TEST(Plan2d, VanillaTwoDimensionalIsRejected) {
   const Problem p = make_problem(41);
-  Config2d config;
+  Config config;
   config.strategy = MaskStrategy::kVanilla;
   config.num_col_tiles = 2;
   Executor<SR> exec;
@@ -326,13 +326,163 @@ TEST(Plan2d, VanillaTwoDimensionalIsRejected) {
 
 TEST(Plan2d, SingleColumnTileDegeneratesToOneDimensional) {
   const Problem p = make_problem(43);
-  Config2d config;
+  Config config;
   config.num_col_tiles = 1;
   Executor<SR> exec;
   exec.plan(p.mask, p.a, p.b, config);
   EXPECT_FALSE(exec.plan_data().two_dimensional());
   EXPECT_TRUE(test::csr_equal(masked_spgemm<SR>(p.mask, p.a, p.b),
                               exec.execute(p.mask, p.a, p.b)));
+}
+
+// ---------------------------------------------------------------------------
+// Blocked plans: cache-blocked column tiles with per-tile dense/sparse
+// accumulator specialization (docs/ARCHITECTURE.md, "The blocked plan
+// stage"). The blocked space must be a pure layout change: bit-identical
+// to the 1D reference for every strategy x accumulator x marker width.
+// ---------------------------------------------------------------------------
+
+using BlockedTuple = std::tuple<MaskStrategy, AccumulatorKind, MarkerWidth>;
+
+class BlockedExecute : public ::testing::TestWithParam<BlockedTuple> {};
+
+TEST_P(BlockedExecute, BitIdenticalToOneDimensionalAcrossRepeats) {
+  Config config;
+  config.strategy = std::get<0>(GetParam());
+  config.accumulator = std::get<1>(GetParam());
+  config.marker_width = std::get<2>(GetParam());
+  config.num_tiles = 6;
+  const Problem p = make_problem(61);
+
+  const auto one_d = masked_spgemm<SR>(p.mask, p.a, p.b, config);
+  EXPECT_TRUE(test::csr_equal(
+      test::reference_masked_spgemm<SR>(p.mask, p.a, p.b), one_d));
+
+  Config blocked = config;
+  blocked.mode = Strategy::kBlocked;
+  blocked.block_cols = 7;  // several narrow blocks across the 44 columns
+  Executor<SR> exec;
+  exec.plan(p.mask, p.a, p.b, blocked);
+  EXPECT_TRUE(exec.plan_data().is_blocked());
+  EXPECT_GT(exec.plan_data().cells_per_row_tile(), 1);
+  const auto first = exec.execute(p.mask, p.a, p.b);
+  EXPECT_TRUE(test::csr_equal(one_d, first)) << blocked.describe();
+  // Pooled blocked workspaces (dense segment + sparse accumulator pair)
+  // must not perturb a single bit across reuse.
+  for (int round = 0; round < 3; ++round) {
+    EXPECT_TRUE(test::csr_equal(first, exec.execute(p.mask, p.a, p.b)))
+        << blocked.describe() << " round=" << round;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, BlockedExecute,
+    ::testing::Combine(
+        ::testing::Values(MaskStrategy::kMaskFirst, MaskStrategy::kCoIterate,
+                          MaskStrategy::kHybrid),
+        ::testing::Values(AccumulatorKind::kDense, AccumulatorKind::kHash,
+                          AccumulatorKind::kBitmap),
+        ::testing::Values(MarkerWidth::k8, MarkerWidth::k64)),
+    [](const auto& param_info) {
+      std::string name;
+      name += to_string(std::get<0>(param_info.param));
+      name += '_';
+      name += to_string(std::get<1>(param_info.param));
+      name += std::to_string(bits(std::get<2>(param_info.param)));
+      for (auto& ch : name) {
+        if (ch == '-') {
+          ch = '_';
+        }
+      }
+      return name;
+    });
+
+TEST(BlockedPlan, VanillaIsRejected) {
+  const Problem p = make_problem(67);
+  Config config;
+  config.strategy = MaskStrategy::kVanilla;
+  config.mode = Strategy::kBlocked;
+  Executor<SR> exec;
+  EXPECT_THROW(exec.plan(p.mask, p.a, p.b, config), PreconditionError);
+}
+
+TEST(BlockedPlan, PlanInfoClassifiesTiles) {
+  const Problem p = make_problem(71);
+  Config config;
+  config.mode = Strategy::kBlocked;
+  config.block_cols = 8;
+  config.num_tiles = 4;
+  Executor<SR> exec;
+  exec.plan(p.mask, p.a, p.b, config);
+  const auto& plan = exec.plan_data();
+  ASSERT_TRUE(plan.is_blocked());
+  ASSERT_NE(plan.blocked, nullptr);
+  const auto& info = exec.info();
+  EXPECT_EQ(info.dense_tiles + info.sparse_tiles,
+            static_cast<std::int64_t>(plan.row_tiles.size()) *
+                plan.blocked->num_blocks());
+  EXPECT_GT(info.dense_tiles + info.sparse_tiles, 0);
+  // col_tiles mirrors the block ranges for introspection.
+  EXPECT_EQ(static_cast<std::int64_t>(plan.col_tiles.size()),
+            plan.blocked->num_blocks());
+  EXPECT_EQ(plan.cells_per_row_tile(), plan.blocked->num_blocks());
+}
+
+TEST(BlockedPlan, HubRowsSplitIntoColumnBlockTasks) {
+  // Circuit-style structure: one ultra-dense hub row dominating the flop
+  // total. The blocked planner must split it into singleton row tiles so
+  // its column blocks become independent tasks.
+  const I rows = 32;
+  const I inner = 40;
+  const I cols = 44;
+  Xoshiro256 rng(97);
+  Coo<double, I> a_coo(rows, inner);
+  for (I k = 0; k < inner; ++k) {
+    a_coo.push(0, k, 1.0 + static_cast<double>(k));  // the hub row
+  }
+  for (I i = 1; i < rows; ++i) {
+    for (I k = 0; k < inner; ++k) {
+      if (rng.bernoulli(0.05)) {
+        a_coo.push(i, k, rng.uniform());
+      }
+    }
+  }
+  const auto a = build_csr(a_coo);
+  const auto b = test::random_matrix<double, I>(inner, cols, 0.2, 101);
+  const auto mask = test::random_matrix<double, I>(rows, cols, 0.5, 103);
+
+  Config config;
+  config.mode = Strategy::kBlocked;
+  config.block_cols = 11;
+  config.num_tiles = 16;  // small quota => the hub clears 2x the mean
+  Executor<SR> exec;
+  exec.plan(mask, a, b, config);
+  EXPECT_GT(exec.info().hub_splits, 0);
+  EXPECT_TRUE(test::csr_equal(test::reference_masked_spgemm<SR>(mask, a, b),
+                              exec.execute(mask, a, b)));
+  Config one_d = config;
+  one_d.mode = Strategy::k1D;
+  EXPECT_TRUE(test::csr_equal(masked_spgemm<SR>(mask, a, b, one_d),
+                              exec.execute(mask, a, b)));
+}
+
+TEST(BlockedPlan, ValueOnlyUpdatesReuseThePlan) {
+  const Problem p = make_problem(73);
+  Config config;
+  config.mode = Strategy::kBlocked;
+  config.block_cols = 6;
+  Executor<SR> exec;
+  exec.plan(p.mask, p.a, p.b, config);
+  EXPECT_TRUE(
+      test::csr_equal(test::reference_masked_spgemm<SR>(p.mask, p.a, p.b),
+                      exec.execute(p.mask, p.a, p.b)));
+  // Same structure, new values: the blocked slices are structure-only with
+  // entry_begin indirection into the live value arrays, so no replan.
+  const auto a2 = scale_values(p.a, -1.5);
+  const auto b2 = scale_values(p.b, 3.0);
+  EXPECT_TRUE(
+      test::csr_equal(test::reference_masked_spgemm<SR>(p.mask, a2, b2),
+                      exec.execute(p.mask, a2, b2)));
 }
 
 // ---------------------------------------------------------------------------
@@ -396,24 +546,29 @@ TEST(PlanCacheTest, TriangleCountSharedCacheMatchesUncached) {
 }
 
 // ---------------------------------------------------------------------------
-// Unified Config2d.
+// Unified Config: one struct selects 1D / 2D / blocked execution.
 // ---------------------------------------------------------------------------
 
-TEST(ConfigUnification, Config2dExtendsConfigAndDescribes) {
-  Config base;
-  base.strategy = MaskStrategy::kCoIterate;
-  Config2d config{base, 4};
-  EXPECT_EQ(config.strategy, MaskStrategy::kCoIterate);
-  EXPECT_EQ(config.num_col_tiles, 4);
-  EXPECT_EQ(config.base(), base);
-  EXPECT_NE(config.describe().find("col-tiles=4"), std::string::npos);
-  EXPECT_NE(config.describe().find(base.describe()), std::string::npos);
+TEST(ConfigUnification, StrategySelectionAndDescribe) {
+  Config config;
+  config.strategy = MaskStrategy::kCoIterate;
+  EXPECT_EQ(config.effective_strategy(), Strategy::k1D);
 
-  Config2d same{base, 4};
+  config.num_col_tiles = 4;
+  EXPECT_EQ(config.effective_strategy(), Strategy::k2D);
+  EXPECT_NE(config.describe().find("col-tiles=4"), std::string::npos);
+
+  config.mode = Strategy::kBlocked;
+  config.block_cols = 512;
+  EXPECT_EQ(config.effective_strategy(), Strategy::kBlocked);
+  EXPECT_NE(config.describe().find("mode=blocked"), std::string::npos);
+  EXPECT_NE(config.describe().find("block-cols=512"), std::string::npos);
+
+  Config same = config;
   EXPECT_EQ(config, same);
-  same.num_col_tiles = 5;
+  same.block_cols = 1024;
   EXPECT_FALSE(config == same);
-  same.num_col_tiles = 4;
+  same = config;
   same.threads = 7;
   EXPECT_FALSE(config == same);
 }

@@ -34,7 +34,7 @@ class Spgemm2dColTiles
 };
 
 TEST_P(Spgemm2dColTiles, MatchesOracle) {
-  Config2d config;
+  Config config;
   config.num_col_tiles = std::get<0>(GetParam());
   config.strategy = std::get<1>(GetParam());
   config.accumulator = std::get<2>(GetParam());
@@ -61,16 +61,18 @@ INSTANTIATE_TEST_SUITE_P(
 
 TEST(Spgemm2d, SingleColumnTileEqualsOneDimensional) {
   const Problem p = make_problem(9);
-  Config2d config;
+  Config config;
   config.num_col_tiles = 1;
   const auto two_d = masked_spgemm_2d<SR>(p.mask, p.a, p.b, config);
-  const auto one_d = masked_spgemm<SR>(p.mask, p.a, p.b, config.base());
+  Config plain = config;
+  plain.num_col_tiles = 1;
+  const auto one_d = masked_spgemm<SR>(p.mask, p.a, p.b, plain);
   EXPECT_TRUE(test::csr_equal(one_d, two_d));
 }
 
 TEST(Spgemm2d, VanillaStrategyIsRejected) {
   const Problem p = make_problem(11);
-  Config2d config;
+  Config config;
   config.strategy = MaskStrategy::kVanilla;
   EXPECT_THROW(masked_spgemm_2d<SR>(p.mask, p.a, p.b, config),
                PreconditionError);
@@ -78,7 +80,7 @@ TEST(Spgemm2d, VanillaStrategyIsRejected) {
 
 TEST(Spgemm2d, StatsCountRowByColumnTiles) {
   const Problem p = make_problem(13);
-  Config2d config;
+  Config config;
   config.num_tiles = 4;
   config.num_col_tiles = 3;
   ExecutionStats stats;
@@ -89,7 +91,7 @@ TEST(Spgemm2d, StatsCountRowByColumnTiles) {
 TEST(Spgemm2d, EmptyMask) {
   const Problem p = make_problem(17);
   const Csr<double, I> empty_mask(p.a.rows(), p.b.cols());
-  Config2d config;
+  Config config;
   config.num_col_tiles = 4;
   const auto c = masked_spgemm_2d<SR>(empty_mask, p.a, p.b, config);
   EXPECT_EQ(c.nnz(), 0);
@@ -99,7 +101,7 @@ TEST(Spgemm2d, SelfMaskedKernelAcrossMarkerWidths) {
   const auto a = test::random_matrix<double, I>(60, 60, 0.1, 21);
   const auto expected = test::reference_masked_spgemm<SR>(a, a, a);
   for (const MarkerWidth width : {MarkerWidth::k8, MarkerWidth::k64}) {
-    Config2d config;
+    Config config;
     config.num_col_tiles = 5;
     config.marker_width = width;
     EXPECT_TRUE(
@@ -110,7 +112,7 @@ TEST(Spgemm2d, SelfMaskedKernelAcrossMarkerWidths) {
 
 TEST(Spgemm2d, ExplicitResetPolicy) {
   const Problem p = make_problem(23);
-  Config2d config;
+  Config config;
   config.num_col_tiles = 4;
   config.reset = ResetPolicy::kExplicit;
   const auto expected = test::reference_masked_spgemm<SR>(p.mask, p.a, p.b);

@@ -26,11 +26,15 @@ import sys
 
 # (matrix, extra flags) x config: two structurally different graphs (road:
 # uniform low degree; circuit: skewed rows) under the two interesting
-# strategy/accumulator corners.
+# strategy/accumulator corners, plus the blocked execution space on both
+# (small block width so even the tiny snapshot graphs produce several
+# column blocks — the point is the counter shape, not the timing).
 GRID_MATRICES = ["GAP-road", "circuit5M"]
 GRID_CONFIGS = [
     ["--strategy", "mask-first", "--acc", "hash"],
     ["--strategy", "hybrid", "--kappa", "1", "--acc", "dense"],
+    ["--strategy", "hybrid", "--kappa", "1", "--acc", "hash",
+     "--mode", "blocked", "--block-cols", "256"],
 ]
 
 
