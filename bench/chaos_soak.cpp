@@ -1,0 +1,241 @@
+// Chaos-soak driver (docs/ROBUSTNESS.md): the resilience contract of
+// tests/chaos_test.cpp at operator scale, as a standalone gate for CI's
+// sanitizer job. Replays a mixed masked-SpGEMM stream through the batch
+// engine while engine-level fault sites fire probabilistically, then
+// checks:
+//
+//   * every job either completes bit-identical to its fault-free oracle
+//     or fails with a typed taxonomy error (tilq::Error) — anything else
+//     escapes main() and crashes the process, which IS the gate;
+//   * counters conserve: submitted = completed + failed, in_flight = 0;
+//   * with retries on, most of the stream survives the faults;
+//   * after the fault phase plus two clean health epochs the engine
+//     reports healthy again.
+//
+// Exit code 0 only if all of the above hold. Runs argument-free with
+// small defaults; CI passes --jobs/--rate to soak harder under ASan.
+//
+// Flags: --jobs N        stream length (default 600)
+//        --rate R        per-site fault probability (default 0.015)
+//        --seed S        fault + stream seed (default 20240808)
+//        --retries K     attempts per job (default 3)
+//        --budget-mb M   engine memory budget, 0 = unlimited (default 8)
+//        --window W      in-flight submission window (default 8)
+//
+// The fault sites are armed through the TILQ_FAULT grammar (configure()),
+// so this binary also soaks the operator-facing spec path. When the
+// TILQ_FAULT environment variable is set it wins: the env spec armed at
+// static init (seeded by TILQ_FAULT_SEED) is left in place and --rate is
+// ignored, so CI can drive the soak entirely through the env gate.
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/masked_spgemm.hpp"
+#include "gen/erdos_renyi.hpp"
+#include "gen/rmat.hpp"
+#include "support/fault.hpp"
+
+namespace {
+
+using tilq::Csr;
+using I = std::int64_t;
+using SR = tilq::PlusTimes<double>;
+
+struct Problem {
+  tilq::GraphMatrix graph;
+  Csr<double, I> oracle;
+  tilq::Config config;
+};
+
+bool bit_identical(const Csr<double, I>& x, const Csr<double, I>& y) {
+  return x.rows() == y.rows() && x.cols() == y.cols() && x.nnz() == y.nnz() &&
+         std::memcmp(x.row_ptr().data(), y.row_ptr().data(),
+                     x.row_ptr().size_bytes()) == 0 &&
+         std::memcmp(x.col_idx().data(), y.col_idx().data(),
+                     x.col_idx().size_bytes()) == 0 &&
+         std::memcmp(x.values().data(), y.values().data(),
+                     x.values().size_bytes()) == 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int jobs = 600;
+  double rate = 0.015;
+  std::uint64_t seed = 20240808;
+  int retries = 3;
+  int budget_mb = 8;
+  std::size_t window_size = 8;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      jobs = std::max(1, std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--rate") == 0 && i + 1 < argc) {
+      rate = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--retries") == 0 && i + 1 < argc) {
+      retries = std::max(1, std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--budget-mb") == 0 && i + 1 < argc) {
+      budget_mb = std::max(0, std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--window") == 0 && i + 1 < argc) {
+      window_size = static_cast<std::size_t>(std::max(1, std::atoi(argv[++i])));
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  // The stream: a uniform graph (self-masked A*A, the triangle-counting
+  // shape) and a skewed one, across the three accumulators and the
+  // blocked execution space.
+  std::vector<Problem> problems;
+  {
+    tilq::ErdosRenyiParams er;
+    er.nodes = 1 << 9;
+    er.edges = 1 << 12;
+    er.seed = seed;
+    const tilq::GraphMatrix uniform = tilq::generate_erdos_renyi(er);
+    tilq::RmatParams rm;
+    rm.scale = 9;
+    rm.edge_factor = 8;
+    rm.seed = seed + 1;
+    const tilq::GraphMatrix skewed = tilq::generate_rmat(rm);
+    const tilq::AccumulatorKind accumulators[] = {
+        tilq::AccumulatorKind::kHash, tilq::AccumulatorKind::kDense,
+        tilq::AccumulatorKind::kBitmap};
+    for (const tilq::GraphMatrix& graph : {uniform, skewed}) {
+      for (int mode = 0; mode < 3; ++mode) {
+        Problem p;
+        p.graph = graph;
+        p.config.accumulator = accumulators[mode];
+        if (mode == 2) {
+          p.config.mode = tilq::Strategy::kBlocked;
+        }
+        p.oracle = tilq::masked_spgemm<SR>(p.graph, p.graph, p.graph,
+                                           p.config);
+        problems.push_back(std::move(p));
+      }
+    }
+  }
+
+  tilq::EngineOptions options;
+  options.retry.max_attempts = retries;
+  options.retry.backoff_base_ms = 0.0;  // soak throughput over realism
+  options.retry.seed = seed;
+  options.memory_budget_bytes =
+      static_cast<std::uint64_t>(budget_mb) << 20;
+  tilq::Engine<SR> engine(options);
+
+  const bool env_spec = std::getenv("TILQ_FAULT") != nullptr;
+  if (env_spec) {
+    std::printf("chaos_soak: TILQ_FAULT set, using the env spec (--rate "
+                "ignored)\n");
+  } else if (rate > 0.0) {
+    tilq::fault::set_seed(seed);
+    char spec[256];
+    std::snprintf(spec, sizeof spec,
+                  "engine-submit-alloc@%.4f,engine-pool-reserve@%.4f,"
+                  "plan-fingerprint@%.4f,engine-retry-replan@%.4f",
+                  rate, rate, rate, rate / 2.0);
+    tilq::fault::configure(spec);
+  }
+
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t mismatched = 0;
+  std::vector<std::pair<tilq::Engine<SR>::JobHandle, std::size_t>> window;
+  const auto drain_one = [&](std::pair<tilq::Engine<SR>::JobHandle, std::size_t>& slot) {
+    try {
+      const Csr<double, I> got = slot.first.get();
+      if (!bit_identical(problems[slot.second].oracle, got)) {
+        ++mismatched;
+      }
+      ++completed;
+    } catch (const tilq::Error&) {
+      ++failed;  // the allowed failure outcome; anything else escapes
+    }
+  };
+  for (int i = 0; i < jobs; ++i) {
+    const std::size_t which = static_cast<std::size_t>(i) % problems.size();
+    const Problem& p = problems[which];
+    window.emplace_back(engine.submit(p.graph, p.graph, p.graph, p.config),
+                        which);
+    if (window.size() >= window_size) {
+      drain_one(window.front());
+      window.erase(window.begin());
+    }
+  }
+  for (auto& slot : window) {
+    drain_one(slot);
+  }
+  window.clear();
+
+  tilq::fault::disarm_all();
+  // Two clean health epochs: recovery must be provable, not probable.
+  const Problem& clean = problems.front();
+  const std::uint64_t cooldown = 2 * options.health.epoch_events;
+  for (std::uint64_t i = 0; i < cooldown; ++i) {
+    const Csr<double, I> got =
+        engine.submit(clean.graph, clean.graph, clean.graph, clean.config)
+            .get();
+    if (!bit_identical(clean.oracle, got)) {
+      ++mismatched;
+    }
+    ++completed;
+  }
+
+  const tilq::EngineStats stats = engine.stats();
+  std::printf(
+      "chaos_soak: jobs=%d rate=%.4f seed=%" PRIu64
+      " completed=%" PRIu64 " failed=%" PRIu64 " mismatched=%" PRIu64 "\n",
+      jobs, rate, seed, completed, failed, mismatched);
+  std::printf("chaos_soak: engine %s\n", tilq::describe(stats).c_str());
+  std::printf(
+      "CSV,chaos_soak,%d,%.4f,%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",%" PRIu64
+      ",%" PRIu64 ",%s\n",
+      jobs, rate, completed, failed, stats.retries, stats.brownouts,
+      stats.jobs_retried, to_string(stats.health));
+
+  bool ok = true;
+  if (mismatched != 0) {
+    std::fprintf(stderr, "FAIL: %" PRIu64 " completed jobs were not "
+                         "bit-identical to their oracle\n", mismatched);
+    ok = false;
+  }
+  if (stats.jobs_submitted != completed + failed) {
+    std::fprintf(stderr,
+                 "FAIL: counters do not conserve: submitted=%" PRIu64
+                 " but completed+failed=%" PRIu64 "\n",
+                 stats.jobs_submitted, completed + failed);
+    ok = false;
+  }
+  if (stats.in_flight != 0) {
+    std::fprintf(stderr, "FAIL: %" PRIu64 " jobs still in flight\n",
+                 stats.in_flight);
+    ok = false;
+  }
+  if (stats.health != tilq::EngineHealth::kHealthy) {
+    std::fprintf(stderr, "FAIL: engine finished %s, expected healthy\n",
+                 to_string(stats.health));
+    ok = false;
+  }
+  if ((env_spec || rate > 0.0) && failed + stats.retries == 0) {
+    std::fprintf(stderr,
+                 "FAIL: no faults ever fired — the soak tested nothing\n");
+    ok = false;
+  }
+  if (completed < failed) {
+    std::fprintf(stderr, "FAIL: most of the stream should survive "
+                         "(completed=%" PRIu64 " failed=%" PRIu64 ")\n",
+                 completed, failed);
+    ok = false;
+  }
+  return ok ? 0 : 1;
+}

@@ -41,6 +41,8 @@ struct CliOptions {
   int repeats = 5;
   tilq::JobPriority priority = tilq::JobPriority::kAuto;
   double deadline_ms = 0.0;
+  int retries = 1;
+  int mem_budget_mb = 0;
 };
 
 void print_usage() {
@@ -74,6 +76,12 @@ void print_usage() {
       "                   (default: auto — the cost model picks, docs/SERVING.md)\n"
       "  --deadline-ms N  engine mode: per-job deadline; late jobs are\n"
       "                   cancelled with DeadlineExpiredError (default 0 = none)\n"
+      "  --retries N      engine mode: attempts per job; failed attempts\n"
+      "                   replan or degrade and retry (default 1 = off,\n"
+      "                   docs/ROBUSTNESS.md)\n"
+      "  --mem-budget-mb M  engine mode: memory-governor budget; over it the\n"
+      "                   engine browns out to reduced-footprint plans\n"
+      "                   (default 0 = unlimited)\n"
       "  --repeats N      timing repetitions (default 5)\n"
       "telemetry (docs/TELEMETRY.md; implies --engine):\n"
       "  --watch             print one live sampler line per telemetry tick\n"
@@ -195,6 +203,10 @@ std::optional<CliOptions> parse(int argc, char** argv) {
       }
     } else if (flag == "--deadline-ms") {
       options.deadline_ms = std::atof(next());
+    } else if (flag == "--retries") {
+      options.retries = std::max(1, std::atoi(next()));
+    } else if (flag == "--mem-budget-mb") {
+      options.mem_budget_mb = std::max(0, std::atoi(next()));
     } else if (flag == "--repeats") {
       options.repeats = std::atoi(next());
     } else {
@@ -268,6 +280,9 @@ int run_engine(const tilq::GraphMatrix& a, const CliOptions& options,
 
   tilq::EngineOptions engine_options;
   engine_options.max_in_flight = static_cast<std::size_t>(jobs);
+  engine_options.retry.max_attempts = options.retries;
+  engine_options.memory_budget_bytes =
+      static_cast<std::uint64_t>(options.mem_budget_mb) << 20;
   if (options.watch || options.telemetry_port >= 0 || options.serve_ms > 0.0) {
     engine_options.telemetry.enabled = true;
   }
@@ -282,6 +297,12 @@ int run_engine(const tilq::GraphMatrix& a, const CliOptions& options,
               engine.threads(), jobs, total);
   if (options.deadline_ms > 0.0) {
     std::printf("engine: per-job deadline %.2f ms\n", options.deadline_ms);
+  }
+  if (options.retries > 1) {
+    std::printf("engine: up to %d attempts per job\n", options.retries);
+  }
+  if (options.mem_budget_mb > 0) {
+    std::printf("engine: memory budget %d MiB\n", options.mem_budget_mb);
   }
   if (tilq::TelemetryHub* hub = engine.telemetry()) {
     if (hub->port() >= 0) {
@@ -414,6 +435,16 @@ int run_engine(const tilq::GraphMatrix& a, const CliOptions& options,
                 static_cast<unsigned long long>(engine_stats.jobs_shed),
                 static_cast<unsigned long long>(engine_stats.jobs_deferred),
                 static_cast<unsigned long long>(engine_stats.deadline_misses));
+    // Resilience footer (docs/ROBUSTNESS.md): health verdict, the retry
+    // layer's work, and the memory governor's high-water mark.
+    std::printf("  health %s, retries %llu (%llu jobs), brownouts %llu, "
+                "mem high-water %.1f MiB\n",
+                to_string(engine_stats.health),
+                static_cast<unsigned long long>(engine_stats.retries),
+                static_cast<unsigned long long>(engine_stats.jobs_retried),
+                static_cast<unsigned long long>(engine_stats.brownouts),
+                static_cast<double>(engine_stats.memory_high_water_bytes) /
+                    (1024.0 * 1024.0));
     std::printf("  uptime: %.0f ms", engine_stats.uptime_ms);
     if (engine_stats.telemetry_samples > 0) {
       std::printf("   (%llu telemetry samples)",

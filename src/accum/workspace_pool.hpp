@@ -27,6 +27,7 @@
 
 #include "support/errors.hpp"
 #include "support/fault.hpp"
+#include "support/memory_governor.hpp"
 
 namespace tilq {
 
@@ -48,14 +49,24 @@ class WorkspacePool {
     }
   }
 
+  /// Attaches the engine's memory governor: (re)constructions charge the
+  /// slot's byte estimate against the budget and drops release it. Set
+  /// before any concurrent use, like reserve(). nullptr detaches.
+  void set_governor(MemoryGovernor* governor) noexcept {
+    governor_ = governor;
+  }
+
   /// Returns thread `thread`'s accumulator, constructing it via `make()`
   /// only when the slot is empty or `capability` exceeds what the resident
   /// instance was built for. Call only from the owning thread, after a
   /// reserve() that covers `thread`. Throws CapacityError when the
   /// pool-alloc fault site fires (or make() itself fails to allocate); the
   /// slot is left empty, not half-built, so the pool stays reusable.
+  /// `bytes_estimate` is the slot's footprint charged to the governor when
+  /// the construction happens (0 = unaccounted).
   template <class Make>
-  Acc& acquire(int thread, std::uint64_t capability, Make&& make) {
+  Acc& acquire(int thread, std::uint64_t capability, Make&& make,
+               std::uint64_t bytes_estimate = 0) {
     Slot& slot = slots_[static_cast<std::size_t>(thread)];
     slot.acquisitions.fetch_add(1, std::memory_order_relaxed);
     if (!slot.acc.has_value() || slot.capability < capability) {
@@ -66,19 +77,34 @@ class WorkspacePool {
       if (slot.acc.has_value()) {
         slot.retunes.fetch_add(1, std::memory_order_relaxed);
       }
+      if (governor_ != nullptr) {
+        governor_->release(slot.bytes);
+        slot.bytes = 0;
+      }
+      slot.acc.reset();  // old workspace freed before the replacement builds
       slot.acc.emplace(make());
       slot.capability = capability;
+      if (governor_ != nullptr) {
+        governor_->charge(bytes_estimate);
+        slot.bytes = bytes_estimate;
+      }
       slot.constructions.fetch_add(1, std::memory_order_relaxed);
     }
     return *slot.acc;
   }
 
   /// Drops every pooled workspace (counters survive — they describe the
-  /// pool's lifetime, not its current contents).
+  /// pool's lifetime, not its current contents). Releases the slots' byte
+  /// charges. Like reserve(), NOT safe against in-flight acquires: the
+  /// engine calls this only while no job is in flight.
   void release() {
     for (Slot& slot : slots_) {
       slot.acc.reset();
       slot.capability = 0;
+      if (governor_ != nullptr) {
+        governor_->release(slot.bytes);
+      }
+      slot.bytes = 0;
     }
   }
 
@@ -100,6 +126,7 @@ class WorkspacePool {
   struct Slot {
     std::optional<Acc> acc;
     std::uint64_t capability = 0;
+    std::uint64_t bytes = 0;  ///< governor charge held by this slot
     std::atomic<std::uint64_t> acquisitions{0};
     std::atomic<std::uint64_t> constructions{0};
     std::atomic<std::uint64_t> retunes{0};
@@ -107,6 +134,7 @@ class WorkspacePool {
   // deque: growth constructs new slots in place without moving existing
   // ones (atomics are immovable, and worker threads hold references).
   std::deque<Slot> slots_;
+  MemoryGovernor* governor_ = nullptr;
 };
 
 }  // namespace tilq

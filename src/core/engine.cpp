@@ -45,6 +45,19 @@ std::string describe(const EngineStats& stats) {
   if (stats.jobs_stuck > 0) {
     out += " stuck=" + std::to_string(stats.jobs_stuck);
   }
+  if (stats.retries > 0) {
+    out += " retries=" + std::to_string(stats.retries);
+    out += " jobs-retried=" + std::to_string(stats.jobs_retried);
+  }
+  if (stats.brownouts > 0) {
+    out += " brownouts=" + std::to_string(stats.brownouts);
+  }
+  if (stats.memory_budget_bytes > 0) {
+    out += " mem=" + std::to_string(stats.memory_usage_bytes);
+    out += "/" + std::to_string(stats.memory_budget_bytes) + "B";
+  }
+  out += " health=";
+  out += to_string(stats.health);
   out += " plan-builds=" + std::to_string(stats.plan_builds);
   out += " plan-hits=" + std::to_string(stats.plan_hits);
   out += " tasks=" + std::to_string(stats.tasks_executed);

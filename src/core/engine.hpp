@@ -46,6 +46,21 @@
 // existing tile spans. docs/CONCURRENCY.md documents the lifecycle and
 // the per-type thread-safety guarantees; tools/check_metrics_docs.py
 // lints that table against this header.
+//
+// Resilience (docs/ROBUSTNESS.md): transient failures inside a job are
+// retried instead of surfaced. A job failing with StaleError replans
+// against the current structure and re-executes (bit-identical to a fresh
+// submit); a transient CapacityError retries on a degraded config (hash ->
+// dense on saturation, dense -> hash / smaller block_cols under memory
+// pressure) after a deterministic, seeded, capped exponential backoff
+// (EngineOptions::retry / SubmitOptions::max_attempts). An engine-wide
+// memory budget (EngineOptions::memory_budget_bytes, MemoryGovernor) keeps
+// a byte ledger over the workspace pools and recycled driver buffers;
+// crossing it browns the engine out — idle scratch is reclaimed and new
+// jobs plan in reduced-footprint mode instead of failing admission. The
+// shed/retry/stuck/memory signals drive a three-state health machine
+// (EngineHealth), surfaced in EngineStats, the `tilq_engine_health`
+// Prometheus gauge, and /healthz (503 once browned out).
 #pragma once
 
 #include <atomic>
@@ -61,13 +76,18 @@
 #include <optional>
 #include <span>
 #include <string>
+#include <thread>
 #include <typeindex>
 #include <utility>
 #include <vector>
 
 #include "core/plan.hpp"
+#include "support/fault.hpp"
+#include "support/health.hpp"
 #include "support/latency.hpp"
+#include "support/memory_governor.hpp"
 #include "support/metrics.hpp"
+#include "support/rng.hpp"
 #include "support/telemetry.hpp"
 #include "support/thread_pool.hpp"
 
@@ -110,6 +130,23 @@ enum class JobPriority {
   kBackground,
 };
 
+/// Retry/backoff policy for transient in-job failures (StaleError,
+/// retryable CapacityError). Backoff is a capped exponential with
+/// deterministic seeded jitter: the delay for attempt k is
+/// min(cap, base * 2^(k-2)) scaled by a factor in [0.5, 1.0) drawn from
+/// splitmix64(seed ^ structure fingerprint ^ k) — no wall-clock
+/// randomness, so two runs of the same stream sleep the same schedule.
+struct RetryPolicy {
+  /// Total execution attempts per job; 1 means no retry.
+  int max_attempts = 1;
+  /// First-retry backoff; <= 0 disables the sleep (retries are immediate).
+  double backoff_base_ms = 1.0;
+  /// Upper bound on a single backoff sleep.
+  double backoff_cap_ms = 100.0;
+  /// Jitter seed (deterministic; no entropy is ever mixed in).
+  std::uint64_t seed = 0;
+};
+
 /// Per-submission serving knobs (the submit() overloads without this
 /// parameter behave as SubmitOptions{}).
 struct SubmitOptions {
@@ -120,6 +157,8 @@ struct SubmitOptions {
   /// of admission, its remaining tiles are cancelled and the job fails
   /// with DeadlineExpiredError. 0 means no deadline.
   double deadline_ms = 0.0;
+  /// Per-job attempt bound; 0 inherits EngineOptions::retry.max_attempts.
+  int max_attempts = 0;
 };
 
 /// Engine construction knobs.
@@ -147,6 +186,17 @@ struct EngineOptions {
   /// TILQ_TELEMETRY / TILQ_TELEMETRY_PORT / TILQ_TELEMETRY_DUMP
   /// environment variables are applied on top at engine construction.
   TelemetryOptions telemetry;
+  /// Retry/backoff for transient in-job failures (docs/ROBUSTNESS.md).
+  /// The default (max_attempts = 1) preserves the pre-resilience behavior:
+  /// every failure surfaces on the first attempt.
+  RetryPolicy retry;
+  /// Engine-wide byte budget over workspace pools + recycled driver
+  /// buffers (MemoryGovernor); 0 means unlimited. Crossing it browns the
+  /// engine out: idle scratch is reclaimed and new jobs plan in
+  /// reduced-footprint mode instead of failing admission.
+  std::uint64_t memory_budget_bytes = 0;
+  /// Health state machine thresholds (shed/retry rates, epoch length).
+  HealthThresholds health;
 };
 
 /// Per-job accounting, valid once the job is done (JobHandle::stats()).
@@ -165,6 +215,10 @@ struct JobStats {
   double queue_ms = 0.0;         ///< submit -> first task start
   double run_ms = 0.0;           ///< first task start -> completion
   double total_ms = 0.0;         ///< submit -> completion
+  std::uint32_t attempts = 1;    ///< execution attempts (1 = never retried)
+  bool retried = false;          ///< attempts > 1
+  bool degraded_config = false;  ///< a retry ran on a degraded Config
+  double backoff_total_ms = 0.0; ///< deterministic backoff slept, summed
 };
 
 /// Engine-lifetime totals (Engine::stats()).
@@ -185,6 +239,13 @@ struct EngineStats {
   std::uint64_t peak_in_flight = 0;  ///< high-water mark of in_flight
   std::uint64_t jobs_stuck = 0;      ///< in-flight jobs flagged by the watchdog
   std::uint64_t telemetry_samples = 0;  ///< sampler ticks (0 with telemetry off)
+  std::uint64_t retries = 0;         ///< retry attempts across all jobs
+  std::uint64_t jobs_retried = 0;    ///< jobs that needed more than one attempt
+  std::uint64_t brownouts = 0;       ///< memory-governor transitions into brownout
+  std::uint64_t memory_usage_bytes = 0;       ///< governor ledger now
+  std::uint64_t memory_high_water_bytes = 0;  ///< governor high-water mark
+  std::uint64_t memory_budget_bytes = 0;      ///< configured budget (0 = off)
+  EngineHealth health = EngineHealth::kHealthy;  ///< live health verdict
   double uptime_ms = 0.0;            ///< milliseconds since engine construction
   WorkspacePoolStats workspace;      ///< summed over the engine's typed pools
   LatencySummary latency;            ///< submit-to-done percentiles, all finished jobs
@@ -289,12 +350,16 @@ class Engine {
     if (options_.max_in_flight == 0) {
       options_.max_in_flight = 1;
     }
+    options_.retry.max_attempts = std::max(1, options_.retry.max_attempts);
+    governor_.set_budget(options_.memory_budget_bytes);
+    health_.set_thresholds(options_.health);
     options_.telemetry = telemetry_options_from_env(options_.telemetry);
     if (options_.telemetry.enabled) {
       // Created in the constructor body, after every member the collector
       // walks is initialized; declared last, so it is destroyed first.
       telemetry_ = std::make_unique<TelemetryHub>(
-          options_.telemetry, [this] { return collect_telemetry(); });
+          options_.telemetry, [this] { return collect_telemetry(); },
+          [this] { return health_state(); });
     }
   }
 
@@ -369,9 +434,16 @@ class Engine {
       s.jobs_expensive = jobs_expensive_;
       s.in_flight = static_cast<std::uint64_t>(in_flight_);
       s.peak_in_flight = peak_in_flight_;
+      s.jobs_retried = jobs_retried_;
     }
     s.deadline_misses = deadline_misses_.load(std::memory_order_relaxed);
     s.jobs_stuck = jobs_stuck_.load(std::memory_order_relaxed);
+    s.retries = retries_.load(std::memory_order_relaxed);
+    s.brownouts = governor_.brownouts();
+    s.memory_usage_bytes = governor_.usage();
+    s.memory_high_water_bytes = governor_.high_water();
+    s.memory_budget_bytes = governor_.budget();
+    s.health = health_state();
     s.telemetry_samples = telemetry_ ? telemetry_->sample_count() : 0;
     s.uptime_ms = uptime_.milliseconds();
     s.latency = total_hist_.summary();
@@ -433,6 +505,13 @@ class Engine {
     double deadline_ms = 0.0;    ///< 0 = no deadline
     std::atomic<bool> deadline_missed{false};
     double plan_ms = 0.0;        ///< structure-phase time (0 on a hit)
+    // Retry state (docs/ROBUSTNESS.md). Between attempts only the
+    // finalizing task is alive, so the non-atomic fields need no locks.
+    TaskPriority lane = TaskPriority::kNormal;  ///< recorded for re-queues
+    int max_attempts = 1;
+    std::atomic<std::uint32_t> attempts{1};
+    bool degraded_config = false;   ///< some retry ran on a degraded Config
+    double backoff_total_ms = 0.0;  ///< summed deterministic backoff
     // Completion state, guarded by `mutex`.
     std::mutex mutex;
     std::condition_variable cv;
@@ -451,6 +530,17 @@ class Engine {
     // tile grid (2 x workers by default) and the plan-cache key stays
     // stable across callers with different Config::threads.
     config.threads = pool_.size();
+    // Memory governor (docs/ROBUSTNESS.md): under pressure, reclaim idle
+    // scratch first; once browned out, plan the NEW job in reduced-
+    // footprint mode instead of failing its admission. In-flight jobs are
+    // never disturbed.
+    if (governor_.under_pressure()) {
+      reclaim_idle_memory();
+    }
+    if (governor_.browned_out()) {
+      config = reduced_footprint(std::move(config));
+    }
+    sync_brownout_metric();
     bool cache_hit = false;
     std::shared_ptr<const PlanEntry> entry =
         plan_for(mask, a, b, config, cache_hit);
@@ -495,6 +585,7 @@ class Engine {
         if (expensive && in_flight_ >= shed_bound) {
           if (options_.overload_policy == OverloadPolicy::kShed) {
             ++jobs_shed_;
+            health_.record_shed();
             count_shed_metric();
             if (telemetry_) {  // wait-free, fine under the lock
               telemetry_->flight().record(job_id, FlightEventKind::kShed, -1,
@@ -526,6 +617,7 @@ class Engine {
       admitted_flops_ += flops;
       ++admitted_jobs_;
     }
+    health_.record_admit();
 #if TILQ_METRICS_ENABLED
     if (expensive || deferred) {
       if (MetricCounters* const counters = metrics_thread_counters()) {
@@ -656,6 +748,10 @@ class Engine {
     job->flop_estimate = job->entry->plan.flop_total;
     job->deadline_ms = std::max(0.0, sopts.deadline_ms);
     job->plan_ms = plan_ms;
+    job->lane = lane;
+    job->max_attempts = std::max(
+        1, sopts.max_attempts > 0 ? sopts.max_attempts
+                                  : options_.retry.max_attempts);
     const Plan<I>& plan = job->entry->plan;
     // Cells per row tile: column blocks (blocked), column tiles (2D), 1 (1D).
     job->task_count = static_cast<std::int64_t>(plan.row_tiles.size() *
@@ -742,15 +838,26 @@ class Engine {
   /// every later attempt is equally guarded).
   void bind_buffers(Job& job) {
     std::call_once(job.buffers_once, [&] {
-      const Plan<I>& plan = job.entry->plan;
-      const bool celled = plan.two_dimensional() || plan.is_blocked();
       job.buffers = acquire_buffers();
-      job.buffers->ensure(
-          static_cast<std::size_t>(job.mask->nnz()),
-          static_cast<std::size_t>(plan.rows),
-          celled ? static_cast<std::size_t>(plan.rows) * plan.cells_per_row_tile()
-                 : 0);
+      ensure_buffers_for(job, job.entry->plan);
     });
+  }
+
+  /// (Re)sizes the job's bound driver buffers for `plan`, charging the
+  /// governor for any capacity growth. ensure() only grows, so this is
+  /// safe to call again after a retry replan swapped the job's plan.
+  void ensure_buffers_for(Job& job, const Plan<I>& plan) {
+    const bool celled = plan.two_dimensional() || plan.is_blocked();
+    const std::uint64_t before = buffer_bytes(*job.buffers);
+    job.buffers->ensure(
+        static_cast<std::size_t>(job.mask->nnz()),
+        static_cast<std::size_t>(plan.rows),
+        celled ? static_cast<std::size_t>(plan.rows) * plan.cells_per_row_tile()
+               : 0);
+    const std::uint64_t after = buffer_bytes(*job.buffers);
+    if (after > before) {
+      governor_.charge(after - before);
+    }
   }
 
   void finalize(const std::shared_ptr<Job>& job) {
@@ -763,6 +870,12 @@ class Engine {
                                               *job->buffers,
                                               /*parallel=*/false);
       });
+    }
+    // Retry gate (docs/ROBUSTNESS.md): a failed attempt may go back onto
+    // the pool as a fresh attempt — replanned or degraded — in which case
+    // this finalize backs out entirely and the job is live again.
+    if (job->guard.cancelled() && try_retry(job)) {
+      return;
     }
     const bool failed = job->guard.cancelled();
     const double total_ms = job->since_submit.milliseconds();
@@ -782,7 +895,13 @@ class Engine {
     stats.queue_ms = job->queue_ms;
     stats.total_ms = total_ms;
     stats.run_ms = std::max(0.0, total_ms - job->queue_ms);
+    stats.attempts = job->attempts.load(std::memory_order_relaxed);
+    stats.retried = stats.attempts > 1;
+    stats.degraded_config = job->degraded_config;
+    stats.backoff_total_ms = job->backoff_total_ms;
     recycle_buffers(std::move(job->buffers));
+    health_.record_finish();
+    sync_brownout_metric();
     // Histograms before the state_mutex_ block below: after that lock is
     // released the engine may already be destroyed (see the comment
     // there), so no engine member may be touched past it.
@@ -832,6 +951,9 @@ class Engine {
         ++jobs_failed_;
       } else {
         ++jobs_completed_;
+      }
+      if (stats.retried) {
+        ++jobs_retried_;
       }
       state_cv_.notify_all();
     }
@@ -940,8 +1062,27 @@ class Engine {
                                                  int worker) {
       job.guard.run([&] {
         WallTimer busy;
-        Acc& acc = pool->acquire(worker, capability(e.plan),
-                                 [&] { return factory(e.plan, e.config); });
+        // Engine-level fault sites (docs/ROBUSTNESS.md). plan-fingerprint
+        // models a plan that went stale between attempts — the retry layer
+        // answers it with an auto-replan; engine-pool-reserve models a
+        // workspace reservation failure — answered by a degraded-config
+        // retry. Both are one relaxed load when disarmed.
+        if (fault::should_fire(FaultSite::kPlanFingerprint)) {
+          throw StalePlanError(
+              "Engine: plan went stale under job " + std::to_string(job.id) +
+              " (injected fault: plan-fingerprint)");
+        }
+        if (fault::should_fire(FaultSite::kEnginePoolReserve)) {
+          throw CapacityError(
+              "Engine: workspace reservation failed (injected fault: "
+              "engine-pool-reserve)");
+        }
+        const std::uint64_t cap = capability(e.plan);
+        // The governor charge is an estimate: capability units x element
+        // footprint. Good enough for a brownout trip point.
+        Acc& acc = pool->acquire(worker, cap,
+                                 [&] { return factory(e.plan, e.config); },
+                                 cap * (sizeof(T) + sizeof(I)));
 #if TILQ_METRICS_ENABLED
         const AccumulatorCounters counters_at_entry = acc.counters();
 #endif
@@ -999,8 +1140,10 @@ class Engine {
     std::shared_ptr<void>& slot = pools_[std::type_index(typeid(Acc))];
     if (slot == nullptr) {
       auto pool = std::make_shared<WorkspacePool<Acc>>();
+      pool->set_governor(&governor_);
       pool->reserve(pool_.size());
       pool_stats_fns_.push_back([pool] { return pool->stats(); });
+      pool_release_fns_.push_back([pool] { pool->release(); });
       slot = pool;
     }
     return std::static_pointer_cast<WorkspacePool<Acc>>(slot);
@@ -1023,6 +1166,12 @@ class Engine {
       s.in_flight = static_cast<std::uint64_t>(in_flight_);
     }
     s.deadline_misses = deadline_misses_.load(std::memory_order_relaxed);
+    s.retries = retries_.load(std::memory_order_relaxed);
+    s.brownouts = governor_.brownouts();
+    s.memory_usage_bytes = governor_.usage();
+    s.memory_high_water_bytes = governor_.high_water();
+    s.memory_budget_bytes = governor_.budget();
+    s.health = health_state();
     {
       const std::lock_guard<std::mutex> lock(plan_mutex_);
       s.plan_builds = plan_builds_;
@@ -1079,6 +1228,7 @@ class Engine {
           stuck.emplace_back(id, elapsed_ms);
         }
       }
+      health_.set_stuck_jobs(count_flagged_locked());
     }
     for (const auto& [id, elapsed_ms] : stuck) {
       jobs_stuck_.fetch_add(1, std::memory_order_relaxed);
@@ -1112,10 +1262,24 @@ class Engine {
     watchdog_jobs_.erase(id);
   }
 
+  /// Currently-flagged in-flight jobs; call with watchdog_mutex_ held.
+  /// Feeds the health monitor's stuck gauge — a gauge, not a counter, so
+  /// a stuck job that eventually finishes stops degrading the state.
+  [[nodiscard]] std::uint64_t count_flagged_locked() const {
+    std::uint64_t flagged = 0;
+    for (const auto& [id, entry] : watchdog_jobs_) {
+      if (entry.flagged) {
+        ++flagged;
+      }
+    }
+    return flagged;
+  }
+
   void telemetry_finish(std::uint64_t id, bool failed, std::int64_t flops,
                         double run_ms) {
     const std::lock_guard<std::mutex> lock(watchdog_mutex_);
     watchdog_jobs_.erase(id);
+    health_.set_stuck_jobs(count_flagged_locked());
     // Only clean completions feed the throughput baseline: a failed or
     // deadline-cancelled job's run time says nothing about healthy speed.
     if (!failed && run_ms > 0.0) {
@@ -1126,6 +1290,13 @@ class Engine {
   }
 
   std::unique_ptr<detail::DriverBuffers<T, I>> acquire_buffers() {
+    // Fault site: an allocation failure binding driver buffers surfaces
+    // as a CapacityError — transient, answered by the retry layer.
+    if (fault::should_fire(FaultSite::kEngineSubmitAlloc)) {
+      throw CapacityError(
+          "Engine: driver-buffer allocation failed (injected fault: "
+          "engine-submit-alloc)");
+    }
     const std::lock_guard<std::mutex> lock(buffers_mutex_);
     if (!free_buffers_.empty()) {
       auto buffers = std::move(free_buffers_.back());
@@ -1142,7 +1313,262 @@ class Engine {
     const std::lock_guard<std::mutex> lock(buffers_mutex_);
     if (free_buffers_.size() < options_.max_in_flight) {
       free_buffers_.push_back(std::move(buffers));
+      return;
     }
+    governor_.release(buffer_bytes(*buffers));
+  }
+
+  /// Governor-visible footprint of one driver-buffer set: capacities, not
+  /// sizes, since capacity is what the allocator actually holds.
+  [[nodiscard]] static std::uint64_t buffer_bytes(
+      const detail::DriverBuffers<T, I>& buffers) noexcept {
+    return static_cast<std::uint64_t>(buffers.bound_cols.capacity()) *
+               sizeof(I) +
+           static_cast<std::uint64_t>(buffers.bound_vals.capacity()) *
+               sizeof(T) +
+           static_cast<std::uint64_t>(buffers.row_counts.capacity()) *
+               sizeof(I) +
+           static_cast<std::uint64_t>(buffers.cell_counts.capacity()) *
+               sizeof(I);
+  }
+
+  /// Drops idle scratch under memory pressure: the driver-buffer free
+  /// list always, and — only when nothing is in flight — every workspace
+  /// pool's slots. In-flight jobs are never disturbed.
+  void reclaim_idle_memory() {
+    {
+      const std::lock_guard<std::mutex> lock(buffers_mutex_);
+      for (const auto& buffers : free_buffers_) {
+        governor_.release(buffer_bytes(*buffers));
+      }
+      free_buffers_.clear();
+    }
+    const std::lock_guard<std::mutex> state_lock(state_mutex_);
+    if (in_flight_ != 0) {
+      return;  // pool slots may be acquired by running tiles
+    }
+    const std::lock_guard<std::mutex> pools_lock(pools_mutex_);
+    for (const auto& release_fn : pool_release_fns_) {
+      release_fn();
+    }
+  }
+
+  /// Reduced-footprint planning for brownout mode: dense accumulators
+  /// (column-proportional) become hash (nnz-proportional), and explicit
+  /// wide block tilings halve their column-block width. Also the degraded
+  /// config for a transient-CapacityError retry.
+  [[nodiscard]] static Config reduced_footprint(Config config) {
+    if (config.accumulator == AccumulatorKind::kDense) {
+      config.accumulator = AccumulatorKind::kHash;
+    }
+    if (config.effective_strategy() == Strategy::kBlocked &&
+        config.block_cols > 512) {
+      config.block_cols /= 2;
+    }
+    return config;
+  }
+
+  /// Health verdict (docs/ROBUSTNESS.md): the memory governor's live
+  /// brownout state dominates the rate-based monitor.
+  [[nodiscard]] EngineHealth health_state() const {
+    return governor_.browned_out() ? EngineHealth::kBrownedOut
+                                   : health_.state();
+  }
+
+  /// Folds the governor's brownout-transition count into the thread-local
+  /// metric counters, each transition exactly once engine-wide.
+  void sync_brownout_metric() {
+#if TILQ_METRICS_ENABLED
+    const std::uint64_t seen = governor_.brownouts();
+    std::uint64_t prev = brownouts_seen_.load(std::memory_order_relaxed);
+    while (prev < seen) {
+      if (brownouts_seen_.compare_exchange_weak(prev, seen,
+                                                std::memory_order_relaxed)) {
+        if (MetricCounters* const counters = metrics_thread_counters()) {
+          counters->engine_brownouts += seen - prev;
+        }
+        return;
+      }
+    }
+#endif
+  }
+
+  // --- Retry layer (docs/ROBUSTNESS.md) --------------------------------
+
+  enum class RetryAction {
+    kNone,               ///< not retryable: surface the failure
+    kReplan,             ///< StaleError: rebuild the plan, same config
+    kDegradeSaturation,  ///< accumulator saturated: retry on dense
+    kDegradeMemory,      ///< capacity/alloc: retry on a smaller footprint
+  };
+
+  /// Maps the first captured failure onto a retry action. Catch order
+  /// matters: DeadlineExpiredError and AccumulatorSaturatedError are both
+  /// CapacityErrors but want different answers.
+  [[nodiscard]] static RetryAction classify_retry(
+      const std::exception_ptr& failure) noexcept {
+    if (failure == nullptr) {
+      return RetryAction::kNone;
+    }
+    try {
+      std::rethrow_exception(failure);
+    } catch (const DeadlineExpiredError&) {
+      return RetryAction::kNone;  // the deadline is already gone
+    } catch (const StaleError&) {
+      return RetryAction::kReplan;
+    } catch (const AccumulatorSaturatedError&) {
+      return RetryAction::kDegradeSaturation;
+    } catch (const CapacityError&) {
+      return RetryAction::kDegradeMemory;
+    } catch (const std::bad_alloc&) {
+      return RetryAction::kDegradeMemory;
+    } catch (...) {
+      return RetryAction::kNone;
+    }
+  }
+
+  [[nodiscard]] static Config degraded_for(RetryAction action,
+                                           Config config) {
+    switch (action) {
+      case RetryAction::kDegradeSaturation:
+        // Dense never saturates; the cost model's emergency exit.
+        config.accumulator = AccumulatorKind::kDense;
+        break;
+      case RetryAction::kDegradeMemory:
+        config = reduced_footprint(std::move(config));
+        break;
+      case RetryAction::kReplan:
+      case RetryAction::kNone:
+        break;
+    }
+    return config;
+  }
+
+  /// Deterministic capped exponential backoff with multiplicative jitter
+  /// in [0.5, 1.0). Keyed by (policy seed, plan fingerprint, attempt) —
+  /// NOT the job id — so two runs of the same submission stream back off
+  /// identically (the retry-determinism contract in docs/ROBUSTNESS.md).
+  [[nodiscard]] double backoff_ms(std::uint64_t fingerprint,
+                                  std::uint32_t attempt) const {
+    const RetryPolicy& r = options_.retry;
+    if (r.backoff_base_ms <= 0.0 || attempt < 2) {
+      return 0.0;
+    }
+    const double cap = std::max(r.backoff_base_ms, r.backoff_cap_ms);
+    double delay = r.backoff_base_ms;
+    for (std::uint32_t k = 2; k < attempt && delay < cap; ++k) {
+      delay *= 2.0;
+    }
+    delay = std::min(delay, cap);
+    SplitMix64 rng(r.seed ^ fingerprint ^
+                   (0x9e3779b97f4a7c15ULL * attempt));
+    const double u = static_cast<double>(rng.next() >> 11) * 0x1.0p-53;
+    return delay * (0.5 + 0.5 * u);
+  }
+
+  /// Drops one cache entry (by identity) so the retry's plan_for builds
+  /// fresh — the definition of recovering from a StaleError. In-flight
+  /// jobs keep the dropped entry alive through their shared_ptr.
+  void invalidate_plan(const std::shared_ptr<const PlanEntry>& entry) {
+    const std::lock_guard<std::mutex> lock(plan_mutex_);
+    for (auto it = plans_.begin(); it != plans_.end(); ++it) {
+      if (it->get() == entry.get()) {
+        plans_.erase(it);
+        return;
+      }
+    }
+  }
+
+  /// The auto-retry layer, run on the finalizing worker when an attempt
+  /// failed. Returns true when the job went back onto the pool (the
+  /// caller must back out of finalize untouched); false surfaces the
+  /// ORIGINAL failure through the handle — including when the retry's own
+  /// replan throws.
+  bool try_retry(const std::shared_ptr<Job>& job) {
+    const std::uint32_t attempt =
+        job->attempts.load(std::memory_order_relaxed);
+    if (static_cast<int>(attempt) >= job->max_attempts ||
+        job->deadline_missed.load(std::memory_order_relaxed)) {
+      return false;
+    }
+    const RetryAction action = classify_retry(job->guard.failure());
+    if (action == RetryAction::kNone) {
+      return false;
+    }
+    std::shared_ptr<const PlanEntry> fresh;
+    bool cache_hit = false;
+    Config config = job->entry->config;
+    try {
+      // Fault site: the recovery path itself can fail; the contract is
+      // that the caller then sees the original error, not this one.
+      if (fault::should_fire(FaultSite::kEngineRetryReplan)) {
+        throw CapacityError(
+            "Engine: retry replan failed (injected fault: "
+            "engine-retry-replan)");
+      }
+      if (action == RetryAction::kReplan) {
+        invalidate_plan(job->entry);
+      } else {
+        config = degraded_for(action, std::move(config));
+      }
+      // plan_for opens an OpenMP region on a pool worker here — a
+      // deliberate tradeoff: retries are rare, and blocking the submit
+      // path on a failed job's replan would cost more.
+      fresh = plan_for(*job->mask, *job->a, *job->b, config, cache_hit);
+      if (job->buffers != nullptr) {
+        // Re-ensure now, before any job state mutates, so an allocation
+        // failure here cannot leave a half-retried job behind.
+        ensure_buffers_for(*job, fresh->plan);
+      }
+    } catch (...) {
+      return false;
+    }
+    const std::uint32_t next_attempt = attempt + 1;
+    job->attempts.store(next_attempt, std::memory_order_relaxed);
+    if (!(fresh->config == job->entry->config)) {
+      job->degraded_config = true;
+    }
+    retries_.fetch_add(1, std::memory_order_relaxed);
+    health_.record_retry();
+#if TILQ_METRICS_ENABLED
+    if (MetricCounters* const counters = metrics_thread_counters()) {
+      ++counters->engine_retries;
+    }
+#endif
+    if (telemetry_) {
+      telemetry_->flight().record(job->id, FlightEventKind::kRetried,
+                                  static_cast<int>(next_attempt),
+                                  fresh->plan.flop_total);
+    }
+    // Reset per-attempt state. Between attempts only this finalizing task
+    // is alive for the job, so the plain writes race with nothing.
+    job->guard.reset();
+    job->rows.store(0, std::memory_order_relaxed);
+    job->degrades.store(0, std::memory_order_relaxed);
+    job->entry = std::move(fresh);
+    job->flop_estimate = job->entry->plan.flop_total;
+    const Plan<I>& plan = job->entry->plan;
+    job->task_count = static_cast<std::int64_t>(plan.row_tiles.size() *
+                                                plan.cells_per_row_tile());
+    job->remaining.store(std::max<std::int64_t>(1, job->task_count),
+                         std::memory_order_relaxed);
+    const double delay_ms =
+        backoff_ms(plan.info.fingerprint, next_attempt);
+    if (delay_ms > 0.0) {
+      job->backoff_total_ms += delay_ms;
+      // Sleeping occupies this worker for up to backoff_cap_ms; accepted
+      // because retries are rare and the alternative is a timer thread.
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(delay_ms));
+    }
+    if (job->task_count == 0) {
+      pool_.submit([this, job] { run_task(job, -1); }, job->lane);
+    } else {
+      for (std::int64_t task = 0; task < job->task_count; ++task) {
+        pool_.submit([this, job, task] { run_task(job, task); }, job->lane);
+      }
+    }
+    return true;
   }
 
   EngineOptions options_;
@@ -1176,6 +1602,14 @@ class Engine {
   mutable std::mutex pools_mutex_;
   std::map<std::type_index, std::shared_ptr<void>> pools_;
   std::vector<std::function<WorkspacePoolStats()>> pool_stats_fns_;
+  std::vector<std::function<void()>> pool_release_fns_;  ///< reclaim hooks
+
+  // --- Resilience (docs/ROBUSTNESS.md)
+  HealthMonitor health_;
+  MemoryGovernor governor_;
+  std::atomic<std::uint64_t> retries_{0};    ///< attempts beyond the first
+  std::uint64_t jobs_retried_ = 0;           ///< guarded by state_mutex_
+  std::atomic<std::uint64_t> brownouts_seen_{0};  ///< metric sync cursor
 
   std::mutex buffers_mutex_;
   std::vector<std::unique_ptr<detail::DriverBuffers<T, I>>> free_buffers_;

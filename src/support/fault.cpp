@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <string>
 
@@ -19,6 +20,12 @@ const char* to_string(FaultSite site) noexcept {
       return "hash-sat";
     case FaultSite::kPlanFingerprint:
       return "plan-fingerprint";
+    case FaultSite::kEngineSubmitAlloc:
+      return "engine-submit-alloc";
+    case FaultSite::kEnginePoolReserve:
+      return "engine-pool-reserve";
+    case FaultSite::kEngineRetryReplan:
+      return "engine-retry-replan";
   }
   return "?";
 }
@@ -27,8 +34,15 @@ namespace fault {
 namespace {
 
 struct SiteState {
-  /// Probes left before firing; only meaningful while the armed bit is set.
+  /// Probes left before firing; only meaningful while the armed bit is set
+  /// and rate_threshold is zero (one-shot mode).
   std::atomic<std::uint64_t> countdown{0};
+  /// Rate mode: fire when hash(seed, site, probe index) < rate_threshold.
+  /// Zero means one-shot mode; rates too small to represent clamp to 1.
+  std::atomic<std::uint64_t> rate_threshold{0};
+  /// Monotone probe index for rate-mode decisions; reset by set_seed and
+  /// disarm_all so equal seeds replay equal fire schedules.
+  std::atomic<std::uint64_t> probe_index{0};
   std::atomic<std::uint64_t> hits{0};
   std::atomic<std::uint64_t> triggered{0};
 };
@@ -39,12 +53,21 @@ SiteState g_sites[kFaultSiteCount];
 /// single relaxed load of this mask.
 std::atomic<std::uint32_t> g_armed_mask{0};
 
+std::atomic<std::uint64_t> g_seed{0};
+
 constexpr std::uint32_t bit(FaultSite site) noexcept {
   return std::uint32_t{1} << static_cast<unsigned>(site);
 }
 
 SiteState& state(FaultSite site) noexcept {
   return g_sites[static_cast<std::size_t>(site)];
+}
+
+std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
 }
 
 bool parse_site(std::string_view name, FaultSite& out) noexcept {
@@ -60,16 +83,37 @@ bool parse_site(std::string_view name, FaultSite& out) noexcept {
 
 /// TILQ_FAULT is parsed during static initialization, mirroring the
 /// TILQ_METRICS / TILQ_TRACE / TILQ_PERF env gates. A malformed spec here
-/// must not throw out of a static initializer, so it is ignored (tests use
-/// configure(), which does throw).
+/// must not throw out of a static initializer, so the error is reported as
+/// a one-time stderr notice naming the bad spec and the faults stay
+/// disarmed (tests use configure(), which does throw).
 bool init_from_env() noexcept {
+  if (const char* seed = std::getenv("TILQ_FAULT_SEED");
+      seed != nullptr && seed[0] != '\0') {
+    char* end = nullptr;
+    const unsigned long long value = std::strtoull(seed, &end, 10);
+    if (end != nullptr && *end == '\0') {
+      set_seed(static_cast<std::uint64_t>(value));
+    } else {
+      std::fprintf(stderr,
+                   "tilq: ignoring malformed TILQ_FAULT_SEED '%s' "
+                   "(expected a decimal integer)\n",
+                   seed);
+    }
+  }
   const char* value = std::getenv("TILQ_FAULT");
   if (value == nullptr || value[0] == '\0') {
     return false;
   }
   try {
     configure(value);
+  } catch (const Error& e) {
+    disarm_all();
+    std::fprintf(stderr, "tilq: ignoring TILQ_FAULT='%s': %s\n", value,
+                 e.message());
+    return false;
   } catch (...) {
+    disarm_all();
+    std::fprintf(stderr, "tilq: ignoring malformed TILQ_FAULT='%s'\n", value);
     return false;
   }
   return true;
@@ -80,19 +124,55 @@ bool init_from_env() noexcept {
 }  // namespace
 
 void arm(FaultSite site, std::uint64_t nth) noexcept {
-  state(site).countdown.store(nth == 0 ? 1 : nth, std::memory_order_relaxed);
+  SiteState& s = state(site);
+  s.rate_threshold.store(0, std::memory_order_relaxed);
+  s.countdown.store(nth == 0 ? 1 : nth, std::memory_order_relaxed);
   g_armed_mask.fetch_or(bit(site), std::memory_order_release);
+}
+
+void arm_rate(FaultSite site, double rate) noexcept {
+  if (!(rate > 0.0)) {
+    disarm(site);
+    return;
+  }
+  SiteState& s = state(site);
+  std::uint64_t threshold = ~std::uint64_t{0};
+  if (rate < 1.0) {
+    // rate * 2^64, clamped so representable-but-tiny rates still fire
+    // eventually instead of silently rounding to never.
+    const double scaled = rate * 18446744073709551616.0;  // 2^64
+    threshold = scaled >= 18446744073709549568.0
+                    ? ~std::uint64_t{0}
+                    : static_cast<std::uint64_t>(scaled);
+    if (threshold == 0) {
+      threshold = 1;
+    }
+  }
+  s.countdown.store(0, std::memory_order_relaxed);
+  s.probe_index.store(0, std::memory_order_relaxed);
+  s.rate_threshold.store(threshold, std::memory_order_relaxed);
+  g_armed_mask.fetch_or(bit(site), std::memory_order_release);
+}
+
+void set_seed(std::uint64_t seed) noexcept {
+  g_seed.store(seed, std::memory_order_relaxed);
+  for (SiteState& s : g_sites) {
+    s.probe_index.store(0, std::memory_order_relaxed);
+  }
 }
 
 void disarm(FaultSite site) noexcept {
   g_armed_mask.fetch_and(~bit(site), std::memory_order_release);
   state(site).countdown.store(0, std::memory_order_relaxed);
+  state(site).rate_threshold.store(0, std::memory_order_relaxed);
 }
 
 void disarm_all() noexcept {
   g_armed_mask.store(0, std::memory_order_release);
   for (SiteState& s : g_sites) {
     s.countdown.store(0, std::memory_order_relaxed);
+    s.rate_threshold.store(0, std::memory_order_relaxed);
+    s.probe_index.store(0, std::memory_order_relaxed);
     s.hits.store(0, std::memory_order_relaxed);
     s.triggered.store(0, std::memory_order_relaxed);
   }
@@ -120,24 +200,44 @@ void configure(std::string_view spec) {
     if (!entry.empty()) {
       std::string_view name = entry;
       std::uint64_t nth = 1;
-      if (const std::size_t colon = entry.find(':');
-          colon != std::string_view::npos) {
+      double rate = -1.0;
+      if (const std::size_t at = entry.find('@');
+          at != std::string_view::npos) {
+        name = entry.substr(0, at);
+        const std::string rate_text(entry.substr(at + 1));
+        if (rate_text.empty()) {
+          throw PreconditionError(
+              "TILQ_FAULT: missing rate after '@' in spec entry '" +
+              std::string(entry) + "'");
+        }
+        char* end = nullptr;
+        rate = std::strtod(rate_text.c_str(), &end);
+        if (end == nullptr || *end != '\0' || !(rate > 0.0) || rate > 1.0) {
+          throw PreconditionError(
+              "TILQ_FAULT: rate in '" + std::string(entry) +
+              "' must be a decimal in (0, 1]");
+        }
+      } else if (const std::size_t colon = entry.find(':');
+                 colon != std::string_view::npos) {
         name = entry.substr(0, colon);
         const std::string_view count = entry.substr(colon + 1);
         if (count.empty()) {
           throw PreconditionError(
-              "TILQ_FAULT: missing count after ':' in spec entry");
+              "TILQ_FAULT: missing count after ':' in spec entry '" +
+              std::string(entry) + "'");
         }
         nth = 0;
         for (const char c : count) {
           if (c < '0' || c > '9') {
             throw PreconditionError(
-                "TILQ_FAULT: count must be a positive integer");
+                "TILQ_FAULT: count in '" + std::string(entry) +
+                "' must be a positive integer");
           }
           nth = nth * 10 + static_cast<std::uint64_t>(c - '0');
         }
         if (nth == 0) {
-          throw PreconditionError("TILQ_FAULT: count must be >= 1");
+          throw PreconditionError("TILQ_FAULT: count in '" +
+                                  std::string(entry) + "' must be >= 1");
         }
       }
       FaultSite site{};
@@ -145,10 +245,15 @@ void configure(std::string_view spec) {
         throw PreconditionError(
             std::string("TILQ_FAULT: unknown fault site '") +
             std::string(name) +
-            "' (expected pool-alloc, marker-wrap, hash-sat, or "
-            "plan-fingerprint)");
+            "' (expected pool-alloc, marker-wrap, hash-sat, "
+            "plan-fingerprint, engine-submit-alloc, engine-pool-reserve, or "
+            "engine-retry-replan)");
       }
-      arm(site, nth);
+      if (rate > 0.0) {
+        arm_rate(site, rate);
+      } else {
+        arm(site, nth);
+      }
     }
     if (comma == std::string_view::npos) {
       break;
@@ -163,6 +268,23 @@ bool should_fire(FaultSite site) noexcept {
   }
   SiteState& s = state(site);
   s.hits.fetch_add(1, std::memory_order_relaxed);
+  if (const std::uint64_t threshold =
+          s.rate_threshold.load(std::memory_order_relaxed);
+      threshold != 0) {
+    // Rate mode: the decision depends only on (seed, site, probe index), so
+    // a rerun with the same seed and per-site probe sequence replays the
+    // same fire schedule regardless of thread interleaving elsewhere.
+    const std::uint64_t index =
+        s.probe_index.fetch_add(1, std::memory_order_relaxed);
+    const std::uint64_t seed = g_seed.load(std::memory_order_relaxed);
+    const std::uint64_t draw = splitmix64(
+        seed ^ splitmix64(static_cast<std::uint64_t>(site) + 1) ^ index);
+    if (draw < threshold) {
+      s.triggered.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
   // fetch_sub decides a unique winner when several threads probe the armed
   // site concurrently: exactly one observes the transition to zero.
   const std::uint64_t before =

@@ -6,23 +6,41 @@
 //
 // Sites (each a single `fault::should_fire(FaultSite::...)` probe in
 // library code):
-//   pool-alloc       WorkspacePool::acquire, before constructing a slot
-//   marker-wrap      accumulator finish_row: forces the marker-overflow
-//                    full-reset path regardless of the real epoch
-//   hash-sat         HashAccumulator insert: forces the saturation path
-//                    (growth bound treated as already exhausted)
-//   plan-fingerprint Executor::execute staleness check: corrupts the
-//                    fingerprint comparison so StalePlanError fires
+//   pool-alloc          WorkspacePool::acquire, before constructing a slot
+//   marker-wrap         accumulator finish_row: forces the marker-overflow
+//                       full-reset path regardless of the real epoch
+//   hash-sat            HashAccumulator insert: forces the saturation path
+//                       (growth bound treated as already exhausted)
+//   plan-fingerprint    Executor::execute staleness check: corrupts the
+//                       fingerprint comparison so StalePlanError fires
+//   engine-submit-alloc Engine driver-buffer acquisition (deferred to a
+//                       job's first task; models a submit-path alloc fail)
+//   engine-pool-reserve Engine tile task, workspace acquisition for the
+//                       per-thread accumulator
+//   engine-retry-replan Engine retry path, replan before re-execution
 //
-// Arming is one-shot with an Nth-hit trigger: arm(site, n) fires on the
-// n-th probe of that site (1-based) and disarms itself, so the process
-// recovers and the same pool/executor is provably reusable afterwards.
+// Two arming modes:
+//
+//   One-shot with an Nth-hit trigger: arm(site, n) fires on the n-th probe
+//   of that site (1-based) and disarms itself, so the process recovers and
+//   the same pool/executor is provably reusable afterwards.
+//
+//   Probabilistic rate: arm_rate(site, p) fires each probe independently
+//   with probability p, decided by a counter-indexed hash of the global
+//   seed (set_seed / TILQ_FAULT_SEED) — deterministic per (seed, site,
+//   probe index), no wall-clock randomness. Rate sites stay armed until
+//   disarmed; the chaos-soak harness uses this mode.
+//
 // Probes and triggers are counted per site (fault::hits / fault::triggered).
 //
 // Configuration:
-//   programmatic — fault::arm / fault::disarm / fault::disarm_all
-//   environment  — TILQ_FAULT="site[:nth](,site[:nth])*", parsed once at
-//                  static initialization, e.g. TILQ_FAULT=pool-alloc:3,hash-sat
+//   programmatic — fault::arm / fault::arm_rate / fault::disarm /
+//                  fault::disarm_all / fault::set_seed
+//   environment  — TILQ_FAULT="site[:nth|@rate](,...)*", parsed once at
+//                  static initialization, e.g.
+//                  TILQ_FAULT=pool-alloc:3,hash-sat
+//                  TILQ_FAULT=engine-pool-reserve@0.01
+//                  TILQ_FAULT_SEED=42 selects the rate-mode seed.
 //
 // Cost when nothing is armed: one relaxed atomic load per probe (a bitmask
 // test), no branches beyond it. Probes never appear in per-element loops —
@@ -39,9 +57,12 @@ enum class FaultSite : unsigned {
   kMarkerWrap = 1,
   kHashSaturation = 2,
   kPlanFingerprint = 3,
+  kEngineSubmitAlloc = 4,
+  kEnginePoolReserve = 5,
+  kEngineRetryReplan = 6,
 };
 
-inline constexpr std::size_t kFaultSiteCount = 4;
+inline constexpr std::size_t kFaultSiteCount = 7;
 
 [[nodiscard]] const char* to_string(FaultSite site) noexcept;
 
@@ -51,10 +72,22 @@ namespace fault {
 /// the very next probe). Re-arming an armed site restarts its countdown.
 void arm(FaultSite site, std::uint64_t nth = 1) noexcept;
 
+/// Arms `site` in probabilistic rate mode: each probe fires independently
+/// with probability `rate`, decided deterministically from the global seed
+/// and the site's probe index. rate <= 0 disarms; rate >= 1 fires on every
+/// probe. Rate sites do NOT self-disarm.
+void arm_rate(FaultSite site, double rate) noexcept;
+
+/// Seed for rate-mode decisions. Also resets every site's probe index so
+/// two runs with the same seed and the same per-site probe sequence make
+/// identical fire decisions. Default seed: 0 (or TILQ_FAULT_SEED).
+void set_seed(std::uint64_t seed) noexcept;
+
 void disarm(FaultSite site) noexcept;
 
-/// Disarms every site and zeroes all hit/trigger counters. Tests call this
-/// in teardown so faults never leak across test cases.
+/// Disarms every site and zeroes all hit/trigger counters and probe
+/// indices. Tests call this in teardown so faults never leak across test
+/// cases.
 void disarm_all() noexcept;
 
 [[nodiscard]] bool armed(FaultSite site) noexcept;
@@ -67,14 +100,16 @@ void disarm_all() noexcept;
 /// How many times `site` actually fired since the last disarm_all().
 [[nodiscard]] std::uint64_t triggered(FaultSite site) noexcept;
 
-/// Parses a TILQ_FAULT-style spec ("site[:nth](,site[:nth])*") and arms the
-/// named sites. Throws PreconditionError on malformed specs. An empty spec
-/// is a no-op.
+/// Parses a TILQ_FAULT-style spec ("site[:nth|@rate](,site[:nth|@rate])*")
+/// and arms the named sites — `:nth` one-shot, `@rate` probabilistic.
+/// Throws PreconditionError on malformed specs. An empty spec is a no-op.
 void configure(std::string_view spec);
 
-/// The library-side probe. Returns true exactly once per arm(), on the
-/// armed site's Nth hit, then self-disarms. Near-free when nothing is
-/// armed (single relaxed load). noexcept: callers throw, this never does.
+/// The library-side probe. One-shot sites return true exactly once per
+/// arm(), on the armed site's Nth hit, then self-disarm. Rate sites return
+/// true with the armed probability, deterministically per probe index.
+/// Near-free when nothing is armed (single relaxed load). noexcept:
+/// callers throw, this never does.
 [[nodiscard]] bool should_fire(FaultSite site) noexcept;
 
 }  // namespace fault

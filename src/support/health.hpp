@@ -1,0 +1,169 @@
+// Engine health state machine (docs/ROBUSTNESS.md). Distills the engine's
+// recent behavior — shed rate, retry rate, stuck jobs, memory pressure —
+// into a three-state verdict an operator (or load balancer) can act on:
+//
+//   kHealthy    serving normally
+//   kDegraded   elevated shed/retry rates or stuck jobs in the window:
+//               still serving, but investigate
+//   kBrownedOut the memory governor tripped its budget: new jobs plan in
+//               reduced-footprint mode; /healthz returns 503
+//
+// The monitor is event-count epoched, not wall-clock epoched: every
+// `epoch_events` recorded completions rotate the current window into the
+// previous one, and rates are computed over (current + previous). This
+// makes recovery deterministic and testable — after a fault burst, two
+// clean epochs of traffic provably return the state to kHealthy, with no
+// timer to race against. All recording is relaxed-atomic; evaluation takes
+// a mutex only on the (rare) epoch rotation.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+
+namespace tilq {
+
+enum class EngineHealth : int {
+  kHealthy = 0,
+  kDegraded = 1,
+  kBrownedOut = 2,
+};
+
+[[nodiscard]] inline const char* to_string(EngineHealth health) noexcept {
+  switch (health) {
+    case EngineHealth::kHealthy:
+      return "healthy";
+    case EngineHealth::kDegraded:
+      return "degraded";
+    case EngineHealth::kBrownedOut:
+      return "browned-out";
+  }
+  return "?";
+}
+
+struct HealthThresholds {
+  /// Completions per epoch before the window rotates.
+  std::uint64_t epoch_events = 32;
+  /// Degrade when sheds / (admissions + sheds) over the window reaches this.
+  double shed_rate = 0.25;
+  /// Degrade when retries / admissions over the window reaches this.
+  double retry_rate = 0.25;
+};
+
+class HealthMonitor {
+ public:
+  HealthMonitor() = default;
+  explicit HealthMonitor(HealthThresholds thresholds)
+      : thresholds_(thresholds) {}
+
+  /// Replaces the thresholds. Not thread-safe against concurrent
+  /// recording — configure before serving (the engine does this in its
+  /// constructor).
+  void set_thresholds(const HealthThresholds& thresholds) noexcept {
+    thresholds_ = thresholds;
+    if (thresholds_.epoch_events == 0) {
+      thresholds_.epoch_events = 1;
+    }
+  }
+
+  void record_admit() noexcept {
+    current_.admits.fetch_add(1, std::memory_order_relaxed);
+  }
+  void record_shed() noexcept {
+    current_.sheds.fetch_add(1, std::memory_order_relaxed);
+  }
+  void record_retry() noexcept {
+    current_.retries.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// One job finished (completed or failed). Rotates the epoch window once
+  /// `epoch_events` completions accumulate, so sustained clean traffic
+  /// dilutes and then retires an old fault burst.
+  void record_finish() noexcept {
+    const std::uint64_t n =
+        current_.finishes.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (n >= thresholds_.epoch_events) {
+      rotate();
+    }
+  }
+
+  /// Gauge of currently-stuck in-flight jobs (watchdog-flagged, not yet
+  /// finished). A gauge, not a counter: a stuck job that eventually
+  /// finishes stops degrading the state.
+  void set_stuck_jobs(std::uint64_t stuck) noexcept {
+    stuck_.store(stuck, std::memory_order_relaxed);
+  }
+
+  /// Memory-governor verdict, set from the engine (sticky until cleared by
+  /// the governor's hysteresis). Dominates the other signals.
+  void set_browned_out(bool browned_out) noexcept {
+    browned_out_.store(browned_out, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] EngineHealth state() const noexcept {
+    if (browned_out_.load(std::memory_order_relaxed)) {
+      return EngineHealth::kBrownedOut;
+    }
+    if (stuck_.load(std::memory_order_relaxed) > 0) {
+      return EngineHealth::kDegraded;
+    }
+    const std::uint64_t admits = window_of(&Epoch::admits);
+    const std::uint64_t sheds = window_of(&Epoch::sheds);
+    const std::uint64_t retries = window_of(&Epoch::retries);
+    if (admits + sheds > 0) {
+      const double shed_rate = static_cast<double>(sheds) /
+                               static_cast<double>(admits + sheds);
+      if (shed_rate >= thresholds_.shed_rate) {
+        return EngineHealth::kDegraded;
+      }
+    }
+    if (admits > 0) {
+      const double retry_rate =
+          static_cast<double>(retries) / static_cast<double>(admits);
+      if (retry_rate >= thresholds_.retry_rate) {
+        return EngineHealth::kDegraded;
+      }
+    }
+    return EngineHealth::kHealthy;
+  }
+
+ private:
+  struct Epoch {
+    std::atomic<std::uint64_t> admits{0};
+    std::atomic<std::uint64_t> sheds{0};
+    std::atomic<std::uint64_t> retries{0};
+    std::atomic<std::uint64_t> finishes{0};
+  };
+
+  [[nodiscard]] std::uint64_t window_of(
+      std::atomic<std::uint64_t> Epoch::* field) const noexcept {
+    return (current_.*field).load(std::memory_order_relaxed) +
+           (previous_.*field).load(std::memory_order_relaxed);
+  }
+
+  void rotate() noexcept {
+    const std::lock_guard<std::mutex> lock(rotate_mutex_);
+    // Re-check under the lock: a racing finisher may have rotated already.
+    if (current_.finishes.load(std::memory_order_relaxed) <
+        thresholds_.epoch_events) {
+      return;
+    }
+    previous_.admits.store(current_.admits.exchange(0),
+                           std::memory_order_relaxed);
+    previous_.sheds.store(current_.sheds.exchange(0),
+                          std::memory_order_relaxed);
+    previous_.retries.store(current_.retries.exchange(0),
+                            std::memory_order_relaxed);
+    previous_.finishes.store(current_.finishes.exchange(0),
+                             std::memory_order_relaxed);
+  }
+
+  HealthThresholds thresholds_{};
+  Epoch current_;
+  Epoch previous_;
+  std::atomic<std::uint64_t> stuck_{0};
+  std::atomic<bool> browned_out_{false};
+  std::mutex rotate_mutex_;
+};
+
+}  // namespace tilq

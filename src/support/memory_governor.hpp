@@ -1,0 +1,103 @@
+// Engine-wide memory budget (docs/ROBUSTNESS.md). The governor keeps a
+// byte ledger over the engine's reusable scratch memory — workspace-pool
+// accumulators and recycled driver buffers — against a configured budget,
+// with high-water accounting. Charges are estimates (capability x element
+// footprint for accumulators, vector sizes for driver buffers): the goal
+// is a brownout trip point, not an allocator.
+//
+// Crossing the budget flips the governor into brownout (counted once per
+// excursion). Brownout is sticky with hysteresis: it clears only when
+// usage falls back under 3/4 of the budget, so the state cannot flap on
+// every acquire/release pair at the boundary. The engine reacts to
+// brownout by reclaiming idle scratch and planning NEW jobs in a
+// reduced-footprint config instead of failing admission; in-flight jobs
+// are never disturbed.
+//
+// A budget of 0 means unlimited: the ledger still runs (usage/high-water
+// stay observable) but brownout never trips. All operations are lock-free
+// relaxed atomics — charge/release sit on the workspace acquire path.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace tilq {
+
+class MemoryGovernor {
+ public:
+  MemoryGovernor() = default;
+
+  /// Sets the budget in bytes; 0 disables brownout. Not thread-safe
+  /// against concurrent charges — configure before serving.
+  void set_budget(std::uint64_t bytes) noexcept {
+    budget_.store(bytes, std::memory_order_relaxed);
+  }
+
+  void charge(std::uint64_t bytes) noexcept {
+    if (bytes == 0) {
+      return;
+    }
+    const std::uint64_t usage =
+        usage_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    std::uint64_t high = high_water_.load(std::memory_order_relaxed);
+    while (usage > high && !high_water_.compare_exchange_weak(
+                               high, usage, std::memory_order_relaxed)) {
+    }
+    const std::uint64_t budget = budget_.load(std::memory_order_relaxed);
+    if (budget != 0 && usage > budget &&
+        !browned_out_.exchange(true, std::memory_order_relaxed)) {
+      brownouts_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  void release(std::uint64_t bytes) noexcept {
+    if (bytes == 0) {
+      return;
+    }
+    const std::uint64_t usage =
+        usage_.fetch_sub(bytes, std::memory_order_relaxed) - bytes;
+    const std::uint64_t budget = budget_.load(std::memory_order_relaxed);
+    // Hysteresis: clear only once usage is comfortably under budget.
+    if (budget == 0 || usage <= budget - budget / 4) {
+      browned_out_.store(false, std::memory_order_relaxed);
+    }
+  }
+
+  /// True once usage crossed the budget, until the hysteresis clears it.
+  [[nodiscard]] bool browned_out() const noexcept {
+    return browned_out_.load(std::memory_order_relaxed);
+  }
+
+  /// Softer signal than brownout: usage at or past 3/4 of the budget. The
+  /// engine starts reclaiming idle scratch here, before the trip point.
+  [[nodiscard]] bool under_pressure() const noexcept {
+    const std::uint64_t budget = budget_.load(std::memory_order_relaxed);
+    if (budget == 0) {
+      return false;
+    }
+    return usage_.load(std::memory_order_relaxed) >= budget - budget / 4;
+  }
+
+  [[nodiscard]] std::uint64_t usage() const noexcept {
+    return usage_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t high_water() const noexcept {
+    return high_water_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t budget() const noexcept {
+    return budget_.load(std::memory_order_relaxed);
+  }
+  /// Transitions into brownout since construction.
+  [[nodiscard]] std::uint64_t brownouts() const noexcept {
+    return brownouts_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> budget_{0};
+  std::atomic<std::uint64_t> usage_{0};
+  std::atomic<std::uint64_t> high_water_{0};
+  std::atomic<std::uint64_t> brownouts_{0};
+  std::atomic<bool> browned_out_{false};
+};
+
+}  // namespace tilq

@@ -113,6 +113,8 @@ void append_counters_json(std::string& out, const MetricCounters& c) {
   field("engine_jobs_expensive", c.engine_jobs_expensive);
   field("engine_deadline_misses", c.engine_deadline_misses);
   field("engine_jobs_stuck", c.engine_jobs_stuck);
+  field("engine_retries", c.engine_retries);
+  field("engine_brownouts", c.engine_brownouts);
   field("engine_telemetry_samples", c.engine_telemetry_samples, /*last=*/true);
   out += '}';
 }

@@ -51,7 +51,9 @@ namespace tilq {
 /// `engine_jobs_deferred`, `engine_jobs_expensive`,
 /// `engine_deadline_misses`) and the nullable `engine_latency` record
 /// object (docs/SERVING.md), then with the telemetry counters
-/// (`engine_jobs_stuck`, `engine_telemetry_samples` — docs/TELEMETRY.md).
+/// (`engine_jobs_stuck`, `engine_telemetry_samples` — docs/TELEMETRY.md),
+/// then with the resilience counters (`engine_retries`,
+/// `engine_brownouts` — docs/ROBUSTNESS.md).
 inline constexpr int kMetricsSchemaVersion = 3;
 
 /// True when the counter hooks are compiled into this build (CMake option
@@ -92,6 +94,8 @@ struct MetricCounters {
   std::uint64_t engine_jobs_expensive = 0;  ///< admitted jobs the cost model priced expensive
   std::uint64_t engine_deadline_misses = 0; ///< jobs cancelled past their submit() deadline
   std::uint64_t engine_jobs_stuck = 0;      ///< in-flight jobs flagged by the telemetry watchdog
+  std::uint64_t engine_retries = 0;         ///< retry attempts (auto-replan + degraded-config)
+  std::uint64_t engine_brownouts = 0;       ///< memory-governor transitions into brownout
   std::uint64_t engine_telemetry_samples = 0; ///< telemetry sampler ticks taken
 
   MetricCounters& operator+=(const MetricCounters& o) noexcept {
@@ -125,6 +129,8 @@ struct MetricCounters {
     engine_jobs_expensive += o.engine_jobs_expensive;
     engine_deadline_misses += o.engine_deadline_misses;
     engine_jobs_stuck += o.engine_jobs_stuck;
+    engine_retries += o.engine_retries;
+    engine_brownouts += o.engine_brownouts;
     engine_telemetry_samples += o.engine_telemetry_samples;
     return *this;
   }
@@ -167,6 +173,8 @@ struct MetricCounters {
     d.engine_jobs_expensive = sub(engine_jobs_expensive, o.engine_jobs_expensive);
     d.engine_deadline_misses = sub(engine_deadline_misses, o.engine_deadline_misses);
     d.engine_jobs_stuck = sub(engine_jobs_stuck, o.engine_jobs_stuck);
+    d.engine_retries = sub(engine_retries, o.engine_retries);
+    d.engine_brownouts = sub(engine_brownouts, o.engine_brownouts);
     d.engine_telemetry_samples = sub(engine_telemetry_samples, o.engine_telemetry_samples);
     return d;
   }
@@ -185,6 +193,7 @@ struct MetricCounters {
            engine_steals == 0 && engine_jobs_shed == 0 &&
            engine_jobs_deferred == 0 && engine_jobs_expensive == 0 &&
            engine_deadline_misses == 0 && engine_jobs_stuck == 0 &&
+           engine_retries == 0 && engine_brownouts == 0 &&
            engine_telemetry_samples == 0;
   }
 };

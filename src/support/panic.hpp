@@ -77,6 +77,30 @@ class ParallelGuard {
     failed_.store(true, std::memory_order_release);
   }
 
+  /// The first captured exception, or nullptr when no worker failed.
+  /// Retry layers (the batch engine) inspect this to classify a failure —
+  /// retryable StaleError/CapacityError vs terminal — without consuming it.
+  [[nodiscard]] std::exception_ptr failure() const noexcept {
+    if (!failed_.load(std::memory_order_acquire)) {
+      return nullptr;
+    }
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return first_;
+  }
+
+  /// Clears the captured failure and the cancellation flag so the guard can
+  /// arbitrate a fresh attempt. Call only between attempts, when no worker
+  /// can still be inside run() — the batch engine's retry path calls it
+  /// from the finalizing task, after every tile of the failed attempt has
+  /// finished.
+  void reset() noexcept {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      first_ = nullptr;
+    }
+    failed_.store(false, std::memory_order_release);
+  }
+
   /// Call on the calling thread after the parallel region joined. Rethrows
   /// the first captured exception, normalized into the tilq taxonomy (see
   /// the header comment). No-op when every worker succeeded.
@@ -108,7 +132,7 @@ class ParallelGuard {
 
  private:
   std::atomic<bool> failed_{false};
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::exception_ptr first_;
 };
 

@@ -171,6 +171,8 @@ const char* to_string(FlightEventKind kind) noexcept {
       return "deadline-miss";
     case FlightEventKind::kStuck:
       return "stuck";
+    case FlightEventKind::kRetried:
+      return "retried";
   }
   return "unknown";
 }
@@ -334,15 +336,23 @@ void render_prometheus(std::string& out) {
   prom_value_u64(out, "tilq_engine_jobs_stuck", "counter",
                  "in-flight jobs flagged by the watchdog",
                  c.engine_jobs_stuck);
+  prom_value_u64(out, "tilq_engine_retries", "counter",
+                 "retry attempts (auto-replan and degraded-config)",
+                 c.engine_retries);
+  prom_value_u64(out, "tilq_engine_brownouts", "counter",
+                 "memory-governor transitions into brownout",
+                 c.engine_brownouts);
   prom_value_u64(out, "tilq_engine_telemetry_samples", "counter",
                  "telemetry sampler ticks taken", c.engine_telemetry_samples);
 }
 
 // --- TelemetryHub --------------------------------------------------------
 
-TelemetryHub::TelemetryHub(TelemetryOptions options, Collector collector)
+TelemetryHub::TelemetryHub(TelemetryOptions options, Collector collector,
+                           HealthProvider health)
     : options_(std::move(options)),
       collector_(std::move(collector)),
+      health_(std::move(health)),
       flight_(options_.flight_capacity),
       start_(std::chrono::steady_clock::now()) {
   options_.sample_interval_ms = std::max(1.0, options_.sample_interval_ms);
@@ -409,6 +419,10 @@ std::uint64_t TelemetryHub::sample_count() const noexcept {
 }
 
 void TelemetryHub::sample_now() { push_sample(); }
+
+EngineHealth TelemetryHub::health() const {
+  return health_ ? health_() : EngineHealth::kHealthy;
+}
 
 int TelemetryHub::port() const noexcept {
   return port_.load(std::memory_order_acquire);
@@ -497,6 +511,18 @@ void TelemetryHub::render_prometheus(std::string& out) const {
                     s.queue_window.p99_ms);
   prom_value_u64(out, "tilq_engine_flight_events", "counter",
                  "flight-recorder events ever recorded", flight_.recorded());
+  prom_value_u64(out, "tilq_engine_health", "gauge",
+                 "engine health state (0 healthy, 1 degraded, 2 browned-out)",
+                 static_cast<std::uint64_t>(static_cast<int>(s.health)));
+  prom_value_u64(out, "tilq_engine_memory_bytes", "gauge",
+                 "memory-governor ledger at the last sample",
+                 s.memory_usage_bytes);
+  prom_value_u64(out, "tilq_engine_memory_high_water_bytes", "gauge",
+                 "memory-governor high-water mark",
+                 s.memory_high_water_bytes);
+  prom_value_u64(out, "tilq_engine_memory_budget_bytes", "gauge",
+                 "configured memory budget (0 = unlimited)",
+                 s.memory_budget_bytes);
   prom_header(out, "tilq_engine_worker_executed", "counter",
               "tasks run to completion, per pool worker");
   for (std::size_t i = 0; i < s.workers.size(); ++i) {
@@ -592,7 +618,23 @@ void TelemetryHub::handle_client(int client_fd) const {
     render_prometheus(body);
     content_type = "text/plain; version=0.0.4; charset=utf-8";
   } else if (path == "/healthz") {
-    body = "ok\n";
+    // 200 + state name while serving; 503 once the memory governor browned
+    // the engine out, so load balancers stop routing to it
+    // (docs/ROBUSTNESS.md). "ok" is kept in the healthy body for pre-
+    // resilience probes that grep for it.
+    const EngineHealth h = health();
+    switch (h) {
+      case EngineHealth::kHealthy:
+        body = "ok\n";
+        break;
+      case EngineHealth::kDegraded:
+        body = std::string(to_string(h)) + "\n";
+        break;
+      case EngineHealth::kBrownedOut:
+        status = "503 Service Unavailable";
+        body = std::string(to_string(h)) + "\n";
+        break;
+    }
   } else {
     status = "404 Not Found";
     body = "not found\n";

@@ -40,6 +40,7 @@
 #include <thread>
 #include <vector>
 
+#include "support/health.hpp"
 #include "support/latency.hpp"
 
 namespace tilq {
@@ -88,6 +89,7 @@ enum class FlightEventKind : std::uint8_t {
   kDeferred,        ///< demoted to the background lane (kDefer)
   kDeadlineMiss,    ///< cancelled because a tile would start past deadline
   kStuck,           ///< flagged by the watchdog (docs/TELEMETRY.md)
+  kRetried,         ///< failed attempt re-queued (auto-replan / degrade)
 };
 
 /// Stable lowercase-dashed name of a FlightEventKind — the `event` field
@@ -186,6 +188,12 @@ struct TelemetrySample {
   std::uint64_t plan_builds = 0;
   std::uint64_t plan_hits = 0;
   double plan_hit_rate = 0.0;  ///< hits / (hits + builds), 0 when idle
+  std::uint64_t retries = 0;   ///< retry attempts (replan + degrade)
+  std::uint64_t brownouts = 0; ///< memory-governor brownout transitions
+  std::uint64_t memory_usage_bytes = 0;       ///< governor ledger now
+  std::uint64_t memory_high_water_bytes = 0;  ///< governor high-water mark
+  std::uint64_t memory_budget_bytes = 0;      ///< configured budget (0 = off)
+  EngineHealth health = EngineHealth::kHealthy;  ///< state at the sample
   LatencySummary window;        ///< total latency since previous sample
   LatencySummary queue_window;  ///< queue latency since previous sample
   std::vector<TelemetryWorkerSample> workers;
@@ -198,8 +206,12 @@ struct TelemetrySample {
 class TelemetryHub {
  public:
   using Collector = std::function<TelemetrySample()>;
+  /// Supplies the live EngineHealth verdict for /healthz (and callers of
+  /// health()). Nullptr means always healthy — the pre-resilience behavior.
+  using HealthProvider = std::function<EngineHealth()>;
 
-  TelemetryHub(TelemetryOptions options, Collector collector);
+  TelemetryHub(TelemetryOptions options, Collector collector,
+               HealthProvider health = nullptr);
   ~TelemetryHub();
 
   TelemetryHub(const TelemetryHub&) = delete;
@@ -234,6 +246,11 @@ class TelemetryHub {
   /// render_prometheus plus this hub's sampled gauges.
   void render_prometheus(std::string& out) const;
 
+  /// The health provider's current verdict (kHealthy when no provider was
+  /// attached). /healthz serves this: 200 + state name normally, 503 +
+  /// state name once browned out.
+  [[nodiscard]] EngineHealth health() const;
+
  private:
   void sampler_loop();
   void serve_loop();
@@ -243,6 +260,7 @@ class TelemetryHub {
 
   TelemetryOptions options_;
   Collector collector_;
+  HealthProvider health_;
   FlightRecorder flight_;
   std::chrono::steady_clock::time_point start_;
 

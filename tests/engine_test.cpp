@@ -11,6 +11,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -756,6 +757,263 @@ TEST_F(EngineTest, WatchdogFlagsWedgedJobAndFlightRecordNamesIt) {
   EXPECT_NE(dump.find("\"event\":\"stuck\""), std::string::npos) << dump;
   EXPECT_NE(dump.find("\"event\":\"submitted\""), std::string::npos);
   EXPECT_NE(dump.find("\"event\":\"finalized\""), std::string::npos);
+}
+
+// --- Retry layer (docs/ROBUSTNESS.md) ---------------------------------
+// Suite name matters: CI's sanitizer matrix runs --gtest_filter=*Retry*.
+
+class EngineRetryTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    fault::disarm_all();
+    fault::set_seed(0);
+  }
+};
+
+TEST_F(EngineRetryTest, StaleErrorAutoReplansBitIdenticalToFreshSubmit) {
+  const Problem p = make_problem(53);
+  const Csr<double, I> oracle =
+      test::reference_masked_spgemm<SR>(p.mask, p.a, p.b);
+  EngineOptions options;
+  options.threads = 1;  // one worker => the armed fault hits this job
+  options.retry.max_attempts = 3;
+  options.retry.backoff_base_ms = 0.0;  // no sleeping in tests
+  Engine<SR> engine(options);
+  fault::arm(FaultSite::kPlanFingerprint, 1);
+  auto handle = engine.submit(p.mask, p.a, p.b);
+  EXPECT_TRUE(test::csr_equal(oracle, handle.get()));
+  const JobStats stats = handle.stats();
+  EXPECT_EQ(stats.attempts, 2u);
+  EXPECT_TRUE(stats.retried);
+  EXPECT_FALSE(stats.degraded_config);  // replan keeps the config
+  const EngineStats es = engine.stats();
+  EXPECT_EQ(es.retries, 1u);
+  EXPECT_EQ(es.jobs_retried, 1u);
+  EXPECT_EQ(es.jobs_failed, 0u);
+  EXPECT_EQ(es.jobs_completed, 1u);
+  // The replan rebuilt the plan instead of reusing the stale entry.
+  EXPECT_EQ(es.plan_builds, 2u);
+}
+
+TEST_F(EngineRetryTest, TransientCapacityErrorRetriesOnDegradedConfig) {
+  const Problem p = make_problem(59);
+  Config config;
+  config.accumulator = AccumulatorKind::kDense;
+  const Csr<double, I> oracle = masked_spgemm<SR>(p.mask, p.a, p.b, config);
+  EngineOptions options;
+  options.threads = 1;
+  options.retry.max_attempts = 3;
+  options.retry.backoff_base_ms = 0.0;
+  Engine<SR> engine(options);
+  fault::arm(FaultSite::kEngineSubmitAlloc, 1);
+  auto handle = engine.submit(p.mask, p.a, p.b, config);
+  EXPECT_TRUE(test::csr_equal(oracle, handle.get()));
+  const JobStats stats = handle.stats();
+  EXPECT_EQ(stats.attempts, 2u);
+  EXPECT_TRUE(stats.retried);
+  // The memory-degradation ladder stepped dense -> hash (bit-identical
+  // output either way — the repo's accumulator contract).
+  EXPECT_TRUE(stats.degraded_config);
+}
+
+TEST_F(EngineRetryTest, SaturationPastDegradationRetriesOnDense) {
+  const Problem p = make_problem(61, 64, 48, 56, 0.2);
+  Config config;
+  config.accumulator = AccumulatorKind::kHash;
+  config.degrade_on_saturation = false;  // saturation is terminal per-attempt
+  const Csr<double, I> oracle = masked_spgemm<SR>(p.mask, p.a, p.b, config);
+  EngineOptions options;
+  options.threads = 1;
+  options.retry.max_attempts = 2;
+  options.retry.backoff_base_ms = 0.0;
+  Engine<SR> engine(options);
+  fault::arm(FaultSite::kHashSaturation, 3);
+  auto handle = engine.submit(p.mask, p.a, p.b, config);
+  EXPECT_TRUE(test::csr_equal(oracle, handle.get()));
+  const JobStats stats = handle.stats();
+  EXPECT_EQ(stats.attempts, 2u);
+  EXPECT_TRUE(stats.degraded_config);  // hash -> dense, which never saturates
+}
+
+TEST_F(EngineRetryTest, ExhaustedAttemptsSurfaceTheFailureAndEngineSurvives) {
+  const Problem p = make_problem(67);
+  EngineOptions options;
+  options.threads = 1;
+  options.retry.max_attempts = 3;
+  options.retry.backoff_base_ms = 0.0;
+  Engine<SR> engine(options);
+  fault::arm_rate(FaultSite::kEnginePoolReserve, 1.0);  // every probe fires
+  auto doomed = engine.submit(p.mask, p.a, p.b);
+  EXPECT_THROW(doomed.wait(), CapacityError);
+  EXPECT_EQ(doomed.stats().attempts, 3u);
+  const EngineStats after = engine.stats();
+  EXPECT_EQ(after.retries, 2u);
+  EXPECT_EQ(after.jobs_failed, 1u);
+  fault::disarm_all();
+  auto healthy = engine.submit(p.mask, p.a, p.b);
+  EXPECT_TRUE(
+      test::csr_equal(test::reference_masked_spgemm<SR>(p.mask, p.a, p.b),
+                      healthy.get()));
+}
+
+TEST_F(EngineRetryTest, ReplanFaultSurfacesTheOriginalError) {
+  const Problem p = make_problem(71);
+  EngineOptions options;
+  options.threads = 1;
+  options.retry.max_attempts = 3;
+  options.retry.backoff_base_ms = 0.0;
+  Engine<SR> engine(options);
+  fault::arm(FaultSite::kPlanFingerprint, 1);
+  fault::arm(FaultSite::kEngineRetryReplan, 1);
+  auto handle = engine.submit(p.mask, p.a, p.b);
+  // The recovery path failed, so the caller sees the ORIGINAL staleness,
+  // not the replan's CapacityError.
+  EXPECT_THROW(handle.wait(), StaleError);
+  EXPECT_EQ(handle.stats().attempts, 1u);
+}
+
+TEST_F(EngineRetryTest, DeadlineExpiryIsNeverRetried) {
+  const Problem p = make_problem(73);
+  EngineOptions options;
+  options.threads = 1;
+  options.retry.max_attempts = 5;
+  options.retry.backoff_base_ms = 0.0;
+  Engine<SR> engine(options);
+  SubmitOptions sopts;
+  sopts.deadline_ms = 1e-6;  // expires before the first tile starts
+  auto handle = engine.submit(p.mask, p.a, p.b, Config{}, sopts);
+  EXPECT_THROW(handle.wait(), DeadlineExpiredError);
+  EXPECT_EQ(handle.stats().attempts, 1u);
+  EXPECT_EQ(engine.stats().retries, 0u);
+}
+
+TEST_F(EngineRetryTest, PerSubmitMaxAttemptsOverridesThePolicy) {
+  const Problem p = make_problem(79);
+  EngineOptions options;
+  options.threads = 1;
+  options.retry.max_attempts = 1;  // engine-wide: retries off
+  options.retry.backoff_base_ms = 0.0;
+  Engine<SR> engine(options);
+  fault::arm(FaultSite::kPlanFingerprint, 1);
+  SubmitOptions sopts;
+  sopts.max_attempts = 2;  // ...but this job may retry once
+  auto handle = engine.submit(p.mask, p.a, p.b, Config{}, sopts);
+  EXPECT_TRUE(
+      test::csr_equal(test::reference_masked_spgemm<SR>(p.mask, p.a, p.b),
+                      handle.get()));
+  EXPECT_EQ(handle.stats().attempts, 2u);
+}
+
+// The determinism contract (docs/ROBUSTNESS.md): same retry seed + same
+// fault schedule => identical attempt counts, identical backoff sleeps,
+// bit-identical outputs across two independent runs.
+TEST_F(EngineRetryTest, SameSeedAndFaultScheduleIsFullyDeterministic) {
+  const Problem p = make_problem(83);
+  struct RunRecord {
+    std::vector<std::uint32_t> attempts;
+    std::vector<double> backoff_ms;
+    std::vector<Csr<double, I>> results;  // successes only
+    std::vector<bool> failed;  // jobs that exhausted every attempt
+  };
+  const auto run_stream = [&]() {
+    RunRecord record;
+    fault::disarm_all();
+    fault::set_seed(7);
+    fault::arm_rate(FaultSite::kEnginePoolReserve, 0.5);
+    EngineOptions options;
+    options.threads = 1;  // serial probes => a reproducible probe sequence
+    options.retry.max_attempts = 4;
+    options.retry.backoff_base_ms = 0.01;  // exercise the jitter math
+    options.retry.backoff_cap_ms = 0.05;
+    options.retry.seed = 42;
+    Engine<SR> engine(options);
+    for (int i = 0; i < 8; ++i) {
+      auto handle = engine.submit(p.mask, p.a, p.b);
+      try {
+        record.results.push_back(handle.get());
+        record.failed.push_back(false);
+      } catch (const CapacityError&) {
+        // At rate 0.5 a job can deterministically exhaust all 4 attempts;
+        // which jobs do so is part of the reproducibility contract.
+        record.failed.push_back(true);
+      }
+      record.attempts.push_back(handle.stats().attempts);
+      record.backoff_ms.push_back(handle.stats().backoff_total_ms);
+    }
+    return record;
+  };
+  const RunRecord first = run_stream();
+  const RunRecord second = run_stream();
+  ASSERT_EQ(first.attempts, second.attempts);
+  ASSERT_EQ(first.backoff_ms, second.backoff_ms);  // exact, not approximate
+  ASSERT_EQ(first.failed, second.failed);
+  EXPECT_TRUE(std::any_of(first.attempts.begin(), first.attempts.end(),
+                          [](std::uint32_t a) { return a > 1; }))
+      << "fault rate 0.5 never fired; the determinism check was vacuous";
+  const Csr<double, I> oracle =
+      test::reference_masked_spgemm<SR>(p.mask, p.a, p.b);
+  for (std::size_t i = 0; i < first.results.size(); ++i) {
+    EXPECT_TRUE(test::csr_equal(first.results[i], second.results[i]));
+    EXPECT_TRUE(test::csr_equal(oracle, first.results[i]));
+  }
+}
+
+// --- Memory governor + health (docs/ROBUSTNESS.md) --------------------
+
+TEST_F(EngineRetryTest, MemoryBudgetBrownoutDegradesPlansInsteadOfFailing) {
+  const Problem p = make_problem(89, 96, 80, 88, 0.15);
+  Config config;
+  config.accumulator = AccumulatorKind::kDense;
+  const Csr<double, I> oracle = masked_spgemm<SR>(p.mask, p.a, p.b, config);
+  EngineOptions options;
+  options.threads = 2;
+  options.memory_budget_bytes = 1024;  // absurdly small: trips immediately
+  Engine<SR> engine(options);
+  // Two submissions: the first trips the brownout while running; the
+  // second is planned in reduced-footprint mode. Both must still complete
+  // bit-identically — brownout changes footprint, never results.
+  EXPECT_TRUE(test::csr_equal(oracle, engine.submit(p.mask, p.a, p.b,
+                                                    config).get()));
+  EXPECT_TRUE(test::csr_equal(oracle, engine.submit(p.mask, p.a, p.b,
+                                                    config).get()));
+  const EngineStats stats = engine.stats();
+  EXPECT_GE(stats.brownouts, 1u);
+  EXPECT_GT(stats.memory_high_water_bytes, stats.memory_budget_bytes);
+  EXPECT_EQ(stats.memory_budget_bytes, 1024u);
+  EXPECT_EQ(stats.jobs_failed, 0u);
+}
+
+TEST_F(EngineRetryTest, UnlimitedBudgetStillTracksUsage) {
+  const Problem p = make_problem(97);
+  Engine<SR> engine;
+  (void)engine.submit(p.mask, p.a, p.b).get();
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.memory_budget_bytes, 0u);
+  EXPECT_EQ(stats.brownouts, 0u);
+  EXPECT_GT(stats.memory_high_water_bytes, 0u);
+  EXPECT_EQ(stats.health, EngineHealth::kHealthy);
+}
+
+TEST_F(EngineRetryTest, HealthDegradesUnderRetryStormAndRecovers) {
+  const Problem p = make_problem(101);
+  EngineOptions options;
+  options.threads = 1;
+  options.retry.max_attempts = 2;
+  options.retry.backoff_base_ms = 0.0;
+  options.health.epoch_events = 4;  // small window: the test stays fast
+  Engine<SR> engine(options);
+  EXPECT_EQ(engine.stats().health, EngineHealth::kHealthy);
+  fault::arm_rate(FaultSite::kEnginePoolReserve, 1.0);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_THROW(engine.submit(p.mask, p.a, p.b).wait(), CapacityError);
+  }
+  EXPECT_EQ(engine.stats().health, EngineHealth::kDegraded);
+  fault::disarm_all();
+  // Two clean epochs retire the burst from the rate window.
+  for (int i = 0; i < 8; ++i) {
+    (void)engine.submit(p.mask, p.a, p.b).get();
+  }
+  EXPECT_EQ(engine.stats().health, EngineHealth::kHealthy);
 }
 
 }  // namespace

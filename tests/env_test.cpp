@@ -3,7 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "support/common.hpp"
+#include "support/fault.hpp"
 #include "support/metrics.hpp"
 #include "support/perf.hpp"
 
@@ -58,6 +61,43 @@ TEST(Env, PerfFallbackIsSilentExceptOneNotice) {
     EXPECT_EQ(perf_unavailable_notices(), 0);
   }
   set_metrics_enabled(false);
+}
+
+// The TILQ_FAULT spec grammar: site[:nth|@rate], comma-separated. At
+// static initialization a malformed spec must not throw; init_from_env
+// catches exactly these errors and prints a one-time stderr notice
+// carrying the message below — so the messages must name the bad token,
+// or the operator is debugging blind.
+TEST(Env, FaultSpecGrammarAcceptsBothTriggerModes) {
+  fault::configure("pool-alloc:3,engine-pool-reserve@0.25,hash-sat");
+  EXPECT_TRUE(fault::armed(FaultSite::kPoolAllocation));
+  EXPECT_TRUE(fault::armed(FaultSite::kEnginePoolReserve));
+  EXPECT_TRUE(fault::armed(FaultSite::kHashSaturation));
+  EXPECT_FALSE(fault::armed(FaultSite::kMarkerWrap));
+  fault::disarm_all();
+}
+
+TEST(Env, FaultSpecErrorsNameTheBadToken) {
+  const auto message_of = [](const char* spec) {
+    try {
+      fault::configure(spec);
+    } catch (const PreconditionError& e) {
+      return std::string(e.message());
+    }
+    return std::string();  // no throw: the EXPECTs below fail loudly
+  };
+  EXPECT_NE(message_of("no-such-site").find("no-such-site"),
+            std::string::npos);
+  EXPECT_NE(message_of("pool-alloc:x").find("pool-alloc:x"),
+            std::string::npos);
+  EXPECT_NE(message_of("pool-alloc:0").find("pool-alloc:0"),
+            std::string::npos);
+  EXPECT_NE(message_of("hash-sat@1.5").find("hash-sat@1.5"),
+            std::string::npos);
+  EXPECT_NE(message_of("hash-sat@").find("hash-sat@"), std::string::npos);
+  // A failed configure may leave earlier entries armed; static init
+  // disarms on catch, tests do it here.
+  fault::disarm_all();
 }
 
 TEST(Env, SummaryMentionsKeyFields) {

@@ -397,6 +397,35 @@ TEST(TelemetryHubTest, HttpListenerServesMetricsHealthzAnd404) {
   const std::string missing = http_get(hub.port(), "/nope");
   EXPECT_NE(missing.find("HTTP/1.1 404"), std::string::npos);
 }
+
+// /healthz follows the engine health state machine (docs/ROBUSTNESS.md):
+// degraded still answers 200 (serving, investigate), browned-out answers
+// 503 so load balancers stop routing new work here.
+TEST(TelemetryHubTest, HealthzReflectsTheHealthProvider) {
+  TelemetryOptions options = quiet_options();
+  options.port = 0;
+  std::atomic<EngineHealth> health{EngineHealth::kDegraded};
+  TelemetryHub hub(
+      options, [] { return TelemetrySample{}; },
+      [&health] { return health.load(); });
+  if (hub.port() < 0) {
+    GTEST_SKIP() << "loopback bind unavailable in this environment";
+  }
+  const std::string degraded = http_get(hub.port(), "/healthz");
+  EXPECT_NE(degraded.find("HTTP/1.1 200"), std::string::npos) << degraded;
+  EXPECT_NE(degraded.find("degraded"), std::string::npos);
+
+  health.store(EngineHealth::kBrownedOut);
+  const std::string browned = http_get(hub.port(), "/healthz");
+  EXPECT_NE(browned.find("HTTP/1.1 503"), std::string::npos) << browned;
+  EXPECT_NE(browned.find("browned-out"), std::string::npos);
+
+  health.store(EngineHealth::kHealthy);
+  const std::string healthy = http_get(hub.port(), "/healthz");
+  EXPECT_NE(healthy.find("HTTP/1.1 200"), std::string::npos);
+  // "ok" stays the healthy body: pre-resilience probes match on it.
+  EXPECT_NE(healthy.find("ok"), std::string::npos);
+}
 #endif  // TILQ_TEST_HAVE_SOCKETS
 
 }  // namespace

@@ -7,7 +7,9 @@ Checks, in both directions:
     counter that table names exists as a field;
   * every fault site the implementation names (the to_string table in
     src/support/fault.cpp) appears in docs/ROBUSTNESS.md's site table
-    and vice versa, and the degradation counters are documented there;
+    and vice versa, and the degradation and resilience counters
+    (`accum_*`, `engine_retries`, `engine_brownouts`) plus the
+    `tilq_engine_health` gauge are documented there;
   * every hardware counter field of HwCounters (src/support/perf.hpp)
     appears in the table under '## Hardware counters', and vice versa;
   * every field the `imbalance` record object emits (scraped from
@@ -26,9 +28,10 @@ Checks, in both directions:
   * every key the `engine_latency` record object emits (scraped from
     append_engine_latency_json in src/support/metrics.cpp) appears in
     docs/SERVING.md's table under '## Latency record fields (metrics
-    schema v3)' and vice versa, and every engine_* counter is named
-    (backticked) somewhere in docs/SERVING.md — the serving guide is
-    machine-checked, not best-effort prose;
+    schema v3)' and vice versa, and every engine_* counter plus the
+    `tilq_engine_health` gauge is named (backticked) somewhere in
+    docs/SERVING.md — the serving guide is machine-checked, not
+    best-effort prose;
   * with --telemetry-doc (opt-in): every `tilq_`-prefixed metric name
     the Prometheus exporter emits (string literals scraped from
     src/support/telemetry.cpp) appears in docs/TELEMETRY.md's table
@@ -168,12 +171,14 @@ def defect_kinds(path: str) -> set[str]:
 
 def check_robustness_doc(doc_path: str, fault_cpp: str,
                          validate_hpp: str) -> bool:
-    """Every fault site, defect kind, and degradation counter the code
+    """Every fault site, defect kind, degradation counter, and
+    resilience name (retry/brownout counters, the health gauge) the code
     defines must be named (backticked) in docs/ROBUSTNESS.md."""
     doc = open(doc_path, encoding="utf-8").read()
     documented = set(re.findall(r"`([\w-]+)`", doc))
     required = fault_sites(fault_cpp) | defect_kinds(validate_hpp)
     required |= {"accum_rehashes", "accum_degrades"}
+    required |= {"engine_retries", "engine_brownouts", "tilq_engine_health"}
     missing = sorted(required - documented)
     if missing:
         print(f"names missing from {doc_path}:")
@@ -365,7 +370,11 @@ def main() -> int:
                           "## Latency record fields (metrics schema v3)"),
                 args.serving_doc, args.impl)
 
-    serving_gaps = sorted(engine_counters - doc_mentions(args.serving_doc))
+    # The health gauge rides along with the engine counters: the
+    # operator runbook must name it, or a 503 from /healthz has no
+    # documented metric to pivot to.
+    serving_required = engine_counters | {"tilq_engine_health"}
+    serving_gaps = sorted(serving_required - doc_mentions(args.serving_doc))
     if serving_gaps:
         print(f"engine counters missing from {args.serving_doc}:")
         for name in serving_gaps:
