@@ -1,0 +1,285 @@
+// Self-tuning gate (docs/TUNING.md): replays the same mixed masked-SpGEMM
+// stream through two engines — one serving every query on the heuristic
+// model's predicted config, one with the online bandit enabled — and
+// checks the learning loop actually pays:
+//
+//   * on every graph kind the self-tuned engine's steady-state median
+//     time-per-query is no worse than the heuristic engine's (>= the
+//     --min-ratio floor). A kind whose bandit converged onto arm 0 — the
+//     caller's own config — is a tie by construction (both engines run
+//     the identical plan) and is exempt from the floor, which would
+//     otherwise gate on measurement noise around 1.0;
+//   * on at least one kind it is >= --want-speedup faster (the heuristic
+//     never predicts the blocked execution space, which the arm table
+//     carries — circuit-style rail graphs are where it should win);
+//   * every result from both engines is bit-identical to the one-shot
+//     oracle — an arm switch changes time, never values;
+//   * the bandit converges: every kind's fingerprint freezes during the
+//     learning window, so the measured window prices the frozen arm, not
+//     exploration noise.
+//
+// Exit code 0 only if all of the above hold. Runs argument-free with
+// small defaults. CI's autotune-smoke job runs at reduced --scale, where
+// queries are sub-millisecond and medians jitter a few percent, so it
+// relaxes the floor to --min-ratio 0.95; the default-scale gate keeps
+// the strict 1.0 floor.
+//
+// Flags: --queries N       measured queries per kind (default 25)
+//        --learn N         learning queries per kind (default 48)
+//        --reps R          best-of repetitions per measured query (default 3)
+//        --scale S         node-count multiplier (default 1.0)
+//        --seed S          graph + bandit seed (default 20250809)
+//        --min-ratio R     per-kind floor on heuristic/tuned (default 1.0)
+//        --want-speedup R  required best-kind ratio (default 1.2)
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/masked_spgemm.hpp"
+#include "core/model.hpp"
+#include "gen/collection.hpp"
+#include "gen/erdos_renyi.hpp"
+#include "gen/rmat.hpp"
+#include "gen/road_network.hpp"
+
+namespace {
+
+using tilq::Csr;
+using I = std::int64_t;
+using SR = tilq::PlusTimes<double>;
+
+bool bit_identical(const Csr<double, I>& x, const Csr<double, I>& y) {
+  return x.rows() == y.rows() && x.cols() == y.cols() && x.nnz() == y.nnz() &&
+         std::memcmp(x.row_ptr().data(), y.row_ptr().data(),
+                     x.row_ptr().size_bytes()) == 0 &&
+         std::memcmp(x.col_idx().data(), y.col_idx().data(),
+                     x.col_idx().size_bytes()) == 0 &&
+         std::memcmp(x.values().data(), y.values().data(),
+                     x.values().size_bytes()) == 0;
+}
+
+double median(std::vector<double> values) {
+  std::sort(values.begin(), values.end());
+  const std::size_t n = values.size();
+  return n == 0 ? 0.0
+                : (n % 2 == 1 ? values[n / 2]
+                              : 0.5 * (values[n / 2 - 1] + values[n / 2]));
+}
+
+/// One submit + get, wall-clocked from the caller (queue + run + compact —
+/// the latency a serving client actually sees).
+template <class Engine>
+double timed_query(Engine& engine, const tilq::GraphMatrix& g,
+                   const tilq::Config& config, const Csr<double, I>& oracle,
+                   std::uint64_t* mismatched) {
+  const auto start = std::chrono::steady_clock::now();
+  const Csr<double, I> got = engine.submit(g, g, g, config).get();
+  const double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+  if (!bit_identical(oracle, got)) {
+    ++*mismatched;
+  }
+  return ms;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int queries = 25;
+  int learn = 48;
+  int reps = 3;
+  double scale = 1.0;
+  std::uint64_t seed = 20250809;
+  double min_ratio = 1.0;
+  double want_speedup = 1.2;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--queries") == 0 && i + 1 < argc) {
+      queries = std::max(1, std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--learn") == 0 && i + 1 < argc) {
+      learn = std::max(1, std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
+      reps = std::max(1, std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--scale") == 0 && i + 1 < argc) {
+      scale = std::max(0.05, std::atof(argv[++i]));
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--min-ratio") == 0 && i + 1 < argc) {
+      min_ratio = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--want-speedup") == 0 && i + 1 < argc) {
+      want_speedup = std::atof(argv[++i]);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return 2;
+    }
+  }
+  const auto scaled = [&](std::int64_t n) {
+    return std::max<std::int64_t>(64, static_cast<std::int64_t>(
+                                          static_cast<double>(n) * scale));
+  };
+
+  // The stream kinds: uniform (er), skewed (rmat), banded (road), and
+  // band+rails (circuit) — the shapes the paper's Table 1 collection
+  // spans, each one structural fingerprint resubmitted many times.
+  struct Kind {
+    const char* name;
+    tilq::GraphMatrix graph;
+  };
+  std::vector<Kind> kinds;
+  {
+    tilq::ErdosRenyiParams er;
+    er.nodes = scaled(1 << 12);
+    er.edges = 8 * er.nodes;
+    er.seed = seed;
+    kinds.push_back({"er", tilq::generate_erdos_renyi(er)});
+    tilq::RmatParams rm;
+    rm.scale = 12;
+    while ((std::int64_t{1} << rm.scale) > scaled(1 << 12) && rm.scale > 6) {
+      --rm.scale;
+    }
+    rm.edge_factor = 8;
+    rm.seed = seed + 1;
+    kinds.push_back({"rmat", tilq::generate_rmat(rm)});
+    tilq::RoadNetworkParams road;
+    road.width = scaled(128);
+    road.height = scaled(128);
+    road.seed = seed + 2;
+    kinds.push_back({"road", tilq::generate_road_network(road)});
+    // The circuit kind is the collection's stokes analogue — band + hub
+    // rails at the size where the cache-blocked execution space wins big
+    // (the blocked ablation's strongest graph) and the heuristic model,
+    // which never predicts blocking, leaves the most on the table.
+    kinds.push_back(
+        {"circuit",
+         tilq::make_collection_graph("stokes", std::max(0.02, 0.3 * scale))});
+  }
+
+  std::uint64_t mismatched = 0;
+  double worst_ratio = std::numeric_limits<double>::infinity();
+  double best_ratio = 0.0;
+  const char* best_kind = "";
+  std::uint64_t total_converged = 0;
+  std::uint64_t unconverged_kinds = 0;
+
+  for (const Kind& kind : kinds) {
+    const tilq::GraphMatrix& g = kind.graph;
+    tilq::Engine<SR> heuristic_engine{};  // autotune off: the baseline
+    tilq::EngineOptions tuned_options;
+    tuned_options.autotune.enabled = true;
+    tuned_options.autotune.seed = seed;
+    tilq::Engine<SR> tuned_engine(tuned_options);
+    // Both engines serve the model's prediction — the tuned one may leave
+    // it for a better arm, the baseline is stuck with it.
+    const tilq::Config predicted =
+        tilq::predict_config(g, g, g, heuristic_engine.threads());
+    const Csr<double, I> oracle =
+        tilq::masked_spgemm<SR>(g, g, g, predicted);
+
+    // Learning window: the tuned engine prices its arms; the baseline
+    // just warms its plan cache so both measured windows are cache-hits.
+    (void)timed_query(heuristic_engine, g, predicted, oracle, &mismatched);
+    for (int i = 0; i < learn; ++i) {
+      (void)timed_query(tuned_engine, g, predicted, oracle, &mismatched);
+    }
+
+    // Measured window: best-of-`reps` per query on each engine,
+    // interleaved so drift hits both sides alike; medians compared.
+    std::vector<double> h_ms, t_ms;
+    for (int q = 0; q < queries; ++q) {
+      double h = std::numeric_limits<double>::infinity();
+      double t = std::numeric_limits<double>::infinity();
+      for (int r = 0; r < reps; ++r) {
+        h = std::min(h, timed_query(heuristic_engine, g, predicted, oracle,
+                                    &mismatched));
+        t = std::min(t, timed_query(tuned_engine, g, predicted, oracle,
+                                    &mismatched));
+      }
+      h_ms.push_back(h);
+      t_ms.push_back(t);
+    }
+    const double h_med = median(h_ms);
+    const double t_med = median(t_ms);
+    const double ratio = t_med > 0.0 ? h_med / t_med : 1.0;
+    if (ratio > best_ratio) {
+      best_ratio = ratio;
+      best_kind = kind.name;
+    }
+
+    const tilq::EngineStats stats = tuned_engine.stats();
+    total_converged += stats.autotune_converged;
+    if (stats.autotune_converged == 0) {
+      ++unconverged_kinds;
+    }
+    std::string winner = "(baseline)";
+    bool tied_on_baseline = false;
+    if (const tilq::ConfigBandit* bandit = tuned_engine.autotune()) {
+      const std::uint64_t fp = tilq::detail::structural_fingerprint(g, g, g);
+      const int best = bandit->best_arm(fp);
+      const std::vector<tilq::ArmStats> arms = bandit->arms(fp);
+      if (best >= 0 && static_cast<std::size_t>(best) < arms.size()) {
+        winner = arms[static_cast<std::size_t>(best)].config.describe();
+      }
+      // A kind whose bandit converged onto arm 0 serves the identical
+      // config the baseline does: both engines run the same plan, so the
+      // measured ratio is pure noise around 1.0 and asserting a floor on
+      // it would gate on the noise, not the tuner. Such ties pass the
+      // no-regression check by construction.
+      tied_on_baseline = best == 0;
+    }
+    if (!tied_on_baseline) {
+      worst_ratio = std::min(worst_ratio, ratio);
+    }
+    std::printf("self_tuning: %-8s heuristic=%.3fms tuned=%.3fms "
+                "ratio=%.3f%s explorations=%" PRIu64 " converged=%" PRIu64
+                "\n  best arm: %s\n",
+                kind.name, h_med, t_med, ratio,
+                tied_on_baseline ? " (tied: baseline arm)" : "",
+                stats.autotune_explorations, stats.autotune_converged,
+                winner.c_str());
+    std::printf("CSV,self_tuning,%s,%.4f,%.4f,%.4f,%" PRIu64 ",%" PRIu64
+                "\n",
+                kind.name, h_med, t_med, ratio, stats.autotune_explorations,
+                stats.autotune_converged);
+  }
+
+  std::printf("self_tuning: worst-ratio=%.3f best-ratio=%.3f (%s) "
+              "mismatched=%" PRIu64 "\n",
+              worst_ratio, best_ratio, best_kind, mismatched);
+
+  bool ok = true;
+  if (mismatched != 0) {
+    std::fprintf(stderr, "FAIL: %" PRIu64 " results were not bit-identical "
+                         "to the oracle\n", mismatched);
+    ok = false;
+  }
+  if (worst_ratio < min_ratio) {
+    std::fprintf(stderr,
+                 "FAIL: self-tuned worse than heuristic on some kind "
+                 "(worst ratio %.3f < %.3f)\n",
+                 worst_ratio, min_ratio);
+    ok = false;
+  }
+  if (best_ratio < want_speedup) {
+    std::fprintf(stderr,
+                 "FAIL: no kind reached the %.2fx speedup (best %.3f on "
+                 "%s)\n",
+                 want_speedup, best_ratio, best_kind);
+    ok = false;
+  }
+  if (unconverged_kinds != 0) {
+    std::fprintf(stderr, "FAIL: %" PRIu64 " kinds never converged "
+                         "(total converged fingerprints %" PRIu64 ")\n",
+                 unconverged_kinds, total_converged);
+    ok = false;
+  }
+  std::printf("self_tuning: %s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}

@@ -34,6 +34,7 @@ struct CliOptions {
   bool tune = false;
   bool profile = false;
   bool engine = false;
+  bool autotune = false;
   bool watch = false;
   int telemetry_port = -1;
   double serve_ms = 0.0;
@@ -71,6 +72,8 @@ void print_usage() {
       "  --tune           run the staged Fig-12 tuner first\n"
       "  --profile        enable metrics and print a hardware/imbalance summary\n"
       "  --engine         serve the repeated queries through the batch engine\n"
+      "  --autotune       engine mode: learn the config online per repeated\n"
+      "                   structure (implies --engine, docs/TUNING.md)\n"
       "  --jobs N         engine mode: concurrent in-flight queries (default 8)\n"
       "  --priority P     engine mode: high|normal|background lane request\n"
       "                   (default: auto — the cost model picks, docs/SERVING.md)\n"
@@ -175,6 +178,9 @@ std::optional<CliOptions> parse(int argc, char** argv) {
     } else if (flag == "--profile") {
       options.profile = true;
     } else if (flag == "--engine") {
+      options.engine = true;
+    } else if (flag == "--autotune") {
+      options.autotune = true;
       options.engine = true;
     } else if (flag == "--watch") {
       options.watch = true;
@@ -283,6 +289,7 @@ int run_engine(const tilq::GraphMatrix& a, const CliOptions& options,
   engine_options.retry.max_attempts = options.retries;
   engine_options.memory_budget_bytes =
       static_cast<std::uint64_t>(options.mem_budget_mb) << 20;
+  engine_options.autotune.enabled = options.autotune;
   if (options.watch || options.telemetry_port >= 0 || options.serve_ms > 0.0) {
     engine_options.telemetry.enabled = true;
   }
@@ -303,6 +310,10 @@ int run_engine(const tilq::GraphMatrix& a, const CliOptions& options,
   }
   if (options.mem_budget_mb > 0) {
     std::printf("engine: memory budget %d MiB\n", options.mem_budget_mb);
+  }
+  if (engine.autotune() != nullptr) {
+    std::printf("engine: online tuning on, epsilon %.2f (docs/TUNING.md)\n",
+                engine.autotune()->options().epsilon);
   }
   if (tilq::TelemetryHub* hub = engine.telemetry()) {
     if (hub->port() >= 0) {
@@ -328,14 +339,17 @@ int run_engine(const tilq::GraphMatrix& a, const CliOptions& options,
                                                      sample->plan_hits);
             std::printf(
                 "watch: t=%8.0fms in-flight=%2llu done=%llu p50=%.2fms "
-                "p99=%.2fms hit-rate=%.2f stuck=%llu\n",
+                "p99=%.2fms hit-rate=%.2f stuck=%llu tuned=%llu/%llu\n",
                 sample->uptime_ms,
                 static_cast<unsigned long long>(sample->in_flight),
                 static_cast<unsigned long long>(sample->jobs_completed),
                 sample->window.p50_ms, sample->window.p99_ms,
                 denom > 0.0 ? static_cast<double>(sample->plan_hits) / denom
                             : 0.0,
-                static_cast<unsigned long long>(sample->jobs_stuck));
+                static_cast<unsigned long long>(sample->jobs_stuck),
+                static_cast<unsigned long long>(sample->autotune_converged),
+                static_cast<unsigned long long>(
+                    sample->autotune_fingerprints));
           }
         }
         std::this_thread::sleep_for(std::chrono::milliseconds(
@@ -445,6 +459,20 @@ int run_engine(const tilq::GraphMatrix& a, const CliOptions& options,
                 static_cast<unsigned long long>(engine_stats.brownouts),
                 static_cast<double>(engine_stats.memory_high_water_bytes) /
                     (1024.0 * 1024.0));
+    if (engine_stats.autotune_fingerprints > 0) {
+      // Online-tuning footer (docs/TUNING.md): how much of the stream has
+      // converged onto a learned arm, and what the learning cost was.
+      std::printf("  autotune: %llu/%llu fingerprints converged, "
+                  "%llu explorations, %llu arm switches\n",
+                  static_cast<unsigned long long>(
+                      engine_stats.autotune_converged),
+                  static_cast<unsigned long long>(
+                      engine_stats.autotune_fingerprints),
+                  static_cast<unsigned long long>(
+                      engine_stats.autotune_explorations),
+                  static_cast<unsigned long long>(
+                      engine_stats.autotune_arm_switches));
+    }
     std::printf("  uptime: %.0f ms", engine_stats.uptime_ms);
     if (engine_stats.telemetry_samples > 0) {
       std::printf("   (%llu telemetry samples)",

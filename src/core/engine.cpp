@@ -52,6 +52,11 @@ std::string describe(const EngineStats& stats) {
   if (stats.brownouts > 0) {
     out += " brownouts=" + std::to_string(stats.brownouts);
   }
+  if (stats.autotune_fingerprints > 0) {
+    out += " autotune=" + std::to_string(stats.autotune_converged);
+    out += "/" + std::to_string(stats.autotune_fingerprints) + "-converged";
+    out += " explorations=" + std::to_string(stats.autotune_explorations);
+  }
   if (stats.memory_budget_bytes > 0) {
     out += " mem=" + std::to_string(stats.memory_usage_bytes);
     out += "/" + std::to_string(stats.memory_budget_bytes) + "B";

@@ -81,6 +81,8 @@
 #include <utility>
 #include <vector>
 
+#include "core/autotune.hpp"
+#include "core/model.hpp"
 #include "core/plan.hpp"
 #include "support/fault.hpp"
 #include "support/health.hpp"
@@ -159,6 +161,11 @@ struct SubmitOptions {
   double deadline_ms = 0.0;
   /// Per-job attempt bound; 0 inherits EngineOptions::retry.max_attempts.
   int max_attempts = 0;
+  /// When false, this submission bypasses the online-tuning bandit
+  /// (docs/TUNING.md) and always runs on its caller-provided config; it
+  /// neither explores nor reports a reward. No-op when
+  /// EngineOptions::autotune left tuning off.
+  bool autotune = true;
 };
 
 /// Engine construction knobs.
@@ -197,6 +204,11 @@ struct EngineOptions {
   std::uint64_t memory_budget_bytes = 0;
   /// Health state machine thresholds (shed/retry rates, epoch length).
   HealthThresholds health;
+  /// Online per-fingerprint config learning (docs/TUNING.md). Off by
+  /// default; the TILQ_AUTOTUNE environment variable is applied on top at
+  /// engine construction. Every arm runs through the same plan cache, so
+  /// tuning changes latency, never results.
+  AutotuneOptions autotune;
 };
 
 /// Per-job accounting, valid once the job is done (JobHandle::stats()).
@@ -242,6 +254,10 @@ struct EngineStats {
   std::uint64_t retries = 0;         ///< retry attempts across all jobs
   std::uint64_t jobs_retried = 0;    ///< jobs that needed more than one attempt
   std::uint64_t brownouts = 0;       ///< memory-governor transitions into brownout
+  std::uint64_t autotune_fingerprints = 0;  ///< bandit arm tables created
+  std::uint64_t autotune_explorations = 0;  ///< non-best arms served
+  std::uint64_t autotune_arm_switches = 0;  ///< best-arm changes
+  std::uint64_t autotune_converged = 0;     ///< fingerprints frozen
   std::uint64_t memory_usage_bytes = 0;       ///< governor ledger now
   std::uint64_t memory_high_water_bytes = 0;  ///< governor high-water mark
   std::uint64_t memory_budget_bytes = 0;      ///< configured budget (0 = off)
@@ -353,6 +369,10 @@ class Engine {
     options_.retry.max_attempts = std::max(1, options_.retry.max_attempts);
     governor_.set_budget(options_.memory_budget_bytes);
     health_.set_thresholds(options_.health);
+    options_.autotune = autotune_options_from_env(options_.autotune);
+    if (options_.autotune.enabled) {
+      autotune_ = std::make_unique<ConfigBandit>(options_.autotune);
+    }
     options_.telemetry = telemetry_options_from_env(options_.telemetry);
     if (options_.telemetry.enabled) {
       // Created in the constructor body, after every member the collector
@@ -421,6 +441,13 @@ class Engine {
     return telemetry_.get();
   }
 
+  /// The online-tuning bandit — per-fingerprint arm tables, convergence
+  /// state — or nullptr when EngineOptions::autotune left tuning off.
+  [[nodiscard]] ConfigBandit* autotune() noexcept { return autotune_.get(); }
+  [[nodiscard]] const ConfigBandit* autotune() const noexcept {
+    return autotune_.get();
+  }
+
   [[nodiscard]] EngineStats stats() const {
     EngineStats s;
     {
@@ -453,6 +480,13 @@ class Engine {
       const std::lock_guard<std::mutex> lock(plan_mutex_);
       s.plan_builds = plan_builds_;
       s.plan_hits = plan_hits_;
+    }
+    if (autotune_ != nullptr) {
+      const AutotuneStats at = autotune_->stats();
+      s.autotune_fingerprints = at.fingerprints;
+      s.autotune_explorations = at.explorations;
+      s.autotune_arm_switches = at.arm_switches;
+      s.autotune_converged = at.converged;
     }
     const ThreadPool::Stats pool = pool_.stats();
     s.tasks_executed = pool.executed;
@@ -508,6 +542,7 @@ class Engine {
     // Retry state (docs/ROBUSTNESS.md). Between attempts only the
     // finalizing task is alive, so the non-atomic fields need no locks.
     TaskPriority lane = TaskPriority::kNormal;  ///< recorded for re-queues
+    int autotune_arm = -1;  ///< bandit arm served (-1: bandit bypassed)
     int max_attempts = 1;
     std::atomic<std::uint32_t> attempts{1};
     bool degraded_config = false;   ///< some retry ran on a degraded Config
@@ -541,9 +576,40 @@ class Engine {
       config = reduced_footprint(std::move(config));
     }
     sync_brownout_metric();
+    const std::uint64_t fingerprint =
+        detail::structural_fingerprint(mask, a, b);
+    // Online tuning (docs/TUNING.md): the bandit may swap the config
+    // before the plan lookup — an arm switch only changes which
+    // (fingerprint, config) entry the plan cache serves, so results stay
+    // bit-identical across arms. Exploration is gated to jobs that can
+    // afford a mispriced draw: no deadline, a healthy engine (brownout
+    // skips the bandit entirely — a reduced-footprint config must not
+    // contaminate the arm table), and a fingerprint whose last Eq-2 price
+    // did not classify expensive.
+    int autotune_arm = -1;
+    bool autotune_explored = false;
+    if (autotune_ != nullptr && sopts.autotune && !governor_.browned_out()) {
+      const bool allow_explore =
+          sopts.deadline_ms <= 0.0 &&
+          health_state() == EngineHealth::kHealthy &&
+          !autotune_expensive(autotune_->last_flops(fingerprint));
+      // The heuristic prediction is only needed when this select creates
+      // the arm table; a known fingerprint skips the feature pass.
+      const Config heuristic = autotune_->known(fingerprint)
+                                   ? config
+                                   : predict_config(mask, a, b, pool_.size());
+      const ArmDecision decision =
+          autotune_->select(fingerprint, config, heuristic, allow_explore);
+      if (decision.arm >= 0) {
+        config = decision.config;
+        config.threads = pool_.size();
+        autotune_arm = decision.arm;
+        autotune_explored = decision.exploration;
+      }
+    }
     bool cache_hit = false;
     std::shared_ptr<const PlanEntry> entry =
-        plan_for(mask, a, b, config, cache_hit);
+        plan_for(mask, a, b, config, fingerprint, cache_hit);
     const double plan_ms = cache_hit ? 0.0 : entry->plan.info.build_ms;
     const auto flops =
         static_cast<std::uint64_t>(std::max<std::int64_t>(
@@ -556,7 +622,18 @@ class Engine {
                                   entry->plan.flop_total);
       telemetry_->flight().record(job_id, FlightEventKind::kPlanned, -1,
                                   entry->plan.flop_total);
+      if (autotune_explored || autotune_arm > 0) {
+        telemetry_->flight().record(job_id, FlightEventKind::kAutotuned,
+                                    autotune_arm, entry->plan.flop_total);
+      }
     }
+#if TILQ_METRICS_ENABLED
+    if (autotune_explored) {
+      if (MetricCounters* const counters = metrics_thread_counters()) {
+        ++counters->autotune_explorations;
+      }
+    }
+#endif
 
     std::size_t depth = 0;
     bool expensive = false;
@@ -638,7 +715,7 @@ class Engine {
     try {
       return launch(job_id, mask, a, b, std::move(entry), cache_hit, depth,
                     lane_for(sopts.priority, expensive, deferred), sopts,
-                    expensive, deferred, plan_ms);
+                    expensive, deferred, plan_ms, autotune_arm);
     } catch (...) {
       // Admission is undone: the job never started.
       if (telemetry_) {
@@ -661,6 +738,16 @@ class Engine {
       return false;  // no baseline yet: everything is cheap
     }
     return flops > 2 * (admitted_flops_ / admitted_jobs_);
+  }
+
+  /// Exploration-gate half of the cost model: would the fingerprint's
+  /// last-known Eq-2 price classify expensive right now? Unknown
+  /// fingerprints (0 FLOPs on record) price cheap — their first sighting
+  /// serves the caller's config anyway.
+  [[nodiscard]] bool autotune_expensive(std::int64_t flops) const {
+    const std::lock_guard<std::mutex> lock(state_mutex_);
+    return classify_expensive_locked(
+        static_cast<std::uint64_t>(std::max<std::int64_t>(0, flops)));
   }
 
   /// Maps the caller's lane request and the cost-model verdict onto a
@@ -701,9 +788,8 @@ class Engine {
                                             const Csr<T, I>& a,
                                             const Csr<T, I>& b,
                                             const Config& config,
+                                            std::uint64_t fingerprint,
                                             bool& cache_hit) {
-    const std::uint64_t fingerprint =
-        detail::structural_fingerprint(mask, a, b);
     const std::lock_guard<std::mutex> lock(plan_mutex_);
     // Newest-first scan: serving workloads resubmit recent structures.
     for (auto it = plans_.rbegin(); it != plans_.rend(); ++it) {
@@ -734,9 +820,10 @@ class Engine {
                    std::shared_ptr<const PlanEntry> entry, bool cache_hit,
                    std::size_t depth, TaskPriority lane,
                    const SubmitOptions& sopts, bool expensive, bool deferred,
-                   double plan_ms) {
+                   double plan_ms, int autotune_arm) {
     auto job = std::make_shared<Job>();
     job->id = job_id;
+    job->autotune_arm = autotune_arm;
     job->mask = &mask;
     job->a = &a;
     job->b = &b;
@@ -902,6 +989,29 @@ class Engine {
     recycle_buffers(std::move(job->buffers));
     health_.record_finish();
     sync_brownout_metric();
+    // Online-tuning reward (docs/TUNING.md): only a clean, uncontaminated
+    // attempt prices its arm — a retried or degraded job measured a
+    // different config than the bandit served, and a deadline miss says
+    // nothing about the arm's speed on an unconstrained run.
+    if (autotune_ != nullptr && job->autotune_arm >= 0 && !stats.retried &&
+        !job->degraded_config &&
+        !job->deadline_missed.load(std::memory_order_relaxed)) {
+      const RewardOutcome outcome = autotune_->report(
+          job->entry->plan.info.fingerprint, job->autotune_arm, stats.run_ms,
+          job->flop_estimate, stats.degrades, failed);
+#if TILQ_METRICS_ENABLED
+      if (outcome.arm_switched || outcome.converged) {
+        if (MetricCounters* const counters = metrics_thread_counters()) {
+          counters->autotune_arm_switches += outcome.arm_switched ? 1 : 0;
+          counters->autotune_converged += outcome.converged ? 1 : 0;
+        }
+      }
+#endif
+      if (telemetry_ && (outcome.arm_switched || outcome.converged)) {
+        telemetry_->flight().record(job->id, FlightEventKind::kAutotuned,
+                                    job->autotune_arm, job->flop_estimate);
+      }
+    }
     // Histograms before the state_mutex_ block below: after that lock is
     // released the engine may already be destroyed (see the comment
     // there), so no engine member may be touched past it.
@@ -1188,6 +1298,13 @@ class Engine {
       ws.executed = w.executed;
       ws.stolen = w.stolen;
       s.workers.push_back(ws);
+    }
+    if (autotune_ != nullptr) {
+      const AutotuneStats at = autotune_->stats();
+      s.autotune_fingerprints = at.fingerprints;
+      s.autotune_explorations = at.explorations;
+      s.autotune_arm_switches = at.arm_switches;
+      s.autotune_converged = at.converged;
     }
     watchdog_scan();
     s.jobs_stuck = jobs_stuck_.load(std::memory_order_relaxed);
@@ -1514,7 +1631,8 @@ class Engine {
       // plan_for opens an OpenMP region on a pool worker here — a
       // deliberate tradeoff: retries are rare, and blocking the submit
       // path on a failed job's replan would cost more.
-      fresh = plan_for(*job->mask, *job->a, *job->b, config, cache_hit);
+      fresh = plan_for(*job->mask, *job->a, *job->b, config,
+                       job->entry->plan.info.fingerprint, cache_hit);
       if (job->buffers != nullptr) {
         // Re-ensure now, before any job state mutates, so an allocation
         // failure here cannot leave a half-retried job behind.
@@ -1613,6 +1731,11 @@ class Engine {
 
   std::mutex buffers_mutex_;
   std::vector<std::unique_ptr<detail::DriverBuffers<T, I>>> free_buffers_;
+
+  // --- Online tuning (docs/TUNING.md); null when EngineOptions::autotune
+  // left tuning off. Declared before telemetry_ so the sampler's collector
+  // never outlives it.
+  std::unique_ptr<ConfigBandit> autotune_;
 
   // --- Telemetry (docs/TELEMETRY.md); all dormant when telemetry_ is
   // null. The watchdog registry tracks every admitted-but-unfinished job

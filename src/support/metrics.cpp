@@ -115,7 +115,10 @@ void append_counters_json(std::string& out, const MetricCounters& c) {
   field("engine_jobs_stuck", c.engine_jobs_stuck);
   field("engine_retries", c.engine_retries);
   field("engine_brownouts", c.engine_brownouts);
-  field("engine_telemetry_samples", c.engine_telemetry_samples, /*last=*/true);
+  field("engine_telemetry_samples", c.engine_telemetry_samples);
+  field("autotune_explorations", c.autotune_explorations);
+  field("autotune_arm_switches", c.autotune_arm_switches);
+  field("autotune_converged", c.autotune_converged, /*last=*/true);
   out += '}';
 }
 

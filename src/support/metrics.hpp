@@ -53,7 +53,9 @@ namespace tilq {
 /// object (docs/SERVING.md), then with the telemetry counters
 /// (`engine_jobs_stuck`, `engine_telemetry_samples` — docs/TELEMETRY.md),
 /// then with the resilience counters (`engine_retries`,
-/// `engine_brownouts` — docs/ROBUSTNESS.md).
+/// `engine_brownouts` — docs/ROBUSTNESS.md), then with the online-tuning
+/// counters (`autotune_explorations`, `autotune_arm_switches`,
+/// `autotune_converged` — docs/TUNING.md).
 inline constexpr int kMetricsSchemaVersion = 3;
 
 /// True when the counter hooks are compiled into this build (CMake option
@@ -97,6 +99,9 @@ struct MetricCounters {
   std::uint64_t engine_retries = 0;         ///< retry attempts (auto-replan + degraded-config)
   std::uint64_t engine_brownouts = 0;       ///< memory-governor transitions into brownout
   std::uint64_t engine_telemetry_samples = 0; ///< telemetry sampler ticks taken
+  std::uint64_t autotune_explorations = 0;  ///< bandit draws that served a non-best arm
+  std::uint64_t autotune_arm_switches = 0;  ///< fingerprints whose best arm changed
+  std::uint64_t autotune_converged = 0;     ///< fingerprints frozen onto their best arm
 
   MetricCounters& operator+=(const MetricCounters& o) noexcept {
     flops += o.flops;
@@ -132,6 +137,9 @@ struct MetricCounters {
     engine_retries += o.engine_retries;
     engine_brownouts += o.engine_brownouts;
     engine_telemetry_samples += o.engine_telemetry_samples;
+    autotune_explorations += o.autotune_explorations;
+    autotune_arm_switches += o.autotune_arm_switches;
+    autotune_converged += o.autotune_converged;
     return *this;
   }
 
@@ -176,6 +184,9 @@ struct MetricCounters {
     d.engine_retries = sub(engine_retries, o.engine_retries);
     d.engine_brownouts = sub(engine_brownouts, o.engine_brownouts);
     d.engine_telemetry_samples = sub(engine_telemetry_samples, o.engine_telemetry_samples);
+    d.autotune_explorations = sub(autotune_explorations, o.autotune_explorations);
+    d.autotune_arm_switches = sub(autotune_arm_switches, o.autotune_arm_switches);
+    d.autotune_converged = sub(autotune_converged, o.autotune_converged);
     return d;
   }
 
@@ -194,7 +205,8 @@ struct MetricCounters {
            engine_jobs_deferred == 0 && engine_jobs_expensive == 0 &&
            engine_deadline_misses == 0 && engine_jobs_stuck == 0 &&
            engine_retries == 0 && engine_brownouts == 0 &&
-           engine_telemetry_samples == 0;
+           engine_telemetry_samples == 0 && autotune_explorations == 0 &&
+           autotune_arm_switches == 0 && autotune_converged == 0;
   }
 };
 

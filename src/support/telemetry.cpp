@@ -173,6 +173,8 @@ const char* to_string(FlightEventKind kind) noexcept {
       return "stuck";
     case FlightEventKind::kRetried:
       return "retried";
+    case FlightEventKind::kAutotuned:
+      return "autotuned";
   }
   return "unknown";
 }
@@ -344,6 +346,15 @@ void render_prometheus(std::string& out) {
                  c.engine_brownouts);
   prom_value_u64(out, "tilq_engine_telemetry_samples", "counter",
                  "telemetry sampler ticks taken", c.engine_telemetry_samples);
+  prom_value_u64(out, "tilq_autotune_explorations", "counter",
+                 "bandit draws that served a non-best arm",
+                 c.autotune_explorations);
+  prom_value_u64(out, "tilq_autotune_arm_switches", "counter",
+                 "fingerprints whose best arm changed",
+                 c.autotune_arm_switches);
+  prom_value_u64(out, "tilq_autotune_converged", "counter",
+                 "fingerprints frozen onto their best arm",
+                 c.autotune_converged);
 }
 
 // --- TelemetryHub --------------------------------------------------------
@@ -509,6 +520,18 @@ void TelemetryHub::render_prometheus(std::string& out) const {
   prom_value_double(out, "tilq_engine_queue_window_p99_ms", "gauge",
                     "windowed queue-latency p99 at the last sample",
                     s.queue_window.p99_ms);
+  prom_value_u64(out, "tilq_engine_autotune_fingerprints", "gauge",
+                 "bandit arm tables created (docs/TUNING.md)",
+                 s.autotune_fingerprints);
+  prom_value_u64(out, "tilq_engine_autotune_explorations", "counter",
+                 "bandit draws that served a non-best arm",
+                 s.autotune_explorations);
+  prom_value_u64(out, "tilq_engine_autotune_arm_switches", "counter",
+                 "fingerprints whose best arm changed",
+                 s.autotune_arm_switches);
+  prom_value_u64(out, "tilq_engine_autotune_converged", "gauge",
+                 "fingerprints frozen onto their best arm",
+                 s.autotune_converged);
   prom_value_u64(out, "tilq_engine_flight_events", "counter",
                  "flight-recorder events ever recorded", flight_.recorded());
   prom_value_u64(out, "tilq_engine_health", "gauge",

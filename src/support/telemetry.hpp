@@ -90,6 +90,7 @@ enum class FlightEventKind : std::uint8_t {
   kDeadlineMiss,    ///< cancelled because a tile would start past deadline
   kStuck,           ///< flagged by the watchdog (docs/TELEMETRY.md)
   kRetried,         ///< failed attempt re-queued (auto-replan / degrade)
+  kAutotuned,       ///< bandit served a non-baseline arm (docs/TUNING.md)
 };
 
 /// Stable lowercase-dashed name of a FlightEventKind — the `event` field
@@ -190,6 +191,10 @@ struct TelemetrySample {
   double plan_hit_rate = 0.0;  ///< hits / (hits + builds), 0 when idle
   std::uint64_t retries = 0;   ///< retry attempts (replan + degrade)
   std::uint64_t brownouts = 0; ///< memory-governor brownout transitions
+  std::uint64_t autotune_fingerprints = 0;  ///< bandit arm tables created
+  std::uint64_t autotune_explorations = 0;  ///< non-best arms served
+  std::uint64_t autotune_arm_switches = 0;  ///< best-arm changes
+  std::uint64_t autotune_converged = 0;     ///< fingerprints frozen
   std::uint64_t memory_usage_bytes = 0;       ///< governor ledger now
   std::uint64_t memory_high_water_bytes = 0;  ///< governor high-water mark
   std::uint64_t memory_budget_bytes = 0;      ///< configured budget (0 = off)

@@ -39,7 +39,12 @@ Checks, in both directions:
     event name (the to_string(FlightEventKind) table) appears in the
     table under '## Flight-record events' and vice versa; and every
     public symbol of src/support/telemetry.hpp is named (backticked)
-    somewhere in docs/TELEMETRY.md.
+    somewhere in docs/TELEMETRY.md;
+  * with --tuning-doc (opt-in): every autotune_* counter appears in
+    docs/TUNING.md's table under '## Autotune counters' and vice versa,
+    and every public symbol of src/core/autotune.hpp (--autotune-header)
+    is named (backticked) somewhere in docs/TUNING.md — the operator
+    tuning guide is machine-checked, not best-effort prose.
 
 Exits non-zero with a readable diff when any pair drifts apart.
 Registered as the `doc_metrics_lint` CTest entry (skipped when python3
@@ -321,6 +326,10 @@ def main() -> int:
     parser.add_argument("--telemetry-doc", default=None,
                         help="docs/TELEMETRY.md; enables the exporter/"
                              "flight-record/API checks when given")
+    parser.add_argument("--autotune-header", default="src/core/autotune.hpp")
+    parser.add_argument("--tuning-doc", default=None,
+                        help="docs/TUNING.md; enables the autotune counter "
+                             "table and API checks when given")
     args = parser.parse_args()
 
     bad = False
@@ -405,6 +414,24 @@ def main() -> int:
                 print(f"  {name}")
             bad = True
 
+    autotune_counters = set()
+    autotune_api = set()
+    if args.tuning_doc:
+        autotune_counters = {c for c in counters
+                             if c.startswith("autotune_")}
+        bad |= diff("autotune counters", autotune_counters,
+                    doc_table(args.tuning_doc, "## Autotune counters"),
+                    args.tuning_doc, args.header)
+
+        autotune_api = public_symbols(args.autotune_header)
+        tuning_gaps = sorted(autotune_api - doc_mentions(args.tuning_doc))
+        if tuning_gaps:
+            print(f"public autotune symbols missing from "
+                  f"{args.tuning_doc}:")
+            for name in tuning_gaps:
+                print(f"  {name}")
+            bad = True
+
     if bad:
         return 1
     summary = (f"ok: {len(counters)} counters, {len(hw)} hw fields, "
@@ -417,6 +444,9 @@ def main() -> int:
         summary += (f"; {len(exporter)} exporter metrics, {len(events)} "
                     f"flight events and {len(telemetry_api)} telemetry "
                     "symbols documented")
+    if args.tuning_doc:
+        summary += (f"; {len(autotune_counters)} autotune counters and "
+                    f"{len(autotune_api)} autotune symbols documented")
     print(summary + "; code and docs consistent")
     return 0
 
